@@ -1,0 +1,45 @@
+//! Criterion bench: page-copy pipelines — Remus's socket+cipher path vs
+//! CRIMES's memcpy (Optimization 1), per copied-byte throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use crimes_checkpoint::{BackupVm, MappedPage, MemcpyCopier, SocketCopier};
+use crimes_vm::{Pfn, Vm, PAGE_SIZE};
+
+fn setup(pages: usize) -> (Vm, BackupVm, Vec<MappedPage>) {
+    let mut builder = Vm::builder();
+    builder.pages(8192).seed(11);
+    let mut vm = builder.build();
+    let pid = vm.spawn_process("app", 0, pages + 8).unwrap();
+    for i in 0..pages {
+        vm.dirty_arena_page(pid, i, 0, i as u8).unwrap();
+    }
+    let backup = BackupVm::new(&vm);
+    let mapped: Vec<MappedPage> = vm
+        .memory()
+        .dirty()
+        .iter()
+        .map(|p: Pfn| (p, vm.memory().pfn_to_mfn(p)))
+        .collect();
+    (vm, backup, mapped)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("copy_strategies");
+    group.sample_size(20);
+    for pages in [256usize, 2048] {
+        let (vm, mut backup, mapped) = setup(pages);
+        group.throughput(Throughput::Bytes((mapped.len() * PAGE_SIZE) as u64));
+        group.bench_with_input(BenchmarkId::new("memcpy", pages), &pages, |b, _| {
+            b.iter(|| MemcpyCopier.copy_epoch(&vm, &mut backup, &mapped))
+        });
+        let mut socket = SocketCopier::new(0xfeed);
+        group.bench_with_input(BenchmarkId::new("socket_ssh", pages), &pages, |b, _| {
+            b.iter(|| socket.copy_epoch(&vm, &mut backup, &mapped))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

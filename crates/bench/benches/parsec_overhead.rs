@@ -1,0 +1,41 @@
+//! Criterion bench: PARSEC epoch cycles under Full vs No-opt — the code
+//! path behind Figure 3's bars (statistical companion to `repro --fig3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crimes_checkpoint::{AuditVerdict, CheckpointConfig, Checkpointer, OptLevel};
+use crimes_vm::Vm;
+use crimes_workloads::{profile, ParsecWorkload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parsec_epoch_200ms");
+    group.sample_size(10);
+    for bench_name in ["swaptions", "fluidanimate", "raytrace"] {
+        for opt in [OptLevel::Full, OptLevel::NoOpt] {
+            let id = BenchmarkId::new(bench_name, opt.label());
+            group.bench_function(id, |b| {
+                let p = profile(bench_name).unwrap();
+                let mut builder = Vm::builder();
+                builder.pages(16384).seed(5);
+                let mut vm = builder.build();
+                let mut workload = ParsecWorkload::launch(&mut vm, p, 5).unwrap();
+                vm.memory_mut().take_dirty();
+                let mut cp = Checkpointer::new(
+                    &vm,
+                    CheckpointConfig {
+                        opt,
+                        ..CheckpointConfig::default()
+                    },
+                );
+                b.iter(|| {
+                    workload.run_ms(&mut vm, 200).unwrap();
+                    cp.run_epoch(&mut vm, &mut |_, _| AuditVerdict::Pass)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: one full epoch cycle (workload slice + pause window)
+//! per optimisation level — the code path behind Table 1 and Figure 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crimes_checkpoint::{AuditVerdict, CheckpointConfig, Checkpointer, OptLevel};
+use crimes_vm::Vm;
+use crimes_workloads::{WebIntensity, WebServerWorkload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_cycle_web20ms");
+    group.sample_size(20);
+    for opt in OptLevel::ALL {
+        group.bench_function(BenchmarkId::from_parameter(opt.label()), |b| {
+            let mut builder = Vm::builder();
+            builder.pages(8192).seed(5);
+            let mut vm = builder.build();
+            let mut workload = WebServerWorkload::launch(&mut vm, WebIntensity::Medium, 5).unwrap();
+            vm.memory_mut().take_dirty();
+            let mut cp = Checkpointer::new(
+                &vm,
+                CheckpointConfig {
+                    opt,
+                    ..CheckpointConfig::default()
+                },
+            );
+            b.iter(|| {
+                workload.run_ms(&mut vm, 20).unwrap();
+                cp.run_epoch(&mut vm, &mut |_, _| AuditVerdict::Pass)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: VMI costs — session init (one-time) vs per-checkpoint
+//! structure walks (Table 3's split).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crimes_vm::Vm;
+use crimes_vmi::{linux, VmiSession};
+
+fn populated_vm() -> Vm {
+    let mut builder = Vm::builder();
+    builder.pages(8192).seed(3);
+    let mut vm = builder.build();
+    for i in 0..50 {
+        vm.spawn_process(&format!("proc{i:02}"), 1000, 1).unwrap();
+    }
+    for i in 0..12 {
+        vm.load_module(&format!("mod{i:02}"), 0x1000).unwrap();
+    }
+    vm
+}
+
+fn bench(c: &mut Criterion) {
+    let vm = populated_vm();
+    let mut group = c.benchmark_group("vmi");
+    group.sample_size(10);
+    group.bench_function("session_init", |b| {
+        b.iter(|| VmiSession::init(std::hint::black_box(&vm)).unwrap())
+    });
+
+    let session = VmiSession::init(&vm).unwrap();
+    group.bench_function("process_list", |b| {
+        b.iter(|| linux::process_list(&session, vm.memory()).unwrap())
+    });
+    group.bench_function("module_list", |b| {
+        b.iter(|| linux::module_list(&session, vm.memory()).unwrap())
+    });
+    group.bench_function("syscall_table", |b| {
+        b.iter(|| linux::syscall_table(&session, vm.memory()).unwrap())
+    });
+    group.bench_function("pid_hash_entries", |b| {
+        b.iter(|| linux::pid_hash_entries(&session, vm.memory()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

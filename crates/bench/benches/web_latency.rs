@@ -1,0 +1,43 @@
+//! Criterion bench: the closed-loop web simulation behind Figure 7 —
+//! baseline vs synchronous vs best-effort at a representative interval.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use crimes_workloads::{WebMode, WebSim, WebSimConfig};
+
+fn short(cfg: WebSimConfig) -> WebSimConfig {
+    WebSimConfig {
+        sim_ms: 2_000.0,
+        ..cfg
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("web_sim_2s");
+    group.sample_size(10);
+    group.bench_function("baseline", |b| {
+        b.iter(|| WebSim::run(short(WebSimConfig::baseline())))
+    });
+    group.bench_function("synchronous_100ms", |b| {
+        b.iter(|| {
+            WebSim::run(short(WebSimConfig::with_checkpointing(
+                100.0,
+                2.0,
+                WebMode::Synchronous,
+            )))
+        })
+    });
+    group.bench_function("best_effort_100ms", |b| {
+        b.iter(|| {
+            WebSim::run(short(WebSimConfig::with_checkpointing(
+                100.0,
+                2.0,
+                WebMode::BestEffort,
+            )))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

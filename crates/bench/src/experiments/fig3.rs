@@ -1,0 +1,193 @@
+//! Figure 3 — normalised PARSEC runtime at 200 ms epochs under the four
+//! checkpointing schemes plus the AddressSanitizer baseline, and the
+//! headline aggregates (§4.1: "improves performance by 33% compared to
+//! Remus… only adds 9.8% overhead").
+
+use std::path::Path;
+
+use crimes_checkpoint::OptLevel;
+use crimes_workloads::{asan, PROFILES};
+
+use crate::runtime::{geometric_mean, run_parsec};
+use crate::text::{ratio, TextTable};
+
+/// One benchmark's normalised runtimes under every scheme.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Normalised runtime per [`OptLevel`], in `OptLevel::ALL` order
+    /// (No-opt, Memcpy, Pre-map, Full).
+    pub by_opt: [f64; 4],
+    /// AddressSanitizer baseline's normalised runtime.
+    pub asan: f64,
+}
+
+/// The regenerated figure.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// One row per benchmark.
+    pub rows: Vec<Fig3Row>,
+    /// Geometric means in the same order as `by_opt`.
+    pub geomean_by_opt: [f64; 4],
+    /// Geometric mean of the AS column.
+    pub geomean_asan: f64,
+}
+
+/// Epoch interval used by the paper for this figure.
+pub const INTERVAL_MS: u64 = 200;
+
+/// Run the experiment with `epochs` epochs per configuration.
+///
+/// # Panics
+///
+/// Panics if `epochs` is zero.
+pub fn run(epochs: u32) -> Fig3 {
+    // Measure the ASan instrumentation ratio once on a large access
+    // sequence, then scale per benchmark by its memory-op fraction.
+    let instr_ratio = asan::measure_slowdown(3_000_000, 7).ratio();
+
+    let mut rows = Vec::with_capacity(PROFILES.len());
+    for profile in &PROFILES {
+        let mut by_opt = [0.0f64; 4];
+        for (i, &opt) in OptLevel::ALL.iter().enumerate() {
+            by_opt[i] = run_parsec(profile, opt, INTERVAL_MS, epochs, 7)
+                .expect("profiles cannot fault")
+                .normalized_runtime;
+        }
+        rows.push(Fig3Row {
+            benchmark: profile.name,
+            by_opt,
+            asan: asan::workload_slowdown(instr_ratio, profile.mem_op_fraction),
+        });
+    }
+    let mut geomean_by_opt = [0.0f64; 4];
+    for (i, slot) in geomean_by_opt.iter_mut().enumerate() {
+        let col: Vec<f64> = rows.iter().map(|r| r.by_opt[i]).collect();
+        *slot = geometric_mean(&col);
+    }
+    let asan_col: Vec<f64> = rows.iter().map(|r| r.asan).collect();
+    Fig3 {
+        rows,
+        geomean_by_opt,
+        geomean_asan: geometric_mean(&asan_col),
+    }
+}
+
+impl Fig3 {
+    /// CRIMES (Full) overhead over native, in percent.
+    pub fn crimes_overhead_pct(&self) -> f64 {
+        (self.geomean_by_opt[3] - 1.0) * 100.0
+    }
+
+    /// Improvement of Full over No-opt, in percent of No-opt's runtime
+    /// (the paper's "33% compared to Remus").
+    pub fn improvement_over_noopt_pct(&self) -> f64 {
+        (1.0 - self.geomean_by_opt[3] / self.geomean_by_opt[0]) * 100.0
+    }
+
+    /// Render as a table.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(["benchmark", "Full", "Pre-map", "Memcpy", "No-opt", "AS"]);
+        for row in &self.rows {
+            t.row([
+                row.benchmark.to_owned(),
+                ratio(row.by_opt[3]),
+                ratio(row.by_opt[2]),
+                ratio(row.by_opt[1]),
+                ratio(row.by_opt[0]),
+                ratio(row.asan),
+            ]);
+        }
+        t.row([
+            "geometric-mean".to_owned(),
+            ratio(self.geomean_by_opt[3]),
+            ratio(self.geomean_by_opt[2]),
+            ratio(self.geomean_by_opt[1]),
+            ratio(self.geomean_by_opt[0]),
+            ratio(self.geomean_asan),
+        ]);
+        t
+    }
+
+    /// Render + persist CSV under `out_dir`.
+    pub fn render(&self, out_dir: Option<&Path>) -> String {
+        let t = self.to_table();
+        if let Some(dir) = out_dir {
+            let _ = t.write_csv(&dir.join("fig3.csv"));
+        }
+        format!(
+            "Figure 3: normalised PARSEC runtime ({INTERVAL_MS} ms epochs)\n{}\n\
+             CRIMES (Full) geomean overhead: {:.1}%  (paper: 9.8%)\n\
+             Improvement over No-opt Remus:  {:.1}%  (paper: 33%)\n",
+            t.render(),
+            self.crimes_overhead_pct(),
+            self.improvement_over_noopt_pct()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_ordering_matches_paper() {
+        let _guard = crate::measurement_lock();
+        let fig = run(3);
+        assert_eq!(fig.rows.len(), 11);
+        // Full must beat No-opt on every benchmark; geomeans ordered
+        // Full ≤ Pre-map ≤ Memcpy ≤ No-opt.
+        for row in &fig.rows {
+            assert!(
+                row.by_opt[3] < row.by_opt[0],
+                "{}: Full {} !< No-opt {}",
+                row.benchmark,
+                row.by_opt[3],
+                row.by_opt[0]
+            );
+            assert!(row.asan > 1.0);
+        }
+        let g = fig.geomean_by_opt;
+        assert!(g[3] <= g[2] * 1.05, "Full ~<= Pre-map");
+        assert!(g[2] <= g[1] * 1.05, "Pre-map ~<= Memcpy");
+        assert!(g[1] < g[0], "Memcpy < No-opt");
+        // CRIMES beats ASan on average, like Figure 3.
+        assert!(
+            g[3] < fig.geomean_asan,
+            "Full {} must beat ASan {}",
+            g[3],
+            fig.geomean_asan
+        );
+        assert!(fig.improvement_over_noopt_pct() > 0.0);
+    }
+
+    #[test]
+    fn fluidanimate_is_worst_for_noopt() {
+        let _guard = crate::measurement_lock();
+        let fig = run(3);
+        let fluid = fig
+            .rows
+            .iter()
+            .find(|r| r.benchmark == "fluidanimate")
+            .unwrap();
+        for row in &fig.rows {
+            assert!(
+                row.by_opt[0] <= fluid.by_opt[0] + 1e-9,
+                "{} No-opt {} exceeds fluidanimate {}",
+                row.benchmark,
+                row.by_opt[0],
+                fluid.by_opt[0]
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_headline_numbers() {
+        let _guard = crate::measurement_lock();
+        let fig = run(2);
+        let text = fig.render(None);
+        assert!(text.contains("geometric-mean"));
+        assert!(text.contains("paper: 9.8%"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Figure 7 — web-server latency and throughput versus epoch interval,
+//! Synchronous versus Best-Effort safety, normalised against the
+//! unprotected baseline.
+//!
+//! The checkpoint pause fed into the simulation is *measured*: a short
+//! fully-optimised run of the medium web workload at each interval
+//! supplies the real suspend-to-resume time.
+
+use std::path::Path;
+
+use crimes_checkpoint::OptLevel;
+use crimes_workloads::{WebIntensity, WebMode, WebSim, WebSimConfig};
+
+use crate::runtime::run_web;
+use crate::text::{ratio, TextTable};
+
+/// Intervals swept, matching the paper's 20–200 ms x-axis.
+pub const INTERVALS_MS: [u64; 10] = [20, 40, 60, 80, 100, 120, 140, 160, 180, 200];
+
+/// One `(mode, interval)` sample.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Point {
+    /// Safety mode.
+    pub mode: WebMode,
+    /// Epoch interval in milliseconds.
+    pub interval_ms: u64,
+    /// Measured checkpoint pause fed to the simulation (ms).
+    pub pause_ms: f64,
+    /// Latency normalised against the unprotected baseline.
+    pub norm_latency: f64,
+    /// Throughput normalised against the unprotected baseline.
+    pub norm_throughput: f64,
+}
+
+/// The regenerated figure.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Baseline absolute numbers (for the caption).
+    pub baseline_latency_ms: f64,
+    /// Baseline throughput in requests/s.
+    pub baseline_throughput_rps: f64,
+    /// All samples.
+    pub points: Vec<Fig7Point>,
+}
+
+/// Run the sweep. `pause_epochs` controls how many epochs the pause
+/// calibration runs per interval.
+///
+/// # Panics
+///
+/// Panics if `pause_epochs` is zero.
+pub fn run(pause_epochs: u32) -> Fig7 {
+    let baseline = WebSim::run(WebSimConfig::baseline());
+    let mut points = Vec::new();
+    for &interval in &INTERVALS_MS {
+        // Calibrate the pause from the real engine.
+        let pause_ms = run_web(
+            WebIntensity::Medium,
+            OptLevel::Full,
+            interval,
+            pause_epochs,
+            3,
+        )
+        .expect("cannot fault")
+        .pause_total_mean()
+        .as_secs_f64()
+            * 1e3;
+        for mode in [WebMode::Synchronous, WebMode::BestEffort] {
+            let r = WebSim::run(WebSimConfig::with_checkpointing(
+                interval as f64,
+                pause_ms,
+                mode,
+            ));
+            points.push(Fig7Point {
+                mode,
+                interval_ms: interval,
+                pause_ms,
+                norm_latency: r.mean_latency_ms / baseline.mean_latency_ms,
+                norm_throughput: r.throughput_rps / baseline.throughput_rps,
+            });
+        }
+    }
+    Fig7 {
+        baseline_latency_ms: baseline.mean_latency_ms,
+        baseline_throughput_rps: baseline.throughput_rps,
+        points,
+    }
+}
+
+impl Fig7 {
+    /// Samples of one mode, in interval order.
+    pub fn series(&self, mode: WebMode) -> Vec<Fig7Point> {
+        self.points
+            .iter()
+            .filter(|p| p.mode == mode)
+            .copied()
+            .collect()
+    }
+
+    /// Render both panels as one table.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new([
+            "interval(ms)",
+            "sync latency",
+            "sync tput",
+            "best-effort latency",
+            "best-effort tput",
+        ]);
+        for &interval in &INTERVALS_MS {
+            let at = |mode: WebMode| {
+                self.points
+                    .iter()
+                    .find(|p| p.mode == mode && p.interval_ms == interval)
+                    .expect("all combinations ran")
+            };
+            let s = at(WebMode::Synchronous);
+            let b = at(WebMode::BestEffort);
+            t.row([
+                interval.to_string(),
+                ratio(s.norm_latency),
+                ratio(s.norm_throughput),
+                ratio(b.norm_latency),
+                ratio(b.norm_throughput),
+            ]);
+        }
+        t
+    }
+
+    /// Render + persist CSV under `out_dir`.
+    pub fn render(&self, out_dir: Option<&Path>) -> String {
+        let t = self.to_table();
+        if let Some(dir) = out_dir {
+            let _ = t.write_csv(&dir.join("fig7.csv"));
+        }
+        format!(
+            "Figure 7: web-server performance vs epoch interval (normalised)\n\
+             baseline: {:.0} req/s, {:.2} ms  (paper: 17094 req/s, 2.83 ms)\n{}",
+            self.baseline_throughput_rps,
+            self.baseline_latency_ms,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_shape_matches_paper() {
+        let _guard = crate::measurement_lock();
+        let fig = run(3);
+        let sync = fig.series(WebMode::Synchronous);
+        let be = fig.series(WebMode::BestEffort);
+
+        // Synchronous latency grows and throughput falls with the interval.
+        assert!(sync.last().unwrap().norm_latency > 2.0 * sync.first().unwrap().norm_latency);
+        assert!(sync.last().unwrap().norm_throughput < 0.5 * sync.first().unwrap().norm_throughput);
+
+        // Best-effort stays near the unprotected baseline (paper: "almost
+        // equal with having no protection at all").
+        for p in &be {
+            assert!(
+                p.norm_throughput > 0.7,
+                "best effort throughput at {} ms: {}",
+                p.interval_ms,
+                p.norm_throughput
+            );
+            assert!(
+                p.norm_latency < 3.0,
+                "best effort latency at {} ms: {}",
+                p.interval_ms,
+                p.norm_latency
+            );
+        }
+
+        // And synchronous is always the slower of the two.
+        for (s, b) in sync.iter().zip(&be) {
+            assert!(s.norm_latency >= b.norm_latency);
+            assert!(s.norm_throughput <= b.norm_throughput);
+        }
+    }
+
+    #[test]
+    fn baseline_is_paper_scale() {
+        let _guard = crate::measurement_lock();
+        let fig = run(2);
+        assert!(fig.baseline_throughput_rps > 8_000.0);
+        assert!(fig.baseline_latency_ms < 10.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! One module per table/figure of the paper's evaluation. Each exposes a
+//! `run(...)` returning structured data plus `render(...)` producing the
+//! text the `repro` binary prints (and CSV files under `target/repro/`).
+
+pub mod ablation;
+pub mod cases;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;
+pub mod table3;

@@ -1,0 +1,40 @@
+//! # crimes-bench — the reproduction harness
+//!
+//! Experiment runners regenerating **every table and figure** in the
+//! CRIMES paper's evaluation (§5), plus the shared machinery they use.
+//! The `repro` binary drives them; the Criterion benches under `benches/`
+//! measure the same code paths statistically.
+//!
+//! | Experiment | Module |
+//! |---|---|
+//! | Table 1 (pause breakdown by web intensity) | [`experiments::table1`] |
+//! | Figure 3 (PARSEC overhead by scheme + ASan) | [`experiments::fig3`] |
+//! | Figure 4 (swaptions phase breakdown) | [`experiments::fig4`] |
+//! | Figure 5 (interval sweep) | [`experiments::fig5`] |
+//! | Figure 6a/6b (fluidanimate + bitmap scan) | [`experiments::fig6`] |
+//! | Table 3 (VMI cost split) | [`experiments::table3`] |
+//! | Figure 7 (web latency/throughput) | [`experiments::fig7`] |
+//! | §5.5 / §5.6 case studies | [`experiments::cases`] |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod runtime;
+pub mod text;
+
+/// Serialise wall-clock measurements across this crate's tests.
+///
+/// The experiment tests assert on measured phase timings; running a dozen
+/// of them in parallel threads (the test harness default) makes them
+/// measure each other's CPU contention instead of the code under test.
+/// Timing-sensitive tests take this guard first.
+pub fn measurement_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| std::sync::Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub use runtime::{geometric_mean, run_parsec, run_web, RunStats, PARSEC_GUEST_PAGES};
+pub use text::TextTable;

@@ -1,0 +1,233 @@
+//! The backup VM image.
+//!
+//! Remus keeps a full copy of the protected VM on a backup host; CRIMES
+//! repurposes it as "the most recent clean snapshot" kept on the *local*
+//! host (§4). [`BackupVm`] is that copy: a frame-for-frame image of guest
+//! memory (machine-frame order) plus saved vCPU state, updated
+//! incrementally with each epoch's dirty pages.
+
+use crimes_vm::{GuestMemory, Mfn, VcpuSet, VirtualDisk, Vm, PAGE_SIZE, SECTOR_SIZE};
+
+/// The local backup image of one VM.
+#[derive(Debug, Clone)]
+pub struct BackupVm {
+    frames: Vec<u8>,
+    disk: Vec<u8>,
+    num_pages: usize,
+    vcpus: VcpuSet,
+    /// Number of checkpoints applied since creation.
+    epoch: u64,
+}
+
+impl BackupVm {
+    /// Create the backup by fully synchronising with `vm` (the initial
+    /// full-memory copy Remus performs before entering the epoch loop).
+    pub fn new(vm: &Vm) -> Self {
+        BackupVm {
+            frames: vm.memory().dump_frames(),
+            disk: vm.disk().dump(),
+            num_pages: vm.memory().num_pages(),
+            vcpus: vm.vcpus().clone(),
+            epoch: 0,
+        }
+    }
+
+    /// Number of guest pages covered.
+    pub fn num_pages(&self) -> usize {
+        self.num_pages
+    }
+
+    /// Total image size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Checkpoints applied so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// One frame of the backup image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mfn` is out of range.
+    pub fn frame(&self, mfn: Mfn) -> &[u8] {
+        let base = self.offset(mfn);
+        &self.frames[base..base + PAGE_SIZE]
+    }
+
+    /// Overwrite one frame (the memcpy copy path writes here directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mfn` is out of range or `data` is not one page.
+    pub fn store_frame(&mut self, mfn: Mfn, data: &[u8]) {
+        assert_eq!(data.len(), PAGE_SIZE, "backup frames are page sized");
+        let base = self.offset(mfn);
+        self.frames[base..base + PAGE_SIZE].copy_from_slice(data);
+    }
+
+    /// Mutable view of one frame, for zero-copy decrypt-into-place on the
+    /// socket restore path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mfn` is out of range.
+    pub fn frame_mut(&mut self, mfn: Mfn) -> &mut [u8] {
+        let base = self.offset(mfn);
+        &mut self.frames[base..base + PAGE_SIZE]
+    }
+
+    /// Record the vCPU state captured at suspend time.
+    pub fn save_vcpus(&mut self, vcpus: &VcpuSet) {
+        self.vcpus = vcpus.clone();
+    }
+
+    /// The saved vCPU state.
+    pub fn vcpus(&self) -> &VcpuSet {
+        &self.vcpus
+    }
+
+    /// Mark one checkpoint as committed.
+    pub fn commit_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The whole image (machine-frame order), for rollback and forensic
+    /// dumps.
+    pub fn frames(&self) -> &[u8] {
+        &self.frames
+    }
+
+    /// Roll the primary VM's memory back to this image. Host bookkeeping
+    /// must be restored separately via `Vm::restore_with_frames` /
+    /// `MetaSnapshot` — this method only handles raw frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backup does not match the VM's memory size.
+    pub fn restore_into(&self, mem: &mut GuestMemory) {
+        mem.restore_frames(&self.frames);
+    }
+
+    /// The backup disk image (§3.1's disk-snapshot extension).
+    pub fn disk(&self) -> &[u8] {
+        &self.disk
+    }
+
+    /// Apply one committed sector to the backup disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sector is out of range or `data` is not one sector.
+    pub fn apply_sector(&mut self, sector: u64, data: &[u8]) {
+        assert_eq!(data.len(), SECTOR_SIZE, "whole sectors only");
+        let base = sector as usize * SECTOR_SIZE;
+        assert!(
+            base + SECTOR_SIZE <= self.disk.len(),
+            "sector {sector} out of range for backup disk"
+        );
+        self.disk[base..base + SECTOR_SIZE].copy_from_slice(data);
+    }
+
+    /// Roll the primary's disk back to the backup image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backup does not match the disk size.
+    pub fn restore_disk_into(&self, disk: &mut VirtualDisk) {
+        disk.restore(&self.disk);
+    }
+
+    fn offset(&self, mfn: Mfn) -> usize {
+        let base = mfn.0 as usize * PAGE_SIZE;
+        assert!(
+            base + PAGE_SIZE <= self.frames.len(),
+            "{mfn} out of range for backup of {} pages",
+            self.num_pages
+        );
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crimes_vm::Vm;
+
+    fn vm() -> Vm {
+        let mut b = Vm::builder();
+        b.pages(2048).seed(5);
+        b.build()
+    }
+
+    #[test]
+    fn new_backup_matches_primary() {
+        let vm = vm();
+        let backup = BackupVm::new(&vm);
+        assert_eq!(backup.frames(), vm.memory().dump_frames().as_slice());
+        assert_eq!(backup.num_pages(), 2048);
+        assert_eq!(backup.epoch(), 0);
+    }
+
+    #[test]
+    fn store_frame_updates_image() {
+        let vm = vm();
+        let mut backup = BackupVm::new(&vm);
+        let page = vec![0xabu8; PAGE_SIZE];
+        backup.store_frame(Mfn(3), &page);
+        assert_eq!(backup.frame(Mfn(3)), page.as_slice());
+    }
+
+    #[test]
+    fn restore_into_rolls_memory_back() {
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 4).unwrap();
+        let obj = vm.malloc(pid, 16).unwrap();
+        vm.write_user(pid, obj, b"clean", 0).unwrap();
+        let backup = BackupVm::new(&vm);
+
+        vm.write_user(pid, obj, b"dirty", 0).unwrap();
+        backup.restore_into(vm.memory_mut());
+
+        let mut buf = [0u8; 5];
+        vm.read_user(pid, obj, &mut buf).unwrap();
+        assert_eq!(&buf, b"clean");
+    }
+
+    #[test]
+    fn epochs_count_commits() {
+        let vm = vm();
+        let mut backup = BackupVm::new(&vm);
+        backup.commit_epoch();
+        backup.commit_epoch();
+        assert_eq!(backup.epoch(), 2);
+    }
+
+    #[test]
+    fn save_vcpus_copies_registers() {
+        let mut vm = vm();
+        vm.vcpus_mut().get_mut(0).unwrap().rip = 0x1234;
+        let mut backup = BackupVm::new(&vm);
+        vm.vcpus_mut().get_mut(0).unwrap().rip = 0x5678;
+        backup.save_vcpus(vm.vcpus());
+        assert_eq!(backup.vcpus().get(0).unwrap().rip, 0x5678);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn frame_out_of_range_panics() {
+        let vm = vm();
+        let backup = BackupVm::new(&vm);
+        backup.frame(Mfn(2048));
+    }
+
+    #[test]
+    fn frame_mut_allows_in_place_write() {
+        let vm = vm();
+        let mut backup = BackupVm::new(&vm);
+        backup.frame_mut(Mfn(0))[0] = 0x7f;
+        assert_eq!(backup.frame(Mfn(0))[0], 0x7f);
+    }
+}

@@ -1,0 +1,564 @@
+//! The checkpoint engine: Remus's epoch pipeline with CRIMES' audit hook
+//! and the three optimisations, instrumented phase by phase.
+//!
+//! Each call to [`Checkpointer::run_epoch`] executes the pause window the
+//! paper times (§4.1):
+//!
+//! ```text
+//! suspend → vmi (security audit) → bitscan → map → copy → resume
+//! ```
+//!
+//! A passing audit commits the checkpoint (the backup becomes the newest
+//! clean snapshot) and resumes the VM. A failing audit leaves the VM
+//! suspended with the backup untouched — the clean state the Analyzer rolls
+//! back to.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crimes_vm::{DirtyBitmap, MetaSnapshot, Pfn, Vm};
+
+use crate::backup::BackupVm;
+use crate::bitmap::BitmapScan;
+use crate::copy::{CopyStats, CopyStrategy, MemcpyCopier, SocketCopier};
+use crate::history::{CheckpointHistory, CheckpointRecord};
+use crate::mapping::{HypercallModel, Mapper, MappingStrategy};
+use crate::probe::{BreakdownStats, PhaseTimings};
+
+/// The four optimisation levels the evaluation compares (Figures 3, 4, 6a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// Unmodified Remus pipeline + VMI scan: socket copy, per-epoch
+    /// mapping of the primary, bit-by-bit bitmap scan.
+    NoOpt,
+    /// Local in-memory copy only ("memcpy"): still maps per epoch — and now
+    /// both primary *and* backup.
+    Memcpy,
+    /// memcpy + global PFN→MFN pre-mapping ("Pre-map").
+    PreMap,
+    /// All three optimisations ("Full"): adds the word-wise bitmap scan.
+    #[default]
+    Full,
+}
+
+impl OptLevel {
+    /// All levels, least to most optimised.
+    pub const ALL: [OptLevel; 4] = [
+        OptLevel::NoOpt,
+        OptLevel::Memcpy,
+        OptLevel::PreMap,
+        OptLevel::Full,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptLevel::NoOpt => "No-opt",
+            OptLevel::Memcpy => "Memcpy",
+            OptLevel::PreMap => "Pre-map",
+            OptLevel::Full => "Full",
+        }
+    }
+
+    /// Bitmap scan strategy at this level.
+    pub fn bitmap_scan(self) -> BitmapScan {
+        match self {
+            OptLevel::Full => BitmapScan::WordWise,
+            _ => BitmapScan::BitByBit,
+        }
+    }
+
+    /// Mapping strategy at this level.
+    pub fn mapping_strategy(self) -> MappingStrategy {
+        match self {
+            OptLevel::NoOpt => MappingStrategy::PerEpochPrimary,
+            OptLevel::Memcpy => MappingStrategy::PerEpochPrimaryAndBackup,
+            OptLevel::PreMap | OptLevel::Full => MappingStrategy::Global,
+        }
+    }
+
+    /// Copy strategy at this level.
+    pub fn copy_strategy(self) -> CopyStrategy {
+        match self {
+            OptLevel::NoOpt => CopyStrategy::Socket,
+            _ => CopyStrategy::Memcpy,
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Result of the epoch-end security audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditVerdict {
+    /// No evidence of attack; commit and continue.
+    Pass,
+    /// Evidence found; the VM stays suspended for analysis.
+    Fail,
+}
+
+/// Checkpointer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointConfig {
+    /// Optimisation level.
+    pub opt: OptLevel,
+    /// Dependent cache misses per simulated hypercall (see
+    /// `mapping::HypercallModel`).
+    pub hypercall_steps: u32,
+    /// Simulated hypercalls issued by the VM-suspend path (vCPU
+    /// descheduling, device-model quiesce, dirty-log retrieval). The
+    /// default is calibrated to the ~1 ms suspend the paper's Table 1
+    /// measures on Xen; a trivial flag flip would erase that row entirely.
+    pub suspend_hypercalls: u32,
+    /// Simulated hypercalls issued by the resume path (vCPU reschedule,
+    /// device wake; Table 1 measures ~1.5–2 ms).
+    pub resume_hypercalls: u32,
+    /// Keep the backup on a *remote* host (§4.1: "If users desire both
+    /// high availability and security, CRIMES could be configured to
+    /// perform remote checkpoints"). Dirty pages then always travel the
+    /// socket+cipher pipeline, whatever the optimisation level — the
+    /// mapping and bitmap-scan optimisations still apply.
+    pub remote_backup: bool,
+    /// Checkpoint-history depth (≥ 1).
+    pub history_depth: usize,
+    /// Retain full frame images in history records (memory-expensive).
+    pub retain_history_images: bool,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            opt: OptLevel::Full,
+            hypercall_steps: HypercallModel::DEFAULT_STEPS,
+            suspend_hypercalls: 1_500,
+            resume_hypercalls: 2_200,
+            remote_backup: false,
+            history_depth: 1,
+            retain_history_images: false,
+        }
+    }
+}
+
+/// What happened during one epoch's pause window.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Epoch number (number of committed checkpoints before this one).
+    pub epoch: u64,
+    /// Audit outcome.
+    pub verdict: AuditVerdict,
+    /// Per-phase wall-clock timings.
+    pub timings: PhaseTimings,
+    /// Dirty pages found this epoch.
+    pub dirty_pages: usize,
+    /// Copy-phase statistics (zero when the audit failed).
+    pub copy: CopyStats,
+}
+
+/// The CRIMES checkpoint engine for one VM.
+#[derive(Debug)]
+pub struct Checkpointer {
+    config: CheckpointConfig,
+    backup: BackupVm,
+    mapper: Mapper,
+    socket: SocketCopier,
+    memcpy: MemcpyCopier,
+    history: CheckpointHistory,
+    stats: BreakdownStats,
+    init_time: Duration,
+    /// Hypercall cost model for the suspend/resume machinery (separate
+    /// from the mapper's, which per-epoch strategies drive much harder).
+    sched: HypercallModel,
+}
+
+impl Checkpointer {
+    /// Create the engine, performing the initial full synchronisation with
+    /// `vm` (and, for pre-mapped levels, the one-time global map load).
+    pub fn new(vm: &Vm, config: CheckpointConfig) -> Self {
+        let t0 = Instant::now();
+        let backup = BackupVm::new(vm);
+        let mapper = Mapper::new(
+            vm,
+            config.opt.mapping_strategy(),
+            HypercallModel::new(config.hypercall_steps),
+        );
+        let init_time = t0.elapsed();
+        Checkpointer {
+            config,
+            backup,
+            mapper,
+            socket: SocketCopier::new(0xc1e4_0000_5ec5),
+            memcpy: MemcpyCopier,
+            history: CheckpointHistory::new(config.history_depth, config.retain_history_images),
+            stats: BreakdownStats::new(),
+            init_time,
+            sched: HypercallModel::new(config.hypercall_steps),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &CheckpointConfig {
+        &self.config
+    }
+
+    /// One-time initialisation cost (full sync + global map load).
+    pub fn init_time(&self) -> Duration {
+        self.init_time
+    }
+
+    /// The current clean backup image.
+    pub fn backup(&self) -> &BackupVm {
+        &self.backup
+    }
+
+    /// Committed-checkpoint history.
+    pub fn history(&self) -> &CheckpointHistory {
+        &self.history
+    }
+
+    /// Accumulated phase statistics.
+    pub fn stats(&self) -> &BreakdownStats {
+        &self.stats
+    }
+
+    /// Simulated map/unmap hypercalls issued so far (zero for pre-mapped
+    /// levels) — the deterministic counterpart of the map-phase timing.
+    pub fn map_hypercalls(&self) -> u64 {
+        self.mapper.hypercalls_issued()
+    }
+
+    /// Execute one pause window: suspend, audit, and (on a passing audit)
+    /// checkpoint and resume. On a failing audit the VM is left suspended
+    /// and the backup untouched.
+    ///
+    /// `audit` receives the VM (paused) and the epoch's dirty bitmap.
+    pub fn run_epoch(
+        &mut self,
+        vm: &mut Vm,
+        audit: &mut dyn FnMut(&Vm, &DirtyBitmap) -> AuditVerdict,
+    ) -> EpochReport {
+        let mut timings = PhaseTimings::default();
+        let epoch = self.backup.epoch();
+
+        // --- suspend: pause vCPUs, save their state, grab the dirty log --
+        let t = Instant::now();
+        for _ in 0..self.config.suspend_hypercalls + 2 * vm.vcpus().len() as u32 {
+            self.sched.call();
+        }
+        vm.vcpus_mut().pause_all();
+        self.backup.save_vcpus(vm.vcpus());
+        let dirty = vm.memory_mut().take_dirty();
+        timings.suspend = t.elapsed();
+
+        // --- vmi: the security audit ------------------------------------
+        let t = Instant::now();
+        let verdict = audit(vm, &dirty);
+        timings.vmi = t.elapsed();
+
+        if verdict == AuditVerdict::Fail {
+            // VM stays suspended; backup remains the last clean snapshot.
+            let report = EpochReport {
+                epoch,
+                verdict,
+                timings,
+                dirty_pages: dirty.count(),
+                copy: CopyStats::default(),
+            };
+            self.stats.record(&report.timings);
+            return report;
+        }
+
+        // --- bitscan ------------------------------------------------------
+        let t = Instant::now();
+        let dirty_pfns: Vec<Pfn> = self.config.opt.bitmap_scan().scan(&dirty);
+        timings.bitscan = t.elapsed();
+
+        // --- map ------------------------------------------------------------
+        let t = Instant::now();
+        let mapped = self.mapper.map_epoch(vm, &dirty_pfns);
+        timings.map = t.elapsed();
+
+        // --- copy -----------------------------------------------------------
+        let t = Instant::now();
+        let strategy = if self.config.remote_backup {
+            CopyStrategy::Socket
+        } else {
+            self.config.opt.copy_strategy()
+        };
+        let copy = match strategy {
+            CopyStrategy::Socket => self.socket.copy_epoch(vm, &mut self.backup, &mapped),
+            CopyStrategy::Memcpy => self.memcpy.copy_epoch(vm, &mut self.backup, &mapped),
+        };
+        // Disk-snapshot extension (§3.1): propagate the epoch's dirty
+        // sectors alongside the dirty pages.
+        let dirty_sectors = vm.disk_mut().take_dirty();
+        for sector in dirty_sectors.iter() {
+            let data = vm.disk().read_sector(sector.0).to_vec();
+            self.backup.apply_sector(sector.0, &data);
+        }
+        timings.copy = t.elapsed();
+
+        // --- resume (includes the per-epoch unmap on Remus-style paths) --
+        let t = Instant::now();
+        self.mapper.unmap_epoch(&mapped);
+        for _ in 0..self.config.resume_hypercalls + 2 * vm.vcpus().len() as u32 {
+            self.sched.call();
+        }
+        vm.vcpus_mut().resume_all();
+        timings.resume = t.elapsed();
+
+        self.backup.commit_epoch();
+        self.history.push(CheckpointRecord {
+            epoch: self.backup.epoch(),
+            guest_time_ns: vm.now_ns(),
+            dirty_pages: dirty_pfns.len(),
+            frames: self
+                .history
+                .retains_images()
+                .then(|| Arc::new(self.backup.frames().to_vec())),
+        });
+
+        let report = EpochReport {
+            epoch,
+            verdict,
+            timings,
+            dirty_pages: dirty_pfns.len(),
+            copy,
+        };
+        self.stats.record(&report.timings);
+        report
+    }
+
+    /// Roll the VM back to the last clean checkpoint: backup frames plus
+    /// the caller-provided bookkeeping snapshot captured at the same
+    /// commit.
+    pub fn rollback(&self, vm: &mut Vm, meta: &MetaSnapshot) {
+        vm.restore_with_frames(self.backup.frames(), meta);
+        self.backup.restore_disk_into(vm.disk_mut());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm() -> Vm {
+        let mut b = Vm::builder();
+        b.pages(2048).seed(77);
+        b.build()
+    }
+
+    fn pass_audit() -> impl FnMut(&Vm, &DirtyBitmap) -> AuditVerdict {
+        |_vm, _d| AuditVerdict::Pass
+    }
+
+    #[test]
+    fn opt_level_strategy_matrix_matches_paper() {
+        use crate::bitmap::BitmapScan;
+        assert_eq!(OptLevel::NoOpt.copy_strategy(), CopyStrategy::Socket);
+        assert_eq!(OptLevel::Memcpy.copy_strategy(), CopyStrategy::Memcpy);
+        assert_eq!(
+            OptLevel::NoOpt.mapping_strategy(),
+            MappingStrategy::PerEpochPrimary
+        );
+        assert_eq!(
+            OptLevel::Memcpy.mapping_strategy(),
+            MappingStrategy::PerEpochPrimaryAndBackup
+        );
+        assert_eq!(OptLevel::PreMap.mapping_strategy(), MappingStrategy::Global);
+        assert_eq!(OptLevel::Full.bitmap_scan(), BitmapScan::WordWise);
+        assert_eq!(OptLevel::PreMap.bitmap_scan(), BitmapScan::BitByBit);
+    }
+
+    #[test]
+    fn passing_epoch_commits_and_resumes() {
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 16).unwrap();
+        let mut cp = Checkpointer::new(&vm, CheckpointConfig::default());
+        for i in 0..4 {
+            vm.dirty_arena_page(pid, i, 0, 1).unwrap();
+        }
+        let report = cp.run_epoch(&mut vm, &mut pass_audit());
+        assert_eq!(report.verdict, AuditVerdict::Pass);
+        assert!(report.dirty_pages >= 4);
+        assert_eq!(report.copy.pages, report.dirty_pages);
+        assert!(!vm.vcpus().all_paused(), "VM resumes after a pass");
+        assert_eq!(cp.backup().epoch(), 1);
+        assert!(vm.memory().dirty().is_empty(), "dirty log consumed");
+    }
+
+    #[test]
+    fn backup_matches_primary_after_each_epoch() {
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 32).unwrap();
+        for opt in OptLevel::ALL {
+            let mut cp = Checkpointer::new(
+                &vm,
+                CheckpointConfig {
+                    opt,
+                    ..CheckpointConfig::default()
+                },
+            );
+            for e in 0..3 {
+                for i in 0..8 {
+                    vm.dirty_arena_page(pid, (e * 8 + i) % 32, i, e as u8)
+                        .unwrap();
+                }
+                cp.run_epoch(&mut vm, &mut pass_audit());
+                assert_eq!(
+                    cp.backup().frames(),
+                    vm.memory().dump_frames().as_slice(),
+                    "backup diverged at {opt} epoch {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failing_audit_leaves_vm_suspended_and_backup_clean() {
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 16).unwrap();
+        let mut cp = Checkpointer::new(&vm, CheckpointConfig::default());
+        let clean = cp.backup().frames().to_vec();
+        vm.dirty_arena_page(pid, 0, 0, 0xbad_u16 as u8).unwrap();
+        let report = cp.run_epoch(&mut vm, &mut |_, _| AuditVerdict::Fail);
+        assert_eq!(report.verdict, AuditVerdict::Fail);
+        assert!(vm.vcpus().all_paused(), "VM must stay paused on failure");
+        assert_eq!(cp.backup().epoch(), 0, "no commit on failure");
+        assert_eq!(cp.backup().frames(), clean.as_slice());
+        assert_eq!(report.copy.pages, 0);
+    }
+
+    #[test]
+    fn rollback_restores_clean_state() {
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 16).unwrap();
+        let obj = vm.malloc(pid, 32).unwrap();
+        vm.write_user(pid, obj, b"clean!", 0).unwrap();
+        let mut cp = Checkpointer::new(&vm, CheckpointConfig::default());
+        let meta = vm.meta_snapshot();
+        cp.run_epoch(&mut vm, &mut pass_audit());
+
+        // Attack epoch.
+        vm.write_user(pid, obj, b"PWNED!", 0xbad).unwrap();
+        let report = cp.run_epoch(&mut vm, &mut |_, _| AuditVerdict::Fail);
+        assert_eq!(report.verdict, AuditVerdict::Fail);
+
+        cp.rollback(&mut vm, &meta);
+        let mut buf = [0u8; 6];
+        vm.read_user(pid, obj, &mut buf).unwrap();
+        assert_eq!(&buf, b"clean!");
+    }
+
+    #[test]
+    fn audit_sees_the_epoch_dirty_bitmap() {
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 16).unwrap();
+        let mut cp = Checkpointer::new(&vm, CheckpointConfig::default());
+        vm.dirty_arena_page(pid, 7, 0, 1).unwrap();
+        let phys = vm.processes().get(pid).unwrap().mapping.phys_base;
+        let expect = Pfn(phys.0 / crimes_vm::PAGE_SIZE as u64 + 7);
+        let mut seen = 0usize;
+        cp.run_epoch(&mut vm, &mut |_vm, dirty| {
+            seen = dirty.count();
+            assert!(dirty.is_dirty(expect));
+            AuditVerdict::Pass
+        });
+        assert!(seen >= 1);
+    }
+
+    #[test]
+    fn history_records_commits() {
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 16).unwrap();
+        let mut cp = Checkpointer::new(
+            &vm,
+            CheckpointConfig {
+                history_depth: 2,
+                ..CheckpointConfig::default()
+            },
+        );
+        for e in 0..3u64 {
+            vm.advance_time(10);
+            vm.dirty_arena_page(pid, e as usize, 0, 1).unwrap();
+            cp.run_epoch(&mut vm, &mut pass_audit());
+        }
+        assert_eq!(cp.history().len(), 2);
+        assert_eq!(cp.history().latest().unwrap().epoch, 3);
+    }
+
+    #[test]
+    fn history_images_retained_when_enabled() {
+        let mut vm = vm();
+        let mut cp = Checkpointer::new(
+            &vm,
+            CheckpointConfig {
+                retain_history_images: true,
+                ..CheckpointConfig::default()
+            },
+        );
+        cp.run_epoch(&mut vm, &mut pass_audit());
+        let rec = cp.history().latest().unwrap();
+        assert!(rec.frames.is_some());
+        assert_eq!(
+            rec.frames.as_ref().unwrap().as_slice(),
+            vm.memory().dump_frames().as_slice()
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_across_epochs() {
+        let mut vm = vm();
+        let mut cp = Checkpointer::new(&vm, CheckpointConfig::default());
+        cp.run_epoch(&mut vm, &mut pass_audit());
+        cp.run_epoch(&mut vm, &mut pass_audit());
+        assert_eq!(cp.stats().epochs(), 2);
+        assert!(cp.stats().mean().is_some());
+    }
+
+    #[test]
+    fn opt_labels_match_figures() {
+        let labels: Vec<&str> = OptLevel::ALL.iter().map(|o| o.label()).collect();
+        assert_eq!(labels, vec!["No-opt", "Memcpy", "Pre-map", "Full"]);
+    }
+
+    #[test]
+    fn remote_backup_forces_socket_copy_but_keeps_other_opts() {
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 32).unwrap();
+        let mk = |remote| CheckpointConfig {
+            opt: OptLevel::Full,
+            remote_backup: remote,
+            ..CheckpointConfig::default()
+        };
+        let run = |vm: &mut Vm, cfg| {
+            let mut cp = Checkpointer::new(vm, cfg);
+            for i in 0..32 {
+                vm.dirty_arena_page(pid, i, 0, 1).unwrap();
+            }
+            let report = cp.run_epoch(vm, &mut |_, _| AuditVerdict::Pass);
+            // Backup stays consistent over either path.
+            assert_eq!(cp.backup().frames(), vm.memory().dump_frames().as_slice());
+            report
+        };
+        let local = run(&mut vm, mk(false));
+        let remote = run(&mut vm, mk(true));
+        assert!(
+            remote.copy.syscalls > 0,
+            "remote copies must travel the socket"
+        );
+        assert_eq!(local.copy.syscalls, 0, "local Full path is pure memcpy");
+        // The pre-map and word-scan optimisations still apply remotely.
+        assert!(remote.timings.map < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn init_time_is_measured() {
+        let vm = vm();
+        let cp = Checkpointer::new(&vm, CheckpointConfig::default());
+        assert!(cp.init_time() > Duration::ZERO);
+    }
+}

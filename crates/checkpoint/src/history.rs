@@ -1,0 +1,156 @@
+//! Checkpoint history (paper extension).
+//!
+//! The CRIMES prototype "only maintains the most recent checkpoint,
+//! however, CRIMES could be extended to include a history of checkpoints
+//! that would facilitate forensic analysis" (§3.1). This module is that
+//! extension: a bounded ring of committed checkpoints, optionally retaining
+//! full frame images for deep time-travel forensics.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One committed checkpoint's record.
+#[derive(Debug, Clone)]
+pub struct CheckpointRecord {
+    /// Epoch number at commit.
+    pub epoch: u64,
+    /// Simulated guest time at commit.
+    pub guest_time_ns: u64,
+    /// Dirty pages committed by this checkpoint.
+    pub dirty_pages: usize,
+    /// Full frame image, when image retention is enabled. Shared so that
+    /// handing records to forensic tooling never copies 32 MiB by accident.
+    pub frames: Option<Arc<Vec<u8>>>,
+}
+
+/// A bounded ring of committed checkpoints, newest last.
+#[derive(Debug, Clone)]
+pub struct CheckpointHistory {
+    records: VecDeque<CheckpointRecord>,
+    depth: usize,
+    retain_images: bool,
+}
+
+impl CheckpointHistory {
+    /// Keep at most `depth` records. When `retain_images` is set, each
+    /// record carries a full frame image (doubling per-checkpoint memory
+    /// cost — the same trade-off §3.3 describes for the backup VM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize, retain_images: bool) -> Self {
+        assert!(depth > 0, "history depth must be at least 1");
+        CheckpointHistory {
+            records: VecDeque::with_capacity(depth),
+            depth,
+            retain_images,
+        }
+    }
+
+    /// Whether images are retained.
+    pub fn retains_images(&self) -> bool {
+        self.retain_images
+    }
+
+    /// Maximum records kept.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Append a record, evicting the oldest when full.
+    pub fn push(&mut self, record: CheckpointRecord) {
+        if self.records.len() == self.depth {
+            self.records.pop_front();
+        }
+        self.records.push_back(record);
+    }
+
+    /// The most recent record.
+    pub fn latest(&self) -> Option<&CheckpointRecord> {
+        self.records.back()
+    }
+
+    /// Records from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &CheckpointRecord> {
+        self.records.iter()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` before the first commit.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Find the newest record at or before `guest_time_ns` — "roll back to
+    /// just before the attack started".
+    pub fn newest_at_or_before(&self, guest_time_ns: u64) -> Option<&CheckpointRecord> {
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.guest_time_ns <= guest_time_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(epoch: u64, t: u64) -> CheckpointRecord {
+        CheckpointRecord {
+            epoch,
+            guest_time_ns: t,
+            dirty_pages: 0,
+            frames: None,
+        }
+    }
+
+    #[test]
+    fn push_evicts_oldest_at_depth() {
+        let mut h = CheckpointHistory::new(2, false);
+        h.push(rec(1, 10));
+        h.push(rec(2, 20));
+        h.push(rec(3, 30));
+        assert_eq!(h.len(), 2);
+        let epochs: Vec<u64> = h.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![2, 3]);
+    }
+
+    #[test]
+    fn latest_is_newest() {
+        let mut h = CheckpointHistory::new(3, false);
+        assert!(h.latest().is_none());
+        assert!(h.is_empty());
+        h.push(rec(1, 10));
+        h.push(rec(2, 20));
+        assert_eq!(h.latest().unwrap().epoch, 2);
+    }
+
+    #[test]
+    fn newest_at_or_before_finds_covering_checkpoint() {
+        let mut h = CheckpointHistory::new(4, false);
+        h.push(rec(1, 10));
+        h.push(rec(2, 20));
+        h.push(rec(3, 30));
+        assert_eq!(h.newest_at_or_before(25).unwrap().epoch, 2);
+        assert_eq!(h.newest_at_or_before(30).unwrap().epoch, 3);
+        assert!(h.newest_at_or_before(5).is_none());
+    }
+
+    #[test]
+    fn retain_flag_is_exposed() {
+        assert!(CheckpointHistory::new(1, true).retains_images());
+        assert!(!CheckpointHistory::new(1, false).retains_images());
+        assert_eq!(CheckpointHistory::new(7, false).depth(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_depth_panics() {
+        CheckpointHistory::new(0, false);
+    }
+}

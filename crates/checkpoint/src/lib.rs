@@ -1,0 +1,52 @@
+//! # crimes-checkpoint — continuous checkpointing with security audits
+//!
+//! A from-scratch reimplementation of the checkpointing layer CRIMES builds
+//! on Xen's Remus, over the `crimes-vm` substrate:
+//!
+//! * a local [`BackupVm`] image updated with each epoch's dirty pages,
+//! * the unoptimised Remus pipeline (socket + cipher copy, per-epoch
+//!   PFN→MFN mapping, bit-by-bit dirty scans), and
+//! * the paper's three optimisations — in-memory `memcpy`, global
+//!   pre-mapping, and word-wise bitmap scanning (§4.1) — selectable via
+//!   [`OptLevel`] so every figure comparing them can be regenerated,
+//! * per-phase timing probes matching Table 1 / Figure 4's rows,
+//! * a checkpoint [`history`] ring (the paper's proposed extension).
+//!
+//! # Example
+//!
+//! ```
+//! use crimes_checkpoint::{AuditVerdict, CheckpointConfig, Checkpointer};
+//! use crimes_vm::Vm;
+//!
+//! # fn main() -> Result<(), crimes_vm::VmError> {
+//! let mut builder = Vm::builder();
+//! builder.pages(2048);
+//! let mut vm = builder.build();
+//! let pid = vm.spawn_process("app", 0, 16)?;
+//!
+//! let mut cp = Checkpointer::new(&vm, CheckpointConfig::default());
+//! vm.dirty_arena_page(pid, 0, 0, 1)?;
+//! let report = cp.run_epoch(&mut vm, &mut |_vm, _dirty| AuditVerdict::Pass);
+//! assert_eq!(report.verdict, AuditVerdict::Pass);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backup;
+pub mod bitmap;
+pub mod copy;
+pub mod engine;
+pub mod history;
+pub mod mapping;
+pub mod probe;
+
+pub use backup::BackupVm;
+pub use bitmap::{scan_bit_by_bit, scan_wordwise, BitmapScan};
+pub use copy::{CopyStats, CopyStrategy, MemcpyCopier, SocketCopier};
+pub use engine::{AuditVerdict, CheckpointConfig, Checkpointer, EpochReport, OptLevel};
+pub use history::{CheckpointHistory, CheckpointRecord};
+pub use mapping::{HypercallModel, MappedPage, Mapper, MappingStrategy};
+pub use probe::{BreakdownStats, Phase, PhaseTimings};

@@ -1,0 +1,236 @@
+//! Phase-timing probes for the checkpoint pause window.
+//!
+//! Table 1 and Figure 4 of the paper break the VM's paused time into six
+//! phases — suspend, vmi, bitscan, map, copy, resume. [`PhaseTimings`]
+//! carries one epoch's measurements; [`BreakdownStats`] accumulates across
+//! epochs and reports means, regenerating those rows.
+
+use std::fmt;
+use std::time::Duration;
+
+/// The six phases of the pause window, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Pause vCPUs and fetch the dirty log.
+    Suspend,
+    /// The security audit (VM introspection scan).
+    Vmi,
+    /// Scan the dirty bitmap into a page list.
+    Bitscan,
+    /// Map the frames to copy.
+    Map,
+    /// Propagate dirty pages to the backup.
+    Copy,
+    /// Unpause vCPUs.
+    Resume,
+}
+
+impl Phase {
+    /// All phases in order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Suspend,
+        Phase::Vmi,
+        Phase::Bitscan,
+        Phase::Map,
+        Phase::Copy,
+        Phase::Resume,
+    ];
+
+    /// The row label the paper uses.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Suspend => "suspend",
+            Phase::Vmi => "vmi",
+            Phase::Bitscan => "bitscan",
+            Phase::Map => "map",
+            Phase::Copy => "copy",
+            Phase::Resume => "resume",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One epoch's pause-window timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTimings {
+    /// Time pausing vCPUs and grabbing the dirty log.
+    pub suspend: Duration,
+    /// Time in the security audit.
+    pub vmi: Duration,
+    /// Time scanning the dirty bitmap.
+    pub bitscan: Duration,
+    /// Time mapping frames.
+    pub map: Duration,
+    /// Time copying pages to the backup.
+    pub copy: Duration,
+    /// Time resuming vCPUs.
+    pub resume: Duration,
+}
+
+impl PhaseTimings {
+    /// Total paused time this epoch.
+    pub fn total(&self) -> Duration {
+        self.suspend + self.vmi + self.bitscan + self.map + self.copy + self.resume
+    }
+
+    /// Read one phase.
+    pub fn get(&self, phase: Phase) -> Duration {
+        match phase {
+            Phase::Suspend => self.suspend,
+            Phase::Vmi => self.vmi,
+            Phase::Bitscan => self.bitscan,
+            Phase::Map => self.map,
+            Phase::Copy => self.copy,
+            Phase::Resume => self.resume,
+        }
+    }
+
+    /// Write one phase.
+    pub fn set(&mut self, phase: Phase, d: Duration) {
+        match phase {
+            Phase::Suspend => self.suspend = d,
+            Phase::Vmi => self.vmi = d,
+            Phase::Bitscan => self.bitscan = d,
+            Phase::Map => self.map = d,
+            Phase::Copy => self.copy = d,
+            Phase::Resume => self.resume = d,
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &PhaseTimings) -> PhaseTimings {
+        PhaseTimings {
+            suspend: self.suspend + other.suspend,
+            vmi: self.vmi + other.vmi,
+            bitscan: self.bitscan + other.bitscan,
+            map: self.map + other.map,
+            copy: self.copy + other.copy,
+            resume: self.resume + other.resume,
+        }
+    }
+
+    /// Element-wise division by a count (for means).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn div(&self, n: u32) -> PhaseTimings {
+        assert!(n > 0, "cannot average over zero epochs");
+        PhaseTimings {
+            suspend: self.suspend / n,
+            vmi: self.vmi / n,
+            bitscan: self.bitscan / n,
+            map: self.map / n,
+            copy: self.copy / n,
+            resume: self.resume / n,
+        }
+    }
+}
+
+/// Accumulates [`PhaseTimings`] across epochs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BreakdownStats {
+    sum: PhaseTimings,
+    epochs: u32,
+}
+
+impl BreakdownStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        BreakdownStats::default()
+    }
+
+    /// Record one epoch.
+    pub fn record(&mut self, t: &PhaseTimings) {
+        self.sum = self.sum.add(t);
+        self.epochs += 1;
+    }
+
+    /// Number of epochs recorded.
+    pub fn epochs(&self) -> u32 {
+        self.epochs
+    }
+
+    /// Sum across all epochs.
+    pub fn sum(&self) -> PhaseTimings {
+        self.sum
+    }
+
+    /// Mean per epoch, or `None` before any epoch is recorded.
+    pub fn mean(&self) -> Option<PhaseTimings> {
+        (self.epochs > 0).then(|| self.sum.div(self.epochs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn sample() -> PhaseTimings {
+        PhaseTimings {
+            suspend: ms(1),
+            vmi: ms(2),
+            bitscan: ms(3),
+            map: ms(4),
+            copy: ms(5),
+            resume: ms(6),
+        }
+    }
+
+    #[test]
+    fn total_sums_all_phases() {
+        assert_eq!(sample().total(), ms(21));
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = PhaseTimings::default();
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            t.set(*phase, ms(i as u64 + 1));
+        }
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            assert_eq!(t.get(*phase), ms(i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn add_then_div_recovers_mean() {
+        let doubled = sample().add(&sample());
+        assert_eq!(doubled.div(2), sample());
+    }
+
+    #[test]
+    fn stats_mean_over_epochs() {
+        let mut s = BreakdownStats::new();
+        assert!(s.mean().is_none());
+        s.record(&sample());
+        s.record(&sample());
+        assert_eq!(s.epochs(), 2);
+        assert_eq!(s.mean().unwrap(), sample());
+        assert_eq!(s.sum().total(), ms(42));
+    }
+
+    #[test]
+    fn phase_labels_match_paper_rows() {
+        let labels: Vec<&str> = Phase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["suspend", "vmi", "bitscan", "map", "copy", "resume"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero epochs")]
+    fn div_by_zero_panics() {
+        sample().div(0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Framework configuration.
+//!
+//! The epoch interval and safety mode are the two knobs the paper tells
+//! operators to tune per workload (§3.1, §5.4): CPU-bound VMs want long
+//! intervals (~200 ms); latency-sensitive VMs want 10–20 ms intervals or
+//! Best-Effort safety.
+
+use crimes_checkpoint::{CheckpointConfig, OptLevel};
+use crimes_outbuf::SafetyMode;
+
+/// Configuration of one CRIMES-protected VM.
+#[derive(Debug, Clone, Copy)]
+pub struct CrimesConfig {
+    /// Speculative-execution epoch length in milliseconds.
+    pub epoch_interval_ms: u64,
+    /// Output-buffering policy.
+    pub safety: SafetyMode,
+    /// Checkpoint engine configuration.
+    pub checkpoint: CheckpointConfig,
+}
+
+impl Default for CrimesConfig {
+    fn default() -> Self {
+        CrimesConfig {
+            epoch_interval_ms: 200,
+            safety: SafetyMode::Synchronous,
+            checkpoint: CheckpointConfig::default(),
+        }
+    }
+}
+
+impl CrimesConfig {
+    /// Start building a configuration.
+    pub fn builder() -> CrimesConfigBuilder {
+        CrimesConfigBuilder {
+            config: CrimesConfig::default(),
+        }
+    }
+
+    /// The paper's latency-sensitive preset: 20 ms epochs, synchronous
+    /// safety, full optimisations.
+    pub fn latency_sensitive() -> Self {
+        CrimesConfig {
+            epoch_interval_ms: 20,
+            ..CrimesConfig::default()
+        }
+    }
+
+    /// The paper's CPU-bound preset: 200 ms epochs.
+    pub fn cpu_bound() -> Self {
+        CrimesConfig::default()
+    }
+}
+
+/// Builder for [`CrimesConfig`].
+#[derive(Debug, Clone)]
+pub struct CrimesConfigBuilder {
+    config: CrimesConfig,
+}
+
+impl CrimesConfigBuilder {
+    /// Epoch interval in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is zero.
+    pub fn epoch_interval_ms(&mut self, ms: u64) -> &mut Self {
+        assert!(ms > 0, "epoch interval must be positive");
+        self.config.epoch_interval_ms = ms;
+        self
+    }
+
+    /// Output-buffering policy.
+    pub fn safety(&mut self, mode: SafetyMode) -> &mut Self {
+        self.config.safety = mode;
+        self
+    }
+
+    /// Checkpoint optimisation level.
+    pub fn opt_level(&mut self, opt: OptLevel) -> &mut Self {
+        self.config.checkpoint.opt = opt;
+        self
+    }
+
+    /// Checkpoint-history depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn history_depth(&mut self, depth: usize) -> &mut Self {
+        assert!(depth > 0, "history depth must be at least 1");
+        self.config.checkpoint.history_depth = depth;
+        self
+    }
+
+    /// Retain full images in the checkpoint history (memory-expensive).
+    pub fn retain_history_images(&mut self, retain: bool) -> &mut Self {
+        self.config.checkpoint.retain_history_images = retain;
+        self
+    }
+
+    /// Finish.
+    pub fn build(&self) -> CrimesConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_cpu_bound_preset() {
+        let c = CrimesConfig::default();
+        assert_eq!(c.epoch_interval_ms, 200);
+        assert_eq!(c.safety, SafetyMode::Synchronous);
+        assert_eq!(c.checkpoint.opt, OptLevel::Full);
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let mut b = CrimesConfig::builder();
+        b.epoch_interval_ms(20)
+            .safety(SafetyMode::BestEffort)
+            .opt_level(OptLevel::NoOpt)
+            .history_depth(3)
+            .retain_history_images(true);
+        let c = b.build();
+        assert_eq!(c.epoch_interval_ms, 20);
+        assert_eq!(c.safety, SafetyMode::BestEffort);
+        assert_eq!(c.checkpoint.opt, OptLevel::NoOpt);
+        assert_eq!(c.checkpoint.history_depth, 3);
+        assert!(c.checkpoint.retain_history_images);
+    }
+
+    #[test]
+    fn presets_differ_in_interval() {
+        assert_eq!(CrimesConfig::latency_sensitive().epoch_interval_ms, 20);
+        assert_eq!(CrimesConfig::cpu_bound().epoch_interval_ms, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        CrimesConfig::builder().epoch_interval_ms(0);
+    }
+}

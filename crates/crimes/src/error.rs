@@ -1,0 +1,62 @@
+//! Framework-level errors.
+
+use crimes_vm::VmError;
+use crimes_vmi::VmiError;
+
+/// Errors surfaced by the CRIMES framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrimesError {
+    /// A guest operation failed.
+    Vm(VmError),
+    /// Introspection failed.
+    Vmi(VmiError),
+    /// The framework was asked to act in an invalid state (e.g. resume a
+    /// VM that has no pending incident).
+    InvalidState(&'static str),
+}
+
+impl std::fmt::Display for CrimesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrimesError::Vm(e) => write!(f, "vm: {e}"),
+            CrimesError::Vmi(e) => write!(f, "vmi: {e}"),
+            CrimesError::InvalidState(s) => write!(f, "invalid state: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CrimesError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CrimesError::Vm(e) => Some(e),
+            CrimesError::Vmi(e) => Some(e),
+            CrimesError::InvalidState(_) => None,
+        }
+    }
+}
+
+impl From<VmError> for CrimesError {
+    fn from(e: VmError) -> Self {
+        CrimesError::Vm(e)
+    }
+}
+
+impl From<VmiError> for CrimesError {
+    fn from(e: VmiError) -> Self {
+        CrimesError::Vmi(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = CrimesError::Vmi(VmiError::NoSuchTask(3));
+        assert!(!e.to_string().is_empty());
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CrimesError::InvalidState("nope");
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,290 @@
+//! Multi-VM fleet management.
+//!
+//! The paper's premise is cloud scale: "Today's clouds run many thousands
+//! of VMs" and security should be an infrastructure-level service with
+//! "zero-touch" management (§2). [`Fleet`] is that service surface: many
+//! independently configured [`Crimes`]-protected VMs behind one handle,
+//! with staggered epoch driving, an incident queue, and aggregate
+//! statistics — one tenant's compromise never blocks another's epochs.
+
+use std::collections::BTreeMap;
+
+use crimes_vm::{Vm, VmError};
+
+use crate::analyzer::Analysis;
+use crate::config::CrimesConfig;
+use crate::error::CrimesError;
+use crate::framework::{Crimes, EpochOutcome};
+
+/// Summary of one fleet-wide epoch round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetEpochSummary {
+    /// VMs whose epoch committed.
+    pub committed: Vec<String>,
+    /// VMs whose audit failed this round (now pending investigation).
+    pub new_incidents: Vec<String>,
+    /// VMs skipped because an incident is already pending.
+    pub skipped_pending: Vec<String>,
+}
+
+/// Aggregate fleet statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Committed epochs across all VMs, lifetime.
+    pub committed_epochs: u64,
+    /// Incidents detected, lifetime.
+    pub incidents_detected: u64,
+    /// Incidents resolved (rolled back), lifetime.
+    pub incidents_resolved: u64,
+}
+
+/// A fleet of protected VMs, keyed by tenant-visible name.
+#[derive(Debug, Default)]
+pub struct Fleet {
+    vms: BTreeMap<String, Crimes>,
+    stats: FleetStats,
+}
+
+impl Fleet {
+    /// An empty fleet.
+    pub fn new() -> Self {
+        Fleet::default()
+    }
+
+    /// Protect `vm` under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is taken or protection cannot initialise.
+    pub fn add_vm(
+        &mut self,
+        name: &str,
+        vm: Vm,
+        config: CrimesConfig,
+    ) -> Result<&mut Crimes, CrimesError> {
+        if self.vms.contains_key(name) {
+            return Err(CrimesError::InvalidState("vm name already in use"));
+        }
+        let crimes = Crimes::protect(vm, config)?;
+        Ok(self.vms.entry(name.to_owned()).or_insert(crimes))
+    }
+
+    /// Stop protecting a VM, returning its framework (and guest).
+    pub fn remove_vm(&mut self, name: &str) -> Option<Crimes> {
+        self.vms.remove(name)
+    }
+
+    /// Access a protected VM.
+    pub fn get(&self, name: &str) -> Option<&Crimes> {
+        self.vms.get(name)
+    }
+
+    /// Mutable access to a protected VM.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Crimes> {
+        self.vms.get_mut(name)
+    }
+
+    /// Tenant names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.vms.keys().map(String::as_str).collect()
+    }
+
+    /// Number of protected VMs.
+    pub fn len(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// `true` when no VM is protected.
+    pub fn is_empty(&self) -> bool {
+        self.vms.is_empty()
+    }
+
+    /// Names of VMs awaiting investigation/rollback.
+    pub fn pending_incidents(&self) -> Vec<&str> {
+        self.vms
+            .iter()
+            .filter(|(_, c)| c.has_pending_incident())
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// Drive one epoch on every healthy VM. `work` runs each tenant's
+    /// guest for its configured interval; VMs with pending incidents are
+    /// skipped (their state is frozen for forensics), so one tenant's
+    /// compromise never stalls the rest of the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first guest/introspection error; prior VMs in the
+    /// round keep whatever progress they made.
+    pub fn run_epoch_round<W>(&mut self, mut work: W) -> Result<FleetEpochSummary, CrimesError>
+    where
+        W: FnMut(&str, &mut Vm, u64) -> Result<(), VmError>,
+    {
+        let mut summary = FleetEpochSummary::default();
+        for (name, crimes) in &mut self.vms {
+            if crimes.has_pending_incident() {
+                summary.skipped_pending.push(name.clone());
+                continue;
+            }
+            let outcome = crimes.run_epoch(|vm, ms| work(name, vm, ms))?;
+            match outcome {
+                EpochOutcome::Committed { .. } => {
+                    self.stats.committed_epochs += 1;
+                    summary.committed.push(name.clone());
+                }
+                EpochOutcome::AttackDetected { .. } => {
+                    self.stats.incidents_detected += 1;
+                    summary.new_incidents.push(name.clone());
+                }
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Run the automated response for one pending incident.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown names or when no incident is pending there.
+    pub fn investigate(&mut self, name: &str) -> Result<Analysis, CrimesError> {
+        self.vms
+            .get_mut(name)
+            .ok_or(CrimesError::InvalidState("no such vm"))?
+            .investigate()
+    }
+
+    /// Resolve one pending incident: roll the VM back and resume it.
+    /// Returns the number of buffered outputs discarded.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown names or when no incident is pending there.
+    pub fn rollback_and_resume(&mut self, name: &str) -> Result<usize, CrimesError> {
+        let discarded = self
+            .vms
+            .get_mut(name)
+            .ok_or(CrimesError::InvalidState("no such vm"))?
+            .rollback_and_resume()?;
+        self.stats.incidents_resolved += 1;
+        Ok(discarded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::BlacklistScanModule;
+    use crimes_workloads::attacks;
+
+    fn guest(seed: u64) -> Vm {
+        let mut b = Vm::builder();
+        b.pages(4096).seed(seed);
+        b.build()
+    }
+
+    fn config() -> CrimesConfig {
+        let mut b = CrimesConfig::builder();
+        b.epoch_interval_ms(20);
+        b.build()
+    }
+
+    fn fleet_of(n: u64) -> Fleet {
+        let mut fleet = Fleet::new();
+        for i in 0..n {
+            let crimes = fleet
+                .add_vm(&format!("tenant-{i}"), guest(100 + i), config())
+                .unwrap();
+            crimes.register_module(Box::new(BlacklistScanModule::bundled()));
+        }
+        fleet
+    }
+
+    #[test]
+    fn round_commits_every_healthy_vm() {
+        let mut fleet = fleet_of(3);
+        assert_eq!(fleet.len(), 3);
+        let summary = fleet
+            .run_epoch_round(|_name, vm, ms| {
+                vm.advance_time(ms * 1_000_000);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(summary.committed.len(), 3);
+        assert!(summary.new_incidents.is_empty());
+        assert_eq!(fleet.stats().committed_epochs, 3);
+    }
+
+    #[test]
+    fn one_compromised_tenant_does_not_stall_the_rest() {
+        let mut fleet = fleet_of(3);
+        // tenant-1 gets hit this round.
+        let summary = fleet
+            .run_epoch_round(|name, vm, _| {
+                if name == "tenant-1" {
+                    attacks::inject_malware_launch(vm, "mirai")?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(summary.new_incidents, vec!["tenant-1".to_owned()]);
+        assert_eq!(summary.committed.len(), 2);
+        assert_eq!(fleet.pending_incidents(), vec!["tenant-1"]);
+
+        // Next round: the frozen tenant is skipped, others proceed.
+        let summary = fleet.run_epoch_round(|_, _, _| Ok(())).unwrap();
+        assert_eq!(summary.skipped_pending, vec!["tenant-1".to_owned()]);
+        assert_eq!(summary.committed.len(), 2);
+
+        // Zero-touch response, then the tenant rejoins.
+        let analysis = fleet.investigate("tenant-1").unwrap();
+        assert!(analysis.report.to_text().contains("mirai"));
+        fleet.rollback_and_resume("tenant-1").unwrap();
+        let summary = fleet.run_epoch_round(|_, _, _| Ok(())).unwrap();
+        assert_eq!(summary.committed.len(), 3);
+        assert_eq!(fleet.stats().incidents_detected, 1);
+        assert_eq!(fleet.stats().incidents_resolved, 1);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut fleet = Fleet::new();
+        fleet.add_vm("a", guest(1), config()).unwrap();
+        assert!(matches!(
+            fleet.add_vm("a", guest(2), config()),
+            Err(CrimesError::InvalidState(_))
+        ));
+    }
+
+    #[test]
+    fn remove_returns_the_framework() {
+        let mut fleet = fleet_of(1);
+        assert!(fleet.get("tenant-0").is_some());
+        let crimes = fleet.remove_vm("tenant-0").unwrap();
+        assert_eq!(crimes.committed_epochs(), 0);
+        assert!(fleet.is_empty());
+        assert!(fleet.remove_vm("tenant-0").is_none());
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let mut fleet = Fleet::new();
+        assert!(fleet.investigate("ghost").is_err());
+        assert!(fleet.rollback_and_resume("ghost").is_err());
+        assert!(fleet.get("ghost").is_none());
+        assert!(fleet.get_mut("ghost").is_none());
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut fleet = Fleet::new();
+        fleet.add_vm("zeta", guest(1), config()).unwrap();
+        fleet.add_vm("alpha", guest(2), config()).unwrap();
+        assert_eq!(fleet.names(), vec!["alpha", "zeta"]);
+    }
+}

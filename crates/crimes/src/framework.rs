@@ -1,0 +1,540 @@
+//! The [`Crimes`] framework: one protected VM's full lifecycle —
+//! speculative epochs, end-of-epoch audits, output release/discard, and
+//! incident handling (Figures 1 and 2).
+
+use crimes_checkpoint::{AuditVerdict, Checkpointer, EpochReport};
+use crimes_outbuf::{BufferStats, Output, OutputBuffer, OutputScanner};
+use crimes_vm::{MetaSnapshot, TraceMark, Vm, VmError};
+use crimes_vmi::VmiSession;
+
+use crate::analyzer::{Analysis, Analyzer};
+use crate::async_scan::{AsyncScanResult, AsyncScanner};
+use crate::config::CrimesConfig;
+use crate::detector::{AuditReport, Detector, ScanModule};
+use crate::error::CrimesError;
+
+/// What an epoch boundary produced.
+#[derive(Debug)]
+pub enum EpochOutcome {
+    /// The audit passed: the checkpoint committed and buffered outputs
+    /// were released.
+    Committed {
+        /// Checkpoint-engine report (phase timings, dirty pages).
+        report: EpochReport,
+        /// The audit details.
+        audit: AuditReport,
+        /// Outputs released to the outside world.
+        released: Vec<Output>,
+    },
+    /// The audit failed: the VM is suspended, outputs are still held, and
+    /// an incident is pending — call [`Crimes::investigate`] and then
+    /// [`Crimes::rollback_and_resume`].
+    AttackDetected {
+        /// Checkpoint-engine report for the failed window.
+        report: EpochReport,
+        /// The audit details (contains the findings).
+        audit: AuditReport,
+    },
+}
+
+impl EpochOutcome {
+    /// `true` for a committed epoch.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, EpochOutcome::Committed { .. })
+    }
+}
+
+/// One CRIMES-protected VM.
+#[derive(Debug)]
+pub struct Crimes {
+    vm: Vm,
+    config: CrimesConfig,
+    checkpointer: Checkpointer,
+    buffer: OutputBuffer,
+    session: VmiSession,
+    detector: Detector,
+    analyzer: Analyzer,
+    last_good_meta: MetaSnapshot,
+    epoch_start_mark: TraceMark,
+    committed_epochs: u64,
+    /// Optional exfiltration-signature scanner over the held outputs.
+    output_scanner: Option<OutputScanner>,
+    /// Optional asynchronous deep-forensics pipeline (§5.3 future work).
+    async_forensics: Option<(AsyncScanner, u64)>,
+    /// Deferred findings collected from the async pipeline.
+    deferred: Vec<AsyncScanResult>,
+    /// Findings of an unresolved failed audit.
+    pending: Option<AuditReport>,
+}
+
+impl Crimes {
+    /// Start protecting `vm` with `config`. Performs the initial full
+    /// backup sync and introspection init, and turns on op recording (the
+    /// substrate's deterministic-replay support).
+    ///
+    /// The initial checkpoint is taken *here*: guest mutations made after
+    /// `protect` are only durable against rollback once a subsequent epoch
+    /// commits over them, so perform tenant setup either before calling
+    /// `protect` or followed by one committed epoch.
+    ///
+    /// # Errors
+    ///
+    /// Fails if introspection cannot initialise against the guest.
+    pub fn protect(mut vm: Vm, config: CrimesConfig) -> Result<Self, CrimesError> {
+        let session = VmiSession::init(&vm)?;
+        let checkpointer = Checkpointer::new(&vm, config.checkpoint);
+        vm.set_recording(true);
+        let last_good_meta = vm.meta_snapshot();
+        let epoch_start_mark = vm.trace_mark();
+        Ok(Crimes {
+            vm,
+            config,
+            checkpointer,
+            buffer: OutputBuffer::new(config.safety),
+            session,
+            detector: Detector::new(),
+            analyzer: Analyzer::new(),
+            last_good_meta,
+            epoch_start_mark,
+            committed_epochs: 0,
+            output_scanner: None,
+            async_forensics: None,
+            deferred: Vec::new(),
+            pending: None,
+        })
+    }
+
+    /// Register a scan module.
+    pub fn register_module(&mut self, module: Box<dyn ScanModule>) {
+        self.detector.register(module);
+    }
+
+    /// Enable asynchronous deep forensics (§5.3's future work): every
+    /// `every_n_epochs` committed checkpoints, the backup image is shipped
+    /// to a worker thread that runs the heavy cross-view sweeps
+    /// (psscan/psxview, modscan, deep blacklist) while the VM keeps
+    /// running. Results surface through [`Crimes::take_deferred_findings`]
+    /// — detection is delayed by the sweep time, the Best-Effort-style
+    /// trade-off the paper describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_n_epochs` is zero.
+    pub fn enable_async_forensics(
+        &mut self,
+        every_n_epochs: u64,
+        blacklist: crimes_workloads::Blacklist,
+    ) {
+        assert!(every_n_epochs > 0, "cadence must be at least 1");
+        self.async_forensics = Some((AsyncScanner::spawn(blacklist), every_n_epochs));
+    }
+
+    /// Take the asynchronous sweeps collected so far (clean and suspicious
+    /// alike). Suspicious results name checkpoints that already committed;
+    /// operators typically pause the VM and investigate from the history.
+    pub fn take_deferred_findings(&mut self) -> Vec<AsyncScanResult> {
+        if let Some((scanner, _)) = self.async_forensics.as_mut() {
+            self.deferred.extend(scanner.poll());
+        }
+        std::mem::take(&mut self.deferred)
+    }
+
+    /// Block until the async pipeline drains, then take everything
+    /// (orderly shutdown and tests).
+    pub fn drain_deferred_findings(&mut self) -> Vec<AsyncScanResult> {
+        if let Some((scanner, _)) = self.async_forensics.as_mut() {
+            self.deferred.extend(scanner.drain());
+        }
+        std::mem::take(&mut self.deferred)
+    }
+
+    /// Install an output-content scanner (§3.2's "scanning outgoing
+    /// network packets for suspicious content"). Held outputs matching a
+    /// signature fail the audit before anything is released; under
+    /// Best-Effort safety outputs bypass the buffer, so only disk-bound
+    /// stragglers are covered.
+    pub fn set_output_scanner(&mut self, scanner: OutputScanner) {
+        self.output_scanner = Some(scanner);
+    }
+
+    /// The protected guest (for workloads to drive between boundaries).
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// Mutable access to the guest.
+    pub fn vm_mut(&mut self) -> &mut Vm {
+        &mut self.vm
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CrimesConfig {
+        &self.config
+    }
+
+    /// The checkpoint engine (stats, history, backup).
+    pub fn checkpointer(&self) -> &Checkpointer {
+        &self.checkpointer
+    }
+
+    /// Output-buffer statistics.
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.buffer.stats()
+    }
+
+    /// Epochs committed so far.
+    pub fn committed_epochs(&self) -> u64 {
+        self.committed_epochs
+    }
+
+    /// `true` while a failed audit awaits [`Crimes::investigate`] /
+    /// [`Crimes::rollback_and_resume`].
+    pub fn has_pending_incident(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Submit an external output from the guest. Under Synchronous safety
+    /// it is held until the next committed boundary; under Best Effort it
+    /// is returned immediately for delivery.
+    pub fn submit_output(&mut self, output: Output) -> Option<Output> {
+        let now = self.vm.now_ns();
+        self.buffer.submit(output, now)
+    }
+
+    /// Run one full epoch: `work` drives the guest for the configured
+    /// interval, then the boundary (suspend → audit → checkpoint/commit or
+    /// incident) executes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an incident is pending or `work`/introspection fails.
+    pub fn run_epoch<W>(&mut self, work: W) -> Result<EpochOutcome, CrimesError>
+    where
+        W: FnOnce(&mut Vm, u64) -> Result<(), VmError>,
+    {
+        if self.pending.is_some() {
+            return Err(CrimesError::InvalidState(
+                "an incident is pending; investigate and roll back first",
+            ));
+        }
+        work(&mut self.vm, self.config.epoch_interval_ms)?;
+        self.epoch_boundary()
+    }
+
+    /// Execute the end-of-epoch boundary on the guest as-is.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an incident is already pending.
+    pub fn epoch_boundary(&mut self) -> Result<EpochOutcome, CrimesError> {
+        if self.pending.is_some() {
+            return Err(CrimesError::InvalidState(
+                "an incident is pending; investigate and roll back first",
+            ));
+        }
+        let Crimes {
+            vm,
+            checkpointer,
+            session,
+            detector,
+            buffer,
+            output_scanner,
+            ..
+        } = self;
+        let epoch = checkpointer.backup().epoch();
+        let mut audit_slot: Option<AuditReport> = None;
+        let report = checkpointer.run_epoch(vm, &mut |paused_vm, dirty| {
+            let mut audit = detector.audit(paused_vm.memory(), session, dirty, epoch);
+            // Output-content scan: part of the same audit window, over the
+            // still-held outputs.
+            if let Some(scanner) = output_scanner.as_ref() {
+                for m in scanner.scan_buffer(buffer) {
+                    audit.findings.push(crate::detector::ScanFinding {
+                        module: "output-scan".to_owned(),
+                        detection: crate::detector::Detection::SuspiciousOutput {
+                            signature: m.signature,
+                            output_index: m.output_index,
+                            offset: m.offset,
+                        },
+                    });
+                }
+            }
+            let verdict = if audit.passed() {
+                AuditVerdict::Pass
+            } else {
+                AuditVerdict::Fail
+            };
+            audit_slot = Some(audit);
+            verdict
+        });
+        let audit = audit_slot.expect("audit hook always runs");
+
+        match report.verdict {
+            AuditVerdict::Pass => {
+                // Async deep forensics: ship the fresh checkpoint and
+                // collect anything the worker finished.
+                if let Some((scanner, every)) = self.async_forensics.as_mut() {
+                    let epoch = self.committed_epochs + 1;
+                    if epoch.is_multiple_of(*every) {
+                        let dump = crimes_forensics::MemoryDump::from_frames(
+                            self.checkpointer.backup().frames(),
+                            &self.vm,
+                            crimes_forensics::DumpKind::Adhoc,
+                            self.vm.now_ns(),
+                        );
+                        scanner.dispatch(epoch, dump);
+                    }
+                    self.deferred.extend(scanner.poll());
+                }
+                let released = self.buffer.release(self.vm.now_ns());
+                self.last_good_meta = self.vm.meta_snapshot();
+                // The committed epoch's ops are no longer needed for replay.
+                let mark = self.vm.trace_mark();
+                self.vm.trace_truncate_before(mark);
+                self.epoch_start_mark = self.vm.trace_mark();
+                self.committed_epochs += 1;
+                Ok(EpochOutcome::Committed {
+                    report,
+                    audit,
+                    released,
+                })
+            }
+            AuditVerdict::Fail => {
+                self.pending = Some(audit.clone());
+                Ok(EpochOutcome::AttackDetected { report, audit })
+            }
+        }
+    }
+
+    /// Run the automated §3.3 response for the pending incident: dumps,
+    /// optional rollback-and-replay pinpointing, diffing, and the security
+    /// report. The incident stays pending (the VM is left wherever the
+    /// deepest analysis step needed it); finish with
+    /// [`Crimes::rollback_and_resume`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when no incident is pending, or on introspection errors.
+    pub fn investigate(&mut self) -> Result<Analysis, CrimesError> {
+        let audit = self
+            .pending
+            .clone()
+            .ok_or(CrimesError::InvalidState("no incident pending"))?;
+        let ops = self.vm.trace_since(self.epoch_start_mark);
+        self.analyzer.analyze(
+            &mut self.vm,
+            self.checkpointer.backup().frames(),
+            self.checkpointer.backup().disk(),
+            &self.last_good_meta,
+            &ops,
+            audit.findings,
+        )
+    }
+
+    /// Resolve the pending incident: discard the attack epoch's buffered
+    /// outputs (they never escaped), roll the VM back to the last clean
+    /// checkpoint, and resume execution. Returns how many outputs were
+    /// discarded.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no incident is pending.
+    pub fn rollback_and_resume(&mut self) -> Result<usize, CrimesError> {
+        if self.pending.take().is_none() {
+            return Err(CrimesError::InvalidState("no incident pending"));
+        }
+        let discarded = self.buffer.discard();
+        self.checkpointer
+            .rollback(&mut self.vm, &self.last_good_meta);
+        // Drop the failed epoch's trace; recording stays on.
+        let mark = self.vm.trace_mark();
+        self.vm.trace_truncate_before(mark);
+        self.epoch_start_mark = self.vm.trace_mark();
+        self.vm.vcpus_mut().resume_all();
+        Ok(discarded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::{BlacklistScanModule, CanaryScanModule, NoopScanModule};
+    use crimes_outbuf::NetPacket;
+    use crimes_outbuf::SafetyMode;
+    use crimes_workloads::attacks;
+
+    fn protected(interval_ms: u64) -> Crimes {
+        let mut b = Vm::builder();
+        b.pages(4096).seed(66);
+        let vm = b.build();
+        let mut cfg = CrimesConfig::builder();
+        cfg.epoch_interval_ms(interval_ms);
+        Crimes::protect(vm, cfg.build()).expect("protect")
+    }
+
+    #[test]
+    fn clean_epochs_commit_and_release_outputs() {
+        let mut c = protected(50);
+        c.register_module(Box::new(NoopScanModule::new()));
+        let pid = c.vm_mut().spawn_process("app", 0, 8).unwrap();
+        assert!(c
+            .submit_output(Output::Net(NetPacket::new(1, vec![1, 2, 3])))
+            .is_none());
+        let outcome = c
+            .run_epoch(|vm, ms| {
+                vm.dirty_arena_page(pid, 0, 0, 1)?;
+                vm.advance_time(ms * 1_000_000);
+                Ok(())
+            })
+            .unwrap();
+        let EpochOutcome::Committed {
+            released,
+            audit,
+            report,
+        } = outcome
+        else {
+            panic!("clean epoch must commit");
+        };
+        assert!(audit.passed());
+        assert_eq!(released.len(), 1);
+        assert!(report.dirty_pages >= 1);
+        assert_eq!(c.committed_epochs(), 1);
+        assert!(!c.has_pending_incident());
+    }
+
+    #[test]
+    fn overflow_is_detected_and_rolled_back() {
+        let mut c = protected(50);
+        let secret = c.vm().canary_secret();
+        c.register_module(Box::new(CanaryScanModule::new(secret)));
+        let pid = c.vm_mut().spawn_process("victim", 0, 16).unwrap();
+
+        // Clean epoch so state is checkpointed post-spawn.
+        let outcome = c.run_epoch(|_vm, _| Ok(())).unwrap();
+        assert!(outcome.is_committed());
+
+        // Attack epoch: exfiltration attempt + overflow.
+        c.submit_output(Output::Net(NetPacket::new(9, b"loot".to_vec())));
+        let outcome = c
+            .run_epoch(|vm, _| {
+                attacks::inject_heap_overflow(vm, pid, 64, 16)?;
+                Ok(())
+            })
+            .unwrap();
+        let EpochOutcome::AttackDetected { audit, .. } = outcome else {
+            panic!("overflow must be detected");
+        };
+        assert_eq!(audit.findings.len(), 1);
+        assert!(c.has_pending_incident());
+        assert!(c.vm().vcpus().all_paused());
+
+        // No epoch may run while the incident is pending.
+        assert!(matches!(
+            c.epoch_boundary(),
+            Err(CrimesError::InvalidState(_))
+        ));
+
+        // Investigate: full analysis with pinpoint.
+        let analysis = c.investigate().unwrap();
+        assert!(analysis.pinpoint.is_some());
+
+        // Rollback: the loot packet is discarded, the VM is clean.
+        let discarded = c.rollback_and_resume().unwrap();
+        assert_eq!(discarded, 1, "the exfiltration packet never escaped");
+        assert!(!c.has_pending_incident());
+        assert!(!c.vm().vcpus().all_paused());
+        assert_eq!(c.buffer_stats().discarded, 1);
+        assert_eq!(c.buffer_stats().released, 0);
+
+        // The overflow's effects are gone: the heap has no live object.
+        assert_eq!(c.vm().heap().allocations_of(pid).len(), 0);
+
+        // The system keeps running clean epochs afterwards.
+        let outcome = c.run_epoch(|_vm, _| Ok(())).unwrap();
+        assert!(outcome.is_committed());
+    }
+
+    #[test]
+    fn malware_detection_without_replay() {
+        let mut c = protected(50);
+        c.register_module(Box::new(BlacklistScanModule::bundled()));
+        let outcome = c
+            .run_epoch(|vm, _| {
+                attacks::inject_malware_launch(vm, "xmrig")?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(!outcome.is_committed());
+        let analysis = c.investigate().unwrap();
+        assert!(analysis.pinpoint.is_none());
+        assert!(analysis.report.to_text().contains("xmrig"));
+        c.rollback_and_resume().unwrap();
+        // The malware process is gone after rollback.
+        use crimes_vmi::{linux, VmiSession};
+        let s = VmiSession::init(c.vm()).unwrap();
+        assert!(!linux::process_list(&s, c.vm().memory())
+            .unwrap()
+            .iter()
+            .any(|t| t.comm == "xmrig"));
+    }
+
+    #[test]
+    fn best_effort_outputs_escape_immediately() {
+        let mut b = Vm::builder();
+        b.pages(4096).seed(9);
+        let vm = b.build();
+        let mut cfg = CrimesConfig::builder();
+        cfg.epoch_interval_ms(20).safety(SafetyMode::BestEffort);
+        let mut c = Crimes::protect(vm, cfg.build()).unwrap();
+        let out = c.submit_output(Output::Net(NetPacket::new(1, vec![0])));
+        assert!(out.is_some(), "best effort does not hold outputs");
+    }
+
+    #[test]
+    fn investigate_without_incident_fails() {
+        let mut c = protected(50);
+        assert!(matches!(c.investigate(), Err(CrimesError::InvalidState(_))));
+        assert!(matches!(
+            c.rollback_and_resume(),
+            Err(CrimesError::InvalidState(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_clean_epochs_accumulate_stats() {
+        let mut c = protected(20);
+        c.register_module(Box::new(NoopScanModule::new()));
+        let pid = c.vm_mut().spawn_process("app", 0, 8).unwrap();
+        for e in 0..5 {
+            let outcome = c
+                .run_epoch(|vm, ms| {
+                    vm.dirty_arena_page(pid, e % 8, 0, e as u8)?;
+                    vm.advance_time(ms * 1_000_000);
+                    Ok(())
+                })
+                .unwrap();
+            assert!(outcome.is_committed());
+        }
+        assert_eq!(c.committed_epochs(), 5);
+        assert_eq!(c.checkpointer().stats().epochs(), 5);
+        assert_eq!(c.checkpointer().backup().epoch(), 5);
+    }
+
+    #[test]
+    fn trace_is_truncated_at_commits() {
+        let mut c = protected(20);
+        c.register_module(Box::new(NoopScanModule::new()));
+        let pid = c.vm_mut().spawn_process("app", 0, 8).unwrap();
+        for _ in 0..3 {
+            c.run_epoch(|vm, _| {
+                for i in 0..100 {
+                    vm.dirty_arena_page(pid, i % 8, i, 0)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        }
+        // Only the current (empty) epoch remains in the trace.
+        assert!(c.vm().trace_since(crimes_vm::TraceMark(0)).is_empty());
+    }
+}

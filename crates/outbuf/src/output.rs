@@ -1,0 +1,98 @@
+//! External output types: the network packets and disk writes a VM emits,
+//! which CRIMES holds in the hypervisor until the epoch's audit passes
+//! (§3.1, "Speculative Execution").
+
+/// An outgoing network packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetPacket {
+    /// Connection the packet belongs to (simulation-level id).
+    pub conn_id: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl NetPacket {
+    /// Build a packet.
+    pub fn new(conn_id: u64, payload: impl Into<Vec<u8>>) -> Self {
+        NetPacket {
+            conn_id,
+            payload: payload.into(),
+        }
+    }
+}
+
+/// A disk write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskWrite {
+    /// Target sector.
+    pub sector: u64,
+    /// Data written.
+    pub data: Vec<u8>,
+}
+
+impl DiskWrite {
+    /// Build a disk write.
+    pub fn new(sector: u64, data: impl Into<Vec<u8>>) -> Self {
+        DiskWrite {
+            sector,
+            data: data.into(),
+        }
+    }
+}
+
+/// Any bufferable external output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Output {
+    /// A network packet.
+    Net(NetPacket),
+    /// A disk write.
+    Disk(DiskWrite),
+}
+
+impl Output {
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Output::Net(p) => p.payload.len(),
+            Output::Disk(w) => w.data.len(),
+        }
+    }
+
+    /// `true` for zero-length outputs (pure control messages).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<NetPacket> for Output {
+    fn from(p: NetPacket) -> Self {
+        Output::Net(p)
+    }
+}
+
+impl From<DiskWrite> for Output {
+    fn from(w: DiskWrite) -> Self {
+        Output::Disk(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_len_covers_both_kinds() {
+        assert_eq!(Output::from(NetPacket::new(1, vec![0; 10])).len(), 10);
+        assert_eq!(Output::from(DiskWrite::new(7, vec![0; 512])).len(), 512);
+        assert!(Output::from(NetPacket::new(1, vec![])).is_empty());
+    }
+
+    #[test]
+    fn constructors_take_impl_into() {
+        let p = NetPacket::new(3, b"hello".as_slice());
+        assert_eq!(p.payload, b"hello");
+        let w = DiskWrite::new(0, vec![1, 2]);
+        assert_eq!(w.sector, 0);
+        assert_eq!(w.data, vec![1, 2]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests over buffer invariants.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::buffer::{OutputBuffer, SafetyMode};
+use crate::output::{DiskWrite, NetPacket, Output};
+
+#[derive(Debug, Clone)]
+enum Step {
+    SubmitNet { len: u16, at: u32 },
+    SubmitDisk { len: u16, at: u32 },
+    Release { at: u32 },
+    Discard,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(len, at)| Step::SubmitNet { len, at }),
+        (any::<u16>(), any::<u32>()).prop_map(|(len, at)| Step::SubmitDisk { len, at }),
+        (any::<u32>()).prop_map(|at| Step::Release { at }),
+        Just(Step::Discard),
+    ]
+}
+
+proptest! {
+    /// Conservation: every submitted output is eventually accounted for as
+    /// exactly one of {released, discarded, still held}; bytes likewise.
+    #[test]
+    fn outputs_are_conserved(
+        steps in proptest::collection::vec(step_strategy(), 0..100),
+        sync in any::<bool>(),
+    ) {
+        let mode = if sync { SafetyMode::Synchronous } else { SafetyMode::BestEffort };
+        let mut buf = OutputBuffer::new(mode);
+        let mut submitted = 0u64;
+        let mut submitted_bytes = 0u64;
+        for step in steps {
+            match step {
+                Step::SubmitNet { len, at } => {
+                    submitted += 1;
+                    submitted_bytes += len as u64;
+                    buf.submit(Output::Net(NetPacket::new(1, vec![0u8; len as usize])), at as u64);
+                }
+                Step::SubmitDisk { len, at } => {
+                    submitted += 1;
+                    submitted_bytes += len as u64;
+                    buf.submit(Output::Disk(DiskWrite::new(0, vec![0u8; len as usize])), at as u64);
+                }
+                Step::Release { at } => {
+                    buf.release(at as u64);
+                }
+                Step::Discard => {
+                    buf.discard();
+                }
+            }
+        }
+        let stats = buf.stats();
+        prop_assert_eq!(
+            stats.released + stats.discarded + buf.held_count() as u64,
+            submitted
+        );
+        prop_assert_eq!(
+            stats.released_bytes + stats.discarded_bytes + buf.held_bytes() as u64,
+            submitted_bytes
+        );
+        // Best effort never holds or discards.
+        if mode == SafetyMode::BestEffort {
+            prop_assert_eq!(buf.held_count(), 0);
+            prop_assert_eq!(stats.discarded, 0);
+        }
+    }
+
+    /// Releases preserve submission order (TCP would be very unhappy
+    /// otherwise).
+    #[test]
+    fn release_order_is_fifo(lens in proptest::collection::vec(1u16..64, 1..32)) {
+        let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
+        for (i, len) in lens.iter().enumerate() {
+            buf.submit(Output::Net(NetPacket::new(i as u64, vec![0u8; *len as usize])), 0);
+        }
+        let out = buf.release(1);
+        let ids: Vec<u64> = out
+            .iter()
+            .map(|o| match o {
+                Output::Net(p) => p.conn_id,
+                Output::Disk(_) => unreachable!(),
+            })
+            .collect();
+        let expected: Vec<u64> = (0..lens.len() as u64).collect();
+        prop_assert_eq!(ids, expected);
+    }
+}

@@ -1,0 +1,198 @@
+//! Address-space newtypes shared by the whole CRIMES stack.
+//!
+//! The simulated guest uses the same three address spaces a Xen HVM guest
+//! has:
+//!
+//! * **GVA** — guest virtual addresses, what code inside the VM uses,
+//! * **GPA** — guest physical addresses, what the guest kernel thinks the
+//!   hardware looks like,
+//! * **MFN** — machine frame numbers, the hypervisor's real frame numbers.
+//!
+//! Guest physical memory is organised in [`PAGE_SIZE`] pages identified by
+//! page frame numbers ([`Pfn`]). The hypervisor sees the same frames under a
+//! (deliberately non-identity) [`Mfn`] numbering, so code that forgets to
+//! translate fails loudly in tests instead of accidentally working.
+
+use std::fmt;
+
+/// Size of one guest page in bytes (4 KiB, like x86).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Base of the kernel direct map: kernel GVAs are `GPA + KERNEL_VIRT_BASE`,
+/// mirroring Linux's `__PAGE_OFFSET` direct mapping.
+pub const KERNEL_VIRT_BASE: u64 = 0xffff_8800_0000_0000;
+
+/// A guest *page frame number*: index of a 4 KiB page in guest-physical space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pfn(pub u64);
+
+/// A *machine frame number*: the hypervisor-side identity of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Mfn(pub u64);
+
+/// A guest-physical byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gpa(pub u64);
+
+/// A guest-virtual byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gva(pub u64);
+
+impl Pfn {
+    /// First byte of this page as a guest-physical address.
+    pub fn base(self) -> Gpa {
+        Gpa(self.0 * PAGE_SIZE as u64)
+    }
+
+    /// The page immediately after this one.
+    pub fn next(self) -> Pfn {
+        Pfn(self.0 + 1)
+    }
+}
+
+impl Gpa {
+    /// The page containing this address.
+    pub fn pfn(self) -> Pfn {
+        Pfn(self.0 / PAGE_SIZE as u64)
+    }
+
+    /// Byte offset of this address inside its page.
+    pub fn page_offset(self) -> usize {
+        (self.0 % PAGE_SIZE as u64) as usize
+    }
+
+    /// Address `n` bytes further on.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `u64` overflow, which indicates a logic error in the caller.
+    // Not `std::ops::Add`: the operand is a byte delta, not another
+    // address, and the overflow panic is part of the contract.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, n: u64) -> Gpa {
+        Gpa(self.0.checked_add(n).expect("GPA overflow"))
+    }
+
+    /// Convert to the kernel direct-map virtual address for this physical
+    /// address.
+    pub fn to_kernel_gva(self) -> Gva {
+        Gva(self.0 + KERNEL_VIRT_BASE)
+    }
+}
+
+impl Gva {
+    /// Address `n` bytes further on.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `u64` overflow, which indicates a logic error in the caller.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, n: u64) -> Gva {
+        Gva(self.0.checked_add(n).expect("GVA overflow"))
+    }
+
+    /// `true` if this address lies in the kernel direct map.
+    pub fn is_kernel(self) -> bool {
+        self.0 >= KERNEL_VIRT_BASE
+    }
+
+    /// Reverse of [`Gpa::to_kernel_gva`]. Returns `None` for user addresses.
+    pub fn kernel_to_gpa(self) -> Option<Gpa> {
+        self.0.checked_sub(KERNEL_VIRT_BASE).map(Gpa)
+    }
+}
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for Mfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mfn:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for Gpa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpa:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for Gva {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gva:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Pfn {
+    fn from(v: u64) -> Self {
+        Pfn(v)
+    }
+}
+
+impl From<u64> for Gpa {
+    fn from(v: u64) -> Self {
+        Gpa(v)
+    }
+}
+
+impl From<u64> for Gva {
+    fn from(v: u64) -> Self {
+        Gva(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pfn_base_round_trips_through_gpa() {
+        let pfn = Pfn(7);
+        assert_eq!(pfn.base().pfn(), pfn);
+        assert_eq!(pfn.base().page_offset(), 0);
+    }
+
+    #[test]
+    fn gpa_page_offset_is_within_page() {
+        let gpa = Gpa(3 * PAGE_SIZE as u64 + 123);
+        assert_eq!(gpa.pfn(), Pfn(3));
+        assert_eq!(gpa.page_offset(), 123);
+    }
+
+    #[test]
+    fn kernel_direct_map_round_trips() {
+        let gpa = Gpa(0x1234_5678);
+        let gva = gpa.to_kernel_gva();
+        assert!(gva.is_kernel());
+        assert_eq!(gva.kernel_to_gpa(), Some(gpa));
+    }
+
+    #[test]
+    fn user_gva_is_not_kernel() {
+        let gva = Gva(0x4000_0000);
+        assert!(!gva.is_kernel());
+    }
+
+    #[test]
+    fn gpa_add_advances_pages() {
+        let gpa = Gpa(0);
+        assert_eq!(gpa.add(PAGE_SIZE as u64).pfn(), Pfn(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "GPA overflow")]
+    fn gpa_add_overflow_panics() {
+        Gpa(u64::MAX).add(1);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert!(!format!("{}", Pfn(1)).is_empty());
+        assert!(!format!("{}", Mfn(1)).is_empty());
+        assert!(!format!("{}", Gpa(1)).is_empty());
+        assert!(!format!("{}", Gva(1)).is_empty());
+    }
+}

@@ -1,0 +1,1106 @@
+//! The simulated guest kernel.
+//!
+//! [`Kernel`] owns the *semantics* of the guest OS — spawning and exiting
+//! processes, loading modules, opening sockets and files — and materialises
+//! every state change as little-endian bytes in [`GuestMemory`], at the
+//! addresses published through `System.map`. Hypervisor-side tools
+//! (`crimes-vmi`, `crimes-forensics`) never see this struct; they only see
+//! the bytes, exactly like LibVMI sees a real guest.
+//!
+//! Attack primitives used by the evaluation live here too:
+//!
+//! * [`Kernel::hide_process`] — DKOM rootkit hiding: unlink from the task
+//!   list while pid-hash and slab entries survive (detected by
+//!   `psxview`-style cross-view comparison, §4.2 "Memory Forensics"),
+//! * [`Kernel::hijack_syscall`] — syscall-table hijacking (detected by
+//!   comparing against a known-good copy, §2 Threat Model).
+
+use std::collections::BTreeMap;
+
+use crate::addr::{Gpa, Gva};
+use crate::layout::{
+    file_offsets, module_offsets, socket_offsets, task_offsets, KernelLayout, MODULE_MAGIC,
+    SYSCALL_COUNT, TASK_FREED_MAGIC, TASK_MAGIC,
+};
+use crate::mem::GuestMemory;
+use crate::symbols::LINUX_BANNER;
+
+/// Scheduler state of a task, stored in the task struct's `STATE` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum TaskState {
+    /// Running or runnable.
+    Running = 0,
+    /// Interruptible sleep.
+    Sleeping = 1,
+    /// Exited but not reaped.
+    Zombie = 2,
+}
+
+impl TaskState {
+    /// Decode from the raw field value, defaulting unknown values to
+    /// `Zombie` (the conservative choice for forensics).
+    pub fn from_raw(v: u32) -> TaskState {
+        match v {
+            0 => TaskState::Running,
+            1 => TaskState::Sleeping,
+            _ => TaskState::Zombie,
+        }
+    }
+}
+
+/// TCP connection state stored in socket structs (subset of the RFC 793
+/// states that the forensic `netscan` output reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum TcpState {
+    /// No state / slot free.
+    Closed = 0,
+    /// Passive open.
+    Listen = 1,
+    /// Handshake sent.
+    SynSent = 2,
+    /// Connection established.
+    Established = 3,
+    /// Remote closed, local end still open — the state the paper's malware
+    /// case study catches (§5.6 shows `CLOSE_WAIT`).
+    CloseWait = 4,
+}
+
+impl TcpState {
+    /// Decode from the raw field value.
+    pub fn from_raw(v: u16) -> TcpState {
+        match v {
+            1 => TcpState::Listen,
+            2 => TcpState::SynSent,
+            3 => TcpState::Established,
+            4 => TcpState::CloseWait,
+            _ => TcpState::Closed,
+        }
+    }
+
+    /// The name `netscan` prints.
+    pub fn name(self) -> &'static str {
+        match self {
+            TcpState::Closed => "CLOSED",
+            TcpState::Listen => "LISTEN",
+            TcpState::SynSent => "SYN_SENT",
+            TcpState::Established => "ESTABLISHED",
+            TcpState::CloseWait => "CLOSE_WAIT",
+        }
+    }
+}
+
+/// Identifier of an open socket slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SocketId(pub usize);
+
+/// Identifier of an open file slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(pub usize);
+
+/// Errors returned by kernel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// The task slab is full.
+    TaskSlabFull,
+    /// The pid hash has no free slot.
+    PidHashFull,
+    /// No such pid.
+    NoSuchPid(u32),
+    /// The module slab is full.
+    ModuleSlabFull,
+    /// No module with that name is loaded.
+    NoSuchModule(String),
+    /// The socket table is full.
+    SocketTableFull,
+    /// No such socket slot.
+    NoSuchSocket(usize),
+    /// The file table is full.
+    FileTableFull,
+    /// No such file slot.
+    NoSuchFile(usize),
+    /// Syscall index out of range.
+    BadSyscallIndex(usize),
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::TaskSlabFull => write!(f, "task slab is full"),
+            KernelError::PidHashFull => write!(f, "pid hash is full"),
+            KernelError::NoSuchPid(p) => write!(f, "no such pid {p}"),
+            KernelError::ModuleSlabFull => write!(f, "module slab is full"),
+            KernelError::NoSuchModule(n) => write!(f, "no such module {n}"),
+            KernelError::SocketTableFull => write!(f, "socket table is full"),
+            KernelError::NoSuchSocket(i) => write!(f, "no such socket slot {i}"),
+            KernelError::FileTableFull => write!(f, "file table is full"),
+            KernelError::NoSuchFile(i) => write!(f, "no such file slot {i}"),
+            KernelError::BadSyscallIndex(i) => write!(f, "syscall index {i} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// Host-side bookkeeping for the simulated kernel. All externally visible
+/// state also lives in guest memory; this struct only tracks allocation
+/// cursors and the pid→slot index for O(1) operations.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    layout: KernelLayout,
+    next_pid: u32,
+    /// pid → task slab slot.
+    task_slots: BTreeMap<u32, usize>,
+    task_free: Vec<usize>,
+    module_slots: BTreeMap<String, usize>,
+    module_free: Vec<usize>,
+    socket_free: Vec<usize>,
+    file_free: Vec<usize>,
+    /// pids unlinked from the task list by [`Kernel::hide_process`].
+    hidden_pids: Vec<u32>,
+    /// module names unlinked from the module list by
+    /// [`Kernel::hide_module`].
+    hidden_modules: Vec<String>,
+}
+
+impl Kernel {
+    /// Install the kernel into `mem`: banner, syscall table, swapper task
+    /// (pid 0), and empty module/pid/socket/file tables.
+    pub fn install(mem: &mut GuestMemory, layout: KernelLayout) -> Self {
+        mem.set_exec_rip(kernel_rip(0));
+        // Banner.
+        mem.write(layout.banner, LINUX_BANNER.as_bytes());
+        mem.write(layout.banner.add(LINUX_BANNER.len() as u64), &[0]);
+
+        // Syscall table: deterministic pseudo handler addresses.
+        for i in 0..SYSCALL_COUNT {
+            mem.write_u64(
+                layout.syscall_table.add(i as u64 * 8),
+                syscall_handler_addr(i),
+            );
+        }
+
+        // Empty module list: head points at itself.
+        let head_gva = layout.modules_head.to_kernel_gva();
+        mem.write_u64(layout.modules_head, head_gva.0);
+        mem.write_u64(layout.modules_head.add(8), head_gva.0);
+
+        let mut kernel = Kernel {
+            next_pid: 1,
+            task_slots: BTreeMap::new(),
+            task_free: (1..layout.task_capacity).rev().collect(),
+            module_slots: BTreeMap::new(),
+            module_free: (0..layout.module_capacity).rev().collect(),
+            socket_free: (0..layout.socket_capacity).rev().collect(),
+            file_free: (0..layout.file_capacity).rev().collect(),
+            hidden_pids: Vec::new(),
+            hidden_modules: Vec::new(),
+            layout,
+        };
+
+        // Swapper task (pid 0) in slot 0, linked to itself.
+        let slot0 = kernel.layout.task_slot(0);
+        kernel.write_task_struct(
+            mem,
+            slot0,
+            0,
+            0,
+            "swapper",
+            TaskState::Running,
+            0,
+            Gva(0),
+            Gpa(0),
+            0,
+        );
+        let self_gva = slot0.to_kernel_gva();
+        mem.write_u64(slot0.add(task_offsets::NEXT), self_gva.0);
+        mem.write_u64(slot0.add(task_offsets::PREV), self_gva.0);
+        kernel.task_slots.insert(0, 0);
+        kernel
+            .pid_hash_insert(mem, 0, self_gva)
+            .expect("fresh pid hash cannot be full");
+        kernel
+    }
+
+    /// The layout this kernel was installed with.
+    pub fn layout(&self) -> &KernelLayout {
+        &self.layout
+    }
+
+    /// Spawn a process and link it into every kernel structure. Returns the
+    /// new pid.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the task slab or pid hash is exhausted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn(
+        &mut self,
+        mem: &mut GuestMemory,
+        name: &str,
+        uid: u32,
+        mm_start: Gva,
+        mm_phys: Gpa,
+        mm_size: u64,
+        now_ns: u64,
+    ) -> Result<u32, KernelError> {
+        let slot = self.task_free.pop().ok_or(KernelError::TaskSlabFull)?;
+        let pid = self.next_pid;
+        self.next_pid += 1;
+
+        mem.set_exec_rip(kernel_rip(1));
+        let task = self.layout.task_slot(slot);
+        self.write_task_struct(
+            mem,
+            task,
+            pid,
+            uid,
+            name,
+            TaskState::Running,
+            now_ns,
+            mm_start,
+            mm_phys,
+            mm_size,
+        );
+        self.list_insert_before_init(mem, task);
+        if let Err(e) = self.pid_hash_insert(mem, pid, task.to_kernel_gva()) {
+            // Roll the slab slot back so the failure leaves no debris.
+            self.list_unlink(mem, task);
+            mem.write_u32(task.add(task_offsets::MAGIC), TASK_FREED_MAGIC);
+            self.task_free.push(slot);
+            self.next_pid -= 1;
+            return Err(e);
+        }
+        self.task_slots.insert(pid, slot);
+        Ok(pid)
+    }
+
+    /// Exit a process: unlink from the task list, mark the slab slot freed
+    /// (stale contents remain, as in a real slab), clear its pid-hash slot,
+    /// and close its sockets and files.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `pid` is unknown (including pid 0, which cannot exit).
+    pub fn exit(&mut self, mem: &mut GuestMemory, pid: u32) -> Result<(), KernelError> {
+        if pid == 0 {
+            return Err(KernelError::NoSuchPid(0));
+        }
+        let slot = *self
+            .task_slots
+            .get(&pid)
+            .ok_or(KernelError::NoSuchPid(pid))?;
+        mem.set_exec_rip(kernel_rip(2));
+        let task = self.layout.task_slot(slot);
+        if !self.hidden_pids.contains(&pid) {
+            self.list_unlink(mem, task);
+        } else {
+            self.hidden_pids.retain(|&p| p != pid);
+        }
+        mem.write_u32(task.add(task_offsets::MAGIC), TASK_FREED_MAGIC);
+        mem.write_u32(task.add(task_offsets::STATE), TaskState::Zombie as u32);
+        self.pid_hash_remove(mem, pid);
+        self.close_all_for_pid(mem, pid);
+        self.task_slots.remove(&pid);
+        self.task_free.push(slot);
+        Ok(())
+    }
+
+    /// Rootkit-style DKOM hide: unlink `pid` from the task list while its
+    /// slab slot and pid-hash entry stay live. `pslist` no longer sees it;
+    /// `psscan`/`psxview` still do.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `pid` is unknown or already hidden.
+    pub fn hide_process(&mut self, mem: &mut GuestMemory, pid: u32) -> Result<(), KernelError> {
+        let slot = *self
+            .task_slots
+            .get(&pid)
+            .ok_or(KernelError::NoSuchPid(pid))?;
+        if self.hidden_pids.contains(&pid) {
+            return Err(KernelError::NoSuchPid(pid));
+        }
+        mem.set_exec_rip(attacker_rip(0));
+        self.list_unlink(mem, self.layout.task_slot(slot));
+        self.hidden_pids.push(pid);
+        Ok(())
+    }
+
+    /// Overwrite syscall-table entry `idx` with `handler` (the hijack attack
+    /// the Threat Model lists). Returns the previous handler address.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `idx` is out of range.
+    pub fn hijack_syscall(
+        &mut self,
+        mem: &mut GuestMemory,
+        idx: usize,
+        handler: u64,
+    ) -> Result<u64, KernelError> {
+        if idx >= SYSCALL_COUNT {
+            return Err(KernelError::BadSyscallIndex(idx));
+        }
+        mem.set_exec_rip(attacker_rip(1));
+        let at = self.layout.syscall_table.add(idx as u64 * 8);
+        let old = mem.read_u64(at);
+        mem.write_u64(at, handler);
+        Ok(old)
+    }
+
+    /// Load a kernel module, linking it into the module list.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the module slab is full.
+    pub fn load_module(
+        &mut self,
+        mem: &mut GuestMemory,
+        name: &str,
+        size: u64,
+    ) -> Result<(), KernelError> {
+        let slot = self.module_free.pop().ok_or(KernelError::ModuleSlabFull)?;
+        mem.set_exec_rip(kernel_rip(3));
+        let m = self.layout.module_slot(slot);
+        mem.write_u32(m.add(module_offsets::MAGIC), MODULE_MAGIC);
+        let mut name_buf = [0u8; 32];
+        let n = name.len().min(31);
+        name_buf[..n].copy_from_slice(&name.as_bytes()[..n]);
+        mem.write(m.add(module_offsets::NAME), &name_buf);
+        mem.write_u64(m.add(module_offsets::SIZE), size);
+        // Insert at list head (after the head node), like Linux.
+        let head = self.layout.modules_head;
+        let head_gva = head.to_kernel_gva();
+        let first = Gva(mem.read_u64(head));
+        let m_gva = m.to_kernel_gva();
+        mem.write_u64(m.add(module_offsets::NEXT), first.0);
+        mem.write_u64(m.add(module_offsets::PREV), head_gva.0);
+        mem.write_u64(head, m_gva.0);
+        let first_gpa = self.node_gpa(first);
+        // The previous first node's PREV now points at the new module. When
+        // the list was empty, `first` is the head itself.
+        if first == head_gva {
+            mem.write_u64(head.add(8), m_gva.0);
+        } else {
+            mem.write_u64(first_gpa.add(module_offsets::PREV), m_gva.0);
+        }
+        self.module_slots.insert(name.to_owned(), slot);
+        Ok(())
+    }
+
+    /// Unload a module by name.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no module with that name is loaded.
+    pub fn unload_module(&mut self, mem: &mut GuestMemory, name: &str) -> Result<(), KernelError> {
+        let slot = self
+            .module_slots
+            .remove(name)
+            .ok_or_else(|| KernelError::NoSuchModule(name.to_owned()))?;
+        mem.set_exec_rip(kernel_rip(4));
+        let m = self.layout.module_slot(slot);
+        if self.hidden_modules.iter().any(|n| n == name) {
+            // Already unlinked; just scrub the slab slot.
+            self.hidden_modules.retain(|n| n != name);
+        } else {
+            let next = Gva(mem.read_u64(m.add(module_offsets::NEXT)));
+            let prev = Gva(mem.read_u64(m.add(module_offsets::PREV)));
+            self.module_list_set_next(mem, prev, next);
+            self.module_list_set_prev(mem, next, prev);
+        }
+        mem.write_u32(m.add(module_offsets::MAGIC), 0);
+        self.module_free.push(slot);
+        Ok(())
+    }
+
+    /// DKOM credential patching: overwrite a task's `CRED` field with 0
+    /// (root), the classic in-memory privilege escalation the Threat Model
+    /// lists ("an attack may exploit the system to gain higher
+    /// privilege"). The `UID` field keeps its original value — which is
+    /// exactly the inconsistency an integrity scan keys on.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `pid` is unknown.
+    pub fn escalate_privileges(&mut self, mem: &mut GuestMemory, pid: u32) -> Result<(), KernelError> {
+        let slot = *self.task_slots.get(&pid).ok_or(KernelError::NoSuchPid(pid))?;
+        mem.set_exec_rip(attacker_rip(3));
+        let task = self.layout.task_slot(slot);
+        mem.write_u64(task.add(task_offsets::CRED), 0);
+        Ok(())
+    }
+
+    /// Rootkit-style LKM hiding: unlink a module from the module list
+    /// while its slab struct (and magic) survive. `module-list` walks no
+    /// longer see it; a slab scan still does.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the module is unknown or already hidden.
+    pub fn hide_module(&mut self, mem: &mut GuestMemory, name: &str) -> Result<(), KernelError> {
+        let slot = *self
+            .module_slots
+            .get(name)
+            .ok_or_else(|| KernelError::NoSuchModule(name.to_owned()))?;
+        if self.hidden_modules.iter().any(|n| n == name) {
+            return Err(KernelError::NoSuchModule(name.to_owned()));
+        }
+        mem.set_exec_rip(attacker_rip(2));
+        let m = self.layout.module_slot(slot);
+        let next = Gva(mem.read_u64(m.add(module_offsets::NEXT)));
+        let prev = Gva(mem.read_u64(m.add(module_offsets::PREV)));
+        self.module_list_set_next(mem, prev, next);
+        self.module_list_set_prev(mem, next, prev);
+        self.hidden_modules.push(name.to_owned());
+        Ok(())
+    }
+
+    /// Module names hidden by [`Kernel::hide_module`].
+    pub fn hidden_modules(&self) -> &[String] {
+        &self.hidden_modules
+    }
+
+    /// Open a socket owned by `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the socket table is full or `pid` is unknown.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_socket(
+        &mut self,
+        mem: &mut GuestMemory,
+        pid: u32,
+        proto: u16,
+        laddr: u32,
+        lport: u16,
+        faddr: u32,
+        fport: u16,
+        state: TcpState,
+    ) -> Result<SocketId, KernelError> {
+        if !self.task_slots.contains_key(&pid) {
+            return Err(KernelError::NoSuchPid(pid));
+        }
+        let slot = self.socket_free.pop().ok_or(KernelError::SocketTableFull)?;
+        mem.set_exec_rip(kernel_rip(5));
+        let s = self.layout.socket_slot(slot);
+        mem.write_u32(s.add(socket_offsets::IN_USE), 1);
+        mem.write_u32(s.add(socket_offsets::OWNER_PID), pid);
+        mem.write(s.add(socket_offsets::PROTO), &proto.to_le_bytes());
+        mem.write(s.add(socket_offsets::STATE), &(state as u16).to_le_bytes());
+        mem.write(s.add(socket_offsets::LPORT), &lport.to_le_bytes());
+        mem.write(s.add(socket_offsets::FPORT), &fport.to_le_bytes());
+        mem.write_u32(s.add(socket_offsets::LADDR), laddr);
+        mem.write_u32(s.add(socket_offsets::FADDR), faddr);
+        Ok(SocketId(slot))
+    }
+
+    /// Change a socket's TCP state.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the slot is not in use.
+    pub fn set_socket_state(
+        &mut self,
+        mem: &mut GuestMemory,
+        id: SocketId,
+        state: TcpState,
+    ) -> Result<(), KernelError> {
+        let s = self.socket_gpa_checked(mem, id)?;
+        mem.set_exec_rip(kernel_rip(6));
+        mem.write(s.add(socket_offsets::STATE), &(state as u16).to_le_bytes());
+        Ok(())
+    }
+
+    /// Close a socket, freeing its slot.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the slot is not in use.
+    pub fn close_socket(&mut self, mem: &mut GuestMemory, id: SocketId) -> Result<(), KernelError> {
+        let s = self.socket_gpa_checked(mem, id)?;
+        mem.set_exec_rip(kernel_rip(7));
+        mem.write_u32(s.add(socket_offsets::IN_USE), 0);
+        self.socket_free.push(id.0);
+        Ok(())
+    }
+
+    /// Open a file handle owned by `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file table is full or `pid` is unknown.
+    pub fn open_file(
+        &mut self,
+        mem: &mut GuestMemory,
+        pid: u32,
+        path: &str,
+    ) -> Result<FileId, KernelError> {
+        if !self.task_slots.contains_key(&pid) {
+            return Err(KernelError::NoSuchPid(pid));
+        }
+        let slot = self.file_free.pop().ok_or(KernelError::FileTableFull)?;
+        mem.set_exec_rip(kernel_rip(8));
+        let fh = self.layout.file_slot(slot);
+        mem.write_u32(fh.add(file_offsets::IN_USE), 1);
+        mem.write_u32(fh.add(file_offsets::OWNER_PID), pid);
+        let mut buf = [0u8; file_offsets::PATH_LEN];
+        let n = path.len().min(file_offsets::PATH_LEN - 1);
+        buf[..n].copy_from_slice(&path.as_bytes()[..n]);
+        mem.write(fh.add(file_offsets::PATH), &buf);
+        Ok(FileId(slot))
+    }
+
+    /// Close a file handle.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the slot is not in use.
+    pub fn close_file(&mut self, mem: &mut GuestMemory, id: FileId) -> Result<(), KernelError> {
+        if id.0 >= self.layout.file_capacity {
+            return Err(KernelError::NoSuchFile(id.0));
+        }
+        let fh = self.layout.file_slot(id.0);
+        if mem.read_u32(fh.add(file_offsets::IN_USE)) == 0 {
+            return Err(KernelError::NoSuchFile(id.0));
+        }
+        mem.set_exec_rip(kernel_rip(9));
+        mem.write_u32(fh.add(file_offsets::IN_USE), 0);
+        self.file_free.push(id.0);
+        Ok(())
+    }
+
+    /// Pids currently known to the kernel (including hidden ones), in
+    /// ascending order. Host-side ground truth for tests.
+    pub fn pids(&self) -> Vec<u32> {
+        self.task_slots.keys().copied().collect()
+    }
+
+    /// Pids hidden from the task list by [`Kernel::hide_process`].
+    pub fn hidden_pids(&self) -> &[u32] {
+        &self.hidden_pids
+    }
+
+    /// Task slab slot of `pid`, if alive.
+    pub fn task_slot_of(&self, pid: u32) -> Option<usize> {
+        self.task_slots.get(&pid).copied()
+    }
+
+    /// The deterministic pseudo handler address of syscall `idx`, used to
+    /// build known-good baselines.
+    pub fn good_syscall_handler(idx: usize) -> u64 {
+        syscall_handler_addr(idx)
+    }
+
+    // ---- internal helpers ------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn write_task_struct(
+        &self,
+        mem: &mut GuestMemory,
+        at: Gpa,
+        pid: u32,
+        uid: u32,
+        comm: &str,
+        state: TaskState,
+        start_ns: u64,
+        mm_start: Gva,
+        mm_phys: Gpa,
+        mm_size: u64,
+    ) {
+        mem.write_u32(at.add(task_offsets::MAGIC), TASK_MAGIC);
+        mem.write_u32(at.add(task_offsets::PID), pid);
+        mem.write_u32(at.add(task_offsets::UID), uid);
+        mem.write_u32(at.add(task_offsets::STATE), state as u32);
+        let mut comm_buf = [0u8; 16];
+        let n = comm.len().min(15);
+        comm_buf[..n].copy_from_slice(&comm.as_bytes()[..n]);
+        mem.write(at.add(task_offsets::COMM), &comm_buf);
+        mem.write_u64(at.add(task_offsets::START_TIME), start_ns);
+        mem.write_u64(at.add(task_offsets::MM_START), mm_start.0);
+        mem.write_u64(at.add(task_offsets::MM_SIZE), mm_size);
+        mem.write_u64(at.add(task_offsets::CRED), u64::from(uid));
+        mem.write_u64(at.add(task_offsets::MM_PHYS), mm_phys.0);
+    }
+
+    /// Insert `task` at the tail of the circular list (just before
+    /// `init_task`), matching where Linux puts new children of init.
+    fn list_insert_before_init(&self, mem: &mut GuestMemory, task: Gpa) {
+        let init = self.layout.task_slot(0);
+        let init_gva = init.to_kernel_gva();
+        let tail_gva = Gva(mem.read_u64(init.add(task_offsets::PREV)));
+        let tail = self.node_gpa(tail_gva);
+        let task_gva = task.to_kernel_gva();
+        mem.write_u64(task.add(task_offsets::NEXT), init_gva.0);
+        mem.write_u64(task.add(task_offsets::PREV), tail_gva.0);
+        mem.write_u64(tail.add(task_offsets::NEXT), task_gva.0);
+        mem.write_u64(init.add(task_offsets::PREV), task_gva.0);
+    }
+
+    fn list_unlink(&self, mem: &mut GuestMemory, task: Gpa) {
+        let next = Gva(mem.read_u64(task.add(task_offsets::NEXT)));
+        let prev = Gva(mem.read_u64(task.add(task_offsets::PREV)));
+        let next_gpa = self.node_gpa(next);
+        let prev_gpa = self.node_gpa(prev);
+        mem.write_u64(prev_gpa.add(task_offsets::NEXT), next.0);
+        mem.write_u64(next_gpa.add(task_offsets::PREV), prev.0);
+    }
+
+    fn module_list_set_next(&self, mem: &mut GuestMemory, node: Gva, next: Gva) {
+        let gpa = self.node_gpa(node);
+        if gpa == self.layout.modules_head {
+            mem.write_u64(gpa, next.0);
+        } else {
+            mem.write_u64(gpa.add(module_offsets::NEXT), next.0);
+        }
+    }
+
+    fn module_list_set_prev(&self, mem: &mut GuestMemory, node: Gva, prev: Gva) {
+        let gpa = self.node_gpa(node);
+        if gpa == self.layout.modules_head {
+            mem.write_u64(gpa.add(8), prev.0);
+        } else {
+            mem.write_u64(gpa.add(module_offsets::PREV), prev.0);
+        }
+    }
+
+    fn pid_hash_insert(
+        &self,
+        mem: &mut GuestMemory,
+        pid: u32,
+        task_gva: Gva,
+    ) -> Result<(), KernelError> {
+        let cap = self.layout.pid_hash_capacity;
+        let start = pid as usize % cap;
+        for probe in 0..cap {
+            let slot = self.layout.pid_slot((start + probe) % cap);
+            if mem.read_u32(slot.add(4)) == 0 {
+                mem.write_u32(slot, pid);
+                mem.write_u32(slot.add(4), 1);
+                mem.write_u64(slot.add(8), task_gva.0);
+                return Ok(());
+            }
+        }
+        Err(KernelError::PidHashFull)
+    }
+
+    fn pid_hash_remove(&self, mem: &mut GuestMemory, pid: u32) {
+        let cap = self.layout.pid_hash_capacity;
+        let start = pid as usize % cap;
+        for probe in 0..cap {
+            let slot = self.layout.pid_slot((start + probe) % cap);
+            if mem.read_u32(slot.add(4)) == 1 && mem.read_u32(slot) == pid {
+                mem.write_u32(slot.add(4), 0);
+                return;
+            }
+        }
+    }
+
+    fn close_all_for_pid(&mut self, mem: &mut GuestMemory, pid: u32) {
+        for slot in 0..self.layout.socket_capacity {
+            let s = self.layout.socket_slot(slot);
+            if mem.read_u32(s.add(socket_offsets::IN_USE)) == 1
+                && mem.read_u32(s.add(socket_offsets::OWNER_PID)) == pid
+            {
+                mem.write_u32(s.add(socket_offsets::IN_USE), 0);
+                self.socket_free.push(slot);
+            }
+        }
+        for slot in 0..self.layout.file_capacity {
+            let fh = self.layout.file_slot(slot);
+            if mem.read_u32(fh.add(file_offsets::IN_USE)) == 1
+                && mem.read_u32(fh.add(file_offsets::OWNER_PID)) == pid
+            {
+                mem.write_u32(fh.add(file_offsets::IN_USE), 0);
+                self.file_free.push(slot);
+            }
+        }
+    }
+
+    fn socket_gpa_checked(&self, mem: &GuestMemory, id: SocketId) -> Result<Gpa, KernelError> {
+        if id.0 >= self.layout.socket_capacity {
+            return Err(KernelError::NoSuchSocket(id.0));
+        }
+        let s = self.layout.socket_slot(id.0);
+        if mem.read_u32(s.add(socket_offsets::IN_USE)) == 0 {
+            return Err(KernelError::NoSuchSocket(id.0));
+        }
+        Ok(s)
+    }
+
+    fn node_gpa(&self, gva: Gva) -> Gpa {
+        gva.kernel_to_gpa()
+            .expect("kernel list pointers must be kernel GVAs")
+    }
+}
+
+/// Synthetic instruction-pointer for kernel code paths, so watchpoint events
+/// attribute kernel writes recognisably.
+fn kernel_rip(path: u64) -> u64 {
+    0xffff_ffff_8100_0000 + path * 0x100
+}
+
+/// Synthetic instruction-pointer for attacker-controlled code paths.
+fn attacker_rip(path: u64) -> u64 {
+    0xdead_0000_0000_0000 + path * 0x100
+}
+
+fn syscall_handler_addr(idx: usize) -> u64 {
+    0xffff_ffff_8180_0000 + (idx as u64) * 0x40
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::KernelLayout;
+
+    fn setup() -> (GuestMemory, Kernel) {
+        let mut mem = GuestMemory::new(2048, 1);
+        let layout = KernelLayout::for_pages(2048);
+        let kernel = Kernel::install(&mut mem, layout);
+        (mem, kernel)
+    }
+
+    /// Walk the in-memory task list from init_task, returning pids in order.
+    fn walk_task_list(mem: &GuestMemory, k: &Kernel) -> Vec<u32> {
+        let init = k.layout().task_slot(0);
+        let mut pids = vec![mem.read_u32(init.add(task_offsets::PID))];
+        let mut cur = Gva(mem.read_u64(init.add(task_offsets::NEXT)));
+        let init_gva = init.to_kernel_gva();
+        let mut steps = 0;
+        while cur != init_gva {
+            let gpa = cur.kernel_to_gpa().unwrap();
+            pids.push(mem.read_u32(gpa.add(task_offsets::PID)));
+            cur = Gva(mem.read_u64(gpa.add(task_offsets::NEXT)));
+            steps += 1;
+            assert!(steps < 10_000, "task list does not terminate");
+        }
+        pids
+    }
+
+    #[test]
+    fn install_writes_banner() {
+        let (mem, k) = setup();
+        let mut buf = vec![0u8; LINUX_BANNER.len()];
+        mem.read(k.layout().banner, &mut buf);
+        assert_eq!(&buf, LINUX_BANNER.as_bytes());
+    }
+
+    #[test]
+    fn install_creates_swapper_only() {
+        let (mem, k) = setup();
+        assert_eq!(walk_task_list(&mem, &k), vec![0]);
+        assert_eq!(k.pids(), vec![0]);
+    }
+
+    #[test]
+    fn syscall_table_is_known_good_after_install() {
+        let (mem, k) = setup();
+        for i in 0..SYSCALL_COUNT {
+            assert_eq!(
+                mem.read_u64(k.layout().syscall_table.add(i as u64 * 8)),
+                Kernel::good_syscall_handler(i)
+            );
+        }
+    }
+
+    #[test]
+    fn spawn_links_into_list_in_order() {
+        let (mut mem, mut k) = setup();
+        let a = k
+            .spawn(&mut mem, "nginx", 33, Gva(0x4000_0000), Gpa(0), 4096, 10)
+            .unwrap();
+        let b = k
+            .spawn(&mut mem, "sshd", 0, Gva(0x5000_0000), Gpa(0), 4096, 20)
+            .unwrap();
+        assert_eq!(walk_task_list(&mem, &k), vec![0, a, b]);
+    }
+
+    #[test]
+    fn spawn_populates_task_fields() {
+        let (mut mem, mut k) = setup();
+        let pid = k
+            .spawn(&mut mem, "worker", 1000, Gva(0x4000_0000), Gpa(0), 8192, 99)
+            .unwrap();
+        let slot = k.task_slot_of(pid).unwrap();
+        let t = k.layout().task_slot(slot);
+        assert_eq!(mem.read_u32(t.add(task_offsets::MAGIC)), TASK_MAGIC);
+        assert_eq!(mem.read_u32(t.add(task_offsets::PID)), pid);
+        assert_eq!(mem.read_u32(t.add(task_offsets::UID)), 1000);
+        let mut comm = [0u8; 16];
+        mem.read(t.add(task_offsets::COMM), &mut comm);
+        assert_eq!(&comm[..6], b"worker");
+        assert_eq!(mem.read_u64(t.add(task_offsets::START_TIME)), 99);
+        assert_eq!(mem.read_u64(t.add(task_offsets::MM_SIZE)), 8192);
+    }
+
+    #[test]
+    fn exit_unlinks_and_frees_slab_slot() {
+        let (mut mem, mut k) = setup();
+        let a = k.spawn(&mut mem, "a", 0, Gva(0), Gpa(0), 0, 0).unwrap();
+        let b = k.spawn(&mut mem, "b", 0, Gva(0), Gpa(0), 0, 0).unwrap();
+        k.exit(&mut mem, a).unwrap();
+        assert_eq!(walk_task_list(&mem, &k), vec![0, b]);
+        // Slab slot keeps stale pid but freed magic — psscan material.
+        let slot = k.layout().task_slot(1);
+        assert_eq!(
+            mem.read_u32(slot.add(task_offsets::MAGIC)),
+            TASK_FREED_MAGIC
+        );
+        assert_eq!(mem.read_u32(slot.add(task_offsets::PID)), a);
+    }
+
+    #[test]
+    fn exit_of_unknown_pid_fails() {
+        let (mut mem, mut k) = setup();
+        assert_eq!(k.exit(&mut mem, 77), Err(KernelError::NoSuchPid(77)));
+    }
+
+    #[test]
+    fn swapper_cannot_exit() {
+        let (mut mem, mut k) = setup();
+        assert_eq!(k.exit(&mut mem, 0), Err(KernelError::NoSuchPid(0)));
+    }
+
+    #[test]
+    fn slab_slot_is_reused_after_exit() {
+        let (mut mem, mut k) = setup();
+        let a = k.spawn(&mut mem, "a", 0, Gva(0), Gpa(0), 0, 0).unwrap();
+        let slot_a = k.task_slot_of(a).unwrap();
+        k.exit(&mut mem, a).unwrap();
+        let b = k.spawn(&mut mem, "b", 0, Gva(0), Gpa(0), 0, 0).unwrap();
+        assert_eq!(k.task_slot_of(b).unwrap(), slot_a);
+    }
+
+    #[test]
+    fn hide_removes_from_list_but_not_hash() {
+        let (mut mem, mut k) = setup();
+        let evil = k
+            .spawn(&mut mem, "rootkit", 0, Gva(0), Gpa(0), 0, 0)
+            .unwrap();
+        k.hide_process(&mut mem, evil).unwrap();
+        assert!(!walk_task_list(&mem, &k).contains(&evil));
+        assert_eq!(k.hidden_pids(), &[evil]);
+        // pid hash still holds the entry.
+        let cap = k.layout().pid_hash_capacity;
+        let mut found = false;
+        for i in 0..cap {
+            let s = k.layout().pid_slot(i);
+            if mem.read_u32(s.add(4)) == 1 && mem.read_u32(s) == evil {
+                found = true;
+            }
+        }
+        assert!(found, "hidden pid should stay in pid hash");
+    }
+
+    #[test]
+    fn hidden_process_can_still_exit() {
+        let (mut mem, mut k) = setup();
+        let evil = k
+            .spawn(&mut mem, "rootkit", 0, Gva(0), Gpa(0), 0, 0)
+            .unwrap();
+        k.hide_process(&mut mem, evil).unwrap();
+        k.exit(&mut mem, evil).unwrap();
+        assert!(k.hidden_pids().is_empty());
+        assert_eq!(walk_task_list(&mem, &k), vec![0]);
+    }
+
+    #[test]
+    fn double_hide_fails() {
+        let (mut mem, mut k) = setup();
+        let p = k.spawn(&mut mem, "p", 0, Gva(0), Gpa(0), 0, 0).unwrap();
+        k.hide_process(&mut mem, p).unwrap();
+        assert!(k.hide_process(&mut mem, p).is_err());
+    }
+
+    #[test]
+    fn hijack_overwrites_entry_and_returns_old() {
+        let (mut mem, mut k) = setup();
+        let old = k.hijack_syscall(&mut mem, 11, 0xbad0_0bad).unwrap();
+        assert_eq!(old, Kernel::good_syscall_handler(11));
+        assert_eq!(
+            mem.read_u64(k.layout().syscall_table.add(11 * 8)),
+            0xbad0_0bad
+        );
+    }
+
+    #[test]
+    fn hijack_out_of_range_fails() {
+        let (mut mem, mut k) = setup();
+        assert_eq!(
+            k.hijack_syscall(&mut mem, SYSCALL_COUNT, 1),
+            Err(KernelError::BadSyscallIndex(SYSCALL_COUNT))
+        );
+    }
+
+    fn walk_module_list(mem: &GuestMemory, k: &Kernel) -> Vec<String> {
+        let head = k.layout().modules_head;
+        let head_gva = head.to_kernel_gva();
+        let mut names = Vec::new();
+        let mut cur = Gva(mem.read_u64(head));
+        let mut steps = 0;
+        while cur != head_gva {
+            let gpa = cur.kernel_to_gpa().unwrap();
+            let mut buf = [0u8; 32];
+            mem.read(gpa.add(module_offsets::NAME), &mut buf);
+            let end = buf.iter().position(|&b| b == 0).unwrap_or(32);
+            names.push(String::from_utf8_lossy(&buf[..end]).into_owned());
+            cur = Gva(mem.read_u64(gpa.add(module_offsets::NEXT)));
+            steps += 1;
+            assert!(steps < 1000, "module list does not terminate");
+        }
+        names
+    }
+
+    #[test]
+    fn modules_load_at_head_and_unload() {
+        let (mut mem, mut k) = setup();
+        k.load_module(&mut mem, "ext4", 0x4000).unwrap();
+        k.load_module(&mut mem, "e1000", 0x2000).unwrap();
+        assert_eq!(walk_module_list(&mem, &k), vec!["e1000", "ext4"]);
+        k.unload_module(&mut mem, "e1000").unwrap();
+        assert_eq!(walk_module_list(&mem, &k), vec!["ext4"]);
+        k.unload_module(&mut mem, "ext4").unwrap();
+        assert!(walk_module_list(&mem, &k).is_empty());
+    }
+
+    #[test]
+    fn unload_unknown_module_fails() {
+        let (mut mem, mut k) = setup();
+        assert!(matches!(
+            k.unload_module(&mut mem, "ghost"),
+            Err(KernelError::NoSuchModule(_))
+        ));
+    }
+
+    #[test]
+    fn sockets_round_trip_through_memory() {
+        let (mut mem, mut k) = setup();
+        let pid = k
+            .spawn(&mut mem, "malware", 0, Gva(0), Gpa(0), 0, 0)
+            .unwrap();
+        let sid = k
+            .open_socket(
+                &mut mem,
+                pid,
+                6,
+                0xc0a8_014c,
+                49164,
+                0x681c_1259,
+                8080,
+                TcpState::Established,
+            )
+            .unwrap();
+        let s = k.layout().socket_slot(sid.0);
+        assert_eq!(mem.read_u32(s.add(socket_offsets::IN_USE)), 1);
+        assert_eq!(mem.read_u32(s.add(socket_offsets::OWNER_PID)), pid);
+        k.set_socket_state(&mut mem, sid, TcpState::CloseWait)
+            .unwrap();
+        let mut st = [0u8; 2];
+        mem.read(s.add(socket_offsets::STATE), &mut st);
+        assert_eq!(u16::from_le_bytes(st), TcpState::CloseWait as u16);
+        k.close_socket(&mut mem, sid).unwrap();
+        assert_eq!(mem.read_u32(s.add(socket_offsets::IN_USE)), 0);
+    }
+
+    #[test]
+    fn socket_for_unknown_pid_fails() {
+        let (mut mem, mut k) = setup();
+        assert!(k
+            .open_socket(&mut mem, 99, 6, 0, 0, 0, 0, TcpState::Listen)
+            .is_err());
+    }
+
+    #[test]
+    fn close_socket_twice_fails() {
+        let (mut mem, mut k) = setup();
+        let pid = k.spawn(&mut mem, "p", 0, Gva(0), Gpa(0), 0, 0).unwrap();
+        let sid = k
+            .open_socket(&mut mem, pid, 6, 0, 80, 0, 0, TcpState::Listen)
+            .unwrap();
+        k.close_socket(&mut mem, sid).unwrap();
+        assert!(k.close_socket(&mut mem, sid).is_err());
+    }
+
+    #[test]
+    fn files_round_trip_and_close_on_exit() {
+        let (mut mem, mut k) = setup();
+        let pid = k.spawn(&mut mem, "p", 0, Gva(0), Gpa(0), 0, 0).unwrap();
+        let fid = k.open_file(&mut mem, pid, "/etc/passwd").unwrap();
+        let fh = k.layout().file_slot(fid.0);
+        assert_eq!(mem.read_u32(fh.add(file_offsets::IN_USE)), 1);
+        let mut path = [0u8; file_offsets::PATH_LEN];
+        mem.read(fh.add(file_offsets::PATH), &mut path);
+        assert!(path.starts_with(b"/etc/passwd\0"));
+        // Exit closes the handle.
+        k.exit(&mut mem, pid).unwrap();
+        assert_eq!(mem.read_u32(fh.add(file_offsets::IN_USE)), 0);
+    }
+
+    #[test]
+    fn exit_closes_sockets_too() {
+        let (mut mem, mut k) = setup();
+        let pid = k.spawn(&mut mem, "p", 0, Gva(0), Gpa(0), 0, 0).unwrap();
+        let sid = k
+            .open_socket(&mut mem, pid, 6, 0, 80, 0, 0, TcpState::Listen)
+            .unwrap();
+        k.exit(&mut mem, pid).unwrap();
+        let s = k.layout().socket_slot(sid.0);
+        assert_eq!(mem.read_u32(s.add(socket_offsets::IN_USE)), 0);
+    }
+
+    #[test]
+    fn pid_hash_survives_collisions() {
+        let (mut mem, mut k) = setup();
+        // Spawn enough processes that probe chains form.
+        let pids: Vec<u32> = (0..50)
+            .map(|i| {
+                k.spawn(&mut mem, &format!("p{i}"), 0, Gva(0), Gpa(0), 0, 0)
+                    .unwrap()
+            })
+            .collect();
+        // Every pid must be findable in the hash.
+        for pid in &pids {
+            let cap = k.layout().pid_hash_capacity;
+            let found = (0..cap).any(|i| {
+                let s = k.layout().pid_slot(i);
+                mem.read_u32(s.add(4)) == 1 && mem.read_u32(s) == *pid
+            });
+            assert!(found, "pid {pid} missing from hash");
+        }
+    }
+
+    #[test]
+    fn task_slab_exhaustion_is_reported() {
+        let (mut mem, mut k) = setup();
+        let cap = k.layout().task_capacity;
+        for i in 0..cap - 1 {
+            k.spawn(&mut mem, &format!("p{i}"), 0, Gva(0), Gpa(0), 0, 0)
+                .unwrap();
+        }
+        assert_eq!(
+            k.spawn(&mut mem, "straw", 0, Gva(0), Gpa(0), 0, 0),
+            Err(KernelError::TaskSlabFull)
+        );
+    }
+
+    #[test]
+    fn kernel_errors_display_nonempty() {
+        for e in [
+            KernelError::TaskSlabFull,
+            KernelError::PidHashFull,
+            KernelError::NoSuchPid(1),
+            KernelError::ModuleSlabFull,
+            KernelError::NoSuchModule("x".into()),
+            KernelError::SocketTableFull,
+            KernelError::NoSuchSocket(1),
+            KernelError::FileTableFull,
+            KernelError::NoSuchFile(1),
+            KernelError::BadSyscallIndex(1),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Guest kernel memory layout: where the simulated kernel keeps the data
+//! structures that CRIMES introspects.
+//!
+//! The layout intentionally mirrors the *shape* of a Linux kernel image: a
+//! banner string, a syscall table, a circular doubly-linked task list rooted
+//! at `init_task`, a module list, a pid hash, slab-backed task storage
+//! (`kmem_cache`), socket and file tables, and the guest-aided canary table
+//! CRIMES' buffer-overflow module reads (§4.2). All structures are stored as
+//! little-endian bytes in guest memory; nothing is visible to the
+//! hypervisor-side tools except through memory reads plus the `System.map`
+//! symbol table, exactly like LibVMI.
+
+use crate::addr::{Gpa, PAGE_SIZE};
+
+/// Number of syscall-table entries.
+pub const SYSCALL_COUNT: usize = 256;
+
+/// Size of one task struct in bytes.
+pub const TASK_STRUCT_SIZE: u64 = 128;
+
+/// Magic tag at offset 0 of every live task struct; `psscan` keys on it.
+pub const TASK_MAGIC: u32 = 0x5441_534b; // "KSAT"
+
+/// Magic tag of a freed (but not yet scrubbed) task slab slot.
+pub const TASK_FREED_MAGIC: u32 = 0x4445_4144; // "DAED"
+
+/// Size of one module struct in bytes.
+pub const MODULE_STRUCT_SIZE: u64 = 64;
+
+/// Magic tag of a live module struct.
+pub const MODULE_MAGIC: u32 = 0x4d4f_4455; // "UDOM"
+
+/// Size of one pid-hash slot (`{pid: u32, in_use: u32, task_gva: u64}`).
+pub const PID_SLOT_SIZE: u64 = 16;
+
+/// Size of one socket struct.
+pub const SOCKET_STRUCT_SIZE: u64 = 64;
+
+/// Size of one file-handle struct.
+pub const FILE_STRUCT_SIZE: u64 = 128;
+
+/// Size of one canary-table record
+/// (`{canary_gva: u64, object_gva: u64, size: u64, live: u32, pad: u32}`).
+pub const CANARY_RECORD_SIZE: u64 = 32;
+
+/// Length of the canary written after every heap object, in bytes.
+pub const CANARY_LEN: usize = 8;
+
+/// Field offsets inside a task struct.
+pub mod task_offsets {
+    /// `u32` magic tag ([`super::TASK_MAGIC`]).
+    pub const MAGIC: u64 = 0x00;
+    /// `u32` process id.
+    pub const PID: u64 = 0x04;
+    /// `u32` user id.
+    pub const UID: u64 = 0x08;
+    /// `u32` scheduler state (see `kernel::TaskState`).
+    pub const STATE: u64 = 0x0c;
+    /// 16-byte NUL-padded command name.
+    pub const COMM: u64 = 0x10;
+    /// `u64` GVA of the next task struct in the circular list.
+    pub const NEXT: u64 = 0x20;
+    /// `u64` GVA of the previous task struct.
+    pub const PREV: u64 = 0x28;
+    /// `u64` start time in simulated nanoseconds.
+    pub const START_TIME: u64 = 0x30;
+    /// `u64` GVA of the start of the process's user mapping.
+    pub const MM_START: u64 = 0x38;
+    /// `u64` size in bytes of the user mapping.
+    pub const MM_SIZE: u64 = 0x40;
+    /// `u64` credential marker (0 = root).
+    pub const CRED: u64 = 0x48;
+    /// `u64` GPA backing the start of the user mapping (page-table root
+    /// stand-in; lets VMI translate user GVAs for this task).
+    pub const MM_PHYS: u64 = 0x50;
+}
+
+/// Field offsets inside a module struct.
+pub mod module_offsets {
+    /// `u32` magic tag ([`super::MODULE_MAGIC`]).
+    pub const MAGIC: u64 = 0x00;
+    /// 32-byte NUL-padded module name.
+    pub const NAME: u64 = 0x08;
+    /// `u64` module core size.
+    pub const SIZE: u64 = 0x28;
+    /// `u64` GVA of the next module struct (or the list head).
+    pub const NEXT: u64 = 0x30;
+    /// `u64` GVA of the previous module struct (or the list head).
+    pub const PREV: u64 = 0x38;
+}
+
+/// Field offsets inside a socket struct.
+pub mod socket_offsets {
+    /// `u32` 1 if the slot is live.
+    pub const IN_USE: u64 = 0x00;
+    /// `u32` owning pid.
+    pub const OWNER_PID: u64 = 0x04;
+    /// `u16` protocol (6 = TCP, 17 = UDP).
+    pub const PROTO: u64 = 0x08;
+    /// `u16` TCP state (see `kernel::TcpState`).
+    pub const STATE: u64 = 0x0a;
+    /// `u16` local port.
+    pub const LPORT: u64 = 0x0c;
+    /// `u16` foreign port.
+    pub const FPORT: u64 = 0x0e;
+    /// `u32` local IPv4 address.
+    pub const LADDR: u64 = 0x10;
+    /// `u32` foreign IPv4 address.
+    pub const FADDR: u64 = 0x14;
+}
+
+/// Field offsets inside a file-handle struct.
+pub mod file_offsets {
+    /// `u32` 1 if the slot is live.
+    pub const IN_USE: u64 = 0x00;
+    /// `u32` owning pid.
+    pub const OWNER_PID: u64 = 0x04;
+    /// 120-byte NUL-padded path.
+    pub const PATH: u64 = 0x08;
+    /// Maximum path length stored.
+    pub const PATH_LEN: usize = 120;
+}
+
+/// Field offsets inside a canary-table record.
+pub mod canary_offsets {
+    /// `u64` GVA of the canary bytes.
+    pub const CANARY_GVA: u64 = 0x00;
+    /// `u64` GVA of the protected object.
+    pub const OBJECT_GVA: u64 = 0x08;
+    /// `u64` object size in bytes.
+    pub const SIZE: u64 = 0x10;
+    /// `u32` 1 if the allocation is live.
+    pub const LIVE: u64 = 0x18;
+    /// `u32` owning pid, so the hypervisor can translate the GVAs through
+    /// the right address space.
+    pub const PID: u64 = 0x1c;
+}
+
+/// Compile-time-ish description of where every kernel region lives for a VM
+/// with a given memory size. All regions are page aligned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelLayout {
+    /// GPA of the `linux_banner` string.
+    pub banner: Gpa,
+    /// GPA of the syscall table ([`SYSCALL_COUNT`] `u64` entries).
+    pub syscall_table: Gpa,
+    /// GPA of the module list head (`{next: u64, prev: u64}`).
+    pub modules_head: Gpa,
+    /// GPA of the module slab region.
+    pub module_area: Gpa,
+    /// Capacity of the module slab in module structs.
+    pub module_capacity: usize,
+    /// GPA of the task slab (`kmem_cache` for task structs).
+    pub task_area: Gpa,
+    /// Capacity of the task slab in task structs.
+    pub task_capacity: usize,
+    /// GPA of the pid-hash slot array.
+    pub pid_hash: Gpa,
+    /// Number of pid-hash slots.
+    pub pid_hash_capacity: usize,
+    /// GPA of the socket table.
+    pub socket_table: Gpa,
+    /// Socket table capacity.
+    pub socket_capacity: usize,
+    /// GPA of the file-handle table.
+    pub file_table: Gpa,
+    /// File table capacity.
+    pub file_capacity: usize,
+    /// GPA of the guest-aided canary table header
+    /// (`{count: u64}` followed by records).
+    pub canary_table: Gpa,
+    /// Canary table capacity in records.
+    pub canary_capacity: usize,
+    /// First user-region page (everything below is kernel).
+    pub user_start: Gpa,
+    /// Total guest pages.
+    pub total_pages: usize,
+}
+
+impl KernelLayout {
+    /// Lay out the kernel for a guest of `total_pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the guest is too small to hold the kernel regions plus at
+    /// least one user page (minimum is about 6 MiB).
+    pub fn for_pages(total_pages: usize) -> Self {
+        let page = PAGE_SIZE as u64;
+        let mut cursor = 1u64; // page 0 reserved for the banner
+        let mut take = |pages: u64| {
+            let at = Gpa(cursor * page);
+            cursor += pages;
+            at
+        };
+
+        let banner = Gpa(0x100);
+        let syscall_table = take(1);
+        let modules_head = take(1);
+        let module_capacity = 64usize;
+        let module_area = take(module_area_pages(module_capacity));
+        let task_capacity = 1024usize;
+        let task_area = take(region_pages(task_capacity as u64 * TASK_STRUCT_SIZE));
+        let pid_hash_capacity = 1024usize;
+        let pid_hash = take(region_pages(pid_hash_capacity as u64 * PID_SLOT_SIZE));
+        let socket_capacity = 1024usize;
+        let socket_table = take(region_pages(socket_capacity as u64 * SOCKET_STRUCT_SIZE));
+        let file_capacity = 2048usize;
+        let file_table = take(region_pages(file_capacity as u64 * FILE_STRUCT_SIZE));
+        let canary_capacity = 16 * 1024usize;
+        let canary_table = take(region_pages(
+            8 + canary_capacity as u64 * CANARY_RECORD_SIZE,
+        ));
+
+        let user_start = Gpa(cursor * page);
+        assert!(
+            (cursor as usize) < total_pages,
+            "guest too small: kernel needs {cursor} pages, only {total_pages} available"
+        );
+
+        KernelLayout {
+            banner,
+            syscall_table,
+            modules_head,
+            module_area,
+            module_capacity,
+            task_area,
+            task_capacity,
+            pid_hash,
+            pid_hash_capacity,
+            socket_table,
+            socket_capacity,
+            file_table,
+            file_capacity,
+            canary_table,
+            canary_capacity,
+            user_start,
+            total_pages,
+        }
+    }
+
+    /// GPA of task slab slot `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= task_capacity`.
+    pub fn task_slot(&self, idx: usize) -> Gpa {
+        assert!(idx < self.task_capacity, "task slot {idx} out of range");
+        self.task_area.add(idx as u64 * TASK_STRUCT_SIZE)
+    }
+
+    /// GPA of module slab slot `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= module_capacity`.
+    pub fn module_slot(&self, idx: usize) -> Gpa {
+        assert!(idx < self.module_capacity, "module slot {idx} out of range");
+        self.module_area.add(idx as u64 * MODULE_STRUCT_SIZE)
+    }
+
+    /// GPA of pid-hash slot `idx`.
+    pub fn pid_slot(&self, idx: usize) -> Gpa {
+        assert!(idx < self.pid_hash_capacity, "pid slot {idx} out of range");
+        self.pid_hash.add(idx as u64 * PID_SLOT_SIZE)
+    }
+
+    /// GPA of socket slot `idx`.
+    pub fn socket_slot(&self, idx: usize) -> Gpa {
+        assert!(idx < self.socket_capacity, "socket slot {idx} out of range");
+        self.socket_table.add(idx as u64 * SOCKET_STRUCT_SIZE)
+    }
+
+    /// GPA of file-handle slot `idx`.
+    pub fn file_slot(&self, idx: usize) -> Gpa {
+        assert!(idx < self.file_capacity, "file slot {idx} out of range");
+        self.file_table.add(idx as u64 * FILE_STRUCT_SIZE)
+    }
+
+    /// GPA of canary record `idx` (records start after the 8-byte count).
+    pub fn canary_record(&self, idx: usize) -> Gpa {
+        assert!(
+            idx < self.canary_capacity,
+            "canary record {idx} out of range"
+        );
+        self.canary_table.add(8 + idx as u64 * CANARY_RECORD_SIZE)
+    }
+
+    /// Number of user pages available to processes.
+    pub fn user_pages(&self) -> usize {
+        self.total_pages - (self.user_start.0 as usize / PAGE_SIZE)
+    }
+
+    /// End of the task slab, exclusive — the `kmem_cache` scan range.
+    pub fn task_area_end(&self) -> Gpa {
+        self.task_area
+            .add(self.task_capacity as u64 * TASK_STRUCT_SIZE)
+    }
+}
+
+fn region_pages(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_SIZE as u64)
+}
+
+fn module_area_pages(capacity: usize) -> u64 {
+    region_pages(capacity as u64 * MODULE_STRUCT_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_regions_do_not_overlap() {
+        let l = KernelLayout::for_pages(8192);
+        let regions = [
+            (l.syscall_table.0, (SYSCALL_COUNT * 8) as u64),
+            (l.modules_head.0, 16),
+            (
+                l.module_area.0,
+                l.module_capacity as u64 * MODULE_STRUCT_SIZE,
+            ),
+            (l.task_area.0, l.task_capacity as u64 * TASK_STRUCT_SIZE),
+            (l.pid_hash.0, l.pid_hash_capacity as u64 * PID_SLOT_SIZE),
+            (
+                l.socket_table.0,
+                l.socket_capacity as u64 * SOCKET_STRUCT_SIZE,
+            ),
+            (l.file_table.0, l.file_capacity as u64 * FILE_STRUCT_SIZE),
+            (
+                l.canary_table.0,
+                8 + l.canary_capacity as u64 * CANARY_RECORD_SIZE,
+            ),
+        ];
+        for (i, &(s1, len1)) in regions.iter().enumerate() {
+            for &(s2, len2) in regions.iter().skip(i + 1) {
+                assert!(
+                    s1 + len1 <= s2 || s2 + len2 <= s1,
+                    "regions overlap: {s1:#x}+{len1:#x} vs {s2:#x}+{len2:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn user_region_follows_kernel() {
+        let l = KernelLayout::for_pages(8192);
+        assert!(l.user_start.0 > l.canary_table.0);
+        assert!(l.user_pages() > 0);
+        assert_eq!(l.user_start.page_offset(), 0);
+    }
+
+    #[test]
+    fn slot_accessors_are_contiguous() {
+        let l = KernelLayout::for_pages(8192);
+        assert_eq!(l.task_slot(1).0 - l.task_slot(0).0, TASK_STRUCT_SIZE);
+        assert_eq!(l.module_slot(1).0 - l.module_slot(0).0, MODULE_STRUCT_SIZE);
+        assert_eq!(l.pid_slot(1).0 - l.pid_slot(0).0, PID_SLOT_SIZE);
+        assert_eq!(
+            l.canary_record(1).0 - l.canary_record(0).0,
+            CANARY_RECORD_SIZE
+        );
+    }
+
+    #[test]
+    fn canary_records_start_after_count_header() {
+        let l = KernelLayout::for_pages(8192);
+        assert_eq!(l.canary_record(0).0, l.canary_table.0 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "guest too small")]
+    fn tiny_guest_panics() {
+        KernelLayout::for_pages(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn task_slot_out_of_range_panics() {
+        let l = KernelLayout::for_pages(8192);
+        l.task_slot(l.task_capacity);
+    }
+
+    #[test]
+    fn task_area_end_is_exclusive_bound() {
+        let l = KernelLayout::for_pages(8192);
+        assert_eq!(
+            l.task_area_end().0,
+            l.task_area.0 + l.task_capacity as u64 * TASK_STRUCT_SIZE
+        );
+    }
+}

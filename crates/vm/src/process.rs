@@ -1,0 +1,297 @@
+//! User-space process mappings.
+//!
+//! Each guest process owns a contiguous range of user pages, mapped at a
+//! fixed user virtual base (a flat mapping, like a statically-linked binary
+//! with one big arena). The mapping's physical base is published in the
+//! process's task struct (`MM_PHYS`), which is what lets hypervisor-side
+//! VMI translate user-space GVAs — our stand-in for walking the guest's
+//! page tables from CR3.
+
+use std::collections::BTreeMap;
+
+use crate::addr::{Gpa, Gva, PAGE_SIZE};
+
+/// The user virtual address where every process's arena starts. Matching
+/// Linux, it sits well below the canonical boundary.
+pub const USER_VIRT_BASE: u64 = 0x0000_5555_5555_0000;
+
+/// A process's single user mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserMapping {
+    /// First user virtual address.
+    pub virt_base: Gva,
+    /// Guest-physical address backing `virt_base`.
+    pub phys_base: Gpa,
+    /// Mapping length in bytes (whole pages).
+    pub len: u64,
+}
+
+impl UserMapping {
+    /// Translate a user GVA inside this mapping to its GPA.
+    pub fn translate(&self, gva: Gva) -> Option<Gpa> {
+        let off = gva.0.checked_sub(self.virt_base.0)?;
+        if off < self.len {
+            Some(self.phys_base.add(off))
+        } else {
+            None
+        }
+    }
+
+    /// Translate a GPA inside this mapping back to its user GVA.
+    pub fn translate_back(&self, gpa: Gpa) -> Option<Gva> {
+        let off = gpa.0.checked_sub(self.phys_base.0)?;
+        if off < self.len {
+            Some(self.virt_base.add(off))
+        } else {
+            None
+        }
+    }
+
+    /// One-past-the-end user virtual address.
+    pub fn virt_end(&self) -> Gva {
+        self.virt_base.add(self.len)
+    }
+}
+
+/// Host-side record of a live process (the guest-visible state lives in the
+/// kernel structures; this carries the mapping and heap cursor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Process {
+    /// Process id, as assigned by the kernel.
+    pub pid: u32,
+    /// Command name.
+    pub name: String,
+    /// The user arena mapping.
+    pub mapping: UserMapping,
+    /// Heap allocation state (owned by `heap::CanaryHeap`).
+    pub heap_cursor: u64,
+}
+
+/// Allocates user page ranges to processes and tracks live processes.
+#[derive(Debug, Clone)]
+pub struct ProcessTable {
+    procs: BTreeMap<u32, Process>,
+    /// Next free user page (simple bump allocation; exited processes'
+    /// arenas are not reused, mirroring how short evaluation runs behave).
+    next_user_gpa: Gpa,
+    user_end: Gpa,
+}
+
+/// Errors from process-table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcessError {
+    /// Not enough user memory left for the requested arena.
+    OutOfUserMemory {
+        /// Pages requested.
+        requested_pages: usize,
+        /// Pages remaining.
+        available_pages: usize,
+    },
+    /// The pid is not a live user process.
+    NoSuchProcess(u32),
+}
+
+impl std::fmt::Display for ProcessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcessError::OutOfUserMemory {
+                requested_pages,
+                available_pages,
+            } => write!(
+                f,
+                "out of user memory: requested {requested_pages} pages, {available_pages} available"
+            ),
+            ProcessError::NoSuchProcess(pid) => write!(f, "no such process {pid}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcessError {}
+
+impl ProcessTable {
+    /// Manage the user region `[user_start, user_end)`.
+    pub fn new(user_start: Gpa, user_end: Gpa) -> Self {
+        assert!(user_start.0 < user_end.0, "empty user region");
+        ProcessTable {
+            procs: BTreeMap::new(),
+            next_user_gpa: user_start,
+            user_end,
+        }
+    }
+
+    /// Reserve an arena of `pages` user pages without registering a
+    /// process — used when the pid is only known after the kernel spawns
+    /// the task. Follow with [`ProcessTable::insert`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the user region is exhausted.
+    pub fn reserve(&mut self, pages: usize) -> Result<UserMapping, ProcessError> {
+        let len = pages as u64 * PAGE_SIZE as u64;
+        let available = (self.user_end.0 - self.next_user_gpa.0) / PAGE_SIZE as u64;
+        if (pages as u64) > available {
+            return Err(ProcessError::OutOfUserMemory {
+                requested_pages: pages,
+                available_pages: available as usize,
+            });
+        }
+        let mapping = UserMapping {
+            virt_base: Gva(USER_VIRT_BASE),
+            phys_base: self.next_user_gpa,
+            len,
+        };
+        self.next_user_gpa = self.next_user_gpa.add(len);
+        Ok(mapping)
+    }
+
+    /// Register a process whose arena was reserved with
+    /// [`ProcessTable::reserve`].
+    pub fn insert(&mut self, proc: Process) {
+        self.procs.insert(proc.pid, proc);
+    }
+
+    /// Reserve an arena and register the process in one step.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the user region is exhausted.
+    pub fn register(
+        &mut self,
+        pid: u32,
+        name: &str,
+        pages: usize,
+    ) -> Result<UserMapping, ProcessError> {
+        let mapping = self.reserve(pages)?;
+        self.insert(Process {
+            pid,
+            name: name.to_owned(),
+            mapping,
+            heap_cursor: 0,
+        });
+        Ok(mapping)
+    }
+
+    /// Remove a process record.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `pid` is not registered.
+    pub fn remove(&mut self, pid: u32) -> Result<Process, ProcessError> {
+        self.procs
+            .remove(&pid)
+            .ok_or(ProcessError::NoSuchProcess(pid))
+    }
+
+    /// Look up a live process.
+    pub fn get(&self, pid: u32) -> Option<&Process> {
+        self.procs.get(&pid)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, pid: u32) -> Option<&mut Process> {
+        self.procs.get_mut(&pid)
+    }
+
+    /// Live pids in ascending order.
+    pub fn pids(&self) -> Vec<u32> {
+        self.procs.keys().copied().collect()
+    }
+
+    /// Number of live processes.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// `true` when no process is registered.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Pages still available for new arenas.
+    pub fn available_pages(&self) -> usize {
+        ((self.user_end.0 - self.next_user_gpa.0) / PAGE_SIZE as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ProcessTable {
+        ProcessTable::new(Gpa(0x10_0000), Gpa(0x14_0000)) // 64 user pages
+    }
+
+    #[test]
+    fn register_hands_out_disjoint_arenas() {
+        let mut t = table();
+        let a = t.register(1, "a", 4).unwrap();
+        let b = t.register(2, "b", 4).unwrap();
+        assert_eq!(a.phys_base, Gpa(0x10_0000));
+        assert_eq!(b.phys_base, Gpa(0x10_0000 + 4 * PAGE_SIZE as u64));
+        assert_eq!(a.virt_base, b.virt_base, "all procs share a virt base");
+    }
+
+    #[test]
+    fn translate_round_trips() {
+        let mut t = table();
+        let m = t.register(1, "a", 4).unwrap();
+        let gva = m.virt_base.add(5000);
+        let gpa = m.translate(gva).unwrap();
+        assert_eq!(m.translate_back(gpa), Some(gva));
+    }
+
+    #[test]
+    fn translate_out_of_range_is_none() {
+        let mut t = table();
+        let m = t.register(1, "a", 1).unwrap();
+        assert!(m.translate(m.virt_base.add(PAGE_SIZE as u64)).is_none());
+        assert!(m.translate(Gva(USER_VIRT_BASE - 1)).is_none());
+        assert!(m.translate_back(Gpa(0)).is_none());
+    }
+
+    #[test]
+    fn exhaustion_reports_remaining() {
+        let mut t = table();
+        t.register(1, "a", 60).unwrap();
+        let err = t.register(2, "b", 8).unwrap_err();
+        assert_eq!(
+            err,
+            ProcessError::OutOfUserMemory {
+                requested_pages: 8,
+                available_pages: 4
+            }
+        );
+    }
+
+    #[test]
+    fn remove_then_get_is_none() {
+        let mut t = table();
+        t.register(1, "a", 1).unwrap();
+        assert_eq!(t.remove(1).unwrap().name, "a");
+        assert!(t.get(1).is_none());
+        assert_eq!(t.remove(1), Err(ProcessError::NoSuchProcess(1)));
+    }
+
+    #[test]
+    fn pids_are_sorted() {
+        let mut t = table();
+        t.register(5, "e", 1).unwrap();
+        t.register(2, "b", 1).unwrap();
+        assert_eq!(t.pids(), vec![2, 5]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn virt_end_is_exclusive() {
+        let mut t = table();
+        let m = t.register(1, "a", 2).unwrap();
+        assert_eq!(m.virt_end().0 - m.virt_base.0, 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty user region")]
+    fn empty_region_panics() {
+        ProcessTable::new(Gpa(100), Gpa(100));
+    }
+}

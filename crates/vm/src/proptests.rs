@@ -1,0 +1,126 @@
+//! Property tests over the substrate's lowest layers: guest memory,
+//! dirty tracking, the kernel layout, and `System.map` parsing.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::addr::{Gpa, Gva, Pfn, PAGE_SIZE};
+use crate::layout::KernelLayout;
+use crate::mem::GuestMemory;
+use crate::symbols::SystemMap;
+
+proptest! {
+    /// Any write anywhere (including page-straddling spans) reads back
+    /// exactly, and dirties exactly the pages the span covers.
+    #[test]
+    fn memory_write_read_round_trip(
+        offset in 0u64..(64 * PAGE_SIZE as u64 - 512),
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        seed in any::<u64>(),
+    ) {
+        let mut mem = GuestMemory::new(64, seed);
+        let gpa = Gpa(offset);
+        mem.write(gpa, &data);
+        let mut back = vec![0u8; data.len()];
+        mem.read(gpa, &mut back);
+        prop_assert_eq!(&back, &data);
+
+        let first = gpa.pfn().0;
+        let last = gpa.add(data.len() as u64 - 1).pfn().0;
+        for pfn in 0..64u64 {
+            prop_assert_eq!(
+                mem.dirty().is_dirty(Pfn(pfn)),
+                (first..=last).contains(&pfn),
+                "page {} dirty state wrong for span {}..{}",
+                pfn, first, last
+            );
+        }
+    }
+
+    /// Overlapping writes behave like writes to a flat buffer: the guest's
+    /// view equals a reference model regardless of the MFN permutation.
+    #[test]
+    fn memory_matches_flat_reference_model(
+        writes in proptest::collection::vec(
+            (0u64..(16 * PAGE_SIZE as u64 - 64), proptest::collection::vec(any::<u8>(), 1..64)),
+            0..32,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let mut mem = GuestMemory::new(16, seed);
+        let mut reference = vec![0u8; 16 * PAGE_SIZE];
+        for (offset, data) in &writes {
+            mem.write(Gpa(*offset), data);
+            reference[*offset as usize..*offset as usize + data.len()].copy_from_slice(data);
+        }
+        let mut all = vec![0u8; 16 * PAGE_SIZE];
+        mem.read(Gpa(0), &mut all);
+        prop_assert_eq!(all, reference);
+    }
+
+    /// `dump_frames` → `restore_frames` is an exact round trip under any
+    /// interleaving of writes.
+    #[test]
+    fn dump_restore_round_trips(
+        before in proptest::collection::vec((0u64..(8 * PAGE_SIZE as u64 - 8), any::<u64>()), 0..16),
+        after in proptest::collection::vec((0u64..(8 * PAGE_SIZE as u64 - 8), any::<u64>()), 1..16),
+    ) {
+        let mut mem = GuestMemory::new(8, 1);
+        for (off, v) in &before {
+            mem.write_u64(Gpa(*off), *v);
+        }
+        let dump = mem.dump_frames();
+        for (off, v) in &after {
+            mem.write_u64(Gpa(*off), !*v);
+        }
+        mem.restore_frames(&dump);
+        let mut all = vec![0u8; 8 * PAGE_SIZE];
+        mem.read(Gpa(0), &mut all);
+        let mut reference = GuestMemory::new(8, 1);
+        for (off, v) in &before {
+            reference.write_u64(Gpa(*off), *v);
+        }
+        let mut expect = vec![0u8; 8 * PAGE_SIZE];
+        reference.read(Gpa(0), &mut expect);
+        prop_assert_eq!(all, expect);
+    }
+
+    /// The kernel layout never overlaps regions and always leaves user
+    /// pages, for any plausible guest size.
+    #[test]
+    fn layout_is_sound_for_any_size(total_pages in 1800usize..65536) {
+        let l = KernelLayout::for_pages(total_pages);
+        prop_assert!(l.user_pages() > 0);
+        prop_assert!(l.user_start.0 as usize / PAGE_SIZE <= total_pages);
+        // Region bounds are monotonically increasing in layout order.
+        let bounds = [
+            l.syscall_table.0,
+            l.modules_head.0,
+            l.module_area.0,
+            l.task_area.0,
+            l.pid_hash.0,
+            l.socket_table.0,
+            l.file_table.0,
+            l.canary_table.0,
+            l.user_start.0,
+        ];
+        for w in bounds.windows(2) {
+            prop_assert!(w[0] < w[1], "regions out of order: {:?}", bounds);
+        }
+    }
+
+    /// System.map parsing accepts anything `to_text` produces, for
+    /// arbitrary symbol sets.
+    #[test]
+    fn system_map_round_trips(
+        symbols in proptest::collection::btree_map("[a-z_][a-z0-9_]{0,30}", any::<u64>(), 0..50),
+    ) {
+        let mut m = SystemMap::new();
+        for (name, addr) in &symbols {
+            m.insert(name, Gva(*addr));
+        }
+        let parsed = SystemMap::parse(&m.to_text()).expect("own text must parse");
+        prop_assert_eq!(parsed, m);
+    }
+}

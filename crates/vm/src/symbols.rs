@@ -1,0 +1,231 @@
+//! `System.map` — the symbol table a cloud provider holds for a known guest
+//! kernel version, which is what makes virtual machine introspection
+//! possible (§3.2: "using a System.map file to locate kernel data
+//! structures for a VM running a known version of Linux").
+//!
+//! The map is produced (and consumed) in the classic textual format:
+//!
+//! ```text
+//! ffff880000001000 D sys_call_table
+//! ```
+//!
+//! `crimes-vmi` parses this text during its *initialization* phase, so the
+//! Table 3 init-cost measurement exercises a real parse.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::addr::Gva;
+use crate::layout::KernelLayout;
+
+/// Kernel version banner of the simulated guest. Matches the paper's
+/// evaluation guests (OpenSUSE 13.1, Linux 4.8).
+pub const LINUX_BANNER: &str =
+    "Linux version 4.8.0-crimes (gcc version 4.8.1) #1 SMP Mon Dec 10 2018";
+
+/// Well-known symbol names exported by the simulated kernel.
+pub mod names {
+    /// The kernel version banner string.
+    pub const LINUX_BANNER: &str = "linux_banner";
+    /// The syscall table.
+    pub const SYS_CALL_TABLE: &str = "sys_call_table";
+    /// Head of the circular task list (pid 0's task struct).
+    pub const INIT_TASK: &str = "init_task";
+    /// The module list head.
+    pub const MODULES: &str = "modules";
+    /// The pid hash array.
+    pub const PID_HASH: &str = "pid_hash";
+    /// Base of the task-struct slab (`kmem_cache`).
+    pub const TASK_SLAB: &str = "task_struct_cachep";
+    /// Base of the module slab (`kmem_cache` for module structs).
+    pub const MODULE_SLAB: &str = "module_cachep";
+    /// The socket table.
+    pub const SOCKET_TABLE: &str = "crimes_socket_table";
+    /// The open-file table.
+    pub const FILE_TABLE: &str = "crimes_file_table";
+    /// The guest-aided canary table (installed by the malloc wrapper).
+    pub const CANARY_TABLE: &str = "crimes_canary_table";
+}
+
+/// An in-memory `System.map`: symbol name → kernel virtual address.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SystemMap {
+    symbols: BTreeMap<String, Gva>,
+}
+
+impl SystemMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        SystemMap::default()
+    }
+
+    /// Build the map for a guest laid out as `layout`. `init_task` points at
+    /// task slab slot 0, where the kernel writer places the swapper task.
+    pub fn for_layout(layout: &KernelLayout) -> Self {
+        let mut m = SystemMap::new();
+        m.insert(names::LINUX_BANNER, layout.banner.to_kernel_gva());
+        m.insert(names::SYS_CALL_TABLE, layout.syscall_table.to_kernel_gva());
+        m.insert(names::INIT_TASK, layout.task_slot(0).to_kernel_gva());
+        m.insert(names::MODULES, layout.modules_head.to_kernel_gva());
+        m.insert(names::PID_HASH, layout.pid_hash.to_kernel_gva());
+        m.insert(names::TASK_SLAB, layout.task_area.to_kernel_gva());
+        m.insert(names::MODULE_SLAB, layout.module_area.to_kernel_gva());
+        m.insert(names::SOCKET_TABLE, layout.socket_table.to_kernel_gva());
+        m.insert(names::FILE_TABLE, layout.file_table.to_kernel_gva());
+        m.insert(names::CANARY_TABLE, layout.canary_table.to_kernel_gva());
+        // Pad with filler symbols so parsing cost resembles a real
+        // System.map (tens of thousands of lines) instead of nine.
+        for i in 0..20_000u64 {
+            m.insert(
+                &format!("__ksym_filler_{i:05}"),
+                Gva(0xffff_8800_4000_0000 + i * 16),
+            );
+        }
+        m
+    }
+
+    /// Insert or replace a symbol.
+    pub fn insert(&mut self, name: &str, addr: Gva) {
+        self.symbols.insert(name.to_owned(), addr);
+    }
+
+    /// Look up a symbol.
+    pub fn lookup(&self, name: &str) -> Option<Gva> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// `true` if the map holds no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Render the classic `System.map` text (`addr TYPE name` per line,
+    /// sorted by address like the real file).
+    pub fn to_text(&self) -> String {
+        let mut entries: Vec<(&String, &Gva)> = self.symbols.iter().collect();
+        entries.sort_by_key(|(_, gva)| gva.0);
+        let mut out = String::with_capacity(entries.len() * 40);
+        for (name, gva) in entries {
+            // All our symbols are data symbols; use 'D' like sys_call_table.
+            fmt::Write::write_fmt(&mut out, format_args!("{:016x} D {}\n", gva.0, name))
+                .expect("string write cannot fail");
+        }
+        out
+    }
+
+    /// Parse `System.map` text produced by [`SystemMap::to_text`] (or a real
+    /// kernel build).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut m = SystemMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let addr = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing address", lineno + 1))?;
+            let _ty = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing type", lineno + 1))?;
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing symbol name", lineno + 1))?;
+            let addr = u64::from_str_radix(addr, 16)
+                .map_err(|e| format!("line {}: bad address: {e}", lineno + 1))?;
+            m.insert(name, Gva(addr));
+        }
+        Ok(m)
+    }
+
+    /// Iterate over `(name, gva)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Gva)> {
+        self.symbols.iter().map(|(n, g)| (n.as_str(), *g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_map_contains_all_known_symbols() {
+        let layout = KernelLayout::for_pages(8192);
+        let m = SystemMap::for_layout(&layout);
+        for name in [
+            names::LINUX_BANNER,
+            names::SYS_CALL_TABLE,
+            names::INIT_TASK,
+            names::MODULES,
+            names::PID_HASH,
+            names::TASK_SLAB,
+            names::SOCKET_TABLE,
+            names::FILE_TABLE,
+            names::CANARY_TABLE,
+        ] {
+            assert!(m.lookup(name).is_some(), "missing symbol {name}");
+        }
+    }
+
+    #[test]
+    fn symbols_are_kernel_addresses() {
+        let layout = KernelLayout::for_pages(8192);
+        let m = SystemMap::for_layout(&layout);
+        for (name, gva) in m.iter() {
+            assert!(gva.is_kernel(), "symbol {name} not in kernel space");
+        }
+    }
+
+    #[test]
+    fn map_is_padded_to_realistic_size() {
+        let layout = KernelLayout::for_pages(8192);
+        let m = SystemMap::for_layout(&layout);
+        assert!(m.len() > 10_000, "map should resemble a real System.map");
+    }
+
+    #[test]
+    fn text_round_trips_through_parse() {
+        let layout = KernelLayout::for_pages(8192);
+        let m = SystemMap::for_layout(&layout);
+        let parsed = SystemMap::parse(&m.to_text()).expect("parse");
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn parse_rejects_bad_address() {
+        let err = SystemMap::parse("zzzz D foo").unwrap_err();
+        assert!(err.contains("bad address"));
+    }
+
+    #[test]
+    fn parse_rejects_truncated_line() {
+        let err = SystemMap::parse("ffff880000001000").unwrap_err();
+        assert!(err.contains("missing type"));
+    }
+
+    #[test]
+    fn parse_skips_blank_lines() {
+        let m = SystemMap::parse("\n\nffff880000001000 D foo\n\n").expect("parse");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.lookup("foo"), Some(Gva(0xffff_8800_0000_1000)));
+    }
+
+    #[test]
+    fn insert_replaces_existing() {
+        let mut m = SystemMap::new();
+        m.insert("a", Gva(1));
+        m.insert("a", Gva(2));
+        assert_eq!(m.lookup("a"), Some(Gva(2)));
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! Deterministic execution traces.
+//!
+//! Every guest-visible mutation issued through the [`crate::Vm`] facade can
+//! be recorded as a [`GuestOp`]. Re-applying the ops of an epoch onto the
+//! epoch's starting snapshot reproduces the exact same memory image — this
+//! is the substrate's deterministic record-and-replay, which CRIMES' replay
+//! phase (§3.3 "Rollback and Replay") uses to re-execute an attacked epoch
+//! under memory-event monitoring and pinpoint the faulting write.
+//!
+//! The real CRIMES prototype lacks deterministic replay (§6); because we
+//! control the workload engine, the reproduction provides it, which is
+//! strictly stronger and noted as a substitution in DESIGN.md.
+
+use crate::kernel::TcpState;
+
+/// One guest-visible operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuestOp {
+    /// Spawn a process with a user arena of `heap_pages` pages.
+    Spawn {
+        /// Command name.
+        name: String,
+        /// Owning uid.
+        uid: u32,
+        /// Arena size in pages.
+        heap_pages: usize,
+    },
+    /// Exit a process.
+    Exit {
+        /// Pid to exit.
+        pid: u32,
+    },
+    /// Allocate through the canary malloc wrapper.
+    Malloc {
+        /// Owning pid.
+        pid: u32,
+        /// Payload bytes.
+        size: u64,
+    },
+    /// Free a canary-tracked allocation.
+    Free {
+        /// Owning pid.
+        pid: u32,
+        /// Object GVA as returned by the matching `Malloc`.
+        gva: u64,
+    },
+    /// Raw user-space write (the op that carries both legitimate stores and
+    /// buffer overflows — nothing distinguishes them until a canary dies).
+    WriteUser {
+        /// Writing pid.
+        pid: u32,
+        /// Destination user GVA.
+        gva: u64,
+        /// Bytes stored.
+        data: Vec<u8>,
+        /// Guest instruction pointer of the store.
+        rip: u64,
+    },
+    /// Dirty one page of a process arena (workload page-touch).
+    DirtyArena {
+        /// Owning pid.
+        pid: u32,
+        /// Page index within the arena.
+        page_idx: usize,
+        /// Byte offset within the page.
+        offset: usize,
+        /// Value written.
+        val: u8,
+    },
+    /// DKOM-hide a process from the task list.
+    Hide {
+        /// Pid to hide.
+        pid: u32,
+    },
+    /// Overwrite a syscall-table entry.
+    HijackSyscall {
+        /// Table index.
+        idx: usize,
+        /// Replacement handler address.
+        handler: u64,
+    },
+    /// Load a kernel module.
+    LoadModule {
+        /// Module name.
+        name: String,
+        /// Module size.
+        size: u64,
+    },
+    /// Unload a kernel module.
+    UnloadModule {
+        /// Module name.
+        name: String,
+    },
+    /// DKOM-hide a kernel module from the module list.
+    HideModule {
+        /// Module name.
+        name: String,
+    },
+    /// DKOM credential patch: set a task's cred marker to root.
+    EscalatePrivileges {
+        /// Target pid.
+        pid: u32,
+    },
+    /// Open a socket.
+    OpenSocket {
+        /// Owning pid.
+        pid: u32,
+        /// Protocol number (6 = TCP).
+        proto: u16,
+        /// Local IPv4 address.
+        laddr: u32,
+        /// Local port.
+        lport: u16,
+        /// Foreign IPv4 address.
+        faddr: u32,
+        /// Foreign port.
+        fport: u16,
+        /// Initial TCP state.
+        state: TcpState,
+    },
+    /// Change a socket's state.
+    SetSocketState {
+        /// Socket slot.
+        slot: usize,
+        /// New state.
+        state: TcpState,
+    },
+    /// Close a socket.
+    CloseSocket {
+        /// Socket slot.
+        slot: usize,
+    },
+    /// Open a file handle.
+    OpenFile {
+        /// Owning pid.
+        pid: u32,
+        /// Path string.
+        path: String,
+    },
+    /// Close a file handle.
+    CloseFile {
+        /// File slot.
+        slot: usize,
+    },
+    /// Write to the guest's virtual disk.
+    WriteDisk {
+        /// Target sector.
+        sector: u64,
+        /// Bytes stored (at most one sector).
+        data: Vec<u8>,
+    },
+    /// Advance simulated guest time.
+    AdvanceTime {
+        /// Nanoseconds to advance.
+        ns: u64,
+    },
+}
+
+/// Position in a trace, taken at checkpoint boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TraceMark(pub usize);
+
+/// An append-only log of [`GuestOp`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    ops: Vec<GuestOp>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A new, disabled trace. Enable with [`Trace::set_enabled`].
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// `true` while recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append an op if recording is enabled.
+    pub fn record(&mut self, op: GuestOp) {
+        if self.enabled {
+            self.ops.push(op);
+        }
+    }
+
+    /// Current position (use at checkpoint boundaries).
+    pub fn mark(&self) -> TraceMark {
+        TraceMark(self.ops.len())
+    }
+
+    /// Ops recorded since `mark`.
+    pub fn ops_since(&self, mark: TraceMark) -> &[GuestOp] {
+        &self.ops[mark.0.min(self.ops.len())..]
+    }
+
+    /// All recorded ops.
+    pub fn ops(&self) -> &[GuestOp] {
+        &self.ops
+    }
+
+    /// Number of recorded ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Drop ops before `mark`, shifting the origin. Returns the number of
+    /// ops discarded. Used to bound memory across committed checkpoints.
+    pub fn truncate_before(&mut self, mark: TraceMark) -> usize {
+        let n = mark.0.min(self.ops.len());
+        self.ops.drain(..n);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op() -> GuestOp {
+        GuestOp::AdvanceTime { ns: 1 }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.record(op());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records() {
+        let mut t = Trace::new();
+        t.set_enabled(true);
+        t.record(op());
+        t.record(op());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn ops_since_mark_returns_suffix() {
+        let mut t = Trace::new();
+        t.set_enabled(true);
+        t.record(GuestOp::AdvanceTime { ns: 1 });
+        let m = t.mark();
+        t.record(GuestOp::AdvanceTime { ns: 2 });
+        assert_eq!(t.ops_since(m), &[GuestOp::AdvanceTime { ns: 2 }]);
+    }
+
+    #[test]
+    fn truncate_before_drops_prefix() {
+        let mut t = Trace::new();
+        t.set_enabled(true);
+        t.record(GuestOp::AdvanceTime { ns: 1 });
+        t.record(GuestOp::AdvanceTime { ns: 2 });
+        let m = t.mark();
+        t.record(GuestOp::AdvanceTime { ns: 3 });
+        assert_eq!(t.truncate_before(m), 2);
+        assert_eq!(t.ops(), &[GuestOp::AdvanceTime { ns: 3 }]);
+    }
+
+    #[test]
+    fn stale_mark_past_end_is_safe() {
+        let mut t = Trace::new();
+        t.set_enabled(true);
+        t.record(op());
+        assert!(t.ops_since(TraceMark(10)).is_empty());
+    }
+}

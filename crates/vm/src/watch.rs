@@ -1,0 +1,164 @@
+//! Page-granular write watchpoints, the stand-in for Xen's memory
+//! event-monitoring channel (`VMI_EVENT_MEMORY` in LibVMI).
+//!
+//! The paper only arms event monitoring during attack replay because it is
+//! expensive on real hardware (§4.2); we mirror that by keeping the watch
+//! set empty during normal execution — `GuestMemory::write` short-circuits
+//! the check when no page is watched.
+
+use std::collections::BTreeSet;
+
+use crate::addr::{Gpa, Pfn};
+
+/// A write observed on a watched page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryEvent {
+    /// Start address of the write.
+    pub gpa: Gpa,
+    /// Length of the write in bytes.
+    pub len: usize,
+    /// Bytes previously stored at the target range.
+    pub old_bytes: Vec<u8>,
+    /// Bytes the write stored.
+    pub new_bytes: Vec<u8>,
+    /// Guest instruction pointer attributed to the write.
+    pub rip: u64,
+}
+
+impl MemoryEvent {
+    /// `true` if the write's byte range covers `target`.
+    pub fn touches(&self, target: Gpa) -> bool {
+        target.0 >= self.gpa.0 && target.0 < self.gpa.0 + self.len as u64
+    }
+}
+
+/// The set of watched pages plus the ring of pending events, mirroring
+/// Xen's per-VM event ring buffer.
+#[derive(Debug, Clone, Default)]
+pub struct WatchSet {
+    pages: BTreeSet<Pfn>,
+    events: Vec<MemoryEvent>,
+}
+
+impl WatchSet {
+    /// An empty watch set.
+    pub fn new() -> Self {
+        WatchSet::default()
+    }
+
+    /// Arm a watchpoint on `pfn`.
+    pub fn watch(&mut self, pfn: Pfn) {
+        self.pages.insert(pfn);
+    }
+
+    /// Disarm the watchpoint on `pfn`. Unknown pages are ignored.
+    pub fn unwatch(&mut self, pfn: Pfn) {
+        self.pages.remove(&pfn);
+    }
+
+    /// Disarm everything and drop pending events.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+        self.events.clear();
+    }
+
+    /// `true` if no page is watched.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// `true` if `pfn` is watched.
+    pub fn is_watched(&self, pfn: Pfn) -> bool {
+        self.pages.contains(&pfn)
+    }
+
+    /// Number of watched pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Append an event to the ring (called by `GuestMemory::write`).
+    pub fn push_event(&mut self, ev: MemoryEvent) {
+        self.events.push(ev);
+    }
+
+    /// Pending events without consuming them.
+    pub fn events(&self) -> &[MemoryEvent] {
+        &self.events
+    }
+
+    /// Consume all pending events, like draining Xen's ring buffer.
+    pub fn drain_events(&mut self) -> Vec<MemoryEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watch_and_unwatch() {
+        let mut ws = WatchSet::new();
+        assert!(ws.is_empty());
+        ws.watch(Pfn(3));
+        assert!(ws.is_watched(Pfn(3)));
+        assert!(!ws.is_watched(Pfn(4)));
+        assert_eq!(ws.len(), 1);
+        ws.unwatch(Pfn(3));
+        assert!(ws.is_empty());
+    }
+
+    #[test]
+    fn unwatch_unknown_page_is_noop() {
+        let mut ws = WatchSet::new();
+        ws.unwatch(Pfn(9));
+        assert!(ws.is_empty());
+    }
+
+    #[test]
+    fn drain_consumes_events() {
+        let mut ws = WatchSet::new();
+        ws.push_event(MemoryEvent {
+            gpa: Gpa(0),
+            len: 1,
+            old_bytes: vec![0],
+            new_bytes: vec![1],
+            rip: 0,
+        });
+        assert_eq!(ws.events().len(), 1);
+        assert_eq!(ws.drain_events().len(), 1);
+        assert!(ws.events().is_empty());
+    }
+
+    #[test]
+    fn clear_drops_pages_and_events() {
+        let mut ws = WatchSet::new();
+        ws.watch(Pfn(1));
+        ws.push_event(MemoryEvent {
+            gpa: Gpa(0),
+            len: 1,
+            old_bytes: vec![0],
+            new_bytes: vec![1],
+            rip: 0,
+        });
+        ws.clear();
+        assert!(ws.is_empty());
+        assert!(ws.events().is_empty());
+    }
+
+    #[test]
+    fn event_touches_checks_range() {
+        let ev = MemoryEvent {
+            gpa: Gpa(100),
+            len: 4,
+            old_bytes: vec![0; 4],
+            new_bytes: vec![1; 4],
+            rip: 0,
+        };
+        assert!(ev.touches(Gpa(100)));
+        assert!(ev.touches(Gpa(103)));
+        assert!(!ev.touches(Gpa(104)));
+        assert!(!ev.touches(Gpa(99)));
+    }
+}

@@ -1,0 +1,65 @@
+//! Errors surfaced by introspection.
+
+use crimes_vm::Gva;
+
+/// Errors from VMI operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmiError {
+    /// A required symbol is missing from `System.map`.
+    UnknownSymbol(String),
+    /// A guest virtual address could not be translated.
+    TranslationFault(Gva),
+    /// `System.map` text could not be parsed.
+    BadSystemMap(String),
+    /// The guest banner does not describe a kernel this profile supports.
+    UnsupportedKernel(String),
+    /// A kernel linked list did not terminate within its slab capacity —
+    /// either corruption or an attack mangled the pointers.
+    MalformedList {
+        /// Which list (e.g. `"task"`, `"module"`).
+        what: &'static str,
+        /// Steps taken before giving up.
+        steps: usize,
+    },
+    /// No task with this pid is visible to introspection.
+    NoSuchTask(u32),
+}
+
+impl std::fmt::Display for VmiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmiError::UnknownSymbol(s) => write!(f, "unknown symbol {s}"),
+            VmiError::TranslationFault(gva) => write!(f, "cannot translate {gva}"),
+            VmiError::BadSystemMap(e) => write!(f, "malformed System.map: {e}"),
+            VmiError::UnsupportedKernel(b) => write!(f, "unsupported kernel: {b}"),
+            VmiError::MalformedList { what, steps } => {
+                write!(f, "{what} list did not terminate after {steps} steps")
+            }
+            VmiError::NoSuchTask(pid) => write!(f, "no task with pid {pid}"),
+        }
+    }
+}
+
+impl std::error::Error for VmiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        for e in [
+            VmiError::UnknownSymbol("x".into()),
+            VmiError::TranslationFault(Gva(1)),
+            VmiError::BadSystemMap("line 1".into()),
+            VmiError::UnsupportedKernel("DOS".into()),
+            VmiError::MalformedList {
+                what: "task",
+                steps: 3,
+            },
+            VmiError::NoSuchTask(9),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

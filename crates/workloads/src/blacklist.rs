@@ -1,0 +1,111 @@
+//! A process-name blacklist, standing in for the McAfee malware registry
+//! the paper's malware-detection module consults (§4.2: "compared against
+//! a black-list of known malicious processes").
+
+use std::collections::BTreeSet;
+
+/// Process names bundled as "known malware" for the reproduction (the
+/// §5.6 case study's `reg_read.exe` included).
+pub const DEFAULT_BLACKLIST: [&str; 10] = [
+    "reg_read.exe",
+    "mirai",
+    "xmrig",
+    "cryptolocker",
+    "zeus",
+    "conficker",
+    "stuxnet_dropper",
+    "keylogd",
+    "botnet_agent",
+    "ransom32",
+];
+
+/// A set of forbidden process names.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Blacklist {
+    names: BTreeSet<String>,
+}
+
+impl Blacklist {
+    /// An empty blacklist.
+    pub fn new() -> Self {
+        Blacklist::default()
+    }
+
+    /// The bundled default list.
+    pub fn bundled() -> Self {
+        let mut b = Blacklist::new();
+        for name in DEFAULT_BLACKLIST {
+            b.add(name);
+        }
+        b
+    }
+
+    /// Add a name (administrators can extend the list, §4.2).
+    pub fn add(&mut self, name: &str) {
+        self.names.insert(name.to_owned());
+    }
+
+    /// Remove a name. Unknown names are ignored.
+    pub fn remove(&mut self, name: &str) {
+        self.names.remove(name);
+    }
+
+    /// `true` if `name` is forbidden.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate names in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundled_list_contains_case_study_malware() {
+        let b = Blacklist::bundled();
+        assert!(b.contains("reg_read.exe"));
+        assert_eq!(b.len(), DEFAULT_BLACKLIST.len());
+    }
+
+    #[test]
+    fn add_remove_round_trip() {
+        let mut b = Blacklist::new();
+        assert!(b.is_empty());
+        b.add("evil.bin");
+        assert!(b.contains("evil.bin"));
+        b.remove("evil.bin");
+        assert!(!b.contains("evil.bin"));
+        b.remove("never-there"); // no-op
+    }
+
+    #[test]
+    fn matching_is_exact_not_substring() {
+        let b = Blacklist::bundled();
+        assert!(!b.contains("reg_read"));
+        assert!(!b.contains("xmrig2"));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let b = Blacklist::bundled();
+        let names: Vec<&str> = b.iter().collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+}

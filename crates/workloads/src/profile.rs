@@ -1,0 +1,197 @@
+//! PARSEC 3.0 workload profiles.
+//!
+//! The paper evaluates CRIMES on eleven PARSEC benchmarks (Table 2,
+//! Figure 3). The suite itself is not available here, so each benchmark is
+//! replaced by a synthetic profile that reproduces the properties the
+//! evaluation actually depends on:
+//!
+//! * **dirty-page rate** — how many pages the benchmark touches per
+//!   millisecond (drives checkpoint copy/map/scan cost; Figure 5c),
+//! * **footprint** — the arena the writes spread over (drives how sublinear
+//!   unique-dirty-pages-per-epoch growth is),
+//! * **allocation rate** — churn through the canary heap (drives canary
+//!   scan population),
+//! * **memory-op fraction** — the share of runtime spent in instrumentable
+//!   memory accesses (drives the AddressSanitizer baseline's slowdown).
+//!
+//! Rates are calibrated to the paper's relative observations: fluidanimate
+//! dirties ~5× more pages per epoch than low-rate benchmarks like raytrace
+//! (§5.2), and per-epoch dirty counts at 60–200 ms intervals land in the
+//! paper's 1 000–5 000 page range (Figure 5c).
+
+/// One benchmark's synthetic profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParsecProfile {
+    /// Benchmark name, as in the paper's figures.
+    pub name: &'static str,
+    /// What the real benchmark computes (Table 2).
+    pub description: &'static str,
+    /// Pages written per millisecond of guest execution.
+    pub dirty_pages_per_ms: f64,
+    /// Arena size in pages that writes spread across.
+    pub footprint_pages: usize,
+    /// Heap allocations (canary-wrapped) per millisecond.
+    pub allocs_per_ms: f64,
+    /// Fraction of runtime spent in memory operations.
+    pub mem_op_fraction: f64,
+}
+
+/// The eleven profiles of Figure 3, in the paper's order.
+pub const PROFILES: [ParsecProfile; 11] = [
+    ParsecProfile {
+        name: "blackscholes",
+        description: "Uses PDE to calculate portfolio prices",
+        dirty_pages_per_ms: 4.0,
+        footprint_pages: 2000,
+        allocs_per_ms: 0.5,
+        mem_op_fraction: 0.45,
+    },
+    ParsecProfile {
+        name: "swaptions",
+        description: "Uses HJM framework and Monte Carlo simulations",
+        dirty_pages_per_ms: 8.0,
+        footprint_pages: 2500,
+        allocs_per_ms: 1.0,
+        mem_op_fraction: 0.50,
+    },
+    ParsecProfile {
+        name: "vips",
+        description: "Performs affine transformations and convolutions",
+        dirty_pages_per_ms: 10.0,
+        footprint_pages: 3000,
+        allocs_per_ms: 2.0,
+        mem_op_fraction: 0.55,
+    },
+    ParsecProfile {
+        name: "radiosity",
+        description: "Computes the equilibrium distribution of light",
+        dirty_pages_per_ms: 6.0,
+        footprint_pages: 2500,
+        allocs_per_ms: 1.5,
+        mem_op_fraction: 0.50,
+    },
+    ParsecProfile {
+        name: "raytrace",
+        description: "Simulates real-time raytracing for animations",
+        dirty_pages_per_ms: 2.0,
+        footprint_pages: 1500,
+        allocs_per_ms: 0.5,
+        mem_op_fraction: 0.40,
+    },
+    ParsecProfile {
+        name: "volrend",
+        description: "Renders a 3D volume onto a 2D image plane",
+        dirty_pages_per_ms: 5.0,
+        footprint_pages: 2000,
+        allocs_per_ms: 1.0,
+        mem_op_fraction: 0.45,
+    },
+    ParsecProfile {
+        name: "bodytrack",
+        description: "Body tracking of a person",
+        dirty_pages_per_ms: 7.0,
+        footprint_pages: 2500,
+        allocs_per_ms: 1.5,
+        mem_op_fraction: 0.50,
+    },
+    ParsecProfile {
+        name: "fluidanimate",
+        description: "Simulates incompressible fluid for animations",
+        dirty_pages_per_ms: 25.0,
+        footprint_pages: 6000,
+        allocs_per_ms: 2.0,
+        mem_op_fraction: 0.60,
+    },
+    ParsecProfile {
+        name: "freqmine",
+        description: "Frequent itemset mining",
+        dirty_pages_per_ms: 12.0,
+        footprint_pages: 3500,
+        allocs_per_ms: 2.0,
+        mem_op_fraction: 0.55,
+    },
+    ParsecProfile {
+        name: "water-spatial",
+        description: "Solves molecular dynamics N-body problem (spatial)",
+        dirty_pages_per_ms: 5.0,
+        footprint_pages: 2000,
+        allocs_per_ms: 1.0,
+        mem_op_fraction: 0.45,
+    },
+    ParsecProfile {
+        name: "water-n2",
+        description: "Solves molecular dynamics N-body problem (N^2)",
+        dirty_pages_per_ms: 6.0,
+        footprint_pages: 2200,
+        allocs_per_ms: 1.0,
+        mem_op_fraction: 0.50,
+    },
+];
+
+/// Look up a profile by name.
+pub fn profile(name: &str) -> Option<&'static ParsecProfile> {
+    PROFILES.iter().find(|p| p.name == name)
+}
+
+/// The four benchmarks Figure 5 sweeps over epoch intervals.
+pub const FIG5_BENCHMARKS: [&str; 4] = ["freqmine", "swaptions", "volrend", "water-spatial"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_profiles_with_unique_names() {
+        let mut names: Vec<&str> = PROFILES.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 11);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn fluidanimate_is_the_dirty_page_outlier() {
+        let fluid = profile("fluidanimate").unwrap();
+        let ray = profile("raytrace").unwrap();
+        assert!(
+            fluid.dirty_pages_per_ms >= 5.0 * ray.dirty_pages_per_ms,
+            "paper: fluidanimate dirties ~5x more pages"
+        );
+        for p in &PROFILES {
+            assert!(p.dirty_pages_per_ms <= fluid.dirty_pages_per_ms);
+        }
+    }
+
+    #[test]
+    fn profiles_are_physically_sensible() {
+        for p in &PROFILES {
+            assert!(p.dirty_pages_per_ms > 0.0, "{}", p.name);
+            assert!(p.footprint_pages > 0, "{}", p.name);
+            assert!(p.allocs_per_ms >= 0.0, "{}", p.name);
+            assert!(
+                (0.0..=1.0).contains(&p.mem_op_fraction),
+                "{}: mem fraction out of range",
+                p.name
+            );
+            // A benchmark cannot dirty more unique pages per epoch than its
+            // footprint; rates must leave headroom at 200 ms epochs.
+            assert!(
+                p.dirty_pages_per_ms * 200.0 >= p.footprint_pages as f64 * 0.1,
+                "{}: rate too low to ever exercise the footprint",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_benchmarks_exist() {
+        for name in FIG5_BENCHMARKS {
+            assert!(profile(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn lookup_misses_gracefully() {
+        assert!(profile("doom").is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! Security as a cloud service (§2): one provider-side [`Fleet`] protects
+//! many tenant VMs with per-tenant policies; a compromise in one tenant is
+//! detected, investigated, and rolled back with zero touch and zero effect
+//! on the others.
+//!
+//! ```sh
+//! cargo run --example cloud_fleet
+//! ```
+
+use crimes::modules::{BlacklistScanModule, CanaryScanModule, HiddenProcessModule};
+use crimes::{CrimesConfig, Fleet};
+use crimes_outbuf::SafetyMode;
+use crimes_vm::Vm;
+use crimes_workloads::{attacks, profile, ParsecWorkload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut fleet = Fleet::new();
+
+    // Tenant A: CPU-bound analytics — long epochs, synchronous safety.
+    {
+        let mut b = Vm::builder();
+        b.pages(8192).seed(1);
+        let vm = b.build();
+        let secret = vm.canary_secret();
+        let mut cfg = CrimesConfig::builder();
+        cfg.epoch_interval_ms(200);
+        let crimes = fleet.add_vm("analytics", vm, cfg.build())?;
+        crimes.register_module(Box::new(CanaryScanModule::new(secret)));
+        crimes.register_module(Box::new(BlacklistScanModule::bundled()));
+    }
+
+    // Tenant B: latency-sensitive web tier — short epochs.
+    {
+        let mut b = Vm::builder();
+        b.pages(8192).seed(2);
+        let vm = b.build();
+        let mut cfg = CrimesConfig::builder();
+        cfg.epoch_interval_ms(20);
+        let crimes = fleet.add_vm("web-tier", vm, cfg.build())?;
+        crimes.register_module(Box::new(BlacklistScanModule::bundled()));
+        crimes.register_module(Box::new(HiddenProcessModule::new()));
+    }
+
+    // Tenant C: throughput-first batch jobs — best-effort safety.
+    {
+        let mut b = Vm::builder();
+        b.pages(8192).seed(3);
+        let vm = b.build();
+        let mut cfg = CrimesConfig::builder();
+        cfg.epoch_interval_ms(100).safety(SafetyMode::BestEffort);
+        let crimes = fleet.add_vm("batch", vm, cfg.build())?;
+        crimes.register_module(Box::new(BlacklistScanModule::bundled()));
+    }
+
+    println!("fleet: {:?}\n", fleet.names());
+
+    // Give each tenant a workload.
+    let swaptions = profile("swaptions").expect("bundled profile");
+    let mut analytics_work =
+        ParsecWorkload::launch(fleet.get_mut("analytics").unwrap().vm_mut(), swaptions, 1)?;
+
+    // Three clean rounds.
+    for round in 0..3 {
+        let summary = fleet.run_epoch_round(|name, vm, ms| {
+            if name == "analytics" {
+                analytics_work.run_ms(vm, ms)?;
+            } else {
+                vm.advance_time(ms * 1_000_000);
+            }
+            Ok(())
+        })?;
+        println!("round {round}: committed {:?}", summary.committed);
+    }
+
+    // Round 4: the web tier gets hit by a rootkit.
+    let summary = fleet.run_epoch_round(|name, vm, ms| {
+        if name == "analytics" {
+            analytics_work.run_ms(vm, ms)?;
+        } else {
+            vm.advance_time(ms * 1_000_000);
+        }
+        if name == "web-tier" {
+            attacks::inject_rootkit_hide(vm, "rootkitd")?;
+        }
+        Ok(())
+    })?;
+    println!(
+        "\nround 3: committed {:?}, NEW INCIDENTS {:?}",
+        summary.committed, summary.new_incidents
+    );
+
+    // Round 5: the compromised tenant is frozen; the fleet keeps going.
+    let summary = fleet.run_epoch_round(|name, vm, ms| {
+        if name == "analytics" {
+            analytics_work.run_ms(vm, ms)?;
+        } else {
+            vm.advance_time(ms * 1_000_000);
+        }
+        Ok(())
+    })?;
+    println!(
+        "round 4: committed {:?}, skipped (frozen) {:?}",
+        summary.committed, summary.skipped_pending
+    );
+
+    // Zero-touch response.
+    let analysis = fleet.investigate("web-tier")?;
+    println!("\n--- automated incident report for 'web-tier' ---");
+    println!("{}", analysis.report.to_text());
+    let discarded = fleet.rollback_and_resume("web-tier")?;
+    println!("web-tier rolled back ({discarded} buffered outputs discarded) and resumed\n");
+
+    let summary = fleet.run_epoch_round(|_n, vm, ms| {
+        vm.advance_time(ms * 1_000_000);
+        Ok(())
+    })?;
+    println!("round 5: committed {:?}", summary.committed);
+    println!("\nfleet stats: {:?}", fleet.stats());
+    Ok(())
+}

@@ -1,0 +1,330 @@
+//! Property-based integration tests over the whole substrate: arbitrary
+//! guest activity must preserve the invariants CRIMES relies on —
+//! deterministic replay, backup/primary equality after every committed
+//! checkpoint, canary soundness and completeness, and VMI-vs-ground-truth
+//! agreement.
+
+use proptest::prelude::*;
+
+use crimes_checkpoint::{AuditVerdict, CheckpointConfig, Checkpointer, OptLevel};
+use crimes_vm::{Gva, TcpState, Vm};
+use crimes_vmi::{linux, CanaryScanner, VmiSession};
+
+/// A randomly generated guest action.
+#[derive(Debug, Clone)]
+enum Action {
+    Spawn { pages: u8 },
+    ExitNewest,
+    Malloc { size: u16 },
+    FreeOldest,
+    WriteInBounds { idx: u8, fill: u8 },
+    Overflow { idx: u8, overrun: u8 },
+    Dirty { page: u8, offset: u16, val: u8 },
+    Hide,
+    Hijack { idx: u8 },
+    OpenSocket { port: u16 },
+    OpenFile { name: u8 },
+    WriteDisk { sector: u8, byte: u8 },
+    Advance { ms: u8 },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1u8..8).prop_map(|pages| Action::Spawn { pages }),
+        Just(Action::ExitNewest),
+        (1u16..512).prop_map(|size| Action::Malloc { size }),
+        Just(Action::FreeOldest),
+        (any::<u8>(), any::<u8>()).prop_map(|(idx, fill)| Action::WriteInBounds { idx, fill }),
+        (any::<u8>(), 1u8..32).prop_map(|(idx, overrun)| Action::Overflow { idx, overrun }),
+        (any::<u8>(), any::<u16>(), any::<u8>()).prop_map(|(page, offset, val)| Action::Dirty {
+            page,
+            offset,
+            val
+        }),
+        Just(Action::Hide),
+        (any::<u8>()).prop_map(|idx| Action::Hijack { idx }),
+        (1u16..60000).prop_map(|port| Action::OpenSocket { port }),
+        (any::<u8>()).prop_map(|name| Action::OpenFile { name }),
+        (any::<u8>(), any::<u8>()).prop_map(|(sector, byte)| Action::WriteDisk { sector, byte }),
+        (1u8..20).prop_map(|ms| Action::Advance { ms }),
+    ]
+}
+
+/// One live allocation tracked by the driver.
+#[derive(Debug, Clone, Copy)]
+struct TrackedAlloc {
+    pid: u32,
+    gva: Gva,
+    size: u64,
+    /// `true` once any raw write overlapped this allocation's canary.
+    trampled: bool,
+}
+
+/// Drives a VM with random actions, tracking ground truth.
+struct Driver {
+    pids: Vec<u32>,
+    allocs: Vec<TrackedAlloc>,
+    hidden: Vec<u32>,
+    overflowed: bool,
+}
+
+impl Driver {
+    fn new() -> Self {
+        Driver {
+            pids: Vec::new(),
+            allocs: Vec::new(),
+            hidden: Vec::new(),
+            overflowed: false,
+        }
+    }
+
+    /// Mark every live canary of `pid` overlapped by `[start, end)`.
+    fn mark_trampled(&mut self, pid: u32, start: u64, end: u64) {
+        for a in self.allocs.iter_mut().filter(|a| a.pid == pid) {
+            let c0 = a.gva.0 + a.size;
+            let c1 = c0 + 8;
+            if start < c1 && c0 < end {
+                a.trampled = true;
+            }
+        }
+    }
+
+    fn apply(&mut self, vm: &mut Vm, action: &Action) {
+        match action {
+            Action::Spawn { pages } => {
+                if let Ok(pid) = vm.spawn_process("p", 0, *pages as usize) {
+                    self.pids.push(pid);
+                }
+            }
+            Action::ExitNewest => {
+                if let Some(pid) = self.pids.pop() {
+                    vm.exit_process(pid).expect("live pid");
+                    self.allocs.retain(|a| a.pid != pid);
+                    self.hidden.retain(|&p| p != pid);
+                }
+            }
+            Action::Malloc { size } => {
+                if let Some(&pid) = self.pids.last() {
+                    if let Ok(gva) = vm.malloc(pid, *size as u64) {
+                        self.allocs.push(TrackedAlloc {
+                            pid,
+                            gva,
+                            size: *size as u64,
+                            trampled: false,
+                        });
+                    }
+                }
+            }
+            Action::FreeOldest => {
+                if !self.allocs.is_empty() {
+                    let a = self.allocs.remove(0);
+                    vm.free(a.pid, a.gva).expect("live alloc");
+                }
+            }
+            Action::WriteInBounds { idx, fill } => {
+                if !self.allocs.is_empty() {
+                    let a = self.allocs[*idx as usize % self.allocs.len()];
+                    vm.write_user(a.pid, a.gva, &vec![*fill; a.size as usize], 0x1000)
+                        .expect("in-bounds write");
+                }
+            }
+            Action::Overflow { idx, overrun } => {
+                if !self.allocs.is_empty() {
+                    let a = self.allocs[*idx as usize % self.allocs.len()];
+                    let end = a.gva.0 + a.size + *overrun as u64;
+                    vm.write_user(
+                        a.pid,
+                        a.gva,
+                        &vec![0x41; (a.size + *overrun as u64) as usize],
+                        0xbad,
+                    )
+                    .expect("overflow still lands in the mapping");
+                    self.overflowed = true;
+                    self.mark_trampled(a.pid, a.gva.0, end);
+                }
+            }
+            Action::Dirty { page, offset, val } => {
+                if let Some(&pid) = self.pids.first() {
+                    let pages =
+                        (vm.processes().get(pid).expect("live").mapping.len as usize) / 4096;
+                    // Stay out of the heap region (bottom quarter) so raw
+                    // touches cannot scribble canaries.
+                    let lo = pages / 4 + 1;
+                    if lo < pages {
+                        let p = lo + (*page as usize) % (pages - lo);
+                        vm.dirty_arena_page(pid, p, *offset as usize % 4096, *val)
+                            .expect("in-range page");
+                    }
+                }
+            }
+            Action::Hide => {
+                // Hide the newest unhidden pid, if any.
+                if let Some(&pid) = self.pids.last() {
+                    if vm.hide_process(pid).is_ok() {
+                        self.hidden.push(pid);
+                    }
+                }
+            }
+            Action::Hijack { idx } => {
+                vm.hijack_syscall(*idx as usize % 256, 0xbad0_0000 + *idx as u64)
+                    .expect("in-range");
+            }
+            Action::OpenSocket { port } => {
+                if let Some(&pid) = self.pids.first() {
+                    let _ = vm.open_socket(pid, 6, 0x0a00_0001, *port, 0, 0, TcpState::Listen);
+                }
+            }
+            Action::OpenFile { name } => {
+                if let Some(&pid) = self.pids.first() {
+                    let _ = vm.open_file(pid, &format!("/tmp/f{name}"));
+                }
+            }
+            Action::WriteDisk { sector, byte } => {
+                vm.write_disk(*sector as u64, &[*byte; 16]).expect("in range");
+            }
+            Action::Advance { ms } => vm.advance_time(*ms as u64 * 1_000_000),
+        }
+    }
+}
+
+fn small_vm(seed: u64) -> Vm {
+    let mut b = Vm::builder();
+    b.pages(2048).seed(seed);
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replaying a recorded epoch over its starting snapshot reproduces
+    /// the exact final memory image, whatever the guest did.
+    #[test]
+    fn replay_is_deterministic(actions in proptest::collection::vec(action_strategy(), 1..60)) {
+        let mut vm = small_vm(9);
+        vm.set_recording(true);
+        let mut driver = Driver::new();
+        driver.apply(&mut vm, &Action::Spawn { pages: 6 });
+        let snap = vm.snapshot();
+        let mark = vm.trace_mark();
+
+        for a in &actions {
+            driver.apply(&mut vm, a);
+        }
+        let final_image = vm.memory().dump_frames();
+        let final_disk = vm.disk().dump();
+        let final_time = vm.now_ns();
+        let ops = vm.trace_since(mark);
+
+        vm.restore(&snap);
+        for op in &ops {
+            vm.apply(op).expect("replay over origin snapshot cannot fail");
+        }
+        prop_assert_eq!(vm.memory().dump_frames(), final_image);
+        prop_assert_eq!(vm.disk().dump(), final_disk);
+        prop_assert_eq!(vm.now_ns(), final_time);
+    }
+
+    /// After every committed checkpoint, the backup equals the primary —
+    /// for all four optimisation levels, under arbitrary activity.
+    #[test]
+    fn backup_tracks_primary_exactly(
+        actions in proptest::collection::vec(action_strategy(), 1..40),
+        opt_idx in 0usize..4,
+    ) {
+        let mut vm = small_vm(10);
+        let mut driver = Driver::new();
+        driver.apply(&mut vm, &Action::Spawn { pages: 6 });
+        let opt = OptLevel::ALL[opt_idx];
+        let mut cp = Checkpointer::new(&vm, CheckpointConfig { opt, ..CheckpointConfig::default() });
+
+        for chunk in actions.chunks(8) {
+            for a in chunk {
+                driver.apply(&mut vm, a);
+            }
+            cp.run_epoch(&mut vm, &mut |_, _| AuditVerdict::Pass);
+            let primary = vm.memory().dump_frames();
+            prop_assert_eq!(cp.backup().frames(), primary.as_slice());
+            let disk = vm.disk().dump();
+            prop_assert_eq!(cp.backup().disk(), disk.as_slice());
+        }
+    }
+
+    /// The canary scan is sound and complete: the violations it reports
+    /// are exactly the still-live allocations whose canaries a raw write
+    /// overlapped (freed objects drop their records; a recycled block gets
+    /// a fresh canary).
+    #[test]
+    fn canary_scan_sound_and_complete(
+        actions in proptest::collection::vec(action_strategy(), 1..60),
+    ) {
+        let mut vm = small_vm(11);
+        let mut driver = Driver::new();
+        driver.apply(&mut vm, &Action::Spawn { pages: 6 });
+        for a in &actions {
+            driver.apply(&mut vm, a);
+        }
+        let mut session = VmiSession::init(&vm).expect("init");
+        session.refresh_address_spaces(vm.memory()).expect("refresh");
+        let report = CanaryScanner::new(vm.canary_secret())
+            .scan_all(&session, vm.memory())
+            .expect("scan");
+
+        // A hidden process's canaries cannot be translated through the
+        // task list; the scanner skips (and counts) them, and the
+        // hidden-process module owns that evidence instead.
+        let mut expected: Vec<(u32, u64)> = driver
+            .allocs
+            .iter()
+            .filter(|a| a.trampled && !driver.hidden.contains(&a.pid))
+            .map(|a| (a.pid, a.gva.0 + a.size))
+            .collect();
+        expected.sort_unstable();
+        let mut got: Vec<(u32, u64)> = report
+            .violations
+            .iter()
+            .map(|v| (v.pid, v.canary_gva.0))
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+        if !driver.overflowed {
+            prop_assert!(report.violations.is_empty());
+        }
+    }
+
+    /// VMI's process list always matches the kernel's ground truth minus
+    /// hidden pids, whatever churn happened.
+    #[test]
+    fn vmi_matches_ground_truth(
+        actions in proptest::collection::vec(action_strategy(), 1..60),
+    ) {
+        let mut vm = small_vm(12);
+        let mut driver = Driver::new();
+        for a in &actions {
+            driver.apply(&mut vm, a);
+        }
+        let session = VmiSession::init(&vm).expect("init");
+        let mut visible: Vec<u32> = linux::process_list(&session, vm.memory())
+            .expect("walk")
+            .into_iter()
+            .map(|t| t.pid)
+            .collect();
+        visible.sort_unstable();
+        let mut expected: Vec<u32> = vm
+            .kernel()
+            .pids()
+            .into_iter()
+            .filter(|p| !vm.kernel().hidden_pids().contains(p))
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(visible, expected);
+
+        // And the pid hash sees everything, hidden included.
+        let mut hashed: Vec<u32> = linux::pid_hash_entries(&session, vm.memory())
+            .expect("hash")
+            .into_iter()
+            .map(|e| e.pid)
+            .collect();
+        hashed.sort_unstable();
+        prop_assert_eq!(hashed, vm.kernel().pids());
+    }
+}

@@ -1,0 +1,149 @@
+//! Soak test: a fleet of tenants running many epoch rounds with randomly
+//! injected attacks. Asserts the paper's global guarantees hold over time:
+//! every attack is detected in its own epoch, every clean epoch commits,
+//! rollback always restores a bit-exact committed state (memory and disk),
+//! and no tenant's incident disturbs another tenant.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crimes::modules::{BlacklistScanModule, CanaryScanModule, HiddenProcessModule};
+use crimes::{CrimesConfig, Fleet};
+use crimes_vm::Vm;
+use crimes_workloads::attacks;
+
+const TENANTS: usize = 4;
+const ROUNDS: usize = 25;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Plan {
+    Clean,
+    Overflow,
+    Malware,
+    Rootkit,
+}
+
+#[test]
+fn fleet_survives_a_long_adversarial_run() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x50a_u64);
+    let mut fleet = Fleet::new();
+    let mut victim_pids = Vec::new();
+    for i in 0..TENANTS {
+        let mut b = Vm::builder();
+        b.pages(4096).seed(500 + i as u64);
+        let vm = b.build();
+        let secret = vm.canary_secret();
+        let mut cfg = CrimesConfig::builder();
+        cfg.epoch_interval_ms(20);
+        let crimes = fleet
+            .add_vm(&format!("tenant-{i}"), vm, cfg.build())
+            .unwrap();
+        crimes.register_module(Box::new(CanaryScanModule::new(secret)));
+        crimes.register_module(Box::new(BlacklistScanModule::bundled()));
+        crimes.register_module(Box::new(HiddenProcessModule::new()));
+        let pid = crimes.vm_mut().spawn_process("workload", 1000, 16).unwrap();
+        victim_pids.push(pid);
+    }
+
+    // Warm-up round: guest mutations made after `protect()` are only
+    // durable once a checkpoint commits over them.
+    let warmup = fleet
+        .run_epoch_round(|_n, vm, ms| {
+            vm.advance_time(ms * 1_000_000);
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(warmup.committed.len(), TENANTS);
+
+    let mut attacks_launched = 0u64;
+    let mut attacks_detected = 0u64;
+    for round in 0..ROUNDS {
+        // Pick this round's plan per tenant.
+        let plans: Vec<Plan> = (0..TENANTS)
+            .map(|_| match rng.gen_range(0..10) {
+                0 => Plan::Overflow,
+                1 => Plan::Malware,
+                2 => Plan::Rootkit,
+                _ => Plan::Clean,
+            })
+            .collect();
+        attacks_launched += plans.iter().filter(|p| **p != Plan::Clean).count() as u64;
+
+        // Golden state of each tenant before the round (post last commit).
+        let golden: Vec<(Vec<u8>, Vec<u8>)> = (0..TENANTS)
+            .map(|i| {
+                let c = fleet.get(&format!("tenant-{i}")).unwrap();
+                (c.vm().memory().dump_frames(), c.vm().disk().dump())
+            })
+            .collect();
+
+        let summary = fleet
+            .run_epoch_round(|name, vm, ms| {
+                let idx: usize = name.trim_start_matches("tenant-").parse().unwrap();
+                let pid = victim_pids[idx];
+                // Benign background activity.
+                let obj = vm.malloc(pid, 64)?;
+                vm.write_user(pid, obj, &[round as u8; 64], 0x1000)?;
+                vm.free(pid, obj)?;
+                vm.write_disk((round % 32) as u64, &[round as u8; 32])?;
+                match plans[idx] {
+                    Plan::Clean => {}
+                    Plan::Overflow => {
+                        attacks::inject_heap_overflow(vm, pid, 32, 8)?;
+                    }
+                    Plan::Malware => {
+                        attacks::inject_malware_launch(vm, "zeus")?;
+                    }
+                    Plan::Rootkit => {
+                        attacks::inject_rootkit_hide(vm, "rk")?;
+                    }
+                }
+                vm.advance_time(ms * 1_000_000);
+                Ok(())
+            })
+            .unwrap();
+
+        // Every attacked tenant must be in new_incidents; every clean one
+        // must commit.
+        for (idx, plan) in plans.iter().enumerate() {
+            let name = format!("tenant-{idx}");
+            if *plan == Plan::Clean {
+                assert!(
+                    summary.committed.contains(&name),
+                    "round {round}: clean {name} must commit"
+                );
+            } else {
+                assert!(
+                    summary.new_incidents.contains(&name),
+                    "round {round}: attacked {name} must be detected ({plan:?})"
+                );
+            }
+        }
+        attacks_detected += summary.new_incidents.len() as u64;
+
+        // Resolve incidents: investigate + rollback, then verify the
+        // tenant is bit-identical to its pre-round committed state.
+        for name in summary.new_incidents {
+            let idx: usize = name.trim_start_matches("tenant-").parse().unwrap();
+            let analysis = fleet.investigate(&name).unwrap();
+            assert!(!analysis.findings.is_empty());
+            fleet.rollback_and_resume(&name).unwrap();
+            let c = fleet.get(&name).unwrap();
+            assert!(
+                c.vm().memory().dump_frames() == golden[idx].0,
+                "round {round}: {name} memory must roll back exactly"
+            );
+            assert!(
+                c.vm().disk().dump() == golden[idx].1,
+                "round {round}: {name} disk must roll back exactly"
+            );
+        }
+    }
+
+    assert_eq!(attacks_detected, attacks_launched, "no attack slips through");
+    assert!(attacks_launched > 0, "the plan must include attacks");
+    let stats = fleet.stats();
+    assert_eq!(stats.incidents_detected, attacks_launched);
+    assert_eq!(stats.incidents_resolved, attacks_launched);
+    assert!(stats.committed_epochs as usize >= ROUNDS * TENANTS / 2 + TENANTS);
+}

@@ -1,9 +1,9 @@
-//! Criterion bench: dirty-bitmap scanning, bit-by-bit (Remus) vs word-wise
+//! Timing bench (in-tree harness): dirty-bitmap scanning, bit-by-bit (Remus) vs word-wise
 //! (CRIMES Optimization 3) — the Figure 6b ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crimes_bench::{criterion_group, criterion_main};
+use crimes_bench::harness::{BenchmarkId, Criterion};
+use crimes_rng::ChaCha8Rng;
 
 use crimes_checkpoint::{scan_bit_by_bit, scan_wordwise};
 use crimes_vm::{DirtyBitmap, Pfn};

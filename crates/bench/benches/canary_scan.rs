@@ -1,8 +1,9 @@
-//! Criterion bench: canary validation — full-table scan vs dirty-scoped
+//! Timing bench (in-tree harness): canary validation — full-table scan vs dirty-scoped
 //! scan (the DESIGN.md ablation: why the Checkpointer hands the Detector a
 //! dirty-page list), plus raw validation throughput (§5.5's ~90k/ms).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crimes_bench::{criterion_group, criterion_main};
+use crimes_bench::harness::{BenchmarkId, Criterion, Throughput};
 
 use crimes_vm::Vm;
 use crimes_vmi::{CanaryScanner, VmiSession};

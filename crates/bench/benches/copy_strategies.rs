@@ -1,7 +1,8 @@
-//! Criterion bench: page-copy pipelines — Remus's socket+cipher path vs
+//! Timing bench (in-tree harness): page-copy pipelines — Remus's socket+cipher path vs
 //! CRIMES's memcpy (Optimization 1), per copied-byte throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crimes_bench::{criterion_group, criterion_main};
+use crimes_bench::harness::{BenchmarkId, Criterion, Throughput};
 
 use crimes_checkpoint::{BackupVm, MappedPage, MemcpyCopier, SocketCopier};
 use crimes_vm::{Pfn, Vm, PAGE_SIZE};

@@ -1,7 +1,8 @@
-//! Criterion bench: PARSEC epoch cycles under Full vs No-opt — the code
+//! Timing bench (in-tree harness): PARSEC epoch cycles under Full vs No-opt — the code
 //! path behind Figure 3's bars (statistical companion to `repro --fig3`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crimes_bench::{criterion_group, criterion_main};
+use crimes_bench::harness::{BenchmarkId, Criterion};
 
 use crimes_checkpoint::{AuditVerdict, CheckpointConfig, Checkpointer, OptLevel};
 use crimes_vm::Vm;

@@ -1,7 +1,8 @@
-//! Criterion bench: one full epoch cycle (workload slice + pause window)
+//! Timing bench (in-tree harness): one full epoch cycle (workload slice + pause window)
 //! per optimisation level — the code path behind Table 1 and Figure 4.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crimes_bench::{criterion_group, criterion_main};
+use crimes_bench::harness::{BenchmarkId, Criterion};
 
 use crimes_checkpoint::{AuditVerdict, CheckpointConfig, Checkpointer, OptLevel};
 use crimes_vm::Vm;

@@ -1,8 +1,9 @@
-//! Criterion bench: rollback-and-replay pinpointing cost as a function of
+//! Timing bench (in-tree harness): rollback-and-replay pinpointing cost as a function of
 //! how deep into the epoch the attack fired (§3.3 — replay "does not
 //! provide high performance" by design; this quantifies it).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crimes_bench::{criterion_group, criterion_main};
+use crimes_bench::harness::{BenchmarkId, Criterion};
 
 use crimes::ReplayEngine;
 use crimes_vm::Vm;

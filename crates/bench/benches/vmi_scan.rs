@@ -1,7 +1,8 @@
-//! Criterion bench: VMI costs — session init (one-time) vs per-checkpoint
+//! Timing bench (in-tree harness): VMI costs — session init (one-time) vs per-checkpoint
 //! structure walks (Table 3's split).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use crimes_bench::{criterion_group, criterion_main};
+use crimes_bench::harness::Criterion;
 
 use crimes_vm::Vm;
 use crimes_vmi::{linux, VmiSession};

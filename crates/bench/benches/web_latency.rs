@@ -1,7 +1,8 @@
-//! Criterion bench: the closed-loop web simulation behind Figure 7 —
+//! Timing bench (in-tree harness): the closed-loop web simulation behind Figure 7 —
 //! baseline vs synchronous vs best-effort at a representative interval.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use crimes_bench::{criterion_group, criterion_main};
+use crimes_bench::harness::Criterion;
 
 use crimes_workloads::{WebMode, WebSim, WebSimConfig};
 

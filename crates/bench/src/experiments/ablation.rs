@@ -205,44 +205,48 @@ mod tests {
     #[test]
     fn remote_backup_sits_between_full_and_noopt() {
         let _guard = crate::measurement_lock();
-        let a = run_backup_placement(3);
-        let by = |label: &str| {
-            a.rows
-                .iter()
-                .find(|r| r.label.contains(label))
-                .unwrap()
-                .pause
-        };
-        let full = by("Full, local");
-        let remote = by("remote");
-        let noopt = by("No-opt");
-        // The paper's claim: remote security scanning costs about what
-        // Remus already costs — i.e. socket copy dominates — while local
-        // CRIMES is far cheaper.
-        assert!(full < remote, "local Full must beat remote");
-        // §4.1's claim, verbatim: remote security scanning "would incur
-        // minimal overhead on top of the cost of Remus" — remote ≈ No-opt
-        // (the socket copy dominates both), within measurement noise.
-        let ratio = remote.as_secs_f64() / noopt.as_secs_f64();
-        assert!(
-            (0.6..=1.4).contains(&ratio),
-            "remote pause {remote:?} should be Remus-like (No-opt {noopt:?}, ratio {ratio:.2})"
-        );
+        crate::assert_with_escalating_samples("ablation_remote", &[3, 9, 27], |n| {
+            let a = run_backup_placement(n);
+            let by = |label: &str| {
+                a.rows
+                    .iter()
+                    .find(|r| r.label.contains(label))
+                    .unwrap()
+                    .pause
+            };
+            let full = by("Full, local");
+            let remote = by("remote");
+            let noopt = by("No-opt");
+            // The paper's claim: remote security scanning costs about what
+            // Remus already costs — i.e. socket copy dominates — while local
+            // CRIMES is far cheaper.
+            assert!(full < remote, "local Full must beat remote");
+            // §4.1's claim, verbatim: remote security scanning "would incur
+            // minimal overhead on top of the cost of Remus" — remote ≈ No-opt
+            // (the socket copy dominates both), within measurement noise.
+            let ratio = remote.as_secs_f64() / noopt.as_secs_f64();
+            assert!(
+                (0.6..=1.4).contains(&ratio),
+                "remote pause {remote:?} should be Remus-like (No-opt {noopt:?}, ratio {ratio:.2})"
+            );
+        });
     }
 
     #[test]
     fn dirty_scoping_slashes_scan_cost() {
         let _guard = crate::measurement_lock();
-        let s = run_canary_scoping(5_000, 5);
-        // The deterministic claim: almost every canary is skipped. (Both
-        // scans share the bulk table read, so the wall-clock gap is small
-        // and load-sensitive; the work reduction is what matters.)
-        assert!(s.dirty_checked < s.canaries / 10);
-        assert!(
-            s.dirty_scan.as_secs_f64() <= s.full_scan.as_secs_f64() * 1.5,
-            "dirty-scoped {:?} must not exceed full {:?}",
-            s.dirty_scan,
-            s.full_scan
-        );
+        crate::assert_with_escalating_samples("ablation_scoping", &[5, 15, 45], |n| {
+            let s = run_canary_scoping(5_000, n);
+            // The deterministic claim: almost every canary is skipped. (Both
+            // scans share the bulk table read, so the wall-clock gap is small
+            // and load-sensitive; the work reduction is what matters.)
+            assert!(s.dirty_checked < s.canaries / 10);
+            assert!(
+                s.dirty_scan.as_secs_f64() <= s.full_scan.as_secs_f64() * 1.5,
+                "dirty-scoped {:?} must not exceed full {:?}",
+                s.dirty_scan,
+                s.full_scan
+            );
+        });
     }
 }

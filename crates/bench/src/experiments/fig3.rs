@@ -134,52 +134,56 @@ mod tests {
     #[test]
     fn fig3_ordering_matches_paper() {
         let _guard = crate::measurement_lock();
-        let fig = run(3);
-        assert_eq!(fig.rows.len(), 11);
-        // Full must beat No-opt on every benchmark; geomeans ordered
-        // Full ≤ Pre-map ≤ Memcpy ≤ No-opt.
-        for row in &fig.rows {
+        crate::assert_with_escalating_samples("fig3_ordering", &[3, 9, 27], |n| {
+            let fig = run(n);
+            assert_eq!(fig.rows.len(), 11);
+            // Full must beat No-opt on every benchmark; geomeans ordered
+            // Full ≤ Pre-map ≤ Memcpy ≤ No-opt.
+            for row in &fig.rows {
+                assert!(
+                    row.by_opt[3] < row.by_opt[0],
+                    "{}: Full {} !< No-opt {}",
+                    row.benchmark,
+                    row.by_opt[3],
+                    row.by_opt[0]
+                );
+                assert!(row.asan > 1.0);
+            }
+            let g = fig.geomean_by_opt;
+            assert!(g[3] <= g[2] * 1.05, "Full ~<= Pre-map");
+            assert!(g[2] <= g[1] * 1.05, "Pre-map ~<= Memcpy");
+            assert!(g[1] < g[0], "Memcpy < No-opt");
+            // CRIMES beats ASan on average, like Figure 3.
             assert!(
-                row.by_opt[3] < row.by_opt[0],
-                "{}: Full {} !< No-opt {}",
-                row.benchmark,
-                row.by_opt[3],
-                row.by_opt[0]
+                g[3] < fig.geomean_asan,
+                "Full {} must beat ASan {}",
+                g[3],
+                fig.geomean_asan
             );
-            assert!(row.asan > 1.0);
-        }
-        let g = fig.geomean_by_opt;
-        assert!(g[3] <= g[2] * 1.05, "Full ~<= Pre-map");
-        assert!(g[2] <= g[1] * 1.05, "Pre-map ~<= Memcpy");
-        assert!(g[1] < g[0], "Memcpy < No-opt");
-        // CRIMES beats ASan on average, like Figure 3.
-        assert!(
-            g[3] < fig.geomean_asan,
-            "Full {} must beat ASan {}",
-            g[3],
-            fig.geomean_asan
-        );
-        assert!(fig.improvement_over_noopt_pct() > 0.0);
+            assert!(fig.improvement_over_noopt_pct() > 0.0);
+        });
     }
 
     #[test]
     fn fluidanimate_is_worst_for_noopt() {
         let _guard = crate::measurement_lock();
-        let fig = run(3);
-        let fluid = fig
-            .rows
-            .iter()
-            .find(|r| r.benchmark == "fluidanimate")
-            .unwrap();
-        for row in &fig.rows {
-            assert!(
-                row.by_opt[0] <= fluid.by_opt[0] + 1e-9,
-                "{} No-opt {} exceeds fluidanimate {}",
-                row.benchmark,
-                row.by_opt[0],
-                fluid.by_opt[0]
-            );
-        }
+        crate::assert_with_escalating_samples("fig3_fluidanimate", &[3, 9, 27], |n| {
+            let fig = run(n);
+            let fluid = fig
+                .rows
+                .iter()
+                .find(|r| r.benchmark == "fluidanimate")
+                .unwrap();
+            for row in &fig.rows {
+                assert!(
+                    row.by_opt[0] <= fluid.by_opt[0] + 1e-9,
+                    "{} No-opt {} exceeds fluidanimate {}",
+                    row.benchmark,
+                    row.by_opt[0],
+                    fluid.by_opt[0]
+                );
+            }
+        });
     }
 
     #[test]

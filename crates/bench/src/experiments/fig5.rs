@@ -110,28 +110,30 @@ mod tests {
     #[test]
     fn fig5_trends_match_paper() {
         let _guard = crate::measurement_lock();
-        let fig = run(3);
-        assert_eq!(fig.points.len(), 4 * INTERVALS_MS.len());
-        for name in FIG5_BENCHMARKS {
-            let series = fig.series(name);
-            let first = series.first().unwrap();
-            let last = series.last().unwrap();
-            // (a) runtime overhead falls as the interval grows.
-            assert!(
-                last.normalized_runtime < first.normalized_runtime,
-                "{name}: overhead must fall with interval"
-            );
-            // (b) per-epoch paused time grows with the interval…
-            assert!(
-                last.paused > first.paused,
-                "{name}: pause must grow with interval"
-            );
-            // (c) …because dirty pages per epoch grow.
-            assert!(
-                last.dirty_pages > first.dirty_pages,
-                "{name}: dirty pages must grow with interval"
-            );
-        }
+        crate::assert_with_escalating_samples("fig5_trends", &[3, 9, 27], |epochs| {
+            let fig = run(epochs);
+            assert_eq!(fig.points.len(), 4 * INTERVALS_MS.len());
+            for name in FIG5_BENCHMARKS {
+                let series = fig.series(name);
+                let first = series.first().unwrap();
+                let last = series.last().unwrap();
+                // (a) runtime overhead falls as the interval grows.
+                assert!(
+                    last.normalized_runtime < first.normalized_runtime,
+                    "{name}: overhead must fall with interval"
+                );
+                // (b) per-epoch paused time grows with the interval…
+                assert!(
+                    last.paused > first.paused,
+                    "{name}: pause must grow with interval"
+                );
+                // (c) …because dirty pages per epoch grow.
+                assert!(
+                    last.dirty_pages > first.dirty_pages,
+                    "{name}: dirty pages must grow with interval"
+                );
+            }
+        });
     }
 
     #[test]

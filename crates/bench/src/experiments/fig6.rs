@@ -6,8 +6,7 @@
 use std::path::Path;
 use std::time::{Duration, Instant};
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crimes_rng::ChaCha8Rng;
 
 use crimes_checkpoint::{scan_bit_by_bit, scan_wordwise, OptLevel};
 use crimes_vm::{DirtyBitmap, Pfn};
@@ -204,68 +203,74 @@ mod tests {
     #[test]
     fn fig6a_full_beats_noopt_everywhere() {
         let _guard = crate::measurement_lock();
-        let fig = run_a(3);
-        for &interval in &INTERVALS_MS {
-            let at = |opt| {
-                fig.points
-                    .iter()
-                    .find(|p| p.opt == opt && p.interval_ms == interval)
-                    .unwrap()
-                    .normalized_runtime
-            };
+        crate::assert_with_escalating_samples("fig6a_beats", &[3, 9, 27], |n| {
+            let fig = run_a(n);
+            for &interval in &INTERVALS_MS {
+                let at = |opt| {
+                    fig.points
+                        .iter()
+                        .find(|p| p.opt == opt && p.interval_ms == interval)
+                        .unwrap()
+                        .normalized_runtime
+                };
+                assert!(
+                    at(OptLevel::Full) < at(OptLevel::NoOpt),
+                    "interval {interval}: Full must beat No-opt"
+                );
+            }
+            // The paper: even as performance worsens at small intervals, Full
+            // stays several times faster than No-opt.
+            let full60 = fig.series(OptLevel::Full)[0].normalized_runtime;
+            let noopt60 = fig.series(OptLevel::NoOpt)[0].normalized_runtime;
             assert!(
-                at(OptLevel::Full) < at(OptLevel::NoOpt),
-                "interval {interval}: Full must beat No-opt"
+                (noopt60 - 1.0) > 2.0 * (full60 - 1.0),
+                "No-opt overhead {noopt60} must dwarf Full {full60} at 60 ms"
             );
-        }
-        // The paper: even as performance worsens at small intervals, Full
-        // stays several times faster than No-opt.
-        let full60 = fig.series(OptLevel::Full)[0].normalized_runtime;
-        let noopt60 = fig.series(OptLevel::NoOpt)[0].normalized_runtime;
-        assert!(
-            (noopt60 - 1.0) > 2.0 * (full60 - 1.0),
-            "No-opt overhead {noopt60} must dwarf Full {full60} at 60 ms"
-        );
+        });
     }
 
     #[test]
     fn fig6a_overhead_falls_with_interval() {
         let _guard = crate::measurement_lock();
-        let fig = run_a(3);
-        for &opt in &OptLevel::ALL {
-            let series = fig.series(opt);
-            assert!(
-                series.last().unwrap().normalized_runtime
-                    < series.first().unwrap().normalized_runtime,
-                "{opt}: overhead must fall with interval"
-            );
-        }
+        crate::assert_with_escalating_samples("fig6a_falls", &[3, 9, 27], |n| {
+            let fig = run_a(n);
+            for &opt in &OptLevel::ALL {
+                let series = fig.series(opt);
+                assert!(
+                    series.last().unwrap().normalized_runtime
+                        < series.first().unwrap().normalized_runtime,
+                    "{opt}: overhead must fall with interval"
+                );
+            }
+        });
     }
 
     #[test]
     fn fig6b_wordwise_wins_and_scales() {
         let _guard = crate::measurement_lock();
-        let fig = run_b(3, 0.01);
-        assert_eq!(fig.points.len(), VM_SIZES_GIB.len());
-        for p in &fig.points {
+        crate::assert_with_escalating_samples("fig6b_wordwise", &[3, 9, 27], |n| {
+            let fig = run_b(n, 0.01);
+            assert_eq!(fig.points.len(), VM_SIZES_GIB.len());
+            for p in &fig.points {
+                assert!(
+                    p.wordwise < p.bit_by_bit,
+                    "{} GiB: word-wise {:?} must beat bit-by-bit {:?}",
+                    p.vm_gib,
+                    p.wordwise,
+                    p.bit_by_bit
+                );
+            }
+            // Bit-by-bit grows much faster with VM size.
+            let first = &fig.points[0];
+            let last = fig.points.last().unwrap();
+            let bit_growth = last.bit_by_bit.as_secs_f64() / first.bit_by_bit.as_secs_f64();
+            let word_growth = last.wordwise.as_secs_f64() / first.wordwise.as_secs_f64().max(1e-12);
             assert!(
-                p.wordwise < p.bit_by_bit,
-                "{} GiB: word-wise {:?} must beat bit-by-bit {:?}",
-                p.vm_gib,
-                p.wordwise,
-                p.bit_by_bit
+                bit_growth > 4.0,
+                "bit-by-bit must scale with memory size: {bit_growth}"
             );
-        }
-        // Bit-by-bit grows much faster with VM size.
-        let first = &fig.points[0];
-        let last = fig.points.last().unwrap();
-        let bit_growth = last.bit_by_bit.as_secs_f64() / first.bit_by_bit.as_secs_f64();
-        let word_growth = last.wordwise.as_secs_f64() / first.wordwise.as_secs_f64().max(1e-12);
-        assert!(
-            bit_growth > 4.0,
-            "bit-by-bit must scale with memory size: {bit_growth}"
-        );
-        let _ = word_growth; // word-wise growth is dominated by the dirty count
+            let _ = word_growth; // word-wise growth is dominated by the dirty count
+        });
     }
 
     #[test]

@@ -98,29 +98,31 @@ mod tests {
     #[test]
     fn table1_shape_matches_paper() {
         let _guard = crate::measurement_lock();
-        let t = run(4);
-        assert_eq!(t.rows.len(), 3);
-        // Copy dominates the pause window on the unoptimised path (the
-        // paper measures ~70%).
-        for row in &t.rows {
-            let p = row.stats.pause_mean;
-            assert!(
-                p.copy.as_secs_f64() > 0.4 * p.total().as_secs_f64(),
-                "{}: copy {:?} must dominate total {:?}",
-                row.intensity.label(),
-                p.copy,
-                p.total()
-            );
-        }
-        // Cost rises with workload intensity.
-        let totals: Vec<f64> = t
-            .rows
-            .iter()
-            .map(|r| r.stats.pause_total_mean().as_secs_f64())
-            .collect();
-        assert!(totals[0] < totals[2], "Light must pause less than High");
-        let text = t.render(None);
-        assert!(text.contains("Light"));
-        assert!(text.contains("High"));
+        crate::assert_with_escalating_samples("table1_shape", &[4, 12, 36], |n| {
+            let t = run(n);
+            assert_eq!(t.rows.len(), 3);
+            // Copy dominates the pause window on the unoptimised path (the
+            // paper measures ~70%).
+            for row in &t.rows {
+                let p = row.stats.pause_mean;
+                assert!(
+                    p.copy.as_secs_f64() > 0.4 * p.total().as_secs_f64(),
+                    "{}: copy {:?} must dominate total {:?}",
+                    row.intensity.label(),
+                    p.copy,
+                    p.total()
+                );
+            }
+            // Cost rises with workload intensity.
+            let totals: Vec<f64> = t
+                .rows
+                .iter()
+                .map(|r| r.stats.pause_total_mean().as_secs_f64())
+                .collect();
+            assert!(totals[0] < totals[2], "Light must pause less than High");
+            let text = t.render(None);
+            assert!(text.contains("Light"));
+            assert!(text.contains("High"));
+        });
     }
 }

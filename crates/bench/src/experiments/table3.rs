@@ -150,18 +150,20 @@ mod tests {
     #[test]
     fn init_dwarfs_per_scan_analysis() {
         let _guard = crate::measurement_lock();
-        let t = run(3, 30);
-        for row in &t.rows {
-            // The whole point of Table 3: one-time costs are orders of
-            // magnitude above the per-checkpoint walk.
-            assert!(
-                row.initialization > 10 * row.memory_analysis,
-                "{}: init {:?} must dwarf analysis {:?}",
-                row.scan,
-                row.initialization,
-                row.memory_analysis
-            );
-        }
+        crate::assert_with_escalating_samples("table3_init", &[3, 9, 27], |n| {
+            let t = run(n, 10 * n);
+            for row in &t.rows {
+                // The whole point of Table 3: one-time costs are orders of
+                // magnitude above the per-checkpoint walk.
+                assert!(
+                    row.initialization > 10 * row.memory_analysis,
+                    "{}: init {:?} must dwarf analysis {:?}",
+                    row.scan,
+                    row.initialization,
+                    row.memory_analysis
+                );
+            }
+        });
     }
 
     #[test]

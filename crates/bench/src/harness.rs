@@ -1,0 +1,260 @@
+//! A minimal in-tree timing harness replacing Criterion for the
+//! `benches/` targets, so `cargo bench` needs no external crates.
+//!
+//! It reproduces the slice of Criterion's API those benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`bench_with_input`](BenchmarkGroup::bench_with_input),
+//! [`BenchmarkId`], [`Throughput`], [`Bencher::iter`] and the
+//! [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) macros — and reports
+//! mean/min/max per benchmark on stdout. It makes no statistical claims
+//! beyond that; it exists so the measured code paths stay compiled,
+//! runnable, and roughly comparable over time.
+//!
+//! Sample counts come from [`BenchmarkGroup::sample_size`] and can be
+//! overridden globally with the `CRIMES_BENCH_SAMPLES` environment
+//! variable (useful in CI smoke runs: `CRIMES_BENCH_SAMPLES=1`).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Top-level driver; one exists per bench binary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare work-per-iteration so the report includes a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measure `f`, which receives a [`Bencher`].
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            target_samples: effective_samples(self.sample_size),
+        };
+        f(&mut bencher);
+        report(&self.name, &id.0, &bencher.samples, self.throughput);
+    }
+
+    /// Measure `f` with a borrowed input, mirroring Criterion's signature.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group. (Criterion renders summaries here; we report
+    /// per-benchmark, so this is a no-op kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Samples per benchmark, after the environment override.
+fn effective_samples(configured: usize) -> usize {
+    std::env::var("CRIMES_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(configured)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A `function/parameter` id, e.g. `wordwise/4`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id that is just a parameter value, e.g. `1000`.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Declared work per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; runs and times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Time `f` once per sample (after one untimed warm-up call), keeping
+    /// every result out of the optimiser's reach.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Render one benchmark's samples as a stdout line.
+fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("bench {group}/{id}: no samples (closure never called iter)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    let mut line = format!(
+        "bench {group}/{id}: mean {} (min {}, max {}, {} samples)",
+        fmt_duration(mean),
+        fmt_duration(*min),
+        fmt_duration(*max),
+        samples.len(),
+    );
+    if let Some(tp) = throughput {
+        let per_sec = |amount: u64| amount as f64 / mean.as_secs_f64();
+        match tp {
+            Throughput::Elements(n) => {
+                let _ = write!(line, ", {:.0} elem/s", per_sec(n));
+            }
+            Throughput::Bytes(n) => {
+                let _ = write!(line, ", {:.1} MiB/s", per_sec(n) / (1024.0 * 1024.0));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Human-scale duration formatting (ns/µs/ms/s).
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", d.as_secs_f64())
+    }
+}
+
+/// Define the benchmark-group entry point, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_the_configured_sample_count() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: 4,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.samples.len(), 4);
+        assert_eq!(calls, 5, "one warm-up plus four timed samples");
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterions() {
+        assert_eq!(BenchmarkId::new("scan", 4).0, "scan/4");
+        assert_eq!(BenchmarkId::from_parameter("full").0, "full");
+        assert_eq!(BenchmarkId::from("plain").0, "plain");
+    }
+
+    #[test]
+    fn groups_run_benchmarks_to_completion() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(4096));
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran >= 2);
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

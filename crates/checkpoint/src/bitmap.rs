@@ -70,7 +70,7 @@ pub fn scan_wordwise(bitmap: &DirtyBitmap) -> Vec<Pfn> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crimes_rng::prop::{check, Config, Gen};
 
     fn bitmap_with(pages: usize, dirty: &[u64]) -> DirtyBitmap {
         let mut bm = DirtyBitmap::new(pages);
@@ -126,35 +126,35 @@ mod tests {
         assert_eq!(BitmapScan::default(), BitmapScan::WordWise);
     }
 
-    proptest! {
-        /// The two scanners are observationally identical on any bitmap.
-        #[test]
-        fn scanners_are_equivalent(
-            pages in 1usize..4096,
-            dirty in proptest::collection::vec(0u64..4096, 0..200),
-        ) {
+    /// The two scanners are observationally identical on any bitmap.
+    #[test]
+    fn scanners_are_equivalent() {
+        check("scanners_are_equivalent", Config::default(), |g: &mut Gen| {
+            let pages = g.int(1usize..4096);
+            let dirty = g.vec(0..200, |g| g.int(0u64..4096));
             let mut bm = DirtyBitmap::new(pages);
             for p in dirty {
                 if (p as usize) < pages {
                     bm.mark(Pfn(p));
                 }
             }
-            prop_assert_eq!(scan_bit_by_bit(&bm), scan_wordwise(&bm));
-        }
+            assert_eq!(scan_bit_by_bit(&bm), scan_wordwise(&bm));
+        });
+    }
 
-        /// Scan output matches the bitmap's own iterator and count.
-        #[test]
-        fn scan_matches_bitmap_iter(
-            dirty in proptest::collection::vec(0u64..2048, 0..100),
-        ) {
+    /// Scan output matches the bitmap's own iterator and count.
+    #[test]
+    fn scan_matches_bitmap_iter() {
+        check("scan_matches_bitmap_iter", Config::default(), |g: &mut Gen| {
+            let dirty = g.vec(0..100, |g| g.int(0u64..2048));
             let mut bm = DirtyBitmap::new(2048);
             for p in &dirty {
                 bm.mark(Pfn(*p));
             }
             let scanned = scan_wordwise(&bm);
             let from_iter: Vec<Pfn> = bm.iter().collect();
-            prop_assert_eq!(&scanned, &from_iter);
-            prop_assert_eq!(scanned.len(), bm.count());
-        }
+            assert_eq!(&scanned, &from_iter);
+            assert_eq!(scanned.len(), bm.count());
+        });
     }
 }

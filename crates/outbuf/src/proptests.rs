@@ -1,8 +1,9 @@
-//! Property tests over buffer invariants.
+//! Property tests over buffer invariants, on the in-tree
+//! [`crimes_rng::prop`] harness.
 
 #![cfg(test)]
 
-use proptest::prelude::*;
+use crimes_rng::prop::{check, Config, Gen};
 
 use crate::buffer::{OutputBuffer, SafetyMode};
 use crate::output::{DiskWrite, NetPacket, Output};
@@ -15,24 +16,34 @@ enum Step {
     Discard,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (any::<u16>(), any::<u32>()).prop_map(|(len, at)| Step::SubmitNet { len, at }),
-        (any::<u16>(), any::<u32>()).prop_map(|(len, at)| Step::SubmitDisk { len, at }),
-        (any::<u32>()).prop_map(|at| Step::Release { at }),
-        Just(Step::Discard),
-    ]
+fn gen_step(g: &mut Gen) -> Step {
+    match g.int(0u8..4) {
+        0 => Step::SubmitNet {
+            len: g.any_u16(),
+            at: g.any_u32(),
+        },
+        1 => Step::SubmitDisk {
+            len: g.any_u16(),
+            at: g.any_u32(),
+        },
+        2 => Step::Release { at: g.any_u32() },
+        _ => Step::Discard,
+    }
 }
 
-proptest! {
-    /// Conservation: every submitted output is eventually accounted for as
-    /// exactly one of {released, discarded, still held}; bytes likewise.
-    #[test]
-    fn outputs_are_conserved(
-        steps in proptest::collection::vec(step_strategy(), 0..100),
-        sync in any::<bool>(),
-    ) {
-        let mode = if sync { SafetyMode::Synchronous } else { SafetyMode::BestEffort };
+/// Conservation: every submitted output is eventually accounted for as
+/// exactly one of {released, discarded, still held}; bytes likewise.
+#[test]
+fn outputs_are_conserved() {
+    check("outputs_are_conserved", Config::default(), |g: &mut Gen| {
+        let steps = g.vec(0..100, gen_step);
+        let sync = g.any_bool();
+
+        let mode = if sync {
+            SafetyMode::Synchronous
+        } else {
+            SafetyMode::BestEffort
+        };
         let mut buf = OutputBuffer::new(mode);
         let mut submitted = 0u64;
         let mut submitted_bytes = 0u64;
@@ -57,25 +68,29 @@ proptest! {
             }
         }
         let stats = buf.stats();
-        prop_assert_eq!(
+        assert_eq!(
             stats.released + stats.discarded + buf.held_count() as u64,
             submitted
         );
-        prop_assert_eq!(
+        assert_eq!(
             stats.released_bytes + stats.discarded_bytes + buf.held_bytes() as u64,
             submitted_bytes
         );
         // Best effort never holds or discards.
         if mode == SafetyMode::BestEffort {
-            prop_assert_eq!(buf.held_count(), 0);
-            prop_assert_eq!(stats.discarded, 0);
+            assert_eq!(buf.held_count(), 0);
+            assert_eq!(stats.discarded, 0);
         }
-    }
+    });
+}
 
-    /// Releases preserve submission order (TCP would be very unhappy
-    /// otherwise).
-    #[test]
-    fn release_order_is_fifo(lens in proptest::collection::vec(1u16..64, 1..32)) {
+/// Releases preserve submission order (TCP would be very unhappy
+/// otherwise).
+#[test]
+fn release_order_is_fifo() {
+    check("release_order_is_fifo", Config::default(), |g: &mut Gen| {
+        let lens = g.vec(1..32, |g| g.int(1u16..64));
+
         let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
         for (i, len) in lens.iter().enumerate() {
             buf.submit(Output::Net(NetPacket::new(i as u64, vec![0u8; *len as usize])), 0);
@@ -89,6 +104,6 @@ proptest! {
             })
             .collect();
         let expected: Vec<u64> = (0..lens.len() as u64).collect();
-        prop_assert_eq!(ids, expected);
-    }
+        assert_eq!(ids, expected);
+    });
 }

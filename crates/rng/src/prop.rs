@@ -1,0 +1,423 @@
+//! A minimal seeded property-test harness, replacing `proptest`.
+//!
+//! Design: a test property is a closure over a [`Gen`]. Every primitive
+//! value the closure draws comes from an underlying *tape* of `u64`s.
+//! During exploration the tape is fed by a [`ChaCha8Rng`](crate::ChaCha8Rng)
+//! seeded per-case; when a case fails (the closure panics), the recorded
+//! tape is shrunk — entries zeroed, halved, decremented, and the tape
+//! truncated — and the closure re-run over each candidate. Because
+//! generators map draws monotonically (a smaller draw yields a smaller
+//! length / value / variant index), tape-level shrinking is value-level
+//! shrinking, the same "internal shrinking" idea Hypothesis uses.
+//!
+//! Failures reproduce deterministically: the harness panics with the case
+//! seed, and [`Config::seed`] (or the `CRIMES_PROP_SEED` environment
+//! variable) replays it. Known-bad seeds from past failures can be pinned
+//! forever via [`Config::regression_seeds`].
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+use crate::ChaCha8Rng;
+
+thread_local! {
+    /// True while the harness is probing cases whose panics it will catch;
+    /// silences the default panic hook so shrinking does not flood stderr.
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install (once, process-wide) a panic hook that drops reports from
+/// threads currently running harness probes and defers to the previous
+/// hook otherwise.
+fn install_quiet_hook() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run (after regression seeds).
+    pub cases: u32,
+    /// Base seed; case `i` uses `seed + i`. Overridden by the
+    /// `CRIMES_PROP_SEED` environment variable (which also sets
+    /// `cases = 1`) so a reported failure can be replayed exactly.
+    pub seed: u64,
+    /// Seeds of past failures, always re-run before any novel case — the
+    /// in-tree equivalent of a `proptest-regressions` file.
+    pub regression_seeds: Vec<u64>,
+    /// Cap on shrink re-executions per failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            seed: 0xc21_5e5,
+            regression_seeds: Vec::new(),
+            max_shrink_iters: 400,
+        }
+    }
+}
+
+impl Config {
+    /// A config running `cases` random cases with defaults otherwise.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+
+    /// Add a known-failure seed that is re-run before novel cases.
+    pub fn with_regression_seed(mut self, seed: u64) -> Self {
+        self.regression_seeds.push(seed);
+        self
+    }
+}
+
+/// The value source handed to a property closure.
+///
+/// Replaying a recorded tape: draws beyond the tape's end return 0, which
+/// every generator maps to its minimal value — that is what makes tape
+/// truncation a valid shrink.
+#[derive(Debug)]
+pub struct Gen {
+    tape: Vec<u64>,
+    pos: usize,
+    rng: Option<ChaCha8Rng>,
+}
+
+impl Gen {
+    fn recording(seed: u64) -> Self {
+        Gen {
+            tape: Vec::new(),
+            pos: 0,
+            rng: Some(ChaCha8Rng::seed_from_u64(seed)),
+        }
+    }
+
+    fn replaying(tape: &[u64]) -> Self {
+        Gen {
+            tape: tape.to_vec(),
+            pos: 0,
+            rng: None,
+        }
+    }
+
+    /// The raw primitive: one 64-bit draw from the tape.
+    pub fn any_u64(&mut self) -> u64 {
+        let v = if self.pos < self.tape.len() {
+            self.tape[self.pos]
+        } else if let Some(rng) = self.rng.as_mut() {
+            let v = rng.next_u64();
+            self.tape.push(v);
+            v
+        } else {
+            0
+        };
+        self.pos += 1;
+        v
+    }
+
+    /// Uniform draw from a half-open integer range, via one tape entry.
+    ///
+    /// Maps the draw with a modulo rather than rejection so that *every*
+    /// tape value is valid and smaller draws give smaller results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn int<T: GenInt>(&mut self, range: core::ops::Range<T>) -> T {
+        T::from_draw(self.any_u64(), range)
+    }
+
+    /// An arbitrary `u8` (full range).
+    pub fn any_u8(&mut self) -> u8 {
+        self.any_u64() as u8
+    }
+
+    /// An arbitrary `u16` (full range).
+    pub fn any_u16(&mut self) -> u16 {
+        self.any_u64() as u16
+    }
+
+    /// An arbitrary `u32` (full range).
+    pub fn any_u32(&mut self) -> u32 {
+        self.any_u64() as u32
+    }
+
+    /// An arbitrary `bool`.
+    pub fn any_bool(&mut self) -> bool {
+        self.any_u64() & 1 == 1
+    }
+
+    /// A vector with length drawn from `len`, elements from `element`.
+    pub fn vec<T>(
+        &mut self,
+        len: core::ops::Range<usize>,
+        mut element: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.int(len);
+        (0..n).map(|_| element(self)).collect()
+    }
+
+    /// An ASCII string of `len` characters drawn from `alphabet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphabet` is empty.
+    pub fn ascii_string(&mut self, len: core::ops::Range<usize>, alphabet: &[u8]) -> String {
+        assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+        let n = self.int(len);
+        (0..n)
+            .map(|_| alphabet[self.int(0..alphabet.len())] as char)
+            .collect()
+    }
+}
+
+/// Integers [`Gen::int`] can produce.
+pub trait GenInt: Copy {
+    /// Map one raw tape draw into `[range.start, range.end)`.
+    fn from_draw(draw: u64, range: core::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_gen_int {
+    ($($t:ty),*) => {$(
+        impl GenInt for $t {
+            fn from_draw(draw: u64, range: core::ops::Range<$t>) -> $t {
+                assert!(range.start < range.end, "Gen::int on empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (draw % span) as $t
+            }
+        }
+    )*};
+}
+impl_gen_int!(u8, u16, u32, u64, usize);
+
+/// Outcome of one closure execution.
+fn run_case(f: &impl Fn(&mut Gen), gen: &mut Gen) -> Result<(), String> {
+    QUIET_PANICS.with(|q| q.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(gen)));
+    QUIET_PANICS.with(|q| q.set(false));
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        }
+    })
+}
+
+/// Shrink a failing tape: keep applying the first simplification that
+/// still fails until none applies or the iteration budget runs out.
+fn shrink(
+    f: &impl Fn(&mut Gen),
+    mut tape: Vec<u64>,
+    budget: u32,
+) -> (Vec<u64>, String) {
+    let mut message = String::new();
+    let mut iters = 0u32;
+    let mut progress = true;
+    while progress && iters < budget {
+        progress = false;
+
+        // 1. Truncate: drop trailing halves, then single entries.
+        let mut candidates: Vec<Vec<u64>> = Vec::new();
+        if !tape.is_empty() {
+            candidates.push(tape[..tape.len() / 2].to_vec());
+            candidates.push(tape[..tape.len() - 1].to_vec());
+        }
+        // 2. Per-entry simplifications, favouring early entries (they
+        //    usually control lengths and variant choices).
+        for i in 0..tape.len() {
+            if tape[i] == 0 {
+                continue;
+            }
+            let mut zeroed = tape.clone();
+            zeroed[i] = 0;
+            candidates.push(zeroed);
+            let mut halved = tape.clone();
+            halved[i] /= 2;
+            candidates.push(halved);
+            let mut dec = tape.clone();
+            dec[i] -= 1;
+            candidates.push(dec);
+        }
+
+        for cand in candidates {
+            if iters >= budget {
+                break;
+            }
+            iters += 1;
+            let mut gen = Gen::replaying(&cand);
+            if let Err(m) = run_case(f, &mut gen) {
+                // Keep only the consumed prefix — unread suffix is dead.
+                let consumed = gen.pos.min(cand.len());
+                tape = cand[..consumed].to_vec();
+                message = m;
+                progress = true;
+                break;
+            }
+        }
+    }
+    (tape, message)
+}
+
+/// Run property `f` for the configured number of cases, shrinking and
+/// reporting the minimal counterexample on failure.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) if any case fails, with the
+/// case seed, the minimal tape, and the original assertion message.
+pub fn check(name: &str, config: Config, f: impl Fn(&mut Gen)) {
+    install_quiet_hook();
+
+    let (env_seed, cases) = match std::env::var("CRIMES_PROP_SEED") {
+        Ok(s) => {
+            let seed = s.parse::<u64>().unwrap_or_else(|_| {
+                panic!("CRIMES_PROP_SEED must be a decimal u64, got {s:?}")
+            });
+            (Some(seed), 1)
+        }
+        Err(_) => (None, config.cases),
+    };
+
+    // Regression seeds first: the old failure corpus stays load-bearing.
+    let seeds = config
+        .regression_seeds
+        .iter()
+        .copied()
+        .chain((0..cases as u64).map(|i| env_seed.unwrap_or(config.seed).wrapping_add(i)));
+
+    for case_seed in seeds {
+        let mut gen = Gen::recording(case_seed);
+        if let Err(first_message) = run_case(&f, &mut gen) {
+            let recorded = gen.tape.clone();
+            let (minimal, shrunk_message) = shrink(&f, recorded, config.max_shrink_iters);
+            let message = if shrunk_message.is_empty() {
+                first_message
+            } else {
+                shrunk_message
+            };
+            panic!(
+                "property {name:?} failed (seed {case_seed}; replay with \
+                 CRIMES_PROP_SEED={case_seed}):\n  minimal tape ({} draws): {minimal:?}\n  \
+                 assertion: {message}",
+                minimal.len(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u32;
+        // Count via a Cell captured by the closure (Fn, not FnMut).
+        let counter = std::cell::Cell::new(0u32);
+        check("counts", Config::with_cases(17), |g| {
+            let _ = g.any_u64();
+            counter.set(counter.get() + 1);
+        });
+        seen += counter.get();
+        assert_eq!(seen, 17);
+    }
+
+    #[test]
+    fn failing_property_is_reported_with_seed() {
+        let result = std::panic::catch_unwind(|| {
+            check("always_fails", Config::with_cases(5), |g| {
+                let v = g.int(0u64..100);
+                assert!(v > 1000, "v is small: {v}");
+            });
+        });
+        let message = match result {
+            Ok(()) => panic!("property must fail"),
+            Err(p) => *p.downcast::<String>().expect("string panic"),
+        };
+        assert!(message.contains("always_fails"), "names the property: {message}");
+        assert!(message.contains("CRIMES_PROP_SEED="), "replay hint: {message}");
+    }
+
+    #[test]
+    fn shrinking_finds_a_boundary_counterexample() {
+        // Fails whenever the drawn value is >= 10; minimal failing value
+        // is exactly 10, and the shrinker must land on it.
+        let result = std::panic::catch_unwind(|| {
+            check("boundary", Config::with_cases(50), |g| {
+                let v = g.int(0u64..1000);
+                assert!(v < 10, "too big: {v}");
+            });
+        });
+        let message = match result {
+            Ok(()) => panic!("property must fail"),
+            Err(p) => *p.downcast::<String>().expect("string panic"),
+        };
+        assert!(
+            message.contains("too big: 10"),
+            "shrinker must reach the minimal counterexample, got: {message}"
+        );
+    }
+
+    #[test]
+    fn vec_generator_respects_length_bounds() {
+        check("vec_len", Config::with_cases(64), |g| {
+            let v = g.vec(2..7, |g| g.any_u8());
+            assert!((2..7).contains(&v.len()));
+        });
+    }
+
+    #[test]
+    fn ascii_string_draws_from_alphabet() {
+        check("ascii", Config::with_cases(32), |g| {
+            let s = g.ascii_string(0..12, b"abc_");
+            assert!(s.chars().all(|c| "abc_".contains(c)));
+            assert!(s.len() < 12);
+        });
+    }
+
+    #[test]
+    fn regression_seeds_run_first_and_deterministically() {
+        let order = std::cell::RefCell::new(Vec::new());
+        let cfg = Config {
+            cases: 2,
+            seed: 100,
+            regression_seeds: vec![7, 8],
+            ..Config::default()
+        };
+        check("order", cfg, |g| {
+            order.borrow_mut().push(g.any_u64());
+        });
+        let first_run = order.borrow().clone();
+        assert_eq!(first_run.len(), 4, "2 regression + 2 novel cases");
+
+        // Same config replays the identical sequence.
+        let order2 = std::cell::RefCell::new(Vec::new());
+        let cfg2 = Config {
+            cases: 2,
+            seed: 100,
+            regression_seeds: vec![7, 8],
+            ..Config::default()
+        };
+        check("order2", cfg2, |g| {
+            order2.borrow_mut().push(g.any_u64());
+        });
+        assert_eq!(*order2.borrow(), first_run);
+    }
+}

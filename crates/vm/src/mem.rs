@@ -11,9 +11,7 @@
 //! machine frames. Code that skips translation therefore reads the wrong
 //! frame and fails tests, instead of silently passing.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use crimes_rng::ChaCha8Rng;
 
 use crate::addr::{Gpa, Mfn, Pfn, PAGE_SIZE};
 use crate::dirty::DirtyBitmap;
@@ -46,7 +44,7 @@ impl GuestMemory {
         assert!(num_pages > 0, "guest memory must have at least one page");
         let mut mfns: Vec<Mfn> = (0..num_pages as u64).map(Mfn).collect();
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
-        mfns.shuffle(&mut rng);
+        rng.shuffle(&mut mfns);
         GuestMemory {
             frames: vec![0; num_pages * PAGE_SIZE],
             pfn_to_mfn: mfns,

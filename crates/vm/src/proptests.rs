@@ -1,53 +1,60 @@
 //! Property tests over the substrate's lowest layers: guest memory,
 //! dirty tracking, the kernel layout, and `System.map` parsing.
+//!
+//! Run on the in-tree [`crimes_rng::prop`] harness: each property draws
+//! its inputs from a seeded [`Gen`] and failures shrink to a minimal
+//! tape, reported with a `CRIMES_PROP_SEED` replay hint.
 
 #![cfg(test)]
 
-use proptest::prelude::*;
+use crimes_rng::prop::{check, Config, Gen};
 
-use crate::addr::{Gpa, Gva, Pfn, PAGE_SIZE};
+use crate::addr::{Gpa, Pfn, PAGE_SIZE};
 use crate::layout::KernelLayout;
 use crate::mem::GuestMemory;
 use crate::symbols::SystemMap;
 
-proptest! {
-    /// Any write anywhere (including page-straddling spans) reads back
-    /// exactly, and dirties exactly the pages the span covers.
-    #[test]
-    fn memory_write_read_round_trip(
-        offset in 0u64..(64 * PAGE_SIZE as u64 - 512),
-        data in proptest::collection::vec(any::<u8>(), 1..512),
-        seed in any::<u64>(),
-    ) {
+/// Any write anywhere (including page-straddling spans) reads back
+/// exactly, and dirties exactly the pages the span covers.
+#[test]
+fn memory_write_read_round_trip() {
+    check("memory_write_read_round_trip", Config::default(), |g: &mut Gen| {
+        let offset = g.int(0u64..(64 * PAGE_SIZE as u64 - 512));
+        let data = g.vec(1..512, Gen::any_u8);
+        let seed = g.any_u64();
+
         let mut mem = GuestMemory::new(64, seed);
         let gpa = Gpa(offset);
         mem.write(gpa, &data);
         let mut back = vec![0u8; data.len()];
         mem.read(gpa, &mut back);
-        prop_assert_eq!(&back, &data);
+        assert_eq!(&back, &data);
 
         let first = gpa.pfn().0;
         let last = gpa.add(data.len() as u64 - 1).pfn().0;
         for pfn in 0..64u64 {
-            prop_assert_eq!(
+            assert_eq!(
                 mem.dirty().is_dirty(Pfn(pfn)),
                 (first..=last).contains(&pfn),
-                "page {} dirty state wrong for span {}..{}",
-                pfn, first, last
+                "page {pfn} dirty state wrong for span {first}..{last}"
             );
         }
-    }
+    });
+}
 
-    /// Overlapping writes behave like writes to a flat buffer: the guest's
-    /// view equals a reference model regardless of the MFN permutation.
-    #[test]
-    fn memory_matches_flat_reference_model(
-        writes in proptest::collection::vec(
-            (0u64..(16 * PAGE_SIZE as u64 - 64), proptest::collection::vec(any::<u8>(), 1..64)),
-            0..32,
-        ),
-        seed in any::<u64>(),
-    ) {
+/// Overlapping writes behave like writes to a flat buffer: the guest's
+/// view equals a reference model regardless of the MFN permutation.
+#[test]
+fn memory_matches_flat_reference_model() {
+    check("memory_matches_flat_reference_model", Config::default(), |g: &mut Gen| {
+        let writes = g.vec(0..32, |g| {
+            (
+                g.int(0u64..(16 * PAGE_SIZE as u64 - 64)),
+                g.vec(1..64, Gen::any_u8),
+            )
+        });
+        let seed = g.any_u64();
+
         let mut mem = GuestMemory::new(16, seed);
         let mut reference = vec![0u8; 16 * PAGE_SIZE];
         for (offset, data) in &writes {
@@ -56,16 +63,19 @@ proptest! {
         }
         let mut all = vec![0u8; 16 * PAGE_SIZE];
         mem.read(Gpa(0), &mut all);
-        prop_assert_eq!(all, reference);
-    }
+        assert_eq!(all, reference);
+    });
+}
 
-    /// `dump_frames` → `restore_frames` is an exact round trip under any
-    /// interleaving of writes.
-    #[test]
-    fn dump_restore_round_trips(
-        before in proptest::collection::vec((0u64..(8 * PAGE_SIZE as u64 - 8), any::<u64>()), 0..16),
-        after in proptest::collection::vec((0u64..(8 * PAGE_SIZE as u64 - 8), any::<u64>()), 1..16),
-    ) {
+/// `dump_frames` → `restore_frames` is an exact round trip under any
+/// interleaving of writes.
+#[test]
+fn dump_restore_round_trips() {
+    check("dump_restore_round_trips", Config::default(), |g: &mut Gen| {
+        let span = 8 * PAGE_SIZE as u64 - 8;
+        let before = g.vec(0..16, |g| (g.int(0..span), g.any_u64()));
+        let after = g.vec(1..16, |g| (g.int(0..span), g.any_u64()));
+
         let mut mem = GuestMemory::new(8, 1);
         for (off, v) in &before {
             mem.write_u64(Gpa(*off), *v);
@@ -83,16 +93,19 @@ proptest! {
         }
         let mut expect = vec![0u8; 8 * PAGE_SIZE];
         reference.read(Gpa(0), &mut expect);
-        prop_assert_eq!(all, expect);
-    }
+        assert_eq!(all, expect);
+    });
+}
 
-    /// The kernel layout never overlaps regions and always leaves user
-    /// pages, for any plausible guest size.
-    #[test]
-    fn layout_is_sound_for_any_size(total_pages in 1800usize..65536) {
+/// The kernel layout never overlaps regions and always leaves user
+/// pages, for any plausible guest size.
+#[test]
+fn layout_is_sound_for_any_size() {
+    check("layout_is_sound_for_any_size", Config::default(), |g: &mut Gen| {
+        let total_pages = g.int(1800usize..65536);
         let l = KernelLayout::for_pages(total_pages);
-        prop_assert!(l.user_pages() > 0);
-        prop_assert!(l.user_start.0 as usize / PAGE_SIZE <= total_pages);
+        assert!(l.user_pages() > 0);
+        assert!(l.user_start.0 as usize / PAGE_SIZE <= total_pages);
         // Region bounds are monotonically increasing in layout order.
         let bounds = [
             l.syscall_table.0,
@@ -106,21 +119,30 @@ proptest! {
             l.user_start.0,
         ];
         for w in bounds.windows(2) {
-            prop_assert!(w[0] < w[1], "regions out of order: {:?}", bounds);
+            assert!(w[0] < w[1], "regions out of order: {bounds:?}");
         }
-    }
+    });
+}
 
-    /// System.map parsing accepts anything `to_text` produces, for
-    /// arbitrary symbol sets.
-    #[test]
-    fn system_map_round_trips(
-        symbols in proptest::collection::btree_map("[a-z_][a-z0-9_]{0,30}", any::<u64>(), 0..50),
-    ) {
+/// System.map parsing accepts anything `to_text` produces, for
+/// arbitrary symbol sets.
+#[test]
+fn system_map_round_trips() {
+    check("system_map_round_trips", Config::default(), |g: &mut Gen| {
+        let symbols: std::collections::BTreeMap<String, u64> = (0..g.int(0usize..50))
+            .map(|_| {
+                // Identifier shape: [a-z_][a-z0-9_]{0,30}
+                let mut name = g.ascii_string(1..2, b"abcdefghijklmnopqrstuvwxyz_");
+                name.push_str(&g.ascii_string(0..31, b"abcdefghijklmnopqrstuvwxyz0123456789_"));
+                (name, g.any_u64())
+            })
+            .collect();
+
         let mut m = SystemMap::new();
         for (name, addr) in &symbols {
-            m.insert(name, Gva(*addr));
+            m.insert(name, crate::addr::Gva(*addr));
         }
         let parsed = SystemMap::parse(&m.to_text()).expect("own text must parse");
-        prop_assert_eq!(parsed, m);
-    }
+        assert_eq!(parsed, m);
+    });
 }

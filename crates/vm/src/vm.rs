@@ -5,8 +5,7 @@
 //! trace and replaying it are guaranteed to exercise identical code paths —
 //! the property CRIMES' rollback-and-replay analysis relies on.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crimes_rng::ChaCha8Rng;
 
 use crate::addr::{Gpa, Gva, PAGE_SIZE};
 use crate::disk::VirtualDisk;

@@ -9,8 +9,7 @@
 //! instrumented-vs-raw execution of identical access sequences, not from a
 //! made-up constant.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crimes_rng::ChaCha8Rng;
 use std::time::Instant;
 
 /// Shadow encoding: one shadow byte per application byte (simpler than

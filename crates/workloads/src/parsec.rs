@@ -5,8 +5,7 @@
 //! All randomness is seeded, so a recorded epoch replays bit-identically
 //! (the property the Analyzer's replay phase needs).
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crimes_rng::ChaCha8Rng;
 
 use crimes_vm::{Gva, Vm, VmError, PAGE_SIZE};
 

@@ -17,8 +17,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crimes_rng::ChaCha8Rng;
 
 use crimes_vm::{Vm, VmError, PAGE_SIZE};
 

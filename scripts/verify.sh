@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full offline verification for the CRIMES reproduction.
+#
+# Everything here must pass with no network access and no crates beyond
+# the workspace itself — the build is hermetic by construction (see
+# README "Building offline"). Warnings are promoted to errors so the
+# tree stays clean.
+#
+# Usage: scripts/verify.sh
+# Env:   CRIMES_BENCH_SAMPLES  sample count for bench smoke runs (unused
+#                              here; benches are compile-checked only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+export RUSTFLAGS="-D warnings ${RUSTFLAGS:-}"
+
+echo "==> tier-1: release build"
+cargo build --release --offline --workspace
+
+echo "==> tier-1: test suite"
+cargo test -q --offline --workspace
+
+echo "==> benches compile (in-tree harness, no criterion)"
+cargo bench --no-run --offline
+
+echo "==> examples smoke-run"
+for example in quickstart overflow_attack malware_detection web_server_safety cloud_fleet; do
+    echo "    --example ${example}"
+    cargo run --release --offline -q --example "${example}" > /dev/null
+done
+
+echo "==> no external registry dependencies"
+if grep -rn '^rand\|^proptest\|^criterion' Cargo.toml crates/*/Cargo.toml; then
+    echo "error: external registry dependency found in a manifest" >&2
+    exit 1
+fi
+
+echo "verify: all green"

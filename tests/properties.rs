@@ -3,8 +3,14 @@
 //! deterministic replay, backup/primary equality after every committed
 //! checkpoint, canary soundness and completeness, and VMI-vs-ground-truth
 //! agreement.
+//!
+//! Runs on the in-tree [`crimes_rng::prop`] harness. Each property body is
+//! a plain function over a generated `Vec<Action>`, so the regression
+//! corpus (formerly `properties.proptest-regressions`) can pin exact
+//! action sequences as named `#[test]`s — see the `regression_` tests at
+//! the bottom.
 
-use proptest::prelude::*;
+use crimes_rng::prop::{check, Config, Gen};
 
 use crimes_checkpoint::{AuditVerdict, CheckpointConfig, Checkpointer, OptLevel};
 use crimes_vm::{Gva, TcpState, Vm};
@@ -28,26 +34,42 @@ enum Action {
     Advance { ms: u8 },
 }
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (1u8..8).prop_map(|pages| Action::Spawn { pages }),
-        Just(Action::ExitNewest),
-        (1u16..512).prop_map(|size| Action::Malloc { size }),
-        Just(Action::FreeOldest),
-        (any::<u8>(), any::<u8>()).prop_map(|(idx, fill)| Action::WriteInBounds { idx, fill }),
-        (any::<u8>(), 1u8..32).prop_map(|(idx, overrun)| Action::Overflow { idx, overrun }),
-        (any::<u8>(), any::<u16>(), any::<u8>()).prop_map(|(page, offset, val)| Action::Dirty {
-            page,
-            offset,
-            val
-        }),
-        Just(Action::Hide),
-        (any::<u8>()).prop_map(|idx| Action::Hijack { idx }),
-        (1u16..60000).prop_map(|port| Action::OpenSocket { port }),
-        (any::<u8>()).prop_map(|name| Action::OpenFile { name }),
-        (any::<u8>(), any::<u8>()).prop_map(|(sector, byte)| Action::WriteDisk { sector, byte }),
-        (1u8..20).prop_map(|ms| Action::Advance { ms }),
-    ]
+/// Draw one action; the variant ranges mirror the old proptest strategy.
+fn gen_action(g: &mut Gen) -> Action {
+    match g.int(0u8..13) {
+        0 => Action::Spawn {
+            pages: g.int(1u8..8),
+        },
+        1 => Action::ExitNewest,
+        2 => Action::Malloc {
+            size: g.int(1u16..512),
+        },
+        3 => Action::FreeOldest,
+        4 => Action::WriteInBounds {
+            idx: g.any_u8(),
+            fill: g.any_u8(),
+        },
+        5 => Action::Overflow {
+            idx: g.any_u8(),
+            overrun: g.int(1u8..32),
+        },
+        6 => Action::Dirty {
+            page: g.any_u8(),
+            offset: g.any_u16(),
+            val: g.any_u8(),
+        },
+        7 => Action::Hide,
+        8 => Action::Hijack { idx: g.any_u8() },
+        9 => Action::OpenSocket {
+            port: g.int(1u16..60000),
+        },
+        10 => Action::OpenFile { name: g.any_u8() },
+        11 => Action::WriteDisk {
+            sector: g.any_u8(),
+            byte: g.any_u8(),
+        },
+        _ => Action::Advance { ms: g.int(1u8..20) },
+    }
 }
 
 /// One live allocation tracked by the driver.
@@ -193,138 +215,204 @@ fn small_vm(seed: u64) -> Vm {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Replaying a recorded epoch over its starting snapshot reproduces the
+/// exact final memory image, whatever the guest did.
+fn assert_replay_is_deterministic(actions: &[Action]) {
+    let mut vm = small_vm(9);
+    vm.set_recording(true);
+    let mut driver = Driver::new();
+    driver.apply(&mut vm, &Action::Spawn { pages: 6 });
+    let snap = vm.snapshot();
+    let mark = vm.trace_mark();
 
-    /// Replaying a recorded epoch over its starting snapshot reproduces
-    /// the exact final memory image, whatever the guest did.
-    #[test]
-    fn replay_is_deterministic(actions in proptest::collection::vec(action_strategy(), 1..60)) {
-        let mut vm = small_vm(9);
-        vm.set_recording(true);
-        let mut driver = Driver::new();
-        driver.apply(&mut vm, &Action::Spawn { pages: 6 });
-        let snap = vm.snapshot();
-        let mark = vm.trace_mark();
+    for a in actions {
+        driver.apply(&mut vm, a);
+    }
+    let final_image = vm.memory().dump_frames();
+    let final_disk = vm.disk().dump();
+    let final_time = vm.now_ns();
+    let ops = vm.trace_since(mark);
 
-        for a in &actions {
+    vm.restore(&snap);
+    for op in &ops {
+        vm.apply(op).expect("replay over origin snapshot cannot fail");
+    }
+    assert_eq!(vm.memory().dump_frames(), final_image);
+    assert_eq!(vm.disk().dump(), final_disk);
+    assert_eq!(vm.now_ns(), final_time);
+}
+
+/// After every committed checkpoint, the backup equals the primary — for
+/// the given optimisation level, under arbitrary activity.
+fn assert_backup_tracks_primary_exactly(actions: &[Action], opt_idx: usize) {
+    let mut vm = small_vm(10);
+    let mut driver = Driver::new();
+    driver.apply(&mut vm, &Action::Spawn { pages: 6 });
+    let opt = OptLevel::ALL[opt_idx];
+    let mut cp = Checkpointer::new(
+        &vm,
+        CheckpointConfig {
+            opt,
+            ..CheckpointConfig::default()
+        },
+    );
+
+    for chunk in actions.chunks(8) {
+        for a in chunk {
             driver.apply(&mut vm, a);
         }
-        let final_image = vm.memory().dump_frames();
-        let final_disk = vm.disk().dump();
-        let final_time = vm.now_ns();
-        let ops = vm.trace_since(mark);
-
-        vm.restore(&snap);
-        for op in &ops {
-            vm.apply(op).expect("replay over origin snapshot cannot fail");
-        }
-        prop_assert_eq!(vm.memory().dump_frames(), final_image);
-        prop_assert_eq!(vm.disk().dump(), final_disk);
-        prop_assert_eq!(vm.now_ns(), final_time);
+        cp.run_epoch(&mut vm, &mut |_, _| AuditVerdict::Pass);
+        let primary = vm.memory().dump_frames();
+        assert_eq!(cp.backup().frames(), primary.as_slice());
+        let disk = vm.disk().dump();
+        assert_eq!(cp.backup().disk(), disk.as_slice());
     }
+}
 
-    /// After every committed checkpoint, the backup equals the primary —
-    /// for all four optimisation levels, under arbitrary activity.
-    #[test]
-    fn backup_tracks_primary_exactly(
-        actions in proptest::collection::vec(action_strategy(), 1..40),
-        opt_idx in 0usize..4,
-    ) {
-        let mut vm = small_vm(10);
-        let mut driver = Driver::new();
-        driver.apply(&mut vm, &Action::Spawn { pages: 6 });
-        let opt = OptLevel::ALL[opt_idx];
-        let mut cp = Checkpointer::new(&vm, CheckpointConfig { opt, ..CheckpointConfig::default() });
-
-        for chunk in actions.chunks(8) {
-            for a in chunk {
-                driver.apply(&mut vm, a);
-            }
-            cp.run_epoch(&mut vm, &mut |_, _| AuditVerdict::Pass);
-            let primary = vm.memory().dump_frames();
-            prop_assert_eq!(cp.backup().frames(), primary.as_slice());
-            let disk = vm.disk().dump();
-            prop_assert_eq!(cp.backup().disk(), disk.as_slice());
-        }
+/// The canary scan is sound and complete: the violations it reports are
+/// exactly the still-live allocations whose canaries a raw write
+/// overlapped (freed objects drop their records; a recycled block gets a
+/// fresh canary).
+fn assert_canary_scan_sound_and_complete(actions: &[Action]) {
+    let mut vm = small_vm(11);
+    let mut driver = Driver::new();
+    driver.apply(&mut vm, &Action::Spawn { pages: 6 });
+    for a in actions {
+        driver.apply(&mut vm, a);
     }
+    let mut session = VmiSession::init(&vm).expect("init");
+    session.refresh_address_spaces(vm.memory()).expect("refresh");
+    let report = CanaryScanner::new(vm.canary_secret())
+        .scan_all(&session, vm.memory())
+        .expect("scan");
 
-    /// The canary scan is sound and complete: the violations it reports
-    /// are exactly the still-live allocations whose canaries a raw write
-    /// overlapped (freed objects drop their records; a recycled block gets
-    /// a fresh canary).
-    #[test]
-    fn canary_scan_sound_and_complete(
-        actions in proptest::collection::vec(action_strategy(), 1..60),
-    ) {
-        let mut vm = small_vm(11);
-        let mut driver = Driver::new();
-        driver.apply(&mut vm, &Action::Spawn { pages: 6 });
-        for a in &actions {
-            driver.apply(&mut vm, a);
-        }
-        let mut session = VmiSession::init(&vm).expect("init");
-        session.refresh_address_spaces(vm.memory()).expect("refresh");
-        let report = CanaryScanner::new(vm.canary_secret())
-            .scan_all(&session, vm.memory())
-            .expect("scan");
-
-        // A hidden process's canaries cannot be translated through the
-        // task list; the scanner skips (and counts) them, and the
-        // hidden-process module owns that evidence instead.
-        let mut expected: Vec<(u32, u64)> = driver
-            .allocs
-            .iter()
-            .filter(|a| a.trampled && !driver.hidden.contains(&a.pid))
-            .map(|a| (a.pid, a.gva.0 + a.size))
-            .collect();
-        expected.sort_unstable();
-        let mut got: Vec<(u32, u64)> = report
-            .violations
-            .iter()
-            .map(|v| (v.pid, v.canary_gva.0))
-            .collect();
-        got.sort_unstable();
-        prop_assert_eq!(got, expected);
-        if !driver.overflowed {
-            prop_assert!(report.violations.is_empty());
-        }
+    // A hidden process's canaries cannot be translated through the task
+    // list; the scanner skips (and counts) them, and the hidden-process
+    // module owns that evidence instead.
+    let mut expected: Vec<(u32, u64)> = driver
+        .allocs
+        .iter()
+        .filter(|a| a.trampled && !driver.hidden.contains(&a.pid))
+        .map(|a| (a.pid, a.gva.0 + a.size))
+        .collect();
+    expected.sort_unstable();
+    let mut got: Vec<(u32, u64)> = report
+        .violations
+        .iter()
+        .map(|v| (v.pid, v.canary_gva.0))
+        .collect();
+    got.sort_unstable();
+    assert_eq!(got, expected);
+    if !driver.overflowed {
+        assert!(report.violations.is_empty());
     }
+}
 
-    /// VMI's process list always matches the kernel's ground truth minus
-    /// hidden pids, whatever churn happened.
-    #[test]
-    fn vmi_matches_ground_truth(
-        actions in proptest::collection::vec(action_strategy(), 1..60),
-    ) {
-        let mut vm = small_vm(12);
-        let mut driver = Driver::new();
-        for a in &actions {
-            driver.apply(&mut vm, a);
-        }
-        let session = VmiSession::init(&vm).expect("init");
-        let mut visible: Vec<u32> = linux::process_list(&session, vm.memory())
-            .expect("walk")
-            .into_iter()
-            .map(|t| t.pid)
-            .collect();
-        visible.sort_unstable();
-        let mut expected: Vec<u32> = vm
-            .kernel()
-            .pids()
-            .into_iter()
-            .filter(|p| !vm.kernel().hidden_pids().contains(p))
-            .collect();
-        expected.sort_unstable();
-        prop_assert_eq!(visible, expected);
-
-        // And the pid hash sees everything, hidden included.
-        let mut hashed: Vec<u32> = linux::pid_hash_entries(&session, vm.memory())
-            .expect("hash")
-            .into_iter()
-            .map(|e| e.pid)
-            .collect();
-        hashed.sort_unstable();
-        prop_assert_eq!(hashed, vm.kernel().pids());
+/// VMI's process list always matches the kernel's ground truth minus
+/// hidden pids, whatever churn happened.
+fn assert_vmi_matches_ground_truth(actions: &[Action]) {
+    let mut vm = small_vm(12);
+    let mut driver = Driver::new();
+    for a in actions {
+        driver.apply(&mut vm, a);
     }
+    let session = VmiSession::init(&vm).expect("init");
+    let mut visible: Vec<u32> = linux::process_list(&session, vm.memory())
+        .expect("walk")
+        .into_iter()
+        .map(|t| t.pid)
+        .collect();
+    visible.sort_unstable();
+    let mut expected: Vec<u32> = vm
+        .kernel()
+        .pids()
+        .into_iter()
+        .filter(|p| !vm.kernel().hidden_pids().contains(p))
+        .collect();
+    expected.sort_unstable();
+    assert_eq!(visible, expected);
+
+    // And the pid hash sees everything, hidden included.
+    let mut hashed: Vec<u32> = linux::pid_hash_entries(&session, vm.memory())
+        .expect("hash")
+        .into_iter()
+        .map(|e| e.pid)
+        .collect();
+    hashed.sort_unstable();
+    assert_eq!(hashed, vm.kernel().pids());
+}
+
+#[test]
+fn replay_is_deterministic() {
+    check("replay_is_deterministic", Config::with_cases(24), |g: &mut Gen| {
+        let actions = g.vec(1..60, gen_action);
+        assert_replay_is_deterministic(&actions);
+    });
+}
+
+#[test]
+fn backup_tracks_primary_exactly() {
+    check("backup_tracks_primary_exactly", Config::with_cases(24), |g: &mut Gen| {
+        let actions = g.vec(1..40, gen_action);
+        let opt_idx = g.int(0usize..4);
+        assert_backup_tracks_primary_exactly(&actions, opt_idx);
+    });
+}
+
+#[test]
+fn canary_scan_sound_and_complete() {
+    check("canary_scan_sound_and_complete", Config::with_cases(24), |g: &mut Gen| {
+        let actions = g.vec(1..60, gen_action);
+        assert_canary_scan_sound_and_complete(&actions);
+    });
+}
+
+#[test]
+fn vmi_matches_ground_truth() {
+    check("vmi_matches_ground_truth", Config::with_cases(24), |g: &mut Gen| {
+        let actions = g.vec(1..60, gen_action);
+        assert_vmi_matches_ground_truth(&actions);
+    });
+}
+
+/// The one shrunk counterexample proptest had recorded in
+/// `properties.proptest-regressions`:
+///
+/// ```text
+/// cc 1bfb1c05ffb8f2316686596eef1e7fa7ba26467640935d7d9f2c00c7934e0189
+///    # shrinks to actions = [Spawn { pages: 1 }, Malloc { size: 1 }, Hide]
+/// ```
+///
+/// A hidden process with a live allocation once tripped the canary/VMI
+/// bookkeeping. The old corpus file only stored an opaque hash of the
+/// generator state; the shrunk value is what matters, so it is pinned
+/// here explicitly against every property that exercises hiding.
+fn regression_corpus_spawn_malloc_hide() -> Vec<Action> {
+    vec![
+        Action::Spawn { pages: 1 },
+        Action::Malloc { size: 1 },
+        Action::Hide,
+    ]
+}
+
+#[test]
+fn regression_spawn_malloc_hide_replay() {
+    assert_replay_is_deterministic(&regression_corpus_spawn_malloc_hide());
+}
+
+#[test]
+fn regression_spawn_malloc_hide_backup() {
+    for opt_idx in 0..OptLevel::ALL.len() {
+        assert_backup_tracks_primary_exactly(&regression_corpus_spawn_malloc_hide(), opt_idx);
+    }
+}
+
+#[test]
+fn regression_spawn_malloc_hide_canary_scan() {
+    assert_canary_scan_sound_and_complete(&regression_corpus_spawn_malloc_hide());
+}
+
+#[test]
+fn regression_spawn_malloc_hide_vmi() {
+    assert_vmi_matches_ground_truth(&regression_corpus_spawn_malloc_hide());
 }

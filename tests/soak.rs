@@ -4,8 +4,7 @@
 //! rollback always restores a bit-exact committed state (memory and disk),
 //! and no tenant's incident disturbs another tenant.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crimes_rng::ChaCha8Rng;
 
 use crimes::modules::{BlacklistScanModule, CanaryScanModule, HiddenProcessModule};
 use crimes::{CrimesConfig, Fleet};

@@ -4,7 +4,7 @@
 //! repro [--quick] [--out DIR] [EXPERIMENT...]
 //!
 //! EXPERIMENT: table1 fig3 fig4 fig5 fig6a fig6b table3 fig7 case1 case2
-//!             (default: all)
+//!             ablation robustness (default: all)
 //! --quick     fewer epochs/iterations per configuration
 //! --out DIR   CSV output directory (default target/repro)
 //! ```
@@ -13,11 +13,13 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use crimes_bench::experiments::{ablation, cases, fig3, fig4, fig5, fig6, fig7, table1, table3};
+use crimes_bench::experiments::{
+    ablation, cases, fig3, fig4, fig5, fig6, fig7, robustness, table1, table3,
+};
 
-const ALL: [&str; 11] = [
+const ALL: [&str; 12] = [
     "table1", "fig3", "fig4", "fig5", "fig6a", "fig6b", "table3", "fig7", "case1", "case2",
-    "ablation",
+    "ablation", "robustness",
 ];
 
 fn main() -> ExitCode {
@@ -75,6 +77,9 @@ fn main() -> ExitCode {
             "case1" => cases::run_case1().render(),
             "case2" => cases::run_case2().render(),
             "ablation" => ablation::render(epochs, out),
+            "robustness" => {
+                robustness::run(if quick { 200 } else { 800 }, 0x5eed_fa11).render(out)
+            }
             other => unreachable!("filtered above: {other}"),
         };
         println!("{text}");

@@ -80,7 +80,8 @@ pub fn run_backup_placement(epochs: u32) -> BackupPlacement {
         let mut cp = Checkpointer::new(&vm, config);
         for _ in 0..epochs {
             workload.run_ms(&mut vm, 200).expect("run");
-            cp.run_epoch(&mut vm, &mut |_, _| AuditVerdict::Pass);
+            cp.run_epoch(&mut vm, &mut |_, _| AuditVerdict::Pass)
+                .expect("no faults armed in benches");
         }
         let mean = cp.stats().mean().expect("epochs ran");
         rows.push(BackupPlacementRow {

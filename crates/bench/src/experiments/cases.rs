@@ -50,7 +50,7 @@ pub fn run_case1() -> Case1 {
     let secret = vm.canary_secret();
     let mut config = CrimesConfig::builder();
     config.epoch_interval_ms(interval_ms);
-    let mut crimes = Crimes::protect(vm, config.build()).expect("protect");
+    let mut crimes = Crimes::protect(vm, config.build().expect("valid config")).expect("protect");
     crimes.register_module(Box::new(CanaryScanModule::new(secret)));
 
     // Background workload (the paper's "simple C program" plus activity).
@@ -211,7 +211,7 @@ pub fn run_case2() -> Case2 {
     let vm = builder.build();
     let mut config = CrimesConfig::builder();
     config.epoch_interval_ms(50);
-    let mut crimes = Crimes::protect(vm, config.build()).expect("protect");
+    let mut crimes = Crimes::protect(vm, config.build().expect("valid config")).expect("protect");
     crimes.register_module(Box::new(BlacklistScanModule::bundled()));
 
     // A desktop-ish guest with benign activity.

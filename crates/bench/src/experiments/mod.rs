@@ -9,5 +9,6 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod robustness;
 pub mod table1;
 pub mod table3;

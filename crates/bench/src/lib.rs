@@ -16,6 +16,7 @@
 //! | Table 3 (VMI cost split) | [`experiments::table3`] |
 //! | Figure 7 (web latency/throughput) | [`experiments::fig7`] |
 //! | §5.5 / §5.6 case studies | [`experiments::cases`] |
+//! | Robustness soak (degraded-mode counters) | [`experiments::robustness`] |
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

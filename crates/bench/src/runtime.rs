@@ -96,7 +96,9 @@ pub fn run_parsec(
     for _ in 0..epochs {
         workload.run_ms(&mut vm, interval_ms)?;
         // The overhead experiments configure a minimal no-op scan (§5.2).
-        let report = cp.run_epoch(&mut vm, &mut |_, _| AuditVerdict::Pass);
+        let report = cp
+            .run_epoch(&mut vm, &mut |_, _| AuditVerdict::Pass)
+            .expect("no faults armed in benches");
         dirty_total += report.dirty_pages as u64;
     }
     Ok(finish(&cp, epochs, interval_ms, dirty_total))
@@ -135,7 +137,9 @@ pub fn run_web(
     let mut dirty_total = 0u64;
     for _ in 0..epochs {
         workload.run_ms(&mut vm, interval_ms)?;
-        let report = cp.run_epoch(&mut vm, &mut |_, _| AuditVerdict::Pass);
+        let report = cp
+            .run_epoch(&mut vm, &mut |_, _| AuditVerdict::Pass)
+            .expect("no faults armed in benches");
         dirty_total += report.dirty_pages as u64;
     }
     Ok(finish(&cp, epochs, interval_ms, dirty_total))

@@ -140,6 +140,20 @@ impl BackupVm {
         disk.restore(&self.disk);
     }
 
+    /// Replace the whole image with an older, verified one — the repair
+    /// step when the live backup fails checksum verification and rollback
+    /// falls back to a retained history generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` or `disk` do not match the image sizes.
+    pub fn overwrite_image(&mut self, frames: &[u8], disk: &[u8]) {
+        assert_eq!(frames.len(), self.frames.len(), "frame image size mismatch");
+        assert_eq!(disk.len(), self.disk.len(), "disk image size mismatch");
+        self.frames.copy_from_slice(frames);
+        self.disk.copy_from_slice(disk);
+    }
+
     fn offset(&self, mfn: Mfn) -> usize {
         let base = mfn.0 as usize * PAGE_SIZE;
         assert!(

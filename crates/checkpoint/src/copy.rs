@@ -15,9 +15,11 @@
 //!   simulated syscall per `writev` batch,
 //! * [`MemcpyCopier`] — direct frame-to-frame copy.
 
+use crimes_faults::FaultPoint;
 use crimes_vm::{Mfn, Vm, PAGE_SIZE};
 
 use crate::backup::BackupVm;
+use crate::error::CheckpointError;
 use crate::mapping::{HypercallModel, MappedPage};
 
 /// Which copy pipeline to use.
@@ -69,12 +71,28 @@ impl SocketCopier {
 
     /// Push this epoch's dirty pages through the full pipeline into
     /// `backup`.
+    ///
+    /// # Errors
+    ///
+    /// Under fault injection this can fail before touching the backup
+    /// ([`CheckpointError::CopyFault`], the socket breaking mid-`writev`)
+    /// or after a partial restore-side write
+    /// ([`CheckpointError::BackupWriteFault`]). Both are transient: the
+    /// guest stays paused, so a retry re-copies the same dirty set and
+    /// overwrites any partial state.
     pub fn copy_epoch(
         &mut self,
         vm: &Vm,
         backup: &mut BackupVm,
         mapped: &[MappedPage],
-    ) -> CopyStats {
+    ) -> Result<CopyStats, CheckpointError> {
+        if crimes_faults::should_inject(FaultPoint::PageCopy) {
+            return Err(CheckpointError::CopyFault { strategy: "socket" });
+        }
+        // A backup-write fault kills the restore side after some pages
+        // landed — pick how many from the fault plan's seeded stream.
+        let fail_after = crimes_faults::should_inject(FaultPoint::BackupWrite)
+            .then(|| crimes_faults::draw_below(mapped.len() as u64) as usize);
         let mut stats = CopyStats::default();
         // --- sender side: serialise + encrypt into the socket stream ----
         self.stream.clear();
@@ -105,6 +123,11 @@ impl SocketCopier {
                 u32::from_le_bytes(self.stream[off + 16..off + 20].try_into().expect("header"))
                     as usize;
             off += HEADER_LEN;
+            if fail_after == Some(stats.pages) {
+                return Err(CheckpointError::BackupWriteFault {
+                    pages_written: stats.pages,
+                });
+            }
             let dst = backup.frame_mut(Mfn(mfn));
             dst.copy_from_slice(&self.stream[off..off + len]);
             decrypt_in_place(dst, self.key, pfn);
@@ -117,7 +140,7 @@ impl SocketCopier {
             self.syscall_model.call();
             stats.syscalls += 1;
         }
-        stats
+        Ok(stats)
     }
 }
 
@@ -127,14 +150,36 @@ pub struct MemcpyCopier;
 
 impl MemcpyCopier {
     /// Copy this epoch's dirty pages frame-to-frame.
-    pub fn copy_epoch(&self, vm: &Vm, backup: &mut BackupVm, mapped: &[MappedPage]) -> CopyStats {
+    ///
+    /// # Errors
+    ///
+    /// Under fault injection this fails either up front
+    /// ([`CheckpointError::CopyFault`]) or after a partial write
+    /// ([`CheckpointError::BackupWriteFault`]); see
+    /// [`SocketCopier::copy_epoch`] for the retry contract.
+    pub fn copy_epoch(
+        &self,
+        vm: &Vm,
+        backup: &mut BackupVm,
+        mapped: &[MappedPage],
+    ) -> Result<CopyStats, CheckpointError> {
+        if crimes_faults::should_inject(FaultPoint::PageCopy) {
+            return Err(CheckpointError::CopyFault { strategy: "memcpy" });
+        }
+        let fail_after = crimes_faults::should_inject(FaultPoint::BackupWrite)
+            .then(|| crimes_faults::draw_below(mapped.len() as u64) as usize);
         let mut stats = CopyStats::default();
         for &(_pfn, mfn) in mapped {
+            if fail_after == Some(stats.pages) {
+                return Err(CheckpointError::BackupWriteFault {
+                    pages_written: stats.pages,
+                });
+            }
             backup.store_frame(mfn, vm.memory().frame(mfn));
             stats.pages += 1;
             stats.bytes += PAGE_SIZE;
         }
-        stats
+        Ok(stats)
     }
 }
 
@@ -226,7 +271,9 @@ mod tests {
             let mfn = vm.memory().pfn_to_mfn(p);
             backup.frame_mut(mfn)[0] ^= 0xff;
         }
-        let stats = MemcpyCopier.copy_epoch(&vm, &mut backup, &mapped_of(&vm, &dirty));
+        let stats = MemcpyCopier
+            .copy_epoch(&vm, &mut backup, &mapped_of(&vm, &dirty))
+            .expect("no faults armed");
         assert_eq!(stats.pages, dirty.len());
         assert_eq!(backup.frames(), vm.memory().dump_frames().as_slice());
     }
@@ -240,7 +287,9 @@ mod tests {
             backup.frame_mut(mfn)[100] ^= 0x55;
         }
         let mut copier = SocketCopier::new(0xdead_beef);
-        let stats = copier.copy_epoch(&vm, &mut backup, &mapped_of(&vm, &dirty));
+        let stats = copier
+            .copy_epoch(&vm, &mut backup, &mapped_of(&vm, &dirty))
+            .expect("no faults armed");
         assert_eq!(stats.pages, dirty.len());
         assert_eq!(stats.bytes, dirty.len() * PAGE_SIZE);
         assert!(stats.syscalls >= 2, "writev + restore read");
@@ -257,8 +306,12 @@ mod tests {
             b1.frame_mut(mfn).fill(0);
             b2.frame_mut(mfn).fill(0);
         }
-        MemcpyCopier.copy_epoch(&vm, &mut b1, &mapped);
-        SocketCopier::new(1).copy_epoch(&vm, &mut b2, &mapped);
+        MemcpyCopier
+            .copy_epoch(&vm, &mut b1, &mapped)
+            .expect("no faults armed");
+        SocketCopier::new(1)
+            .copy_epoch(&vm, &mut b2, &mapped)
+            .expect("no faults armed");
         assert_eq!(b1.frames(), b2.frames());
     }
 
@@ -266,10 +319,12 @@ mod tests {
     fn empty_epoch_copies_nothing() {
         let (vm, _dirty) = vm_with_writes();
         let mut backup = BackupVm::new(&vm);
-        let stats = MemcpyCopier.copy_epoch(&vm, &mut backup, &[]);
+        let stats = MemcpyCopier
+            .copy_epoch(&vm, &mut backup, &[])
+            .expect("no faults armed");
         assert_eq!(stats, CopyStats::default());
         let mut sc = SocketCopier::new(1);
-        let stats = sc.copy_epoch(&vm, &mut backup, &[]);
+        let stats = sc.copy_epoch(&vm, &mut backup, &[]).expect("no faults armed");
         assert_eq!(stats.pages, 0);
         assert_eq!(stats.syscalls, 0);
     }
@@ -282,8 +337,37 @@ mod tests {
             .map(|i| (Pfn(i), vm.memory().pfn_to_mfn(Pfn(i))))
             .collect();
         let mut sc = SocketCopier::new(1);
-        let stats = sc.copy_epoch(&vm, &mut backup, &mapped);
+        let stats = sc
+            .copy_epoch(&vm, &mut backup, &mapped)
+            .expect("no faults armed");
         // 2 writev batches + 2 restore reads.
         assert_eq!(stats.syscalls, 4);
+    }
+
+    #[test]
+    fn injected_faults_surface_as_errors() {
+        let (vm, dirty) = vm_with_writes();
+        let mapped = mapped_of(&vm, &dirty);
+        let mut backup = BackupVm::new(&vm);
+
+        let plan = crimes_faults::FaultPlan::disabled()
+            .with_rate(crimes_faults::FaultPoint::PageCopy, crimes_faults::SCALE);
+        let _scope = crimes_faults::install(plan, 7);
+        assert_eq!(
+            MemcpyCopier.copy_epoch(&vm, &mut backup, &mapped),
+            Err(CheckpointError::CopyFault { strategy: "memcpy" })
+        );
+        drop(_scope);
+
+        let plan = crimes_faults::FaultPlan::disabled()
+            .with_rate(crimes_faults::FaultPoint::BackupWrite, crimes_faults::SCALE);
+        let _scope = crimes_faults::install(plan, 7);
+        let err = SocketCopier::new(1)
+            .copy_epoch(&vm, &mut backup, &mapped)
+            .expect_err("backup-write fault armed at full rate");
+        assert!(matches!(
+            err,
+            CheckpointError::BackupWriteFault { pages_written } if pages_written < mapped.len()
+        ));
     }
 }

@@ -11,17 +11,28 @@
 //! A passing audit commits the checkpoint (the backup becomes the newest
 //! clean snapshot) and resumes the VM. A failing audit leaves the VM
 //! suspended with the backup untouched — the clean state the Analyzer rolls
-//! back to.
+//! back to. An *inconclusive* audit (the deadline overran, or reads were
+//! transiently failing) extends speculation instead: the epoch's dirty
+//! pages are re-marked, the VM resumes, and nothing commits — outputs stay
+//! buffered until a later epoch audits them properly (fail closed).
+//!
+//! Every commit also folds the copied pages into an incremental
+//! [`ImageDigest`]; [`Checkpointer::rollback`] restores only
+//! checksum-verified state, falling back through retained history
+//! generations when the live backup is silently corrupt.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crimes_faults::FaultPoint;
 use crimes_vm::{DirtyBitmap, MetaSnapshot, Pfn, Vm};
 
 use crate::backup::BackupVm;
 use crate::bitmap::BitmapScan;
 use crate::copy::{CopyStats, CopyStrategy, MemcpyCopier, SocketCopier};
+use crate::error::CheckpointError;
 use crate::history::{CheckpointHistory, CheckpointRecord};
+use crate::integrity::{image_digest, ImageDigest};
 use crate::mapping::{HypercallModel, Mapper, MappingStrategy};
 use crate::probe::{BreakdownStats, PhaseTimings};
 
@@ -99,6 +110,11 @@ pub enum AuditVerdict {
     Pass,
     /// Evidence found; the VM stays suspended for analysis.
     Fail,
+    /// The audit could not complete (deadline overrun, transient VMI read
+    /// failures). Nothing commits and nothing is released: the epoch's
+    /// dirty pages are re-marked, the VM resumes, and speculation extends
+    /// into the next epoch, whose audit covers both.
+    Inconclusive,
 }
 
 /// Checkpointer configuration.
@@ -127,6 +143,13 @@ pub struct CheckpointConfig {
     pub history_depth: usize,
     /// Retain full frame images in history records (memory-expensive).
     pub retain_history_images: bool,
+    /// Retries after a failed page-copy attempt before the epoch gives up
+    /// with [`CheckpointError::Exhausted`]. Copy faults are transient
+    /// (socket hiccups, partial backup writes) and the guest stays paused
+    /// across retries, so a re-copy is always safe.
+    pub copy_retries: u32,
+    /// Linear backoff between copy retries, in microseconds per attempt.
+    pub retry_backoff_us: u64,
 }
 
 impl Default for CheckpointConfig {
@@ -139,6 +162,8 @@ impl Default for CheckpointConfig {
             remote_backup: false,
             history_depth: 1,
             retain_history_images: false,
+            copy_retries: 3,
+            retry_backoff_us: 50,
         }
     }
 }
@@ -156,6 +181,21 @@ pub struct EpochReport {
     pub dirty_pages: usize,
     /// Copy-phase statistics (zero when the audit failed).
     pub copy: CopyStats,
+    /// Copy attempts this epoch (1 when the first try succeeded; 0 when
+    /// the audit failed or was inconclusive and no copy ran).
+    pub copy_attempts: u32,
+}
+
+/// What [`Checkpointer::rollback`] actually restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RollbackReport {
+    /// Epoch of the restored checkpoint.
+    pub restored_epoch: u64,
+    /// `true` when the live backup failed verification and an older,
+    /// checksum-verified history generation was restored instead.
+    pub fell_back: bool,
+    /// Corrupt chunks found in the live backup (0 when it verified clean).
+    pub corrupt_chunks: usize,
 }
 
 /// The CRIMES checkpoint engine for one VM.
@@ -167,6 +207,7 @@ pub struct Checkpointer {
     socket: SocketCopier,
     memcpy: MemcpyCopier,
     history: CheckpointHistory,
+    integrity: ImageDigest,
     stats: BreakdownStats,
     init_time: Duration,
     /// Hypercall cost model for the suspend/resume machinery (separate
@@ -185,6 +226,7 @@ impl Checkpointer {
             config.opt.mapping_strategy(),
             HypercallModel::new(config.hypercall_steps),
         );
+        let integrity = ImageDigest::of(backup.frames(), backup.disk());
         let init_time = t0.elapsed();
         Checkpointer {
             config,
@@ -193,6 +235,7 @@ impl Checkpointer {
             socket: SocketCopier::new(0xc1e4_0000_5ec5),
             memcpy: MemcpyCopier,
             history: CheckpointHistory::new(config.history_depth, config.retain_history_images),
+            integrity,
             stats: BreakdownStats::new(),
             init_time,
             sched: HypercallModel::new(config.hypercall_steps),
@@ -214,6 +257,11 @@ impl Checkpointer {
         &self.backup
     }
 
+    #[cfg(test)]
+    pub(crate) fn backup_mut_for_tests(&mut self) -> &mut BackupVm {
+        &mut self.backup
+    }
+
     /// Committed-checkpoint history.
     pub fn history(&self) -> &CheckpointHistory {
         &self.history
@@ -232,16 +280,36 @@ impl Checkpointer {
 
     /// Execute one pause window: suspend, audit, and (on a passing audit)
     /// checkpoint and resume. On a failing audit the VM is left suspended
-    /// and the backup untouched.
+    /// and the backup untouched. On an inconclusive audit the epoch's
+    /// dirty pages are re-marked and the VM resumes without committing —
+    /// speculation extends into the next epoch.
     ///
     /// `audit` receives the VM (paused) and the epoch's dirty bitmap.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Exhausted`] when every copy attempt (first try +
+    /// [`CheckpointConfig::copy_retries`]) failed. The VM is left
+    /// suspended and nothing was committed; the backup may hold a partial
+    /// copy, so only [`Checkpointer::rollback`]'s checksum-verified
+    /// restore is trustworthy afterwards.
     pub fn run_epoch(
         &mut self,
         vm: &mut Vm,
         audit: &mut dyn FnMut(&Vm, &DirtyBitmap) -> AuditVerdict,
-    ) -> EpochReport {
+    ) -> Result<EpochReport, CheckpointError> {
         let mut timings = PhaseTimings::default();
         let epoch = self.backup.epoch();
+
+        // Injected silent corruption: rot one bit of the backup image
+        // without updating the stored digests, exactly as a DRAM or disk
+        // fault would. Nothing notices until rollback verifies.
+        if crimes_faults::should_inject(FaultPoint::PageCorrupt) {
+            let at = crimes_faults::draw_below(self.backup.size_bytes() as u64) as usize;
+            let bit = 1u8 << crimes_faults::draw_below(8);
+            let mfn = crimes_vm::Mfn((at / crimes_vm::PAGE_SIZE) as u64);
+            self.backup.frame_mut(mfn)[at % crimes_vm::PAGE_SIZE] ^= bit;
+        }
 
         // --- suspend: pause vCPUs, save their state, grab the dirty log --
         let t = Instant::now();
@@ -266,9 +334,35 @@ impl Checkpointer {
                 timings,
                 dirty_pages: dirty.count(),
                 copy: CopyStats::default(),
+                copy_attempts: 0,
             };
             self.stats.record(&report.timings);
-            return report;
+            return Ok(report);
+        }
+
+        if verdict == AuditVerdict::Inconclusive {
+            // Fail closed without failing the guest: nothing commits, the
+            // epoch's writes stay in next epoch's dirty set, and the VM
+            // resumes so speculation (and output buffering) extends.
+            let t = Instant::now();
+            for pfn in dirty.iter() {
+                vm.memory_mut().mark_dirty(pfn);
+            }
+            for _ in 0..self.config.resume_hypercalls + 2 * vm.vcpus().len() as u32 {
+                self.sched.call();
+            }
+            vm.vcpus_mut().resume_all();
+            timings.resume = t.elapsed();
+            let report = EpochReport {
+                epoch,
+                verdict,
+                timings,
+                dirty_pages: dirty.count(),
+                copy: CopyStats::default(),
+                copy_attempts: 0,
+            };
+            self.stats.record(&report.timings);
+            return Ok(report);
         }
 
         // --- bitscan ------------------------------------------------------
@@ -281,16 +375,41 @@ impl Checkpointer {
         let mapped = self.mapper.map_epoch(vm, &dirty_pfns);
         timings.map = t.elapsed();
 
-        // --- copy -----------------------------------------------------------
+        // --- copy (bounded retry: the guest is paused, so re-copying the
+        // same dirty set over a partial write is always safe) -------------
         let t = Instant::now();
         let strategy = if self.config.remote_backup {
             CopyStrategy::Socket
         } else {
             self.config.opt.copy_strategy()
         };
-        let copy = match strategy {
-            CopyStrategy::Socket => self.socket.copy_epoch(vm, &mut self.backup, &mapped),
-            CopyStrategy::Memcpy => self.memcpy.copy_epoch(vm, &mut self.backup, &mapped),
+        let mut copy_attempts = 0u32;
+        let copy = loop {
+            copy_attempts += 1;
+            let attempt = match strategy {
+                CopyStrategy::Socket => self.socket.copy_epoch(vm, &mut self.backup, &mapped),
+                CopyStrategy::Memcpy => self.memcpy.copy_epoch(vm, &mut self.backup, &mapped),
+            };
+            match attempt {
+                Ok(stats) => break stats,
+                Err(_) if copy_attempts <= self.config.copy_retries => {
+                    std::thread::sleep(Duration::from_micros(
+                        self.config.retry_backoff_us * u64::from(copy_attempts),
+                    ));
+                }
+                Err(_) => {
+                    // Give up: unmap, leave the VM suspended (fail closed)
+                    // and the checkpoint uncommitted. Re-mark the dirty set
+                    // so a later epoch can still commit these pages.
+                    self.mapper.unmap_epoch(&mapped);
+                    for pfn in dirty.iter() {
+                        vm.memory_mut().mark_dirty(pfn);
+                    }
+                    return Err(CheckpointError::Exhausted {
+                        attempts: copy_attempts,
+                    });
+                }
+            }
         };
         // Disk-snapshot extension (§3.1): propagate the epoch's dirty
         // sectors alongside the dirty pages.
@@ -310,15 +429,33 @@ impl Checkpointer {
         vm.vcpus_mut().resume_all();
         timings.resume = t.elapsed();
 
+        // The copied pages/sectors are now authoritative — fold them into
+        // the incremental image digest (O(dirty), not O(memory)). This runs
+        // *after* resume on purpose: the backup is immutable until the next
+        // epoch's copy, so integrity hashing overlaps guest execution
+        // instead of widening the pause window.
+        let (integrity, backup) = (&mut self.integrity, &self.backup);
+        for &(_pfn, mfn) in &mapped {
+            integrity.update_page(mfn.0 as usize, backup.frame(mfn));
+        }
+        for sector in dirty_sectors.iter() {
+            let start = sector.0 as usize * crimes_vm::SECTOR_SIZE;
+            integrity.update_sector(
+                sector.0 as usize,
+                &backup.disk()[start..start + crimes_vm::SECTOR_SIZE],
+            );
+        }
+
         self.backup.commit_epoch();
+        let retain = self.history.retains_images();
         self.history.push(CheckpointRecord {
             epoch: self.backup.epoch(),
             guest_time_ns: vm.now_ns(),
             dirty_pages: dirty_pfns.len(),
-            frames: self
-                .history
-                .retains_images()
-                .then(|| Arc::new(self.backup.frames().to_vec())),
+            checksum: self.integrity.combined(),
+            frames: retain.then(|| Arc::new(self.backup.frames().to_vec())),
+            disk: retain.then(|| Arc::new(self.backup.disk().to_vec())),
+            meta: retain.then(|| vm.meta_snapshot()),
         });
 
         let report = EpochReport {
@@ -327,17 +464,101 @@ impl Checkpointer {
             timings,
             dirty_pages: dirty_pfns.len(),
             copy,
+            copy_attempts,
         };
         self.stats.record(&report.timings);
-        report
+        Ok(report)
     }
 
-    /// Roll the VM back to the last clean checkpoint: backup frames plus
-    /// the caller-provided bookkeeping snapshot captured at the same
-    /// commit.
-    pub fn rollback(&self, vm: &mut Vm, meta: &MetaSnapshot) {
-        vm.restore_with_frames(self.backup.frames(), meta);
-        self.backup.restore_disk_into(vm.disk_mut());
+    /// Verify the live backup against its incrementally-maintained digest.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Corrupt`] when any page or sector has silently
+    /// diverged from its commit-time checksum.
+    pub fn verify_backup(&self) -> Result<(), CheckpointError> {
+        self.integrity
+            .verify(self.backup.frames(), self.backup.disk())
+            .map_err(|bad_chunks| CheckpointError::Corrupt {
+                epoch: self.backup.epoch(),
+                bad_chunks,
+            })
+    }
+
+    /// Whether *some* checksum-verified state exists to roll back to: the
+    /// live backup, or any retained history generation.
+    pub fn has_verified_checkpoint(&self) -> bool {
+        self.verify_backup().is_ok() || self.verified_fallback().is_some()
+    }
+
+    /// Newest retained history generation whose image still matches its
+    /// commit-time checksum.
+    fn verified_fallback(&self) -> Option<&CheckpointRecord> {
+        let mut newest_first: Vec<&CheckpointRecord> = self.history.iter().collect();
+        newest_first.reverse();
+        newest_first.into_iter().find(|rec| {
+            match (&rec.frames, &rec.disk, &rec.meta) {
+                (Some(f), Some(d), Some(_)) => image_digest(f, d) == rec.checksum,
+                _ => false,
+            }
+        })
+    }
+
+    /// Roll the VM back to the newest **checksum-verified** checkpoint.
+    ///
+    /// The live backup is verified first; if clean, it is restored with the
+    /// caller-provided bookkeeping snapshot captured at the same commit
+    /// (exactly the pre-fault behaviour). If the backup is silently
+    /// corrupt, retained history generations are walked newest-first and
+    /// the first one whose image still matches its commit-time checksum is
+    /// restored instead — into both the VM and the backup, which becomes
+    /// that verified generation.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::NoVerifiedCheckpoint`] when the backup is corrupt
+    /// and no retained generation verifies. The VM is left untouched.
+    pub fn rollback(
+        &mut self,
+        vm: &mut Vm,
+        meta: &MetaSnapshot,
+    ) -> Result<RollbackReport, CheckpointError> {
+        match self.verify_backup() {
+            Ok(()) => {
+                vm.restore_with_frames(self.backup.frames(), meta);
+                self.backup.restore_disk_into(vm.disk_mut());
+                Ok(RollbackReport {
+                    restored_epoch: self.backup.epoch(),
+                    fell_back: false,
+                    corrupt_chunks: 0,
+                })
+            }
+            Err(CheckpointError::Corrupt { bad_chunks, .. }) => {
+                let (epoch, frames, disk, rec_meta) = match self.verified_fallback() {
+                    Some(rec) => (
+                        rec.epoch,
+                        Arc::clone(rec.frames.as_ref().expect("verified record has frames")),
+                        Arc::clone(rec.disk.as_ref().expect("verified record has disk")),
+                        rec.meta.clone().expect("verified record has meta"),
+                    ),
+                    None => {
+                        return Err(CheckpointError::NoVerifiedCheckpoint {
+                            newest_epoch: self.backup.epoch(),
+                        })
+                    }
+                };
+                vm.restore_with_frames(&frames, &rec_meta);
+                self.backup.overwrite_image(&frames, &disk);
+                self.backup.restore_disk_into(vm.disk_mut());
+                self.integrity = ImageDigest::of(&frames, &disk);
+                Ok(RollbackReport {
+                    restored_epoch: epoch,
+                    fell_back: true,
+                    corrupt_chunks: bad_chunks,
+                })
+            }
+            Err(other) => Err(other),
+        }
     }
 }
 
@@ -376,15 +597,18 @@ mod tests {
     #[test]
     fn passing_epoch_commits_and_resumes() {
         let mut vm = vm();
-        let pid = vm.spawn_process("app", 0, 16).unwrap();
+        let pid = vm.spawn_process("app", 0, 16).expect("spawn");
         let mut cp = Checkpointer::new(&vm, CheckpointConfig::default());
         for i in 0..4 {
-            vm.dirty_arena_page(pid, i, 0, 1).unwrap();
+            vm.dirty_arena_page(pid, i, 0, 1).expect("dirty");
         }
-        let report = cp.run_epoch(&mut vm, &mut pass_audit());
+        let report = cp
+            .run_epoch(&mut vm, &mut pass_audit())
+            .expect("no faults armed");
         assert_eq!(report.verdict, AuditVerdict::Pass);
         assert!(report.dirty_pages >= 4);
         assert_eq!(report.copy.pages, report.dirty_pages);
+        assert_eq!(report.copy_attempts, 1);
         assert!(!vm.vcpus().all_paused(), "VM resumes after a pass");
         assert_eq!(cp.backup().epoch(), 1);
         assert!(vm.memory().dirty().is_empty(), "dirty log consumed");
@@ -393,7 +617,7 @@ mod tests {
     #[test]
     fn backup_matches_primary_after_each_epoch() {
         let mut vm = vm();
-        let pid = vm.spawn_process("app", 0, 32).unwrap();
+        let pid = vm.spawn_process("app", 0, 32).expect("spawn");
         for opt in OptLevel::ALL {
             let mut cp = Checkpointer::new(
                 &vm,
@@ -405,9 +629,10 @@ mod tests {
             for e in 0..3 {
                 for i in 0..8 {
                     vm.dirty_arena_page(pid, (e * 8 + i) % 32, i, e as u8)
-                        .unwrap();
+                        .expect("dirty");
                 }
-                cp.run_epoch(&mut vm, &mut pass_audit());
+                cp.run_epoch(&mut vm, &mut pass_audit())
+                    .expect("no faults armed");
                 assert_eq!(
                     cp.backup().frames(),
                     vm.memory().dump_frames().as_slice(),
@@ -420,11 +645,13 @@ mod tests {
     #[test]
     fn failing_audit_leaves_vm_suspended_and_backup_clean() {
         let mut vm = vm();
-        let pid = vm.spawn_process("app", 0, 16).unwrap();
+        let pid = vm.spawn_process("app", 0, 16).expect("spawn");
         let mut cp = Checkpointer::new(&vm, CheckpointConfig::default());
         let clean = cp.backup().frames().to_vec();
-        vm.dirty_arena_page(pid, 0, 0, 0xbad_u16 as u8).unwrap();
-        let report = cp.run_epoch(&mut vm, &mut |_, _| AuditVerdict::Fail);
+        vm.dirty_arena_page(pid, 0, 0, 0xbad_u16 as u8).expect("dirty");
+        let report = cp
+            .run_epoch(&mut vm, &mut |_, _| AuditVerdict::Fail)
+            .expect("no faults armed");
         assert_eq!(report.verdict, AuditVerdict::Fail);
         assert!(vm.vcpus().all_paused(), "VM must stay paused on failure");
         assert_eq!(cp.backup().epoch(), 0, "no commit on failure");
@@ -433,47 +660,181 @@ mod tests {
     }
 
     #[test]
+    fn inconclusive_audit_extends_speculation() {
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 16).expect("spawn");
+        let mut cp = Checkpointer::new(&vm, CheckpointConfig::default());
+        let clean = cp.backup().frames().to_vec();
+        for i in 0..4 {
+            vm.dirty_arena_page(pid, i, 0, 1).expect("dirty");
+        }
+        let report = cp
+            .run_epoch(&mut vm, &mut |_, _| AuditVerdict::Inconclusive)
+            .expect("no faults armed");
+        assert_eq!(report.verdict, AuditVerdict::Inconclusive);
+        assert!(!vm.vcpus().all_paused(), "VM resumes — the guest keeps running");
+        assert_eq!(cp.backup().epoch(), 0, "no commit while inconclusive");
+        assert_eq!(cp.backup().frames(), clean.as_slice(), "backup untouched");
+        assert!(report.dirty_pages >= 4);
+
+        // The deferred pages must still be dirty, so the next (conclusive)
+        // epoch audits and commits them.
+        let next = cp
+            .run_epoch(&mut vm, &mut pass_audit())
+            .expect("no faults armed");
+        assert_eq!(next.verdict, AuditVerdict::Pass);
+        assert!(next.dirty_pages >= report.dirty_pages);
+        assert_eq!(cp.backup().epoch(), 1);
+        assert_eq!(cp.backup().frames(), vm.memory().dump_frames().as_slice());
+    }
+
+    #[test]
+    fn copy_faults_are_retried_then_exhausted() {
+        use crimes_faults::{FaultPlan, FaultPoint, SCALE};
+
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 16).expect("spawn");
+        let mut cp = Checkpointer::new(&vm, CheckpointConfig::default());
+
+        // Every attempt fails: the epoch must exhaust its retries, leave
+        // the VM suspended, and commit nothing.
+        vm.dirty_arena_page(pid, 0, 0, 1).expect("dirty");
+        {
+            let plan = FaultPlan::disabled().with_rate(FaultPoint::PageCopy, SCALE);
+            let _scope = crimes_faults::install(plan, 11);
+            let err = cp
+                .run_epoch(&mut vm, &mut pass_audit())
+                .expect_err("all copy attempts fault");
+            assert_eq!(err, CheckpointError::Exhausted { attempts: 4 });
+        }
+        assert!(vm.vcpus().all_paused(), "fail closed: VM stays suspended");
+        assert_eq!(cp.backup().epoch(), 0);
+        vm.vcpus_mut().resume_all();
+
+        // Roughly half the attempts fail: retries absorb the faults and
+        // the epoch still commits.
+        let mut committed = 0;
+        {
+            let plan = FaultPlan::disabled().with_rate(FaultPoint::PageCopy, SCALE / 2);
+            let _scope = crimes_faults::install(plan, 12);
+            for i in 0..8 {
+                vm.dirty_arena_page(pid, i, 0, 2).expect("dirty");
+                if let Ok(report) = cp.run_epoch(&mut vm, &mut pass_audit()) {
+                    committed += 1;
+                    assert!(report.copy_attempts >= 1);
+                } else {
+                    vm.vcpus_mut().resume_all();
+                }
+            }
+        }
+        assert!(committed > 0, "retries should rescue some epochs");
+        assert_eq!(cp.backup().epoch(), committed);
+    }
+
+    #[test]
     fn rollback_restores_clean_state() {
         let mut vm = vm();
-        let pid = vm.spawn_process("app", 0, 16).unwrap();
-        let obj = vm.malloc(pid, 32).unwrap();
-        vm.write_user(pid, obj, b"clean!", 0).unwrap();
+        let pid = vm.spawn_process("app", 0, 16).expect("spawn");
+        let obj = vm.malloc(pid, 32).expect("malloc");
+        vm.write_user(pid, obj, b"clean!", 0).expect("write");
         let mut cp = Checkpointer::new(&vm, CheckpointConfig::default());
         let meta = vm.meta_snapshot();
-        cp.run_epoch(&mut vm, &mut pass_audit());
+        cp.run_epoch(&mut vm, &mut pass_audit())
+            .expect("no faults armed");
 
         // Attack epoch.
-        vm.write_user(pid, obj, b"PWNED!", 0xbad).unwrap();
-        let report = cp.run_epoch(&mut vm, &mut |_, _| AuditVerdict::Fail);
+        vm.write_user(pid, obj, b"PWNED!", 0xbad).expect("write");
+        let report = cp
+            .run_epoch(&mut vm, &mut |_, _| AuditVerdict::Fail)
+            .expect("no faults armed");
         assert_eq!(report.verdict, AuditVerdict::Fail);
 
-        cp.rollback(&mut vm, &meta);
+        let rb = cp.rollback(&mut vm, &meta).expect("backup verifies clean");
+        assert!(!rb.fell_back);
         let mut buf = [0u8; 6];
-        vm.read_user(pid, obj, &mut buf).unwrap();
+        vm.read_user(pid, obj, &mut buf).expect("read");
         assert_eq!(&buf, b"clean!");
+    }
+
+    #[test]
+    fn rollback_under_corruption_falls_back_to_verified_generation() {
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 16).expect("spawn");
+        let obj = vm.malloc(pid, 32).expect("malloc");
+        let mut cp = Checkpointer::new(
+            &vm,
+            CheckpointConfig {
+                history_depth: 3,
+                retain_history_images: true,
+                ..CheckpointConfig::default()
+            },
+        );
+
+        // Two clean generations.
+        vm.write_user(pid, obj, b"gen-1!", 0).expect("write");
+        cp.run_epoch(&mut vm, &mut pass_audit())
+            .expect("no faults armed");
+        vm.write_user(pid, obj, b"gen-2!", 0).expect("write");
+        cp.run_epoch(&mut vm, &mut pass_audit())
+            .expect("no faults armed");
+        let meta = vm.meta_snapshot();
+        assert!(cp.verify_backup().is_ok());
+
+        // Silently rot a bit of the live backup, then detect an attack.
+        cp.backup_mut_for_tests().frame_mut(crimes_vm::Mfn(3))[7] ^= 0x10;
+        assert!(matches!(
+            cp.verify_backup(),
+            Err(CheckpointError::Corrupt { bad_chunks: 1, .. })
+        ));
+        assert!(cp.has_verified_checkpoint(), "history still holds gen-2");
+
+        let rb = cp.rollback(&mut vm, &meta).expect("fallback must succeed");
+        assert!(rb.fell_back);
+        assert_eq!(rb.corrupt_chunks, 1);
+        assert_eq!(rb.restored_epoch, 2);
+        // The restored state is gen-2, and the repaired backup verifies.
+        let mut buf = [0u8; 6];
+        vm.read_user(pid, obj, &mut buf).expect("read");
+        assert_eq!(&buf, b"gen-2!");
+        assert!(cp.verify_backup().is_ok(), "backup repaired from history");
+
+        // With history images disabled there is nothing to fall back to.
+        let mut cp = Checkpointer::new(&vm, CheckpointConfig::default());
+        cp.run_epoch(&mut vm, &mut pass_audit())
+            .expect("no faults armed");
+        let meta = vm.meta_snapshot();
+        cp.backup_mut_for_tests().frame_mut(crimes_vm::Mfn(0))[0] ^= 0x01;
+        assert!(!cp.has_verified_checkpoint());
+        let before = vm.memory().dump_frames();
+        assert!(matches!(
+            cp.rollback(&mut vm, &meta),
+            Err(CheckpointError::NoVerifiedCheckpoint { .. })
+        ));
+        assert_eq!(vm.memory().dump_frames(), before, "VM untouched on failure");
     }
 
     #[test]
     fn audit_sees_the_epoch_dirty_bitmap() {
         let mut vm = vm();
-        let pid = vm.spawn_process("app", 0, 16).unwrap();
+        let pid = vm.spawn_process("app", 0, 16).expect("spawn");
         let mut cp = Checkpointer::new(&vm, CheckpointConfig::default());
-        vm.dirty_arena_page(pid, 7, 0, 1).unwrap();
-        let phys = vm.processes().get(pid).unwrap().mapping.phys_base;
+        vm.dirty_arena_page(pid, 7, 0, 1).expect("dirty");
+        let phys = vm.processes().get(pid).expect("pid").mapping.phys_base;
         let expect = Pfn(phys.0 / crimes_vm::PAGE_SIZE as u64 + 7);
         let mut seen = 0usize;
         cp.run_epoch(&mut vm, &mut |_vm, dirty| {
             seen = dirty.count();
             assert!(dirty.is_dirty(expect));
             AuditVerdict::Pass
-        });
+        })
+        .expect("no faults armed");
         assert!(seen >= 1);
     }
 
     #[test]
     fn history_records_commits() {
         let mut vm = vm();
-        let pid = vm.spawn_process("app", 0, 16).unwrap();
+        let pid = vm.spawn_process("app", 0, 16).expect("spawn");
         let mut cp = Checkpointer::new(
             &vm,
             CheckpointConfig {
@@ -483,11 +844,12 @@ mod tests {
         );
         for e in 0..3u64 {
             vm.advance_time(10);
-            vm.dirty_arena_page(pid, e as usize, 0, 1).unwrap();
-            cp.run_epoch(&mut vm, &mut pass_audit());
+            vm.dirty_arena_page(pid, e as usize, 0, 1).expect("dirty");
+            cp.run_epoch(&mut vm, &mut pass_audit())
+                .expect("no faults armed");
         }
         assert_eq!(cp.history().len(), 2);
-        assert_eq!(cp.history().latest().unwrap().epoch, 3);
+        assert_eq!(cp.history().latest().expect("latest").epoch, 3);
     }
 
     #[test]
@@ -500,12 +862,22 @@ mod tests {
                 ..CheckpointConfig::default()
             },
         );
-        cp.run_epoch(&mut vm, &mut pass_audit());
-        let rec = cp.history().latest().unwrap();
+        cp.run_epoch(&mut vm, &mut pass_audit())
+            .expect("no faults armed");
+        let rec = cp.history().latest().expect("latest");
         assert!(rec.frames.is_some());
         assert_eq!(
-            rec.frames.as_ref().unwrap().as_slice(),
+            rec.frames.as_ref().expect("frames").as_slice(),
             vm.memory().dump_frames().as_slice()
+        );
+        assert!(rec.disk.is_some());
+        assert!(rec.meta.is_some());
+        assert_eq!(
+            rec.checksum,
+            crate::integrity::image_digest(
+                rec.frames.as_ref().expect("frames"),
+                rec.disk.as_ref().expect("disk")
+            )
         );
     }
 
@@ -513,8 +885,10 @@ mod tests {
     fn stats_accumulate_across_epochs() {
         let mut vm = vm();
         let mut cp = Checkpointer::new(&vm, CheckpointConfig::default());
-        cp.run_epoch(&mut vm, &mut pass_audit());
-        cp.run_epoch(&mut vm, &mut pass_audit());
+        cp.run_epoch(&mut vm, &mut pass_audit())
+            .expect("no faults armed");
+        cp.run_epoch(&mut vm, &mut pass_audit())
+            .expect("no faults armed");
         assert_eq!(cp.stats().epochs(), 2);
         assert!(cp.stats().mean().is_some());
     }
@@ -528,7 +902,7 @@ mod tests {
     #[test]
     fn remote_backup_forces_socket_copy_but_keeps_other_opts() {
         let mut vm = vm();
-        let pid = vm.spawn_process("app", 0, 32).unwrap();
+        let pid = vm.spawn_process("app", 0, 32).expect("spawn");
         let mk = |remote| CheckpointConfig {
             opt: OptLevel::Full,
             remote_backup: remote,
@@ -537,9 +911,11 @@ mod tests {
         let run = |vm: &mut Vm, cfg| {
             let mut cp = Checkpointer::new(vm, cfg);
             for i in 0..32 {
-                vm.dirty_arena_page(pid, i, 0, 1).unwrap();
+                vm.dirty_arena_page(pid, i, 0, 1).expect("dirty");
             }
-            let report = cp.run_epoch(vm, &mut |_, _| AuditVerdict::Pass);
+            let report = cp
+                .run_epoch(vm, &mut |_, _| AuditVerdict::Pass)
+                .expect("no faults armed");
             // Backup stays consistent over either path.
             assert_eq!(cp.backup().frames(), vm.memory().dump_frames().as_slice());
             report

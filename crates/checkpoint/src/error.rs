@@ -1,0 +1,89 @@
+//! Checkpoint-layer failures.
+//!
+//! The engine's contract is fail-closed: a failure here never silently
+//! commits or silently restores — it either retries, falls back to a
+//! checksum-verified generation, or surfaces one of these errors so the
+//! framework can quarantine the VM.
+
+/// Errors from the checkpoint engine and copy pipelines.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// One page-copy attempt failed before touching the backup (transient;
+    /// the engine retries — source frames are unchanged while the VM is
+    /// paused).
+    CopyFault {
+        /// The copy strategy that failed (`"socket"` or `"memcpy"`).
+        strategy: &'static str,
+    },
+    /// A write into the backup image failed mid-copy, leaving a partial
+    /// copy behind. Retryable: a full re-copy overwrites the partial
+    /// state.
+    BackupWriteFault {
+        /// Pages written before the fault.
+        pages_written: usize,
+    },
+    /// Copy retries exhausted without a committed checkpoint. The backup
+    /// may hold a partial copy; only a checksum-verified generation is
+    /// trustworthy now.
+    Exhausted {
+        /// Attempts made (first try + retries).
+        attempts: u32,
+    },
+    /// The backup image no longer matches its commit-time checksum
+    /// (silent corruption detected at rollback).
+    Corrupt {
+        /// Epoch of the corrupt image.
+        epoch: u64,
+        /// Pages/sectors whose digest mismatched.
+        bad_chunks: usize,
+    },
+    /// Neither the backup nor any retained history generation passes
+    /// checksum verification — there is nothing safe to restore.
+    NoVerifiedCheckpoint {
+        /// Newest epoch examined.
+        newest_epoch: u64,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::CopyFault { strategy } => {
+                write!(f, "{strategy} page-copy attempt failed")
+            }
+            CheckpointError::BackupWriteFault { pages_written } => {
+                write!(f, "backup write failed after {pages_written} page(s)")
+            }
+            CheckpointError::Exhausted { attempts } => {
+                write!(f, "checkpoint copy failed after {attempts} attempt(s)")
+            }
+            CheckpointError::Corrupt { epoch, bad_chunks } => {
+                write!(f, "backup for epoch {epoch} is corrupt ({bad_chunks} bad chunk(s))")
+            }
+            CheckpointError::NoVerifiedCheckpoint { newest_epoch } => {
+                write!(f, "no checksum-verified checkpoint at or before epoch {newest_epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        for e in [
+            CheckpointError::CopyFault { strategy: "socket" },
+            CheckpointError::BackupWriteFault { pages_written: 3 },
+            CheckpointError::Exhausted { attempts: 4 },
+            CheckpointError::Corrupt { epoch: 7, bad_chunks: 1 },
+            CheckpointError::NoVerifiedCheckpoint { newest_epoch: 9 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

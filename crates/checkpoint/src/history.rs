@@ -9,6 +9,8 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use crimes_vm::MetaSnapshot;
+
 /// One committed checkpoint's record.
 #[derive(Debug, Clone)]
 pub struct CheckpointRecord {
@@ -18,9 +20,18 @@ pub struct CheckpointRecord {
     pub guest_time_ns: u64,
     /// Dirty pages committed by this checkpoint.
     pub dirty_pages: usize,
+    /// Combined image checksum (frames + disk) at commit time. Rollback
+    /// re-derives a candidate image's digest and restores only on a match.
+    pub checksum: u64,
     /// Full frame image, when image retention is enabled. Shared so that
     /// handing records to forensic tooling never copies 32 MiB by accident.
     pub frames: Option<Arc<Vec<u8>>>,
+    /// Full disk image, retained alongside `frames` so a fallback rollback
+    /// restores a complete, internally-consistent generation.
+    pub disk: Option<Arc<Vec<u8>>>,
+    /// Host-side bookkeeping snapshot matching the image, when images are
+    /// retained — required to actually restore a VM from this record.
+    pub meta: Option<MetaSnapshot>,
 }
 
 /// A bounded ring of committed checkpoints, newest last.
@@ -105,7 +116,10 @@ mod tests {
             epoch,
             guest_time_ns: t,
             dirty_pages: 0,
+            checksum: 0,
             frames: None,
+            disk: None,
+            meta: None,
         }
     }
 

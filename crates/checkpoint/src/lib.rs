@@ -26,7 +26,9 @@
 //!
 //! let mut cp = Checkpointer::new(&vm, CheckpointConfig::default());
 //! vm.dirty_arena_page(pid, 0, 0, 1)?;
-//! let report = cp.run_epoch(&mut vm, &mut |_vm, _dirty| AuditVerdict::Pass);
+//! let report = cp
+//!     .run_epoch(&mut vm, &mut |_vm, _dirty| AuditVerdict::Pass)
+//!     .expect("no fault injection armed");
 //! assert_eq!(report.verdict, AuditVerdict::Pass);
 //! # Ok(())
 //! # }
@@ -39,14 +41,20 @@ pub mod backup;
 pub mod bitmap;
 pub mod copy;
 pub mod engine;
+pub mod error;
 pub mod history;
+pub mod integrity;
 pub mod mapping;
 pub mod probe;
 
 pub use backup::BackupVm;
 pub use bitmap::{scan_bit_by_bit, scan_wordwise, BitmapScan};
 pub use copy::{CopyStats, CopyStrategy, MemcpyCopier, SocketCopier};
-pub use engine::{AuditVerdict, CheckpointConfig, Checkpointer, EpochReport, OptLevel};
+pub use engine::{
+    AuditVerdict, CheckpointConfig, Checkpointer, EpochReport, OptLevel, RollbackReport,
+};
+pub use error::CheckpointError;
 pub use history::{CheckpointHistory, CheckpointRecord};
+pub use integrity::{chunk_digest, image_digest, ImageDigest};
 pub use mapping::{HypercallModel, MappedPage, Mapper, MappingStrategy};
 pub use probe::{BreakdownStats, Phase, PhaseTimings};

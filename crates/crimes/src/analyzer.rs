@@ -34,6 +34,10 @@ pub struct Analysis {
     pub findings: Vec<ScanFinding>,
     /// Replay pinpoint, when the evidence was a canary violation.
     pub pinpoint: Option<AttackPinpoint>,
+    /// Why replay-based pinpointing was skipped, when it was attempted
+    /// but degraded (divergence or transient introspection faults). The
+    /// rest of the analysis — dumps, diff, report — is still produced.
+    pub replay_degraded: Option<String>,
     /// The captured dumps.
     pub dumps: AnalysisDumps,
     /// Clean-vs-failed dump differences.
@@ -83,13 +87,16 @@ impl Analyzer {
             meta.captured_at_ns(),
         );
 
-        // (2) Replay to pinpoint memory-evidence attacks.
+        // (2) Replay to pinpoint memory-evidence attacks. Replay is a
+        // refinement, not the evidence itself: when it diverges or hits
+        // transient introspection faults, the analysis degrades to a
+        // no-pinpoint report instead of failing the whole response.
         let canary_target = findings
             .iter()
             .find_map(|f| f.detection.first_canary_target());
-        let (pinpoint, attack_instant) = match canary_target {
+        let (pinpoint, attack_instant, replay_degraded) = match canary_target {
             Some((pid, canary_gva)) => {
-                let pin = self.replay.pinpoint_canary_attack(
+                match self.replay.pinpoint_canary_attack(
                     vm,
                     backup_frames,
                     backup_disk,
@@ -97,24 +104,45 @@ impl Analyzer {
                     epoch_ops,
                     pid,
                     canary_gva,
-                )?;
-                let dump = pin
-                    .is_some()
-                    .then(|| MemoryDump::from_vm(vm, DumpKind::AttackInstant));
-                (pin, dump)
+                ) {
+                    Ok(pin) => {
+                        let dump = pin
+                            .is_some()
+                            .then(|| MemoryDump::from_vm(vm, DumpKind::AttackInstant));
+                        (pin, dump, None)
+                    }
+                    Err(CrimesError::ReplayDiverged { op_index }) => (
+                        None,
+                        None,
+                        Some(format!("replay diverged at trace op {op_index}")),
+                    ),
+                    Err(CrimesError::Vmi(crimes_vmi::VmiError::TransientReadFault)) => (
+                        None,
+                        None,
+                        Some("transient VMI read fault during replay".to_owned()),
+                    ),
+                    Err(e) => return Err(e),
+                }
             }
-            None => (None, None),
+            None => (None, None, None),
         };
 
         // (3) Diff + plugin sweep.
         let diff = DumpDiff::between(&last_good, &audit_failure)?;
 
         // (4) The report.
-        let report = self.render_report(&findings, pinpoint.as_ref(), &audit_failure, &diff)?;
+        let report = self.render_report(
+            &findings,
+            pinpoint.as_ref(),
+            replay_degraded.as_deref(),
+            &audit_failure,
+            &diff,
+        )?;
 
         Ok(Analysis {
             findings,
             pinpoint,
+            replay_degraded,
             dumps: AnalysisDumps {
                 last_good,
                 audit_failure,
@@ -129,10 +157,14 @@ impl Analyzer {
         &self,
         findings: &[ScanFinding],
         pinpoint: Option<&AttackPinpoint>,
+        replay_degraded: Option<&str>,
         failure_dump: &MemoryDump,
         diff: &DumpDiff,
     ) -> Result<SecurityReport, CrimesError> {
         let mut b = ReportBuilder::new("CRIMES Incident Report");
+        if let Some(reason) = replay_degraded {
+            b.section("Degraded Analysis", reason);
+        }
 
         let mut summary = String::new();
         for f in findings {
@@ -290,6 +322,36 @@ mod tests {
         assert!(text.contains("Buffer Overflow"));
         assert!(text.contains("pinpointed"));
         assert!(!analysis.diff.changed_pages.is_empty());
+    }
+
+    #[test]
+    fn diverged_replay_degrades_to_no_pinpoint_analysis() {
+        let mut vm = vm();
+        vm.set_recording(true);
+        let pid = vm.spawn_process("victim", 0, 16).unwrap();
+        let frames = vm.memory().dump_frames();
+        let disk = vm.disk().dump();
+        let meta = vm.meta_snapshot();
+        let mark = vm.trace_mark();
+        attacks::inject_heap_overflow(&mut vm, pid, 64, 8).unwrap();
+        let findings = canary_finding(&vm, pid);
+        let ops = vm.trace_since(mark);
+
+        let _scope = crimes_faults::install(
+            crimes_faults::FaultPlan::disabled()
+                .with_rate(crimes_faults::FaultPoint::ReplayDiverge, crimes_faults::SCALE),
+            9,
+        );
+        let analysis = Analyzer::new()
+            .analyze(&mut vm, &frames, &disk, &meta, &ops, findings)
+            .expect("analysis degrades instead of failing");
+        assert!(analysis.pinpoint.is_none());
+        assert!(analysis.dumps.attack_instant.is_none());
+        let reason = analysis.replay_degraded.expect("degraded");
+        assert!(reason.contains("diverged"));
+        let text = analysis.report.to_text();
+        assert!(text.contains("Degraded Analysis"));
+        assert!(text.contains("Buffer Overflow"));
     }
 
     #[test]

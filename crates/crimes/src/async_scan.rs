@@ -109,6 +109,12 @@ impl AsyncScanner {
         let Some(tx) = self.job_tx.as_ref() else {
             return false;
         };
+        // Injected overrun: the deep-sweep worker is "still busy" past its
+        // deadline — same degradation as a genuinely full queue.
+        if crimes_faults::should_inject(crimes_faults::FaultPoint::AuditOverrun) {
+            self.stats.skipped_busy += 1;
+            return false;
+        }
         match tx.try_send(Job { epoch, dump }) {
             Ok(()) => {
                 self.stats.dispatched += 1;

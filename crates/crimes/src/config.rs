@@ -3,16 +3,38 @@
 //! The epoch interval and safety mode are the two knobs the paper tells
 //! operators to tune per workload (§3.1, §5.4): CPU-bound VMs want long
 //! intervals (~200 ms); latency-sensitive VMs want 10–20 ms intervals or
-//! Best-Effort safety.
+//! Best-Effort safety. The robustness knobs (audit deadline, retry
+//! budgets, extension limit) govern the fail-closed degraded modes.
+//!
+//! Validation happens at [`CrimesConfigBuilder::build`], which rejects
+//! impossible configurations (zero-length epochs, audit deadlines longer
+//! than the epoch) instead of panicking mid-run.
 
 use crimes_checkpoint::{CheckpointConfig, OptLevel};
 use crimes_outbuf::SafetyMode;
+
+use crate::error::CrimesError;
 
 /// Configuration of one CRIMES-protected VM.
 #[derive(Debug, Clone, Copy)]
 pub struct CrimesConfig {
     /// Speculative-execution epoch length in milliseconds.
     pub epoch_interval_ms: u64,
+    /// Wall-clock budget for the end-of-epoch audit, in milliseconds.
+    /// `None` means the whole epoch interval. When the audit overruns,
+    /// the epoch is *inconclusive*: nothing commits, outputs stay
+    /// buffered, and speculation extends into the next epoch.
+    pub audit_deadline_ms: Option<u64>,
+    /// Retries for transient VMI read faults during an audit before the
+    /// epoch is declared inconclusive.
+    pub vmi_retries: u32,
+    /// Consecutive inconclusive epochs tolerated before the VM is
+    /// quarantined (suspended, outputs impounded).
+    pub max_consecutive_extensions: u32,
+    /// Output-buffer capacity in outputs (`usize::MAX` = unbounded).
+    pub max_held_outputs: usize,
+    /// Output-buffer capacity in bytes (`usize::MAX` = unbounded).
+    pub max_held_bytes: usize,
     /// Output-buffering policy.
     pub safety: SafetyMode,
     /// Checkpoint engine configuration.
@@ -23,6 +45,11 @@ impl Default for CrimesConfig {
     fn default() -> Self {
         CrimesConfig {
             epoch_interval_ms: 200,
+            audit_deadline_ms: None,
+            vmi_retries: 3,
+            max_consecutive_extensions: 3,
+            max_held_outputs: usize::MAX,
+            max_held_bytes: usize::MAX,
             safety: SafetyMode::Synchronous,
             checkpoint: CheckpointConfig::default(),
         }
@@ -50,6 +77,12 @@ impl CrimesConfig {
     pub fn cpu_bound() -> Self {
         CrimesConfig::default()
     }
+
+    /// The audit deadline actually in effect (explicit value, or the whole
+    /// epoch interval).
+    pub fn effective_audit_deadline_ms(&self) -> u64 {
+        self.audit_deadline_ms.unwrap_or(self.epoch_interval_ms)
+    }
 }
 
 /// Builder for [`CrimesConfig`].
@@ -59,14 +92,36 @@ pub struct CrimesConfigBuilder {
 }
 
 impl CrimesConfigBuilder {
-    /// Epoch interval in milliseconds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `ms` is zero.
+    /// Epoch interval in milliseconds (validated at [`build`](Self::build)).
     pub fn epoch_interval_ms(&mut self, ms: u64) -> &mut Self {
-        assert!(ms > 0, "epoch interval must be positive");
         self.config.epoch_interval_ms = ms;
+        self
+    }
+
+    /// Audit deadline in milliseconds (validated at [`build`](Self::build):
+    /// must be positive and no longer than the epoch interval).
+    pub fn audit_deadline_ms(&mut self, ms: u64) -> &mut Self {
+        self.config.audit_deadline_ms = Some(ms);
+        self
+    }
+
+    /// Retries for transient VMI read faults per audit.
+    pub fn vmi_retries(&mut self, retries: u32) -> &mut Self {
+        self.config.vmi_retries = retries;
+        self
+    }
+
+    /// Consecutive speculation extensions tolerated before quarantine.
+    pub fn max_consecutive_extensions(&mut self, max: u32) -> &mut Self {
+        self.config.max_consecutive_extensions = max;
+        self
+    }
+
+    /// Bound the output buffer (outputs, bytes). Submissions beyond either
+    /// limit are refused with backpressure rather than held.
+    pub fn buffer_limits(&mut self, max_outputs: usize, max_bytes: usize) -> &mut Self {
+        self.config.max_held_outputs = max_outputs;
+        self.config.max_held_bytes = max_bytes;
         self
     }
 
@@ -82,13 +137,8 @@ impl CrimesConfigBuilder {
         self
     }
 
-    /// Checkpoint-history depth.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `depth` is zero.
+    /// Checkpoint-history depth (validated at [`build`](Self::build)).
     pub fn history_depth(&mut self, depth: usize) -> &mut Self {
-        assert!(depth > 0, "history depth must be at least 1");
         self.config.checkpoint.history_depth = depth;
         self
     }
@@ -99,9 +149,40 @@ impl CrimesConfigBuilder {
         self
     }
 
-    /// Finish.
-    pub fn build(&self) -> CrimesConfig {
-        self.config
+    /// Validate and finish.
+    ///
+    /// # Errors
+    ///
+    /// [`CrimesError::InvalidConfig`] when the configuration is impossible:
+    /// a zero-length epoch, a zero history depth, a zero audit deadline, or
+    /// an audit deadline longer than the epoch interval.
+    pub fn build(&self) -> Result<CrimesConfig, CrimesError> {
+        let c = &self.config;
+        if c.epoch_interval_ms == 0 {
+            return Err(CrimesError::InvalidConfig(
+                "epoch interval must be positive".into(),
+            ));
+        }
+        if c.checkpoint.history_depth == 0 {
+            return Err(CrimesError::InvalidConfig(
+                "history depth must be at least 1".into(),
+            ));
+        }
+        if let Some(deadline) = c.audit_deadline_ms {
+            if deadline == 0 {
+                return Err(CrimesError::InvalidConfig(
+                    "audit deadline must be positive".into(),
+                ));
+            }
+            if deadline > c.epoch_interval_ms {
+                return Err(CrimesError::InvalidConfig(format!(
+                    "audit deadline ({deadline} ms) exceeds the epoch interval \
+                     ({} ms) — the audit could never finish inside its epoch",
+                    c.epoch_interval_ms
+                )));
+            }
+        }
+        Ok(self.config)
     }
 }
 
@@ -115,18 +196,28 @@ mod tests {
         assert_eq!(c.epoch_interval_ms, 200);
         assert_eq!(c.safety, SafetyMode::Synchronous);
         assert_eq!(c.checkpoint.opt, OptLevel::Full);
+        assert_eq!(c.effective_audit_deadline_ms(), 200);
     }
 
     #[test]
     fn builder_sets_all_fields() {
         let mut b = CrimesConfig::builder();
         b.epoch_interval_ms(20)
+            .audit_deadline_ms(10)
+            .vmi_retries(5)
+            .max_consecutive_extensions(2)
+            .buffer_limits(64, 1 << 20)
             .safety(SafetyMode::BestEffort)
             .opt_level(OptLevel::NoOpt)
             .history_depth(3)
             .retain_history_images(true);
-        let c = b.build();
+        let c = b.build().expect("valid config");
         assert_eq!(c.epoch_interval_ms, 20);
+        assert_eq!(c.effective_audit_deadline_ms(), 10);
+        assert_eq!(c.vmi_retries, 5);
+        assert_eq!(c.max_consecutive_extensions, 2);
+        assert_eq!(c.max_held_outputs, 64);
+        assert_eq!(c.max_held_bytes, 1 << 20);
         assert_eq!(c.safety, SafetyMode::BestEffort);
         assert_eq!(c.checkpoint.opt, OptLevel::NoOpt);
         assert_eq!(c.checkpoint.history_depth, 3);
@@ -140,8 +231,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_interval_panics() {
-        CrimesConfig::builder().epoch_interval_ms(0);
+    fn impossible_configs_are_rejected_at_build() {
+        let reject = |f: &dyn Fn(&mut CrimesConfigBuilder)| {
+            let mut b = CrimesConfig::builder();
+            f(&mut b);
+            match b.build() {
+                Err(CrimesError::InvalidConfig(msg)) => msg,
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        };
+        assert!(reject(&|b| {
+            b.epoch_interval_ms(0);
+        })
+        .contains("epoch interval"));
+        assert!(reject(&|b| {
+            b.history_depth(0);
+        })
+        .contains("history depth"));
+        assert!(reject(&|b| {
+            b.audit_deadline_ms(0);
+        })
+        .contains("audit deadline"));
+        // Deadline longer than the epoch can never be met.
+        assert!(reject(&|b| {
+            b.epoch_interval_ms(20).audit_deadline_ms(30);
+        })
+        .contains("exceeds the epoch interval"));
+        // Boundary: deadline equal to the interval is fine.
+        CrimesConfig::builder()
+            .epoch_interval_ms(20)
+            .audit_deadline_ms(20)
+            .build()
+            .expect("deadline == interval is valid");
     }
 }

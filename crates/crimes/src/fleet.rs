@@ -25,6 +25,12 @@ pub struct FleetEpochSummary {
     pub new_incidents: Vec<String>,
     /// VMs skipped because an incident is already pending.
     pub skipped_pending: Vec<String>,
+    /// VMs whose audit was inconclusive this round (speculation extended;
+    /// outputs still buffered).
+    pub extended: Vec<String>,
+    /// VMs in quarantine — newly quarantined this round or skipped
+    /// because already quarantined. They need operator replacement.
+    pub quarantined: Vec<String>,
 }
 
 /// Aggregate fleet statistics.
@@ -108,6 +114,16 @@ impl Fleet {
             .collect()
     }
 
+    /// Names of quarantined VMs (suspended, outputs impounded; awaiting
+    /// operator replacement).
+    pub fn quarantined_vms(&self) -> Vec<&str> {
+        self.vms
+            .iter()
+            .filter(|(_, c)| c.is_quarantined())
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> FleetStats {
         self.stats
@@ -128,20 +144,32 @@ impl Fleet {
     {
         let mut summary = FleetEpochSummary::default();
         for (name, crimes) in &mut self.vms {
+            if crimes.is_quarantined() {
+                summary.quarantined.push(name.clone());
+                continue;
+            }
             if crimes.has_pending_incident() {
                 summary.skipped_pending.push(name.clone());
                 continue;
             }
-            let outcome = crimes.run_epoch(|vm, ms| work(name, vm, ms))?;
-            match outcome {
-                EpochOutcome::Committed { .. } => {
+            match crimes.run_epoch(|vm, ms| work(name, vm, ms)) {
+                Ok(EpochOutcome::Committed { .. }) => {
                     self.stats.committed_epochs += 1;
                     summary.committed.push(name.clone());
                 }
-                EpochOutcome::AttackDetected { .. } => {
+                Ok(EpochOutcome::AttackDetected { .. }) => {
                     self.stats.incidents_detected += 1;
                     summary.new_incidents.push(name.clone());
                 }
+                Ok(EpochOutcome::Extended { .. }) => {
+                    summary.extended.push(name.clone());
+                }
+                // Quarantine is terminal per-VM, not fleet-fatal: one
+                // tenant's degraded monitor never stalls the others.
+                Err(CrimesError::Quarantined { .. }) => {
+                    summary.quarantined.push(name.clone());
+                }
+                Err(e) => return Err(e),
             }
         }
         Ok(summary)
@@ -191,7 +219,7 @@ mod tests {
     fn config() -> CrimesConfig {
         let mut b = CrimesConfig::builder();
         b.epoch_interval_ms(20);
-        b.build()
+        b.build().expect("valid config")
     }
 
     fn fleet_of(n: u64) -> Fleet {
@@ -249,6 +277,41 @@ mod tests {
         assert_eq!(summary.committed.len(), 3);
         assert_eq!(fleet.stats().incidents_detected, 1);
         assert_eq!(fleet.stats().incidents_resolved, 1);
+    }
+
+    #[test]
+    fn quarantined_tenant_is_skipped_not_fatal() {
+        let mut fleet = Fleet::new();
+        let mut b = CrimesConfig::builder();
+        b.epoch_interval_ms(20).max_consecutive_extensions(0);
+        fleet
+            .add_vm("fragile", guest(7), b.build().expect("valid config"))
+            .expect("add");
+
+        // Every audit overruns: the first round quarantines the tenant.
+        let scope = crimes_faults::install(
+            crimes_faults::FaultPlan::disabled().with_rate(
+                crimes_faults::FaultPoint::AuditOverrun,
+                crimes_faults::SCALE,
+            ),
+            21,
+        );
+        let summary = fleet.run_epoch_round(|_, _, _| Ok(())).expect("round");
+        drop(scope);
+        assert_eq!(summary.quarantined, vec!["fragile".to_owned()]);
+        assert!(summary.committed.is_empty());
+        assert_eq!(fleet.quarantined_vms(), vec!["fragile"]);
+
+        // Later rounds skip it without erroring, even with faults gone.
+        let summary = fleet.run_epoch_round(|_, _, _| Ok(())).expect("round");
+        assert_eq!(summary.quarantined, vec!["fragile".to_owned()]);
+
+        // Operator replacement: remove and re-add a fresh instance.
+        let broken = fleet.remove_vm("fragile").expect("present");
+        assert!(broken.is_quarantined());
+        fleet.add_vm("fragile", guest(8), config()).expect("re-add");
+        let summary = fleet.run_epoch_round(|_, _, _| Ok(())).expect("round");
+        assert_eq!(summary.committed, vec!["fragile".to_owned()]);
     }
 
     #[test]

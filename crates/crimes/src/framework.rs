@@ -1,11 +1,24 @@
 //! The [`Crimes`] framework: one protected VM's full lifecycle —
 //! speculative epochs, end-of-epoch audits, output release/discard, and
 //! incident handling (Figures 1 and 2).
+//!
+//! The epoch pipeline is **fail closed**: whatever goes wrong — the audit
+//! overrunning its deadline, transient VMI read faults, copy retries
+//! exhausting, a corrupt backup at rollback — no output is ever released
+//! from an epoch whose audit did not pass. Degraded modes, in escalating
+//! order: retry (transient VMI faults), speculation extension (outputs
+//! stay buffered across an inconclusive audit), verified-fallback rollback
+//! (a silently corrupt backup is repaired from history), and finally
+//! quarantine (the VM suspends with outputs impounded until an operator
+//! intervenes).
+
+use std::time::{Duration, Instant};
 
 use crimes_checkpoint::{AuditVerdict, Checkpointer, EpochReport};
+use crimes_faults::FaultPoint;
 use crimes_outbuf::{BufferStats, Output, OutputBuffer, OutputScanner};
 use crimes_vm::{MetaSnapshot, TraceMark, Vm, VmError};
-use crimes_vmi::VmiSession;
+use crimes_vmi::{VmiError, VmiSession};
 
 use crate::analyzer::{Analysis, Analyzer};
 use crate::async_scan::{AsyncScanResult, AsyncScanner};
@@ -35,6 +48,19 @@ pub enum EpochOutcome {
         /// The audit details (contains the findings).
         audit: AuditReport,
     },
+    /// The audit was inconclusive (deadline overrun or persistent
+    /// transient read faults): nothing committed, nothing released, and
+    /// the VM keeps running speculatively with outputs still buffered.
+    /// The next conclusive audit covers this epoch's writes too.
+    Extended {
+        /// Checkpoint-engine report for the inconclusive window.
+        report: EpochReport,
+        /// Why speculation extended.
+        cause: &'static str,
+        /// Consecutive extensions so far (quarantine triggers when this
+        /// exceeds [`CrimesConfig::max_consecutive_extensions`]).
+        consecutive: u32,
+    },
 }
 
 impl EpochOutcome {
@@ -42,6 +68,23 @@ impl EpochOutcome {
     pub fn is_committed(&self) -> bool {
         matches!(self, EpochOutcome::Committed { .. })
     }
+}
+
+/// Counters for the framework's degraded modes — how often each
+/// robustness mechanism actually fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RobustnessStats {
+    /// Transient-VMI-fault retries performed inside audits.
+    pub vmi_retries: u64,
+    /// Epochs whose audit was inconclusive (speculation extended).
+    pub speculation_extensions: u64,
+    /// Epochs whose checkpoint copy exhausted its retries.
+    pub commit_failures: u64,
+    /// Rollbacks that fell back to an older checksum-verified generation
+    /// because the live backup was silently corrupt.
+    pub fallback_rollbacks: u64,
+    /// Times the VM entered quarantine.
+    pub quarantines: u64,
 }
 
 /// One CRIMES-protected VM.
@@ -65,6 +108,12 @@ pub struct Crimes {
     deferred: Vec<AsyncScanResult>,
     /// Findings of an unresolved failed audit.
     pending: Option<AuditReport>,
+    /// Degraded-mode counters.
+    robustness: RobustnessStats,
+    /// Inconclusive audits in a row (reset by any conclusive epoch).
+    consecutive_extensions: u32,
+    /// Set once the VM is quarantined: `(reason, epoch)`. Terminal.
+    quarantined: Option<(&'static str, u64)>,
 }
 
 impl Crimes {
@@ -90,7 +139,11 @@ impl Crimes {
             vm,
             config,
             checkpointer,
-            buffer: OutputBuffer::new(config.safety),
+            buffer: OutputBuffer::with_limits(
+                config.safety,
+                config.max_held_outputs,
+                config.max_held_bytes,
+            ),
             session,
             detector: Detector::new(),
             analyzer: Analyzer::new(),
@@ -101,6 +154,9 @@ impl Crimes {
             async_forensics: None,
             deferred: Vec::new(),
             pending: None,
+            robustness: RobustnessStats::default(),
+            consecutive_extensions: 0,
+            quarantined: None,
         })
     }
 
@@ -193,12 +249,50 @@ impl Crimes {
         self.pending.is_some()
     }
 
+    /// Degraded-mode counters: how often retries, extensions, fallback
+    /// rollbacks, and quarantines actually fired.
+    pub fn robustness_stats(&self) -> RobustnessStats {
+        self.robustness
+    }
+
+    /// `true` once the VM has been quarantined (suspended, outputs
+    /// impounded). Terminal until an operator replaces the instance.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.is_some()
+    }
+
+    /// Enter quarantine: suspend the guest, impound the held outputs
+    /// (neither released nor discarded — they are evidence), and make
+    /// every subsequent operation fail with the returned error.
+    fn quarantine(&mut self, reason: &'static str) -> CrimesError {
+        self.vm.vcpus_mut().pause_all();
+        self.robustness.quarantines += 1;
+        let epoch = self.checkpointer.backup().epoch();
+        self.quarantined = Some((reason, epoch));
+        CrimesError::Quarantined { reason, epoch }
+    }
+
+    fn ensure_active(&self) -> Result<(), CrimesError> {
+        match self.quarantined {
+            Some((reason, epoch)) => Err(CrimesError::Quarantined { reason, epoch }),
+            None => Ok(()),
+        }
+    }
+
     /// Submit an external output from the guest. Under Synchronous safety
-    /// it is held until the next committed boundary; under Best Effort it
-    /// is returned immediately for delivery.
-    pub fn submit_output(&mut self, output: Output) -> Option<Output> {
+    /// it is held until the next committed boundary (`Ok(None)`); under
+    /// Best Effort it is returned immediately for delivery.
+    ///
+    /// # Errors
+    ///
+    /// [`CrimesError::BufferOverflow`] when the buffer's configured
+    /// capacity is exhausted (backpressure: the output never entered the
+    /// system), or [`CrimesError::Quarantined`] — a quarantined VM may not
+    /// emit anything.
+    pub fn submit_output(&mut self, output: Output) -> Result<Option<Output>, CrimesError> {
+        self.ensure_active()?;
         let now = self.vm.now_ns();
-        self.buffer.submit(output, now)
+        Ok(self.buffer.submit(output, now)?)
     }
 
     /// Run one full epoch: `work` drives the guest for the configured
@@ -207,11 +301,13 @@ impl Crimes {
     ///
     /// # Errors
     ///
-    /// Fails if an incident is pending or `work`/introspection fails.
+    /// Fails if an incident is pending, the VM is quarantined, or
+    /// `work`/introspection fails.
     pub fn run_epoch<W>(&mut self, work: W) -> Result<EpochOutcome, CrimesError>
     where
         W: FnOnce(&mut Vm, u64) -> Result<(), VmError>,
     {
+        self.ensure_active()?;
         if self.pending.is_some() {
             return Err(CrimesError::InvalidState(
                 "an incident is pending; investigate and roll back first",
@@ -223,15 +319,32 @@ impl Crimes {
 
     /// Execute the end-of-epoch boundary on the guest as-is.
     ///
+    /// The audit inside the boundary is hardened: transient VMI read
+    /// faults are retried up to [`CrimesConfig::vmi_retries`] times; if
+    /// they persist, or the audit overruns its deadline, the epoch is
+    /// declared inconclusive and speculation extends
+    /// ([`EpochOutcome::Extended`]) with outputs still buffered. If the
+    /// checkpoint copy exhausts its retries the epoch cannot commit: the
+    /// speculation is discarded, the VM rolls back to the newest verified
+    /// checkpoint and resumes, and the copy error is returned.
+    ///
     /// # Errors
     ///
-    /// Fails if an incident is already pending.
+    /// [`CrimesError::InvalidState`] if an incident is pending;
+    /// [`CrimesError::Exhausted`] when the checkpoint copy kept failing
+    /// (the VM has already been rolled back and resumed);
+    /// [`CrimesError::Quarantined`] when repeated inconclusive audits or
+    /// an unrecoverable rollback forced quarantine.
     pub fn epoch_boundary(&mut self) -> Result<EpochOutcome, CrimesError> {
+        self.ensure_active()?;
         if self.pending.is_some() {
             return Err(CrimesError::InvalidState(
                 "an incident is pending; investigate and roll back first",
             ));
         }
+        let deadline = Duration::from_millis(self.config.effective_audit_deadline_ms());
+        let vmi_retries = self.config.vmi_retries;
+        let mut retries_used = 0u32;
         let Crimes {
             vm,
             checkpointer,
@@ -244,7 +357,21 @@ impl Crimes {
         let epoch = checkpointer.backup().epoch();
         let mut audit_slot: Option<AuditReport> = None;
         let report = checkpointer.run_epoch(vm, &mut |paused_vm, dirty| {
+            let audit_started = Instant::now();
             let mut audit = detector.audit(paused_vm.memory(), session, dirty, epoch);
+            // Bounded retry with backoff: transient VMI read faults are
+            // retry-safe while the guest is paused.
+            while retries_used < vmi_retries
+                && !audit.errors.is_empty()
+                && audit
+                    .errors
+                    .iter()
+                    .all(|(_, e)| matches!(e, VmiError::TransientReadFault))
+            {
+                retries_used += 1;
+                std::thread::sleep(Duration::from_micros(20 * u64::from(retries_used)));
+                audit = detector.audit(paused_vm.memory(), session, dirty, epoch);
+            }
             // Output-content scan: part of the same audit window, over the
             // still-held outputs.
             if let Some(scanner) = output_scanner.as_ref() {
@@ -259,18 +386,40 @@ impl Crimes {
                     });
                 }
             }
-            let verdict = if audit.passed() {
-                AuditVerdict::Pass
-            } else {
+            let transient_only = !audit.errors.is_empty()
+                && audit
+                    .errors
+                    .iter()
+                    .all(|(_, e)| matches!(e, VmiError::TransientReadFault));
+            let overrun = audit_started.elapsed() > deadline
+                || crimes_faults::should_inject(FaultPoint::AuditOverrun);
+            let verdict = if !audit.findings.is_empty()
+                || (!audit.errors.is_empty() && !transient_only)
+            {
+                // Conclusive: real evidence (or a hard introspection
+                // failure we cannot retry away) — fail closed.
                 AuditVerdict::Fail
+            } else if transient_only || overrun {
+                AuditVerdict::Inconclusive
+            } else {
+                AuditVerdict::Pass
             };
             audit_slot = Some(audit);
             verdict
         });
-        let audit = audit_slot.expect("audit hook always runs");
+        self.robustness.vmi_retries += u64::from(retries_used);
+        let report = match report {
+            Ok(r) => r,
+            Err(e) => {
+                self.robustness.commit_failures += 1;
+                return self.recover_failed_commit(e.into());
+            }
+        };
+        let audit = audit_slot.ok_or(CrimesError::InvalidState("audit hook did not run"))?;
 
         match report.verdict {
             AuditVerdict::Pass => {
+                self.consecutive_extensions = 0;
                 // Async deep forensics: ship the fresh checkpoint and
                 // collect anything the worker finished.
                 if let Some((scanner, every)) = self.async_forensics.as_mut() {
@@ -300,10 +449,69 @@ impl Crimes {
                 })
             }
             AuditVerdict::Fail => {
+                self.consecutive_extensions = 0;
                 self.pending = Some(audit.clone());
                 Ok(EpochOutcome::AttackDetected { report, audit })
             }
+            AuditVerdict::Inconclusive => {
+                // Fail closed by extending speculation: nothing committed,
+                // nothing released — the next conclusive audit covers this
+                // window too. The engine already re-marked the dirty pages
+                // and resumed the guest.
+                self.robustness.speculation_extensions += 1;
+                self.consecutive_extensions += 1;
+                let consecutive = self.consecutive_extensions;
+                if consecutive > self.config.max_consecutive_extensions {
+                    return Err(self.quarantine("repeated inconclusive audits"));
+                }
+                let cause = if audit
+                    .errors
+                    .iter()
+                    .any(|(_, e)| matches!(e, VmiError::TransientReadFault))
+                {
+                    "transient VMI faults persisted through retries"
+                } else {
+                    "audit overran its deadline"
+                };
+                Ok(EpochOutcome::Extended {
+                    report,
+                    cause,
+                    consecutive,
+                })
+            }
         }
+    }
+
+    /// The checkpoint copy exhausted its retries: this epoch's writes can
+    /// never be made durable, so the speculation is discarded (held
+    /// outputs were never audited against committed state) and the VM
+    /// rolls back to the newest checksum-verified checkpoint and resumes.
+    /// Returns `Err(cause)` on success — the epoch still failed — and
+    /// quarantines if no verified checkpoint remains.
+    fn recover_failed_commit(
+        &mut self,
+        cause: CrimesError,
+    ) -> Result<EpochOutcome, CrimesError> {
+        self.buffer.discard();
+        match self.checkpointer.rollback(&mut self.vm, &self.last_good_meta) {
+            Ok(rb) => {
+                if rb.fell_back {
+                    self.robustness.fallback_rollbacks += 1;
+                }
+            }
+            Err(_) => {
+                return Err(self.quarantine("commit failed with no verified checkpoint left"));
+            }
+        }
+        // A fallback may have restored a generation older than
+        // `last_good_meta`; re-snapshot the state actually restored.
+        self.last_good_meta = self.vm.meta_snapshot();
+        let mark = self.vm.trace_mark();
+        self.vm.trace_truncate_before(mark);
+        self.epoch_start_mark = self.vm.trace_mark();
+        self.consecutive_extensions = 0;
+        self.vm.vcpus_mut().resume_all();
+        Err(cause)
     }
 
     /// Run the automated §3.3 response for the pending incident: dumps,
@@ -315,20 +523,39 @@ impl Crimes {
     /// # Errors
     ///
     /// Fails when no incident is pending, or on introspection errors.
+    /// Transient VMI read faults are retried up to
+    /// [`CrimesConfig::vmi_retries`] times — an analysis pass is
+    /// restartable (replay re-restores from the backup) — before the
+    /// residual error surfaces. Even then the incident stays pending and
+    /// [`Crimes::rollback_and_resume`] still contains it: forensics is
+    /// best-effort, containment is not.
     pub fn investigate(&mut self) -> Result<Analysis, CrimesError> {
         let audit = self
             .pending
             .clone()
             .ok_or(CrimesError::InvalidState("no incident pending"))?;
         let ops = self.vm.trace_since(self.epoch_start_mark);
-        self.analyzer.analyze(
-            &mut self.vm,
-            self.checkpointer.backup().frames(),
-            self.checkpointer.backup().disk(),
-            &self.last_good_meta,
-            &ops,
-            audit.findings,
-        )
+        let mut attempt = 0u32;
+        loop {
+            let result = self.analyzer.analyze(
+                &mut self.vm,
+                self.checkpointer.backup().frames(),
+                self.checkpointer.backup().disk(),
+                &self.last_good_meta,
+                &ops,
+                audit.findings.clone(),
+            );
+            match result {
+                Err(CrimesError::Vmi(VmiError::TransientReadFault))
+                    if attempt < self.config.vmi_retries =>
+                {
+                    attempt += 1;
+                    self.robustness.vmi_retries += 1;
+                    std::thread::sleep(Duration::from_micros(20 * u64::from(attempt)));
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Resolve the pending incident: discard the attack epoch's buffered
@@ -338,18 +565,34 @@ impl Crimes {
     ///
     /// # Errors
     ///
-    /// Fails when no incident is pending.
+    /// [`CrimesError::InvalidState`] when no incident is pending, or
+    /// [`CrimesError::Quarantined`] when the backup image is corrupt and
+    /// no older checksum-verified generation exists to fall back to (the
+    /// VM stays suspended with outputs impounded).
     pub fn rollback_and_resume(&mut self) -> Result<usize, CrimesError> {
+        self.ensure_active()?;
         if self.pending.take().is_none() {
             return Err(CrimesError::InvalidState("no incident pending"));
         }
         let discarded = self.buffer.discard();
-        self.checkpointer
-            .rollback(&mut self.vm, &self.last_good_meta);
+        match self.checkpointer.rollback(&mut self.vm, &self.last_good_meta) {
+            Ok(rb) => {
+                if rb.fell_back {
+                    self.robustness.fallback_rollbacks += 1;
+                }
+            }
+            Err(_) => {
+                return Err(self.quarantine("rollback found no verified checkpoint"));
+            }
+        }
+        // A fallback restores an older generation than `last_good_meta`
+        // described; re-snapshot the state actually restored.
+        self.last_good_meta = self.vm.meta_snapshot();
         // Drop the failed epoch's trace; recording stays on.
         let mark = self.vm.trace_mark();
         self.vm.trace_truncate_before(mark);
         self.epoch_start_mark = self.vm.trace_mark();
+        self.consecutive_extensions = 0;
         self.vm.vcpus_mut().resume_all();
         Ok(discarded)
     }
@@ -359,26 +602,36 @@ impl Crimes {
 mod tests {
     use super::*;
     use crate::modules::{BlacklistScanModule, CanaryScanModule, NoopScanModule};
+    use crimes_faults::{install, FaultPlan, SCALE};
     use crimes_outbuf::NetPacket;
     use crimes_outbuf::SafetyMode;
     use crimes_workloads::attacks;
 
     fn protected(interval_ms: u64) -> Crimes {
+        protected_with(interval_ms, |_| {})
+    }
+
+    fn protected_with(
+        interval_ms: u64,
+        tweak: impl FnOnce(&mut crate::config::CrimesConfigBuilder),
+    ) -> Crimes {
         let mut b = Vm::builder();
         b.pages(4096).seed(66);
         let vm = b.build();
         let mut cfg = CrimesConfig::builder();
         cfg.epoch_interval_ms(interval_ms);
-        Crimes::protect(vm, cfg.build()).expect("protect")
+        tweak(&mut cfg);
+        Crimes::protect(vm, cfg.build().expect("valid config")).expect("protect")
     }
 
     #[test]
     fn clean_epochs_commit_and_release_outputs() {
         let mut c = protected(50);
         c.register_module(Box::new(NoopScanModule::new()));
-        let pid = c.vm_mut().spawn_process("app", 0, 8).unwrap();
+        let pid = c.vm_mut().spawn_process("app", 0, 8).expect("spawn");
         assert!(c
             .submit_output(Output::Net(NetPacket::new(1, vec![1, 2, 3])))
+            .expect("within limits")
             .is_none());
         let outcome = c
             .run_epoch(|vm, ms| {
@@ -386,7 +639,7 @@ mod tests {
                 vm.advance_time(ms * 1_000_000);
                 Ok(())
             })
-            .unwrap();
+            .expect("clean epoch");
         let EpochOutcome::Committed {
             released,
             audit,
@@ -407,20 +660,21 @@ mod tests {
         let mut c = protected(50);
         let secret = c.vm().canary_secret();
         c.register_module(Box::new(CanaryScanModule::new(secret)));
-        let pid = c.vm_mut().spawn_process("victim", 0, 16).unwrap();
+        let pid = c.vm_mut().spawn_process("victim", 0, 16).expect("spawn");
 
         // Clean epoch so state is checkpointed post-spawn.
-        let outcome = c.run_epoch(|_vm, _| Ok(())).unwrap();
+        let outcome = c.run_epoch(|_vm, _| Ok(())).expect("clean epoch");
         assert!(outcome.is_committed());
 
         // Attack epoch: exfiltration attempt + overflow.
-        c.submit_output(Output::Net(NetPacket::new(9, b"loot".to_vec())));
+        c.submit_output(Output::Net(NetPacket::new(9, b"loot".to_vec())))
+            .expect("within limits");
         let outcome = c
             .run_epoch(|vm, _| {
                 attacks::inject_heap_overflow(vm, pid, 64, 16)?;
                 Ok(())
             })
-            .unwrap();
+            .expect("attack epoch completes the boundary");
         let EpochOutcome::AttackDetected { audit, .. } = outcome else {
             panic!("overflow must be detected");
         };
@@ -435,11 +689,11 @@ mod tests {
         ));
 
         // Investigate: full analysis with pinpoint.
-        let analysis = c.investigate().unwrap();
+        let analysis = c.investigate().expect("analysis");
         assert!(analysis.pinpoint.is_some());
 
         // Rollback: the loot packet is discarded, the VM is clean.
-        let discarded = c.rollback_and_resume().unwrap();
+        let discarded = c.rollback_and_resume().expect("rollback");
         assert_eq!(discarded, 1, "the exfiltration packet never escaped");
         assert!(!c.has_pending_incident());
         assert!(!c.vm().vcpus().all_paused());
@@ -450,7 +704,7 @@ mod tests {
         assert_eq!(c.vm().heap().allocations_of(pid).len(), 0);
 
         // The system keeps running clean epochs afterwards.
-        let outcome = c.run_epoch(|_vm, _| Ok(())).unwrap();
+        let outcome = c.run_epoch(|_vm, _| Ok(())).expect("clean epoch");
         assert!(outcome.is_committed());
     }
 
@@ -463,17 +717,17 @@ mod tests {
                 attacks::inject_malware_launch(vm, "xmrig")?;
                 Ok(())
             })
-            .unwrap();
+            .expect("attack epoch completes the boundary");
         assert!(!outcome.is_committed());
-        let analysis = c.investigate().unwrap();
+        let analysis = c.investigate().expect("analysis");
         assert!(analysis.pinpoint.is_none());
         assert!(analysis.report.to_text().contains("xmrig"));
-        c.rollback_and_resume().unwrap();
+        c.rollback_and_resume().expect("rollback");
         // The malware process is gone after rollback.
         use crimes_vmi::{linux, VmiSession};
-        let s = VmiSession::init(c.vm()).unwrap();
+        let s = VmiSession::init(c.vm()).expect("init");
         assert!(!linux::process_list(&s, c.vm().memory())
-            .unwrap()
+            .expect("process list")
             .iter()
             .any(|t| t.comm == "xmrig"));
     }
@@ -485,8 +739,10 @@ mod tests {
         let vm = b.build();
         let mut cfg = CrimesConfig::builder();
         cfg.epoch_interval_ms(20).safety(SafetyMode::BestEffort);
-        let mut c = Crimes::protect(vm, cfg.build()).unwrap();
-        let out = c.submit_output(Output::Net(NetPacket::new(1, vec![0])));
+        let mut c = Crimes::protect(vm, cfg.build().expect("valid config")).expect("protect");
+        let out = c
+            .submit_output(Output::Net(NetPacket::new(1, vec![0])))
+            .expect("best effort never overflows");
         assert!(out.is_some(), "best effort does not hold outputs");
     }
 
@@ -504,7 +760,7 @@ mod tests {
     fn multiple_clean_epochs_accumulate_stats() {
         let mut c = protected(20);
         c.register_module(Box::new(NoopScanModule::new()));
-        let pid = c.vm_mut().spawn_process("app", 0, 8).unwrap();
+        let pid = c.vm_mut().spawn_process("app", 0, 8).expect("spawn");
         for e in 0..5 {
             let outcome = c
                 .run_epoch(|vm, ms| {
@@ -512,19 +768,20 @@ mod tests {
                     vm.advance_time(ms * 1_000_000);
                     Ok(())
                 })
-                .unwrap();
+                .expect("clean epoch");
             assert!(outcome.is_committed());
         }
         assert_eq!(c.committed_epochs(), 5);
         assert_eq!(c.checkpointer().stats().epochs(), 5);
         assert_eq!(c.checkpointer().backup().epoch(), 5);
+        assert_eq!(c.robustness_stats(), RobustnessStats::default());
     }
 
     #[test]
     fn trace_is_truncated_at_commits() {
         let mut c = protected(20);
         c.register_module(Box::new(NoopScanModule::new()));
-        let pid = c.vm_mut().spawn_process("app", 0, 8).unwrap();
+        let pid = c.vm_mut().spawn_process("app", 0, 8).expect("spawn");
         for _ in 0..3 {
             c.run_epoch(|vm, _| {
                 for i in 0..100 {
@@ -532,9 +789,174 @@ mod tests {
                 }
                 Ok(())
             })
-            .unwrap();
+            .expect("clean epoch");
         }
         // Only the current (empty) epoch remains in the trace.
         assert!(c.vm().trace_since(crimes_vm::TraceMark(0)).is_empty());
+    }
+
+    #[test]
+    fn audit_overrun_extends_speculation_then_commits() {
+        let mut c = protected(50);
+        c.register_module(Box::new(NoopScanModule::new()));
+        let pid = c.vm_mut().spawn_process("app", 0, 8).expect("spawn");
+        c.submit_output(Output::Net(NetPacket::new(1, vec![7])))
+            .expect("within limits");
+
+        // Epoch under a guaranteed audit-deadline overrun: inconclusive.
+        let scope = install(
+            FaultPlan::disabled().with_rate(FaultPoint::AuditOverrun, SCALE),
+            7,
+        );
+        let outcome = c
+            .run_epoch(|vm, _| {
+                vm.dirty_arena_page(pid, 0, 0, 0xEE)?;
+                Ok(())
+            })
+            .expect("overrun extends, not errors");
+        drop(scope);
+        let EpochOutcome::Extended {
+            cause, consecutive, ..
+        } = outcome
+        else {
+            panic!("expected Extended, got {outcome:?}");
+        };
+        assert_eq!(consecutive, 1);
+        assert_eq!(cause, "audit overran its deadline");
+        // Fail closed: nothing escaped, nothing committed.
+        assert_eq!(c.buffer_stats().released, 0);
+        assert_eq!(c.committed_epochs(), 0);
+        assert!(!c.vm().vcpus().all_paused(), "speculation continues");
+
+        // Next epoch is conclusive: the extended window commits and the
+        // held output finally releases.
+        let outcome = c.run_epoch(|_vm, _| Ok(())).expect("clean epoch");
+        let EpochOutcome::Committed { released, report, .. } = outcome else {
+            panic!("expected commit after extension");
+        };
+        assert_eq!(released.len(), 1);
+        // The extended epoch's dirty page carried over into this commit.
+        assert!(report.dirty_pages >= 1);
+        let stats = c.robustness_stats();
+        assert_eq!(stats.speculation_extensions, 1);
+        assert_eq!(stats.quarantines, 0);
+    }
+
+    #[test]
+    fn persistent_vmi_faults_retry_then_extend_then_quarantine() {
+        let mut c = protected_with(50, |cfg| {
+            cfg.vmi_retries(2).max_consecutive_extensions(1);
+        });
+        c.register_module(Box::new(NoopScanModule::new()));
+        c.submit_output(Output::Net(NetPacket::new(3, b"held".to_vec())))
+            .expect("within limits");
+
+        let _scope = install(
+            FaultPlan::disabled().with_rate(FaultPoint::VmiRead, SCALE),
+            11,
+        );
+        // First inconclusive epoch: retried, then extended.
+        let outcome = c.run_epoch(|_vm, _| Ok(())).expect("first extension");
+        let EpochOutcome::Extended {
+            cause, consecutive, ..
+        } = outcome
+        else {
+            panic!("expected Extended, got {outcome:?}");
+        };
+        assert_eq!(consecutive, 1);
+        assert_eq!(cause, "transient VMI faults persisted through retries");
+        assert_eq!(c.robustness_stats().vmi_retries, 2);
+
+        // Second inconclusive epoch exceeds the limit: quarantine.
+        let err = c.run_epoch(|_vm, _| Ok(())).expect_err("quarantine");
+        assert!(matches!(err, CrimesError::Quarantined { .. }));
+        assert!(c.is_quarantined());
+        assert!(c.vm().vcpus().all_paused(), "quarantined VM is suspended");
+        // Outputs are impounded: never released, never discarded.
+        assert_eq!(c.buffer_stats().released, 0);
+        assert_eq!(c.buffer_stats().discarded, 0);
+        // Everything else now refuses to run.
+        assert!(matches!(
+            c.run_epoch(|_vm, _| Ok(())),
+            Err(CrimesError::Quarantined { .. })
+        ));
+        assert!(matches!(
+            c.submit_output(Output::Net(NetPacket::new(4, vec![0]))),
+            Err(CrimesError::Quarantined { .. })
+        ));
+        let stats = c.robustness_stats();
+        assert_eq!(stats.speculation_extensions, 2);
+        assert_eq!(stats.quarantines, 1);
+    }
+
+    #[test]
+    fn copy_exhaustion_rolls_back_and_resumes() {
+        let mut c = protected(50);
+        c.register_module(Box::new(NoopScanModule::new()));
+        let pid = c.vm_mut().spawn_process("app", 0, 8).expect("spawn");
+        let outcome = c.run_epoch(|_vm, _| Ok(())).expect("baseline commit");
+        assert!(outcome.is_committed());
+
+        c.submit_output(Output::Net(NetPacket::new(5, b"spec".to_vec())))
+            .expect("within limits");
+        let scope = install(
+            FaultPlan::disabled().with_rate(FaultPoint::PageCopy, SCALE),
+            13,
+        );
+        let err = c
+            .run_epoch(|vm, _| {
+                vm.dirty_arena_page(pid, 1, 0, 0xAB)?;
+                Ok(())
+            })
+            .expect_err("copy can never succeed");
+        drop(scope);
+        assert!(matches!(
+            err,
+            CrimesError::Exhausted {
+                what: "checkpoint copy",
+                ..
+            }
+        ));
+        // Fail closed: the speculation was discarded, nothing released.
+        assert_eq!(c.buffer_stats().released, 0);
+        assert_eq!(c.buffer_stats().discarded, 1);
+        // The VM auto-recovered: rolled back, resumed, not quarantined.
+        assert!(!c.is_quarantined());
+        assert!(!c.vm().vcpus().all_paused());
+        assert_eq!(c.robustness_stats().commit_failures, 1);
+
+        // And keeps committing clean epochs afterwards.
+        let outcome = c.run_epoch(|_vm, _| Ok(())).expect("clean epoch");
+        assert!(outcome.is_committed());
+    }
+
+    #[test]
+    fn bounded_buffer_applies_backpressure() {
+        let mut c = protected_with(50, |cfg| {
+            cfg.buffer_limits(1, usize::MAX);
+        });
+        assert!(c
+            .submit_output(Output::Net(NetPacket::new(1, vec![1])))
+            .expect("first fits")
+            .is_none());
+        let err = c
+            .submit_output(Output::Net(NetPacket::new(2, vec![2])))
+            .expect_err("second overflows");
+        assert_eq!(
+            err,
+            CrimesError::BufferOverflow {
+                held: 1,
+                held_bytes: 1
+            }
+        );
+        // The rejected output never entered the system.
+        assert_eq!(c.buffer_stats().rejected, 1);
+        // A committed epoch releases only the held output.
+        c.register_module(Box::new(NoopScanModule::new()));
+        let outcome = c.run_epoch(|_vm, _| Ok(())).expect("clean epoch");
+        let EpochOutcome::Committed { released, .. } = outcome else {
+            panic!("expected commit");
+        };
+        assert_eq!(released.len(), 1);
     }
 }

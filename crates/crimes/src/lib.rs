@@ -32,7 +32,7 @@
 //! let vm = builder.build();
 //! let mut config = CrimesConfig::builder();
 //! config.epoch_interval_ms(50);
-//! let mut crimes = Crimes::protect(vm, config.build())?;
+//! let mut crimes = Crimes::protect(vm, config.build()?)?;
 //! let secret = crimes.vm().canary_secret();
 //! crimes.register_module(Box::new(CanaryScanModule::new(secret)));
 //!
@@ -74,5 +74,5 @@ pub use detector::{
 };
 pub use error::CrimesError;
 pub use fleet::{Fleet, FleetEpochSummary, FleetStats};
-pub use framework::{Crimes, EpochOutcome};
+pub use framework::{Crimes, EpochOutcome, RobustnessStats};
 pub use replay::{AttackPinpoint, ReplayEngine};

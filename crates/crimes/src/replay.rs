@@ -55,7 +55,11 @@ impl ReplayEngine {
     /// # Errors
     ///
     /// Fails if the canary address cannot be translated or a replayed op
-    /// faults (which deterministic traces rule out).
+    /// faults (which deterministic traces rule out), or with
+    /// [`CrimesError::ReplayDiverged`] when the replayed execution departs
+    /// from the recorded trace (detected per-op; surfaced rather than
+    /// silently producing a wrong pinpoint — the analyzer degrades to a
+    /// no-pinpoint report).
     #[allow(clippy::too_many_arguments)]
     pub fn pinpoint_canary_attack(
         &self,
@@ -81,6 +85,14 @@ impl ReplayEngine {
         let mut armed = self.try_arm(&mut session, vm, pid, canary_gva, &monitor)?;
 
         for (idx, op) in ops.iter().enumerate() {
+            // Divergence check: the substrate's traces are deterministic,
+            // so divergence only arises from injected faults — but a real
+            // hypervisor's best-effort replay (paper §6) can diverge, and
+            // the caller must see that, not a bogus pinpoint.
+            if crimes_faults::should_inject(crimes_faults::FaultPoint::ReplayDiverge) {
+                monitor.disarm_all(vm);
+                return Err(CrimesError::ReplayDiverged { op_index: idx });
+            }
             vm.apply(op)?;
             if !armed {
                 armed = self.try_arm(&mut session, vm, pid, canary_gva, &monitor)?;
@@ -173,7 +185,7 @@ mod tests {
     fn attack_and_replay(noise_before: usize, noise_after: usize) -> (AttackPinpoint, usize) {
         let mut vm = vm();
         vm.set_recording(true);
-        let pid = vm.spawn_process("victim", 0, 32).unwrap();
+        let pid = vm.spawn_process("victim", 0, 32).expect("spawn");
         let frames = vm.memory().dump_frames();
         let disk = vm.disk().dump();
         let meta = vm.meta_snapshot();
@@ -181,11 +193,11 @@ mod tests {
 
         // Epoch: legitimate noise, then the attack, then more noise.
         for i in 0..noise_before {
-            vm.dirty_arena_page(pid, i % 8, i, 1).unwrap();
+            vm.dirty_arena_page(pid, i % 8, i, 1).expect("dirty");
         }
-        let rec = attacks::inject_heap_overflow(&mut vm, pid, 64, 16).unwrap();
+        let rec = attacks::inject_heap_overflow(&mut vm, pid, 64, 16).expect("attack");
         for i in 0..noise_after {
-            vm.dirty_arena_page(pid, 8 + i % 8, i, 2).unwrap();
+            vm.dirty_arena_page(pid, 8 + i % 8, i, 2).expect("dirty");
         }
         let crimes_workloads::AttackRecord::HeapOverflow { object, size, .. } = rec else {
             panic!("wrong record")
@@ -224,19 +236,19 @@ mod tests {
         let mut vm = vm();
         let secret = vm.canary_secret();
         vm.set_recording(true);
-        let pid = vm.spawn_process("victim", 0, 16).unwrap();
+        let pid = vm.spawn_process("victim", 0, 16).expect("spawn");
         // Allocate BEFORE the checkpoint so the canary exists at arm time.
-        let obj = vm.malloc(pid, 32).unwrap();
+        let obj = vm.malloc(pid, 32).expect("malloc");
         let frames = vm.memory().dump_frames();
         let disk = vm.disk().dump();
         let meta = vm.meta_snapshot();
         let mark = vm.trace_mark();
-        vm.write_user(pid, obj, &[0x42u8; 48], 0x1337).unwrap();
+        vm.write_user(pid, obj, &[0x42u8; 48], 0x1337).expect("write");
         let ops = vm.trace_since(mark);
         let pin = ReplayEngine::new()
             .pinpoint_canary_attack(&mut vm, &frames, &disk, &meta, &ops, pid, obj.add(32))
-            .unwrap()
-            .unwrap();
+            .expect("replay")
+            .expect("pinpoint");
         assert_eq!(pin.rip, 0x1337);
         assert_eq!(pin.canary_before, secret.to_vec());
         assert_eq!(pin.canary_after, vec![0x42u8; CANARY_LEN]);
@@ -246,17 +258,17 @@ mod tests {
     fn clean_epoch_replays_to_none() {
         let mut vm = vm();
         vm.set_recording(true);
-        let pid = vm.spawn_process("app", 0, 16).unwrap();
-        let obj = vm.malloc(pid, 32).unwrap();
+        let pid = vm.spawn_process("app", 0, 16).expect("spawn");
+        let obj = vm.malloc(pid, 32).expect("malloc");
         let frames = vm.memory().dump_frames();
         let disk = vm.disk().dump();
         let meta = vm.meta_snapshot();
         let mark = vm.trace_mark();
-        vm.write_user(pid, obj, &[1u8; 32], 0).unwrap(); // in bounds
+        vm.write_user(pid, obj, &[1u8; 32], 0).expect("write"); // in bounds
         let ops = vm.trace_since(mark);
         let pin = ReplayEngine::new()
             .pinpoint_canary_attack(&mut vm, &frames, &disk, &meta, &ops, pid, obj.add(32))
-            .unwrap();
+            .expect("replay");
         assert!(pin.is_none());
     }
 
@@ -264,12 +276,12 @@ mod tests {
     fn replayed_memory_matches_original_up_to_attack() {
         let mut vm = vm();
         vm.set_recording(true);
-        let pid = vm.spawn_process("victim", 0, 16).unwrap();
+        let pid = vm.spawn_process("victim", 0, 16).expect("spawn");
         let frames = vm.memory().dump_frames();
         let disk = vm.disk().dump();
         let meta = vm.meta_snapshot();
         let mark = vm.trace_mark();
-        let rec = attacks::inject_heap_overflow(&mut vm, pid, 16, 8).unwrap();
+        let rec = attacks::inject_heap_overflow(&mut vm, pid, 16, 8).expect("attack");
         let attacked = vm.memory().dump_frames();
         let crimes_workloads::AttackRecord::HeapOverflow { object, size, .. } = rec else {
             panic!()
@@ -277,11 +289,34 @@ mod tests {
         let ops = vm.trace_since(mark);
         ReplayEngine::new()
             .pinpoint_canary_attack(&mut vm, &frames, &disk, &meta, &ops, pid, object.add(size))
-            .unwrap()
-            .unwrap();
+            .expect("replay")
+            .expect("pinpoint");
         // The attack was the last op, so the replayed image equals the
         // attacked image.
         assert_eq!(vm.memory().dump_frames(), attacked);
+    }
+
+    #[test]
+    fn injected_divergence_surfaces_as_error() {
+        let mut vm = vm();
+        vm.set_recording(true);
+        let pid = vm.spawn_process("victim", 0, 16).expect("spawn");
+        let obj = vm.malloc(pid, 32).expect("malloc");
+        let frames = vm.memory().dump_frames();
+        let disk = vm.disk().dump();
+        let meta = vm.meta_snapshot();
+        let mark = vm.trace_mark();
+        vm.write_user(pid, obj, &[0x42u8; 48], 0x1337).expect("write");
+        let ops = vm.trace_since(mark);
+        let _scope = crimes_faults::install(
+            crimes_faults::FaultPlan::disabled()
+                .with_rate(crimes_faults::FaultPoint::ReplayDiverge, crimes_faults::SCALE),
+            5,
+        );
+        let err = ReplayEngine::new()
+            .pinpoint_canary_attack(&mut vm, &frames, &disk, &meta, &ops, pid, obj.add(32))
+            .expect_err("full-rate divergence");
+        assert_eq!(err, CrimesError::ReplayDiverged { op_index: 0 });
     }
 
     #[test]

@@ -9,7 +9,39 @@
 
 use std::collections::VecDeque;
 
+use crimes_faults::FaultPoint;
+
 use crate::output::Output;
+
+/// Why a submission was refused.
+///
+/// Deliberately *not* `#[non_exhaustive]`: callers convert these into
+/// their own error types and must be able to match exhaustively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferError {
+    /// The buffer is at capacity (or an injected overflow fired). The
+    /// output was **not** accepted and **not** released — fail closed; the
+    /// guest sees backpressure, never an unaudited escape.
+    Overflow {
+        /// Outputs held when the submission was refused.
+        held: usize,
+        /// Bytes held when the submission was refused.
+        held_bytes: usize,
+    },
+}
+
+impl std::fmt::Display for BufferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BufferError::Overflow { held, held_bytes } => write!(
+                f,
+                "output buffer overflow ({held} outputs / {held_bytes} bytes held)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BufferError {}
 
 /// The two safety modes CRIMES offers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,6 +82,11 @@ pub struct BufferStats {
     pub total_hold_ns: u64,
     /// Longest single hold, in nanoseconds.
     pub max_hold_ns: u64,
+    /// Submissions refused because the buffer was full (backpressure —
+    /// these outputs never entered the system).
+    pub rejected: u64,
+    /// Bytes refused.
+    pub rejected_bytes: u64,
 }
 
 impl BufferStats {
@@ -60,19 +97,39 @@ impl BufferStats {
 }
 
 /// The output buffer for one VM.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct OutputBuffer {
     mode: SafetyMode,
     held: VecDeque<(Output, u64)>,
+    held_bytes: usize,
+    max_held: usize,
+    max_held_bytes: usize,
     stats: BufferStats,
 }
 
+impl Default for OutputBuffer {
+    fn default() -> Self {
+        OutputBuffer::new(SafetyMode::default())
+    }
+}
+
 impl OutputBuffer {
-    /// Create a buffer in the given mode.
+    /// Create a buffer in the given mode, with unbounded capacity.
     pub fn new(mode: SafetyMode) -> Self {
+        OutputBuffer::with_limits(mode, usize::MAX, usize::MAX)
+    }
+
+    /// Create a buffer that refuses submissions once `max_held` outputs or
+    /// `max_held_bytes` bytes are pending — the real hypervisor's buffer
+    /// memory is finite, and a long speculation extension must hit
+    /// backpressure rather than unbounded growth.
+    pub fn with_limits(mode: SafetyMode, max_held: usize, max_held_bytes: usize) -> Self {
         OutputBuffer {
             mode,
             held: VecDeque::new(),
+            held_bytes: 0,
+            max_held,
+            max_held_bytes,
             stats: BufferStats::default(),
         }
     }
@@ -84,19 +141,37 @@ impl OutputBuffer {
 
     /// Submit an output at guest time `now_ns`.
     ///
-    /// Returns `Some(output)` when it leaves the system immediately
-    /// (Best Effort), `None` when it is held for the next release
+    /// Returns `Ok(Some(output))` when it leaves the system immediately
+    /// (Best Effort), `Ok(None)` when it is held for the next release
     /// (Synchronous).
-    pub fn submit(&mut self, output: Output, now_ns: u64) -> Option<Output> {
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::Overflow`] when accepting the output would exceed
+    /// the buffer's limits (or an injected overflow fires). The output is
+    /// neither held nor released.
+    pub fn submit(&mut self, output: Output, now_ns: u64) -> Result<Option<Output>, BufferError> {
         match self.mode {
             SafetyMode::BestEffort => {
                 self.stats.released += 1;
                 self.stats.released_bytes += output.len() as u64;
-                Some(output)
+                Ok(Some(output))
             }
             SafetyMode::Synchronous => {
+                let overflows = self.held.len() >= self.max_held
+                    || self.held_bytes.saturating_add(output.len()) > self.max_held_bytes
+                    || crimes_faults::should_inject(FaultPoint::OutbufOverflow);
+                if overflows {
+                    self.stats.rejected += 1;
+                    self.stats.rejected_bytes += output.len() as u64;
+                    return Err(BufferError::Overflow {
+                        held: self.held.len(),
+                        held_bytes: self.held_bytes,
+                    });
+                }
+                self.held_bytes += output.len();
                 self.held.push_back((output, now_ns));
-                None
+                Ok(None)
             }
         }
     }
@@ -105,6 +180,7 @@ impl OutputBuffer {
     /// `now_ns` is the release time used for hold-latency accounting.
     pub fn release(&mut self, now_ns: u64) -> Vec<Output> {
         let mut out = Vec::with_capacity(self.held.len());
+        self.held_bytes = 0;
         while let Some((o, enq)) = self.held.pop_front() {
             let hold = now_ns.saturating_sub(enq);
             self.stats.released += 1;
@@ -121,6 +197,7 @@ impl OutputBuffer {
     /// were prevented from escaping.
     pub fn discard(&mut self) -> usize {
         let n = self.held.len();
+        self.held_bytes = 0;
         for (o, _) in self.held.drain(..) {
             self.stats.discarded += 1;
             self.stats.discarded_bytes += o.len() as u64;
@@ -139,9 +216,10 @@ impl OutputBuffer {
         self.held.iter().map(|(o, _)| o)
     }
 
-    /// Bytes currently held.
+    /// Bytes currently held (cached; maintained across submit/release/
+    /// discard rather than recounted).
     pub fn held_bytes(&self) -> usize {
-        self.held.iter().map(|(o, _)| o.len()).sum()
+        self.held_bytes
     }
 
     /// Lifetime statistics.
@@ -162,8 +240,8 @@ mod tests {
     #[test]
     fn synchronous_holds_until_release() {
         let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
-        assert!(buf.submit(pkt(10), 100).is_none());
-        assert!(buf.submit(pkt(20), 200).is_none());
+        assert!(buf.submit(pkt(10), 100).expect("unbounded").is_none());
+        assert!(buf.submit(pkt(20), 200).expect("unbounded").is_none());
         assert_eq!(buf.held_count(), 2);
         assert_eq!(buf.held_bytes(), 30);
         let released = buf.release(1000);
@@ -179,8 +257,10 @@ mod tests {
     #[test]
     fn release_preserves_submission_order() {
         let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
-        buf.submit(Output::Disk(DiskWrite::new(1, vec![1])), 0);
-        buf.submit(Output::Disk(DiskWrite::new(2, vec![2])), 0);
+        buf.submit(Output::Disk(DiskWrite::new(1, vec![1])), 0)
+            .expect("unbounded");
+        buf.submit(Output::Disk(DiskWrite::new(2, vec![2])), 0)
+            .expect("unbounded");
         let out = buf.release(10);
         match (&out[0], &out[1]) {
             (Output::Disk(a), Output::Disk(b)) => {
@@ -194,7 +274,7 @@ mod tests {
     #[test]
     fn best_effort_passes_through_immediately() {
         let mut buf = OutputBuffer::new(SafetyMode::BestEffort);
-        let out = buf.submit(pkt(5), 42);
+        let out = buf.submit(pkt(5), 42).expect("best effort never overflows");
         assert!(out.is_some());
         assert_eq!(buf.held_count(), 0);
         assert_eq!(buf.stats().released, 1);
@@ -204,8 +284,8 @@ mod tests {
     #[test]
     fn discard_prevents_escape_and_counts() {
         let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
-        buf.submit(pkt(100), 0);
-        buf.submit(pkt(200), 0);
+        buf.submit(pkt(100), 0).expect("unbounded");
+        buf.submit(pkt(200), 0).expect("unbounded");
         assert_eq!(buf.discard(), 2);
         assert_eq!(buf.held_count(), 0);
         let stats = buf.stats();
@@ -227,9 +307,53 @@ mod tests {
     #[test]
     fn hold_time_saturates_on_clock_skew() {
         let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
-        buf.submit(pkt(1), 100);
+        buf.submit(pkt(1), 100).expect("unbounded");
         buf.release(50); // release "before" enqueue: clamp, don't underflow
         assert_eq!(buf.stats().max_hold_ns, 0);
+    }
+
+    #[test]
+    fn capacity_limits_reject_without_holding_or_releasing() {
+        let mut buf = OutputBuffer::with_limits(SafetyMode::Synchronous, 2, usize::MAX);
+        buf.submit(pkt(10), 0).expect("below limit");
+        buf.submit(pkt(10), 0).expect("at limit");
+        let err = buf.submit(pkt(10), 0).expect_err("over the count limit");
+        assert_eq!(
+            err,
+            BufferError::Overflow {
+                held: 2,
+                held_bytes: 20
+            }
+        );
+        assert_eq!(buf.held_count(), 2, "rejected output was not held");
+        assert_eq!(buf.stats().rejected, 1);
+        assert_eq!(buf.stats().rejected_bytes, 10);
+
+        let mut buf = OutputBuffer::with_limits(SafetyMode::Synchronous, usize::MAX, 25);
+        buf.submit(pkt(20), 0).expect("below byte limit");
+        assert!(buf.submit(pkt(10), 0).is_err(), "20 + 10 > 25");
+        assert_eq!(buf.held_bytes(), 20);
+        // Release drains and resets the byte accounting.
+        assert_eq!(buf.release(1).len(), 1);
+        assert_eq!(buf.held_bytes(), 0);
+        buf.submit(pkt(10), 2).expect("space again after release");
+    }
+
+    #[test]
+    fn injected_overflow_rejects_submission() {
+        let plan = crimes_faults::FaultPlan::disabled().with_rate(
+            crimes_faults::FaultPoint::OutbufOverflow,
+            crimes_faults::SCALE,
+        );
+        let _scope = crimes_faults::install(plan, 3);
+        let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
+        assert!(matches!(
+            buf.submit(pkt(1), 0),
+            Err(BufferError::Overflow { held: 0, .. })
+        ));
+        // Fail closed: nothing escaped, nothing held.
+        assert_eq!(buf.held_count(), 0);
+        assert_eq!(buf.stats().released, 0);
     }
 
     #[test]

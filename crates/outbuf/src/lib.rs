@@ -17,7 +17,8 @@
 //! use crimes_outbuf::{NetPacket, Output, OutputBuffer, SafetyMode};
 //!
 //! let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
-//! buf.submit(Output::Net(NetPacket::new(1, b"secret".as_slice())), 0);
+//! buf.submit(Output::Net(NetPacket::new(1, b"secret".as_slice())), 0)
+//!     .expect("unbounded buffer");
 //! // ... audit fails → rollback:
 //! assert_eq!(buf.discard(), 1); // the packet never escaped
 //! ```
@@ -32,6 +33,6 @@ pub mod scan;
 #[cfg(test)]
 mod proptests;
 
-pub use buffer::{BufferStats, OutputBuffer, SafetyMode};
+pub use buffer::{BufferError, BufferStats, OutputBuffer, SafetyMode};
 pub use output::{DiskWrite, NetPacket, Output};
 pub use scan::{OutputMatch, OutputScanner, OutputSignature};

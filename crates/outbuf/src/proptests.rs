@@ -52,12 +52,14 @@ fn outputs_are_conserved() {
                 Step::SubmitNet { len, at } => {
                     submitted += 1;
                     submitted_bytes += len as u64;
-                    buf.submit(Output::Net(NetPacket::new(1, vec![0u8; len as usize])), at as u64);
+                    buf.submit(Output::Net(NetPacket::new(1, vec![0u8; len as usize])), at as u64)
+                        .expect("unbounded buffer never overflows");
                 }
                 Step::SubmitDisk { len, at } => {
                     submitted += 1;
                     submitted_bytes += len as u64;
-                    buf.submit(Output::Disk(DiskWrite::new(0, vec![0u8; len as usize])), at as u64);
+                    buf.submit(Output::Disk(DiskWrite::new(0, vec![0u8; len as usize])), at as u64)
+                        .expect("unbounded buffer never overflows");
                 }
                 Step::Release { at } => {
                     buf.release(at as u64);
@@ -93,7 +95,8 @@ fn release_order_is_fifo() {
 
         let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
         for (i, len) in lens.iter().enumerate() {
-            buf.submit(Output::Net(NetPacket::new(i as u64, vec![0u8; *len as usize])), 0);
+            buf.submit(Output::Net(NetPacket::new(i as u64, vec![0u8; *len as usize])), 0)
+                .expect("unbounded buffer never overflows");
         }
         let out = buf.release(1);
         let ids: Vec<u64> = out

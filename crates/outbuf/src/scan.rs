@@ -165,8 +165,10 @@ mod tests {
     fn scan_buffer_sees_held_outputs_only() {
         let s = OutputScanner::with_default_signatures();
         let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
-        buf.submit(Output::Net(NetPacket::new(1, b"HKLM\\loot".to_vec())), 0);
-        buf.submit(Output::Net(NetPacket::new(2, b"benign".to_vec())), 0);
+        buf.submit(Output::Net(NetPacket::new(1, b"HKLM\\loot".to_vec())), 0)
+            .expect("unbounded");
+        buf.submit(Output::Net(NetPacket::new(2, b"benign".to_vec())), 0)
+            .expect("unbounded");
         let matches = s.scan_buffer(&buf);
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].output_index, 0);

@@ -23,6 +23,10 @@ pub enum VmiError {
     },
     /// No task with this pid is visible to introspection.
     NoSuchTask(u32),
+    /// A guest-memory read transiently failed (the mapping churned under
+    /// the reader, or an injected fault). Safe to retry: the guest is
+    /// paused during audits, so nothing is lost by asking again.
+    TransientReadFault,
 }
 
 impl std::fmt::Display for VmiError {
@@ -36,6 +40,7 @@ impl std::fmt::Display for VmiError {
                 write!(f, "{what} list did not terminate after {steps} steps")
             }
             VmiError::NoSuchTask(pid) => write!(f, "no task with pid {pid}"),
+            VmiError::TransientReadFault => write!(f, "transient VMI read fault (retryable)"),
         }
     }
 }
@@ -58,6 +63,7 @@ mod tests {
                 steps: 3,
             },
             VmiError::NoSuchTask(9),
+            VmiError::TransientReadFault,
         ] {
             assert!(!e.to_string().is_empty());
         }

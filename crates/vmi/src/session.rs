@@ -201,8 +201,13 @@ impl VmiSession {
     ///
     /// # Errors
     ///
-    /// Fails if the task list is malformed.
+    /// Fails if the task list is malformed, or with
+    /// [`VmiError::TransientReadFault`] when an injected read fault fires
+    /// (retry-safe — the guest is paused during audits).
     pub fn refresh_address_spaces(&mut self, mem: &GuestMemory) -> Result<(), VmiError> {
+        if crimes_faults::should_inject(crimes_faults::FaultPoint::VmiRead) {
+            return Err(VmiError::TransientReadFault);
+        }
         let init_task = self.hot_symbol(names::INIT_TASK)?;
         let mut spaces = HashMap::new();
         let init_gva = init_task.to_kernel_gva();

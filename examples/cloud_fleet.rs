@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let secret = vm.canary_secret();
         let mut cfg = CrimesConfig::builder();
         cfg.epoch_interval_ms(200);
-        let crimes = fleet.add_vm("analytics", vm, cfg.build())?;
+        let crimes = fleet.add_vm("analytics", vm, cfg.build()?)?;
         crimes.register_module(Box::new(CanaryScanModule::new(secret)));
         crimes.register_module(Box::new(BlacklistScanModule::bundled()));
     }
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let vm = b.build();
         let mut cfg = CrimesConfig::builder();
         cfg.epoch_interval_ms(20);
-        let crimes = fleet.add_vm("web-tier", vm, cfg.build())?;
+        let crimes = fleet.add_vm("web-tier", vm, cfg.build()?)?;
         crimes.register_module(Box::new(BlacklistScanModule::bundled()));
         crimes.register_module(Box::new(HiddenProcessModule::new()));
     }
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let vm = b.build();
         let mut cfg = CrimesConfig::builder();
         cfg.epoch_interval_ms(100).safety(SafetyMode::BestEffort);
-        let crimes = fleet.add_vm("batch", vm, cfg.build())?;
+        let crimes = fleet.add_vm("batch", vm, cfg.build()?)?;
         crimes.register_module(Box::new(BlacklistScanModule::bundled()));
     }
 

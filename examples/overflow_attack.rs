@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let secret = vm.canary_secret();
     let mut config = CrimesConfig::builder();
     config.epoch_interval_ms(50);
-    let mut crimes = Crimes::protect(vm, config.build())?;
+    let mut crimes = Crimes::protect(vm, config.build()?)?;
     crimes.register_module(Box::new(CanaryScanModule::new(secret)));
 
     let swaptions = profile("swaptions").expect("bundled profile");

@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    until each audit passes), full checkpoint optimisations.
     let mut config = CrimesConfig::builder();
     config.epoch_interval_ms(50);
-    let mut crimes = Crimes::protect(vm, config.build())?;
+    let mut crimes = Crimes::protect(vm, config.build()?)?;
     crimes.register_module(Box::new(CanaryScanModule::new(canary_secret)));
     crimes.register_module(Box::new(BlacklistScanModule::bundled()));
     crimes.register_module(Box::new(NoopScanModule::new()));
@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Run a guest application through a few clean epochs.
     let pid = crimes.vm_mut().spawn_process("webapp", 1000, 64)?;
     for epoch in 0..3 {
-        crimes.submit_output(Output::Net(NetPacket::new(1, format!("response {epoch}"))));
+        crimes.submit_output(Output::Net(NetPacket::new(1, format!("response {epoch}"))))?;
         let outcome = crimes.run_epoch(|vm, ms| {
             let buf = vm.malloc(pid, 256)?;
             vm.write_user(pid, buf, b"legitimate work", 0x40_1000)?;

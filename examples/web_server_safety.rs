@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let vm = builder.build();
         let mut config = CrimesConfig::builder();
         config.epoch_interval_ms(20).safety(safety);
-        let mut crimes = Crimes::protect(vm, config.build())?;
+        let mut crimes = Crimes::protect(vm, config.build()?)?;
         crimes.register_module(Box::new(BlacklistScanModule::bundled()));
 
         // The malware starts and immediately tries to exfiltrate.
@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .submit_output(Output::Net(NetPacket::new(
                 66,
                 b"stolen registry data".to_vec(),
-            )))
+            )))?
             .is_some()
         {
             escaped += 1;

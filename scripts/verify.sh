@@ -22,6 +22,17 @@ cargo build --release --offline --workspace
 echo "==> tier-1: test suite"
 cargo test -q --offline --workspace
 
+echo "==> fault soak (seeded, release, bounded epochs)"
+CRIMES_FAULT_SEED="${CRIMES_FAULT_SEED:-1592654353}" \
+CRIMES_SOAK_EPOCHS="${CRIMES_SOAK_EPOCHS:-2000}" \
+    cargo test --release --offline -q --test fault_soak
+
+echo "==> fail-closed modules stay unwrap-free"
+if grep -n 'unwrap()' crates/crimes/src/framework.rs crates/checkpoint/src/engine.rs; then
+    echo "error: unwrap() landed in a fail-closed module; use typed errors (or expect in tests)" >&2
+    exit 1
+fi
+
 echo "==> benches compile (in-tree harness, no criterion)"
 cargo bench --no-run --offline
 

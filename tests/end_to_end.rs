@@ -23,7 +23,7 @@ fn guest(seed: u64) -> Vm {
 fn protected(seed: u64, interval_ms: u64) -> Crimes {
     let mut cfg = CrimesConfig::builder();
     cfg.epoch_interval_ms(interval_ms);
-    Crimes::protect(guest(seed), cfg.build()).expect("protect")
+    Crimes::protect(guest(seed), cfg.build().expect("valid config")).expect("protect")
 }
 
 #[test]
@@ -60,12 +60,14 @@ fn zero_window_of_vulnerability_for_exfiltration() {
 
     assert!(c
         .submit_output(Output::Net(NetPacket::new(7, b"secrets".to_vec())))
+        .expect("within limits")
         .is_none());
     assert!(c
         .submit_output(Output::Disk(DiskWrite::new(
             3,
             b"persisted backdoor".to_vec()
         )))
+        .expect("within limits")
         .is_none());
     let outcome = c
         .run_epoch(|vm, _| {
@@ -220,12 +222,13 @@ fn clean_workload_commits_indefinitely_with_all_modules() {
 fn best_effort_detects_but_does_not_hold() {
     let mut cfg = CrimesConfig::builder();
     cfg.epoch_interval_ms(20).safety(SafetyMode::BestEffort);
-    let mut c = Crimes::protect(guest(6), cfg.build()).unwrap();
+    let mut c = Crimes::protect(guest(6), cfg.build().expect("valid config")).expect("protect");
     c.register_module(Box::new(BlacklistScanModule::bundled()));
 
     // Output passes through immediately…
     assert!(c
         .submit_output(Output::Net(NetPacket::new(1, vec![1])))
+        .expect("best effort never overflows")
         .is_some());
     // …but the attack is still detected at the boundary.
     let outcome = c
@@ -331,7 +334,8 @@ fn output_scanner_catches_exfiltration_before_release() {
     c.set_output_scanner(OutputScanner::with_default_signatures());
 
     // Clean traffic releases fine.
-    c.submit_output(Output::Net(NetPacket::new(1, b"HTTP/1.1 200 OK".to_vec())));
+    c.submit_output(Output::Net(NetPacket::new(1, b"HTTP/1.1 200 OK".to_vec())))
+        .expect("within limits");
     let outcome = c.run_epoch(|_, _| Ok(())).unwrap();
     let EpochOutcome::Committed { released, .. } = outcome else {
         panic!("clean traffic must commit");
@@ -342,7 +346,8 @@ fn output_scanner_catches_exfiltration_before_release() {
     c.submit_output(Output::Net(NetPacket::new(
         2,
         b"POST /collect HKLM\\SAM hashdump".to_vec(),
-    )));
+    )))
+    .expect("within limits");
     let outcome = c.run_epoch(|_, _| Ok(())).unwrap();
     let EpochOutcome::AttackDetected { audit, .. } = outcome else {
         panic!("exfiltration must be detected");

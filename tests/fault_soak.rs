@@ -1,0 +1,312 @@
+//! Fault soak: thousands of epochs under a seeded fault plan, asserting
+//! the fail-closed invariants hold no matter what the injector throws at
+//! the pipeline:
+//!
+//! * **No output escapes an unaudited epoch.** Outputs only ever leave
+//!   through [`EpochOutcome::Committed`], and an epoch whose guest was
+//!   attacked must never commit — extensions, copy failures, and
+//!   quarantines all keep the speculation contained.
+//! * **The VM is always recoverable to checksum-verified state.** Every
+//!   rollback (incident response or failed commit) lands on a backup
+//!   image that passes [`verify_backup`], bit-identical to the guest.
+//! * **Quarantine is terminal and impounds.** A quarantined tenant
+//!   rejects all further work; its held outputs are neither released nor
+//!   discarded.
+//!
+//! The run is deterministic: `CRIMES_FAULT_SEED` seeds both the fault
+//! injector and the driver's attack schedule, so a failure replays
+//! bit-exactly. `CRIMES_SOAK_EPOCHS` scales the length (default 2,000).
+//! At the end the injector's counters must show every named fault point
+//! fired at least once — otherwise the soak proved nothing about the
+//! paths it claims to cover.
+//!
+//! [`verify_backup`]: crimes_checkpoint::Checkpointer::verify_backup
+
+use crimes::modules::{CanaryScanModule, HiddenProcessModule};
+use crimes::{Crimes, CrimesConfig, CrimesError, EpochOutcome};
+use crimes_faults::{install, FaultPlan, FaultPoint};
+use crimes_outbuf::{NetPacket, Output};
+use crimes_rng::ChaCha8Rng;
+use crimes_vm::Vm;
+use crimes_workloads::attacks;
+
+const DEFAULT_SEED: u64 = 0x5eed_fa11;
+const DEFAULT_EPOCHS: u64 = 2_000;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Rates in parts per 1024, tuned so every point fires many times over
+/// 2,000 epochs while most epochs still commit.
+fn soak_plan() -> FaultPlan {
+    FaultPlan::disabled()
+        .with_rate(FaultPoint::VmiRead, 30)
+        .with_rate(FaultPoint::PageCopy, 20)
+        .with_rate(FaultPoint::BackupWrite, 20)
+        .with_rate(FaultPoint::PageCorrupt, 10)
+        .with_rate(FaultPoint::AuditOverrun, 25)
+        .with_rate(FaultPoint::ReplayDiverge, 200)
+        .with_rate(FaultPoint::OutbufOverflow, 20)
+}
+
+/// A protected tenant plus its victim process. Admission itself runs
+/// introspection, so under the armed plan it may need a few tries.
+fn tenant(seed: u64) -> (Crimes, u32) {
+    let mut cfg = CrimesConfig::builder();
+    cfg.epoch_interval_ms(10);
+    cfg.history_depth(3);
+    cfg.retain_history_images(true);
+    let cfg = cfg.build().expect("valid config");
+    let mut c = loop {
+        let mut b = Vm::builder();
+        b.pages(1024).seed(seed);
+        let vm = b.build();
+        match Crimes::protect(vm, cfg.clone()) {
+            Ok(c) => break c,
+            Err(CrimesError::Vmi(crimes_vmi::VmiError::TransientReadFault)) => continue,
+            Err(e) => panic!("protect failed hard: {e}"),
+        }
+    };
+    let secret = c.vm().canary_secret();
+    c.register_module(Box::new(CanaryScanModule::new(secret)));
+    c.register_module(Box::new(HiddenProcessModule::new()));
+    let pid = c
+        .vm_mut()
+        .spawn_process("workload", 700, 16)
+        .expect("spawn victim");
+    (c, pid)
+}
+
+/// Replace a dead/quarantined tenant with a fresh one whose spawned
+/// process has been made durable by a committed warm-up epoch. The fault
+/// plan stays armed, so warm-up itself may need several tries.
+fn replacement_tenant(generation: &mut u64) -> (Crimes, u32) {
+    loop {
+        *generation += 1;
+        let (mut c, pid) = tenant(900 + *generation);
+        let mut warmed = false;
+        for _ in 0..8 {
+            match c.run_epoch(|vm, ms| {
+                vm.advance_time(ms * 1_000_000);
+                Ok(())
+            }) {
+                Ok(EpochOutcome::Committed { .. }) => {
+                    warmed = true;
+                    break;
+                }
+                Ok(_) => continue,                // extension: try again
+                Err(CrimesError::Exhausted { .. }) => continue, // rolled back, retry
+                Err(_) => break,                  // quarantined: new tenant
+            }
+        }
+        if warmed {
+            return (c, pid);
+        }
+    }
+}
+
+/// After any rollback the guest must sit on checksum-verified state,
+/// bit-identical to the backup image it was restored from.
+fn assert_recovered(c: &Crimes, epoch: u64) {
+    c.checkpointer()
+        .verify_backup()
+        .expect("restored backup must be checksum-verified");
+    assert!(
+        c.vm().memory().dump_frames().as_slice() == c.checkpointer().backup().frames(),
+        "epoch {epoch}: guest memory must match the verified backup after rollback"
+    );
+    assert!(
+        c.vm().disk().dump().as_slice() == c.checkpointer().backup().disk(),
+        "epoch {epoch}: guest disk must match the verified backup after rollback"
+    );
+}
+
+#[test]
+fn soak_fail_closed_under_injected_faults() {
+    let seed = env_u64("CRIMES_FAULT_SEED", DEFAULT_SEED);
+    let epochs = env_u64("CRIMES_SOAK_EPOCHS", DEFAULT_EPOCHS);
+    let _scope = install(soak_plan(), seed);
+    let mut driver = ChaCha8Rng::seed_from_u64(seed ^ 0xd21_4e55);
+
+    let mut generation = 0u64;
+    let (mut c, mut pid) = replacement_tenant(&mut generation);
+
+    let mut attack_pending = false;
+    let mut committed = 0u64;
+    let mut extended = 0u64;
+    let mut attacks_launched = 0u64;
+    let mut attacks_detected = 0u64;
+    let mut degraded_analyses = 0u64;
+    let mut commit_failures = 0u64;
+    let mut quarantines = 0u64;
+    let mut overflows = 0u64;
+    let mut released_total = 0u64;
+    let mut discarded_total = 0u64;
+
+    for epoch in 0..epochs {
+        // Offer an output most epochs; backpressure (real or injected) is
+        // a clean rejection, never a silent drop into the world.
+        if driver.gen_range(0..4) != 0 {
+            match c.submit_output(Output::Net(NetPacket::new(epoch, vec![epoch as u8; 24]))) {
+                Ok(None) => {}
+                Ok(Some(_)) => panic!("epoch {epoch}: synchronous mode released at submit"),
+                Err(CrimesError::BufferOverflow { .. }) => overflows += 1,
+                Err(e) => panic!("epoch {epoch}: unexpected submit error: {e}"),
+            }
+        }
+
+        let attack = !attack_pending && driver.gen_range(0..100) < 5;
+        if attack {
+            attacks_launched += 1;
+        }
+        let result = c.run_epoch(|vm, ms| {
+            let obj = vm.malloc(pid, 48)?;
+            vm.write_user(pid, obj, &[epoch as u8; 48], 0x1000)?;
+            vm.free(pid, obj)?;
+            vm.write_disk(epoch % 16, &[epoch as u8; 32])?;
+            if attack {
+                attacks::inject_heap_overflow(vm, pid, 32, 8)?;
+            }
+            vm.advance_time(ms * 1_000_000);
+            Ok(())
+        });
+        if attack {
+            attack_pending = true;
+        }
+
+        match result {
+            Ok(EpochOutcome::Committed { released, .. }) => {
+                assert!(
+                    !attack_pending,
+                    "epoch {epoch}: an epoch with a trampled canary must never commit"
+                );
+                committed += 1;
+                released_total += released.len() as u64;
+            }
+            Ok(EpochOutcome::AttackDetected { audit, .. }) => {
+                assert!(
+                    attack_pending,
+                    "epoch {epoch}: detection fired without an injected attack"
+                );
+                assert!(!audit.findings.is_empty(), "a detection carries evidence");
+                attacks_detected += 1;
+                // Forensics is best-effort under faults: it may degrade
+                // (no pinpoint) or fail outright on persistent transient
+                // reads — but it must never block containment below.
+                match c.investigate() {
+                    Ok(analysis) => {
+                        if analysis.replay_degraded.is_some() {
+                            degraded_analyses += 1;
+                        }
+                    }
+                    Err(CrimesError::Vmi(crimes_vmi::VmiError::TransientReadFault)) => {
+                        degraded_analyses += 1;
+                    }
+                    Err(e) => panic!("epoch {epoch}: investigation failed hard: {e}"),
+                }
+                match c.rollback_and_resume() {
+                    Ok(discarded) => {
+                        discarded_total += discarded as u64;
+                        assert_recovered(&c, epoch);
+                        attack_pending = false;
+                    }
+                    Err(CrimesError::Quarantined { .. }) => {
+                        quarantines += 1;
+                        assert_impounded(&mut c, epoch);
+                        (c, pid) = replacement_tenant(&mut generation);
+                        attack_pending = false;
+                    }
+                    Err(e) => panic!("epoch {epoch}: rollback failed: {e}"),
+                }
+            }
+            Ok(EpochOutcome::Extended { consecutive, .. }) => {
+                // Fail closed without failing the guest: nothing released,
+                // speculation (and the attack, if any) stays contained.
+                assert!(consecutive >= 1);
+                extended += 1;
+            }
+            Err(CrimesError::Exhausted { .. }) => {
+                // Copy retries exhausted: the framework already discarded
+                // the speculation and rolled back to verified state.
+                assert!(
+                    !attack_pending,
+                    "epoch {epoch}: an attacked epoch fails its audit before any copy runs"
+                );
+                assert!(!c.is_quarantined());
+                commit_failures += 1;
+                assert_recovered(&c, epoch);
+            }
+            Err(CrimesError::Quarantined { .. }) => {
+                quarantines += 1;
+                assert_impounded(&mut c, epoch);
+                (c, pid) = replacement_tenant(&mut generation);
+                attack_pending = false;
+            }
+            Err(e) => panic!("epoch {epoch}: unexpected epoch error: {e}"),
+        }
+    }
+
+    let stats = c.robustness_stats();
+    let counters = crimes_faults::counters();
+    println!(
+        "soak: {epochs} epochs (committed {committed}, extended {extended}), \
+         {attacks_detected}/{attacks_launched} attacks detected, \
+         {degraded_analyses} degraded analyses, {commit_failures} commit failures, \
+         {quarantines} quarantines, {} tenant generations; \
+         released {released_total}, discarded {discarded_total}, rejected {overflows}; \
+         injected {} faults; live tenant: {} vmi retries, {} fallback rollbacks",
+        generation,
+        counters.total_hits(),
+        stats.vmi_retries,
+        stats.fallback_rollbacks,
+    );
+
+    assert_eq!(
+        attacks_detected, attacks_launched,
+        "every injected attack must be caught at a boundary"
+    );
+    assert!(committed > epochs / 2, "most epochs should still commit");
+    assert!(
+        extended > 0,
+        "the plan's overrun/VMI rates must exercise speculation extension"
+    );
+    assert!(
+        counters.all_points_hit(),
+        "every fault point must fire at least once; hits per point: {:?}",
+        FaultPoint::ALL
+            .iter()
+            .map(|&p| (p.name(), counters.hits(p)))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Quarantine invariants: the tenant is terminal and its outputs are
+/// impounded — rejected work, nothing released, nothing discarded.
+fn assert_impounded(c: &mut Crimes, epoch: u64) {
+    assert!(c.is_quarantined(), "epoch {epoch}: quarantine must latch");
+    let before = c.buffer_stats();
+    assert!(
+        matches!(
+            c.submit_output(Output::Net(NetPacket::new(0, vec![0]))),
+            Err(CrimesError::Quarantined { .. })
+        ),
+        "epoch {epoch}: a quarantined VM must reject outputs"
+    );
+    assert!(
+        matches!(
+            c.run_epoch(|_vm, _ms| Ok(())),
+            Err(CrimesError::Quarantined { .. })
+        ),
+        "epoch {epoch}: a quarantined VM must reject epochs"
+    );
+    let after = c.buffer_stats();
+    assert_eq!(
+        (before.released, before.discarded),
+        (after.released, after.discarded),
+        "epoch {epoch}: impounded outputs are neither released nor discarded"
+    );
+}

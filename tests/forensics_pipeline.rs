@@ -20,7 +20,7 @@ fn guest(seed: u64) -> Vm {
 fn protected(seed: u64) -> Crimes {
     let mut cfg = CrimesConfig::builder();
     cfg.epoch_interval_ms(50);
-    Crimes::protect(guest(seed), cfg.build()).expect("protect")
+    Crimes::protect(guest(seed), cfg.build().expect("valid config")).expect("protect")
 }
 
 #[test]
@@ -200,7 +200,7 @@ fn checkpoint_history_supports_timeline_bisection() {
     cfg.epoch_interval_ms(20)
         .history_depth(8)
         .retain_history_images(true);
-    let mut c = Crimes::protect(guest(40), cfg.build()).unwrap();
+    let mut c = Crimes::protect(guest(40), cfg.build().expect("valid config")).expect("protect");
 
     for epoch in 0..6u64 {
         let outcome = c

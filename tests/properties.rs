@@ -261,7 +261,8 @@ fn assert_backup_tracks_primary_exactly(actions: &[Action], opt_idx: usize) {
         for a in chunk {
             driver.apply(&mut vm, a);
         }
-        cp.run_epoch(&mut vm, &mut |_, _| AuditVerdict::Pass);
+        cp.run_epoch(&mut vm, &mut |_, _| AuditVerdict::Pass)
+            .expect("no faults armed");
         let primary = vm.memory().dump_frames();
         assert_eq!(cp.backup().frames(), primary.as_slice());
         let disk = vm.disk().dump();

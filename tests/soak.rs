@@ -35,7 +35,7 @@ fn fleet_survives_a_long_adversarial_run() {
         let mut cfg = CrimesConfig::builder();
         cfg.epoch_interval_ms(20);
         let crimes = fleet
-            .add_vm(&format!("tenant-{i}"), vm, cfg.build())
+            .add_vm(&format!("tenant-{i}"), vm, cfg.build().expect("valid config"))
             .unwrap();
         crimes.register_module(Box::new(CanaryScanModule::new(secret)));
         crimes.register_module(Box::new(BlacklistScanModule::bundled()));

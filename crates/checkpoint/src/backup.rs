@@ -62,6 +62,7 @@ impl BackupVm {
     /// # Panics
     ///
     /// Panics if `mfn` is out of range or `data` is not one page.
+    // lint: pause-window
     pub fn store_frame(&mut self, mfn: Mfn, data: &[u8]) {
         assert_eq!(data.len(), PAGE_SIZE, "backup frames are page sized");
         let base = self.offset(mfn);
@@ -80,6 +81,7 @@ impl BackupVm {
     }
 
     /// Record the vCPU state captured at suspend time.
+    // lint: pause-window
     pub fn save_vcpus(&mut self, vcpus: &VcpuSet) {
         self.vcpus = vcpus.clone();
     }
@@ -114,6 +116,20 @@ impl BackupVm {
     /// The backup disk image (§3.1's disk-snapshot extension).
     pub fn disk(&self) -> &[u8] {
         &self.disk
+    }
+
+    /// One sector of the backup disk image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sector` is out of range.
+    pub fn sector(&self, sector: u64) -> &[u8] {
+        let base = sector as usize * SECTOR_SIZE;
+        assert!(
+            base + SECTOR_SIZE <= self.disk.len(),
+            "sector {sector} out of range for backup disk"
+        );
+        &self.disk[base..base + SECTOR_SIZE]
     }
 
     /// Apply one committed sector to the backup disk.

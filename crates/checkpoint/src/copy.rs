@@ -80,6 +80,7 @@ impl SocketCopier {
     /// ([`CheckpointError::BackupWriteFault`]). Both are transient: the
     /// guest stays paused, so a retry re-copies the same dirty set and
     /// overwrites any partial state.
+    // lint: pause-window
     pub fn copy_epoch(
         &mut self,
         vm: &Vm,
@@ -106,7 +107,10 @@ impl SocketCopier {
                     .extend_from_slice(&(PAGE_SIZE as u32).to_le_bytes());
                 let start = self.stream.len();
                 self.stream.extend_from_slice(page);
-                encrypt_in_place(&mut self.stream[start..], self.key, pfn.0);
+                // `start` was the stream length a moment ago, so the split
+                // point is always in range.
+                let (_, fresh) = self.stream.split_at_mut(start);
+                encrypt_in_place(fresh, self.key, pfn.0);
             }
             // One writev per batch.
             self.syscall_model.call();
@@ -114,22 +118,26 @@ impl SocketCopier {
         }
 
         // --- receiver side ("Restore" process): read + decrypt + store --
+        //
+        // The cursor is fully bounds-checked: a truncated or misframed
+        // stream surfaces as a transient `CopyFault` (the guest is still
+        // paused, so a retry rebuilds the stream) instead of a panic.
+        let framing = || CheckpointError::CopyFault { strategy: "socket" };
         let mut off = 0usize;
         while off < self.stream.len() {
-            let pfn = u64::from_le_bytes(self.stream[off..off + 8].try_into().expect("header"));
-            let mfn =
-                u64::from_le_bytes(self.stream[off + 8..off + 16].try_into().expect("header"));
-            let len =
-                u32::from_le_bytes(self.stream[off + 16..off + 20].try_into().expect("header"))
-                    as usize;
+            let (pfn, mfn, len) = read_header(&self.stream, off).ok_or_else(framing)?;
             off += HEADER_LEN;
             if fail_after == Some(stats.pages) {
                 return Err(CheckpointError::BackupWriteFault {
                     pages_written: stats.pages,
                 });
             }
+            let payload = self.stream.get(off..off + len).ok_or_else(framing)?;
             let dst = backup.frame_mut(Mfn(mfn));
-            dst.copy_from_slice(&self.stream[off..off + len]);
+            if dst.len() != len {
+                return Err(framing());
+            }
+            dst.copy_from_slice(payload);
             decrypt_in_place(dst, self.key, pfn);
             off += len;
             stats.pages += 1;
@@ -142,6 +150,20 @@ impl SocketCopier {
         }
         Ok(stats)
     }
+}
+
+/// One decoded `(pfn, mfn, len)` page header at `off` in the socket
+/// stream, or `None` when the stream is truncated or misframed.
+fn read_header(stream: &[u8], off: usize) -> Option<(u64, u64, usize)> {
+    let rec = stream.get(off..off + HEADER_LEN)?;
+    let (pfn, rest) = rec.split_first_chunk::<8>()?;
+    let (mfn, rest) = rest.split_first_chunk::<8>()?;
+    let (len, _) = rest.split_first_chunk::<4>()?;
+    Some((
+        u64::from_le_bytes(*pfn),
+        u64::from_le_bytes(*mfn),
+        u32::from_le_bytes(*len) as usize,
+    ))
 }
 
 /// The CRIMES direct-copy path.
@@ -157,6 +179,7 @@ impl MemcpyCopier {
     /// ([`CheckpointError::CopyFault`]) or after a partial write
     /// ([`CheckpointError::BackupWriteFault`]); see
     /// [`SocketCopier::copy_epoch`] for the retry contract.
+    // lint: pause-window
     pub fn copy_epoch(
         &self,
         vm: &Vm,

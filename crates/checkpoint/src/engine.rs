@@ -308,7 +308,9 @@ impl Checkpointer {
             let at = crimes_faults::draw_below(self.backup.size_bytes() as u64) as usize;
             let bit = 1u8 << crimes_faults::draw_below(8);
             let mfn = crimes_vm::Mfn((at / crimes_vm::PAGE_SIZE) as u64);
-            self.backup.frame_mut(mfn)[at % crimes_vm::PAGE_SIZE] ^= bit;
+            if let Some(byte) = self.backup.frame_mut(mfn).get_mut(at % crimes_vm::PAGE_SIZE) {
+                *byte ^= bit;
+            }
         }
 
         // --- suspend: pause vCPUs, save their state, grab the dirty log --
@@ -439,11 +441,7 @@ impl Checkpointer {
             integrity.update_page(mfn.0 as usize, backup.frame(mfn));
         }
         for sector in dirty_sectors.iter() {
-            let start = sector.0 as usize * crimes_vm::SECTOR_SIZE;
-            integrity.update_sector(
-                sector.0 as usize,
-                &backup.disk()[start..start + crimes_vm::SECTOR_SIZE],
-            );
+            integrity.update_sector(sector.0 as usize, backup.sector(sector.0));
         }
 
         self.backup.commit_epoch();
@@ -534,18 +532,21 @@ impl Checkpointer {
                 })
             }
             Err(CheckpointError::Corrupt { bad_chunks, .. }) => {
-                let (epoch, frames, disk, rec_meta) = match self.verified_fallback() {
-                    Some(rec) => (
-                        rec.epoch,
-                        Arc::clone(rec.frames.as_ref().expect("verified record has frames")),
-                        Arc::clone(rec.disk.as_ref().expect("verified record has disk")),
-                        rec.meta.clone().expect("verified record has meta"),
-                    ),
-                    None => {
-                        return Err(CheckpointError::NoVerifiedCheckpoint {
-                            newest_epoch: self.backup.epoch(),
-                        })
+                // A record only verifies when all three retained components
+                // are present, so destructure them in one place: a record
+                // missing any of them simply cannot be the fallback.
+                let fallback = self.verified_fallback().and_then(|rec| {
+                    match (&rec.frames, &rec.disk, &rec.meta) {
+                        (Some(f), Some(d), Some(m)) => {
+                            Some((rec.epoch, Arc::clone(f), Arc::clone(d), m.clone()))
+                        }
+                        _ => None,
                     }
+                });
+                let Some((epoch, frames, disk, rec_meta)) = fallback else {
+                    return Err(CheckpointError::NoVerifiedCheckpoint {
+                        newest_epoch: self.backup.epoch(),
+                    });
                 };
                 vm.restore_with_frames(&frames, &rec_meta);
                 self.backup.overwrite_image(&frames, &disk);

@@ -41,15 +41,15 @@ const SECTOR_DOMAIN: u64 = 0x8000_0000_0000_0000;
 /// trailing-zero tail cannot collide with a shorter chunk).
 pub fn chunk_digest(tag: u64, bytes: &[u8]) -> u64 {
     let mut h = FNV_OFFSET ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    let mut chunks = bytes.chunks_exact(8);
-    for w in chunks.by_ref() {
-        let word = u64::from_le_bytes([w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7]]);
-        h = (h ^ word).wrapping_mul(FNV_PRIME);
+    let (words, tail) = bytes.as_chunks::<8>();
+    for w in words {
+        h = (h ^ u64::from_le_bytes(*w)).wrapping_mul(FNV_PRIME);
     }
-    let tail = chunks.remainder();
     if !tail.is_empty() {
         let mut word = [0u8; 8];
-        word[..tail.len()].copy_from_slice(tail);
+        for (dst, src) in word.iter_mut().zip(tail) {
+            *dst = *src;
+        }
         h = (h ^ u64::from_le_bytes(word)).wrapping_mul(FNV_PRIME);
     }
     (h ^ bytes.len() as u64).wrapping_mul(FNV_PRIME)
@@ -102,7 +102,7 @@ impl ImageDigest {
     pub fn update_page(&mut self, index: usize, bytes: &[u8]) {
         assert_eq!(bytes.len(), PAGE_SIZE, "whole pages only");
         let new = chunk_digest(index as u64, bytes);
-        self.combined ^= self.pages[index] ^ new;
+        self.combined ^= self.pages[index] ^ new; // lint: allow(panic-freedom) -- in-range is the documented `# Panics` contract
         self.pages[index] = new;
     }
 
@@ -114,7 +114,7 @@ impl ImageDigest {
     pub fn update_sector(&mut self, index: usize, bytes: &[u8]) {
         assert_eq!(bytes.len(), SECTOR_SIZE, "whole sectors only");
         let new = chunk_digest(SECTOR_DOMAIN | index as u64, bytes);
-        self.combined ^= self.sectors[index] ^ new;
+        self.combined ^= self.sectors[index] ^ new; // lint: allow(panic-freedom) -- in-range is the documented `# Panics` contract
         self.sectors[index] = new;
     }
 
@@ -123,14 +123,28 @@ impl ImageDigest {
     /// chunks mismatch — any silent corruption of the image since its
     /// digests were last updated.
     pub fn verify(&self, frames: &[u8], disk: &[u8]) -> Result<(), usize> {
-        let mut bad = 0usize;
-        for (i, p) in frames.chunks(PAGE_SIZE).enumerate() {
-            if chunk_digest(i as u64, p) != self.pages[i] {
+        let pages = frames.chunks(PAGE_SIZE);
+        let sectors = disk.chunks(SECTOR_SIZE);
+        // A geometry mismatch between the image and the digest state is
+        // corruption too: every chunk without a stored digest (and every
+        // stored digest without a chunk) counts as bad.
+        let mut bad =
+            self.pages.len().abs_diff(pages.len()) + self.sectors.len().abs_diff(sectors.len());
+        for (i, p) in pages.enumerate() {
+            if self
+                .pages
+                .get(i)
+                .is_some_and(|&d| d != chunk_digest(i as u64, p))
+            {
                 bad += 1;
             }
         }
-        for (i, s) in disk.chunks(SECTOR_SIZE).enumerate() {
-            if chunk_digest(SECTOR_DOMAIN | i as u64, s) != self.sectors[i] {
+        for (i, s) in sectors.enumerate() {
+            if self
+                .sectors
+                .get(i)
+                .is_some_and(|&d| d != chunk_digest(SECTOR_DOMAIN | i as u64, s))
+            {
                 bad += 1;
             }
         }

@@ -136,8 +136,9 @@ impl Mapper {
     /// Map this epoch's dirty pages, returning `(pfn, mfn)` pairs ready for
     /// the copy phase. Per-epoch strategies pay one (or two) simulated
     /// hypercalls per page; the global strategy pays an indexed load.
+    // lint: pause-window
     pub fn map_epoch(&mut self, vm: &Vm, dirty: &[Pfn]) -> Vec<MappedPage> {
-        let mut mapped = Vec::with_capacity(dirty.len());
+        let mut mapped = Vec::with_capacity(dirty.len()); // lint: allow(pause-window) -- one exact-size reservation, O(dirty)
         match self.strategy {
             MappingStrategy::PerEpochPrimary => {
                 for &pfn in dirty {
@@ -167,6 +168,7 @@ impl Mapper {
 
     /// Unmap this epoch's pages. Per-epoch strategies pay one hypercall per
     /// page again (the unmap); the global strategy is free.
+    // lint: pause-window
     pub fn unmap_epoch(&mut self, mapped: &[MappedPage]) {
         match self.strategy {
             MappingStrategy::PerEpochPrimary => {

@@ -130,7 +130,7 @@ pub struct ModuleTiming {
 }
 
 /// Result of one full audit.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AuditReport {
     /// All findings across modules (empty = audit passed).
     pub findings: Vec<ScanFinding>,
@@ -187,6 +187,7 @@ impl Detector {
     /// Run every module over the paused VM. The session's address-space
     /// cache is refreshed once, up front (process churn during the epoch
     /// would otherwise break user-address translation).
+    // lint: pause-window
     pub fn audit(
         &mut self,
         memory: &GuestMemory,
@@ -194,11 +195,7 @@ impl Detector {
         dirty: &DirtyBitmap,
         epoch: u64,
     ) -> AuditReport {
-        let mut report = AuditReport {
-            findings: Vec::new(),
-            timings: Vec::new(),
-            errors: Vec::new(),
-        };
+        let mut report = AuditReport::default();
         if let Err(e) = session.refresh_address_spaces(memory) {
             report.errors.push(("<session-refresh>".to_owned(), e));
             return report;
@@ -210,7 +207,7 @@ impl Detector {
             epoch,
         };
         for module in &mut self.modules {
-            let t0 = Instant::now();
+            let t0 = Instant::now(); // lint: allow(pause-window) -- per-module timing *is* the audit's measurement
             match module.scan(&ctx) {
                 Ok(mut findings) => report.findings.append(&mut findings),
                 Err(e) => report.errors.push((module.name().to_owned(), e)),

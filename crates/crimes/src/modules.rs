@@ -69,6 +69,7 @@ impl ScanModule for CanaryScanModule {
         if report.violations.is_empty() {
             Ok(vec![])
         } else {
+            // lint: allow(pause-window) -- allocates only to report a detection
             Ok(vec![ScanFinding {
                 module: self.name().to_owned(),
                 detection: Detection::CanaryViolations(report.violations),
@@ -165,6 +166,7 @@ impl ScanModule for SyscallTableModule {
         if tampered.is_empty() {
             Ok(vec![])
         } else {
+            // lint: allow(pause-window) -- allocates only to report a detection
             Ok(vec![ScanFinding {
                 module: self.name().to_owned(),
                 detection: Detection::SyscallTableTampered(tampered),
@@ -245,7 +247,7 @@ impl ScanModule for HiddenProcessModule {
             .into_iter()
             .map(|t| t.pid)
             .collect();
-        let mut findings = Vec::new();
+        let mut findings = Vec::new(); // lint: allow(pause-window) -- allocates only to report detections
         for entry in linux::pid_hash_entries(ctx.session, ctx.memory)? {
             if !listed.contains(&entry.pid) {
                 let gpa = ctx.session.translate_kernel(entry.task_gva)?;

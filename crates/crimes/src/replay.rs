@@ -165,9 +165,11 @@ impl ReplayEngine {
 /// The bytes of `captured` (which starts at absolute address `base`) that
 /// cover `[target, target + CANARY_LEN)`.
 fn slice_overlap(captured: &[u8], base: u64, target: u64) -> Vec<u8> {
-    let start = target.saturating_sub(base) as usize;
+    let start = (target.saturating_sub(base) as usize).min(captured.len());
     let end = ((target + CANARY_LEN as u64).saturating_sub(base) as usize).min(captured.len());
-    captured[start.min(captured.len())..end].to_vec()
+    // `get` also covers `start > end` (a target entirely before `base`),
+    // which the old slice-index version would have panicked on.
+    captured.get(start..end).map(<[u8]>::to_vec).unwrap_or_default()
 }
 
 #[cfg(test)]

@@ -1,0 +1,213 @@
+//! Conservative intra-crate call-graph approximation.
+//!
+//! Calls are matched by *name*, refined by the qualifier when one is
+//! written in the source:
+//!
+//! * `value.name(...)` — links to every function named `name` in the
+//!   crate (the receiver type is unknown without type inference),
+//! * `Type::name(...)` — links only to `name` inside `impl Type` blocks
+//!   (so `CopyStats::default()` does not drag in every `default`),
+//! * `Self::name(...)` — links within the caller's own impl type,
+//! * `module::name(...)` / bare `name(...)` — links to same-crate
+//!   functions named `name`.
+//!
+//! Cross-crate calls have no in-crate target and simply fall off the
+//! graph; each crate's pause-window roots must therefore be annotated in
+//! the crate whose code runs inside the window. The result over-
+//! approximates reachability — exactly what a sound "must not happen in
+//! the pause window" check wants.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::lexer::TokenKind;
+use crate::model::SourceFile;
+
+/// Global function id: (file index, fn index).
+pub(crate) type FnId = (usize, usize);
+
+/// Compute the set of functions reachable from `// lint: pause-window`
+/// roots, walking name-matched calls within each crate.
+pub(crate) fn reachable_from_roots(files: &[SourceFile]) -> HashSet<FnId> {
+    // Index: crate -> fn name -> candidates, with the impl type kept for
+    // qualified matching.
+    let mut by_name: HashMap<(&str, &str), Vec<FnId>> = HashMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (fj, f) in file.fns.iter().enumerate() {
+            by_name
+                .entry((file.crate_key.as_str(), f.name.as_str()))
+                .or_default()
+                .push((fi, fj));
+        }
+    }
+
+    let mut seen: HashSet<FnId> = HashSet::new();
+    let mut queue: VecDeque<FnId> = VecDeque::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (fj, f) in file.fns.iter().enumerate() {
+            if f.is_root {
+                seen.insert((fi, fj));
+                queue.push_back((fi, fj));
+            }
+        }
+    }
+
+    while let Some((fi, fj)) = queue.pop_front() {
+        let file = &files[fi];
+        let f = &file.fns[fj];
+        let Some((body_start, body_end)) = f.body else {
+            continue;
+        };
+        for call in calls_in(file, body_start, body_end) {
+            let Some(candidates) = by_name.get(&(file.crate_key.as_str(), call.name)) else {
+                continue;
+            };
+            for &(ci, cj) in candidates {
+                let callee = &files[ci].fns[cj];
+                if callee.is_test {
+                    continue;
+                }
+                let matches = match call.qualifier {
+                    Qualifier::Type(ty) => {
+                        let want = if ty == "Self" { f.impl_type.as_deref() } else { Some(ty) };
+                        callee.impl_type.as_deref() == want
+                    }
+                    Qualifier::None => true,
+                };
+                if matches && seen.insert((ci, cj)) {
+                    queue.push_back((ci, cj));
+                }
+            }
+        }
+    }
+    seen
+}
+
+enum Qualifier<'a> {
+    /// `Type::name(...)` with a capitalised qualifier (or `Self`).
+    Type(&'a str),
+    /// Method call, bare call, or lowercase module path.
+    None,
+}
+
+struct Call<'a> {
+    name: &'a str,
+    qualifier: Qualifier<'a>,
+}
+
+/// Every call-shaped site in a body: an identifier directly followed by
+/// `(`, excluding definitions (`fn name(`) and macros (`name!(`).
+fn calls_in(file: &SourceFile, start: usize, end: usize) -> Vec<Call<'_>> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for i in start..end.min(toks.len()) {
+        if toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        if i > 0 && (toks[i - 1].is("fn") || toks[i - 1].is_punct("!")) {
+            continue;
+        }
+        let qualifier = if i >= 2 && toks[i - 1].is_punct(":") && toks[i - 2].is_punct(":") {
+            let q = toks.get(i.wrapping_sub(3));
+            match q {
+                Some(t)
+                    if t.kind == TokenKind::Ident
+                        && t.text.chars().next().is_some_and(char::is_uppercase) =>
+                {
+                    Qualifier::Type(&t.text)
+                }
+                _ => Qualifier::None,
+            }
+        } else {
+            Qualifier::None
+        };
+        out.push(Call {
+            name: &toks[i].text,
+            qualifier,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(srcs: &[(&str, &str)]) -> Vec<SourceFile> {
+        srcs.iter()
+            .map(|(p, s)| SourceFile::parse((*p).into(), "crates/x".into(), s))
+            .collect()
+    }
+
+    fn names(files: &[SourceFile], set: &HashSet<FnId>) -> Vec<String> {
+        let mut v: Vec<String> = set
+            .iter()
+            .map(|&(fi, fj)| files[fi].fns[fj].name.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn transitive_calls_are_reachable() {
+        let fs = files(&[(
+            "crates/x/src/lib.rs",
+            "// lint: pause-window\nfn root() { helper(); }\nfn helper() { deep(); }\nfn deep() {}\nfn unrelated() {}",
+        )]);
+        assert_eq!(names(&fs, &reachable_from_roots(&fs)), ["deep", "helper", "root"]);
+    }
+
+    #[test]
+    fn qualified_calls_respect_the_impl_type() {
+        let fs = files(&[(
+            "crates/x/src/lib.rs",
+            "struct A; struct B;\n\
+             impl A { fn make() {} }\n\
+             impl B { fn make() { } }\n\
+             // lint: pause-window\nfn root() { A::make(); }",
+        )]);
+        // Only A::make is reachable; B::make shares the name but not the type.
+        let set = reachable_from_roots(&fs);
+        let fs0 = &fs[0];
+        let reached: Vec<_> = set
+            .iter()
+            .map(|&(_, fj)| (fs0.fns[fj].name.as_str(), fs0.fns[fj].impl_type.as_deref()))
+            .collect();
+        assert!(reached.contains(&("make", Some("A"))));
+        assert!(!reached.contains(&("make", Some("B"))));
+    }
+
+    #[test]
+    fn method_calls_link_by_name_across_impls() {
+        let fs = files(&[(
+            "crates/x/src/lib.rs",
+            "struct S;\nimpl S { fn step(&self) {} }\n// lint: pause-window\nfn root(s: &S) { s.step(); }",
+        )]);
+        assert_eq!(names(&fs, &reachable_from_roots(&fs)), ["root", "step"]);
+    }
+
+    #[test]
+    fn reachability_stays_within_the_crate_key() {
+        let mut fs = files(&[(
+            "crates/x/src/lib.rs",
+            "// lint: pause-window\nfn root() { helper(); }",
+        )]);
+        fs.push(SourceFile::parse(
+            "crates/y/src/lib.rs".into(),
+            "crates/y".into(),
+            "fn helper() {}",
+        ));
+        assert_eq!(names(&fs, &reachable_from_roots(&fs)), ["root"]);
+    }
+
+    #[test]
+    fn test_fns_never_enter_the_graph() {
+        let fs = files(&[(
+            "crates/x/src/lib.rs",
+            "// lint: pause-window\nfn root() { helper(); }\n#[cfg(test)]\nmod t { fn helper() {} }",
+        )]);
+        assert_eq!(names(&fs, &reachable_from_roots(&fs)), ["root"]);
+    }
+}

@@ -1,0 +1,344 @@
+//! A token-level Rust lexer: small, exact about comments and strings, and
+//! position-preserving — everything the rules need, nothing more.
+//!
+//! The stream carries identifiers, literals, lifetimes, and one-character
+//! punctuation (`::` arrives as two `:` tokens; rules match sequences).
+//! Comments are kept on the side so `// lint:` annotations stay readable
+//! without the rules tripping over comment text.
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Any literal: number, string, char, byte/raw string.
+    Literal,
+    /// One punctuation character.
+    Punct,
+    /// A lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` for an identifier with exactly this text.
+    pub fn is(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// `true` for a punctuation character with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// A comment (line or block) and the line it starts on.
+#[derive(Debug, Clone)]
+pub(crate) struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub(crate) struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments. Unterminated constructs simply run
+/// to end of input; the lexer never fails.
+pub(crate) fn lex(src: &str) -> Lexed {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+    };
+    lx.run();
+    lx.out
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> char {
+        self.chars.get(self.i + ahead).copied().unwrap_or('\0')
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.peek(0);
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(&mut self) {
+        while self.i < self.chars.len() {
+            let (line, col) = (self.line, self.col);
+            let c = self.peek(0);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == '/' => self.line_comment(line),
+                '/' if self.peek(1) == '*' => self.block_comment(line),
+                '"' => self.string(line, col),
+                'b' if self.peek(1) == '"' => {
+                    self.bump();
+                    self.string(line, col);
+                }
+                'r' | 'b' if self.raw_string_ahead() => self.raw_string(line, col),
+                '\'' => self.char_or_lifetime(line, col),
+                c if c.is_alphabetic() || c == '_' => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    let c = self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while self.peek(0) != '\n' && self.i < self.chars.len() {
+            text.push(self.bump());
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while self.i < self.chars.len() {
+            if self.peek(0) == '/' && self.peek(1) == '*' {
+                depth += 1;
+                text.push(self.bump());
+                text.push(self.bump());
+            } else if self.peek(0) == '*' && self.peek(1) == '/' {
+                depth -= 1;
+                text.push(self.bump());
+                text.push(self.bump());
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(self.bump());
+            }
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn string(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while self.i < self.chars.len() {
+            match self.peek(0) {
+                '\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                '"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        self.push(TokenKind::Literal, String::from("\"…\""), line, col);
+    }
+
+    /// `r"`, `r#"`, `br"`, `br#"` … ahead at the cursor?
+    fn raw_string_ahead(&self) -> bool {
+        let mut j = 1; // past the leading r or b
+        if self.peek(0) == 'b' {
+            if self.peek(1) != 'r' {
+                return false;
+            }
+            j = 2;
+        }
+        while self.peek(j) == '#' {
+            j += 1;
+        }
+        self.peek(j) == '"'
+    }
+
+    fn raw_string(&mut self, line: u32, col: u32) {
+        if self.peek(0) == 'b' {
+            self.bump();
+        }
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == '#' {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'scan: while self.i < self.chars.len() {
+            if self.bump() == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != '#' {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, String::from("r\"…\""), line, col);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        // `'a` with no closing quote right after is a lifetime; `'a'` and
+        // `'\n'` are char literals.
+        let c1 = self.peek(1);
+        if (c1.is_alphabetic() || c1 == '_') && self.peek(2) != '\'' {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while self.peek(0).is_alphanumeric() || self.peek(0) == '_' {
+                text.push(self.bump());
+            }
+            self.push(TokenKind::Lifetime, text, line, col);
+            return;
+        }
+        self.bump(); // opening quote
+        if self.peek(0) == '\\' {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump();
+        }
+        if self.peek(0) == '\'' {
+            self.bump();
+        }
+        self.push(TokenKind::Literal, String::from("'…'"), line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while self.peek(0).is_alphanumeric() || self.peek(0) == '_' {
+            text.push(self.bump());
+        }
+        self.push(TokenKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while self.peek(0).is_alphanumeric() || self.peek(0) == '_' {
+            text.push(self.bump());
+        }
+        // A fractional part, but never a `..` range.
+        if self.peek(0) == '.' && self.peek(1).is_ascii_digit() {
+            text.push(self.bump());
+            while self.peek(0).is_ascii_digit() || self.peek(0) == '_' {
+                text.push(self.bump());
+            }
+        }
+        self.push(TokenKind::Literal, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_never_reach_the_token_stream() {
+        let lx = lex("let a = 1; // unwrap()\n/* panic! */ let b = 2;");
+        assert_eq!(idents("let a = 1; // unwrap()\nlet b = 2;"), ["let", "a", "let", "b"]);
+        assert_eq!(lx.comments.len(), 2);
+        assert_eq!((lx.comments[0].line, lx.comments[1].line), (1, 2));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let lx = lex("/* a /* b */ c */ fn f() {}");
+        assert_eq!(lx.comments.len(), 1);
+        assert_eq!(lx.tokens[0].text, "fn");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let s = "x.unwrap()";"#), ["let", "s"]);
+        assert_eq!(idents(r##"let s = r#"panic!()"#;"##), ["let", "s"]);
+        assert_eq!(idents(r#"let s = b"vec![]";"#), ["let", "s"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        let chars = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal && t.text == "'…'")
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn positions_are_one_based_and_accurate() {
+        let lx = lex("fn f() {\n    x.unwrap();\n}");
+        let unwrap = lx.tokens.iter().find(|t| t.is("unwrap")).unwrap();
+        assert_eq!((unwrap.line, unwrap.col), (2, 7));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_floats() {
+        let lx = lex("for i in 0..10 { let f = 1.5; }");
+        let lits: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, ["0", "10", "1.5"]);
+    }
+}

@@ -1,0 +1,278 @@
+//! crimes-lint: an in-tree static analyzer for the CRIMES reproduction.
+//!
+//! The paper's security argument rests on properties rustc cannot see:
+//! the audit/checkpoint pause window must stay tiny and side-effect-free,
+//! fail-closed modules must never panic past a buffered output, every
+//! fault point must be wired and soaked, public errors must stay typed,
+//! and the build must stay hermetic. This crate encodes those as five
+//! mechanical rules over a token-level model of the workspace:
+//!
+//! * `panic-freedom` — no `unwrap`/`expect`/`panic!`-family/indexing in
+//!   the fail-closed modules ([`LintConfig::fail_closed`]),
+//! * `pause-window` — functions reachable from `// lint: pause-window`
+//!   roots stay free of wall clocks, I/O, sleeps, and heap-growing
+//!   constructors,
+//! * `fault-coverage` — every `FaultPoint::ALL` variant has a production
+//!   `should_inject` site and a soak-test mention,
+//! * `error-taxonomy` — no `Box<dyn Error>` erasure in public library
+//!   signatures,
+//! * `hermeticity` — no registry dependencies; no wall clocks in tests.
+//!
+//! Exceptions are visible, never silent: a line can carry
+//! `// lint: allow(<rule>) -- reason`, and the binary counts and prints
+//! every suppression it honoured (and flags the stale ones).
+
+mod callgraph;
+mod lexer;
+mod model;
+mod rules;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use model::{Allow, SourceFile};
+pub use rules::ALL_RULES;
+
+/// One finding, attributed rustc-style to `path:line:col`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn render(&self) -> String {
+        format!(
+            "error[{}]: {}\n  --> {}:{}:{}",
+            self.rule, self.message, self.path, self.line, self.col
+        )
+    }
+}
+
+/// A manifest kept as raw text (rule 5 works line-wise).
+#[derive(Debug)]
+pub struct Manifest {
+    pub rel_path: String,
+    pub text: String,
+}
+
+/// What the rules check and where. [`LintConfig::default`] is the single
+/// source of truth for the CRIMES tree — `scripts/verify.sh` and CI both
+/// go through it.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Modules that must never panic: everything that runs between
+    /// "outputs buffered" and "audit decided / state restored".
+    pub fail_closed: Vec<String>,
+    /// The fault crate's library file, holding `FaultPoint::ALL`.
+    pub faults_lib: String,
+    /// The soak test that must exercise every fault point.
+    pub soak_test: String,
+    /// Path prefixes allowed to read wall clocks in test code.
+    pub blessed_timing: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            fail_closed: [
+                "crates/crimes/src/framework.rs",
+                "crates/crimes/src/replay.rs",
+                "crates/checkpoint/src/engine.rs",
+                "crates/checkpoint/src/copy.rs",
+                "crates/checkpoint/src/integrity.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
+            faults_lib: "crates/faults/src/lib.rs".into(),
+            soak_test: "tests/fault_soak.rs".into(),
+            blessed_timing: vec!["crates/bench/".into()],
+        }
+    }
+}
+
+/// A suppressed diagnostic, with the reason given in the allow comment.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    pub diagnostic: Diagnostic,
+    pub reason: String,
+}
+
+/// The outcome of one lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub diagnostics: Vec<Diagnostic>,
+    pub suppressed: Vec<Suppressed>,
+    /// Allows that matched no diagnostic (stale exceptions).
+    pub unused_allows: Vec<(String, Allow)>,
+}
+
+impl LintReport {
+    /// `true` when nothing unsuppressed was found.
+    pub fn ok(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Human-readable rendering: every error, then the suppression
+    /// ledger, then the verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{}", d.render());
+        }
+        for (path, allow) in &self.unused_allows {
+            let _ = writeln!(
+                out,
+                "warning[unused-allow]: `lint: allow({})` matches no diagnostic\n  --> {}:{}",
+                allow.rule, path, allow.line
+            );
+        }
+        let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for s in &self.suppressed {
+            *per_rule.entry(s.diagnostic.rule).or_default() += 1;
+        }
+        let ledger = if per_rule.is_empty() {
+            String::from("0 suppressed")
+        } else {
+            let parts: Vec<String> = per_rule
+                .iter()
+                .map(|(rule, n)| format!("{rule}: {n}"))
+                .collect();
+            format!("{} suppressed ({})", self.suppressed.len(), parts.join(", "))
+        };
+        let _ = writeln!(
+            out,
+            "crimes-lint: {} error{}, {}, {} unused allow{}",
+            self.diagnostics.len(),
+            if self.diagnostics.len() == 1 { "" } else { "s" },
+            ledger,
+            self.unused_allows.len(),
+            if self.unused_allows.len() == 1 { "" } else { "s" },
+        );
+        out
+    }
+}
+
+/// Lint the tree rooted at `root` with the default CRIMES configuration.
+pub fn run(root: &Path) -> io::Result<LintReport> {
+    run_with(root, &LintConfig::default())
+}
+
+/// Lint the tree rooted at `root` with an explicit configuration.
+pub fn run_with(root: &Path, config: &LintConfig) -> io::Result<LintReport> {
+    let (files, manifests) = load_tree(root)?;
+    let mut diagnostics = Vec::new();
+    diagnostics.extend(rules::panic_freedom(&files, config));
+    diagnostics.extend(rules::pause_window(&files));
+    diagnostics.extend(rules::fault_coverage(&files, config));
+    diagnostics.extend(rules::error_taxonomy(&files));
+    diagnostics.extend(rules::hermeticity(&files, &manifests, config));
+    Ok(apply_allows(diagnostics, &files))
+}
+
+/// Split raw findings into kept and suppressed using the files' allow
+/// comments. An allow matches a diagnostic of its rule on the same line
+/// (trailing comment) or the line directly below (comment above).
+fn apply_allows(raw: Vec<Diagnostic>, files: &[SourceFile]) -> LintReport {
+    let mut report = LintReport::default();
+    let mut used = vec![Vec::new(); files.len()];
+    for (fi, file) in files.iter().enumerate() {
+        used[fi] = vec![false; file.allows.len()];
+    }
+    for d in raw {
+        let matched = files.iter().enumerate().find_map(|(fi, file)| {
+            if file.rel_path != d.path {
+                return None;
+            }
+            file.allows
+                .iter()
+                .position(|a| a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line))
+                .map(|ai| (fi, ai))
+        });
+        match matched {
+            Some((fi, ai)) => {
+                used[fi][ai] = true;
+                report.suppressed.push(Suppressed {
+                    reason: files[fi].allows[ai].reason.clone(),
+                    diagnostic: d,
+                });
+            }
+            None => report.diagnostics.push(d),
+        }
+    }
+    for (fi, file) in files.iter().enumerate() {
+        for (ai, allow) in file.allows.iter().enumerate() {
+            if !used[fi][ai] {
+                report
+                    .unused_allows
+                    .push((file.rel_path.clone(), allow.clone()));
+            }
+        }
+    }
+    report
+}
+
+/// Walk the tree, lexing every `.rs` file and collecting every manifest.
+/// `target`, `.git`, and fixture directories are skipped.
+fn load_tree(root: &Path) -> io::Result<(Vec<SourceFile>, Vec<Manifest>)> {
+    let mut rs_paths = Vec::new();
+    let mut manifests = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !matches!(name.as_ref(), "target" | ".git" | "fixtures") {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                rs_paths.push(path);
+            } else if name == "Cargo.toml" {
+                manifests.push(Manifest {
+                    rel_path: rel(root, &path),
+                    text: fs::read_to_string(&path)?,
+                });
+            }
+        }
+    }
+    rs_paths.sort();
+    manifests.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    let mut files = Vec::with_capacity(rs_paths.len());
+    for path in rs_paths {
+        let rel_path = rel(root, &path);
+        let crate_key = crate_key_of(&rel_path);
+        let text = fs::read_to_string(&path)?;
+        files.push(SourceFile::parse(rel_path, crate_key, &text));
+    }
+    Ok((files, manifests))
+}
+
+fn rel(root: &Path, path: &PathBuf) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// `crates/<name>/…` → `crates/<name>`; anything else belongs to the
+/// workspace package (key `""`).
+fn crate_key_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return format!("crates/{name}");
+        }
+    }
+    String::new()
+}

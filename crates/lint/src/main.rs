@@ -1,0 +1,44 @@
+//! The `crimes-lint` binary: lint the workspace (or the tree given as the
+//! first argument), print rustc-style diagnostics and the suppression
+//! ledger, and exit nonzero on any unsuppressed finding.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(workspace_root);
+    match crimes_lint::run(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("crimes-lint: cannot read {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` declaring
+/// `[workspace]`, so `cargo run -p crimes-lint` works from any subdir.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

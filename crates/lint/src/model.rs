@@ -1,0 +1,353 @@
+//! Per-file source model built on the token stream: function items with
+//! their `impl` context, test-code regions, and `// lint:` annotations.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+/// An inline suppression: `// lint: allow(<rule>) -- reason`.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: String,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Self type of the enclosing `impl` block, if any.
+    pub impl_type: Option<String>,
+    pub is_pub: bool,
+    pub line: u32,
+    /// Token range `[start, end)` from the `fn` keyword to the body brace
+    /// (or the trailing `;` of a bodyless trait method).
+    pub sig: (usize, usize),
+    /// Token range `[start, end)` of the body, braces included.
+    pub body: Option<(usize, usize)>,
+    /// Inside `#[cfg(test)]` or under `#[test]`.
+    pub is_test: bool,
+    /// Annotated `// lint: pause-window`.
+    pub is_root: bool,
+}
+
+/// One lexed and indexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// `/`-separated path relative to the lint root.
+    pub rel_path: String,
+    /// Crate key: `crates/<name>` or `""` for the workspace package.
+    pub crate_key: String,
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+    pub fns: Vec<FnItem>,
+    /// Per-token: inside test code (`#[cfg(test)]` region or `#[test]` fn).
+    pub test_mask: Vec<bool>,
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: String, crate_key: String, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let test_mask = test_mask(&lexed.tokens);
+        let (allows, roots) = annotations(&lexed.comments);
+        let mut fns = find_fns(&lexed.tokens, &test_mask);
+        mark_roots(&mut fns, &roots);
+        SourceFile {
+            rel_path,
+            crate_key,
+            tokens: lexed.tokens,
+            allows,
+            fns,
+            test_mask,
+        }
+    }
+
+    /// `true` when the file lives under a library crate's `src/`.
+    pub fn is_lib_source(&self) -> bool {
+        !self.crate_key.is_empty() && self.rel_path.contains("/src/")
+    }
+}
+
+/// Pull `// lint:` annotations out of the comment list. Returns the allows
+/// and the lines of `pause-window` root markers.
+fn annotations(comments: &[Comment]) -> (Vec<Allow>, Vec<u32>) {
+    let mut allows = Vec::new();
+    let mut roots = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.trim_start_matches('/').trim().strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest == "pause-window" {
+            roots.push(c.line);
+        } else if let Some(inner) = rest.strip_prefix("allow(") {
+            let Some(close) = inner.find(')') else { continue };
+            let rule = inner[..close].trim().to_owned();
+            let reason = inner[close + 1..]
+                .trim()
+                .trim_start_matches("--")
+                .trim()
+                .to_owned();
+            allows.push(Allow {
+                rule,
+                line: c.line,
+                reason,
+            });
+        }
+    }
+    (allows, roots)
+}
+
+/// A `pause-window` marker roots the first `fn` declared on a line at or
+/// below it (attributes and visibility may sit between).
+fn mark_roots(fns: &mut [FnItem], roots: &[u32]) {
+    for &root_line in roots {
+        if let Some(f) = fns
+            .iter_mut()
+            .filter(|f| f.line >= root_line)
+            .min_by_key(|f| f.line)
+        {
+            f.is_root = true;
+        }
+    }
+}
+
+/// Mark every token inside `#[cfg(test)]` items and `#[test]` functions.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_cfg_test = matches_seq(tokens, i, &["#", "[", "cfg", "(", "test", ")", "]"]);
+        let is_test_attr = matches_seq(tokens, i, &["#", "[", "test", "]"]);
+        if is_cfg_test || is_test_attr {
+            // Skip any further attributes, then swallow the item's braces.
+            let mut j = i;
+            while j < tokens.len() && !tokens[j].is_punct("{") && !tokens[j].is_punct(";") {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct("{") {
+                let end = matching_brace(tokens, j);
+                for m in mask.iter_mut().take(end).skip(i) {
+                    *m = true;
+                }
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// `true` when `tokens[at..]` spell exactly this ident/punct sequence.
+pub(crate) fn matches_seq(tokens: &[Token], at: usize, seq: &[&str]) -> bool {
+    seq.iter().enumerate().all(|(k, want)| {
+        tokens
+            .get(at + k)
+            .is_some_and(|t| t.text == *want && t.kind != TokenKind::Literal)
+    })
+}
+
+/// Index one past the brace matching the `{` at `open`.
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Walk the token stream once, tracking `impl` blocks, and record every
+/// `fn` item with its signature and body ranges.
+fn find_fns(tokens: &[Token], test_mask: &[bool]) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    // Stack of (brace depth at which the impl body opened, self type).
+    let mut impls: Vec<(usize, String)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if impls.last().is_some_and(|&(d, _)| depth < d) {
+                impls.pop();
+            }
+        } else if t.is("impl") {
+            if let Some((ty, body_at)) = impl_self_type(tokens, i) {
+                impls.push((depth + 1, ty));
+                depth += 1;
+                i = body_at;
+            }
+        } else if t.is("fn") && tokens.get(i + 1).map(|n| n.kind) == Some(TokenKind::Ident) {
+            let name = tokens[i + 1].text.clone();
+            let is_pub = preceded_by_pub(tokens, i);
+            let (sig_end, body) = fn_extent(tokens, i);
+            fns.push(FnItem {
+                name,
+                impl_type: impls.last().map(|(_, ty)| ty.clone()),
+                is_pub,
+                line: t.line,
+                sig: (i, sig_end),
+                body,
+                is_test: test_mask.get(i).copied().unwrap_or(false),
+                is_root: false,
+            });
+            // Fall through into the signature/body so nested fns and the
+            // impl bookkeeping still see every brace.
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// For an `impl` at `at`, the self type and the index of the body `{`.
+/// `impl Trait for Type` yields `Type`; `impl Type` yields `Type`.
+fn impl_self_type(tokens: &[Token], at: usize) -> Option<(String, usize)> {
+    let mut angle = 0i32;
+    let mut in_where = false;
+    let mut ty: Option<&str> = None;
+    for (k, t) in tokens.iter().enumerate().skip(at + 1) {
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if angle == 0 && t.is("where") {
+            in_where = true;
+        } else if angle == 0 && t.is_punct("{") {
+            // The self type is the last top-level path segment before the
+            // body (after `for` in `impl Trait for Type`, before `where`).
+            return Some((ty?.to_owned(), k));
+        } else if t.is_punct(";")
+            || t.is_punct("(")
+            || (angle == 0 && (t.is_punct(")") || t.is_punct(",")))
+        {
+            return None; // `impl Trait` in type position, not an item
+        } else if angle == 0
+            && !in_where
+            && t.kind == TokenKind::Ident
+            && !matches!(t.text.as_str(), "dyn" | "mut" | "for" | "const")
+        {
+            ty = Some(&t.text);
+        }
+    }
+    None
+}
+
+fn preceded_by_pub(tokens: &[Token], fn_at: usize) -> bool {
+    // Walk back over `unsafe`, `const`, `extern "…"`, and a possible
+    // `pub(...)` restriction.
+    let mut k = fn_at;
+    while k > 0 {
+        k -= 1;
+        let t = &tokens[k];
+        if t.is("unsafe")
+            || t.is("const")
+            || t.is("extern")
+            || t.is("async")
+            || t.kind == TokenKind::Literal
+        {
+            continue;
+        }
+        if t.is_punct(")") {
+            // Possibly the close of `pub(crate)`; keep walking to `(`.
+            while k > 0 && !tokens[k].is_punct("(") {
+                k -= 1;
+            }
+            continue;
+        }
+        return t.is("pub");
+    }
+    false
+}
+
+/// Signature end (exclusive) and body range for the `fn` at `at`.
+fn fn_extent(tokens: &[Token], at: usize) -> (usize, Option<(usize, usize)>) {
+    let mut angle = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(at + 1) {
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") && angle > 0 {
+            angle -= 1;
+        } else if angle == 0 && t.is_punct(";") {
+            return (k, None);
+        } else if angle == 0 && t.is_punct("{") {
+            return (k, Some((k, matching_brace(tokens, k))));
+        }
+    }
+    (tokens.len(), None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/lib.rs".into(), "crates/x".into(), src)
+    }
+
+    #[test]
+    fn fns_carry_their_impl_type() {
+        let f = parse("impl Foo { fn a(&self) {} }\nimpl Bar for Foo { fn b() {} }\nfn free() {}");
+        let by_name: Vec<_> = f
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_type.as_deref()))
+            .collect();
+        assert_eq!(
+            by_name,
+            [("a", Some("Foo")), ("b", Some("Foo")), ("free", None)]
+        );
+    }
+
+    #[test]
+    fn generic_impls_resolve_the_self_type() {
+        let f = parse("impl<'a, T: Clone> Wrapper<'a, T> { fn get(&self) {} }");
+        assert_eq!(f.fns[0].impl_type.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_masked() {
+        let f = parse("fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}");
+        assert!(!f.fns[0].is_test);
+        assert!(f.fns[1].is_test);
+    }
+
+    #[test]
+    fn test_attribute_masks_the_fn() {
+        let f = parse("#[test]\nfn check() { }\nfn prod() {}");
+        assert!(f.fns[0].is_test);
+        assert!(!f.fns[1].is_test);
+    }
+
+    #[test]
+    fn pause_window_annotation_roots_the_next_fn() {
+        let f = parse("// lint: pause-window\npub fn hot() {}\nfn cold() {}");
+        assert!(f.fns[0].is_root);
+        assert!(f.fns[0].is_pub);
+        assert!(!f.fns[1].is_root);
+    }
+
+    #[test]
+    fn allow_annotations_parse_rule_and_reason() {
+        let f = parse("fn f() {\n    x.unwrap(); // lint: allow(panic-freedom) -- proven above\n}");
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].rule, "panic-freedom");
+        assert_eq!(f.allows[0].line, 2);
+        assert_eq!(f.allows[0].reason, "proven above");
+    }
+
+    #[test]
+    fn bodyless_trait_methods_have_no_body() {
+        let f = parse("trait T { fn sig(&self) -> u32; fn with_default(&self) -> u32 { 1 } }");
+        assert!(f.fns[0].body.is_none());
+        assert!(f.fns[1].body.is_some());
+    }
+}

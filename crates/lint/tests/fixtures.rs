@@ -1,0 +1,173 @@
+//! End-to-end checks: each fixture under `tests/fixtures/` is a miniature
+//! workspace tree whose paths mirror the default [`crimes_lint::LintConfig`]
+//! (so `crates/checkpoint/src/engine.rs` is fail-closed there too). Every
+//! rule gets a known-bad and a known-good tree, suppression accounting is
+//! exercised, and the live workspace itself must lint clean.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use crimes_lint::{run, LintReport};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint(name: &str) -> LintReport {
+    run(&fixture(name)).expect("fixture tree is readable")
+}
+
+#[test]
+fn panic_freedom_flags_unwrap_and_indexing_in_fail_closed_modules() {
+    let report = lint("panic-bad");
+    assert_eq!(report.diagnostics.len(), 2, "{}", report.render());
+    for d in &report.diagnostics {
+        assert_eq!(d.rule, "panic-freedom");
+        assert_eq!(d.path, "crates/checkpoint/src/engine.rs");
+    }
+    let lines: Vec<u32> = report.diagnostics.iter().map(|d| d.line).collect();
+    assert_eq!(lines, [2, 6]);
+}
+
+#[test]
+fn panic_freedom_passes_a_clean_fail_closed_module() {
+    let report = lint("panic-good");
+    assert!(report.ok(), "{}", report.render());
+    assert!(report.diagnostics.is_empty());
+}
+
+#[test]
+fn pause_window_flags_wall_clocks_reached_transitively() {
+    let report = lint("pause-bad");
+    assert_eq!(report.diagnostics.len(), 1, "{}", report.render());
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, "pause-window");
+    assert_eq!(d.path, "crates/x/src/lib.rs");
+    assert_eq!(d.line, 7, "anchored at the Instant::now call in `helper`");
+    assert!(d.message.contains("helper"), "{}", d.message);
+}
+
+#[test]
+fn pause_window_ignores_functions_outside_the_root_set() {
+    let report = lint("pause-good");
+    assert!(report.ok(), "{}", report.render());
+}
+
+#[test]
+fn fault_coverage_flags_variants_without_injection_or_soak() {
+    let report = lint("fault-bad");
+    // PageCopy has neither an injection site nor a soak mention.
+    assert_eq!(report.diagnostics.len(), 2, "{}", report.render());
+    for d in &report.diagnostics {
+        assert_eq!(d.rule, "fault-coverage");
+        assert_eq!(d.path, "crates/faults/src/lib.rs");
+        assert!(d.message.contains("PageCopy"), "{}", d.message);
+    }
+}
+
+#[test]
+fn fault_coverage_passes_when_every_variant_is_wired() {
+    let report = lint("fault-good");
+    assert!(report.ok(), "{}", report.render());
+}
+
+#[test]
+fn error_taxonomy_flags_boxed_dyn_error_in_public_signatures() {
+    let report = lint("taxonomy-bad");
+    assert!(!report.ok(), "{}", report.render());
+    assert!(report.diagnostics.iter().all(|d| d.rule == "error-taxonomy"));
+    assert!(
+        report.diagnostics.iter().any(|d| d.line == 1),
+        "the erased signature itself is flagged: {}",
+        report.render()
+    );
+}
+
+#[test]
+fn error_taxonomy_passes_typed_errors() {
+    let report = lint("taxonomy-good");
+    assert!(report.ok(), "{}", report.render());
+}
+
+#[test]
+fn hermeticity_flags_registry_deps_and_test_wall_clocks() {
+    let report = lint("hermetic-bad");
+    assert_eq!(report.diagnostics.len(), 2, "{}", report.render());
+    assert!(report.diagnostics.iter().all(|d| d.rule == "hermeticity"));
+    assert!(
+        report.diagnostics.iter().any(|d| d.path == "Cargo.toml"),
+        "the registry dependency is flagged: {}",
+        report.render()
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.path == "crates/x/src/lib.rs"),
+        "the test wall clock is flagged: {}",
+        report.render()
+    );
+}
+
+#[test]
+fn hermeticity_passes_path_and_workspace_deps() {
+    let report = lint("hermetic-good");
+    assert!(report.ok(), "{}", report.render());
+}
+
+#[test]
+fn allows_suppress_matching_diagnostics_and_stale_allows_surface() {
+    let report = lint("suppressed");
+    assert!(report.ok(), "{}", report.render());
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].diagnostic.rule, "panic-freedom");
+    assert!(report.suppressed[0].reason.contains("caller guarantees Some"));
+    assert_eq!(report.unused_allows.len(), 1);
+    assert_eq!(report.unused_allows[0].1.rule, "pause-window");
+}
+
+#[test]
+fn the_live_workspace_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = run(&root).expect("workspace tree is readable");
+    assert!(
+        report.ok(),
+        "the workspace must be free of lint errors:\n{}",
+        report.render()
+    );
+    assert!(
+        !report.suppressed.is_empty(),
+        "the tree documents its known exceptions inline"
+    );
+    assert!(
+        report.unused_allows.is_empty(),
+        "no stale allow comments:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn the_binary_exits_nonzero_with_rustc_style_diagnostics() {
+    let out = Command::new(env!("CARGO_BIN_EXE_crimes-lint"))
+        .arg(fixture("panic-bad"))
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[panic-freedom]"), "{stdout}");
+    assert!(
+        stdout.contains("crates/checkpoint/src/engine.rs:2:"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn the_binary_exits_zero_on_a_clean_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_crimes-lint"))
+        .arg(fixture("panic-good"))
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+}

@@ -1,0 +1,3 @@
+pub fn tick() -> bool {
+    crimes_faults::should_inject(FaultPoint::VmiRead)
+}

@@ -1,0 +1,10 @@
+pub fn tick() -> u32 {
+    let mut hits = 0;
+    if crimes_faults::should_inject(FaultPoint::VmiRead) {
+        hits += 1;
+    }
+    if crimes_faults::should_inject(FaultPoint::PageCopy) {
+        hits += 1;
+    }
+    hits
+}

@@ -1,0 +1,13 @@
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    VmiRead,
+    PageCopy,
+}
+
+impl FaultPoint {
+    pub const ALL: [FaultPoint; 2] = [FaultPoint::VmiRead, FaultPoint::PageCopy];
+}
+
+pub fn should_inject(_point: FaultPoint) -> bool {
+    false
+}

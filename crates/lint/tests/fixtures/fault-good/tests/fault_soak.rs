@@ -1,0 +1,3 @@
+fn soak() {
+    let _ = (FaultPoint::VmiRead, FaultPoint::PageCopy);
+}

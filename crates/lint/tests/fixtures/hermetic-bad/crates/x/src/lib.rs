@@ -1,0 +1,9 @@
+pub fn prod() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timed() {
+        let _ = std::time::Instant::now();
+    }
+}

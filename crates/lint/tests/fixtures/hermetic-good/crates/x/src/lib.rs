@@ -1,0 +1,9 @@
+pub fn prod() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn plain() {
+        assert_eq!(1 + 1, 2);
+    }
+}

@@ -1,0 +1,7 @@
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn first(v: &[u8]) -> u8 {
+    v[0]
+}

@@ -1,0 +1,7 @@
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+pub fn first(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}

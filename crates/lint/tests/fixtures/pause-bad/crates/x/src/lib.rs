@@ -1,0 +1,8 @@
+// lint: pause-window
+pub fn hot() {
+    helper();
+}
+
+fn helper() {
+    let _ = std::time::Instant::now();
+}

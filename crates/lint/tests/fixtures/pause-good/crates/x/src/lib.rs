@@ -1,0 +1,10 @@
+// lint: pause-window
+pub fn hot() {
+    helper();
+}
+
+fn helper() {}
+
+pub fn cold() {
+    let _ = std::time::Instant::now();
+}

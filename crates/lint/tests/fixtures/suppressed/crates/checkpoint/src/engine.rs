@@ -1,0 +1,6 @@
+pub fn checked(x: Option<u32>) -> u32 {
+    x.unwrap() // lint: allow(panic-freedom) -- fixture: caller guarantees Some
+}
+
+// lint: allow(pause-window) -- stale: nothing here allocates
+pub fn idle() {}

@@ -1,0 +1,3 @@
+pub fn load() -> Result<(), Box<dyn std::error::Error>> {
+    Err("boom".into())
+}

@@ -1,0 +1,8 @@
+#[derive(Debug)]
+pub enum LoadError {
+    Missing,
+}
+
+pub fn load() -> Result<(), LoadError> {
+    Err(LoadError::Missing)
+}

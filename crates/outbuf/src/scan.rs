@@ -92,7 +92,7 @@ impl OutputScanner {
 
     /// Scan a slice of outputs, reporting every match.
     pub fn scan_outputs(&self, outputs: &[&Output]) -> Vec<OutputMatch> {
-        let mut matches = Vec::new();
+        let mut matches = Vec::new(); // lint: allow(pause-window) -- allocates only to report findings
         for (idx, output) in outputs.iter().enumerate() {
             let (payload, is_network) = match output {
                 Output::Net(p) => (p.payload.as_slice(), true),
@@ -113,6 +113,7 @@ impl OutputScanner {
     }
 
     /// Scan everything currently held in `buffer`.
+    // lint: pause-window
     pub fn scan_buffer(&self, buffer: &OutputBuffer) -> Vec<OutputMatch> {
         let held: Vec<&Output> = buffer.held_outputs().collect();
         self.scan_outputs(&held)

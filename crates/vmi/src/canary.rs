@@ -81,6 +81,7 @@ impl CanaryScanner {
     ///
     /// Fails if the table symbol is unknown or a record's owner cannot be
     /// translated.
+    // lint: pause-window
     pub fn scan_all(
         &self,
         session: &VmiSession,
@@ -95,6 +96,7 @@ impl CanaryScanner {
     ///
     /// Fails if the table symbol is unknown or a record's owner cannot be
     /// translated.
+    // lint: pause-window
     pub fn scan_dirty(
         &self,
         session: &VmiSession,
@@ -116,23 +118,25 @@ impl CanaryScanner {
         // Bulk-read the record table once instead of issuing four guest
         // reads per record — the batching that makes the paper's ~90k
         // canaries/ms validation rate possible.
-        let mut records = vec![0u8; count * CANARY_RECORD_SIZE as usize];
+        let mut records = vec![0u8; count * CANARY_RECORD_SIZE as usize]; // lint: allow(pause-window) -- one bulk-read staging buffer, O(records)
         if count > 0 {
             mem.read(table.add(8), &mut records);
         }
+        // Record offsets are compile-time constants inside a
+        // `chunks_exact`-sized record, so the reads cannot actually be out
+        // of range; `0` keeps the lookups total anyway (a zero LIVE field
+        // just skips the record).
         let field_u64 = |rec: &[u8], off: u64| {
-            u64::from_le_bytes(
-                rec[off as usize..off as usize + 8]
-                    .try_into()
-                    .expect("field"),
-            )
+            rec.get(off as usize..off as usize + 8)
+                .and_then(|b| b.try_into().ok())
+                .map(u64::from_le_bytes)
+                .unwrap_or(0)
         };
         let field_u32 = |rec: &[u8], off: u64| {
-            u32::from_le_bytes(
-                rec[off as usize..off as usize + 4]
-                    .try_into()
-                    .expect("field"),
-            )
+            rec.get(off as usize..off as usize + 4)
+                .and_then(|b| b.try_into().ok())
+                .map(u32::from_le_bytes)
+                .unwrap_or(0)
         };
         let mut buf = [0u8; CANARY_LEN];
         for (idx, rec) in records

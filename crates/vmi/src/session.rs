@@ -169,6 +169,7 @@ impl VmiSession {
     /// # Errors
     ///
     /// Fails for user addresses.
+    // lint: pause-window
     pub fn translate_kernel(&self, gva: Gva) -> Result<Gpa, VmiError> {
         if !gva.is_kernel() {
             return Err(VmiError::TranslationFault(gva));
@@ -182,6 +183,7 @@ impl VmiSession {
     ///
     /// Fails if the pid is unknown to the cache or the address is outside
     /// its mapping.
+    // lint: pause-window
     pub fn translate_user(&self, pid: u32, gva: Gva) -> Result<Gpa, VmiError> {
         let space = self
             .address_spaces
@@ -204,12 +206,13 @@ impl VmiSession {
     /// Fails if the task list is malformed, or with
     /// [`VmiError::TransientReadFault`] when an injected read fault fires
     /// (retry-safe — the guest is paused during audits).
+    // lint: pause-window
     pub fn refresh_address_spaces(&mut self, mem: &GuestMemory) -> Result<(), VmiError> {
         if crimes_faults::should_inject(crimes_faults::FaultPoint::VmiRead) {
             return Err(VmiError::TransientReadFault);
         }
         let init_task = self.hot_symbol(names::INIT_TASK)?;
-        let mut spaces = HashMap::new();
+        let mut spaces = HashMap::new(); // lint: allow(pause-window) -- the rebuilt cache is this call's product
         let init_gva = init_task.to_kernel_gva();
         let mut cur_gpa = init_task;
         // Bounded walk: no real task slab exceeds this.

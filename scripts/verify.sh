@@ -27,11 +27,11 @@ CRIMES_FAULT_SEED="${CRIMES_FAULT_SEED:-1592654353}" \
 CRIMES_SOAK_EPOCHS="${CRIMES_SOAK_EPOCHS:-2000}" \
     cargo test --release --offline -q --test fault_soak
 
-echo "==> fail-closed modules stay unwrap-free"
-if grep -n 'unwrap()' crates/crimes/src/framework.rs crates/checkpoint/src/engine.rs; then
-    echo "error: unwrap() landed in a fail-closed module; use typed errors (or expect in tests)" >&2
-    exit 1
-fi
+echo "==> crimes-lint: fail-closed, pause-window, fault-coverage, taxonomy, hermeticity"
+# One analyzer replaces the old grep gates: crimes-lint walks the whole
+# tree and checks the invariants rustc cannot (see DESIGN.md "Static
+# guarantees"). Its exit code is the gate; suppressions are printed.
+cargo run --release --offline -q -p crimes-lint
 
 echo "==> benches compile (in-tree harness, no criterion)"
 cargo bench --no-run --offline
@@ -41,11 +41,5 @@ for example in quickstart overflow_attack malware_detection web_server_safety cl
     echo "    --example ${example}"
     cargo run --release --offline -q --example "${example}" > /dev/null
 done
-
-echo "==> no external registry dependencies"
-if grep -rn '^rand\|^proptest\|^criterion' Cargo.toml crates/*/Cargo.toml; then
-    echo "error: external registry dependency found in a manifest" >&2
-    exit 1
-fi
 
 echo "verify: all green"

@@ -1,11 +1,21 @@
 //! Timing bench (in-tree harness): page-copy pipelines — Remus's socket+cipher path vs
-//! CRIMES's memcpy (Optimization 1), per copied-byte throughput.
+//! CRIMES's memcpy (Optimization 1), per copied-byte throughput — plus the fused
+//! pause-window walk (copy + digest in one pass, sharded) against the same work
+//! done as two separate serial walks, at a fixed worker count.
 
 use crimes_bench::{criterion_group, criterion_main};
 use crimes_bench::harness::{BenchmarkId, Criterion, Throughput};
 
-use crimes_checkpoint::{BackupVm, MappedPage, MemcpyCopier, SocketCopier};
+use crimes_checkpoint::{
+    BackupVm, FusedDigest, FusedPageVisitor, ImageDigest, MappedPage, MemcpyCopier,
+    PauseWindowPool, SocketCopier,
+};
 use crimes_vm::{Pfn, Vm, PAGE_SIZE};
+
+/// Worker count for the fused-walk variants: the bench default from
+/// `BENCH_pause_window.json` (threads timeshare on smaller hosts; the
+/// point here is fused-vs-unfused at equal work, not scaling).
+const FUSED_WORKERS: usize = 4;
 
 fn setup(pages: usize) -> (Vm, BackupVm, Vec<MappedPage>) {
     let mut builder = Vm::builder();
@@ -37,6 +47,28 @@ fn bench(c: &mut Criterion) {
         let mut socket = SocketCopier::new(0xfeed);
         group.bench_with_input(BenchmarkId::new("socket_ssh", pages), &pages, |b, _| {
             b.iter(|| socket.copy_epoch(&vm, &mut backup, &mapped))
+        });
+
+        // Copy + digest as two separate serial walks (the pre-fusion
+        // pipeline shape) vs one fused sharded pass over the same pages.
+        let mut digest = ImageDigest::of(backup.frames(), backup.disk());
+        group.bench_with_input(BenchmarkId::new("unfused_copy_digest", pages), &pages, |b, _| {
+            b.iter(|| {
+                MemcpyCopier
+                    .copy_epoch(&vm, &mut backup, &mapped)
+                    .expect("no faults armed");
+                for &(_, mfn) in &mapped {
+                    digest.update_page(mfn.0 as usize, backup.frame(mfn));
+                }
+            })
+        });
+        let mut pool = PauseWindowPool::new(FUSED_WORKERS, vm.memory().num_pages(), 2);
+        let visitors: [&dyn FusedPageVisitor; 2] = [&MemcpyCopier, &FusedDigest];
+        group.bench_with_input(BenchmarkId::new("fused_copy_digest", pages), &pages, |b, _| {
+            b.iter(|| {
+                pool.run(vm.memory(), &mut backup, &mapped, &visitors)
+                    .expect("no faults armed")
+            })
         });
     }
     group.finish();

@@ -1,0 +1,449 @@
+//! Pause-window baseline: the serial three-walk pipeline (audit scan,
+//! page copy, digest update) against the fused sharded walk, on the
+//! fig7-style web workload (8192-page guest, medium intensity, 20 ms
+//! slices). Emits `BENCH_pause_window.json`; `scripts/bench_baseline.sh`
+//! is the wrapper that pins the output location.
+//!
+//! Two sections:
+//!
+//! * **pipeline** — wall-clock of the whole epoch boundary
+//!   (`run_epoch` vs `run_epoch_fused`) as measured on this host. This
+//!   includes the modelled Xen suspend/resume hypercall phases
+//!   (~2.3 ms of fixed cost per epoch that no walk layout can shrink)
+//!   and, on a single-CPU host, scoped worker threads timeshare one
+//!   core — so this section shows parity, not speedup.
+//! * **walk** — the part this PR changes: the serial three passes over
+//!   the dirty set (scan, copy, digest) against the fused single pass.
+//!   The N-worker figure is the **critical path**: each of the N shards
+//!   is timed solo on one core and the modelled parallel walk is
+//!   `stage + max(shard)`, the same substitution methodology the repo
+//!   uses for hypercall costs (there is no hypervisor here, and this
+//!   host has one CPU — see DESIGN.md "Parallel pause window").
+//!
+//! The headline `speedup_fused4_vs_serial` compares the serial
+//! three-pass walk with the fused 4-worker critical-path walk; the
+//! `speedup_metric` field in the JSON says exactly that.
+//!
+//! Env:
+//! * `CRIMES_BENCH_EPOCHS`   measured epochs per variant (default 30)
+//! * `CRIMES_BENCH_OUT`      output path (default `BENCH_pause_window.json`)
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crimes_checkpoint::{
+    AuditVerdict, CheckpointConfig, Checkpointer, FusedAudit, FusedDigest, FusedPageVisitor,
+    ImageDigest, MemcpyCopier, PageCtx, PageFinding, PauseWindowPool, ShardSink,
+};
+use crimes_vm::{DirtyBitmap, Vm};
+use crimes_vmi::{CanaryScanner, PreparedCanaries, VmiSession};
+use crimes_workloads::{WebIntensity, WebServerWorkload};
+
+const WARMUP_EPOCHS: u64 = 3;
+const WALK_WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn ms(ns: u128, epochs: u64) -> f64 {
+    ns as f64 / epochs as f64 / 1e6
+}
+
+/// The bench's stand-in for the framework's staged canary audit: stage
+/// the dirty-scoped checks, lend them to the walk, always pass.
+struct BenchAudit {
+    scanner: CanaryScanner,
+    session: VmiSession,
+    staged: Option<BenchCanaries>,
+}
+
+struct BenchCanaries(PreparedCanaries);
+
+impl FusedPageVisitor for BenchCanaries {
+    fn visit_page(&self, ctx: &PageCtx<'_>, sink: &mut ShardSink<'_>) {
+        self.0
+            .check_page(ctx.pfn, ctx.mem, &mut |idx| sink.push_finding(idx as u64, ctx.pfn));
+    }
+}
+
+impl FusedAudit for BenchAudit {
+    fn stage(&mut self, vm: &Vm, dirty: &DirtyBitmap) {
+        self.session
+            .refresh_address_spaces(vm.memory())
+            .expect("refresh");
+        let prepared = self
+            .scanner
+            .prepare_dirty(&mut self.session, vm.memory(), dirty)
+            .expect("stage canaries");
+        self.staged = Some(BenchCanaries(prepared));
+    }
+
+    fn visitor(&self) -> Option<&dyn FusedPageVisitor> {
+        self.staged.as_ref().map(|s| s as &dyn FusedPageVisitor)
+    }
+
+    fn verdict(&mut self, _vm: &Vm, _dirty: &DirtyBitmap, findings: &[PageFinding]) -> AuditVerdict {
+        assert!(
+            findings.iter().all(|f| f.source != 2),
+            "clean workload must not trip canaries"
+        );
+        AuditVerdict::Pass
+    }
+}
+
+struct Variant {
+    name: &'static str,
+    /// `None` = the legacy serial pipeline; `Some(n)` = fused walk, n workers.
+    fused_workers: Option<usize>,
+}
+
+struct Measurement {
+    name: &'static str,
+    workers: usize,
+    mean_pause_ms: f64,
+    pages_per_ms: f64,
+    dirty_pages_per_epoch: f64,
+}
+
+/// The fig7-style guest every section runs: 8192 pages, medium web
+/// intensity, deterministic seed.
+fn fig7_vm() -> (Vm, WebServerWorkload) {
+    let mut builder = Vm::builder();
+    builder.pages(8192).seed(5);
+    let mut vm = builder.build();
+    let workload = WebServerWorkload::launch(&mut vm, WebIntensity::Medium, 5).expect("launch");
+    vm.memory_mut().take_dirty();
+    (vm, workload)
+}
+
+/// Section 1: wall-clock of the full epoch boundary on this host.
+fn run_pipeline_variant(variant: &Variant, epochs: u64) -> Measurement {
+    let (mut vm, mut workload) = fig7_vm();
+    let workers = variant.fused_workers.unwrap_or(1);
+    let mut cp = Checkpointer::new(
+        &vm,
+        CheckpointConfig {
+            pause_workers: workers,
+            ..CheckpointConfig::default()
+        },
+    );
+    let secret = vm.canary_secret();
+    let scanner = CanaryScanner::new(secret);
+    let mut session = VmiSession::init(&vm).expect("vmi init");
+    let mut audit = BenchAudit {
+        scanner: CanaryScanner::new(secret),
+        session: VmiSession::init(&vm).expect("vmi init"),
+        staged: None,
+    };
+
+    let mut pause_ns = 0u128;
+    let mut dirty_pages = 0u64;
+    for epoch in 0..WARMUP_EPOCHS + epochs {
+        workload.run_ms(&mut vm, 20).expect("workload slice");
+        let t0 = Instant::now();
+        let report = match variant.fused_workers {
+            None => cp
+                .run_epoch(&mut vm, &mut |paused_vm, dirty| {
+                    // The serial audit walk: dirty-scoped canary scan.
+                    session
+                        .refresh_address_spaces(paused_vm.memory())
+                        .expect("refresh");
+                    let report = scanner
+                        .scan_dirty(&session, paused_vm.memory(), dirty)
+                        .expect("scan");
+                    assert!(report.is_clean(), "clean workload must not trip canaries");
+                    AuditVerdict::Pass
+                })
+                .expect("epoch"),
+            Some(_) => cp.run_epoch_fused(&mut vm, &mut audit).expect("epoch"),
+        };
+        let elapsed = t0.elapsed();
+        if epoch >= WARMUP_EPOCHS {
+            pause_ns += elapsed.as_nanos();
+            dirty_pages += report.dirty_pages as u64;
+        }
+    }
+
+    if std::env::var("CRIMES_BENCH_PHASES").is_ok() {
+        if let Some(mean) = cp.stats().mean() {
+            println!(
+                "  {} phases: suspend {:?} vmi {:?} bitscan {:?} map {:?} copy {:?} resume {:?}",
+                variant.name, mean.suspend, mean.vmi, mean.bitscan, mean.map, mean.copy, mean.resume
+            );
+        }
+    }
+    let mean_pause_ms = pause_ns as f64 / epochs as f64 / 1e6;
+    let dirty_pages_per_epoch = dirty_pages as f64 / epochs as f64;
+    Measurement {
+        name: variant.name,
+        workers,
+        mean_pause_ms,
+        pages_per_ms: dirty_pages_per_epoch / mean_pause_ms,
+        dirty_pages_per_epoch,
+    }
+}
+
+struct FusedWalk {
+    workers: usize,
+    /// Real scoped threads, timesharing this host's cores.
+    measured_ms: f64,
+    /// Critical path: stage + max over solo-timed shards.
+    modeled_ms: f64,
+}
+
+struct WalkNumbers {
+    serial_ms: f64,
+    scan_ms: f64,
+    copy_ms: f64,
+    digest_ms: f64,
+    fused: Vec<FusedWalk>,
+    dirty_pages_per_epoch: f64,
+}
+
+/// Section 2: just the walks. Every variant processes the *same* dirty
+/// set each epoch; the serial baseline is the three passes the fused
+/// walk replaces (dirty-scoped scan, page copy, per-page digest).
+/// Variant order per epoch is fused-measured, fused-modeled, serial —
+/// the baseline walks last, with the warmest caches.
+fn run_walks(epochs: u64) -> WalkNumbers {
+    let (mut vm, mut workload) = fig7_vm();
+    let secret = vm.canary_secret();
+    let scanner = CanaryScanner::new(secret);
+    let mut session = VmiSession::init(&vm).expect("vmi init");
+    let mut backup = crimes_checkpoint::BackupVm::new(&vm);
+    let mut digest = ImageDigest::of(backup.frames(), backup.disk());
+    let num_pages = vm.memory().num_pages();
+    let steps = CheckpointConfig::default().hypercall_steps;
+    let mut pools: Vec<PauseWindowPool> = WALK_WORKER_COUNTS
+        .iter()
+        .map(|&w| PauseWindowPool::new(w, num_pages, steps))
+        .collect();
+    // Single-worker pool reused for every solo shard timing.
+    let mut solo = PauseWindowPool::new(1, num_pages, steps);
+
+    let mut serial_ns = 0u128;
+    let mut scan_ns = 0u128;
+    let mut copy_ns = 0u128;
+    let mut digest_ns = 0u128;
+    let mut measured_ns = vec![0u128; WALK_WORKER_COUNTS.len()];
+    let mut modeled_ns = vec![0u128; WALK_WORKER_COUNTS.len()];
+    let mut dirty_pages = 0u64;
+
+    for epoch in 0..WARMUP_EPOCHS + epochs {
+        workload.run_ms(&mut vm, 20).expect("workload slice");
+        let dirty = vm.memory_mut().take_dirty();
+        let mut mapped: Vec<_> = dirty
+            .iter()
+            .map(|p| (p, vm.memory().pfn_to_mfn(p)))
+            .collect();
+        mapped.sort_unstable_by_key(|&(_, mfn)| mfn);
+        let record = epoch >= WARMUP_EPOCHS;
+        if record {
+            dirty_pages += mapped.len() as u64;
+        }
+
+        // Fused, measured: stage once, then the pool's real threads.
+        for (wi, pool) in pools.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            session
+                .refresh_address_spaces(vm.memory())
+                .expect("refresh");
+            let prepared = scanner
+                .prepare_dirty(&mut session, vm.memory(), &dirty)
+                .expect("stage");
+            let canaries = BenchCanaries(prepared);
+            let visitors: [&dyn FusedPageVisitor; 3] = [&MemcpyCopier, &FusedDigest, &canaries];
+            pool.run(vm.memory(), &mut backup, &mapped, &visitors)
+                .expect("walk");
+            if record {
+                measured_ns[wi] += t0.elapsed().as_nanos();
+            }
+        }
+
+        // Fused, modeled: same shard split as the pool (contiguous
+        // near-equal by sorted MFN), each shard timed solo on one core;
+        // the modelled parallel walk is stage + the slowest shard.
+        for (wi, &workers) in WALK_WORKER_COUNTS.iter().enumerate() {
+            let t0 = Instant::now();
+            session
+                .refresh_address_spaces(vm.memory())
+                .expect("refresh");
+            let prepared = scanner
+                .prepare_dirty(&mut session, vm.memory(), &dirty)
+                .expect("stage");
+            let canaries = BenchCanaries(prepared);
+            let visitors: [&dyn FusedPageVisitor; 3] = [&MemcpyCopier, &FusedDigest, &canaries];
+            let stage_ns = t0.elapsed().as_nanos();
+
+            let used = workers.min(mapped.len()).max(1);
+            let (base, rem) = (mapped.len() / used, mapped.len() % used);
+            let mut next = 0usize;
+            let mut slowest = 0u128;
+            for i in 0..used {
+                let take = base + usize::from(i < rem);
+                let shard = &mapped[next..next + take];
+                next += take;
+                let t0 = Instant::now();
+                solo.run(vm.memory(), &mut backup, shard, &visitors)
+                    .expect("shard walk");
+                slowest = slowest.max(t0.elapsed().as_nanos());
+            }
+            if record {
+                modeled_ns[wi] += stage_ns + slowest;
+            }
+        }
+
+        // Serial: the three passes the fused walk replaces.
+        let t0 = Instant::now();
+        session
+            .refresh_address_spaces(vm.memory())
+            .expect("refresh");
+        let report = scanner
+            .scan_dirty(&session, vm.memory(), &dirty)
+            .expect("scan");
+        assert!(report.is_clean(), "clean workload must not trip canaries");
+        let t1 = Instant::now();
+        MemcpyCopier
+            .copy_epoch(&vm, &mut backup, &mapped)
+            .expect("copy");
+        let t2 = Instant::now();
+        for &(_, mfn) in &mapped {
+            digest.update_page(mfn.0 as usize, backup.frame(mfn));
+        }
+        let t3 = Instant::now();
+        if record {
+            scan_ns += (t1 - t0).as_nanos();
+            copy_ns += (t2 - t1).as_nanos();
+            digest_ns += (t3 - t2).as_nanos();
+            serial_ns += (t3 - t0).as_nanos();
+        }
+    }
+
+    WalkNumbers {
+        serial_ms: ms(serial_ns, epochs),
+        scan_ms: ms(scan_ns, epochs),
+        copy_ms: ms(copy_ns, epochs),
+        digest_ms: ms(digest_ns, epochs),
+        fused: WALK_WORKER_COUNTS
+            .iter()
+            .enumerate()
+            .map(|(wi, &workers)| FusedWalk {
+                workers,
+                measured_ms: ms(measured_ns[wi], epochs),
+                modeled_ms: ms(modeled_ns[wi], epochs),
+            })
+            .collect(),
+        dirty_pages_per_epoch: dirty_pages as f64 / epochs as f64,
+    }
+}
+
+fn main() {
+    let epochs = env_u64("CRIMES_BENCH_EPOCHS", 30);
+    let out = std::env::var("CRIMES_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_pause_window.json".to_owned());
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let variants = [
+        Variant { name: "serial", fused_workers: None },
+        Variant { name: "fused-1", fused_workers: Some(1) },
+        Variant { name: "fused-2", fused_workers: Some(2) },
+        Variant { name: "fused-4", fused_workers: Some(4) },
+    ];
+
+    println!("pipeline (full epoch boundary, wall-clock on {host_cpus}-cpu host):");
+    let mut results = Vec::new();
+    for v in &variants {
+        let m = run_pipeline_variant(v, epochs);
+        println!(
+            "  {:<8} workers={} pause {:.3} ms/epoch, {:.0} pages/ms ({:.0} dirty pages/epoch)",
+            m.name, m.workers, m.mean_pause_ms, m.pages_per_ms, m.dirty_pages_per_epoch
+        );
+        results.push(m);
+    }
+
+    println!("walk (scan+copy+digest only, same dirty set per variant):");
+    let walk = run_walks(epochs);
+    println!(
+        "  serial three-pass {:.3} ms/epoch (scan {:.3} + copy {:.3} + digest {:.3}), {:.0} dirty pages/epoch",
+        walk.serial_ms, walk.scan_ms, walk.copy_ms, walk.digest_ms, walk.dirty_pages_per_epoch
+    );
+    for f in &walk.fused {
+        println!(
+            "  fused-{} one-pass: measured {:.3} ms/epoch, critical-path model {:.3} ms/epoch",
+            f.workers, f.measured_ms, f.modeled_ms
+        );
+    }
+
+    let fused4 = walk
+        .fused
+        .iter()
+        .find(|f| f.workers == 4)
+        .expect("fused-4 walk");
+    let speedup = walk.serial_ms / fused4.modeled_ms;
+    println!("fused-4 walk speedup over serial three-pass (critical-path model): {speedup:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"workload\": \"web-medium-20ms-8192p\",");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"epochs_per_variant\": {epochs},");
+    json.push_str("  \"pipeline\": {\n");
+    json.push_str(
+        "    \"note\": \"full epoch boundary wall-clock on this host; includes the modelled \
+         Xen suspend/resume hypercall phases (fixed per-epoch cost the walk cannot shrink), \
+         and fused worker threads timeshare the host's cores\",\n",
+    );
+    json.push_str("    \"variants\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"name\": \"{}\", \"workers\": {}, \"mean_pause_ms\": {:.4}, \
+             \"pages_per_ms\": {:.1}, \"dirty_pages_per_epoch\": {:.1}}}",
+            m.name, m.workers, m.mean_pause_ms, m.pages_per_ms, m.dirty_pages_per_epoch
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ]\n  },\n");
+    json.push_str("  \"walk\": {\n");
+    json.push_str(
+        "    \"parallel_model\": \"critical path: shards solo-timed on one core, \
+         modeled_ms = stage + max(shard); measured_ms is real scoped threads \
+         timesharing this host's cores\",\n",
+    );
+    let _ = writeln!(
+        json,
+        "    \"serial_three_pass_ms\": {:.4},",
+        walk.serial_ms
+    );
+    let _ = writeln!(
+        json,
+        "    \"serial_breakdown\": {{\"scan_ms\": {:.4}, \"copy_ms\": {:.4}, \"digest_ms\": {:.4}}},",
+        walk.scan_ms, walk.copy_ms, walk.digest_ms
+    );
+    let _ = writeln!(
+        json,
+        "    \"dirty_pages_per_epoch\": {:.1},",
+        walk.dirty_pages_per_epoch
+    );
+    json.push_str("    \"fused\": [\n");
+    for (i, f) in walk.fused.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"workers\": {}, \"measured_ms\": {:.4}, \"modeled_ms\": {:.4}}}",
+            f.workers, f.measured_ms, f.modeled_ms
+        );
+        json.push_str(if i + 1 < walk.fused.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ]\n  },\n");
+    json.push_str(
+        "  \"speedup_metric\": \"serial three-pass walk vs fused 4-worker critical-path walk \
+         (see walk.parallel_model)\",\n",
+    );
+    let _ = writeln!(json, "  \"speedup_fused4_vs_serial\": {speedup:.3}");
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("write json");
+    println!("wrote {out}");
+}

@@ -80,6 +80,14 @@ impl BackupVm {
         &mut self.frames[base..base + PAGE_SIZE]
     }
 
+    /// Mutable view of the whole frame image, in machine-frame order. The
+    /// parallel pause window peels disjoint per-shard regions off this
+    /// slice with `split_at_mut` so workers write their shards without
+    /// aliasing (see `pool`).
+    pub(crate) fn frames_mut(&mut self) -> &mut [u8] {
+        &mut self.frames
+    }
+
     /// Record the vCPU state captured at suspend time.
     // lint: pause-window
     pub fn save_vcpus(&mut self, vcpus: &VcpuSet) {

@@ -21,6 +21,7 @@ use crimes_vm::{Mfn, Vm, PAGE_SIZE};
 use crate::backup::BackupVm;
 use crate::error::CheckpointError;
 use crate::mapping::{HypercallModel, MappedPage};
+use crate::pool::{FusedPageVisitor, PageCtx, ShardSink};
 
 /// Which copy pipeline to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -206,6 +207,63 @@ impl MemcpyCopier {
     }
 }
 
+impl FusedPageVisitor for MemcpyCopier {
+    /// The fused memcpy pass: one frame-to-frame copy into the worker's
+    /// shard of the backup image. Fault points live at the shard level
+    /// (in the pool), exactly as [`MemcpyCopier::copy_epoch`] holds them
+    /// at the epoch level.
+    fn visit_page(&self, ctx: &PageCtx<'_>, sink: &mut ShardSink<'_>) {
+        sink.dst().copy_from_slice(ctx.src);
+        sink.count_page(PAGE_SIZE);
+    }
+}
+
+/// The Remus socket/ssh pipeline, fused: serialise + encrypt each page
+/// into the worker's scratch stream, then decrypt into the backup frame —
+/// byte-for-byte the same backup image and per-page cipher work as
+/// [`SocketCopier::copy_epoch`], with `writev`/read syscalls modelled per
+/// [`WRITEV_BATCH`]-page batch on each worker's own cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct FusedSocketCopier {
+    key: u64,
+}
+
+impl FusedSocketCopier {
+    /// Create the fused pipeline sharing `key` with the restore side.
+    pub fn new(key: u64) -> Self {
+        FusedSocketCopier { key }
+    }
+}
+
+impl FusedPageVisitor for FusedSocketCopier {
+    fn visit_page(&self, ctx: &PageCtx<'_>, sink: &mut ShardSink<'_>) {
+        let (stream, dst) = sink.stream_and_dst();
+        // Sender side: header (plaintext) + encrypted page into scratch.
+        stream.clear();
+        stream.extend_from_slice(&ctx.pfn.0.to_le_bytes());
+        stream.extend_from_slice(&ctx.mfn.0.to_le_bytes());
+        stream.extend_from_slice(&(PAGE_SIZE as u32).to_le_bytes());
+        let start = stream.len();
+        stream.extend_from_slice(ctx.src);
+        // `start` was the stream length a moment ago, so the split point
+        // is always in range.
+        let (_, fresh) = stream.split_at_mut(start);
+        encrypt_in_place(fresh, self.key, ctx.pfn.0);
+        // Receiver side: copy the ciphertext into the backup frame and
+        // decrypt in place.
+        if dst.len() == fresh.len() {
+            dst.copy_from_slice(fresh);
+        }
+        decrypt_in_place(dst, self.key, ctx.pfn.0);
+        sink.count_page(PAGE_SIZE);
+        sink.batch_page(WRITEV_BATCH);
+    }
+
+    fn finish_shard(&self, sink: &mut ShardSink<'_>) {
+        sink.finish_batches(WRITEV_BATCH);
+    }
+}
+
 /// Rounds of state mixing per 8-byte keystream block. Calibrated so the
 /// whole encrypt→copy→decrypt pipeline moves pages at roughly the
 /// ~100 MB/s a pre-AES-NI ssh session achieved on the paper's 2010-era
@@ -365,6 +423,40 @@ mod tests {
             .expect("no faults armed");
         // 2 writev batches + 2 restore reads.
         assert_eq!(stats.syscalls, 4);
+    }
+
+    #[test]
+    fn fused_visitors_match_serial_strategies() {
+        use crate::pool::PauseWindowPool;
+        let (vm, dirty) = vm_with_writes();
+        let mapped = mapped_of(&vm, &dirty);
+        let mut serial = BackupVm::new(&vm);
+        let mut fused = BackupVm::new(&vm);
+        for &(_p, mfn) in &mapped {
+            serial.frame_mut(mfn).fill(0);
+            fused.frame_mut(mfn).fill(0);
+        }
+        SocketCopier::new(9)
+            .copy_epoch(&vm, &mut serial, &mapped)
+            .expect("no faults armed");
+        let mut pool = PauseWindowPool::new(4, vm.memory().num_pages(), 2);
+        let fused_socket = FusedSocketCopier::new(9);
+        let visitors: [&dyn FusedPageVisitor; 1] = [&fused_socket];
+        let stats = pool
+            .run(vm.memory(), &mut fused, &mapped, &visitors)
+            .expect("no faults armed");
+        assert_eq!(serial.frames(), fused.frames(), "socket paths agree");
+        assert_eq!(stats.pages, mapped.len());
+        assert!(stats.syscalls >= 2, "writev + restore read modelled");
+
+        let mut fused_mc = BackupVm::new(&vm);
+        for &(_p, mfn) in &mapped {
+            fused_mc.frame_mut(mfn).fill(0);
+        }
+        let visitors: [&dyn FusedPageVisitor; 1] = [&MemcpyCopier];
+        pool.run(vm.memory(), &mut fused_mc, &mapped, &visitors)
+            .expect("no faults armed");
+        assert_eq!(serial.frames(), fused_mc.frames(), "memcpy path agrees");
     }
 
     #[test]

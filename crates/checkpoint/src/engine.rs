@@ -29,11 +29,12 @@ use crimes_vm::{DirtyBitmap, MetaSnapshot, Pfn, Vm};
 
 use crate::backup::BackupVm;
 use crate::bitmap::BitmapScan;
-use crate::copy::{CopyStats, CopyStrategy, MemcpyCopier, SocketCopier};
+use crate::copy::{CopyStats, CopyStrategy, FusedSocketCopier, MemcpyCopier, SocketCopier};
 use crate::error::CheckpointError;
 use crate::history::{CheckpointHistory, CheckpointRecord};
-use crate::integrity::{image_digest, ImageDigest};
+use crate::integrity::{image_digest, FusedDigest, ImageDigest};
 use crate::mapping::{HypercallModel, Mapper, MappingStrategy};
+use crate::pool::{FusedAudit, FusedPageVisitor, NoopVisitor, PauseWindowPool};
 use crate::probe::{BreakdownStats, PhaseTimings};
 
 /// The four optimisation levels the evaluation compares (Figures 3, 4, 6a).
@@ -150,6 +151,12 @@ pub struct CheckpointConfig {
     pub copy_retries: u32,
     /// Linear backoff between copy retries, in microseconds per attempt.
     pub retry_backoff_us: u64,
+    /// Worker threads for the fused pause-window walk (scan + copy +
+    /// digest in a single sharded pass; see `pool`). `1` keeps the serial
+    /// pipeline; higher values only take effect through
+    /// [`Checkpointer::run_epoch_fused`]. Clamped to
+    /// [`crate::pool::MAX_WORKERS`].
+    pub pause_workers: usize,
 }
 
 impl Default for CheckpointConfig {
@@ -164,6 +171,7 @@ impl Default for CheckpointConfig {
             retain_history_images: false,
             copy_retries: 3,
             retry_backoff_us: 50,
+            pause_workers: 1,
         }
     }
 }
@@ -206,6 +214,11 @@ pub struct Checkpointer {
     mapper: Mapper,
     socket: SocketCopier,
     memcpy: MemcpyCopier,
+    fused_socket: FusedSocketCopier,
+    /// Preallocated worker pool for the fused pause window; built eagerly
+    /// when `pause_workers > 1`, lazily on the first
+    /// [`run_epoch_fused`](Self::run_epoch_fused) otherwise.
+    pool: Option<PauseWindowPool>,
     history: CheckpointHistory,
     integrity: ImageDigest,
     stats: BreakdownStats,
@@ -227,6 +240,13 @@ impl Checkpointer {
             HypercallModel::new(config.hypercall_steps),
         );
         let integrity = ImageDigest::of(backup.frames(), backup.disk());
+        let pool = (config.pause_workers > 1).then(|| {
+            PauseWindowPool::new(
+                config.pause_workers,
+                vm.memory().num_pages(),
+                config.hypercall_steps,
+            )
+        });
         let init_time = t0.elapsed();
         Checkpointer {
             config,
@@ -234,6 +254,8 @@ impl Checkpointer {
             mapper,
             socket: SocketCopier::new(0xc1e4_0000_5ec5),
             memcpy: MemcpyCopier,
+            fused_socket: FusedSocketCopier::new(0xc1e4_0000_5ec5),
+            pool,
             history: CheckpointHistory::new(config.history_depth, config.retain_history_images),
             integrity,
             stats: BreakdownStats::new(),
@@ -465,6 +487,238 @@ impl Checkpointer {
             copy_attempts,
         };
         self.stats.record(&report.timings);
+        Ok(report)
+    }
+
+    /// Execute one pause window through the **parallel fused** pipeline:
+    /// the audit's page-scoped scan, the dirty-page copy, and the per-page
+    /// digest run as a single sharded walk on the preallocated worker pool
+    /// (see `pool`) instead of three serial passes.
+    ///
+    /// The phase order differs from [`run_epoch`](Self::run_epoch) in one
+    /// way: the audit is split around the walk. `audit.stage` runs before
+    /// it (resolving everything the page-scoped scan needs),
+    /// `audit.verdict` after it, fed the walk's findings. Because the copy
+    /// therefore precedes the verdict, a `Fail` or `Inconclusive` verdict
+    /// rolls the walk back from the undo log — the backup ends bit-exactly
+    /// where the serial path (which never copies on those verdicts) leaves
+    /// it. On those verdicts `copy` reports zero but `copy_attempts`
+    /// records the walk attempts actually spent.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Exhausted`] when every walk attempt failed. The
+    /// undo log restores the backup after each failed attempt, so unlike
+    /// the serial path the image is clean (not partially copied) on
+    /// exhaustion; the VM stays suspended and the dirty set is re-marked.
+    pub fn run_epoch_fused(
+        &mut self,
+        vm: &mut Vm,
+        audit: &mut dyn FusedAudit,
+    ) -> Result<EpochReport, CheckpointError> {
+        let mut timings = PhaseTimings::default();
+        let epoch = self.backup.epoch();
+        if self.pool.is_none() {
+            self.pool = Some(PauseWindowPool::new(
+                self.config.pause_workers,
+                self.backup.num_pages(),
+                self.config.hypercall_steps,
+            ));
+        }
+
+        // Injected silent corruption, exactly as in the serial path.
+        if crimes_faults::should_inject(FaultPoint::PageCorrupt) {
+            let at = crimes_faults::draw_below(self.backup.size_bytes() as u64) as usize;
+            let bit = 1u8 << crimes_faults::draw_below(8);
+            let mfn = crimes_vm::Mfn((at / crimes_vm::PAGE_SIZE) as u64);
+            if let Some(byte) = self.backup.frame_mut(mfn).get_mut(at % crimes_vm::PAGE_SIZE) {
+                *byte ^= bit;
+            }
+        }
+
+        // --- suspend ------------------------------------------------------
+        let t = Instant::now();
+        for _ in 0..self.config.suspend_hypercalls + 2 * vm.vcpus().len() as u32 {
+            self.sched.call();
+        }
+        vm.vcpus_mut().pause_all();
+        self.backup.save_vcpus(vm.vcpus());
+        let dirty = vm.memory_mut().take_dirty();
+        timings.suspend = t.elapsed();
+
+        // --- vmi, first half: stage the page-scoped scan ------------------
+        let t = Instant::now();
+        audit.stage(vm, &dirty);
+        timings.vmi = t.elapsed();
+
+        // --- bitscan ------------------------------------------------------
+        let t = Instant::now();
+        let dirty_pfns: Vec<Pfn> = self.config.opt.bitmap_scan().scan(&dirty);
+        timings.bitscan = t.elapsed();
+
+        // --- map ----------------------------------------------------------
+        let t = Instant::now();
+        let mapped = self.mapper.map_epoch(vm, &dirty_pfns);
+        timings.map = t.elapsed();
+
+        // --- fused walk: scan + copy + digest in one sharded pass ---------
+        // Split the engine's fields so the pool, the backup, and the copy
+        // visitors can be borrowed simultaneously.
+        let Checkpointer {
+            config,
+            backup,
+            mapper,
+            memcpy,
+            fused_socket,
+            pool,
+            history,
+            integrity,
+            stats,
+            sched,
+            ..
+        } = self;
+        let config = *config;
+        let Some(pool) = pool.as_mut() else {
+            // Unreachable (built above), but fail closed rather than panic.
+            return Err(CheckpointError::Exhausted { attempts: 0 });
+        };
+        let strategy = if config.remote_backup {
+            CopyStrategy::Socket
+        } else {
+            config.opt.copy_strategy()
+        };
+        let copy_visitor: &dyn FusedPageVisitor = match strategy {
+            CopyStrategy::Socket => fused_socket,
+            CopyStrategy::Memcpy => memcpy,
+        };
+        let digest = FusedDigest;
+        let noop = NoopVisitor;
+        let scan: &dyn FusedPageVisitor = audit.visitor().unwrap_or(&noop);
+        // The scan rides last so copy/digest output is identical whether or
+        // not a scan is staged; its findings carry `source == 2`.
+        let visitors: [&dyn FusedPageVisitor; 3] = [copy_visitor, &digest, scan];
+
+        let t = Instant::now();
+        let mut copy_attempts = 0u32;
+        let copy = loop {
+            copy_attempts += 1;
+            match pool.run(vm.memory(), backup, &mapped, &visitors) {
+                Ok(copy_stats) => break copy_stats,
+                Err(_) if copy_attempts <= config.copy_retries => {
+                    std::thread::sleep(Duration::from_micros(
+                        config.retry_backoff_us * u64::from(copy_attempts),
+                    ));
+                }
+                Err(_) => {
+                    // Give up, fail closed: each failed attempt already
+                    // undid its partial writes, so the backup is clean.
+                    mapper.unmap_epoch(&mapped);
+                    for pfn in dirty.iter() {
+                        vm.memory_mut().mark_dirty(pfn);
+                    }
+                    return Err(CheckpointError::Exhausted {
+                        attempts: copy_attempts,
+                    });
+                }
+            }
+        };
+        timings.copy = t.elapsed();
+
+        // --- vmi, second half: the verdict over the walk's findings -------
+        let t = Instant::now();
+        let verdict = audit.verdict(vm, &dirty, pool.findings());
+        timings.vmi += t.elapsed();
+
+        if verdict == AuditVerdict::Fail {
+            // Roll the walk back: the backup returns to the last clean
+            // snapshot and the VM stays suspended for analysis.
+            pool.rollback_walk(backup);
+            mapper.unmap_epoch(&mapped);
+            let report = EpochReport {
+                epoch,
+                verdict,
+                timings,
+                dirty_pages: dirty_pfns.len(),
+                copy: CopyStats::default(),
+                copy_attempts,
+            };
+            stats.record(&report.timings);
+            return Ok(report);
+        }
+
+        if verdict == AuditVerdict::Inconclusive {
+            // Fail closed without failing the guest: undo the copy, keep
+            // the dirty set, resume, and extend speculation.
+            pool.rollback_walk(backup);
+            mapper.unmap_epoch(&mapped);
+            let t = Instant::now();
+            for pfn in dirty.iter() {
+                vm.memory_mut().mark_dirty(pfn);
+            }
+            for _ in 0..config.resume_hypercalls + 2 * vm.vcpus().len() as u32 {
+                sched.call();
+            }
+            vm.vcpus_mut().resume_all();
+            timings.resume = t.elapsed();
+            let report = EpochReport {
+                epoch,
+                verdict,
+                timings,
+                dirty_pages: dirty_pfns.len(),
+                copy: CopyStats::default(),
+                copy_attempts,
+            };
+            stats.record(&report.timings);
+            return Ok(report);
+        }
+
+        // --- commit: disk sectors ride along as in the serial path --------
+        let dirty_sectors = vm.disk_mut().take_dirty();
+        for sector in dirty_sectors.iter() {
+            let data = vm.disk().read_sector(sector.0).to_vec();
+            backup.apply_sector(sector.0, &data);
+        }
+
+        // --- resume -------------------------------------------------------
+        let t = Instant::now();
+        mapper.unmap_epoch(&mapped);
+        for _ in 0..config.resume_hypercalls + 2 * vm.vcpus().len() as u32 {
+            sched.call();
+        }
+        vm.vcpus_mut().resume_all();
+        timings.resume = t.elapsed();
+
+        // Fold the walk's per-page digests into the image digest after
+        // resume (order independent under XOR, so the shard layout cannot
+        // change the checksum).
+        for (index, page_digest) in pool.page_digests() {
+            integrity.apply_page_digest(index, page_digest);
+        }
+        for sector in dirty_sectors.iter() {
+            integrity.update_sector(sector.0 as usize, backup.sector(sector.0));
+        }
+
+        backup.commit_epoch();
+        let retain = history.retains_images();
+        history.push(CheckpointRecord {
+            epoch: backup.epoch(),
+            guest_time_ns: vm.now_ns(),
+            dirty_pages: dirty_pfns.len(),
+            checksum: integrity.combined(),
+            frames: retain.then(|| Arc::new(backup.frames().to_vec())),
+            disk: retain.then(|| Arc::new(backup.disk().to_vec())),
+            meta: retain.then(|| vm.meta_snapshot()),
+        });
+
+        let report = EpochReport {
+            epoch,
+            verdict,
+            timings,
+            dirty_pages: dirty_pfns.len(),
+            copy,
+            copy_attempts,
+        };
+        stats.record(&report.timings);
         Ok(report)
     }
 
@@ -937,5 +1191,186 @@ mod tests {
         let vm = vm();
         let cp = Checkpointer::new(&vm, CheckpointConfig::default());
         assert!(cp.init_time() > Duration::ZERO);
+    }
+
+    /// A [`FusedAudit`] with no page-scoped scan and a fixed verdict.
+    struct FixedFused(AuditVerdict);
+
+    impl FusedAudit for FixedFused {
+        fn stage(&mut self, _vm: &Vm, _dirty: &DirtyBitmap) {}
+        fn visitor(&self) -> Option<&dyn FusedPageVisitor> {
+            None
+        }
+        fn verdict(
+            &mut self,
+            _vm: &Vm,
+            _dirty: &DirtyBitmap,
+            _findings: &[crate::pool::PageFinding],
+        ) -> AuditVerdict {
+            self.0
+        }
+    }
+
+    fn fused_config(workers: usize) -> CheckpointConfig {
+        CheckpointConfig {
+            pause_workers: workers,
+            ..CheckpointConfig::default()
+        }
+    }
+
+    fn dirty_some(vm: &mut Vm, pid: u32, salt: u8) {
+        for i in 0..24 {
+            vm.dirty_arena_page(pid, i, i % 60, salt.wrapping_add(i as u8))
+                .expect("dirty");
+        }
+    }
+
+    #[test]
+    fn fused_pass_matches_serial_backup_and_checksum() {
+        // Two identical VMs, one driven by the serial pipeline and one by
+        // the fused pool: committed state must be indistinguishable.
+        let mk = || {
+            let mut b = Vm::builder();
+            b.pages(2048).seed(77);
+            let mut vm = b.build();
+            let pid = vm.spawn_process("app", 0, 64).expect("spawn");
+            (vm, pid)
+        };
+        let (mut vm_a, pid_a) = mk();
+        let (mut vm_b, pid_b) = mk();
+        let mut serial = Checkpointer::new(&vm_a, CheckpointConfig::default());
+        let mut fused = Checkpointer::new(&vm_b, fused_config(4));
+
+        for epoch in 0..3u8 {
+            dirty_some(&mut vm_a, pid_a, epoch);
+            dirty_some(&mut vm_b, pid_b, epoch);
+            let a = serial
+                .run_epoch(&mut vm_a, &mut pass_audit())
+                .expect("no faults armed");
+            let b = fused
+                .run_epoch_fused(&mut vm_b, &mut FixedFused(AuditVerdict::Pass))
+                .expect("no faults armed");
+            assert_eq!(a.verdict, b.verdict);
+            assert_eq!(a.dirty_pages, b.dirty_pages);
+            assert_eq!(a.copy.pages, b.copy.pages);
+            assert_eq!(a.copy.bytes, b.copy.bytes);
+            assert_eq!(
+                serial.backup().frames(),
+                fused.backup().frames(),
+                "fused backup image diverged at epoch {epoch}"
+            );
+            assert_eq!(
+                serial.integrity.combined(),
+                fused.integrity.combined(),
+                "fused checksum diverged at epoch {epoch}"
+            );
+        }
+        assert!(!vm_b.vcpus().all_paused());
+        assert_eq!(fused.backup().epoch(), 3);
+        assert!(fused.verify_backup().is_ok());
+    }
+
+    #[test]
+    fn fused_remote_backup_travels_the_socket() {
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 64).expect("spawn");
+        let mut cp = Checkpointer::new(
+            &vm,
+            CheckpointConfig {
+                remote_backup: true,
+                ..fused_config(4)
+            },
+        );
+        dirty_some(&mut vm, pid, 1);
+        let report = cp
+            .run_epoch_fused(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+            .expect("no faults armed");
+        assert!(report.copy.syscalls > 0, "remote copies model the socket");
+        assert_eq!(cp.backup().frames(), vm.memory().dump_frames().as_slice());
+        assert!(cp.verify_backup().is_ok());
+    }
+
+    #[test]
+    fn fused_fail_rolls_the_walk_back_and_stays_suspended() {
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 64).expect("spawn");
+        let mut cp = Checkpointer::new(&vm, fused_config(4));
+        let clean = cp.backup().frames().to_vec();
+        dirty_some(&mut vm, pid, 2);
+        let report = cp
+            .run_epoch_fused(&mut vm, &mut FixedFused(AuditVerdict::Fail))
+            .expect("no faults armed");
+        assert_eq!(report.verdict, AuditVerdict::Fail);
+        assert!(vm.vcpus().all_paused(), "VM must stay paused on failure");
+        assert_eq!(cp.backup().epoch(), 0, "no commit on failure");
+        assert_eq!(
+            cp.backup().frames(),
+            clean.as_slice(),
+            "the fused walk must be undone on a failing verdict"
+        );
+        assert_eq!(report.copy.pages, 0);
+        assert!(cp.verify_backup().is_ok(), "digest state never advanced");
+    }
+
+    #[test]
+    fn fused_inconclusive_extends_speculation() {
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 64).expect("spawn");
+        let mut cp = Checkpointer::new(&vm, fused_config(4));
+        let clean = cp.backup().frames().to_vec();
+        dirty_some(&mut vm, pid, 3);
+        let report = cp
+            .run_epoch_fused(&mut vm, &mut FixedFused(AuditVerdict::Inconclusive))
+            .expect("no faults armed");
+        assert_eq!(report.verdict, AuditVerdict::Inconclusive);
+        assert!(!vm.vcpus().all_paused(), "VM resumes");
+        assert_eq!(cp.backup().epoch(), 0, "no commit while inconclusive");
+        assert_eq!(cp.backup().frames(), clean.as_slice(), "walk undone");
+
+        // The deferred pages are still dirty: the next conclusive epoch
+        // audits and commits them.
+        let next = cp
+            .run_epoch_fused(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+            .expect("no faults armed");
+        assert_eq!(next.verdict, AuditVerdict::Pass);
+        assert!(next.dirty_pages >= report.dirty_pages);
+        assert_eq!(cp.backup().epoch(), 1);
+        assert_eq!(cp.backup().frames(), vm.memory().dump_frames().as_slice());
+        assert!(cp.verify_backup().is_ok());
+    }
+
+    #[test]
+    fn fused_exhaustion_leaves_backup_clean() {
+        use crimes_faults::{FaultPlan, FaultPoint, SCALE};
+
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 64).expect("spawn");
+        let mut cp = Checkpointer::new(&vm, fused_config(4));
+        let clean = cp.backup().frames().to_vec();
+        dirty_some(&mut vm, pid, 4);
+        {
+            let plan = FaultPlan::disabled().with_rate(FaultPoint::PageCopy, SCALE);
+            let _scope = crimes_faults::install(plan, 21);
+            let err = cp
+                .run_epoch_fused(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+                .expect_err("every walk attempt faults");
+            assert_eq!(err, CheckpointError::Exhausted { attempts: 4 });
+        }
+        assert!(vm.vcpus().all_paused(), "fail closed: VM stays suspended");
+        assert_eq!(cp.backup().epoch(), 0);
+        assert_eq!(
+            cp.backup().frames(),
+            clean.as_slice(),
+            "undo log leaves no partial copy behind"
+        );
+        vm.vcpus_mut().resume_all();
+
+        // The dirty set was re-marked, so a fault-free epoch still commits.
+        let report = cp
+            .run_epoch_fused(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+            .expect("no faults armed");
+        assert_eq!(report.verdict, AuditVerdict::Pass);
+        assert_eq!(cp.backup().epoch(), 1);
+        assert_eq!(cp.backup().frames(), vm.memory().dump_frames().as_slice());
     }
 }

@@ -27,6 +27,8 @@
 
 use crimes_vm::{PAGE_SIZE, SECTOR_SIZE};
 
+use crate::pool::{FusedPageVisitor, PageCtx, ShardSink};
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
@@ -53,6 +55,22 @@ pub fn chunk_digest(tag: u64, bytes: &[u8]) -> u64 {
         h = (h ^ u64::from_le_bytes(word)).wrapping_mul(FNV_PRIME);
     }
     (h ^ bytes.len() as u64).wrapping_mul(FNV_PRIME)
+}
+
+/// The digest pass of a fused pause-window walk: digests each visited
+/// page's source bytes during the walk (the copy visitor makes the backup
+/// frame identical to the source, so this is the same digest the serial
+/// post-resume pass computes) and parks the result in the worker's sink.
+/// The engine folds the per-page digests into the [`ImageDigest`] after
+/// resume via [`ImageDigest::apply_page_digest`] — the XOR combination is
+/// order independent, so the shard layout cannot change the checksum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FusedDigest;
+
+impl FusedPageVisitor for FusedDigest {
+    fn visit_page(&self, ctx: &PageCtx<'_>, sink: &mut ShardSink<'_>) {
+        sink.push_digest(ctx.mfn.0 as usize, chunk_digest(ctx.mfn.0, ctx.src));
+    }
 }
 
 /// One-shot combined digest of a full image (frames + disk).
@@ -104,6 +122,19 @@ impl ImageDigest {
         let new = chunk_digest(index as u64, bytes);
         self.combined ^= self.pages[index] ^ new; // lint: allow(panic-freedom) -- in-range is the documented `# Panics` contract
         self.pages[index] = new;
+    }
+
+    /// Fold in a page digest that was computed elsewhere (the parallel
+    /// pause window digests pages on worker threads and applies them here
+    /// after resume). Equivalent to [`update_page`](Self::update_page)
+    /// with the digest precomputed — the XOR swap is identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn apply_page_digest(&mut self, index: usize, digest: u64) {
+        self.combined ^= self.pages[index] ^ digest; // lint: allow(panic-freedom) -- in-range is the documented `# Panics` contract
+        self.pages[index] = digest;
     }
 
     /// Re-digest one disk sector after it was rewritten.
@@ -174,6 +205,22 @@ mod tests {
 
         assert_eq!(digest.combined(), image_digest(&frames, &disk));
         assert!(digest.verify(&frames, &disk).is_ok());
+    }
+
+    #[test]
+    fn apply_page_digest_matches_update_page() {
+        let mut frames = vec![3u8; PAGE_SIZE * 3];
+        let disk = vec![4u8; SECTOR_SIZE * 2];
+        let mut via_update = ImageDigest::of(&frames, &disk);
+        let mut via_apply = via_update.clone();
+
+        frames[PAGE_SIZE + 100] = 0xcc;
+        let page = &frames[PAGE_SIZE..PAGE_SIZE * 2];
+        via_update.update_page(1, page);
+        via_apply.apply_page_digest(1, chunk_digest(1, page));
+
+        assert_eq!(via_update.combined(), via_apply.combined());
+        assert!(via_apply.verify(&frames, &disk).is_ok());
     }
 
     #[test]

@@ -45,16 +45,21 @@ pub mod error;
 pub mod history;
 pub mod integrity;
 pub mod mapping;
+pub mod pool;
 pub mod probe;
 
 pub use backup::BackupVm;
 pub use bitmap::{scan_bit_by_bit, scan_wordwise, BitmapScan};
-pub use copy::{CopyStats, CopyStrategy, MemcpyCopier, SocketCopier};
+pub use copy::{CopyStats, CopyStrategy, FusedSocketCopier, MemcpyCopier, SocketCopier};
 pub use engine::{
     AuditVerdict, CheckpointConfig, Checkpointer, EpochReport, OptLevel, RollbackReport,
 };
 pub use error::CheckpointError;
 pub use history::{CheckpointHistory, CheckpointRecord};
-pub use integrity::{chunk_digest, image_digest, ImageDigest};
+pub use integrity::{chunk_digest, image_digest, FusedDigest, ImageDigest};
 pub use mapping::{HypercallModel, MappedPage, Mapper, MappingStrategy};
+pub use pool::{
+    FusedAudit, FusedPageVisitor, NoopVisitor, PageCtx, PageFinding, PauseWindowPool, ShardSink,
+    MAX_WORKERS,
+};
 pub use probe::{BreakdownStats, Phase, PhaseTimings};

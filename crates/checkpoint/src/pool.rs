@@ -1,0 +1,700 @@
+//! The parallel fused pause window: one sharded walk over the epoch's
+//! dirty pages instead of three serial ones.
+//!
+//! The pause window is the whole overhead story (§4, Fig. 4/7): the VM is
+//! stopped while the audit scans dirtied memory, Remus-style copy captures
+//! dirty pages, and (since the integrity extension) each copied page is
+//! re-digested. Serially those are three passes over the same page set.
+//! This module **fuses** them — every dirty page is visited exactly once,
+//! and each registered [`FusedPageVisitor`] (scan, copy, digest) runs over
+//! it in turn — and **shards** the fused pass across a preallocated scoped
+//! worker pool (`std::thread::scope`; no new dependencies, hermetic).
+//!
+//! # Determinism contract
+//!
+//! Results are bit-identical for any worker count:
+//!
+//! * pages are sorted by MFN and split into contiguous shards, so the
+//!   shard boundaries are a pure function of the dirty set and the worker
+//!   count;
+//! * per-page digests combine by XOR (order independent) and are applied
+//!   in sorted-MFN order anyway;
+//! * scan findings carry `(visitor, key)` identifiers and are merged in
+//!   shard order then sorted — the canonical order equals a serial scan's;
+//! * each worker gets a *forked* fault-injection plan whose seed is a pure
+//!   mix of the installed seed and the worker index
+//!   ([`crimes_faults::fork_for_worker`]), so worker draws never perturb
+//!   the installer's schedule.
+//!
+//! `pause_workers = 1` does not even reach this module: the framework
+//! routes single-worker configurations through the unchanged serial
+//! `run_epoch` path, so the pre-existing behaviour (including fault draws)
+//! is reproduced bit-exactly.
+//!
+//! # Why allocation is pre-staged
+//!
+//! The pause-window purity lint forbids heap growth inside the window.
+//! Everything the walk needs — the sort buffer, per-worker undo logs,
+//! digest and finding slots, cipher scratch, per-worker syscall models —
+//! is allocated at [`PauseWindowPool::new`] time (framework build time)
+//! and only `clear()`ed/refilled inside the window, within its preallocated
+//! capacity. Worker shards write disjoint contiguous regions of the backup
+//! image peeled off with `split_at_mut`, so no locking (and no unsafe) is
+//! needed either.
+
+use crimes_faults::{FaultCounters, FaultPlan, FaultPoint};
+use crimes_vm::{DirtyBitmap, GuestMemory, Mfn, Pfn, Vm, PAGE_SIZE};
+
+use crate::backup::BackupVm;
+use crate::copy::CopyStats;
+use crate::engine::AuditVerdict;
+use crate::error::CheckpointError;
+use crate::mapping::{HypercallModel, MappedPage};
+
+/// Upper bound on `pause_workers` — scoped threads are cheap but the
+/// per-worker scratch (undo log, syscall model) is not free, and shards
+/// thinner than this stop paying for themselves.
+pub const MAX_WORKERS: usize = 16;
+
+/// Findings a visitor may keep per shard before its slot has to grow.
+/// Findings only exist under active attack, so growth past this is the
+/// rare case the window is allowed to pay for.
+const FINDINGS_CAP: usize = 64;
+
+/// Everything a visitor may look at for one page. The source bytes are the
+/// primary VM's frame — after the copy visitor runs, the backup's copy of
+/// this page holds exactly these bytes, so digesting `src` and digesting
+/// the copied frame are the same computation.
+#[derive(Debug)]
+pub struct PageCtx<'a> {
+    /// Guest page frame number.
+    pub pfn: Pfn,
+    /// Machine frame number (index into the backup image).
+    pub mfn: Mfn,
+    /// The page's bytes in the primary VM.
+    pub src: &'a [u8],
+    /// The paused guest's whole memory, for checks that cross page
+    /// boundaries (e.g. a canary spanning two pages).
+    pub mem: &'a GuestMemory,
+}
+
+/// One page-scoped finding surfaced during the fused walk. Only an
+/// identifier — the framework resolves it into a full finding after the
+/// walk (guest memory is unchanged while the VM is paused, so anything
+/// else can be re-read then, off the workers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageFinding {
+    /// Index of the visitor that pushed the finding (its position in the
+    /// visitor stack the walk ran).
+    pub source: u32,
+    /// Visitor-defined identifier (e.g. the canary record index).
+    pub key: u64,
+    /// The page the finding was made on.
+    pub pfn: Pfn,
+}
+
+/// A scan/copy/digest pass fused into the sharded page walk.
+///
+/// Visitors are shared by reference across the worker threads, so they
+/// must be [`Sync`] and all per-page *output* flows through the
+/// per-worker [`ShardSink`]. Visitor order within a page is the stack
+/// order the caller composed; results must not depend on it (the built-in
+/// visitors are pairwise independent: copy writes the backup, digest
+/// reads `src`, scans read guest memory).
+pub trait FusedPageVisitor: Sync {
+    /// Visit one dirty page.
+    fn visit_page(&self, ctx: &PageCtx<'_>, sink: &mut ShardSink<'_>);
+
+    /// Called once per shard after its last page (e.g. to flush a
+    /// partially-filled socket batch). Default: nothing.
+    fn finish_shard(&self, _sink: &mut ShardSink<'_>) {}
+}
+
+/// A visitor that does nothing — the placeholder when an audit has no
+/// page-scoped scan staged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopVisitor;
+
+impl FusedPageVisitor for NoopVisitor {
+    fn visit_page(&self, _ctx: &PageCtx<'_>, _sink: &mut ShardSink<'_>) {}
+}
+
+/// The audit half of a fused epoch, as the engine drives it:
+///
+/// 1. [`stage`](FusedAudit::stage) — refresh introspection state and
+///    resolve everything page-scoped scans need (translations, table
+///    reads) *before* the walk, on the main thread;
+/// 2. [`visitor`](FusedAudit::visitor) — the staged page-scoped scan that
+///    rides the walk (or `None` when nothing is page-scoped);
+/// 3. [`verdict`](FusedAudit::verdict) — global-structure scans plus the
+///    walk's findings decide the epoch's [`AuditVerdict`].
+pub trait FusedAudit {
+    /// Stage page-scoped scan state for this epoch's dirty set.
+    fn stage(&mut self, vm: &Vm, dirty: &DirtyBitmap);
+
+    /// The staged page-scoped visitor, if any.
+    fn visitor(&self) -> Option<&dyn FusedPageVisitor>;
+
+    /// Decide the epoch's verdict from the global scans and the walk's
+    /// page findings.
+    fn verdict(&mut self, vm: &Vm, dirty: &DirtyBitmap, findings: &[PageFinding]) -> AuditVerdict;
+}
+
+/// Per-worker result and scratch slots, allocated at pool build time.
+#[derive(Debug)]
+struct WorkerSlot {
+    /// `(page index, digest)` per visited page.
+    digests: Vec<(usize, u64)>,
+    findings: Vec<PageFinding>,
+    /// Pre-walk backup bytes of every page this shard overwrote, appended
+    /// page by page; restored if the attempt fails or the verdict rejects
+    /// the epoch.
+    undo: Vec<u8>,
+    undo_tags: Vec<Mfn>,
+    /// Serialisation scratch for the fused socket copy path.
+    stream: Vec<u8>,
+    /// Per-worker syscall cost model (socket path).
+    syscalls: HypercallModel,
+    stats: CopyStats,
+    counters: FaultCounters,
+    outcome: Result<(), CheckpointError>,
+}
+
+impl WorkerSlot {
+    fn new(shard_pages: usize, hypercall_steps: u32) -> Self {
+        WorkerSlot {
+            digests: Vec::with_capacity(shard_pages),
+            findings: Vec::with_capacity(FINDINGS_CAP),
+            undo: Vec::with_capacity(shard_pages * PAGE_SIZE),
+            undo_tags: Vec::with_capacity(shard_pages),
+            stream: Vec::with_capacity(2 * PAGE_SIZE),
+            syscalls: HypercallModel::new(hypercall_steps),
+            stats: CopyStats::default(),
+            counters: FaultCounters::default(),
+            outcome: Ok(()),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.digests.clear();
+        self.findings.clear();
+        self.undo.clear();
+        self.undo_tags.clear();
+        self.stats = CopyStats::default();
+        self.counters = FaultCounters::default();
+        self.outcome = Ok(());
+    }
+}
+
+/// Per-worker output channel for the fused walk. Visitors write pages,
+/// digests, findings, and cost-model events here; the pool merges slots
+/// deterministically after the scope joins.
+#[derive(Debug)]
+pub struct ShardSink<'a> {
+    /// This shard's contiguous byte region of the backup image.
+    region: &'a mut [u8],
+    /// Byte offset of `region` within the whole image.
+    region_base: usize,
+    /// Current page's offset within `region`.
+    cur: usize,
+    /// Source tag stamped on pushed findings (the visitor's position in
+    /// the walk's visitor stack; set by the pool before each call).
+    source: u32,
+    /// Pages serialised since the last modelled `writev` (socket path).
+    batched: usize,
+    stats: &'a mut CopyStats,
+    digests: &'a mut Vec<(usize, u64)>,
+    findings: &'a mut Vec<PageFinding>,
+    stream: &'a mut Vec<u8>,
+    syscalls: &'a mut HypercallModel,
+}
+
+impl<'a> ShardSink<'a> {
+    /// The current page's destination bytes in the backup image.
+    pub fn dst(&mut self) -> &mut [u8] {
+        self.region
+            .get_mut(self.cur..self.cur + PAGE_SIZE)
+            .unwrap_or(&mut [])
+    }
+
+    /// Cipher scratch and the current page's destination, together (the
+    /// socket path encrypts into scratch, then decrypts into place).
+    pub fn stream_and_dst(&mut self) -> (&mut Vec<u8>, &mut [u8]) {
+        let dst = self
+            .region
+            .get_mut(self.cur..self.cur + PAGE_SIZE)
+            .unwrap_or(&mut []);
+        (self.stream, dst)
+    }
+
+    /// Record one copied page in the shard's copy statistics.
+    pub fn count_page(&mut self, bytes: usize) {
+        self.stats.pages += 1;
+        self.stats.bytes += bytes;
+    }
+
+    /// Record the per-page digest (applied to the image digest after
+    /// resume, off the pause window).
+    pub fn push_digest(&mut self, index: usize, digest: u64) {
+        self.digests.push((index, digest));
+    }
+
+    /// Surface a page-scoped finding under the current visitor's source
+    /// tag.
+    pub fn push_finding(&mut self, key: u64, pfn: Pfn) {
+        self.findings.push(PageFinding {
+            source: self.source,
+            key,
+            pfn,
+        });
+    }
+
+    /// Model one syscall (drives the per-worker hypercall cost model and
+    /// counts it in the shard's copy statistics).
+    pub fn model_syscall(&mut self) {
+        self.syscalls.call();
+        self.stats.syscalls += 1;
+    }
+
+    /// Count the current page toward a `writev` batch of `batch` pages,
+    /// modelling one syscall per full batch.
+    pub fn batch_page(&mut self, batch: usize) {
+        self.batched += 1;
+        if self.batched >= batch {
+            self.batched = 0;
+            self.model_syscall();
+        }
+    }
+
+    /// Flush a partially-filled sender batch and model the restore-side
+    /// reads (one per batch of `batch` pages) — the socket path's
+    /// end-of-shard accounting.
+    pub fn finish_batches(&mut self, batch: usize) {
+        if self.batched > 0 {
+            self.batched = 0;
+            self.model_syscall();
+        }
+        if batch > 0 {
+            for _ in 0..self.stats.pages.div_ceil(batch) {
+                self.model_syscall();
+            }
+        }
+    }
+
+    /// Stash the current page's pre-copy backup bytes in the undo log and
+    /// advance the cursor to `mfn`'s frame. Pool-internal: runs before
+    /// the visitors see the page.
+    fn begin_page(&mut self, mfn: Mfn, undo: &mut Vec<u8>, undo_tags: &mut Vec<Mfn>) {
+        self.cur = (mfn.0 as usize * PAGE_SIZE).saturating_sub(self.region_base);
+        let old = self
+            .region
+            .get(self.cur..self.cur + PAGE_SIZE)
+            .unwrap_or(&[]);
+        undo.extend_from_slice(old);
+        undo_tags.push(mfn);
+    }
+}
+
+/// The preallocated scoped worker pool executing fused pause-window walks.
+#[derive(Debug)]
+pub struct PauseWindowPool {
+    workers: usize,
+    /// Sort buffer: the epoch's mapped pages ordered by MFN.
+    sorted: Vec<MappedPage>,
+    slots: Vec<WorkerSlot>,
+    /// All shards' findings, merged in shard order and sorted
+    /// `(source, key)` — the canonical (serial-equivalent) order.
+    merged: Vec<PageFinding>,
+}
+
+impl PauseWindowPool {
+    /// Build the pool and every buffer the walk will need. `num_pages` is
+    /// the VM's total page count — the worst-case dirty set — so nothing
+    /// inside the window ever has to grow.
+    pub fn new(workers: usize, num_pages: usize, hypercall_steps: u32) -> Self {
+        let workers = workers.clamp(1, MAX_WORKERS);
+        let shard_pages = num_pages.div_ceil(workers).max(1);
+        PauseWindowPool {
+            workers,
+            sorted: Vec::with_capacity(num_pages),
+            slots: (0..workers)
+                .map(|_| WorkerSlot::new(shard_pages, hypercall_steps))
+                .collect(),
+            merged: Vec::with_capacity(workers * FINDINGS_CAP),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute one fused walk over `mapped`: every page is visited once,
+    /// by every visitor in `visitors` (stack order), sharded across the
+    /// pool's workers.
+    ///
+    /// On success the backup holds the copied pages; per-page digests and
+    /// findings are available from [`page_digests`](Self::page_digests)
+    /// and [`findings`](Self::findings), and the undo log can restore the
+    /// backup if the verdict later rejects the epoch
+    /// ([`rollback_walk`](Self::rollback_walk)).
+    ///
+    /// # Errors
+    ///
+    /// The first failing shard's error, in shard order (deterministic).
+    /// The backup is restored from the undo log before returning — a
+    /// failed attempt leaves the image exactly as it was, so the engine's
+    /// retry loop re-runs the walk from a clean slate.
+    // lint: pause-window
+    pub fn run(
+        &mut self,
+        mem: &GuestMemory,
+        backup: &mut BackupVm,
+        mapped: &[MappedPage],
+        visitors: &[&dyn FusedPageVisitor],
+    ) -> Result<CopyStats, CheckpointError> {
+        let PauseWindowPool {
+            workers,
+            sorted,
+            slots,
+            merged,
+        } = self;
+        merged.clear();
+        for slot in slots.iter_mut() {
+            slot.reset();
+        }
+        sorted.clear();
+        sorted.extend_from_slice(mapped);
+        sorted.sort_unstable_by_key(|&(_, mfn)| mfn);
+
+        let n = sorted.len();
+        if n == 0 {
+            return Ok(CopyStats::default());
+        }
+        let used = (*workers).min(n);
+        // Contiguous near-equal shards: the first `rem` get one extra page.
+        let (base, rem) = (n / used, n % used);
+
+        // Fork the fault plan on the installer's thread (the injector is
+        // thread-local); each worker installs its own derived schedule.
+        let mut forks: [Option<(FaultPlan, u64)>; MAX_WORKERS] = [None; MAX_WORKERS];
+        for (i, f) in forks.iter_mut().enumerate().take(used) {
+            *f = crimes_faults::fork_for_worker(i as u64);
+        }
+
+        let frames = backup.frames_mut();
+        // lint: allow(pause-window) -- the one sanctioned scope: preallocated worker slots, joins before resume
+        std::thread::scope(|scope| {
+            let mut rest: &mut [u8] = frames;
+            let mut consumed = 0usize;
+            let mut next = 0usize;
+            for (i, slot) in slots.iter_mut().enumerate().take(used) {
+                let take = base + usize::from(i < rem);
+                let pages = sorted.get(next..next + take).unwrap_or(&[]);
+                next += take;
+                let (Some(&(_, first)), Some(&(_, last))) = (pages.first(), pages.last()) else {
+                    continue;
+                };
+                // Peel this shard's disjoint byte region off the image.
+                let lo = first.0 as usize * PAGE_SIZE;
+                let hi = (last.0 as usize + 1) * PAGE_SIZE;
+                let (_, tail) = rest.split_at_mut(lo - consumed);
+                let (region, tail) = tail.split_at_mut(hi - lo);
+                rest = tail;
+                consumed = hi;
+                let fork = forks.get(i).copied().flatten();
+                scope.spawn(move || run_shard(slot, region, lo, pages, mem, visitors, fork));
+            }
+        });
+
+        // Deterministic merge: shard order for counters and findings, then
+        // the canonical (source, key) sort. The XOR digest fold downstream
+        // is order-independent by construction.
+        let mut stats = CopyStats::default();
+        let mut first_err = None;
+        for slot in slots.iter().take(used) {
+            crimes_faults::absorb(&slot.counters);
+            stats.pages += slot.stats.pages;
+            stats.bytes += slot.stats.bytes;
+            stats.syscalls += slot.stats.syscalls;
+            if first_err.is_none() {
+                first_err = slot.outcome.clone().err();
+            }
+        }
+        if let Some(err) = first_err {
+            restore_undo(slots, backup);
+            return Err(err);
+        }
+        for slot in slots.iter().take(used) {
+            merged.extend_from_slice(&slot.findings);
+        }
+        merged.sort_unstable_by_key(|f| (f.source, f.key));
+        Ok(stats)
+    }
+
+    /// Page-scoped findings from the last successful walk, in canonical
+    /// order.
+    pub fn findings(&self) -> &[PageFinding] {
+        &self.merged
+    }
+
+    /// `(page index, digest)` for every page the last successful walk
+    /// copied.
+    pub fn page_digests(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.slots.iter().flat_map(|s| s.digests.iter().copied())
+    }
+
+    /// Restore every page the last walk overwrote from the undo log —
+    /// the backup returns bit-exactly to its pre-walk image. Used when
+    /// the verdict rejects the epoch (Fail/Inconclusive) after the fused
+    /// copy already ran.
+    pub fn rollback_walk(&mut self, backup: &mut BackupVm) {
+        restore_undo(&mut self.slots, backup);
+    }
+}
+
+fn restore_undo(slots: &mut [WorkerSlot], backup: &mut BackupVm) {
+    for slot in slots.iter_mut() {
+        for (&mfn, old) in slot.undo_tags.iter().zip(slot.undo.chunks_exact(PAGE_SIZE)) {
+            backup.store_frame(mfn, old);
+        }
+        slot.undo.clear();
+        slot.undo_tags.clear();
+    }
+}
+
+/// One worker's fused pass over its shard. Runs on a scoped thread with a
+/// forked fault plan; all output lands in `slot`.
+// lint: pause-window
+fn run_shard(
+    slot: &mut WorkerSlot,
+    region: &mut [u8],
+    region_base: usize,
+    pages: &[MappedPage],
+    mem: &GuestMemory,
+    visitors: &[&dyn FusedPageVisitor],
+    fork: Option<(FaultPlan, u64)>,
+) {
+    let _plan = fork.map(|(plan, seed)| crimes_faults::install(plan, seed));
+    let WorkerSlot {
+        digests,
+        findings,
+        undo,
+        undo_tags,
+        stream,
+        syscalls,
+        stats,
+        counters,
+        outcome,
+    } = slot;
+    let mut sink = ShardSink {
+        region,
+        region_base,
+        cur: 0,
+        source: 0,
+        batched: 0,
+        stats,
+        digests,
+        findings,
+        stream,
+        syscalls,
+    };
+
+    // Shard-level fault points mirror the serial copy pipeline's: a copy
+    // fault up front, or a backup-write fault part-way through the shard.
+    *outcome = (|| {
+        if crimes_faults::should_inject(FaultPoint::PageCopy) {
+            return Err(CheckpointError::CopyFault { strategy: "fused" });
+        }
+        let fail_after = crimes_faults::should_inject(FaultPoint::BackupWrite)
+            .then(|| crimes_faults::draw_below(pages.len() as u64) as usize);
+        for (done, &(pfn, mfn)) in pages.iter().enumerate() {
+            if fail_after == Some(done) {
+                return Err(CheckpointError::BackupWriteFault {
+                    pages_written: done,
+                });
+            }
+            sink.begin_page(mfn, undo, undo_tags);
+            let ctx = PageCtx {
+                pfn,
+                mfn,
+                src: mem.frame(mfn),
+                mem,
+            };
+            for (i, v) in visitors.iter().enumerate() {
+                sink.source = i as u32;
+                v.visit_page(&ctx, &mut sink);
+            }
+        }
+        for (i, v) in visitors.iter().enumerate() {
+            sink.source = i as u32;
+            v.finish_shard(&mut sink);
+        }
+        Ok(())
+    })();
+    *counters = crimes_faults::counters();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrity::{chunk_digest, FusedDigest};
+
+    fn vm_with_dirt(pages: usize, dirt: usize, seed: u64) -> (Vm, Vec<MappedPage>) {
+        let mut b = Vm::builder();
+        b.pages(pages).seed(seed);
+        let mut vm = b.build();
+        let pid = vm.spawn_process("app", 0, dirt + 8).expect("spawn");
+        vm.memory_mut().take_dirty();
+        for i in 0..dirt {
+            vm.dirty_arena_page(pid, i, i % 100, (i % 251) as u8)
+                .expect("dirty");
+        }
+        let mapped: Vec<MappedPage> = vm
+            .memory()
+            .dirty()
+            .iter()
+            .map(|p| (p, vm.memory().pfn_to_mfn(p)))
+            .collect();
+        (vm, mapped)
+    }
+
+    /// A visitor that copies pages and records one finding per page whose
+    /// first byte is odd, keyed by MFN.
+    #[derive(Debug)]
+    struct CopyAndFlagOdd;
+
+    impl FusedPageVisitor for CopyAndFlagOdd {
+        fn visit_page(&self, ctx: &PageCtx<'_>, sink: &mut ShardSink<'_>) {
+            sink.dst().copy_from_slice(ctx.src);
+            sink.count_page(ctx.src.len());
+            if ctx.src.first().is_some_and(|b| b % 2 == 1) {
+                sink.push_finding(ctx.mfn.0, ctx.pfn);
+            }
+        }
+    }
+
+    fn run_walk(workers: usize, seed: u64) -> (Vec<u8>, Vec<PageFinding>, u64, CopyStats) {
+        let (vm, mapped) = vm_with_dirt(512, 60, seed);
+        let mut backup = BackupVm::new(&vm);
+        for &(_, mfn) in &mapped {
+            backup.frame_mut(mfn).fill(0xee);
+        }
+        let mut pool = PauseWindowPool::new(workers, 512, 2);
+        let visitors: [&dyn FusedPageVisitor; 2] = [&CopyAndFlagOdd, &FusedDigest];
+        let stats = pool
+            .run(vm.memory(), &mut backup, &mapped, &visitors)
+            .expect("no faults armed");
+        let xor = pool
+            .page_digests()
+            .fold(0u64, |acc, (_, d)| acc ^ d);
+        (
+            backup.frames().to_vec(),
+            pool.findings().to_vec(),
+            xor,
+            stats,
+        )
+    }
+
+    #[test]
+    fn any_worker_count_is_bit_identical() {
+        let (frames1, findings1, xor1, stats1) = run_walk(1, 9);
+        for workers in [2, 4, 7] {
+            let (frames, findings, xor, stats) = run_walk(workers, 9);
+            assert_eq!(frames, frames1, "{workers} workers: backup image differs");
+            assert_eq!(findings, findings1, "{workers} workers: findings differ");
+            assert_eq!(xor, xor1, "{workers} workers: digest fold differs");
+            assert_eq!(stats.pages, stats1.pages);
+            assert_eq!(stats.bytes, stats1.bytes);
+        }
+    }
+
+    #[test]
+    fn digests_match_serial_chunk_digest() {
+        let (vm, mapped) = vm_with_dirt(512, 20, 3);
+        let mut backup = BackupVm::new(&vm);
+        let mut pool = PauseWindowPool::new(4, 512, 2);
+        let visitors: [&dyn FusedPageVisitor; 1] = [&FusedDigest];
+        pool.run(vm.memory(), &mut backup, &mapped, &visitors)
+            .expect("no faults armed");
+        let mut got: Vec<(usize, u64)> = pool.page_digests().collect();
+        got.sort_unstable();
+        let mut want: Vec<(usize, u64)> = mapped
+            .iter()
+            .map(|&(_, mfn)| {
+                (
+                    mfn.0 as usize,
+                    chunk_digest(mfn.0, vm.memory().frame(mfn)),
+                )
+            })
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_walk_is_a_noop() {
+        let (vm, _) = vm_with_dirt(512, 4, 1);
+        let mut backup = BackupVm::new(&vm);
+        let before = backup.frames().to_vec();
+        let mut pool = PauseWindowPool::new(4, 512, 2);
+        let visitors: [&dyn FusedPageVisitor; 1] = [&CopyAndFlagOdd];
+        let stats = pool
+            .run(vm.memory(), &mut backup, &[], &visitors)
+            .expect("empty walk");
+        assert_eq!(stats, CopyStats::default());
+        assert_eq!(backup.frames(), before.as_slice());
+        assert!(pool.findings().is_empty());
+    }
+
+    #[test]
+    fn failed_attempt_restores_backup_bit_exactly() {
+        let (vm, mapped) = vm_with_dirt(512, 30, 5);
+        let mut backup = BackupVm::new(&vm);
+        for &(_, mfn) in &mapped {
+            backup.frame_mut(mfn).fill(0x5a);
+        }
+        let before = backup.frames().to_vec();
+        let mut pool = PauseWindowPool::new(3, 512, 2);
+        let visitors: [&dyn FusedPageVisitor; 1] = [&CopyAndFlagOdd];
+        let plan = FaultPlan::disabled().with_rate(FaultPoint::BackupWrite, crimes_faults::SCALE);
+        let _scope = crimes_faults::install(plan, 11);
+        let err = pool
+            .run(vm.memory(), &mut backup, &mapped, &visitors)
+            .expect_err("backup-write fault armed at full rate");
+        assert!(matches!(err, CheckpointError::BackupWriteFault { .. }));
+        assert_eq!(
+            backup.frames(),
+            before.as_slice(),
+            "undo log must restore the pre-walk image"
+        );
+        let c = crimes_faults::counters();
+        assert!(
+            c.draws(FaultPoint::BackupWrite) >= 3,
+            "worker draws must be absorbed into the installer's counters"
+        );
+    }
+
+    #[test]
+    fn rollback_walk_undoes_a_successful_walk() {
+        let (vm, mapped) = vm_with_dirt(512, 25, 6);
+        let mut backup = BackupVm::new(&vm);
+        for &(_, mfn) in &mapped {
+            backup.frame_mut(mfn).fill(0x11);
+        }
+        let before = backup.frames().to_vec();
+        let mut pool = PauseWindowPool::new(4, 512, 2);
+        let visitors: [&dyn FusedPageVisitor; 1] = [&CopyAndFlagOdd];
+        pool.run(vm.memory(), &mut backup, &mapped, &visitors)
+            .expect("no faults armed");
+        assert_ne!(backup.frames(), before.as_slice(), "walk copied pages");
+        pool.rollback_walk(&mut backup);
+        assert_eq!(backup.frames(), before.as_slice());
+    }
+
+    #[test]
+    fn worker_count_clamps() {
+        assert_eq!(PauseWindowPool::new(0, 64, 2).workers(), 1);
+        assert_eq!(PauseWindowPool::new(99, 64, 2).workers(), MAX_WORKERS);
+    }
+}

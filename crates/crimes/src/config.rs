@@ -149,6 +149,15 @@ impl CrimesConfigBuilder {
         self
     }
 
+    /// Worker threads for the pause window (validated at
+    /// [`build`](Self::build): 1 ..= [`crimes_checkpoint::MAX_WORKERS`]).
+    /// `1` (the default) keeps the serial pipeline; higher values fuse the
+    /// scan/copy/digest passes into one sharded walk.
+    pub fn pause_workers(&mut self, workers: usize) -> &mut Self {
+        self.config.checkpoint.pause_workers = workers;
+        self
+    }
+
     /// Validate and finish.
     ///
     /// # Errors
@@ -167,6 +176,18 @@ impl CrimesConfigBuilder {
             return Err(CrimesError::InvalidConfig(
                 "history depth must be at least 1".into(),
             ));
+        }
+        if c.checkpoint.pause_workers == 0 {
+            return Err(CrimesError::InvalidConfig(
+                "pause_workers must be at least 1".into(),
+            ));
+        }
+        if c.checkpoint.pause_workers > crimes_checkpoint::MAX_WORKERS {
+            return Err(CrimesError::InvalidConfig(format!(
+                "pause_workers ({}) exceeds the pool limit ({})",
+                c.checkpoint.pause_workers,
+                crimes_checkpoint::MAX_WORKERS
+            )));
         }
         if let Some(deadline) = c.audit_deadline_ms {
             if deadline == 0 {
@@ -210,7 +231,8 @@ mod tests {
             .safety(SafetyMode::BestEffort)
             .opt_level(OptLevel::NoOpt)
             .history_depth(3)
-            .retain_history_images(true);
+            .retain_history_images(true)
+            .pause_workers(4);
         let c = b.build().expect("valid config");
         assert_eq!(c.epoch_interval_ms, 20);
         assert_eq!(c.effective_audit_deadline_ms(), 10);
@@ -222,6 +244,7 @@ mod tests {
         assert_eq!(c.checkpoint.opt, OptLevel::NoOpt);
         assert_eq!(c.checkpoint.history_depth, 3);
         assert!(c.checkpoint.retain_history_images);
+        assert_eq!(c.checkpoint.pause_workers, 4);
     }
 
     #[test]
@@ -252,6 +275,14 @@ mod tests {
             b.audit_deadline_ms(0);
         })
         .contains("audit deadline"));
+        assert!(reject(&|b| {
+            b.pause_workers(0);
+        })
+        .contains("pause_workers"));
+        assert!(reject(&|b| {
+            b.pause_workers(crimes_checkpoint::MAX_WORKERS + 1);
+        })
+        .contains("pool limit"));
         // Deadline longer than the epoch can never be met.
         assert!(reject(&|b| {
             b.epoch_interval_ms(20).audit_deadline_ms(30);

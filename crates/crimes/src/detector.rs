@@ -8,6 +8,7 @@
 
 use std::time::{Duration, Instant};
 
+use crimes_checkpoint::FusedPageVisitor;
 use crimes_vm::{DirtyBitmap, GuestMemory, Gva};
 use crimes_vmi::{CanaryViolation, TaskInfo, VmiError, VmiSession};
 
@@ -118,6 +119,42 @@ pub trait ScanModule: std::fmt::Debug + Send {
     /// Introspection failures abort the audit conservatively (treated as a
     /// failed audit by the framework).
     fn scan(&mut self, ctx: &ScanContext<'_>) -> Result<Vec<ScanFinding>, VmiError>;
+
+    /// Stage this module's page-scoped work for a **fused** pause-window
+    /// walk (resolve translations, read guest tables — everything that
+    /// must happen on the main thread, before the sharded walk). Return
+    /// `Ok(true)` when the module staged a visitor; the default declines,
+    /// which keeps the module on the ordinary [`scan`](Self::scan) path.
+    ///
+    /// # Errors
+    ///
+    /// Introspection failures, exactly as [`scan`](Self::scan).
+    fn stage_fused(&mut self, _ctx: &ScanContext<'_>) -> Result<bool, VmiError> {
+        Ok(false)
+    }
+
+    /// The visitor staged by the last [`stage_fused`](Self::stage_fused),
+    /// if any. It rides the fused walk and surfaces finding *keys*; the
+    /// module resolves them afterwards.
+    fn fused_visitor(&self) -> Option<&dyn FusedPageVisitor> {
+        None
+    }
+
+    /// Resolve the fused walk's finding keys (this module's
+    /// [`crimes_checkpoint::PageFinding::key`]s, in canonical order) into
+    /// full findings. Runs after the walk, on the main thread, with the
+    /// guest still paused — anything page-scoped can be re-read here.
+    ///
+    /// # Errors
+    ///
+    /// Introspection failures, exactly as [`scan`](Self::scan).
+    fn resolve_fused(
+        &mut self,
+        _keys: &[u64],
+        _ctx: &ScanContext<'_>,
+    ) -> Result<Vec<ScanFinding>, VmiError> {
+        Ok(Vec::new()) // lint: allow(pause-window) -- an empty `Vec::new` never allocates
+    }
 }
 
 /// Per-module timing from one audit.
@@ -209,6 +246,93 @@ impl Detector {
         for module in &mut self.modules {
             let t0 = Instant::now(); // lint: allow(pause-window) -- per-module timing *is* the audit's measurement
             match module.scan(&ctx) {
+                Ok(mut findings) => report.findings.append(&mut findings),
+                Err(e) => report.errors.push((module.name().to_owned(), e)),
+            }
+            report.timings.push(ModuleTiming {
+                module: module.name().to_owned(),
+                elapsed: t0.elapsed(),
+            });
+        }
+        report
+    }
+
+    /// Stage the fused pause-window walk: refresh the session once and let
+    /// the **first** module that accepts stage its page-scoped visitor.
+    /// Returns that module's index (fed back to
+    /// [`audit_after_walk`](Self::audit_after_walk)) and any staging
+    /// errors, which fail the audit conservatively downstream.
+    // lint: pause-window
+    pub fn stage_fused(
+        &mut self,
+        memory: &GuestMemory,
+        session: &mut VmiSession,
+        dirty: &DirtyBitmap,
+        epoch: u64,
+    ) -> (Option<usize>, Vec<(String, VmiError)>) {
+        let mut errors = Vec::new(); // lint: allow(pause-window) -- allocates only to report errors
+        if let Err(e) = session.refresh_address_spaces(memory) {
+            errors.push(("<session-refresh>".to_owned(), e));
+            return (None, errors);
+        }
+        let ctx = ScanContext {
+            memory,
+            session,
+            dirty,
+            epoch,
+        };
+        for (index, module) in self.modules.iter_mut().enumerate() {
+            match module.stage_fused(&ctx) {
+                Ok(true) => return (Some(index), errors),
+                Ok(false) => {}
+                Err(e) => errors.push((module.name().to_owned(), e)),
+            }
+        }
+        (None, errors)
+    }
+
+    /// The visitor staged at `staged`'s module, ready to ride the fused
+    /// walk.
+    pub fn fused_visitor(&self, staged: Option<usize>) -> Option<&dyn FusedPageVisitor> {
+        staged.and_then(|i| self.modules.get(i)?.fused_visitor())
+    }
+
+    /// The verdict half of a fused audit: every module runs as in
+    /// [`audit`](Self::audit), except the staged module — its page-scoped
+    /// pass already rode the walk, so it only resolves the walk's finding
+    /// `keys` into full findings. The session is *not* re-refreshed (the
+    /// guest is still paused; [`stage_fused`](Self::stage_fused) refreshed
+    /// it this epoch) and `prior_errors` (from staging) carry over into
+    /// the report.
+    // lint: pause-window
+    pub fn audit_after_walk(
+        &mut self,
+        memory: &GuestMemory,
+        session: &VmiSession,
+        dirty: &DirtyBitmap,
+        epoch: u64,
+        staged: Option<usize>,
+        keys: &[u64],
+        prior_errors: Vec<(String, VmiError)>,
+    ) -> AuditReport {
+        let mut report = AuditReport {
+            errors: prior_errors,
+            ..AuditReport::default()
+        };
+        let ctx = ScanContext {
+            memory,
+            session,
+            dirty,
+            epoch,
+        };
+        for (index, module) in self.modules.iter_mut().enumerate() {
+            let t0 = Instant::now(); // lint: allow(pause-window) -- per-module timing *is* the audit's measurement
+            let result = if staged == Some(index) {
+                module.resolve_fused(keys, &ctx)
+            } else {
+                module.scan(&ctx)
+            };
+            match result {
                 Ok(mut findings) => report.findings.append(&mut findings),
                 Err(e) => report.errors.push((module.name().to_owned(), e)),
             }

@@ -14,10 +14,12 @@
 
 use std::time::{Duration, Instant};
 
-use crimes_checkpoint::{AuditVerdict, Checkpointer, EpochReport};
+use crimes_checkpoint::{
+    AuditVerdict, Checkpointer, EpochReport, FusedAudit, FusedPageVisitor, PageFinding,
+};
 use crimes_faults::FaultPoint;
 use crimes_outbuf::{BufferStats, Output, OutputBuffer, OutputScanner};
-use crimes_vm::{MetaSnapshot, TraceMark, Vm, VmError};
+use crimes_vm::{DirtyBitmap, MetaSnapshot, TraceMark, Vm, VmError};
 use crimes_vmi::{VmiError, VmiSession};
 
 use crate::analyzer::{Analysis, Analyzer};
@@ -85,6 +87,165 @@ pub struct RobustnessStats {
     pub fallback_rollbacks: u64,
     /// Times the VM entered quarantine.
     pub quarantines: u64,
+}
+
+/// Bounded linear backoff between retries of a restartable step (audit
+/// passes and forensics analyses are both retry-safe while the relevant
+/// state is frozen).
+fn backoff_sleep(attempt: u32) {
+    std::thread::sleep(Duration::from_micros(20 * u64::from(attempt)));
+}
+
+/// `true` when every recorded introspection error is a retryable
+/// transient read fault.
+fn all_transient(errors: &[(String, VmiError)]) -> bool {
+    !errors.is_empty()
+        && errors
+            .iter()
+            .all(|(_, e)| matches!(e, VmiError::TransientReadFault))
+}
+
+/// The shared tail of both audit paths (serial closure and fused walk):
+/// the output-content scan joins the report, then the verdict falls out of
+/// the evidence — findings or hard introspection errors fail closed,
+/// persistent transient faults or a deadline overrun extend speculation.
+fn finish_audit(
+    audit: &mut AuditReport,
+    buffer: &OutputBuffer,
+    output_scanner: Option<&OutputScanner>,
+    audit_started: Instant,
+    deadline: Duration,
+) -> AuditVerdict {
+    // Output-content scan: part of the same audit window, over the
+    // still-held outputs.
+    if let Some(scanner) = output_scanner {
+        for m in scanner.scan_buffer(buffer) {
+            audit.findings.push(crate::detector::ScanFinding {
+                module: "output-scan".to_owned(),
+                detection: crate::detector::Detection::SuspiciousOutput {
+                    signature: m.signature,
+                    output_index: m.output_index,
+                    offset: m.offset,
+                },
+            });
+        }
+    }
+    let transient_only = all_transient(&audit.errors);
+    let overrun = audit_started.elapsed() > deadline
+        || crimes_faults::should_inject(FaultPoint::AuditOverrun);
+    if !audit.findings.is_empty() || (!audit.errors.is_empty() && !transient_only) {
+        // Conclusive: real evidence (or a hard introspection failure we
+        // cannot retry away) — fail closed.
+        AuditVerdict::Fail
+    } else if transient_only || overrun {
+        AuditVerdict::Inconclusive
+    } else {
+        AuditVerdict::Pass
+    }
+}
+
+/// The fused-walk implementation of the end-of-epoch audit: stages the
+/// detector's page-scoped work before the sharded walk, lends the staged
+/// visitor to the walk, and renders the verdict from the walk's finding
+/// keys plus the ordinary global scans.
+struct BoundaryAudit<'a> {
+    detector: &'a mut Detector,
+    session: &'a mut VmiSession,
+    buffer: &'a OutputBuffer,
+    output_scanner: Option<&'a OutputScanner>,
+    deadline: Duration,
+    vmi_retries: u32,
+    retries_used: &'a mut u32,
+    epoch: u64,
+    /// Set by [`stage`](FusedAudit::stage); the deadline clock starts there.
+    audit_started: Option<Instant>,
+    /// Index of the module whose visitor rides the walk.
+    staged: Option<usize>,
+    stage_errors: Vec<(String, VmiError)>,
+    audit_slot: &'a mut Option<AuditReport>,
+}
+
+impl FusedAudit for BoundaryAudit<'_> {
+    fn stage(&mut self, vm: &Vm, dirty: &DirtyBitmap) {
+        self.audit_started = Some(Instant::now());
+        let (mut staged, mut errors) =
+            self.detector
+                .stage_fused(vm.memory(), self.session, dirty, self.epoch);
+        // Bounded retry with backoff: transient VMI read faults are
+        // retry-safe while the guest is paused, and staging must succeed
+        // for the walk to carry the scan.
+        while *self.retries_used < self.vmi_retries && all_transient(&errors) {
+            *self.retries_used += 1;
+            backoff_sleep(*self.retries_used);
+            (staged, errors) =
+                self.detector
+                    .stage_fused(vm.memory(), self.session, dirty, self.epoch);
+        }
+        self.staged = staged;
+        self.stage_errors = errors;
+    }
+
+    fn visitor(&self) -> Option<&dyn FusedPageVisitor> {
+        self.detector.fused_visitor(self.staged)
+    }
+
+    fn verdict(
+        &mut self,
+        vm: &Vm,
+        dirty: &DirtyBitmap,
+        findings: &[PageFinding],
+    ) -> AuditVerdict {
+        // Source 2 is the scan visitor's fixed slot in the fused walk's
+        // visitor stack; its keys are whatever the staged module pushed.
+        let keys: Vec<u64> = findings
+            .iter()
+            .filter(|f| f.source == 2)
+            .map(|f| f.key)
+            .collect();
+        let mut audit = self.detector.audit_after_walk(
+            vm.memory(),
+            self.session,
+            dirty,
+            self.epoch,
+            self.staged,
+            &keys,
+            self.stage_errors.clone(),
+        );
+        // Staging errors are carried into every attempt, so once staging
+        // has burned the retry budget this loop will not spin further.
+        while *self.retries_used < self.vmi_retries && all_transient(&audit.errors) {
+            *self.retries_used += 1;
+            backoff_sleep(*self.retries_used);
+            audit = self.detector.audit_after_walk(
+                vm.memory(),
+                self.session,
+                dirty,
+                self.epoch,
+                self.staged,
+                &keys,
+                self.stage_errors.clone(),
+            );
+        }
+        let started = self.audit_started.take().unwrap_or_else(Instant::now);
+        let verdict = finish_audit(
+            &mut audit,
+            self.buffer,
+            self.output_scanner,
+            started,
+            self.deadline,
+        );
+        *self.audit_slot = Some(audit);
+        verdict
+    }
+}
+
+impl std::fmt::Debug for BoundaryAudit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundaryAudit")
+            .field("epoch", &self.epoch)
+            .field("staged", &self.staged)
+            .finish_non_exhaustive()
+    }
 }
 
 /// One CRIMES-protected VM.
@@ -344,6 +505,7 @@ impl Crimes {
         }
         let deadline = Duration::from_millis(self.config.effective_audit_deadline_ms());
         let vmi_retries = self.config.vmi_retries;
+        let pause_workers = self.config.checkpoint.pause_workers;
         let mut retries_used = 0u32;
         let Crimes {
             vm,
@@ -356,57 +518,48 @@ impl Crimes {
         } = self;
         let epoch = checkpointer.backup().epoch();
         let mut audit_slot: Option<AuditReport> = None;
-        let report = checkpointer.run_epoch(vm, &mut |paused_vm, dirty| {
-            let audit_started = Instant::now();
-            let mut audit = detector.audit(paused_vm.memory(), session, dirty, epoch);
-            // Bounded retry with backoff: transient VMI read faults are
-            // retry-safe while the guest is paused.
-            while retries_used < vmi_retries
-                && !audit.errors.is_empty()
-                && audit
-                    .errors
-                    .iter()
-                    .all(|(_, e)| matches!(e, VmiError::TransientReadFault))
-            {
-                retries_used += 1;
-                std::thread::sleep(Duration::from_micros(20 * u64::from(retries_used)));
-                audit = detector.audit(paused_vm.memory(), session, dirty, epoch);
-            }
-            // Output-content scan: part of the same audit window, over the
-            // still-held outputs.
-            if let Some(scanner) = output_scanner.as_ref() {
-                for m in scanner.scan_buffer(buffer) {
-                    audit.findings.push(crate::detector::ScanFinding {
-                        module: "output-scan".to_owned(),
-                        detection: crate::detector::Detection::SuspiciousOutput {
-                            signature: m.signature,
-                            output_index: m.output_index,
-                            offset: m.offset,
-                        },
-                    });
+        let report = if pause_workers > 1 {
+            // Fused boundary: scan, copy, and digest share one sharded walk
+            // over the dirty pages; the audit is split around it.
+            checkpointer.run_epoch_fused(
+                vm,
+                &mut BoundaryAudit {
+                    detector,
+                    session,
+                    buffer,
+                    output_scanner: output_scanner.as_ref(),
+                    deadline,
+                    vmi_retries,
+                    retries_used: &mut retries_used,
+                    epoch,
+                    audit_started: None,
+                    staged: None,
+                    stage_errors: Vec::new(),
+                    audit_slot: &mut audit_slot,
+                },
+            )
+        } else {
+            checkpointer.run_epoch(vm, &mut |paused_vm, dirty| {
+                let audit_started = Instant::now();
+                let mut audit = detector.audit(paused_vm.memory(), session, dirty, epoch);
+                // Bounded retry with backoff: transient VMI read faults are
+                // retry-safe while the guest is paused.
+                while retries_used < vmi_retries && all_transient(&audit.errors) {
+                    retries_used += 1;
+                    backoff_sleep(retries_used);
+                    audit = detector.audit(paused_vm.memory(), session, dirty, epoch);
                 }
-            }
-            let transient_only = !audit.errors.is_empty()
-                && audit
-                    .errors
-                    .iter()
-                    .all(|(_, e)| matches!(e, VmiError::TransientReadFault));
-            let overrun = audit_started.elapsed() > deadline
-                || crimes_faults::should_inject(FaultPoint::AuditOverrun);
-            let verdict = if !audit.findings.is_empty()
-                || (!audit.errors.is_empty() && !transient_only)
-            {
-                // Conclusive: real evidence (or a hard introspection
-                // failure we cannot retry away) — fail closed.
-                AuditVerdict::Fail
-            } else if transient_only || overrun {
-                AuditVerdict::Inconclusive
-            } else {
-                AuditVerdict::Pass
-            };
-            audit_slot = Some(audit);
-            verdict
-        });
+                let verdict = finish_audit(
+                    &mut audit,
+                    buffer,
+                    output_scanner.as_ref(),
+                    audit_started,
+                    deadline,
+                );
+                audit_slot = Some(audit);
+                verdict
+            })
+        };
         self.robustness.vmi_retries += u64::from(retries_used);
         let report = match report {
             Ok(r) => r,
@@ -551,7 +704,7 @@ impl Crimes {
                 {
                     attempt += 1;
                     self.robustness.vmi_retries += 1;
-                    std::thread::sleep(Duration::from_micros(20 * u64::from(attempt)));
+                    backoff_sleep(attempt);
                 }
                 other => return other,
             }
@@ -928,6 +1081,111 @@ mod tests {
         // And keeps committing clean epochs afterwards.
         let outcome = c.run_epoch(|_vm, _| Ok(())).expect("clean epoch");
         assert!(outcome.is_committed());
+    }
+
+    #[test]
+    fn fused_boundary_commits_clean_epochs() {
+        let mut c = protected_with(50, |cfg| {
+            cfg.pause_workers(4);
+        });
+        let secret = c.vm().canary_secret();
+        c.register_module(Box::new(CanaryScanModule::new(secret)));
+        let pid = c.vm_mut().spawn_process("app", 0, 8).expect("spawn");
+        c.submit_output(Output::Net(NetPacket::new(1, vec![1, 2, 3])))
+            .expect("within limits");
+        let outcome = c
+            .run_epoch(|vm, ms| {
+                vm.dirty_arena_page(pid, 0, 0, 1)?;
+                vm.advance_time(ms * 1_000_000);
+                Ok(())
+            })
+            .expect("clean epoch");
+        let EpochOutcome::Committed {
+            released,
+            audit,
+            report,
+        } = outcome
+        else {
+            panic!("clean fused epoch must commit");
+        };
+        assert!(audit.passed());
+        assert_eq!(released.len(), 1);
+        assert!(report.dirty_pages >= 1);
+        assert_eq!(c.committed_epochs(), 1);
+    }
+
+    #[test]
+    fn fused_boundary_detects_overflow_and_rolls_back() {
+        let mut c = protected_with(50, |cfg| {
+            cfg.pause_workers(4);
+        });
+        let secret = c.vm().canary_secret();
+        c.register_module(Box::new(CanaryScanModule::new(secret)));
+        let pid = c.vm_mut().spawn_process("victim", 0, 16).expect("spawn");
+
+        let outcome = c.run_epoch(|_vm, _| Ok(())).expect("clean epoch");
+        assert!(outcome.is_committed());
+
+        c.submit_output(Output::Net(NetPacket::new(9, b"loot".to_vec())))
+            .expect("within limits");
+        let outcome = c
+            .run_epoch(|vm, _| {
+                attacks::inject_heap_overflow(vm, pid, 64, 16)?;
+                Ok(())
+            })
+            .expect("attack epoch completes the boundary");
+        let EpochOutcome::AttackDetected { audit, .. } = outcome else {
+            panic!("overflow must be detected through the fused walk");
+        };
+        assert_eq!(audit.findings.len(), 1);
+        assert_eq!(audit.findings[0].detection.category(), "buffer-overflow");
+        assert!(c.has_pending_incident());
+        assert!(c.vm().vcpus().all_paused());
+
+        // The fused walk rolled its copies back, so forensics and rollback
+        // see exactly the serial path's state.
+        let analysis = c.investigate().expect("analysis");
+        assert!(analysis.pinpoint.is_some());
+        let discarded = c.rollback_and_resume().expect("rollback");
+        assert_eq!(discarded, 1, "the exfiltration packet never escaped");
+        assert_eq!(c.vm().heap().allocations_of(pid).len(), 0);
+
+        let outcome = c.run_epoch(|_vm, _| Ok(())).expect("clean epoch");
+        assert!(outcome.is_committed());
+    }
+
+    #[test]
+    fn fused_boundary_matches_serial_commits() {
+        // The same guest driven through the same epochs must commit the
+        // same state whether the boundary runs serial or fused+4.
+        let drive = |workers: usize| -> (u64, Vec<u8>) {
+            let mut c = protected_with(50, |cfg| {
+                cfg.pause_workers(workers);
+            });
+            let secret = c.vm().canary_secret();
+            c.register_module(Box::new(CanaryScanModule::new(secret)));
+            let pid = c.vm_mut().spawn_process("app", 0, 16).expect("spawn");
+            for e in 0..4u64 {
+                let outcome = c
+                    .run_epoch(|vm, ms| {
+                        for i in 0..6 {
+                            vm.dirty_arena_page(pid, (e as usize + i) % 16, i, e as u8)?;
+                        }
+                        vm.advance_time(ms * 1_000_000);
+                        Ok(())
+                    })
+                    .expect("clean epoch");
+                assert!(outcome.is_committed());
+            }
+            (
+                c.committed_epochs(),
+                c.checkpointer().backup().frames().to_vec(),
+            )
+        };
+        let (serial_epochs, serial_frames) = drive(1);
+        let (fused_epochs, fused_frames) = drive(4);
+        assert_eq!(serial_epochs, fused_epochs);
+        assert_eq!(serial_frames, fused_frames, "committed images must be bit-identical");
     }
 
     #[test]

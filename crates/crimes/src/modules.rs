@@ -10,8 +10,9 @@
 
 use std::collections::BTreeSet;
 
+use crimes_checkpoint::{FusedPageVisitor, PageCtx, ShardSink};
 use crimes_vm::layout::{CANARY_LEN, SYSCALL_COUNT};
-use crimes_vmi::{linux, CanaryScanner, VmiError};
+use crimes_vmi::{linux, CanaryScanner, CanaryViolation, PreparedCanaries, VmiError};
 use crimes_workloads::Blacklist;
 
 use crate::detector::{Detection, ScanContext, ScanFinding, ScanModule};
@@ -26,6 +27,9 @@ pub struct CanaryScanModule {
     full_scan: bool,
     /// Canaries validated across all audits (throughput accounting).
     validated: u64,
+    /// Checks staged for the current epoch's fused walk (kept until the
+    /// next staging so a retried verdict pass can re-resolve).
+    staged: Option<FusedCanaryChecks>,
 }
 
 impl CanaryScanModule {
@@ -35,6 +39,7 @@ impl CanaryScanModule {
             scanner: CanaryScanner::new(secret),
             full_scan: false,
             validated: 0,
+            staged: None,
         }
     }
 
@@ -44,12 +49,27 @@ impl CanaryScanModule {
             scanner: CanaryScanner::new(secret),
             full_scan: true,
             validated: 0,
+            staged: None,
         }
     }
 
     /// Canaries validated so far.
     pub fn validated(&self) -> u64 {
         self.validated
+    }
+}
+
+/// The canary module's fused-walk adapter: compares the staged checks'
+/// bytes when the walk visits their owner pages, surfacing trampled record
+/// indices as finding keys. Plain data over paused guest memory, so it is
+/// `Sync` and shards freely.
+#[derive(Debug)]
+struct FusedCanaryChecks(PreparedCanaries);
+
+impl FusedPageVisitor for FusedCanaryChecks {
+    fn visit_page(&self, ctx: &PageCtx<'_>, sink: &mut ShardSink<'_>) {
+        self.0
+            .check_page(ctx.pfn, ctx.mem, &mut |idx| sink.push_finding(idx as u64, ctx.pfn));
     }
 }
 
@@ -73,6 +93,62 @@ impl ScanModule for CanaryScanModule {
             Ok(vec![ScanFinding {
                 module: self.name().to_owned(),
                 detection: Detection::CanaryViolations(report.violations),
+            }])
+        }
+    }
+
+    fn stage_fused(&mut self, ctx: &ScanContext<'_>) -> Result<bool, VmiError> {
+        if self.full_scan {
+            // Full scans ignore the dirty filter, so there is nothing
+            // page-scoped to fuse; the ordinary scan runs in the verdict
+            // pass.
+            return Ok(false);
+        }
+        let prepared = self
+            .scanner
+            .prepare_dirty(ctx.session, ctx.memory, ctx.dirty)?;
+        self.validated += prepared.checked() as u64;
+        self.staged = Some(FusedCanaryChecks(prepared));
+        Ok(true)
+    }
+
+    fn fused_visitor(&self) -> Option<&dyn FusedPageVisitor> {
+        self.staged
+            .as_ref()
+            .map(|s| s as &dyn FusedPageVisitor)
+    }
+
+    fn resolve_fused(
+        &mut self,
+        keys: &[u64],
+        ctx: &ScanContext<'_>,
+    ) -> Result<Vec<ScanFinding>, VmiError> {
+        let Some(staged) = self.staged.as_ref() else {
+            return Ok(Vec::new()); // lint: allow(pause-window) -- an empty `Vec::new` never allocates
+        };
+        let mut violations = Vec::new(); // lint: allow(pause-window) -- allocates only to report detections
+        for &key in keys {
+            let Some(check) = staged.0.resolve(key as usize) else {
+                continue;
+            };
+            let mut found = [0u8; CANARY_LEN];
+            ctx.memory.read(check.canary_gpa, &mut found);
+            violations.push(CanaryViolation {
+                record_idx: check.record_idx,
+                pid: check.pid,
+                object_gva: check.object_gva,
+                size: check.size,
+                canary_gva: check.canary_gva,
+                found,
+            });
+        }
+        if violations.is_empty() {
+            Ok(Vec::new()) // lint: allow(pause-window) -- an empty `Vec::new` never allocates
+        } else {
+            // lint: allow(pause-window) -- allocates only to report a detection
+            Ok(vec![ScanFinding {
+                module: self.name().to_owned(),
+                detection: Detection::CanaryViolations(violations),
             }])
         }
     }

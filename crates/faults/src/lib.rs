@@ -159,11 +159,23 @@ impl FaultCounters {
     pub fn all_points_hit(&self) -> bool {
         self.hits.iter().all(|&h| h > 0)
     }
+
+    /// Fold `other`'s draws and hits into `self` — used to account for
+    /// draws made by forked per-worker injectors (see [`fork_for_worker`]).
+    pub fn merge(&mut self, other: &FaultCounters) {
+        for (d, o) in self.draws.iter_mut().zip(other.draws.iter()) {
+            *d += o;
+        }
+        for (h, o) in self.hits.iter_mut().zip(other.hits.iter()) {
+            *h += o;
+        }
+    }
 }
 
 #[derive(Debug)]
 struct Injector {
     plan: FaultPlan,
+    seed: u64,
     rng: ChaCha8Rng,
     counters: FaultCounters,
 }
@@ -196,6 +208,7 @@ pub fn install(plan: FaultPlan, seed: u64) -> FaultScope {
     let prev = INJECTOR.with(|i| {
         i.borrow_mut().replace(Injector {
             plan,
+            seed,
             rng: ChaCha8Rng::seed_from_u64(seed),
             counters: FaultCounters::default(),
         })
@@ -253,6 +266,45 @@ pub fn draw_below(span: u64) -> u64 {
             .as_mut()
             .map_or(0, |inj| inj.rng.gen_range(0..span))
     })
+}
+
+/// Derive a plan + seed for a pause-window worker thread.
+///
+/// The injector is thread-local, so scoped workers spawned inside the
+/// pause window cannot see the installer's plan. This forks it: the
+/// worker installs the returned `(plan, seed)` pair on its own thread.
+/// The derived seed is a pure mix of the installed seed and the worker
+/// index — it consumes **no** draws from the installer's RNG, so forking
+/// never perturbs the installer's own injection schedule, and the same
+/// `(seed, index)` always yields the same worker schedule. Returns `None`
+/// when no plan is installed (the production fast path).
+pub fn fork_for_worker(index: u64) -> Option<(FaultPlan, u64)> {
+    if !is_active() {
+        return None;
+    }
+    INJECTOR.with(|i| {
+        i.borrow().as_ref().map(|inj| {
+            let mixed = (inj.seed ^ (index + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .wrapping_mul(0x2545_f491_4f6c_dd1d);
+            (inj.plan, mixed)
+        })
+    })
+}
+
+/// Fold counters collected by a forked worker injector back into the
+/// active scope, so coverage accounting ([`all_points_hit`]) still sees
+/// draws made on worker threads. No-op when no plan is installed.
+///
+/// [`all_points_hit`]: FaultCounters::all_points_hit
+pub fn absorb(worker: &FaultCounters) {
+    if !is_active() {
+        return;
+    }
+    INJECTOR.with(|i| {
+        if let Some(inj) = i.borrow_mut().as_mut() {
+            inj.counters.merge(worker);
+        }
+    });
 }
 
 /// Snapshot of the active injector's counters (all-zero when inactive).
@@ -345,6 +397,59 @@ mod tests {
         let plan = FaultPlan::disabled().with_rate(FaultPoint::VmiRead, 10);
         assert_eq!(plan.rate(FaultPoint::VmiRead), 10);
         assert_eq!(plan.rate(FaultPoint::PageCopy), 0);
+    }
+
+    #[test]
+    fn fork_is_pure_and_deterministic() {
+        assert!(fork_for_worker(0).is_none(), "no plan, nothing to fork");
+        let plan = FaultPlan::uniform(SCALE / 4);
+        let _scope = install(plan, 42);
+        let before: Vec<bool> = (0..32).map(|_| should_inject(FaultPoint::VmiRead)).collect();
+        let (p0, s0) = fork_for_worker(0).expect("active plan forks");
+        let (p1, s1) = fork_for_worker(1).expect("active plan forks");
+        assert_eq!(p0, plan);
+        assert_eq!(p1, plan);
+        assert_ne!(s0, s1, "workers get distinct schedules");
+        assert_eq!(fork_for_worker(0), Some((p0, s0)), "same index, same seed");
+        // Forking must not consume installer draws: replay the same prefix
+        // under a fresh scope and compare.
+        drop(_scope);
+        let _scope = install(plan, 42);
+        let replay: Vec<bool> = (0..32).map(|_| should_inject(FaultPoint::VmiRead)).collect();
+        assert_eq!(before, replay, "fork consumed installer RNG draws");
+    }
+
+    #[test]
+    fn absorb_folds_worker_counters() {
+        let _scope = install(FaultPlan::disabled(), 5);
+        let worker = {
+            let _w = install(FaultPlan::uniform(SCALE), 99);
+            for _ in 0..3 {
+                assert!(should_inject(FaultPoint::PageCopy));
+            }
+            counters()
+        };
+        assert_eq!(counters().hits(FaultPoint::PageCopy), 0);
+        absorb(&worker);
+        let c = counters();
+        assert_eq!(c.hits(FaultPoint::PageCopy), 3);
+        assert_eq!(c.draws(FaultPoint::PageCopy), 3);
+    }
+
+    #[test]
+    fn merge_adds_per_point() {
+        let mut a = FaultCounters::default();
+        let b = {
+            let _scope = install(FaultPlan::uniform(SCALE), 3);
+            assert!(should_inject(FaultPoint::VmiRead));
+            assert!(should_inject(FaultPoint::ReplayDiverge));
+            counters()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.hits(FaultPoint::VmiRead), 2);
+        assert_eq!(a.draws(FaultPoint::ReplayDiverge), 2);
+        assert_eq!(a.total_hits(), 4);
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! * `panic-freedom` — no `unwrap`/`expect`/`panic!`-family/indexing in
 //!   the fail-closed modules ([`LintConfig::fail_closed`]),
 //! * `pause-window` — functions reachable from `// lint: pause-window`
-//!   roots stay free of wall clocks, I/O, sleeps, and heap-growing
-//!   constructors,
+//!   roots stay free of wall clocks, I/O, sleeps, thread spawns, and
+//!   heap-growing constructors (the fused walk's `thread::scope` worker
+//!   pool carries the one reasoned allow),
 //! * `fault-coverage` — every `FaultPoint::ALL` variant has a production
 //!   `should_inject` site and a soak-test mention,
 //! * `error-taxonomy` — no `Box<dyn Error>` erasure in public library
@@ -87,6 +88,7 @@ impl Default for LintConfig {
                 "crates/checkpoint/src/engine.rs",
                 "crates/checkpoint/src/copy.rs",
                 "crates/checkpoint/src/integrity.rs",
+                "crates/checkpoint/src/pool.rs",
             ]
             .map(String::from)
             .to_vec(),

@@ -132,6 +132,10 @@ pub(crate) fn pause_window(files: &[SourceFile]) -> Vec<Diagnostic> {
                 Some(format!("`std::{}` does I/O", toks[i + 3].text))
             } else if matches_seq(toks, i, &["thread", ":", ":", "sleep"]) {
                 Some("`thread::sleep` blocks".into())
+            } else if matches_seq(toks, i, &["thread", ":", ":", "spawn"]) {
+                Some("`thread::spawn` launches an unscoped thread (allocates, may outlive the window)".into())
+            } else if matches_seq(toks, i, &["thread", ":", ":", "scope"]) {
+                Some("`thread::scope` spawns worker threads".into())
             } else if (t.is("println") || t.is("eprintln") || t.is("print") || t.is("eprint")
                 || t.is("dbg"))
                 && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))

@@ -56,6 +56,32 @@ fn pause_window_ignores_functions_outside_the_root_set() {
 }
 
 #[test]
+fn pause_window_traverses_worker_pool_closures() {
+    let report = lint("pause-par-bad");
+    assert_eq!(report.diagnostics.len(), 2, "{}", report.render());
+    let clock = &report.diagnostics[0];
+    assert_eq!(clock.rule, "pause-window");
+    assert_eq!(clock.line, 7, "anchored at the clock read inside the spawned closure");
+    assert!(clock.message.contains("fused_walk"), "{}", clock.message);
+    let spawn = &report.diagnostics[1];
+    assert_eq!(spawn.line, 15);
+    assert!(spawn.message.contains("thread::spawn"), "{}", spawn.message);
+    // The reasoned scope allow is honoured even in the bad tree.
+    assert_eq!(report.suppressed.len(), 1);
+    assert!(report.suppressed[0].diagnostic.message.contains("thread::scope"));
+}
+
+#[test]
+fn pause_window_accepts_a_reasoned_scope_over_pure_worker_closures() {
+    let report = lint("pause-par-good");
+    assert!(report.ok(), "{}", report.render());
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].diagnostic.rule, "pause-window");
+    assert!(report.suppressed[0].reason.contains("preallocated"));
+    assert!(report.unused_allows.is_empty(), "{}", report.render());
+}
+
+#[test]
 fn fault_coverage_flags_variants_without_injection_or_soak() {
     let report = lint("fault-bad");
     // PageCopy has neither an injection site nor a soak mention.

@@ -1,0 +1,16 @@
+// lint: pause-window
+pub fn fused_walk() {
+    // lint: allow(pause-window) -- preallocated worker pool, joins before resume
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let _ = std::time::Instant::now();
+            });
+        }
+    });
+}
+
+// lint: pause-window
+pub fn detached() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,11 @@
+// lint: pause-window
+pub fn fused_walk(slots: &mut [u64]) {
+    // lint: allow(pause-window) -- preallocated worker pool, joins before resume
+    std::thread::scope(|scope| {
+        for slot in slots.iter_mut() {
+            scope.spawn(move || {
+                *slot += 1;
+            });
+        }
+    });
+}

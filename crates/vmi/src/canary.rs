@@ -16,7 +16,7 @@
 
 use crimes_vm::layout::{canary_offsets, CANARY_LEN, CANARY_RECORD_SIZE};
 use crimes_vm::symbols::names;
-use crimes_vm::{DirtyBitmap, GuestMemory, Gva};
+use crimes_vm::{DirtyBitmap, GuestMemory, Gpa, Gva, Pfn};
 
 use crate::error::VmiError;
 use crate::session::VmiSession;
@@ -182,6 +182,167 @@ impl CanaryScanner {
     }
 }
 
+/// One canary check staged for a fused pause-window walk: the record's
+/// fields and its translated GPA, resolved *before* the walk so worker
+/// threads only compare bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedCheck {
+    /// Index of the record in the guest table.
+    pub record_idx: usize,
+    /// Owning pid.
+    pub pid: u32,
+    /// Protected object's user GVA.
+    pub object_gva: Gva,
+    /// Object size in bytes.
+    pub size: u64,
+    /// The canary's user GVA.
+    pub canary_gva: Gva,
+    /// The canary's translated guest-physical address.
+    pub canary_gpa: Gpa,
+    /// The dirty page this check is attributed to (the first dirty page
+    /// the canary touches); the fused walk runs the check when it visits
+    /// this page.
+    pub owner_pfn: Pfn,
+}
+
+/// Dirty-scoped canary checks staged for one epoch's fused walk, sorted by
+/// owner page for cheap per-page lookup. Produced by
+/// [`CanaryScanner::prepare_dirty`] on the main thread; worker threads
+/// then call [`check_page`](Self::check_page) — pure byte compares, no
+/// translation, no allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedCanaries {
+    secret: [u8; CANARY_LEN],
+    checks: Vec<PreparedCheck>,
+    /// Live records skipped because their pages were clean.
+    pub skipped_clean: usize,
+    /// Live records whose owner could not be translated (counted exactly
+    /// as [`CanaryScanReport::skipped_untranslatable`]).
+    pub skipped_untranslatable: usize,
+}
+
+impl PreparedCanaries {
+    /// Number of canaries staged (each is compared exactly once, when the
+    /// walk visits its owner page).
+    pub fn checked(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// Run every check owned by `pfn`, invoking `hit` with the record
+    /// index of each trampled canary. Thread-safe by construction: reads
+    /// paused guest memory and per-call state only.
+    // lint: pause-window
+    pub fn check_page(&self, pfn: Pfn, mem: &GuestMemory, hit: &mut dyn FnMut(usize)) {
+        let start = self.checks.partition_point(|c| c.owner_pfn < pfn);
+        let mut buf = [0u8; CANARY_LEN];
+        for check in self
+            .checks
+            .get(start..)
+            .unwrap_or(&[])
+            .iter()
+            .take_while(|c| c.owner_pfn == pfn)
+        {
+            mem.read(check.canary_gpa, &mut buf);
+            if buf != self.secret {
+                hit(check.record_idx);
+            }
+        }
+    }
+
+    /// The staged check for `record_idx`, if any — resolves a fused walk's
+    /// finding key back into the full record.
+    pub fn resolve(&self, record_idx: usize) -> Option<&PreparedCheck> {
+        self.checks.iter().find(|c| c.record_idx == record_idx)
+    }
+}
+
+impl CanaryScanner {
+    /// Stage the epoch's dirty-scoped canary checks for a fused walk: the
+    /// same record walk as [`scan_dirty`](Self::scan_dirty), but stopping
+    /// short of the byte compare — translation and filtering happen here,
+    /// on the main thread, and the compares run sharded inside the walk.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table symbol is unknown or a record's owner cannot be
+    /// translated (the same errors `scan_dirty` surfaces).
+    // lint: pause-window
+    pub fn prepare_dirty(
+        &self,
+        session: &VmiSession,
+        mem: &GuestMemory,
+        dirty: &DirtyBitmap,
+    ) -> Result<PreparedCanaries, VmiError> {
+        let table = session.hot_symbol(names::CANARY_TABLE)?;
+        let count = mem.read_u64(table) as usize;
+        let mut prepared = PreparedCanaries {
+            secret: self.secret,
+            checks: Vec::with_capacity(count), // lint: allow(pause-window) -- staging buffer built before the sharded walk, O(records)
+            skipped_clean: 0,
+            skipped_untranslatable: 0,
+        };
+        let mut records = vec![0u8; count * CANARY_RECORD_SIZE as usize]; // lint: allow(pause-window) -- one bulk-read staging buffer, O(records)
+        if count > 0 {
+            mem.read(table.add(8), &mut records);
+        }
+        let field_u64 = |rec: &[u8], off: u64| {
+            rec.get(off as usize..off as usize + 8)
+                .and_then(|b| b.try_into().ok())
+                .map(u64::from_le_bytes)
+                .unwrap_or(0)
+        };
+        let field_u32 = |rec: &[u8], off: u64| {
+            rec.get(off as usize..off as usize + 4)
+                .and_then(|b| b.try_into().ok())
+                .map(u32::from_le_bytes)
+                .unwrap_or(0)
+        };
+        for (idx, rec) in records
+            .chunks_exact(CANARY_RECORD_SIZE as usize)
+            .enumerate()
+        {
+            if field_u32(rec, canary_offsets::LIVE) != 1 {
+                continue;
+            }
+            let pid = field_u32(rec, canary_offsets::PID);
+            let canary_gva = Gva(field_u64(rec, canary_offsets::CANARY_GVA));
+            let canary_gpa = match session.translate_user(pid, canary_gva) {
+                Ok(gpa) => gpa,
+                Err(VmiError::NoSuchTask(_)) | Err(VmiError::TranslationFault(_)) => {
+                    prepared.skipped_untranslatable += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            // A canary can span two pages; it is owned by the first dirty
+            // one, which the fused walk is guaranteed to visit.
+            let first = canary_gpa.pfn();
+            let last = canary_gpa.add(CANARY_LEN as u64 - 1).pfn();
+            let owner_pfn = if dirty.is_dirty(first) {
+                first
+            } else if dirty.is_dirty(last) {
+                last
+            } else {
+                prepared.skipped_clean += 1;
+                continue;
+            };
+            prepared.checks.push(PreparedCheck {
+                record_idx: idx,
+                pid,
+                object_gva: Gva(field_u64(rec, canary_offsets::OBJECT_GVA)),
+                size: field_u64(rec, canary_offsets::SIZE),
+                canary_gva,
+                canary_gpa,
+                owner_pfn,
+            });
+        }
+        prepared
+            .checks
+            .sort_unstable_by_key(|c| (c.owner_pfn, c.record_idx));
+        Ok(prepared)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +464,67 @@ mod tests {
         vm.write_user(pid, obj, &[5u8; 64], 0).unwrap();
         refresh(&mut s, &vm);
         assert!(scanner.scan_all(&s, vm.memory()).unwrap().is_clean());
+    }
+
+    /// Drive prepared checks the way a fused walk would: visit every dirty
+    /// page once, collect hit record indices.
+    fn run_prepared(prepared: &PreparedCanaries, vm: &Vm, dirty: &DirtyBitmap) -> Vec<usize> {
+        let mut hits = Vec::new();
+        for pfn in dirty.iter() {
+            prepared.check_page(pfn, vm.memory(), &mut |idx| hits.push(idx));
+        }
+        hits.sort_unstable();
+        hits
+    }
+
+    #[test]
+    fn prepared_checks_match_dirty_scan() {
+        let (mut vm, mut s, scanner) = setup();
+        let pid = vm.spawn_process("app", 0, 64).unwrap();
+        for _ in 0..100 {
+            vm.malloc(pid, 1000).unwrap();
+        }
+        refresh(&mut s, &vm);
+        vm.memory_mut().take_dirty();
+        let a = vm.malloc(pid, 16).unwrap();
+        vm.malloc(pid, 16).unwrap();
+        vm.write_user(pid, a, &[1u8; 30], 0xbad).unwrap();
+        let dirty = vm.memory().dirty().clone();
+        refresh(&mut s, &vm);
+
+        let report = scanner.scan_dirty(&s, vm.memory(), &dirty).unwrap();
+        let prepared = scanner.prepare_dirty(&s, vm.memory(), &dirty).unwrap();
+
+        assert_eq!(prepared.checked(), report.checked);
+        assert_eq!(prepared.skipped_clean, report.skipped_clean);
+        assert_eq!(
+            prepared.skipped_untranslatable,
+            report.skipped_untranslatable
+        );
+        let hits = run_prepared(&prepared, &vm, &dirty);
+        let want: Vec<usize> = report.violations.iter().map(|v| v.record_idx).collect();
+        assert_eq!(hits, want, "fused-walk hits must equal the serial scan's");
+        // The staged record resolves back to the violation's full details.
+        let v = &report.violations[0];
+        let check = prepared.resolve(v.record_idx).expect("staged");
+        assert_eq!(check.pid, v.pid);
+        assert_eq!(check.object_gva, v.object_gva);
+        assert_eq!(check.size, v.size);
+        assert_eq!(check.canary_gva, v.canary_gva);
+    }
+
+    #[test]
+    fn prepared_checks_on_clean_heap_find_nothing() {
+        let (mut vm, mut s, scanner) = setup();
+        let pid = vm.spawn_process("app", 0, 16).unwrap();
+        for _ in 0..10 {
+            vm.malloc(pid, 64).unwrap();
+        }
+        let dirty = vm.memory().dirty().clone();
+        refresh(&mut s, &vm);
+        let prepared = scanner.prepare_dirty(&s, vm.memory(), &dirty).unwrap();
+        assert_eq!(prepared.checked(), 10);
+        assert!(run_prepared(&prepared, &vm, &dirty).is_empty());
     }
 
     #[test]

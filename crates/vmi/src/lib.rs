@@ -43,7 +43,9 @@ pub mod events;
 pub mod linux;
 pub mod session;
 
-pub use canary::{CanaryScanReport, CanaryScanner, CanaryViolation};
+pub use canary::{
+    CanaryScanReport, CanaryScanner, CanaryViolation, PreparedCanaries, PreparedCheck,
+};
 pub use error::VmiError;
 pub use events::MemEventMonitor;
 pub use linux::{ModuleInfo, PidHashEntry, ScannedModule, TaskInfo};

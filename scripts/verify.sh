@@ -36,6 +36,12 @@ cargo run --release --offline -q -p crimes-lint
 echo "==> benches compile (in-tree harness, no criterion)"
 cargo bench --no-run --offline
 
+echo "==> pause-window bench smoke (serial vs fused, 4 workers)"
+# A short run of the baseline bench drives the fused sharded walk at
+# pause_workers=4 end to end; the JSON goes to a scratch path so the
+# committed BENCH_pause_window.json keeps its full-length numbers.
+CRIMES_BENCH_EPOCHS=3 CRIMES_BENCH_OUT="$(mktemp)" scripts/bench_baseline.sh > /dev/null
+
 echo "==> examples smoke-run"
 for example in quickstart overflow_attack malware_detection web_server_safety cloud_fleet; do
     echo "    --example ${example}"

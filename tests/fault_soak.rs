@@ -55,11 +55,15 @@ fn soak_plan() -> FaultPlan {
 
 /// A protected tenant plus its victim process. Admission itself runs
 /// introspection, so under the armed plan it may need a few tries.
+/// Even seeds get the fused 4-worker pause window, odd seeds the serial
+/// boundary, so tenant generations alternate and the soak exercises both
+/// pipelines under the same fault plan.
 fn tenant(seed: u64) -> (Crimes, u32) {
     let mut cfg = CrimesConfig::builder();
     cfg.epoch_interval_ms(10);
     cfg.history_depth(3);
     cfg.retain_history_images(true);
+    cfg.pause_workers(if seed % 2 == 0 { 4 } else { 1 });
     let cfg = cfg.build().expect("valid config");
     let mut c = loop {
         let mut b = Vm::builder();
@@ -140,6 +144,7 @@ fn soak_fail_closed_under_injected_faults() {
     let mut extended = 0u64;
     let mut attacks_launched = 0u64;
     let mut attacks_detected = 0u64;
+    let mut attacks_discarded = 0u64;
     let mut degraded_analyses = 0u64;
     let mut commit_failures = 0u64;
     let mut quarantines = 0u64;
@@ -232,10 +237,18 @@ fn soak_fail_closed_under_injected_faults() {
             Err(CrimesError::Exhausted { .. }) => {
                 // Copy retries exhausted: the framework already discarded
                 // the speculation and rolled back to verified state.
-                assert!(
-                    !attack_pending,
-                    "epoch {epoch}: an attacked epoch fails its audit before any copy runs"
-                );
+                if attack_pending {
+                    // Only the fused boundary can get here with an attack
+                    // in flight — its copy rides the walk *before* the
+                    // verdict, so exhaustion can preempt detection. The
+                    // rollback discarded the attacked speculation whole.
+                    assert!(
+                        c.config().checkpoint.pause_workers > 1,
+                        "epoch {epoch}: the serial boundary fails its audit before any copy runs"
+                    );
+                    attacks_discarded += 1;
+                    attack_pending = false;
+                }
                 assert!(!c.is_quarantined());
                 commit_failures += 1;
                 assert_recovered(&c, epoch);
@@ -254,7 +267,8 @@ fn soak_fail_closed_under_injected_faults() {
     let counters = crimes_faults::counters();
     println!(
         "soak: {epochs} epochs (committed {committed}, extended {extended}), \
-         {attacks_detected}/{attacks_launched} attacks detected, \
+         {attacks_detected}/{attacks_launched} attacks detected \
+         ({attacks_discarded} discarded with their speculation), \
          {degraded_analyses} degraded analyses, {commit_failures} commit failures, \
          {quarantines} quarantines, {} tenant generations; \
          released {released_total}, discarded {discarded_total}, rejected {overflows}; \
@@ -266,8 +280,9 @@ fn soak_fail_closed_under_injected_faults() {
     );
 
     assert_eq!(
-        attacks_detected, attacks_launched,
-        "every injected attack must be caught at a boundary"
+        attacks_detected + attacks_discarded,
+        attacks_launched,
+        "every injected attack must be caught at a boundary or discarded with its speculation"
     );
     assert!(committed > epochs / 2, "most epochs should still commit");
     assert!(

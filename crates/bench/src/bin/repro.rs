@@ -4,7 +4,7 @@
 //! repro [--quick] [--out DIR] [EXPERIMENT...]
 //!
 //! EXPERIMENT: table1 fig3 fig4 fig5 fig6a fig6b table3 fig7 case1 case2
-//!             ablation robustness (default: all)
+//!             ablation robustness telemetry (default: all)
 //! --quick     fewer epochs/iterations per configuration
 //! --out DIR   CSV output directory (default target/repro)
 //! ```
@@ -14,12 +14,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use crimes_bench::experiments::{
-    ablation, cases, fig3, fig4, fig5, fig6, fig7, robustness, table1, table3,
+    ablation, cases, fig3, fig4, fig5, fig6, fig7, robustness, table1, table3, telemetry,
 };
 
-const ALL: [&str; 12] = [
+const ALL: [&str; 13] = [
     "table1", "fig3", "fig4", "fig5", "fig6a", "fig6b", "table3", "fig7", "case1", "case2",
-    "ablation", "robustness",
+    "ablation", "robustness", "telemetry",
 ];
 
 fn main() -> ExitCode {
@@ -79,6 +79,9 @@ fn main() -> ExitCode {
             "ablation" => ablation::render(epochs, out),
             "robustness" => {
                 robustness::run(if quick { 200 } else { 800 }, 0x5eed_fa11).render(out)
+            }
+            "telemetry" => {
+                telemetry::run(if quick { 150 } else { 600 }, 0x7e1e_5eed).render(out)
             }
             other => unreachable!("filtered above: {other}"),
         };

@@ -12,3 +12,4 @@ pub mod fig7;
 pub mod robustness;
 pub mod table1;
 pub mod table3;
+pub mod telemetry;

@@ -294,6 +294,13 @@ impl Checkpointer {
         &self.stats
     }
 
+    /// Per-worker copy statistics from the pause-window pool's last fused
+    /// walk (one entry per worker slot; empty when the serial path is in
+    /// use). Values are per-walk — callers accumulate across epochs.
+    pub fn worker_stats(&self) -> impl Iterator<Item = (usize, CopyStats)> + '_ {
+        self.pool.iter().flat_map(|p| p.worker_stats())
+    }
+
     /// Simulated map/unmap hypercalls issued so far (zero for pre-mapped
     /// levels) — the deterministic counterpart of the map-phase timing.
     pub fn map_hypercalls(&self) -> u64 {

@@ -44,6 +44,16 @@ pub enum CheckpointError {
         /// Newest epoch examined.
         newest_epoch: u64,
     },
+    /// The fused walk's page list cannot be sharded safely: a duplicate
+    /// MFN, a frame beyond the backup image, or a byte offset that
+    /// overflows. Refused before any worker touches the backup, so the
+    /// image is untouched.
+    ShardGeometry {
+        /// The offending machine frame number.
+        mfn: u64,
+        /// Which invariant the page list violated.
+        detail: &'static str,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -64,6 +74,9 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::NoVerifiedCheckpoint { newest_epoch } => {
                 write!(f, "no checksum-verified checkpoint at or before epoch {newest_epoch}")
             }
+            CheckpointError::ShardGeometry { mfn, detail } => {
+                write!(f, "cannot shard page list at MFN {mfn}: {detail}")
+            }
         }
     }
 }
@@ -82,6 +95,10 @@ mod tests {
             CheckpointError::Exhausted { attempts: 4 },
             CheckpointError::Corrupt { epoch: 7, bad_chunks: 1 },
             CheckpointError::NoVerifiedCheckpoint { newest_epoch: 9 },
+            CheckpointError::ShardGeometry {
+                mfn: 12,
+                detail: "duplicate MFN in the page list",
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

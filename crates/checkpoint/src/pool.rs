@@ -383,6 +383,60 @@ impl PauseWindowPool {
         }
 
         let frames = backup.frames_mut();
+
+        // Fail-closed shard geometry, checked before any worker spawns.
+        // The peel below relies on strictly increasing MFNs (a duplicate
+        // would make shard regions overlap and break the undo log's
+        // bit-exact restore) and on every frame offset landing inside the
+        // backup image without overflowing. A guest-influenced page list
+        // violating either is refused with a typed error while the backup
+        // is still untouched — no undo needed.
+        for pair in sorted.windows(2) {
+            if let [a, b] = pair {
+                if a.1 == b.1 {
+                    return Err(CheckpointError::ShardGeometry {
+                        mfn: b.1 .0,
+                        detail: "duplicate MFN in the page list",
+                    });
+                }
+            }
+        }
+        let mut ranges: [(usize, usize); MAX_WORKERS] = [(0, 0); MAX_WORKERS];
+        {
+            let mut next = 0usize;
+            let mut prev_hi = 0usize;
+            for (i, range) in ranges.iter_mut().enumerate().take(used) {
+                let take = base + usize::from(i < rem);
+                let pages = sorted.get(next..next + take).unwrap_or(&[]);
+                next += take;
+                let (Some(&(_, first)), Some(&(_, last))) = (pages.first(), pages.last()) else {
+                    continue;
+                };
+                let lo = usize::try_from(first.0)
+                    .ok()
+                    .and_then(|p| p.checked_mul(PAGE_SIZE));
+                let hi = usize::try_from(last.0)
+                    .ok()
+                    .and_then(|p| p.checked_add(1))
+                    .and_then(|p| p.checked_mul(PAGE_SIZE));
+                let (Some(lo), Some(hi)) = (lo, hi) else {
+                    return Err(CheckpointError::ShardGeometry {
+                        mfn: last.0,
+                        detail: "frame byte offset overflows the address space",
+                    });
+                };
+                if hi > frames.len() {
+                    return Err(CheckpointError::ShardGeometry {
+                        mfn: last.0,
+                        detail: "MFN beyond the backup image",
+                    });
+                }
+                debug_assert!(lo >= prev_hi, "sorted unique MFNs shard monotonically");
+                prev_hi = hi;
+                *range = (lo, hi);
+            }
+        }
+
         // lint: allow(pause-window) -- the one sanctioned scope: preallocated worker slots, joins before resume
         std::thread::scope(|scope| {
             let mut rest: &mut [u8] = frames;
@@ -392,14 +446,18 @@ impl PauseWindowPool {
                 let take = base + usize::from(i < rem);
                 let pages = sorted.get(next..next + take).unwrap_or(&[]);
                 next += take;
-                let (Some(&(_, first)), Some(&(_, last))) = (pages.first(), pages.last()) else {
+                let Some(&(lo, hi)) = ranges.get(i) else {
                     continue;
                 };
+                if hi <= lo {
+                    // Empty shard (no pages, so no validated range).
+                    continue;
+                }
                 // Peel this shard's disjoint byte region off the image.
-                let lo = first.0 as usize * PAGE_SIZE;
-                let hi = (last.0 as usize + 1) * PAGE_SIZE;
-                let (_, tail) = rest.split_at_mut(lo - consumed);
-                let (region, tail) = tail.split_at_mut(hi - lo);
+                // The saturating subtractions cannot clamp after the
+                // geometry checks above; they keep the window panic-free.
+                let (_, tail) = rest.split_at_mut(lo.saturating_sub(consumed));
+                let (region, tail) = tail.split_at_mut(hi.saturating_sub(lo));
                 rest = tail;
                 consumed = hi;
                 let fork = forks.get(i).copied().flatten();
@@ -436,6 +494,13 @@ impl PauseWindowPool {
     /// order.
     pub fn findings(&self) -> &[PageFinding] {
         &self.merged
+    }
+
+    /// `(worker slot, copy statistics)` for the last walk, one entry per
+    /// configured worker. Slots are reset at the start of every walk, so
+    /// these are per-walk (per-epoch) values — telemetry accumulates them.
+    pub fn worker_stats(&self) -> impl Iterator<Item = (usize, CopyStats)> + '_ {
+        self.slots.iter().enumerate().map(|(i, s)| (i, s.stats))
     }
 
     /// `(page index, digest)` for every page the last successful walk
@@ -696,5 +761,104 @@ mod tests {
     fn worker_count_clamps() {
         assert_eq!(PauseWindowPool::new(0, 64, 2).workers(), 1);
         assert_eq!(PauseWindowPool::new(99, 64, 2).workers(), MAX_WORKERS);
+    }
+
+    #[test]
+    fn out_of_order_page_list_still_walks_correctly() {
+        // The pool sorts internally, so a reversed page list must produce
+        // the same image as the sorted one.
+        let (vm, mapped) = vm_with_dirt(512, 40, 8);
+        let sorted_image = {
+            let mut backup = BackupVm::new(&vm);
+            let mut pool = PauseWindowPool::new(4, 512, 2);
+            let visitors: [&dyn FusedPageVisitor; 1] = [&CopyAndFlagOdd];
+            pool.run(vm.memory(), &mut backup, &mapped, &visitors)
+                .expect("sorted list");
+            backup.frames().to_vec()
+        };
+        let mut reversed = mapped.clone();
+        reversed.reverse();
+        let mut backup = BackupVm::new(&vm);
+        let mut pool = PauseWindowPool::new(4, 512, 2);
+        let visitors: [&dyn FusedPageVisitor; 1] = [&CopyAndFlagOdd];
+        pool.run(vm.memory(), &mut backup, &reversed, &visitors)
+            .expect("reversed list sorts internally");
+        assert_eq!(backup.frames(), sorted_image.as_slice());
+    }
+
+    #[test]
+    fn duplicate_mfn_page_list_is_refused_with_backup_untouched() {
+        let (vm, mapped) = vm_with_dirt(512, 20, 9);
+        let mut corrupt = mapped.clone();
+        if let Some(&dup) = corrupt.first() {
+            corrupt.push(dup);
+        }
+        let mut backup = BackupVm::new(&vm);
+        let before = backup.frames().to_vec();
+        let mut pool = PauseWindowPool::new(4, 512, 2);
+        let visitors: [&dyn FusedPageVisitor; 1] = [&CopyAndFlagOdd];
+        let err = pool
+            .run(vm.memory(), &mut backup, &corrupt, &visitors)
+            .expect_err("duplicate MFN must be refused");
+        assert!(
+            matches!(err, CheckpointError::ShardGeometry { detail, .. }
+                if detail.contains("duplicate")),
+            "got {err:?}"
+        );
+        assert_eq!(
+            backup.frames(),
+            before.as_slice(),
+            "refused walk must not touch the backup"
+        );
+    }
+
+    #[test]
+    fn out_of_range_mfn_is_refused_instead_of_panicking() {
+        let (vm, mut mapped) = vm_with_dirt(512, 10, 10);
+        // An MFN beyond the 512-page image: previously this made the
+        // unchecked `(last + 1) * PAGE_SIZE` peel slice past the image
+        // and panic inside the pause window.
+        mapped.push((Pfn(511), Mfn(100_000)));
+        let mut backup = BackupVm::new(&vm);
+        let mut pool = PauseWindowPool::new(4, 512, 2);
+        let visitors: [&dyn FusedPageVisitor; 1] = [&CopyAndFlagOdd];
+        let err = pool
+            .run(vm.memory(), &mut backup, &mapped, &visitors)
+            .expect_err("out-of-range MFN must be refused");
+        assert!(
+            matches!(err, CheckpointError::ShardGeometry { mfn: 100_000, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn overflowing_mfn_is_refused_instead_of_wrapping() {
+        let (vm, mut mapped) = vm_with_dirt(512, 10, 11);
+        mapped.push((Pfn(511), Mfn(u64::MAX)));
+        let mut backup = BackupVm::new(&vm);
+        let mut pool = PauseWindowPool::new(4, 512, 2);
+        let visitors: [&dyn FusedPageVisitor; 1] = [&CopyAndFlagOdd];
+        let err = pool
+            .run(vm.memory(), &mut backup, &mapped, &visitors)
+            .expect_err("overflowing MFN must be refused");
+        assert!(
+            matches!(err, CheckpointError::ShardGeometry { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn worker_stats_expose_per_slot_copy_totals() {
+        let (vm, mapped) = vm_with_dirt(512, 40, 12);
+        let mut backup = BackupVm::new(&vm);
+        let mut pool = PauseWindowPool::new(4, 512, 2);
+        let visitors: [&dyn FusedPageVisitor; 1] = [&CopyAndFlagOdd];
+        let stats = pool
+            .run(vm.memory(), &mut backup, &mapped, &visitors)
+            .expect("no faults armed");
+        let per_slot: Vec<(usize, CopyStats)> = pool.worker_stats().collect();
+        assert_eq!(per_slot.len(), 4);
+        let total_pages: usize = per_slot.iter().map(|(_, s)| s.pages).sum();
+        assert_eq!(total_pages, stats.pages, "slot stats sum to the walk total");
     }
 }

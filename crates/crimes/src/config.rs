@@ -37,6 +37,10 @@ pub struct CrimesConfig {
     pub max_held_bytes: usize,
     /// Output-buffering policy.
     pub safety: SafetyMode,
+    /// Epochs of history kept by the flight recorder (validated at
+    /// [`CrimesConfigBuilder::build`]: must be at least 1). The recorder's
+    /// ring is preallocated, so this bounds its memory footprint.
+    pub flight_recorder_epochs: usize,
     /// Checkpoint engine configuration.
     pub checkpoint: CheckpointConfig,
 }
@@ -51,6 +55,7 @@ impl Default for CrimesConfig {
             max_held_outputs: usize::MAX,
             max_held_bytes: usize::MAX,
             safety: SafetyMode::Synchronous,
+            flight_recorder_epochs: 8,
             checkpoint: CheckpointConfig::default(),
         }
     }
@@ -131,6 +136,13 @@ impl CrimesConfigBuilder {
         self
     }
 
+    /// Epochs of history kept by the flight recorder (validated at
+    /// [`build`](Self::build): must be at least 1).
+    pub fn flight_recorder_epochs(&mut self, epochs: usize) -> &mut Self {
+        self.config.flight_recorder_epochs = epochs;
+        self
+    }
+
     /// Checkpoint optimisation level.
     pub fn opt_level(&mut self, opt: OptLevel) -> &mut Self {
         self.config.checkpoint.opt = opt;
@@ -189,6 +201,11 @@ impl CrimesConfigBuilder {
                 crimes_checkpoint::MAX_WORKERS
             )));
         }
+        if c.flight_recorder_epochs == 0 {
+            return Err(CrimesError::InvalidConfig(
+                "flight_recorder_epochs must be at least 1".into(),
+            ));
+        }
         if let Some(deadline) = c.audit_deadline_ms {
             if deadline == 0 {
                 return Err(CrimesError::InvalidConfig(
@@ -232,6 +249,7 @@ mod tests {
             .opt_level(OptLevel::NoOpt)
             .history_depth(3)
             .retain_history_images(true)
+            .flight_recorder_epochs(4)
             .pause_workers(4);
         let c = b.build().expect("valid config");
         assert_eq!(c.epoch_interval_ms, 20);
@@ -244,6 +262,7 @@ mod tests {
         assert_eq!(c.checkpoint.opt, OptLevel::NoOpt);
         assert_eq!(c.checkpoint.history_depth, 3);
         assert!(c.checkpoint.retain_history_images);
+        assert_eq!(c.flight_recorder_epochs, 4);
         assert_eq!(c.checkpoint.pause_workers, 4);
     }
 
@@ -279,6 +298,10 @@ mod tests {
             b.pause_workers(0);
         })
         .contains("pause_workers"));
+        assert!(reject(&|b| {
+            b.flight_recorder_epochs(0);
+        })
+        .contains("flight_recorder_epochs"));
         assert!(reject(&|b| {
             b.pause_workers(crimes_checkpoint::MAX_WORKERS + 1);
         })

@@ -6,9 +6,11 @@
 //! epoch's dirty bitmap, and a warm introspection session) and collects
 //! [`ScanFinding`]s. Any finding fails the audit.
 
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use crimes_checkpoint::FusedPageVisitor;
+use crimes_telemetry::{Clock, RealClock};
 use crimes_vm::{DirtyBitmap, GuestMemory, Gva};
 use crimes_vmi::{CanaryViolation, TaskInfo, VmiError, VmiSession};
 
@@ -190,15 +192,37 @@ impl AuditReport {
 }
 
 /// The module registry.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Detector {
     modules: Vec<Box<dyn ScanModule>>,
+    /// Time source for per-module timings. Injectable so audits (and the
+    /// framework's deadline logic downstream) run under virtual time in
+    /// tests; reading it is alloc-free, so the pause-window and
+    /// telemetry-purity lints stay satisfied.
+    clock: Arc<dyn Clock>,
+}
+
+impl Default for Detector {
+    fn default() -> Self {
+        Detector {
+            modules: Vec::new(),
+            clock: Arc::new(RealClock::new()),
+        }
+    }
 }
 
 impl Detector {
-    /// An empty detector (audits trivially pass).
+    /// An empty detector (audits trivially pass) on the real clock.
     pub fn new() -> Self {
         Detector::default()
+    }
+
+    /// An empty detector timing its scans with `clock`.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Detector {
+            modules: Vec::new(),
+            clock,
+        }
     }
 
     /// Register a module. Modules run in registration order.
@@ -243,15 +267,16 @@ impl Detector {
             dirty,
             epoch,
         };
+        let clock = &self.clock;
         for module in &mut self.modules {
-            let t0 = Instant::now(); // lint: allow(pause-window) -- per-module timing *is* the audit's measurement
+            let t0 = clock.now_ns();
             match module.scan(&ctx) {
                 Ok(mut findings) => report.findings.append(&mut findings),
                 Err(e) => report.errors.push((module.name().to_owned(), e)),
             }
             report.timings.push(ModuleTiming {
                 module: module.name().to_owned(),
-                elapsed: t0.elapsed(),
+                elapsed: Duration::from_nanos(clock.now_ns().saturating_sub(t0)),
             });
         }
         report
@@ -325,8 +350,9 @@ impl Detector {
             dirty,
             epoch,
         };
+        let clock = &self.clock;
         for (index, module) in self.modules.iter_mut().enumerate() {
-            let t0 = Instant::now(); // lint: allow(pause-window) -- per-module timing *is* the audit's measurement
+            let t0 = clock.now_ns();
             let result = if staged == Some(index) {
                 module.resolve_fused(keys, &ctx)
             } else {
@@ -338,7 +364,7 @@ impl Detector {
             }
             report.timings.push(ModuleTiming {
                 module: module.name().to_owned(),
-                elapsed: t0.elapsed(),
+                elapsed: Duration::from_nanos(clock.now_ns().saturating_sub(t0)),
             });
         }
         report
@@ -348,6 +374,7 @@ impl Detector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crimes_telemetry::TestClock;
     use crimes_vm::Vm;
 
     #[derive(Debug)]
@@ -448,6 +475,44 @@ mod tests {
         assert_eq!(report.findings[0].module, "first");
         assert_eq!(report.findings[1].module, "second");
         assert!(report.total_scan_time() > Duration::ZERO);
+    }
+
+    /// A module that consumes a fixed amount of *virtual* time per scan.
+    #[derive(Debug)]
+    struct SlowModule {
+        clock: TestClock,
+        cost: Duration,
+    }
+
+    impl ScanModule for SlowModule {
+        fn name(&self) -> &str {
+            "slow"
+        }
+        fn scan(&mut self, _ctx: &ScanContext<'_>) -> Result<Vec<ScanFinding>, VmiError> {
+            self.clock.advance(self.cost);
+            Ok(Vec::new())
+        }
+    }
+
+    #[test]
+    fn timings_follow_the_injected_clock_exactly() {
+        let (vm, mut s) = setup();
+        let clock = TestClock::new();
+        let mut d = Detector::with_clock(Arc::new(clock.clone()));
+        d.register(Box::new(SlowModule {
+            clock: clock.clone(),
+            cost: Duration::from_millis(2),
+        }));
+        d.register(Box::new(SlowModule {
+            clock,
+            cost: Duration::from_millis(5),
+        }));
+        let dirty = DirtyBitmap::new(2048);
+        let report = d.audit(vm.memory(), &mut s, &dirty, 0);
+        assert!(report.passed());
+        assert_eq!(report.timings[0].elapsed, Duration::from_millis(2));
+        assert_eq!(report.timings[1].elapsed, Duration::from_millis(5));
+        assert_eq!(report.total_scan_time(), Duration::from_millis(7));
     }
 
     #[test]

@@ -129,6 +129,20 @@ impl Fleet {
         self.stats
     }
 
+    /// Fleet-level telemetry: every tenant's counters, histograms, and
+    /// worker shard totals merged into one
+    /// [`Telemetry`](crimes_telemetry::Telemetry) (deterministic — merging
+    /// is element-wise and order-independent). `None` for an empty fleet,
+    /// since phase labels come from the tenants themselves.
+    pub fn aggregate_telemetry(&self) -> Option<crimes_telemetry::Telemetry> {
+        let mut tenants = self.vms.values();
+        let mut total = *tenants.next()?.telemetry();
+        for crimes in tenants {
+            total.merge(crimes.telemetry());
+        }
+        Some(total)
+    }
+
     /// Drive one epoch on every healthy VM. `work` runs each tenant's
     /// guest for its configured interval; VMs with pending incidents are
     /// skipped (their state is frozen for forensics), so one tenant's
@@ -341,6 +355,27 @@ mod tests {
         assert!(fleet.rollback_and_resume("ghost").is_err());
         assert!(fleet.get("ghost").is_none());
         assert!(fleet.get_mut("ghost").is_none());
+    }
+
+    #[test]
+    fn aggregate_telemetry_merges_every_tenant() {
+        use crimes_telemetry::Counter;
+        let mut fleet = fleet_of(3);
+        assert!(Fleet::new().aggregate_telemetry().is_none());
+        for _ in 0..2 {
+            fleet.run_epoch_round(|_, _, _| Ok(())).unwrap();
+        }
+        let total = fleet.aggregate_telemetry().expect("non-empty fleet");
+        assert_eq!(total.counter(Counter::EpochsCommitted), 6);
+        assert_eq!(total.audit_ns().count(), 6);
+        assert_eq!(total.dirty_pages().count(), 6);
+        // The merge is the element-wise sum of the per-tenant bundles.
+        let by_hand: u64 = fleet
+            .names()
+            .iter()
+            .map(|n| fleet.get(n).unwrap().telemetry().counter(Counter::EpochsCommitted))
+            .sum();
+        assert_eq!(total.counter(Counter::EpochsCommitted), by_hand);
     }
 
     #[test]

@@ -12,13 +12,15 @@
 //! quarantine (the VM suspends with outputs impounded until an operator
 //! intervenes).
 
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use crimes_checkpoint::{
-    AuditVerdict, Checkpointer, EpochReport, FusedAudit, FusedPageVisitor, PageFinding,
+    AuditVerdict, Checkpointer, EpochReport, FusedAudit, FusedPageVisitor, PageFinding, Phase,
 };
 use crimes_faults::FaultPoint;
 use crimes_outbuf::{BufferStats, Output, OutputBuffer, OutputScanner};
+use crimes_telemetry::{Clock, Counter, EventKind, FlightRecorder, RealClock, Telemetry};
 use crimes_vm::{DirtyBitmap, MetaSnapshot, TraceMark, Vm, VmError};
 use crimes_vmi::{VmiError, VmiSession};
 
@@ -87,13 +89,19 @@ pub struct RobustnessStats {
     pub fallback_rollbacks: u64,
     /// Times the VM entered quarantine.
     pub quarantines: u64,
+    /// Audits that reached their verdict without a recorded start time.
+    /// Zero in a healthy pipeline: each occurrence means the deadline
+    /// clock was never started, and the audit was conservatively treated
+    /// as overrun instead of silently timed at zero.
+    pub missing_audit_starts: u64,
 }
 
 /// Bounded linear backoff between retries of a restartable step (audit
 /// passes and forensics analyses are both retry-safe while the relevant
-/// state is frozen).
-fn backoff_sleep(attempt: u32) {
-    std::thread::sleep(Duration::from_micros(20 * u64::from(attempt)));
+/// state is frozen). Sleeps through the injected clock so virtual-time
+/// tests never block.
+fn backoff_sleep(clock: &dyn Clock, attempt: u32) {
+    clock.sleep(Duration::from_micros(20 * u64::from(attempt)));
 }
 
 /// `true` when every recorded introspection error is a retryable
@@ -113,7 +121,7 @@ fn finish_audit(
     audit: &mut AuditReport,
     buffer: &OutputBuffer,
     output_scanner: Option<&OutputScanner>,
-    audit_started: Instant,
+    elapsed_ns: u64,
     deadline: Duration,
 ) -> AuditVerdict {
     // Output-content scan: part of the same audit window, over the
@@ -131,8 +139,9 @@ fn finish_audit(
         }
     }
     let transient_only = all_transient(&audit.errors);
-    let overrun = audit_started.elapsed() > deadline
-        || crimes_faults::should_inject(FaultPoint::AuditOverrun);
+    let deadline_ns = u64::try_from(deadline.as_nanos()).unwrap_or(u64::MAX);
+    let overrun =
+        elapsed_ns > deadline_ns || crimes_faults::should_inject(FaultPoint::AuditOverrun);
     if !audit.findings.is_empty() || (!audit.errors.is_empty() && !transient_only) {
         // Conclusive: real evidence (or a hard introspection failure we
         // cannot retry away) — fail closed.
@@ -157,8 +166,12 @@ struct BoundaryAudit<'a> {
     vmi_retries: u32,
     retries_used: &'a mut u32,
     epoch: u64,
+    clock: &'a Arc<dyn Clock>,
+    telemetry: &'a mut Telemetry,
+    recorder: &'a mut FlightRecorder,
+    robustness: &'a mut RobustnessStats,
     /// Set by [`stage`](FusedAudit::stage); the deadline clock starts there.
-    audit_started: Option<Instant>,
+    started_ns: Option<u64>,
     /// Index of the module whose visitor rides the walk.
     staged: Option<usize>,
     stage_errors: Vec<(String, VmiError)>,
@@ -167,7 +180,9 @@ struct BoundaryAudit<'a> {
 
 impl FusedAudit for BoundaryAudit<'_> {
     fn stage(&mut self, vm: &Vm, dirty: &DirtyBitmap) {
-        self.audit_started = Some(Instant::now());
+        let now = self.clock.now_ns();
+        self.started_ns = Some(now);
+        self.recorder.record(self.epoch, now, EventKind::AuditStaged);
         let (mut staged, mut errors) =
             self.detector
                 .stage_fused(vm.memory(), self.session, dirty, self.epoch);
@@ -176,7 +191,14 @@ impl FusedAudit for BoundaryAudit<'_> {
         // for the walk to carry the scan.
         while *self.retries_used < self.vmi_retries && all_transient(&errors) {
             *self.retries_used += 1;
-            backoff_sleep(*self.retries_used);
+            self.recorder.record(
+                self.epoch,
+                self.clock.now_ns(),
+                EventKind::VmiRetry {
+                    attempt: *self.retries_used,
+                },
+            );
+            backoff_sleep(&**self.clock, *self.retries_used);
             (staged, errors) =
                 self.detector
                     .stage_fused(vm.memory(), self.session, dirty, self.epoch);
@@ -215,7 +237,14 @@ impl FusedAudit for BoundaryAudit<'_> {
         // has burned the retry budget this loop will not spin further.
         while *self.retries_used < self.vmi_retries && all_transient(&audit.errors) {
             *self.retries_used += 1;
-            backoff_sleep(*self.retries_used);
+            self.recorder.record(
+                self.epoch,
+                self.clock.now_ns(),
+                EventKind::VmiRetry {
+                    attempt: *self.retries_used,
+                },
+            );
+            backoff_sleep(&**self.clock, *self.retries_used);
             audit = self.detector.audit_after_walk(
                 vm.memory(),
                 self.session,
@@ -226,12 +255,30 @@ impl FusedAudit for BoundaryAudit<'_> {
                 self.stage_errors.clone(),
             );
         }
-        let started = self.audit_started.take().unwrap_or_else(Instant::now);
+        let now = self.clock.now_ns();
+        let elapsed_ns = match self.started_ns.take() {
+            Some(t0) => {
+                let elapsed = now.saturating_sub(t0);
+                self.telemetry.record_audit_ns(elapsed);
+                elapsed
+            }
+            None => {
+                // The deadline clock was never started: count the anomaly
+                // and treat the audit as having consumed the whole budget
+                // (fail closed) rather than none of it. Silently timing it
+                // at zero would let an untimed audit fast-pass its deadline.
+                self.robustness.missing_audit_starts += 1;
+                self.telemetry.add(Counter::MissingAuditStarts, 1);
+                self.recorder
+                    .record(self.epoch, now, EventKind::MissingAuditStart);
+                u64::MAX
+            }
+        };
         let verdict = finish_audit(
             &mut audit,
             self.buffer,
             self.output_scanner,
-            started,
+            elapsed_ns,
             self.deadline,
         );
         *self.audit_slot = Some(audit);
@@ -271,6 +318,12 @@ pub struct Crimes {
     pending: Option<AuditReport>,
     /// Degraded-mode counters.
     robustness: RobustnessStats,
+    /// Injectable monotonic time source (virtual in deterministic tests).
+    clock: Arc<dyn Clock>,
+    /// Preallocated counters and histograms.
+    telemetry: Telemetry,
+    /// Bounded ring of structured boundary events (the flight recorder).
+    recorder: FlightRecorder,
     /// Inconclusive audits in a row (reset by any conclusive epoch).
     consecutive_extensions: u32,
     /// Set once the VM is quarantined: `(reason, epoch)`. Terminal.
@@ -290,7 +343,23 @@ impl Crimes {
     /// # Errors
     ///
     /// Fails if introspection cannot initialise against the guest.
-    pub fn protect(mut vm: Vm, config: CrimesConfig) -> Result<Self, CrimesError> {
+    pub fn protect(vm: Vm, config: CrimesConfig) -> Result<Self, CrimesError> {
+        Self::protect_with_clock(vm, config, Arc::new(RealClock::new()))
+    }
+
+    /// Like [`protect`](Self::protect), but timing the audit pipeline
+    /// against an injected [`Clock`]. Tests pass a
+    /// [`crimes_telemetry::TestClock`] to drive the
+    /// deadline/extension/quarantine state machine in virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Fails if introspection cannot initialise against the guest.
+    pub fn protect_with_clock(
+        mut vm: Vm,
+        config: CrimesConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, CrimesError> {
         let session = VmiSession::init(&vm)?;
         let checkpointer = Checkpointer::new(&vm, config.checkpoint);
         vm.set_recording(true);
@@ -306,7 +375,7 @@ impl Crimes {
                 config.max_held_bytes,
             ),
             session,
-            detector: Detector::new(),
+            detector: Detector::with_clock(clock.clone()),
             analyzer: Analyzer::new(),
             last_good_meta,
             epoch_start_mark,
@@ -316,6 +385,9 @@ impl Crimes {
             deferred: Vec::new(),
             pending: None,
             robustness: RobustnessStats::default(),
+            clock,
+            telemetry: Telemetry::new(&Phase::ALL.map(Phase::label)),
+            recorder: FlightRecorder::new(config.flight_recorder_epochs),
             consecutive_extensions: 0,
             quarantined: None,
         })
@@ -416,6 +488,20 @@ impl Crimes {
         self.robustness
     }
 
+    /// Telemetry accumulated so far: named counters, per-phase pause
+    /// histograms, dirty-page and audit-duration distributions, and
+    /// per-worker shard totals. Copy it out for export or fleet-level
+    /// [`Telemetry::merge`] aggregation.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The epoch flight recorder: structured boundary events for roughly
+    /// the last [`CrimesConfig::flight_recorder_epochs`] epochs.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
     /// `true` once the VM has been quarantined (suspended, outputs
     /// impounded). Terminal until an operator replaces the instance.
     pub fn is_quarantined(&self) -> bool {
@@ -429,6 +515,9 @@ impl Crimes {
         self.vm.vcpus_mut().pause_all();
         self.robustness.quarantines += 1;
         let epoch = self.checkpointer.backup().epoch();
+        self.telemetry.add(Counter::Quarantines, 1);
+        self.recorder
+            .record(epoch, self.clock.now_ns(), EventKind::Quarantined);
         self.quarantined = Some((reason, epoch));
         CrimesError::Quarantined { reason, epoch }
     }
@@ -507,6 +596,9 @@ impl Crimes {
         let vmi_retries = self.config.vmi_retries;
         let pause_workers = self.config.checkpoint.pause_workers;
         let mut retries_used = 0u32;
+        let epoch = self.checkpointer.backup().epoch();
+        self.recorder
+            .record(epoch, self.clock.now_ns(), EventKind::EpochStart);
         let Crimes {
             vm,
             checkpointer,
@@ -514,9 +606,12 @@ impl Crimes {
             detector,
             buffer,
             output_scanner,
+            clock,
+            telemetry,
+            recorder,
+            robustness,
             ..
         } = self;
-        let epoch = checkpointer.backup().epoch();
         let mut audit_slot: Option<AuditReport> = None;
         let report = if pause_workers > 1 {
             // Fused boundary: scan, copy, and digest share one sharded walk
@@ -532,7 +627,11 @@ impl Crimes {
                     vmi_retries,
                     retries_used: &mut retries_used,
                     epoch,
-                    audit_started: None,
+                    clock,
+                    telemetry,
+                    recorder,
+                    robustness,
+                    started_ns: None,
                     staged: None,
                     stage_errors: Vec::new(),
                     audit_slot: &mut audit_slot,
@@ -540,20 +639,30 @@ impl Crimes {
             )
         } else {
             checkpointer.run_epoch(vm, &mut |paused_vm, dirty| {
-                let audit_started = Instant::now();
+                let started_ns = clock.now_ns();
+                recorder.record(epoch, started_ns, EventKind::AuditStaged);
                 let mut audit = detector.audit(paused_vm.memory(), session, dirty, epoch);
                 // Bounded retry with backoff: transient VMI read faults are
                 // retry-safe while the guest is paused.
                 while retries_used < vmi_retries && all_transient(&audit.errors) {
                     retries_used += 1;
-                    backoff_sleep(retries_used);
+                    recorder.record(
+                        epoch,
+                        clock.now_ns(),
+                        EventKind::VmiRetry {
+                            attempt: retries_used,
+                        },
+                    );
+                    backoff_sleep(&**clock, retries_used);
                     audit = detector.audit(paused_vm.memory(), session, dirty, epoch);
                 }
+                let elapsed_ns = clock.now_ns().saturating_sub(started_ns);
+                telemetry.record_audit_ns(elapsed_ns);
                 let verdict = finish_audit(
                     &mut audit,
                     buffer,
                     output_scanner.as_ref(),
-                    audit_started,
+                    elapsed_ns,
                     deadline,
                 );
                 audit_slot = Some(audit);
@@ -561,14 +670,39 @@ impl Crimes {
             })
         };
         self.robustness.vmi_retries += u64::from(retries_used);
+        self.telemetry.add(Counter::VmiRetries, u64::from(retries_used));
         let report = match report {
             Ok(r) => r,
             Err(e) => {
                 self.robustness.commit_failures += 1;
+                self.telemetry.add(Counter::CommitFailures, 1);
+                self.recorder
+                    .record(epoch, self.clock.now_ns(), EventKind::CommitFailure);
                 return self.recover_failed_commit(e.into());
             }
         };
         let audit = audit_slot.ok_or(CrimesError::InvalidState("audit hook did not run"))?;
+
+        // Feed the boundary's measurements into the histograms. This runs
+        // after the engine resumed the guest, i.e. off the pause window.
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            self.telemetry.record_phase_ns(
+                i,
+                u64::try_from(report.timings.get(*phase).as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
+        self.telemetry
+            .record_dirty_pages(u64::try_from(report.dirty_pages).unwrap_or(u64::MAX));
+        if pause_workers > 1 {
+            for (slot, stats) in self.checkpointer.worker_stats() {
+                self.telemetry.record_worker(
+                    slot,
+                    u64::try_from(stats.pages).unwrap_or(u64::MAX),
+                    u64::try_from(stats.bytes).unwrap_or(u64::MAX),
+                    stats.syscalls,
+                );
+            }
+        }
 
         match report.verdict {
             AuditVerdict::Pass => {
@@ -589,6 +723,16 @@ impl Crimes {
                     self.deferred.extend(scanner.poll());
                 }
                 let released = self.buffer.release(self.vm.now_ns());
+                self.telemetry.add(Counter::EpochsCommitted, 1);
+                self.telemetry
+                    .add(Counter::OutputsReleased, u64::try_from(released.len()).unwrap_or(0));
+                self.recorder.record(
+                    epoch,
+                    self.clock.now_ns(),
+                    EventKind::Committed {
+                        released: u32::try_from(released.len()).unwrap_or(u32::MAX),
+                    },
+                );
                 self.last_good_meta = self.vm.meta_snapshot();
                 // The committed epoch's ops are no longer needed for replay.
                 let mark = self.vm.trace_mark();
@@ -603,6 +747,14 @@ impl Crimes {
             }
             AuditVerdict::Fail => {
                 self.consecutive_extensions = 0;
+                self.telemetry.add(Counter::AttacksDetected, 1);
+                self.recorder.record(
+                    epoch,
+                    self.clock.now_ns(),
+                    EventKind::AttackDetected {
+                        findings: u32::try_from(audit.findings.len()).unwrap_or(u32::MAX),
+                    },
+                );
                 self.pending = Some(audit.clone());
                 Ok(EpochOutcome::AttackDetected { report, audit })
             }
@@ -614,6 +766,12 @@ impl Crimes {
                 self.robustness.speculation_extensions += 1;
                 self.consecutive_extensions += 1;
                 let consecutive = self.consecutive_extensions;
+                self.telemetry.add(Counter::SpeculationExtensions, 1);
+                self.recorder.record(
+                    epoch,
+                    self.clock.now_ns(),
+                    EventKind::Extended { consecutive },
+                );
                 if consecutive > self.config.max_consecutive_extensions {
                     return Err(self.quarantine("repeated inconclusive audits"));
                 }
@@ -645,11 +803,20 @@ impl Crimes {
         &mut self,
         cause: CrimesError,
     ) -> Result<EpochOutcome, CrimesError> {
-        self.buffer.discard();
+        let epoch = self.checkpointer.backup().epoch();
+        let discarded = self.buffer.discard();
+        self.telemetry
+            .add(Counter::OutputsDiscarded, u64::try_from(discarded).unwrap_or(0));
         match self.checkpointer.rollback(&mut self.vm, &self.last_good_meta) {
             Ok(rb) => {
                 if rb.fell_back {
                     self.robustness.fallback_rollbacks += 1;
+                    self.telemetry.add(Counter::FallbackRollbacks, 1);
+                    self.recorder.record(
+                        epoch,
+                        self.clock.now_ns(),
+                        EventKind::FallbackRollback,
+                    );
                 }
             }
             Err(_) => {
@@ -664,6 +831,13 @@ impl Crimes {
         self.epoch_start_mark = self.vm.trace_mark();
         self.consecutive_extensions = 0;
         self.vm.vcpus_mut().resume_all();
+        self.recorder.record(
+            epoch,
+            self.clock.now_ns(),
+            EventKind::RollbackResumed {
+                discarded: u32::try_from(discarded).unwrap_or(u32::MAX),
+            },
+        );
         Err(cause)
     }
 
@@ -704,7 +878,18 @@ impl Crimes {
                 {
                     attempt += 1;
                     self.robustness.vmi_retries += 1;
-                    backoff_sleep(attempt);
+                    self.telemetry.add(Counter::VmiRetries, 1);
+                    backoff_sleep(&*self.clock, attempt);
+                }
+                Ok(mut analysis) => {
+                    // The flight recorder's timeline is evidence too: what
+                    // the framework itself did in the epochs leading up to
+                    // the incident rides along in the report.
+                    analysis.report.push_section(
+                        "Framework flight recorder",
+                        &self.recorder.render_timeline(),
+                    );
+                    return Ok(analysis);
                 }
                 other => return other,
             }
@@ -727,11 +912,20 @@ impl Crimes {
         if self.pending.take().is_none() {
             return Err(CrimesError::InvalidState("no incident pending"));
         }
+        let epoch = self.checkpointer.backup().epoch();
         let discarded = self.buffer.discard();
+        self.telemetry
+            .add(Counter::OutputsDiscarded, u64::try_from(discarded).unwrap_or(0));
         match self.checkpointer.rollback(&mut self.vm, &self.last_good_meta) {
             Ok(rb) => {
                 if rb.fell_back {
                     self.robustness.fallback_rollbacks += 1;
+                    self.telemetry.add(Counter::FallbackRollbacks, 1);
+                    self.recorder.record(
+                        epoch,
+                        self.clock.now_ns(),
+                        EventKind::FallbackRollback,
+                    );
                 }
             }
             Err(_) => {
@@ -747,6 +941,13 @@ impl Crimes {
         self.epoch_start_mark = self.vm.trace_mark();
         self.consecutive_extensions = 0;
         self.vm.vcpus_mut().resume_all();
+        self.recorder.record(
+            epoch,
+            self.clock.now_ns(),
+            EventKind::RollbackResumed {
+                discarded: u32::try_from(discarded).unwrap_or(u32::MAX),
+            },
+        );
         Ok(discarded)
     }
 }
@@ -1216,5 +1417,296 @@ mod tests {
             panic!("expected commit");
         };
         assert_eq!(released.len(), 1);
+    }
+
+    use crimes_telemetry::TestClock;
+
+    /// A scan module that consumes virtual audit time by advancing the
+    /// shared [`TestClock`] — a deterministic stand-in for a slow
+    /// introspection pass. Advances on the first `slow_scans` scans only,
+    /// so a test can follow an overrun with a fast, committing audit.
+    #[derive(Debug)]
+    struct SlowScanModule {
+        clock: TestClock,
+        advance: Duration,
+        slow_scans: u32,
+    }
+
+    impl ScanModule for SlowScanModule {
+        fn name(&self) -> &str {
+            "slow-scan"
+        }
+
+        fn scan(
+            &mut self,
+            _ctx: &crate::detector::ScanContext<'_>,
+        ) -> Result<Vec<crate::detector::ScanFinding>, VmiError> {
+            if self.slow_scans > 0 {
+                self.slow_scans -= 1;
+                self.clock.advance(self.advance);
+            }
+            Ok(Vec::new())
+        }
+    }
+
+    fn protected_with_clock(
+        clock: TestClock,
+        tweak: impl FnOnce(&mut crate::config::CrimesConfigBuilder),
+    ) -> Crimes {
+        let mut b = Vm::builder();
+        b.pages(4096).seed(66);
+        let vm = b.build();
+        let mut cfg = CrimesConfig::builder();
+        cfg.epoch_interval_ms(50);
+        tweak(&mut cfg);
+        Crimes::protect_with_clock(vm, cfg.build().expect("valid config"), Arc::new(clock))
+            .expect("protect")
+    }
+
+    #[test]
+    fn deadline_overrun_is_measured_on_the_injected_clock() {
+        let clock = TestClock::new();
+        let mut c = protected_with_clock(clock.clone(), |cfg| {
+            cfg.audit_deadline_ms(10);
+        });
+        // The first audit burns 11 virtual ms against a 10 ms deadline.
+        c.register_module(Box::new(SlowScanModule {
+            clock: clock.clone(),
+            advance: Duration::from_millis(11),
+            slow_scans: 1,
+        }));
+        c.submit_output(Output::Net(NetPacket::new(1, vec![7])))
+            .expect("within limits");
+        let outcome = c.run_epoch(|_vm, _| Ok(())).expect("overrun extends");
+        let EpochOutcome::Extended {
+            cause, consecutive, ..
+        } = outcome
+        else {
+            panic!("expected Extended, got {outcome:?}");
+        };
+        assert_eq!(cause, "audit overran its deadline");
+        assert_eq!(consecutive, 1);
+        assert_eq!(c.buffer_stats().released, 0, "fail closed: output held");
+        // The audit histogram saw the virtual 11 ms.
+        assert_eq!(c.telemetry().audit_ns().count(), 1);
+        assert_eq!(c.telemetry().audit_ns().max(), 11_000_000);
+        // The next audit is fast in virtual time: commits, releases.
+        let outcome = c.run_epoch(|_vm, _| Ok(())).expect("clean epoch");
+        let EpochOutcome::Committed { released, .. } = outcome else {
+            panic!("expected commit after the extension");
+        };
+        assert_eq!(released.len(), 1);
+        assert_eq!(c.robustness_stats().speculation_extensions, 1);
+    }
+
+    #[test]
+    fn repeated_virtual_overruns_escalate_to_quarantine() {
+        let clock = TestClock::new();
+        let mut c = protected_with_clock(clock.clone(), |cfg| {
+            cfg.audit_deadline_ms(5).max_consecutive_extensions(1);
+        });
+        // Every audit overruns: extension, then quarantine — all in
+        // virtual time, no real sleeping anywhere.
+        c.register_module(Box::new(SlowScanModule {
+            clock: clock.clone(),
+            advance: Duration::from_millis(6),
+            slow_scans: u32::MAX,
+        }));
+        let outcome = c.run_epoch(|_vm, _| Ok(())).expect("first extension");
+        assert!(matches!(outcome, EpochOutcome::Extended { consecutive: 1, .. }));
+        let err = c.run_epoch(|_vm, _| Ok(())).expect_err("quarantine");
+        assert!(matches!(err, CrimesError::Quarantined { .. }));
+        assert!(c.is_quarantined());
+        assert_eq!(c.telemetry().counter(Counter::SpeculationExtensions), 2);
+        assert_eq!(c.telemetry().counter(Counter::Quarantines), 1);
+        assert!(c
+            .flight_recorder()
+            .events()
+            .any(|e| e.kind.label() == "quarantined"));
+    }
+
+    #[test]
+    fn flight_recorder_captures_the_clean_epoch_sequence() {
+        let mut c = protected(50);
+        c.register_module(Box::new(NoopScanModule::new()));
+        c.submit_output(Output::Net(NetPacket::new(1, vec![1])))
+            .expect("within limits");
+        let outcome = c.run_epoch(|_vm, _| Ok(())).expect("clean epoch");
+        assert!(outcome.is_committed());
+        let kinds: Vec<&'static str> = c
+            .flight_recorder()
+            .events_for_epoch(0)
+            .map(|e| e.kind.label())
+            .collect();
+        assert_eq!(kinds, vec!["epoch_start", "audit_staged", "committed"]);
+        // The committed event carries the released-output count.
+        let released = c
+            .flight_recorder()
+            .events_for_epoch(0)
+            .find_map(|e| match e.kind {
+                EventKind::Committed { released } => Some(released),
+                _ => None,
+            });
+        assert_eq!(released, Some(1));
+        // Timestamps within the epoch are monotone.
+        let times: Vec<u64> = c
+            .flight_recorder()
+            .events_for_epoch(0)
+            .map(|e| e.at_ns)
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn attack_report_embeds_the_flight_recorder_timeline() {
+        let mut c = protected(50);
+        let secret = c.vm().canary_secret();
+        c.register_module(Box::new(CanaryScanModule::new(secret)));
+        let pid = c.vm_mut().spawn_process("victim", 0, 16).expect("spawn");
+        assert!(c.run_epoch(|_vm, _| Ok(())).expect("clean").is_committed());
+        let outcome = c
+            .run_epoch(|vm, _| {
+                attacks::inject_heap_overflow(vm, pid, 64, 16)?;
+                Ok(())
+            })
+            .expect("attack epoch completes the boundary");
+        assert!(!outcome.is_committed());
+        let analysis = c.investigate().expect("analysis");
+        let timeline = analysis
+            .report
+            .section("Framework flight recorder")
+            .expect("the report embeds the recorder timeline");
+        assert!(timeline.contains("epoch_start"));
+        assert!(timeline.contains("attack_detected"));
+        c.rollback_and_resume().expect("rollback");
+        let kinds: Vec<&'static str> = c
+            .flight_recorder()
+            .events_for_epoch(1)
+            .map(|e| e.kind.label())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "epoch_start",
+                "audit_staged",
+                "attack_detected",
+                "rollback_resumed"
+            ]
+        );
+        assert_eq!(c.telemetry().counter(Counter::AttacksDetected), 1);
+        assert_eq!(c.telemetry().counter(Counter::OutputsDiscarded), 0);
+    }
+
+    #[test]
+    fn telemetry_accumulates_counters_and_histograms() {
+        let mut c = protected(50);
+        c.register_module(Box::new(NoopScanModule::new()));
+        let pid = c.vm_mut().spawn_process("app", 0, 8).expect("spawn");
+        c.submit_output(Output::Net(NetPacket::new(1, vec![1, 2])))
+            .expect("within limits");
+        for e in 0..3 {
+            let outcome = c
+                .run_epoch(|vm, _| {
+                    vm.dirty_arena_page(pid, e % 8, 0, e as u8)?;
+                    Ok(())
+                })
+                .expect("clean epoch");
+            assert!(outcome.is_committed());
+        }
+        let t = c.telemetry();
+        assert_eq!(t.counter(Counter::EpochsCommitted), 3);
+        assert_eq!(t.counter(Counter::OutputsReleased), 1);
+        assert_eq!(t.counter(Counter::AttacksDetected), 0);
+        assert_eq!(t.counter(Counter::Quarantines), 0);
+        assert_eq!(t.audit_ns().count(), 3);
+        assert_eq!(t.dirty_pages().count(), 3);
+        assert!(t.dirty_pages().max() >= 1);
+        for (label, h) in t.phases() {
+            assert_eq!(h.count(), 3, "phase {label} must time every boundary");
+        }
+    }
+
+    #[test]
+    fn fused_boundary_populates_worker_shard_stats() {
+        let mut c = protected_with(50, |cfg| {
+            cfg.pause_workers(4);
+        });
+        c.register_module(Box::new(NoopScanModule::new()));
+        let pid = c.vm_mut().spawn_process("app", 0, 16).expect("spawn");
+        let outcome = c
+            .run_epoch(|vm, _| {
+                for i in 0..12 {
+                    vm.dirty_arena_page(pid, i % 16, i, 3)?;
+                }
+                Ok(())
+            })
+            .expect("clean epoch");
+        assert!(outcome.is_committed());
+        let total_pages: u64 = c.telemetry().workers().iter().map(|w| w.pages).sum();
+        assert!(total_pages >= 12, "shards must cover the dirty pages");
+    }
+
+    #[test]
+    fn flight_recorder_ring_is_bounded_and_keeps_the_newest_epochs() {
+        let mut c = protected_with(50, |cfg| {
+            cfg.flight_recorder_epochs(2);
+        });
+        c.register_module(Box::new(NoopScanModule::new()));
+        for _ in 0..12 {
+            assert!(c.run_epoch(|_vm, _| Ok(())).expect("clean").is_committed());
+        }
+        let r = c.flight_recorder();
+        assert!(r.len() <= r.capacity(), "ring never exceeds its capacity");
+        assert_eq!(r.recorded(), 36, "3 events per epoch, 12 epochs");
+        assert!(r.events_for_epoch(11).count() > 0, "newest epoch retained");
+        assert_eq!(r.events_for_epoch(0).count(), 0, "oldest epoch evicted");
+    }
+
+    #[test]
+    fn verdict_without_stage_counts_a_missing_start_and_fails_closed() {
+        // Drive the fused-audit hook out of protocol: `verdict` without
+        // `stage`. The deadline clock never started, so the audit must be
+        // treated as overrun (Inconclusive), never fast-passed at zero.
+        let mut c = protected(50);
+        let dirty = c.vm().memory().dirty().clone();
+        let Crimes {
+            vm,
+            session,
+            detector,
+            buffer,
+            clock,
+            telemetry,
+            recorder,
+            robustness,
+            ..
+        } = &mut c;
+        let mut retries_used = 0u32;
+        let mut audit_slot = None;
+        let mut hook = BoundaryAudit {
+            detector,
+            session,
+            buffer,
+            output_scanner: None,
+            deadline: Duration::from_millis(50),
+            vmi_retries: 0,
+            retries_used: &mut retries_used,
+            epoch: 0,
+            clock,
+            telemetry,
+            recorder,
+            robustness,
+            started_ns: None,
+            staged: None,
+            stage_errors: Vec::new(),
+            audit_slot: &mut audit_slot,
+        };
+        let verdict = hook.verdict(vm, &dirty, &[]);
+        assert_eq!(verdict, AuditVerdict::Inconclusive);
+        assert_eq!(c.robustness_stats().missing_audit_starts, 1);
+        assert_eq!(c.telemetry().counter(Counter::MissingAuditStarts), 1);
+        assert!(c
+            .flight_recorder()
+            .events()
+            .any(|e| e.kind.label() == "missing_audit_start"));
     }
 }

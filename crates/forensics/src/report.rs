@@ -32,6 +32,13 @@ impl SecurityReport {
         self.sections.iter().map(|(n, _)| n.as_str()).collect()
     }
 
+    /// Append a free-form section to an already-built report (e.g. the
+    /// framework's flight-recorder timeline, which only the framework —
+    /// not the analyzer — can supply).
+    pub fn push_section(&mut self, name: &str, body: &str) {
+        self.sections.push((name.to_owned(), body.to_owned()));
+    }
+
     /// Body of a named section.
     pub fn section(&self, name: &str) -> Option<&str> {
         self.sections

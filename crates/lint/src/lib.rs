@@ -4,7 +4,7 @@
 //! the audit/checkpoint pause window must stay tiny and side-effect-free,
 //! fail-closed modules must never panic past a buffered output, every
 //! fault point must be wired and soaked, public errors must stay typed,
-//! and the build must stay hermetic. This crate encodes those as five
+//! and the build must stay hermetic. This crate encodes those as six
 //! mechanical rules over a token-level model of the workspace:
 //!
 //! * `panic-freedom` — no `unwrap`/`expect`/`panic!`-family/indexing in
@@ -17,7 +17,10 @@
 //!   `should_inject` site and a soak-test mention,
 //! * `error-taxonomy` — no `Box<dyn Error>` erasure in public library
 //!   signatures,
-//! * `hermeticity` — no registry dependencies; no wall clocks in tests.
+//! * `hermeticity` — no registry dependencies; no wall clocks in tests,
+//! * `telemetry-purity` — pause-window-reachable code only uses the
+//!   alloc-free telemetry recording APIs: no telemetry construction
+//!   (preallocation belongs at protect time) and no rendering/export.
 //!
 //! Exceptions are visible, never silent: a line can carry
 //! `// lint: allow(<rule>) -- reason`, and the binary counts and prints
@@ -175,6 +178,7 @@ pub fn run_with(root: &Path, config: &LintConfig) -> io::Result<LintReport> {
     diagnostics.extend(rules::fault_coverage(&files, config));
     diagnostics.extend(rules::error_taxonomy(&files));
     diagnostics.extend(rules::hermeticity(&files, &manifests, config));
+    diagnostics.extend(rules::telemetry_purity(&files));
     Ok(apply_allows(diagnostics, &files))
 }
 

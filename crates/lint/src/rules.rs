@@ -1,4 +1,4 @@
-//! The five rules. Each walks the token-level model and returns plain
+//! The six rules. Each walks the token-level model and returns plain
 //! diagnostics; suppression handling lives in the driver.
 
 use std::collections::HashSet;
@@ -13,14 +13,16 @@ pub(crate) const PAUSE_WINDOW: &str = "pause-window";
 pub(crate) const FAULT_COVERAGE: &str = "fault-coverage";
 pub(crate) const ERROR_TAXONOMY: &str = "error-taxonomy";
 pub(crate) const HERMETICITY: &str = "hermeticity";
+pub(crate) const TELEMETRY_PURITY: &str = "telemetry-purity";
 
 /// Every rule name the suppression syntax accepts.
-pub const ALL_RULES: [&str; 5] = [
+pub const ALL_RULES: [&str; 6] = [
     PANIC_FREEDOM,
     PAUSE_WINDOW,
     FAULT_COVERAGE,
     ERROR_TAXONOMY,
     HERMETICITY,
+    TELEMETRY_PURITY,
 ];
 
 fn diag(rule: &'static str, file: &SourceFile, tok: &Token, message: String) -> Diagnostic {
@@ -164,6 +166,65 @@ pub(crate) fn pause_window(files: &[SourceFile]) -> Vec<Diagnostic> {
                 if flagged.insert((fi, i)) {
                     out.push(diag(
                         PAUSE_WINDOW,
+                        file,
+                        t,
+                        format!("{what} inside the pause window (fn `{}`)", f.name),
+                    ));
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    out
+}
+
+/// Rule 6: telemetry purity. The observability layer must observe the
+/// pause window, not perturb it: code reachable from a
+/// `// lint: pause-window` root may call the preallocated alloc-free
+/// recording APIs (`record*`, `add`), but must not construct telemetry
+/// objects (preallocation belongs at protect time) or render/export them
+/// (string building allocates inside the measured window).
+pub(crate) fn telemetry_purity(files: &[SourceFile]) -> Vec<Diagnostic> {
+    const TYPES: [&str; 3] = ["Telemetry", "FlightRecorder", "Histogram"];
+    const RENDERERS: [&str; 5] = [
+        "render_timeline",
+        "telemetry_json",
+        "counters_csv",
+        "phases_csv",
+        "events_csv",
+    ];
+    let reachable = reachable_from_roots(files);
+    let mut out = Vec::new();
+    let mut flagged: HashSet<(usize, usize)> = HashSet::new(); // (file, token) dedup
+    for &(fi, fj) in &reachable {
+        let file = &files[fi];
+        let f = &file.fns[fj];
+        let Some((start, end)) = f.body else { continue };
+        let toks = &file.tokens;
+        for i in start..end.min(toks.len()) {
+            let t = &toks[i];
+            let found: Option<String> = if TYPES.contains(&t.text.as_str())
+                && matches_seq(toks, i + 1, &[":", ":"])
+                && toks
+                    .get(i + 3)
+                    .is_some_and(|n| n.is("new") || n.is("with_capacity"))
+            {
+                Some(format!(
+                    "`{}::{}` preallocates telemetry; construct it at protect time",
+                    t.text,
+                    toks[i + 3].text
+                ))
+            } else if RENDERERS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            {
+                Some(format!("`{}` renders telemetry (allocates strings)", t.text))
+            } else {
+                None
+            };
+            if let Some(what) = found {
+                if flagged.insert((fi, i)) {
+                    out.push(diag(
+                        TELEMETRY_PURITY,
                         file,
                         t,
                         format!("{what} inside the pause window (fn `{}`)", f.name),

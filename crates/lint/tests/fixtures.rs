@@ -155,6 +155,40 @@ fn allows_suppress_matching_diagnostics_and_stale_allows_surface() {
 }
 
 #[test]
+fn telemetry_purity_flags_construction_and_rendering_in_the_window() {
+    let report = lint("telemetry-bad");
+    assert_eq!(report.diagnostics.len(), 2, "{}", report.render());
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.rule == "telemetry-purity"));
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("FlightRecorder::new")),
+        "{}",
+        report.render()
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("render_timeline")),
+        "{}",
+        report.render()
+    );
+    // Both findings anchor in the transitively reached helper.
+    assert!(report.diagnostics.iter().all(|d| d.message.contains("helper")));
+}
+
+#[test]
+fn telemetry_purity_accepts_alloc_free_recording() {
+    let report = lint("telemetry-good");
+    assert!(report.ok(), "{}", report.render());
+}
+
+#[test]
 fn the_live_workspace_lints_clean() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let report = run(&root).expect("workspace tree is readable");

@@ -1,0 +1,10 @@
+// lint: pause-window
+pub fn hot(t: &mut Telemetry) {
+    t.record_phase_ns(0, 1);
+    helper();
+}
+
+fn helper() {
+    let r = FlightRecorder::new(8);
+    let _ = r.render_timeline();
+}

@@ -1,0 +1,11 @@
+pub fn init() -> (Telemetry, FlightRecorder) {
+    // Constructors are fine here: protect time, outside the window.
+    (Telemetry::new(&["suspend"]), FlightRecorder::new(8))
+}
+
+// lint: pause-window
+pub fn hot(t: &mut Telemetry, r: &mut FlightRecorder) {
+    t.add(Counter::VmiRetries, 1);
+    t.record_audit_ns(5);
+    r.record(0, 1, EventKind::EpochStart);
+}

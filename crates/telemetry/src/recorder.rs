@@ -1,0 +1,270 @@
+//! The epoch flight recorder: a bounded ring of structured events.
+//!
+//! Every boundary decision the framework makes (stage, retry, commit,
+//! extension, rollback, quarantine…) is recorded as a fixed-payload
+//! [`Event`]. The ring is preallocated at construction and `record`
+//! never allocates, so events may be recorded adjacent to the pause
+//! window; old epochs are overwritten once capacity is reached, keeping
+//! the recorder bounded to roughly the last N epochs. On rollback or
+//! quarantine the recorder's timeline is rendered (allocating — off the
+//! pause window) into the forensics report, so the attack evidence
+//! includes what the framework itself did in the epochs leading up to
+//! the incident.
+
+use std::fmt;
+
+/// Events recorded per epoch in the worst case (stage + per-retry +
+/// verdict + recovery); sizes the ring as `epochs × this`.
+pub const EVENTS_PER_EPOCH: usize = 16;
+
+/// What happened. Fixed payloads only — recording must not allocate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An epoch boundary began (audit about to be staged).
+    EpochStart,
+    /// The audit's page-scoped scans were staged and timing started.
+    AuditStaged,
+    /// A transient VMI fault forced an audit retry (`attempt` is the
+    /// retry ordinal, starting at 1).
+    VmiRetry {
+        /// Retry ordinal, starting at 1.
+        attempt: u32,
+    },
+    /// The audit reached its verdict without a recorded start time —
+    /// the anomaly is counted and the audit treated as overrun.
+    MissingAuditStart,
+    /// The epoch committed; `released` buffered outputs escaped.
+    Committed {
+        /// Outputs released at this boundary.
+        released: u32,
+    },
+    /// The audit failed: an attack was detected this epoch.
+    AttackDetected {
+        /// Findings in the failing audit report.
+        findings: u32,
+    },
+    /// The audit was inconclusive; speculation extended.
+    Extended {
+        /// Consecutive extensions including this one.
+        consecutive: u32,
+    },
+    /// The checkpoint copy exhausted its retries at this boundary.
+    CommitFailure,
+    /// Recovery fell back to an older verified checkpoint.
+    FallbackRollback,
+    /// Incident response rolled back and resumed; `discarded` buffered
+    /// outputs were destroyed.
+    RollbackResumed {
+        /// Outputs discarded with the speculation.
+        discarded: u32,
+    },
+    /// The tenant was quarantined (terminal).
+    Quarantined,
+}
+
+impl EventKind {
+    /// Stable export label (part of the documented schema).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::EpochStart => "epoch_start",
+            EventKind::AuditStaged => "audit_staged",
+            EventKind::VmiRetry { .. } => "vmi_retry",
+            EventKind::MissingAuditStart => "missing_audit_start",
+            EventKind::Committed { .. } => "committed",
+            EventKind::AttackDetected { .. } => "attack_detected",
+            EventKind::Extended { .. } => "extended",
+            EventKind::CommitFailure => "commit_failure",
+            EventKind::FallbackRollback => "fallback_rollback",
+            EventKind::RollbackResumed { .. } => "rollback_resumed",
+            EventKind::Quarantined => "quarantined",
+        }
+    }
+
+    /// The variant's numeric payload, when it carries one.
+    pub fn arg(self) -> Option<u64> {
+        match self {
+            EventKind::VmiRetry { attempt } => Some(u64::from(attempt)),
+            EventKind::Committed { released } => Some(u64::from(released)),
+            EventKind::AttackDetected { findings } => Some(u64::from(findings)),
+            EventKind::Extended { consecutive } => Some(u64::from(consecutive)),
+            EventKind::RollbackResumed { discarded } => Some(u64::from(discarded)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.arg() {
+            Some(n) => write!(f, "{}({n})", self.label()),
+            None => f.write_str(self.label()),
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The epoch the event belongs to.
+    pub epoch: u64,
+    /// Caller-supplied monotonic timestamp ([`crate::Clock::now_ns`]).
+    pub at_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Bounded ring buffer of [`Event`]s covering roughly the last N
+/// epochs. Preallocated; recording is O(1) and alloc-free.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    ring: Vec<Event>,
+    capacity: usize,
+    /// Index of the next write (wraps).
+    head: usize,
+    /// Events currently stored (≤ capacity).
+    len: usize,
+    /// Total events ever recorded, including overwritten ones.
+    recorded: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining about the last `epochs` epochs of events
+    /// (`epochs × EVENTS_PER_EPOCH` slots, minimum one epoch).
+    pub fn new(epochs: usize) -> Self {
+        let capacity = epochs.max(1) * EVENTS_PER_EPOCH;
+        FlightRecorder {
+            ring: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            len: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total events recorded over the recorder's lifetime (including
+    /// those the ring has since overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Record one event. Alloc-free once the ring has filled once; the
+    /// fill itself writes into capacity reserved at construction.
+    pub fn record(&mut self, epoch: u64, at_ns: u64, kind: EventKind) {
+        let ev = Event { epoch, at_ns, kind };
+        if self.ring.len() < self.capacity {
+            self.ring.push(ev);
+        } else if let Some(slot) = self.ring.get_mut(self.head) {
+            *slot = ev;
+        }
+        self.head = (self.head + 1) % self.capacity;
+        self.len = (self.len + 1).min(self.capacity);
+        self.recorded += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> + '_ {
+        let start = if self.ring.len() < self.capacity {
+            0
+        } else {
+            self.head
+        };
+        (0..self.len).filter_map(move |i| self.ring.get((start + i) % self.capacity))
+    }
+
+    /// The retained events for one epoch, oldest first.
+    pub fn events_for_epoch(&self, epoch: u64) -> impl Iterator<Item = &Event> + '_ {
+        self.events().filter(move |e| e.epoch == epoch)
+    }
+
+    /// Render the retained timeline as indented text, one event per
+    /// line, grouped by epoch — the block the forensics report embeds.
+    /// Allocates; never call this adjacent to the pause window.
+    pub fn render_timeline(&self) -> String {
+        use std::fmt::Write as _;
+        if self.is_empty() {
+            return String::from("(no recorded epochs)\n");
+        }
+        let mut out = String::new();
+        let mut cur: Option<u64> = None;
+        for e in self.events() {
+            if cur != Some(e.epoch) {
+                cur = Some(e.epoch);
+                let _ = writeln!(out, "epoch {}:", e.epoch);
+            }
+            let _ = writeln!(out, "  [{:>12} ns] {}", e.at_ns, e.kind);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_retains_only_the_last_capacity_events() {
+        let mut r = FlightRecorder::new(1); // 16 slots
+        for epoch in 0..20 {
+            r.record(epoch, epoch * 10, EventKind::EpochStart);
+        }
+        assert_eq!(r.capacity(), EVENTS_PER_EPOCH);
+        assert_eq!(r.len(), EVENTS_PER_EPOCH);
+        assert_eq!(r.recorded(), 20);
+        let epochs: Vec<u64> = r.events().map(|e| e.epoch).collect();
+        assert_eq!(epochs, (4..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn events_come_back_in_record_order_before_wrap() {
+        let mut r = FlightRecorder::new(2);
+        r.record(7, 1, EventKind::AuditStaged);
+        r.record(7, 2, EventKind::VmiRetry { attempt: 1 });
+        r.record(7, 3, EventKind::Committed { released: 4 });
+        let kinds: Vec<EventKind> = r.events().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                EventKind::AuditStaged,
+                EventKind::VmiRetry { attempt: 1 },
+                EventKind::Committed { released: 4 },
+            ]
+        );
+        assert_eq!(r.events_for_epoch(7).count(), 3);
+        assert_eq!(r.events_for_epoch(8).count(), 0);
+    }
+
+    #[test]
+    fn timeline_groups_by_epoch_and_shows_payloads() {
+        let mut r = FlightRecorder::new(4);
+        r.record(3, 100, EventKind::EpochStart);
+        r.record(3, 200, EventKind::AttackDetected { findings: 2 });
+        r.record(4, 300, EventKind::Quarantined);
+        let text = r.render_timeline();
+        assert!(text.contains("epoch 3:"), "{text}");
+        assert!(text.contains("attack_detected(2)"), "{text}");
+        assert!(text.contains("epoch 4:"), "{text}");
+        assert!(text.contains("quarantined"), "{text}");
+    }
+
+    #[test]
+    fn empty_recorder_renders_a_placeholder() {
+        let r = FlightRecorder::new(2);
+        assert!(r.is_empty());
+        assert_eq!(r.render_timeline(), "(no recorded epochs)\n");
+    }
+}

@@ -21,6 +21,35 @@ use crimes_vm::{DirtyBitmap, GuestMemory, Gpa, Gva, Pfn};
 use crate::error::VmiError;
 use crate::session::VmiSession;
 
+/// Validate the guest-written record count at the head of the canary
+/// table and return `(count, table_bytes)` for the staging buffer.
+///
+/// The header word lives in guest memory, so a compromised guest can
+/// write any value there. Sizing an allocation directly from it would
+/// let the guest force a multi-gigabyte (or, after `count *
+/// CANARY_RECORD_SIZE` wraps, absurdly small) hypervisor-side buffer.
+/// The count is plausible only if that many records fit between the
+/// header and the end of guest memory; anything larger is evidence of
+/// tampering and fails closed.
+fn checked_table_extent(mem: &GuestMemory, table: Gpa) -> Result<(usize, usize), VmiError> {
+    let claimed = mem.read_u64(table);
+    let extent = (mem.size_bytes() as u64).saturating_sub(table.0.saturating_add(8));
+    let max = extent / CANARY_RECORD_SIZE;
+    let implausible = VmiError::ImplausibleTableHeader {
+        what: "canary",
+        claimed,
+        max,
+    };
+    if claimed > max {
+        return Err(implausible);
+    }
+    let count = usize::try_from(claimed).map_err(|_| implausible.clone())?;
+    let table_bytes = count
+        .checked_mul(CANARY_RECORD_SIZE as usize)
+        .ok_or(implausible)?;
+    Ok((count, table_bytes))
+}
+
 /// One trampled canary.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CanaryViolation {
@@ -113,12 +142,12 @@ impl CanaryScanner {
         dirty: Option<&DirtyBitmap>,
     ) -> Result<CanaryScanReport, VmiError> {
         let table = session.hot_symbol(names::CANARY_TABLE)?;
-        let count = mem.read_u64(table) as usize;
+        let (count, table_bytes) = checked_table_extent(mem, table)?;
         let mut report = CanaryScanReport::default();
         // Bulk-read the record table once instead of issuing four guest
         // reads per record — the batching that makes the paper's ~90k
         // canaries/ms validation rate possible.
-        let mut records = vec![0u8; count * CANARY_RECORD_SIZE as usize]; // lint: allow(pause-window) -- one bulk-read staging buffer, O(records)
+        let mut records = vec![0u8; table_bytes]; // lint: allow(pause-window) -- one bulk-read staging buffer, O(records)
         if count > 0 {
             mem.read(table.add(8), &mut records);
         }
@@ -274,14 +303,14 @@ impl CanaryScanner {
         dirty: &DirtyBitmap,
     ) -> Result<PreparedCanaries, VmiError> {
         let table = session.hot_symbol(names::CANARY_TABLE)?;
-        let count = mem.read_u64(table) as usize;
+        let (count, table_bytes) = checked_table_extent(mem, table)?;
         let mut prepared = PreparedCanaries {
             secret: self.secret,
             checks: Vec::with_capacity(count), // lint: allow(pause-window) -- staging buffer built before the sharded walk, O(records)
             skipped_clean: 0,
             skipped_untranslatable: 0,
         };
-        let mut records = vec![0u8; count * CANARY_RECORD_SIZE as usize]; // lint: allow(pause-window) -- one bulk-read staging buffer, O(records)
+        let mut records = vec![0u8; table_bytes]; // lint: allow(pause-window) -- one bulk-read staging buffer, O(records)
         if count > 0 {
             mem.read(table.add(8), &mut records);
         }
@@ -536,5 +565,53 @@ mod tests {
         refresh(&mut s, &vm);
         let report = scanner.scan_all(&s, vm.memory()).unwrap();
         assert_eq!(report.violations.len(), 1);
+    }
+
+    #[test]
+    fn forged_huge_record_count_fails_closed() {
+        let (mut vm, mut s, scanner) = setup();
+        let pid = vm.spawn_process("app", 0, 16).unwrap();
+        vm.malloc(pid, 64).unwrap();
+        refresh(&mut s, &vm);
+        // A compromised guest forges an absurd count in the table header.
+        // Every scan entry point must surface the typed error instead of
+        // sizing a buffer from (or wrapping on) the forged value.
+        let table = s.hot_symbol(names::CANARY_TABLE).unwrap();
+        vm.memory_mut().write_u64(table, u64::MAX);
+        let dirty = vm.memory().dirty().clone();
+        assert!(matches!(
+            scanner.scan_all(&s, vm.memory()).unwrap_err(),
+            VmiError::ImplausibleTableHeader {
+                what: "canary",
+                claimed: u64::MAX,
+                ..
+            }
+        ));
+        assert!(matches!(
+            scanner.scan_dirty(&s, vm.memory(), &dirty).unwrap_err(),
+            VmiError::ImplausibleTableHeader { .. }
+        ));
+        assert!(matches!(
+            scanner.prepare_dirty(&s, vm.memory(), &dirty).unwrap_err(),
+            VmiError::ImplausibleTableHeader { .. }
+        ));
+    }
+
+    #[test]
+    fn record_count_just_past_the_addressable_extent_is_refused() {
+        let (mut vm, mut s, scanner) = setup();
+        refresh(&mut s, &vm);
+        let table = s.hot_symbol(names::CANARY_TABLE).unwrap();
+        let extent = vm.memory().size_bytes() as u64 - (table.0 + 8);
+        let max = extent / CANARY_RECORD_SIZE;
+        vm.memory_mut().write_u64(table, max + 1);
+        assert_eq!(
+            scanner.scan_all(&s, vm.memory()).unwrap_err(),
+            VmiError::ImplausibleTableHeader {
+                what: "canary",
+                claimed: max + 1,
+                max,
+            }
+        );
     }
 }

@@ -27,6 +27,18 @@ pub enum VmiError {
     /// the reader, or an injected fault). Safe to retry: the guest is
     /// paused during audits, so nothing is lost by asking again.
     TransientReadFault,
+    /// A guest-published table header claims more records than its region
+    /// of guest memory could possibly hold. The header is guest-writable,
+    /// so an implausible count is treated as evidence of tampering and the
+    /// scan fails closed instead of sizing buffers from a forged value.
+    ImplausibleTableHeader {
+        /// Which table (e.g. `"canary"`).
+        what: &'static str,
+        /// Record count the header claimed.
+        claimed: u64,
+        /// Most records the table's addressable extent could hold.
+        max: u64,
+    },
 }
 
 impl std::fmt::Display for VmiError {
@@ -41,6 +53,10 @@ impl std::fmt::Display for VmiError {
             }
             VmiError::NoSuchTask(pid) => write!(f, "no task with pid {pid}"),
             VmiError::TransientReadFault => write!(f, "transient VMI read fault (retryable)"),
+            VmiError::ImplausibleTableHeader { what, claimed, max } => write!(
+                f,
+                "{what} table header claims {claimed} record(s) but at most {max} fit in guest memory"
+            ),
         }
     }
 }
@@ -64,6 +80,11 @@ mod tests {
             },
             VmiError::NoSuchTask(9),
             VmiError::TransientReadFault,
+            VmiError::ImplausibleTableHeader {
+                what: "canary",
+                claimed: u64::MAX,
+                max: 64,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -27,7 +27,7 @@ CRIMES_FAULT_SEED="${CRIMES_FAULT_SEED:-1592654353}" \
 CRIMES_SOAK_EPOCHS="${CRIMES_SOAK_EPOCHS:-2000}" \
     cargo test --release --offline -q --test fault_soak
 
-echo "==> crimes-lint: fail-closed, pause-window, fault-coverage, taxonomy, hermeticity"
+echo "==> crimes-lint: fail-closed, pause-window, fault-coverage, taxonomy, hermeticity, telemetry-purity"
 # One analyzer replaces the old grep gates: crimes-lint walks the whole
 # tree and checks the invariants rustc cannot (see DESIGN.md "Static
 # guarantees"). Its exit code is the gate; suppressions are printed.
@@ -41,6 +41,25 @@ echo "==> pause-window bench smoke (serial vs fused, 4 workers)"
 # pause_workers=4 end to end; the JSON goes to a scratch path so the
 # committed BENCH_pause_window.json keeps its full-length numbers.
 CRIMES_BENCH_EPOCHS=3 CRIMES_BENCH_OUT="$(mktemp)" scripts/bench_baseline.sh > /dev/null
+
+echo "==> telemetry overhead bench smoke (recording vs pause window, 5% budget)"
+# The bin itself asserts overhead_pct <= 5.0 and exits nonzero past the
+# budget; the JSON goes to a scratch path so the committed
+# BENCH_telemetry_overhead.json keeps its full-length numbers.
+CRIMES_BENCH_EPOCHS=4 CRIMES_BENCH_OUT="$(mktemp)" \
+    cargo run --release --offline -q -p crimes-bench --bin telemetry_overhead > /dev/null
+
+echo "==> telemetry export smoke (schema-validated JSON/CSV)"
+# repro's telemetry experiment round-trips its JSON export through the
+# in-tree schema validator before writing it; a drifting emitter fails
+# here, not in a downstream consumer.
+TELEMETRY_OUT="$(mktemp -d)"
+cargo run --release --offline -q -p crimes-bench --bin repro -- \
+    --quick --out "${TELEMETRY_OUT}" telemetry > /dev/null
+for artifact in telemetry.json telemetry_counters.csv telemetry_phases.csv telemetry_events.csv; do
+    test -s "${TELEMETRY_OUT}/${artifact}"
+done
+rm -rf "${TELEMETRY_OUT}"
 
 echo "==> examples smoke-run"
 for example in quickstart overflow_attack malware_detection web_server_safety cloud_fleet; do

@@ -37,8 +37,9 @@ pub enum CopyStrategy {
 const HEADER_LEN: usize = 8 + 8 + 4;
 
 /// Pages per `writev` batch (Remus groups writes; each batch costs one
-/// simulated syscall on each side).
-const WRITEV_BATCH: usize = 64;
+/// simulated syscall on each side). The deferred drain path batches its
+/// out-of-window stream the same way.
+pub(crate) const WRITEV_BATCH: usize = 64;
 
 /// Statistics from one copy phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -291,11 +292,11 @@ fn keystream_xor(data: &mut [u8], key: u64, nonce: u64) {
     }
 }
 
-fn encrypt_in_place(data: &mut [u8], key: u64, nonce: u64) {
+pub(crate) fn encrypt_in_place(data: &mut [u8], key: u64, nonce: u64) {
     keystream_xor(data, key, nonce);
 }
 
-fn decrypt_in_place(data: &mut [u8], key: u64, nonce: u64) {
+pub(crate) fn decrypt_in_place(data: &mut [u8], key: u64, nonce: u64) {
     keystream_xor(data, key, nonce);
 }
 

@@ -32,10 +32,15 @@ use crate::bitmap::BitmapScan;
 use crate::copy::{CopyStats, CopyStrategy, FusedSocketCopier, MemcpyCopier, SocketCopier};
 use crate::error::CheckpointError;
 use crate::history::{CheckpointHistory, CheckpointRecord};
-use crate::integrity::{image_digest, FusedDigest, ImageDigest};
+use crate::integrity::{image_digest, FusedDigest, ImageDigest, StagedSnapshot};
 use crate::mapping::{HypercallModel, Mapper, MappingStrategy};
 use crate::pool::{FusedAudit, FusedPageVisitor, NoopVisitor, PauseWindowPool};
 use crate::probe::{BreakdownStats, PhaseTimings};
+use crate::staging::{DrainTicket, StagingArea};
+
+/// The shared cipher key for every socket-style pipeline (in-window or
+/// deferred) — both ends hold it like an ssh session key.
+const COPY_KEY: u64 = 0xc1e4_0000_5ec5;
 
 /// The four optimisation levels the evaluation compares (Figures 3, 4, 6a).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -157,6 +162,19 @@ pub struct CheckpointConfig {
     /// [`Checkpointer::run_epoch_fused`]. Clamped to
     /// [`crate::pool::MAX_WORKERS`].
     pub pause_workers: usize,
+    /// Preallocated staging buffers for the deferred backup pipeline
+    /// (`staging`): `0` disables deferral; `≥ 1` lets
+    /// [`Checkpointer::run_epoch_staged`] snapshot dirty pages inside the
+    /// pause window and [`Checkpointer::drain_staged`] cipher and stream
+    /// them to the backup *after* resume. Each buffer is a full-image
+    /// frame copy, so more than a couple is rarely worth the memory.
+    pub staging_buffers: usize,
+    /// Deadline for one staged epoch's drain, in milliseconds, measured
+    /// on the deterministic retry-backoff model (accumulated
+    /// [`CheckpointConfig::retry_backoff_us`] sleeps, not wall clock, so
+    /// fault soaks replay bit-exactly). Exceeding it surfaces
+    /// [`CheckpointError::DrainTimeout`] and the drain fails closed.
+    pub drain_timeout_ms: u64,
 }
 
 impl Default for CheckpointConfig {
@@ -172,6 +190,8 @@ impl Default for CheckpointConfig {
             copy_retries: 3,
             retry_backoff_us: 50,
             pause_workers: 1,
+            staging_buffers: 0,
+            drain_timeout_ms: 10,
         }
     }
 }
@@ -192,6 +212,36 @@ pub struct EpochReport {
     /// Copy attempts this epoch (1 when the first try succeeded; 0 when
     /// the audit failed or was inconclusive and no copy ran).
     pub copy_attempts: u32,
+}
+
+/// A staged epoch: the pause-window half of the deferred pipeline.
+#[derive(Debug)]
+pub struct StagedEpoch {
+    /// The pause-window report. `copy` counts pages *staged* (memcpy'd
+    /// into the staging buffer) — they are not durable on the backup
+    /// until [`Checkpointer::drain_staged`] acknowledges the ticket.
+    pub report: EpochReport,
+    /// The drain ticket for a passing verdict; `None` when the verdict
+    /// rejected the epoch (the staged snapshot was discarded and nothing
+    /// will commit).
+    pub pending: Option<DrainTicket>,
+}
+
+/// The backup's acknowledgement of one drained epoch — the evidence-
+/// durability receipt the framework needs before releasing the epoch's
+/// impounded outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainStats {
+    /// The staging generation this ack covers (monotonic).
+    pub generation: u64,
+    /// Pages drained to the backup.
+    pub pages: usize,
+    /// Payload bytes moved.
+    pub bytes: usize,
+    /// Simulated syscalls issued by the drain stream.
+    pub syscalls: u64,
+    /// Drain attempts spent (1 when the first try succeeded).
+    pub attempts: u32,
 }
 
 /// What [`Checkpointer::rollback`] actually restored.
@@ -219,6 +269,10 @@ pub struct Checkpointer {
     /// when `pause_workers > 1`, lazily on the first
     /// [`run_epoch_fused`](Self::run_epoch_fused) otherwise.
     pool: Option<PauseWindowPool>,
+    /// Preallocated staging slots for the deferred pipeline; built
+    /// eagerly when `staging_buffers > 0`, lazily on the first
+    /// [`run_epoch_staged`](Self::run_epoch_staged) otherwise.
+    staging: Option<StagingArea>,
     history: CheckpointHistory,
     integrity: ImageDigest,
     stats: BreakdownStats,
@@ -240,11 +294,18 @@ impl Checkpointer {
             HypercallModel::new(config.hypercall_steps),
         );
         let integrity = ImageDigest::of(backup.frames(), backup.disk());
-        let pool = (config.pause_workers > 1).then(|| {
+        let pool = (config.pause_workers > 1 || config.staging_buffers > 0).then(|| {
             PauseWindowPool::new(
                 config.pause_workers,
                 vm.memory().num_pages(),
                 config.hypercall_steps,
+            )
+        });
+        let staging = (config.staging_buffers > 0).then(|| {
+            StagingArea::new(
+                vm.memory().num_pages(),
+                backup.disk().len() / crimes_vm::SECTOR_SIZE,
+                config.staging_buffers,
             )
         });
         let init_time = t0.elapsed();
@@ -252,10 +313,11 @@ impl Checkpointer {
             config,
             backup,
             mapper,
-            socket: SocketCopier::new(0xc1e4_0000_5ec5),
+            socket: SocketCopier::new(COPY_KEY),
             memcpy: MemcpyCopier,
-            fused_socket: FusedSocketCopier::new(0xc1e4_0000_5ec5),
+            fused_socket: FusedSocketCopier::new(COPY_KEY),
             pool,
+            staging,
             history: CheckpointHistory::new(config.history_depth, config.retain_history_images),
             integrity,
             stats: BreakdownStats::new(),
@@ -727,6 +789,341 @@ impl Checkpointer {
         };
         stats.record(&report.timings);
         Ok(report)
+    }
+
+    /// Staged epochs currently awaiting their drain (0 when the deferred
+    /// pipeline is disabled or idle).
+    pub fn drains_in_flight(&self) -> usize {
+        self.staging.as_ref().map(StagingArea::in_flight).unwrap_or(0)
+    }
+
+    /// Execute one pause window through the **deferred** pipeline: the
+    /// audit's page-scoped scan and a `memcpy` snapshot of the dirty
+    /// pages into a preallocated staging buffer, run as one sharded walk
+    /// — and that is *all* the window pays for. The Remus cipher/socket
+    /// copy-out *and* the per-page digest move past resume:
+    /// [`drain_staged`](Self::drain_staged) digests and streams the
+    /// sealed slot to the backup while the guest already runs the next
+    /// epoch.
+    ///
+    /// The backup is untouched inside the window, so a `Fail` or
+    /// `Inconclusive` verdict simply discards the staging slot — no undo
+    /// log, no rollback walk. Nothing commits here either: the epoch's
+    /// checkpoint becomes durable only when the drain ticket in the
+    /// returned [`StagedEpoch::pending`] is acknowledged, and the
+    /// framework must keep the epoch's outputs impounded until then.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::StagingBacklog`] when every staging buffer is
+    /// still awaiting its drain (refused before anything is copied), or
+    /// [`CheckpointError::Exhausted`] when every staging-walk attempt
+    /// failed. Both fail closed: the VM stays suspended, the dirty set is
+    /// re-marked, and the backup still holds the last acknowledged
+    /// checkpoint.
+    pub fn run_epoch_staged(
+        &mut self,
+        vm: &mut Vm,
+        audit: &mut dyn FusedAudit,
+    ) -> Result<StagedEpoch, CheckpointError> {
+        let mut timings = PhaseTimings::default();
+        let epoch = self.backup.epoch();
+        if self.pool.is_none() {
+            self.pool = Some(PauseWindowPool::new(
+                self.config.pause_workers,
+                self.backup.num_pages(),
+                self.config.hypercall_steps,
+            ));
+        }
+        if self.staging.is_none() {
+            self.staging = Some(StagingArea::new(
+                self.backup.num_pages(),
+                self.backup.disk().len() / crimes_vm::SECTOR_SIZE,
+                self.config.staging_buffers,
+            ));
+        }
+
+        // Injected silent corruption, exactly as in the other paths.
+        if crimes_faults::should_inject(FaultPoint::PageCorrupt) {
+            let at = crimes_faults::draw_below(self.backup.size_bytes() as u64) as usize;
+            let bit = 1u8 << crimes_faults::draw_below(8);
+            let mfn = crimes_vm::Mfn((at / crimes_vm::PAGE_SIZE) as u64);
+            if let Some(byte) = self.backup.frame_mut(mfn).get_mut(at % crimes_vm::PAGE_SIZE) {
+                *byte ^= bit;
+            }
+        }
+
+        // --- suspend ------------------------------------------------------
+        let t = Instant::now();
+        for _ in 0..self.config.suspend_hypercalls + 2 * vm.vcpus().len() as u32 {
+            self.sched.call();
+        }
+        vm.vcpus_mut().pause_all();
+        self.backup.save_vcpus(vm.vcpus());
+        let dirty = vm.memory_mut().take_dirty();
+        timings.suspend = t.elapsed();
+
+        // --- vmi, first half: stage the page-scoped scan ------------------
+        let t = Instant::now();
+        audit.stage(vm, &dirty);
+        timings.vmi = t.elapsed();
+
+        // --- bitscan ------------------------------------------------------
+        let t = Instant::now();
+        let dirty_pfns: Vec<Pfn> = self.config.opt.bitmap_scan().scan(&dirty);
+        timings.bitscan = t.elapsed();
+
+        // --- map ----------------------------------------------------------
+        let t = Instant::now();
+        let mapped = self.mapper.map_epoch(vm, &dirty_pfns);
+        timings.map = t.elapsed();
+
+        let Checkpointer {
+            config,
+            mapper,
+            pool,
+            staging,
+            stats,
+            sched,
+            ..
+        } = self;
+        let config = *config;
+        let (Some(pool), Some(staging)) = (pool.as_mut(), staging.as_mut()) else {
+            // Unreachable (both built above), but fail closed, not panic.
+            return Err(CheckpointError::Exhausted { attempts: 0 });
+        };
+        let Some(slot) = staging.claim() else {
+            // Every buffer is still in flight: refuse the epoch before
+            // anything is copied, keep the VM suspended, and re-mark the
+            // dirty set so a later epoch still commits these pages.
+            mapper.unmap_epoch(&mapped);
+            for pfn in dirty.iter() {
+                vm.memory_mut().mark_dirty(pfn);
+            }
+            return Err(CheckpointError::StagingBacklog {
+                in_flight: staging.in_flight(),
+            });
+        };
+
+        // --- staged walk: scan + snapshot in one sharded pass -------------
+        // The snapshot visitor copies into the staging frames, nothing
+        // more: no cipher, no socket, and no digest inside the window,
+        // whatever the backup's locality — that work now belongs to the
+        // drain. The noop pad keeps the scan at source slot 2, the fixed
+        // position audit verdicts filter on.
+        let snapshot = StagedSnapshot;
+        let noop = NoopVisitor;
+        let scan: &dyn FusedPageVisitor = audit.visitor().unwrap_or(&noop);
+        let visitors: [&dyn FusedPageVisitor; 3] = [&snapshot, &noop, scan];
+
+        let t = Instant::now();
+        let mut copy_attempts = 0u32;
+        let copy = loop {
+            copy_attempts += 1;
+            match pool.run_staging(vm.memory(), staging.frames_mut(slot), &mapped, &visitors) {
+                Ok(copy_stats) => break copy_stats,
+                Err(_) if copy_attempts <= config.copy_retries => {
+                    std::thread::sleep(Duration::from_micros(
+                        config.retry_backoff_us * u64::from(copy_attempts),
+                    ));
+                }
+                Err(_) => {
+                    // Give up, fail closed: the backup was never touched,
+                    // so discarding the slot is the whole cleanup.
+                    staging.release(slot);
+                    mapper.unmap_epoch(&mapped);
+                    for pfn in dirty.iter() {
+                        vm.memory_mut().mark_dirty(pfn);
+                    }
+                    return Err(CheckpointError::Exhausted {
+                        attempts: copy_attempts,
+                    });
+                }
+            }
+        };
+        timings.copy = t.elapsed();
+
+        // --- vmi, second half: the verdict over the walk's findings -------
+        let t = Instant::now();
+        let verdict = audit.verdict(vm, &dirty, pool.findings());
+        timings.vmi += t.elapsed();
+
+        if verdict == AuditVerdict::Fail {
+            // The backup never saw the walk — dropping the staged
+            // snapshot *is* the rollback. VM stays suspended for analysis.
+            staging.release(slot);
+            mapper.unmap_epoch(&mapped);
+            let report = EpochReport {
+                epoch,
+                verdict,
+                timings,
+                dirty_pages: dirty_pfns.len(),
+                copy: CopyStats::default(),
+                copy_attempts,
+            };
+            stats.record(&report.timings);
+            return Ok(StagedEpoch {
+                report,
+                pending: None,
+            });
+        }
+
+        if verdict == AuditVerdict::Inconclusive {
+            // Fail closed without failing the guest: discard the staged
+            // snapshot, keep the dirty set, resume, extend speculation.
+            staging.release(slot);
+            mapper.unmap_epoch(&mapped);
+            let t = Instant::now();
+            for pfn in dirty.iter() {
+                vm.memory_mut().mark_dirty(pfn);
+            }
+            for _ in 0..config.resume_hypercalls + 2 * vm.vcpus().len() as u32 {
+                sched.call();
+            }
+            vm.vcpus_mut().resume_all();
+            timings.resume = t.elapsed();
+            let report = EpochReport {
+                epoch,
+                verdict,
+                timings,
+                dirty_pages: dirty_pfns.len(),
+                copy: CopyStats::default(),
+                copy_attempts,
+            };
+            stats.record(&report.timings);
+            return Ok(StagedEpoch {
+                report,
+                pending: None,
+            });
+        }
+
+        // --- snapshot dirty sectors while still paused (the guest may
+        // overwrite them the instant it resumes) ---------------------------
+        let dirty_sectors = vm.disk_mut().take_dirty();
+        for sector in dirty_sectors.iter() {
+            staging.stage_sector(slot, sector.0, vm.disk().read_sector(sector.0));
+        }
+
+        // --- resume -------------------------------------------------------
+        let t = Instant::now();
+        mapper.unmap_epoch(&mapped);
+        for _ in 0..config.resume_hypercalls + 2 * vm.vcpus().len() as u32 {
+            sched.call();
+        }
+        vm.vcpus_mut().resume_all();
+        timings.resume = t.elapsed();
+
+        // Seal off the window: the page list is walk metadata (not guest
+        // state), so copying it after resume is safe and keeps the window
+        // itself to scan + memcpy. Digests are the drain's job.
+        let ticket = staging.seal(slot, &mapped, vm.now_ns());
+
+        let report = EpochReport {
+            epoch,
+            verdict,
+            timings,
+            dirty_pages: dirty_pfns.len(),
+            copy,
+            copy_attempts,
+        };
+        stats.record(&report.timings);
+        Ok(StagedEpoch {
+            report,
+            pending: Some(ticket),
+        })
+    }
+
+    /// Drain one sealed staging slot to the backup — the out-of-window
+    /// half of the deferred pipeline, overlapped with guest execution.
+    /// Digests and encrypts each staged page, streams it through the
+    /// modelled socket, decrypts it into the backup, folds the drain's
+    /// digests into the image checksum, applies the snapshotted sectors,
+    /// commits the epoch, and pushes the history record. The returned [`DrainStats`]
+    /// is the backup's acknowledgement: only now may the framework
+    /// release outputs impounded under the ticket's generation.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::DrainFault`] when every attempt (first try +
+    /// [`CheckpointConfig::copy_retries`]) failed, or
+    /// [`CheckpointError::DrainTimeout`] when the deterministic backoff
+    /// budget ([`CheckpointConfig::drain_timeout_ms`]) ran out first. The
+    /// backup may hold a partial copy and nothing was committed — only a
+    /// checksum-verified rollback is trustworthy afterwards, and the
+    /// epoch's outputs must stay impounded forever.
+    pub fn drain_staged(
+        &mut self,
+        vm: &Vm,
+        ticket: DrainTicket,
+    ) -> Result<DrainStats, CheckpointError> {
+        let Checkpointer {
+            config,
+            backup,
+            staging,
+            history,
+            integrity,
+            sched,
+            ..
+        } = self;
+        let config = *config;
+        let Some(staging) = staging.as_mut() else {
+            return Err(CheckpointError::DrainFault { pages_drained: 0 });
+        };
+        let mut attempts = 0u32;
+        // The deterministic drain clock: accumulated modelled backoff, not
+        // wall time, so fault soaks replay bit-exactly.
+        let mut waited_us = 0u64;
+        let copy = loop {
+            attempts += 1;
+            match staging.drain_slot(ticket.slot(), backup, COPY_KEY, sched) {
+                Ok(copy) => break copy,
+                Err(err) => {
+                    if attempts > config.copy_retries {
+                        staging.release(ticket.slot());
+                        return Err(err);
+                    }
+                    let backoff = config.retry_backoff_us.saturating_mul(u64::from(attempts));
+                    waited_us = waited_us.saturating_add(backoff);
+                    if waited_us > config.drain_timeout_ms.saturating_mul(1_000) {
+                        staging.release(ticket.slot());
+                        return Err(CheckpointError::DrainTimeout {
+                            waited_us,
+                            budget_ms: config.drain_timeout_ms,
+                        });
+                    }
+                    std::thread::sleep(Duration::from_micros(backoff));
+                }
+            }
+        };
+
+        // The drained pages and snapshotted sectors are authoritative now:
+        // fold them into the incremental image digest, then commit.
+        for (sector, bytes) in staging.sectors(ticket.slot()) {
+            backup.apply_sector(sector, bytes);
+            integrity.update_sector(sector as usize, bytes);
+        }
+        for (index, page_digest) in staging.digests(ticket.slot()) {
+            integrity.apply_page_digest(index, page_digest);
+        }
+        backup.commit_epoch();
+        let retain = history.retains_images();
+        history.push(CheckpointRecord {
+            epoch: backup.epoch(),
+            guest_time_ns: staging.guest_time_ns(ticket.slot()),
+            dirty_pages: staging.entry_count(ticket.slot()),
+            checksum: integrity.combined(),
+            frames: retain.then(|| Arc::new(backup.frames().to_vec())),
+            disk: retain.then(|| Arc::new(backup.disk().to_vec())),
+            meta: retain.then(|| vm.meta_snapshot()),
+        });
+        staging.release(ticket.slot());
+        Ok(DrainStats {
+            generation: ticket.generation(),
+            pages: copy.pages,
+            bytes: copy.bytes,
+            syscalls: copy.syscalls,
+            attempts,
+        })
     }
 
     /// Verify the live backup against its incrementally-maintained digest.
@@ -1379,5 +1776,259 @@ mod tests {
         assert_eq!(report.verdict, AuditVerdict::Pass);
         assert_eq!(cp.backup().epoch(), 1);
         assert_eq!(cp.backup().frames(), vm.memory().dump_frames().as_slice());
+    }
+
+    fn staged_config(buffers: usize) -> CheckpointConfig {
+        CheckpointConfig {
+            pause_workers: 2,
+            staging_buffers: buffers,
+            ..CheckpointConfig::default()
+        }
+    }
+
+    #[test]
+    fn staged_pass_matches_serial_backup_and_checksum() {
+        // Two identical VMs, one serial and one deferred: after each
+        // staged epoch's drain acks, the committed state must be
+        // indistinguishable — the cipher detour through staging cannot
+        // change a single byte.
+        let mk = || {
+            let mut b = Vm::builder();
+            b.pages(2048).seed(77);
+            let mut vm = b.build();
+            let pid = vm.spawn_process("app", 0, 64).expect("spawn");
+            (vm, pid)
+        };
+        let (mut vm_a, pid_a) = mk();
+        let (mut vm_b, pid_b) = mk();
+        let mut serial = Checkpointer::new(&vm_a, CheckpointConfig::default());
+        let mut staged = Checkpointer::new(&vm_b, staged_config(2));
+
+        for epoch in 0..3u8 {
+            dirty_some(&mut vm_a, pid_a, epoch);
+            dirty_some(&mut vm_b, pid_b, epoch);
+            let a = serial
+                .run_epoch(&mut vm_a, &mut pass_audit())
+                .expect("no faults armed");
+            let b = staged
+                .run_epoch_staged(&mut vm_b, &mut FixedFused(AuditVerdict::Pass))
+                .expect("no faults armed");
+            assert_eq!(a.verdict, b.report.verdict);
+            assert_eq!(a.dirty_pages, b.report.dirty_pages);
+            assert_eq!(a.copy.pages, b.report.copy.pages);
+            assert_eq!(
+                b.report.copy.syscalls, 0,
+                "the pause window must not touch the socket"
+            );
+            assert!(
+                !vm_b.vcpus().all_paused(),
+                "the guest runs while the drain is pending"
+            );
+            assert_eq!(
+                staged.backup().epoch(),
+                u64::from(epoch),
+                "nothing commits before the drain acks"
+            );
+            assert_eq!(staged.drains_in_flight(), 1);
+
+            let ticket = b.pending.expect("passing verdict yields a ticket");
+            assert_eq!(ticket.generation(), u64::from(epoch) + 1);
+            let ack = staged
+                .drain_staged(&vm_b, ticket)
+                .expect("no faults armed");
+            assert_eq!(ack.generation, u64::from(epoch) + 1);
+            assert_eq!(ack.pages, a.copy.pages);
+            assert!(ack.syscalls > 0, "the drain models the socket stream");
+            assert_eq!(ack.attempts, 1);
+            assert_eq!(staged.drains_in_flight(), 0);
+
+            assert_eq!(
+                serial.backup().frames(),
+                staged.backup().frames(),
+                "staged backup image diverged at epoch {epoch}"
+            );
+            assert_eq!(
+                serial.integrity.combined(),
+                staged.integrity.combined(),
+                "staged checksum diverged at epoch {epoch}"
+            );
+        }
+        assert_eq!(staged.backup().epoch(), 3);
+        assert!(staged.verify_backup().is_ok());
+        assert_eq!(
+            staged.history().latest().expect("latest").epoch,
+            serial.history().latest().expect("latest").epoch
+        );
+    }
+
+    #[test]
+    fn staged_fail_and_inconclusive_discard_without_rollback() {
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 64).expect("spawn");
+        let mut cp = Checkpointer::new(&vm, staged_config(1));
+        let clean = cp.backup().frames().to_vec();
+
+        // Fail: the backup never saw the walk, so dropping the slot is the
+        // whole rollback; the VM stays suspended for analysis.
+        dirty_some(&mut vm, pid, 5);
+        let failed = cp
+            .run_epoch_staged(&mut vm, &mut FixedFused(AuditVerdict::Fail))
+            .expect("no faults armed");
+        assert_eq!(failed.report.verdict, AuditVerdict::Fail);
+        assert!(failed.pending.is_none());
+        assert!(vm.vcpus().all_paused(), "VM must stay paused on failure");
+        assert_eq!(cp.backup().epoch(), 0);
+        assert_eq!(cp.backup().frames(), clean.as_slice(), "backup untouched");
+        assert_eq!(cp.drains_in_flight(), 0, "slot released on failure");
+        vm.vcpus_mut().resume_all();
+
+        // Inconclusive: slot discarded, dirty set kept, speculation extends.
+        dirty_some(&mut vm, pid, 6);
+        let inconclusive = cp
+            .run_epoch_staged(&mut vm, &mut FixedFused(AuditVerdict::Inconclusive))
+            .expect("no faults armed");
+        assert_eq!(inconclusive.report.verdict, AuditVerdict::Inconclusive);
+        assert!(inconclusive.pending.is_none());
+        assert!(!vm.vcpus().all_paused(), "VM resumes");
+        assert_eq!(cp.backup().epoch(), 0, "no commit while inconclusive");
+        assert_eq!(cp.drains_in_flight(), 0);
+
+        // The deferred pages are still dirty: the next conclusive epoch
+        // stages, drains, and commits them.
+        let next = cp
+            .run_epoch_staged(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+            .expect("no faults armed");
+        assert!(next.report.dirty_pages >= inconclusive.report.dirty_pages);
+        let ticket = next.pending.expect("passing verdict yields a ticket");
+        cp.drain_staged(&vm, ticket).expect("no faults armed");
+        assert_eq!(cp.backup().epoch(), 1);
+        assert_eq!(cp.backup().frames(), vm.memory().dump_frames().as_slice());
+        assert!(cp.verify_backup().is_ok());
+    }
+
+    #[test]
+    fn staged_drain_fault_fails_closed_with_verified_fallback() {
+        use crimes_faults::{FaultPlan, FaultPoint, SCALE};
+
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 64).expect("spawn");
+        let mut cp = Checkpointer::new(
+            &vm,
+            CheckpointConfig {
+                history_depth: 2,
+                retain_history_images: true,
+                ..staged_config(1)
+            },
+        );
+
+        // One clean acknowledged generation to fall back to.
+        dirty_some(&mut vm, pid, 7);
+        let first = cp
+            .run_epoch_staged(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+            .expect("no faults armed");
+        cp.drain_staged(&vm, first.pending.expect("ticket"))
+            .expect("no faults armed");
+        let meta = vm.meta_snapshot();
+
+        // Second epoch stages cleanly, but every drain attempt faults.
+        dirty_some(&mut vm, pid, 8);
+        let second = cp
+            .run_epoch_staged(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+            .expect("no faults armed");
+        let ticket = second.pending.expect("ticket");
+        let err = {
+            let plan = FaultPlan::disabled().with_rate(FaultPoint::BackupDrain, SCALE);
+            let _scope = crimes_faults::install(plan, 13);
+            cp.drain_staged(&vm, ticket)
+                .expect_err("every drain attempt faults")
+        };
+        assert!(
+            matches!(err, CheckpointError::DrainFault { .. }),
+            "unexpected error: {err}"
+        );
+        assert_eq!(cp.backup().epoch(), 1, "failed drain commits nothing");
+        assert_eq!(cp.drains_in_flight(), 0, "slot released on give-up");
+
+        // A partial drain leaves the backup untrustworthy; recovery must
+        // go through checksum verification, falling back to the retained
+        // generation when the live image fails it.
+        if cp.verify_backup().is_err() {
+            assert!(cp.has_verified_checkpoint(), "history still holds gen 1");
+            let rb = cp.rollback(&mut vm, &meta).expect("fallback succeeds");
+            assert!(rb.fell_back);
+            assert_eq!(rb.restored_epoch, 1);
+            assert!(cp.verify_backup().is_ok(), "backup repaired from history");
+        }
+    }
+
+    #[test]
+    fn staged_drain_timeout_fails_closed() {
+        use crimes_faults::{FaultPlan, FaultPoint, SCALE};
+
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 64).expect("spawn");
+        let mut cp = Checkpointer::new(
+            &vm,
+            CheckpointConfig {
+                drain_timeout_ms: 0,
+                ..staged_config(1)
+            },
+        );
+        dirty_some(&mut vm, pid, 9);
+        let staged = cp
+            .run_epoch_staged(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+            .expect("no faults armed");
+        let ticket = staged.pending.expect("ticket");
+        let err = {
+            let plan = FaultPlan::disabled().with_rate(FaultPoint::BackupDrain, SCALE);
+            let _scope = crimes_faults::install(plan, 14);
+            cp.drain_staged(&vm, ticket)
+                .expect_err("zero budget times out on the first retry")
+        };
+        assert!(
+            matches!(err, CheckpointError::DrainTimeout { budget_ms: 0, .. }),
+            "unexpected error: {err}"
+        );
+        assert_eq!(cp.backup().epoch(), 0);
+        assert_eq!(cp.drains_in_flight(), 0);
+    }
+
+    #[test]
+    fn staged_backlog_refuses_new_epochs_until_a_drain_acks() {
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 64).expect("spawn");
+        let mut cp = Checkpointer::new(&vm, staged_config(1));
+
+        dirty_some(&mut vm, pid, 10);
+        let first = cp
+            .run_epoch_staged(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+            .expect("no faults armed");
+        let ticket = first.pending.expect("ticket");
+        assert_eq!(cp.drains_in_flight(), 1);
+
+        // The only buffer is still awaiting its drain: the next epoch is
+        // refused before anything is copied, and fails closed.
+        dirty_some(&mut vm, pid, 11);
+        let err = cp
+            .run_epoch_staged(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+            .expect_err("no free staging buffer");
+        assert_eq!(err, CheckpointError::StagingBacklog { in_flight: 1 });
+        assert!(vm.vcpus().all_paused(), "fail closed: VM stays suspended");
+        assert_eq!(cp.backup().epoch(), 0);
+        vm.vcpus_mut().resume_all();
+
+        // Draining the ticket frees the buffer; the re-marked dirty set
+        // commits on the next epoch and generations stay monotonic.
+        cp.drain_staged(&vm, ticket).expect("no faults armed");
+        assert_eq!(cp.backup().epoch(), 1);
+        let next = cp
+            .run_epoch_staged(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+            .expect("buffer free again");
+        let ticket = next.pending.expect("ticket");
+        assert_eq!(ticket.generation(), 2);
+        cp.drain_staged(&vm, ticket).expect("no faults armed");
+        assert_eq!(cp.backup().epoch(), 2);
+        assert_eq!(cp.backup().frames(), vm.memory().dump_frames().as_slice());
+        assert!(cp.verify_backup().is_ok());
     }
 }

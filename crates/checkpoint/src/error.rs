@@ -54,6 +54,32 @@ pub enum CheckpointError {
         /// Which invariant the page list violated.
         detail: &'static str,
     },
+    /// One out-of-window drain attempt of a staged epoch failed
+    /// mid-stream, leaving a partial copy in the backup. Retryable: the
+    /// staging slot is immutable until released, so a full re-drain
+    /// overwrites the partial state.
+    DrainFault {
+        /// Pages drained to the backup before the fault.
+        pages_drained: usize,
+    },
+    /// The staged epoch's drain exceeded its deadline (measured on the
+    /// deterministic retry-backoff model, not wall clock). The backup may
+    /// hold a partial copy; only a checksum-verified generation is
+    /// trustworthy now, and the epoch's outputs stay impounded.
+    DrainTimeout {
+        /// Modelled time spent backing off across retries, in
+        /// microseconds.
+        waited_us: u64,
+        /// The configured deadline, in milliseconds.
+        budget_ms: u64,
+    },
+    /// Every staging buffer is still awaiting its drain. The epoch is
+    /// refused before anything is staged (fail closed) — nothing escaped
+    /// and nothing was copied.
+    StagingBacklog {
+        /// Staged epochs currently awaiting their backup ack.
+        in_flight: usize,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -77,6 +103,18 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::ShardGeometry { mfn, detail } => {
                 write!(f, "cannot shard page list at MFN {mfn}: {detail}")
             }
+            CheckpointError::DrainFault { pages_drained } => {
+                write!(f, "staged-epoch drain failed after {pages_drained} page(s)")
+            }
+            CheckpointError::DrainTimeout { waited_us, budget_ms } => {
+                write!(
+                    f,
+                    "staged-epoch drain timed out ({waited_us} us waited, {budget_ms} ms budget)"
+                )
+            }
+            CheckpointError::StagingBacklog { in_flight } => {
+                write!(f, "no free staging buffer ({in_flight} drain(s) in flight)")
+            }
         }
     }
 }
@@ -99,6 +137,12 @@ mod tests {
                 mfn: 12,
                 detail: "duplicate MFN in the page list",
             },
+            CheckpointError::DrainFault { pages_drained: 5 },
+            CheckpointError::DrainTimeout {
+                waited_us: 1_500,
+                budget_ms: 1,
+            },
+            CheckpointError::StagingBacklog { in_flight: 2 },
         ] {
             assert!(!e.to_string().is_empty());
         }

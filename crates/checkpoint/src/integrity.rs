@@ -15,15 +15,16 @@
 //! * full recomputation happens only at rollback (verification) — the
 //!   one moment correctness depends on it.
 //!
-//! The digest folds 8-byte words, not bytes: each absorb step
-//! `h ← (h ^ w) * prime` is a bijection on `u64` for fixed `w` (XOR is
-//! bijective; multiplication by an odd constant is bijective mod 2⁶⁴) and
-//! injective in `w` for fixed `h`, so two chunks differing in any single
-//! byte (hence in one word) always produce different digests — the
-//! `crimes-rng::prop` property below checks exactly that. Word folding
-//! matters for throughput: the digest runs inside the commit path over
-//! every copied page, and a byte-at-a-time FNV costs more than the page
-//! copy it accompanies.
+//! The digest folds 8-byte words, not bytes, across four interleaved
+//! lanes: each absorb step `l ← (l ^ w) * prime` is a bijection on `u64`
+//! for fixed `w` (XOR is bijective; multiplication by an odd constant is
+//! bijective mod 2⁶⁴) and injective in `w` for fixed `l`, so two chunks
+//! differing in any single byte (hence in one word, hence in one lane)
+//! always produce different digests — the `crimes-rng::prop` property
+//! below checks exactly that. Word folding and laning matter for
+//! throughput: the digest runs inside the pause window over every copied
+//! page, a serial multiply chain is latency-bound, and a byte-at-a-time
+//! FNV costs more than the page copy it accompanies.
 
 use crimes_vm::{PAGE_SIZE, SECTOR_SIZE};
 
@@ -37,23 +38,73 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// cancel under XOR).
 const SECTOR_DOMAIN: u64 = 0x8000_0000_0000_0000;
 
+/// One absorb step: `l ← (l ^ w) · prime`, a bijection on `u64` for
+/// fixed `w` and injective in `w` for fixed `l`.
+#[inline]
+fn absorb(lane: u64, w: &[u8; 8]) -> u64 {
+    (lane ^ u64::from_le_bytes(*w)).wrapping_mul(FNV_PRIME)
+}
+
 /// Word-wise FNV-1a over `bytes`, seeded with `tag` (chunk index +
-/// domain). Pages and sectors are multiples of 8 bytes; a ragged tail is
-/// folded as one zero-padded final word (length is absorbed too, so a
+/// domain), folded across **four interleaved lanes**: word `i` feeds
+/// lane `i mod 4`. A single multiply-xor chain is latency-bound (every
+/// step waits on the previous multiply), and the digest runs inside the
+/// pause window over every copied page — four independent chains let the
+/// CPU overlap the multiplies and cut the walk's digest cost roughly
+/// fourfold. Pages and sectors are multiples of 8 bytes; a ragged tail
+/// is folded as one zero-padded final word (length is absorbed too, so a
 /// trailing-zero tail cannot collide with a shorter chunk).
+///
+/// The single-word injectivity argument from the module header survives
+/// the lanes: a one-word difference lands in exactly one lane, each lane
+/// step is a bijection, and the final combine `h ← h·prime ^ lane` is a
+/// bijection in each lane for the others fixed — so two chunks differing
+/// in any single byte still always produce different digests.
 pub fn chunk_digest(tag: u64, bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let seed = FNV_OFFSET ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let (mut l0, mut l1, mut l2, mut l3) = (
+        seed,
+        seed.rotate_left(16),
+        seed.rotate_left(32),
+        seed.rotate_left(48),
+    );
     let (words, tail) = bytes.as_chunks::<8>();
-    for w in words {
-        h = (h ^ u64::from_le_bytes(*w)).wrapping_mul(FNV_PRIME);
+    let (quads, rest) = words.as_chunks::<4>();
+    for [a, b, c, d] in quads {
+        l0 = absorb(l0, a);
+        l1 = absorb(l1, b);
+        l2 = absorb(l2, c);
+        l3 = absorb(l3, d);
+    }
+    match rest {
+        [a] => l0 = absorb(l0, a),
+        [a, b] => {
+            l0 = absorb(l0, a);
+            l1 = absorb(l1, b);
+        }
+        [a, b, c] => {
+            l0 = absorb(l0, a);
+            l1 = absorb(l1, b);
+            l2 = absorb(l2, c);
+        }
+        _ => {}
     }
     if !tail.is_empty() {
         let mut word = [0u8; 8];
         for (dst, src) in word.iter_mut().zip(tail) {
             *dst = *src;
         }
-        h = (h ^ u64::from_le_bytes(word)).wrapping_mul(FNV_PRIME);
+        match rest.len() {
+            0 => l0 = absorb(l0, &word),
+            1 => l1 = absorb(l1, &word),
+            2 => l2 = absorb(l2, &word),
+            _ => l3 = absorb(l3, &word),
+        }
     }
+    let mut h = l0;
+    h = h.wrapping_mul(FNV_PRIME) ^ l1;
+    h = h.wrapping_mul(FNV_PRIME) ^ l2;
+    h = h.wrapping_mul(FNV_PRIME) ^ l3;
     (h ^ bytes.len() as u64).wrapping_mul(FNV_PRIME)
 }
 
@@ -70,6 +121,26 @@ pub struct FusedDigest;
 impl FusedPageVisitor for FusedDigest {
     fn visit_page(&self, ctx: &PageCtx<'_>, sink: &mut ShardSink<'_>) {
         sink.push_digest(ctx.mfn.0 as usize, chunk_digest(ctx.mfn.0, ctx.src));
+    }
+}
+
+/// The deferred pipeline's snapshot visitor: copy the source page into
+/// the staging frame — and nothing else. The digest is *also* deferred:
+/// the staging slot is engine-private and immutable from seal to drain,
+/// and the epoch only commits (and outputs only release) once the drain
+/// acknowledges, so `StagingArea::drain_slot` digests each staged page
+/// as it ciphers it — the bytes are in cache anyway — and the pause
+/// window pays for the memcpy alone. The digest value is
+/// [`chunk_digest`] over the same bytes [`FusedDigest`] would see, so
+/// the two pipelines' checksums stay bit-identical.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StagedSnapshot;
+
+impl FusedPageVisitor for StagedSnapshot {
+    // lint: pause-window
+    fn visit_page(&self, ctx: &PageCtx<'_>, sink: &mut ShardSink<'_>) {
+        sink.dst().copy_from_slice(ctx.src);
+        sink.count_page(PAGE_SIZE);
     }
 }
 

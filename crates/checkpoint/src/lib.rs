@@ -47,12 +47,14 @@ pub mod integrity;
 pub mod mapping;
 pub mod pool;
 pub mod probe;
+pub mod staging;
 
 pub use backup::BackupVm;
 pub use bitmap::{scan_bit_by_bit, scan_wordwise, BitmapScan};
 pub use copy::{CopyStats, CopyStrategy, FusedSocketCopier, MemcpyCopier, SocketCopier};
 pub use engine::{
-    AuditVerdict, CheckpointConfig, Checkpointer, EpochReport, OptLevel, RollbackReport,
+    AuditVerdict, CheckpointConfig, Checkpointer, DrainStats, EpochReport, OptLevel,
+    RollbackReport, StagedEpoch,
 };
 pub use error::CheckpointError;
 pub use history::{CheckpointHistory, CheckpointRecord};
@@ -63,3 +65,4 @@ pub use pool::{
     MAX_WORKERS,
 };
 pub use probe::{BreakdownStats, Phase, PhaseTimings};
+pub use staging::{DrainTicket, StagingArea};

@@ -7,63 +7,71 @@
 //! indexed by PFN, making every per-epoch lookup O(1) with no hypercall.
 //!
 //! There is no hypervisor here to issue hypercalls against, so
-//! [`HypercallModel`] stands in: each simulated hypercall performs a fixed
-//! pointer-chase over a buffer larger than the L2 cache, costing a realistic
-//! sub-microsecond latency *per call* that scales linearly with call count —
-//! the property the paper's map-phase numbers depend on. See DESIGN.md's
-//! substitution table.
+//! [`HypercallModel`] stands in: each simulated hypercall burns a fixed
+//! dependent-ALU delay, costing a realistic sub-microsecond latency *per
+//! call* that scales linearly with call count — the property the paper's
+//! map-phase numbers depend on. See DESIGN.md's substitution table.
 
 use crimes_vm::{Mfn, Pfn, Vm};
 
-/// Cache-hostile pointer-chase standing in for hypercall + page-table
+/// Deterministic ALU-bound delay standing in for hypercall + page-table
 /// update latency.
+///
+/// Earlier revisions modelled the trap as a pointer chase through a 4 MiB
+/// buffer; its per-call cost then depended on how much of that buffer was
+/// still cached, so out-of-window memory traffic (a guest slice, the
+/// deferred drain's cipher churn) silently re-priced the *next* window's
+/// suspend/resume loops. A dependent chain of 64-bit divisions burns the
+/// same latency with no memory footprint, making the cost a function of
+/// the call count alone. Division specifically, not a multiply chain: the
+/// hardware divider's latency is about the same whether the surrounding
+/// code was optimised or not, so the modelled cost holds in debug-profile
+/// tests too, where a longer chain of cheap ops balloons several-fold.
 #[derive(Debug, Clone)]
 pub struct HypercallModel {
-    chase: Vec<u32>,
-    cursor: u32,
+    state: u64,
     steps_per_call: u32,
     calls: u64,
 }
 
-/// Size of the chase buffer in `u32`s (4 MiB, larger than typical L2).
-const CHASE_LEN: usize = 1 << 20;
+/// Dependent divisions per latency step. Calibrated so
+/// [`HypercallModel::DEFAULT_STEPS`] steps cost ≈0.3 µs on current
+/// hardware (measured via the engine's suspend phase: ~1 500 calls per
+/// epoch), the same order as the trap cost the paper's Table 1 implies.
+/// Calibrate against the engine's own phases, not a standalone
+/// microbenchmark — inlining context has misled that road before.
+const DIVS_PER_STEP: u32 = 9;
 
 impl HypercallModel {
-    /// Create a model performing `steps_per_call` dependent cache misses
-    /// per simulated hypercall. The default used by the engine is
+    /// Create a model burning `steps_per_call` dependent latency steps per
+    /// simulated hypercall. The default used by the engine is
     /// [`HypercallModel::DEFAULT_STEPS`].
     pub fn new(steps_per_call: u32) -> Self {
-        // A maximal-period permutation over the buffer: slot i points to
-        // (i * PRIME + 1) mod LEN, which visits every slot before repeating
-        // and defeats both the prefetcher and the branch predictor.
-        let mut chase = vec![0u32; CHASE_LEN];
-        let prime = 2_654_435_761u64; // Knuth's multiplicative hash constant
-        for (i, slot) in chase.iter_mut().enumerate() {
-            *slot = ((i as u64).wrapping_mul(prime).wrapping_add(1) % CHASE_LEN as u64) as u32;
-        }
         HypercallModel {
-            chase,
-            cursor: 0,
+            state: 0x243F_6A88_85A3_08D3, // pi digits, an arbitrary odd seed
             steps_per_call,
             calls: 0,
         }
     }
 
-    /// Steps used when the engine builds its own model: ~8 dependent misses
-    /// ≈ 0.5 µs on current hardware, matching the per-page map cost implied
-    /// by the paper's Table 1 (≈1.6 ms / ~3 000 pages).
+    /// Steps used when the engine builds its own model: 8 steps ≈ 0.3 µs on
+    /// current hardware, the same order as the per-page map cost implied
+    /// by the paper's Table 1 (≈1.6 ms / ~3 000 pages ≈ 0.5 µs).
     pub const DEFAULT_STEPS: u32 = 8;
 
     /// Issue one simulated hypercall. Returns an opaque value derived from
-    /// the chase so the compiler cannot elide the work.
+    /// the delay chain so the compiler cannot elide the work.
     pub fn call(&mut self) -> u32 {
-        let mut c = self.cursor;
-        for _ in 0..self.steps_per_call {
-            c = self.chase[c as usize];
+        // Each quotient feeds the next divisor, so the chain's latency is
+        // serial by construction and the optimiser cannot vectorise or
+        // strength-reduce it (the divisor is never a known constant).
+        let mut s = self.state | 1;
+        for _ in 0..self.steps_per_call * DIVS_PER_STEP {
+            s = (!s).wrapping_div(s | 1).wrapping_add(s.rotate_right(23)) | 1;
         }
-        self.cursor = c;
+        self.state = self.state.wrapping_add(s);
         self.calls += 1;
-        c
+        self.state as u32
     }
 
     /// Total simulated hypercalls issued.

@@ -281,17 +281,20 @@ impl<'a> ShardSink<'a> {
         }
     }
 
-    /// Stash the current page's pre-copy backup bytes in the undo log and
-    /// advance the cursor to `mfn`'s frame. Pool-internal: runs before
-    /// the visitors see the page.
-    fn begin_page(&mut self, mfn: Mfn, undo: &mut Vec<u8>, undo_tags: &mut Vec<Mfn>) {
+    /// Advance the cursor to `mfn`'s frame and, when an undo log is
+    /// supplied, stash the page's pre-copy bytes in it (staging walks
+    /// skip the log — the backup is untouched, so there is nothing to
+    /// restore). Pool-internal: runs before the visitors see the page.
+    fn begin_page(&mut self, mfn: Mfn, undo: Option<(&mut Vec<u8>, &mut Vec<Mfn>)>) {
         self.cur = (mfn.0 as usize * PAGE_SIZE).saturating_sub(self.region_base);
-        let old = self
-            .region
-            .get(self.cur..self.cur + PAGE_SIZE)
-            .unwrap_or(&[]);
-        undo.extend_from_slice(old);
-        undo_tags.push(mfn);
+        if let Some((undo, undo_tags)) = undo {
+            let old = self
+                .region
+                .get(self.cur..self.cur + PAGE_SIZE)
+                .unwrap_or(&[]);
+            undo.extend_from_slice(old);
+            undo_tags.push(mfn);
+        }
     }
 }
 
@@ -353,6 +356,52 @@ impl PauseWindowPool {
         mapped: &[MappedPage],
         visitors: &[&dyn FusedPageVisitor],
     ) -> Result<CopyStats, CheckpointError> {
+        match self.run_frames(mem, backup.frames_mut(), mapped, visitors, true) {
+            Ok(stats) => Ok(stats),
+            Err(err) => {
+                restore_undo(&mut self.slots, backup);
+                Err(err)
+            }
+        }
+    }
+
+    /// Execute one fused walk into an arbitrary full-image `frames`
+    /// buffer — the deferred pipeline's staged snapshot — instead of the
+    /// backup. The buffer is addressed by MFN offset exactly like the
+    /// backup image, so the shard carve is unchanged. No undo log is
+    /// recorded: the backup is untouched, and a failed or rejected
+    /// staging walk is discarded wholesale (the next attempt fully
+    /// overwrites the slot).
+    ///
+    /// # Errors
+    ///
+    /// The first failing shard's error, in shard order; the staged buffer
+    /// may then hold a partial snapshot, which the caller discards.
+    // lint: pause-window
+    pub fn run_staging(
+        &mut self,
+        mem: &GuestMemory,
+        frames: &mut [u8],
+        mapped: &[MappedPage],
+        visitors: &[&dyn FusedPageVisitor],
+    ) -> Result<CopyStats, CheckpointError> {
+        self.run_frames(mem, frames, mapped, visitors, false)
+    }
+
+    /// The shared walk core: shard `mapped` over `frames` and run the
+    /// visitor stack. `record_undo` stashes pre-copy bytes per page so
+    /// the caller can restore `frames` (the backup path); the staging
+    /// path skips it. On error the undo log is *not* replayed here —
+    /// [`run`](Self::run) restores the backup, staging callers discard.
+    // lint: pause-window
+    fn run_frames(
+        &mut self,
+        mem: &GuestMemory,
+        frames: &mut [u8],
+        mapped: &[MappedPage],
+        visitors: &[&dyn FusedPageVisitor],
+        record_undo: bool,
+    ) -> Result<CopyStats, CheckpointError> {
         let PauseWindowPool {
             workers,
             sorted,
@@ -381,8 +430,6 @@ impl PauseWindowPool {
         for (i, f) in forks.iter_mut().enumerate().take(used) {
             *f = crimes_faults::fork_for_worker(i as u64);
         }
-
-        let frames = backup.frames_mut();
 
         // Fail-closed shard geometry, checked before any worker spawns.
         // The peel below relies on strictly increasing MFNs (a duplicate
@@ -437,33 +484,51 @@ impl PauseWindowPool {
             }
         }
 
-        // lint: allow(pause-window) -- the one sanctioned scope: preallocated worker slots, joins before resume
-        std::thread::scope(|scope| {
-            let mut rest: &mut [u8] = frames;
-            let mut consumed = 0usize;
-            let mut next = 0usize;
-            for (i, slot) in slots.iter_mut().enumerate().take(used) {
-                let take = base + usize::from(i < rem);
-                let pages = sorted.get(next..next + take).unwrap_or(&[]);
-                next += take;
-                let Some(&(lo, hi)) = ranges.get(i) else {
-                    continue;
-                };
-                if hi <= lo {
-                    // Empty shard (no pages, so no validated range).
-                    continue;
+        if used == 1 {
+            // One worker means one shard: run it inline and skip the
+            // scope. Spawning + joining an OS thread costs tens of
+            // microseconds per epoch — real money against a ~3 ms pause —
+            // and `run_shard` installs its forked fault plan behind an
+            // RAII scope, so the caller's injection schedule is identical
+            // either way.
+            if let (Some(slot), Some(&(lo, hi))) = (slots.first_mut(), ranges.first()) {
+                if hi > lo {
+                    let region = frames.get_mut(lo..hi).unwrap_or(&mut []);
+                    let fork = forks.first().copied().flatten();
+                    run_shard(slot, region, lo, sorted, mem, visitors, fork, record_undo);
                 }
-                // Peel this shard's disjoint byte region off the image.
-                // The saturating subtractions cannot clamp after the
-                // geometry checks above; they keep the window panic-free.
-                let (_, tail) = rest.split_at_mut(lo.saturating_sub(consumed));
-                let (region, tail) = tail.split_at_mut(hi.saturating_sub(lo));
-                rest = tail;
-                consumed = hi;
-                let fork = forks.get(i).copied().flatten();
-                scope.spawn(move || run_shard(slot, region, lo, pages, mem, visitors, fork));
             }
-        });
+        } else {
+            // lint: allow(pause-window) -- the one sanctioned scope: preallocated worker slots, joins before resume
+            std::thread::scope(|scope| {
+                let mut rest: &mut [u8] = frames;
+                let mut consumed = 0usize;
+                let mut next = 0usize;
+                for (i, slot) in slots.iter_mut().enumerate().take(used) {
+                    let take = base + usize::from(i < rem);
+                    let pages = sorted.get(next..next + take).unwrap_or(&[]);
+                    next += take;
+                    let Some(&(lo, hi)) = ranges.get(i) else {
+                        continue;
+                    };
+                    if hi <= lo {
+                        // Empty shard (no pages, so no validated range).
+                        continue;
+                    }
+                    // Peel this shard's disjoint byte region off the image.
+                    // The saturating subtractions cannot clamp after the
+                    // geometry checks above; they keep the window panic-free.
+                    let (_, tail) = rest.split_at_mut(lo.saturating_sub(consumed));
+                    let (region, tail) = tail.split_at_mut(hi.saturating_sub(lo));
+                    rest = tail;
+                    consumed = hi;
+                    let fork = forks.get(i).copied().flatten();
+                    scope.spawn(move || {
+                        run_shard(slot, region, lo, pages, mem, visitors, fork, record_undo)
+                    });
+                }
+            });
+        }
 
         // Deterministic merge: shard order for counters and findings, then
         // the canonical (source, key) sort. The XOR digest fold downstream
@@ -480,7 +545,6 @@ impl PauseWindowPool {
             }
         }
         if let Some(err) = first_err {
-            restore_undo(slots, backup);
             return Err(err);
         }
         for slot in slots.iter().take(used) {
@@ -531,6 +595,7 @@ fn restore_undo(slots: &mut [WorkerSlot], backup: &mut BackupVm) {
 /// One worker's fused pass over its shard. Runs on a scoped thread with a
 /// forked fault plan; all output lands in `slot`.
 // lint: pause-window
+#[allow(clippy::too_many_arguments)]
 fn run_shard(
     slot: &mut WorkerSlot,
     region: &mut [u8],
@@ -539,6 +604,7 @@ fn run_shard(
     mem: &GuestMemory,
     visitors: &[&dyn FusedPageVisitor],
     fork: Option<(FaultPlan, u64)>,
+    record_undo: bool,
 ) {
     let _plan = fork.map(|(plan, seed)| crimes_faults::install(plan, seed));
     let WorkerSlot {
@@ -579,7 +645,7 @@ fn run_shard(
                     pages_written: done,
                 });
             }
-            sink.begin_page(mfn, undo, undo_tags);
+            sink.begin_page(mfn, record_undo.then(|| (&mut *undo, &mut *undo_tags)));
             let ctx = PageCtx {
                 pfn,
                 mfn,
@@ -695,6 +761,38 @@ mod tests {
             .collect();
         want.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn staged_snapshot_matches_memcpy_and_defers_digests() {
+        use crate::copy::MemcpyCopier;
+        use crate::integrity::StagedSnapshot;
+        let (vm, mapped) = vm_with_dirt(512, 40, 11);
+        // Reference: the plain memcpy visitor into one buffer.
+        let mut reference_buf = vec![0u8; 512 * crimes_vm::PAGE_SIZE];
+        let mut pool = PauseWindowPool::new(2, 512, 2);
+        let memcpy = MemcpyCopier;
+        let reference: [&dyn FusedPageVisitor; 1] = [&memcpy];
+        let ref_stats = pool
+            .run_staging(vm.memory(), &mut reference_buf, &mapped, &reference)
+            .expect("no faults armed");
+
+        // The snapshot visitor must produce the same bytes and copy
+        // statistics — and park *no* digests: on the deferred path the
+        // digest belongs to the drain, not the pause window.
+        let mut staged_buf = vec![0u8; 512 * crimes_vm::PAGE_SIZE];
+        let snapshot: [&dyn FusedPageVisitor; 1] = [&StagedSnapshot];
+        let stats = pool
+            .run_staging(vm.memory(), &mut staged_buf, &mapped, &snapshot)
+            .expect("no faults armed");
+        assert_eq!(staged_buf, reference_buf, "staged bytes differ");
+        assert_eq!(
+            pool.page_digests().count(),
+            0,
+            "the staged walk must not digest inside the window"
+        );
+        assert_eq!(stats.pages, ref_stats.pages);
+        assert_eq!(stats.bytes, ref_stats.bytes);
     }
 
     #[test]

@@ -1,0 +1,453 @@
+//! The deferred backup pipeline's staging area: snapshot inside the pause
+//! window, cipher and copy-out after it.
+//!
+//! The fused pause window (see `pool`) still pays for the Remus copy
+//! pipeline inside the window when the backup is remote: every dirty page
+//! is encrypted and pushed through the modelled socket while the guest is
+//! stopped. Remus itself solved this with *deferred* copy-out — snapshot
+//! the dirty pages into a local buffer during the pause, then stream them
+//! to the backup while the guest already runs the next epoch. CRIMES can
+//! adopt the same split **only** if the output-commit guarantee survives:
+//! no buffered output may escape until its epoch's evidence is durable on
+//! the backup. This module supplies the mechanics; the framework gates
+//! `OutputBuffer::release` on the drain's acknowledgement.
+//!
+//! * In-window ([`StagingArea::claim`] + `pool::run_staging` +
+//!   [`StagingArea::stage_sector`]): dirty pages are `memcpy`d into a
+//!   preallocated full-image staging buffer — **no cipher, no socket, no
+//!   digest, no undo log** (the backup is untouched, so a rejected epoch
+//!   just drops the slot).
+//! * Out-of-window ([`StagingArea::drain_slot`], driven by the engine's
+//!   retry loop): each staged page is digested, encrypted, pushed through
+//!   the modelled socket, and decrypted into the backup frame — the same
+//!   byte-for-byte pipeline as the in-window socket copier, now overlapped
+//!   with guest execution. Digesting here instead of in the window is
+//!   sound because the slot is engine-private, single-writer, and
+//!   immutable from seal to drain, and nothing commits (so no output
+//!   releases) until the drain acknowledges — the digest still covers
+//!   exactly the bytes the backup receives, before they become
+//!   authoritative. Success is the backup's acknowledgement; the engine
+//!   then folds digests, commits, and mints [`DrainStats`] so the
+//!   framework can release the epoch's impounded outputs.
+//!
+//! Slots are preallocated at [`StagingArea::new`] time (full-image frame
+//! buffers, entry/digest/sector capacity) so the in-window half never
+//! allocates; drain-side scratch may allocate freely — it runs after
+//! resume.
+
+use crimes_faults::FaultPoint;
+use crimes_vm::{PAGE_SIZE, SECTOR_SIZE};
+
+use crate::backup::BackupVm;
+use crate::copy::{decrypt_in_place, encrypt_in_place, CopyStats, WRITEV_BATCH};
+use crate::integrity::chunk_digest;
+use crate::error::CheckpointError;
+use crate::mapping::{HypercallModel, MappedPage};
+
+/// Claim on one sealed staging slot: the engine's IOU that
+/// [`drain_slot`](StagingArea::drain_slot) (via
+/// `Checkpointer::drain_staged`) will make the staged epoch durable.
+/// Generations are minted monotonically, so the framework can
+/// acknowledge output-buffer generations in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainTicket {
+    slot: usize,
+    generation: u64,
+}
+
+impl DrainTicket {
+    /// The staging slot this ticket drains.
+    pub(crate) fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// The monotonic staging generation this drain acknowledges.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// One preallocated staging slot: a full-image frame buffer (MFN-offset
+/// addressed exactly like the backup image, so the pool's shard carve
+/// works unchanged) plus this epoch's page list, drain-computed digests,
+/// and snapshotted dirty sectors.
+#[derive(Debug)]
+struct StagingSlot {
+    frames: Vec<u8>,
+    entries: Vec<MappedPage>,
+    digests: Vec<(usize, u64)>,
+    sector_ids: Vec<u64>,
+    sector_bytes: Vec<u8>,
+    guest_time_ns: u64,
+    occupied: bool,
+}
+
+impl StagingSlot {
+    fn new(num_pages: usize, num_sectors: usize) -> Self {
+        StagingSlot {
+            frames: vec![0u8; num_pages * PAGE_SIZE],
+            entries: Vec::with_capacity(num_pages),
+            digests: Vec::with_capacity(num_pages),
+            sector_ids: Vec::with_capacity(num_sectors),
+            sector_bytes: Vec::with_capacity(num_sectors * SECTOR_SIZE),
+            guest_time_ns: 0,
+            occupied: false,
+        }
+    }
+}
+
+/// The preallocated staging slots of one deferred pipeline, plus the
+/// monotonic generation counter drains acknowledge against.
+#[derive(Debug)]
+pub struct StagingArea {
+    slots: Vec<StagingSlot>,
+    generation: u64,
+}
+
+impl StagingArea {
+    /// Preallocate `buffers` staging slots (minimum one) for a VM of
+    /// `num_pages` pages and `num_sectors` disk sectors — the worst-case
+    /// dirty set, so nothing inside the window ever grows.
+    pub fn new(num_pages: usize, num_sectors: usize, buffers: usize) -> Self {
+        StagingArea {
+            slots: (0..buffers.max(1))
+                .map(|_| StagingSlot::new(num_pages, num_sectors))
+                .collect(),
+            generation: 0,
+        }
+    }
+
+    /// Number of preallocated slots.
+    pub fn buffers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Staged epochs currently awaiting their drain.
+    pub fn in_flight(&self) -> usize {
+        self.slots.iter().filter(|s| s.occupied).count()
+    }
+
+    /// Generations minted so far (the newest sealed ticket's generation).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Claim a free slot for this epoch's staged snapshot, or `None` when
+    /// every buffer is still in flight (the caller fails closed). Clears
+    /// only bookkeeping vectors, within their preallocated capacity.
+    // lint: pause-window
+    pub fn claim(&mut self) -> Option<usize> {
+        let slot = self.slots.iter().position(|s| !s.occupied)?;
+        if let Some(s) = self.slots.get_mut(slot) {
+            s.entries.clear();
+            s.digests.clear();
+            s.sector_ids.clear();
+            s.sector_bytes.clear();
+            s.guest_time_ns = 0;
+            s.occupied = true;
+        }
+        Some(slot)
+    }
+
+    /// The slot's full-image staging frames, for `pool::run_staging`.
+    // lint: pause-window
+    pub fn frames_mut(&mut self, slot: usize) -> &mut [u8] {
+        self.slots
+            .get_mut(slot)
+            .map(|s| s.frames.as_mut_slice())
+            .unwrap_or(&mut [])
+    }
+
+    /// Snapshot one dirty sector's bytes into the slot. Sector contents
+    /// must be captured while the guest is paused — after resume the
+    /// guest may overwrite them before the drain runs.
+    // lint: pause-window
+    pub fn stage_sector(&mut self, slot: usize, sector: u64, bytes: &[u8]) {
+        let Some(s) = self.slots.get_mut(slot) else {
+            return;
+        };
+        s.sector_ids.push(sector);
+        s.sector_bytes.extend_from_slice(bytes);
+    }
+
+    /// Seal a staged slot after a passing verdict: record the page list
+    /// (walk metadata — safe to copy after resume), stamp the epoch's
+    /// guest time, mint the next generation, and return the drain ticket.
+    /// Per-page digests are computed later, by the drain itself.
+    pub fn seal(&mut self, slot: usize, mapped: &[MappedPage], guest_time_ns: u64) -> DrainTicket {
+        self.generation += 1;
+        if let Some(s) = self.slots.get_mut(slot) {
+            s.entries.extend_from_slice(mapped);
+            s.guest_time_ns = guest_time_ns;
+        }
+        DrainTicket {
+            slot,
+            generation: self.generation,
+        }
+    }
+
+    /// Free a slot without draining it — the verdict rejected the epoch,
+    /// or the drain gave up and recovery owns the backup now.
+    pub fn release(&mut self, slot: usize) {
+        if let Some(s) = self.slots.get_mut(slot) {
+            s.occupied = false;
+        }
+    }
+
+    /// The slot's per-page digests, for the post-ack integrity fold.
+    pub(crate) fn digests(&self, slot: usize) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.slots
+            .get(slot)
+            .into_iter()
+            .flat_map(|s| s.digests.iter().copied())
+    }
+
+    /// The slot's snapshotted dirty sectors as `(sector, bytes)`.
+    pub(crate) fn sectors(&self, slot: usize) -> impl Iterator<Item = (u64, &[u8])> + '_ {
+        self.slots.get(slot).into_iter().flat_map(|s| {
+            s.sector_ids
+                .iter()
+                .copied()
+                .zip(s.sector_bytes.chunks_exact(SECTOR_SIZE))
+        })
+    }
+
+    /// Pages staged in the slot.
+    pub(crate) fn entry_count(&self, slot: usize) -> usize {
+        self.slots.get(slot).map(|s| s.entries.len()).unwrap_or(0)
+    }
+
+    /// The guest time stamped at seal (resume) time.
+    pub(crate) fn guest_time_ns(&self, slot: usize) -> u64 {
+        self.slots.get(slot).map(|s| s.guest_time_ns).unwrap_or(0)
+    }
+
+    /// One drain attempt: digest each staged page, encrypt it, push it
+    /// through the modelled socket, and decrypt it into the backup frame
+    /// — the same per-page cipher and `writev` batching as the in-window
+    /// socket copier, running *after* resume, overlapped with guest
+    /// execution. The digest is taken from the staged plaintext right
+    /// before encryption (the bytes are already in cache for the cipher),
+    /// so the pause window pays for none of it; see the module header for
+    /// why that is sound. This is deliberately **not** pause-window code:
+    /// no cipher, socket, or digest call is reachable from the window's
+    /// roots on the deferred path.
+    ///
+    /// # Errors
+    ///
+    /// Under fault injection ([`FaultPoint::BackupDrain`]) the stream
+    /// breaks after a seeded number of pages landed, surfacing as
+    /// [`CheckpointError::DrainFault`] with the partial write left in the
+    /// backup. Retryable: the slot is immutable until released, so a
+    /// re-drain overwrites the partial state (including the partial
+    /// digest list, which is rebuilt from scratch each attempt).
+    pub(crate) fn drain_slot(
+        &mut self,
+        slot: usize,
+        backup: &mut BackupVm,
+        key: u64,
+        syscalls: &mut HypercallModel,
+    ) -> Result<CopyStats, CheckpointError> {
+        let Some(s) = self.slots.get_mut(slot) else {
+            return Err(CheckpointError::DrainFault { pages_drained: 0 });
+        };
+        // The out-of-window stream breaking mid-drain: pick how many pages
+        // land first from the fault plan's seeded draws.
+        let fail_after = crimes_faults::should_inject(FaultPoint::BackupDrain)
+            .then(|| crimes_faults::draw_below(s.entries.len().max(1) as u64) as usize);
+        let mut stats = CopyStats::default();
+        let mut scratch = Vec::with_capacity(PAGE_SIZE);
+        let mut batched = 0usize;
+        s.digests.clear();
+        for &(pfn, mfn) in &s.entries {
+            if fail_after == Some(stats.pages) {
+                return Err(CheckpointError::DrainFault {
+                    pages_drained: stats.pages,
+                });
+            }
+            let base = mfn.0 as usize * PAGE_SIZE;
+            let Some(src) = s.frames.get(base..base + PAGE_SIZE) else {
+                return Err(CheckpointError::DrainFault {
+                    pages_drained: stats.pages,
+                });
+            };
+            // Digest the plaintext the backup is about to receive, then
+            // encrypt a copy of it for the modelled wire.
+            s.digests.push((mfn.0 as usize, chunk_digest(mfn.0, src)));
+            scratch.clear();
+            scratch.extend_from_slice(src);
+            encrypt_in_place(&mut scratch, key, pfn.0);
+            // Receiver side: ciphertext into the backup frame, decrypt in
+            // place.
+            let dst = backup.frame_mut(mfn);
+            if dst.len() == scratch.len() {
+                dst.copy_from_slice(&scratch);
+            }
+            decrypt_in_place(dst, key, pfn.0);
+            stats.pages += 1;
+            stats.bytes += PAGE_SIZE;
+            batched += 1;
+            if batched >= WRITEV_BATCH {
+                batched = 0;
+                syscalls.call();
+                stats.syscalls += 1;
+            }
+        }
+        if batched > 0 {
+            syscalls.call();
+            stats.syscalls += 1;
+        }
+        // One read syscall per batch on the restore side.
+        for _ in 0..s.entries.len().div_ceil(WRITEV_BATCH) {
+            syscalls.call();
+            stats.syscalls += 1;
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crimes_vm::Vm;
+
+    fn vm_with_writes() -> (Vm, Vec<MappedPage>) {
+        let mut b = Vm::builder();
+        b.pages(1024).seed(31);
+        let mut vm = b.build();
+        let pid = vm.spawn_process("app", 0, 32).expect("spawn");
+        vm.memory_mut().take_dirty();
+        for i in 0..20 {
+            vm.dirty_arena_page(pid, i, i * 3, i as u8).expect("dirty");
+        }
+        let mapped: Vec<MappedPage> = vm
+            .memory()
+            .dirty()
+            .iter()
+            .map(|p| (p, vm.memory().pfn_to_mfn(p)))
+            .collect();
+        (vm, mapped)
+    }
+
+    /// Stage `mapped` into slot 0 by direct memcpy (what the pool's
+    /// staging walk does) and seal it.
+    fn stage(area: &mut StagingArea, vm: &Vm, mapped: &[MappedPage]) -> DrainTicket {
+        let slot = area.claim().expect("a free slot");
+        for &(_pfn, mfn) in mapped {
+            let base = mfn.0 as usize * PAGE_SIZE;
+            area.frames_mut(slot)[base..base + PAGE_SIZE]
+                .copy_from_slice(vm.memory().frame(mfn));
+        }
+        area.seal(slot, mapped, 42)
+    }
+
+    #[test]
+    fn drain_reproduces_the_staged_pages_in_the_backup() {
+        let (vm, mapped) = vm_with_writes();
+        let mut backup = BackupVm::new(&vm);
+        for &(_p, mfn) in &mapped {
+            backup.frame_mut(mfn).fill(0xee);
+        }
+        let mut area = StagingArea::new(1024, backup.disk().len() / SECTOR_SIZE, 1);
+        let ticket = stage(&mut area, &vm, &mapped);
+        assert_eq!(ticket.generation(), 1);
+        assert_eq!(area.in_flight(), 1);
+        let mut syscalls = HypercallModel::new(2);
+        let stats = area
+            .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls)
+            .expect("no faults armed");
+        assert_eq!(stats.pages, mapped.len());
+        assert_eq!(stats.bytes, mapped.len() * PAGE_SIZE);
+        assert!(stats.syscalls >= 2, "writev + restore read modelled");
+        assert_eq!(backup.frames(), vm.memory().dump_frames().as_slice());
+        // The drain digests what it ships: one digest per staged page,
+        // each matching a recompute over the frame the backup now holds.
+        let digests: Vec<(usize, u64)> = area.digests(ticket.slot()).collect();
+        assert_eq!(digests.len(), mapped.len());
+        for &(index, digest) in &digests {
+            let mfn = crimes_vm::Mfn(index as u64);
+            assert_eq!(digest, chunk_digest(index as u64, backup.frame(mfn)));
+        }
+        area.release(ticket.slot());
+        assert_eq!(area.in_flight(), 0);
+    }
+
+    #[test]
+    fn generations_are_monotonic_and_slots_recycle() {
+        let (vm, mapped) = vm_with_writes();
+        let mut area = StagingArea::new(1024, 8, 2);
+        let t1 = stage(&mut area, &vm, &mapped);
+        let t2 = stage(&mut area, &vm, &mapped);
+        assert_eq!((t1.generation(), t2.generation()), (1, 2));
+        assert!(area.claim().is_none(), "both buffers in flight");
+        area.release(t1.slot());
+        let slot = area.claim().expect("released slot is reusable");
+        assert_eq!(slot, t1.slot());
+    }
+
+    #[test]
+    fn injected_drain_fault_leaves_a_partial_copy() {
+        let (vm, mapped) = vm_with_writes();
+        let mut backup = BackupVm::new(&vm);
+        for &(_p, mfn) in &mapped {
+            backup.frame_mut(mfn).fill(0xaa);
+        }
+        let before = backup.frames().to_vec();
+        let mut area = StagingArea::new(1024, 8, 1);
+        let ticket = stage(&mut area, &vm, &mapped);
+        let plan = crimes_faults::FaultPlan::disabled()
+            .with_rate(FaultPoint::BackupDrain, crimes_faults::SCALE);
+        let _scope = crimes_faults::install(plan, 13);
+        let mut syscalls = HypercallModel::new(2);
+        let err = area
+            .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls)
+            .expect_err("drain fault armed at full rate");
+        assert!(matches!(
+            err,
+            CheckpointError::DrainFault { pages_drained } if pages_drained < mapped.len()
+        ));
+        drop(_scope);
+        // The slot is immutable until released, so a clean retry fully
+        // overwrites the partial state.
+        let stats = area
+            .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls)
+            .expect("no faults armed on the retry");
+        assert_eq!(stats.pages, mapped.len());
+        assert_eq!(backup.frames(), vm.memory().dump_frames().as_slice());
+        assert_ne!(backup.frames(), before.as_slice());
+    }
+
+    #[test]
+    fn staged_sectors_round_trip() {
+        let mut area = StagingArea::new(1024, 8, 1);
+        let slot = area.claim().expect("free slot");
+        let sector = vec![0x5au8; SECTOR_SIZE];
+        area.stage_sector(slot, 3, &sector);
+        let ticket = area.seal(slot, &[], 7);
+        let got: Vec<(u64, Vec<u8>)> = area
+            .sectors(ticket.slot())
+            .map(|(id, b)| (id, b.to_vec()))
+            .collect();
+        assert_eq!(got, vec![(3, sector)]);
+        assert_eq!(area.guest_time_ns(ticket.slot()), 7);
+        assert_eq!(area.entry_count(ticket.slot()), 0);
+    }
+
+    #[test]
+    fn out_of_range_slot_indices_are_harmless() {
+        let mut area = StagingArea::new(4, 2, 1);
+        assert!(area.frames_mut(9).is_empty());
+        area.stage_sector(9, 0, &[0u8; SECTOR_SIZE]);
+        area.release(9);
+        let mut backup = {
+            let mut b = Vm::builder();
+            b.pages(1024).seed(1);
+            BackupVm::new(&b.build())
+        };
+        let mut syscalls = HypercallModel::new(2);
+        assert!(matches!(
+            area.drain_slot(9, &mut backup, 1, &mut syscalls),
+            Err(CheckpointError::DrainFault { pages_drained: 0 })
+        ));
+    }
+}

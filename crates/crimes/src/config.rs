@@ -41,6 +41,12 @@ pub struct CrimesConfig {
     /// [`CrimesConfigBuilder::build`]: must be at least 1). The recorder's
     /// ring is preallocated, so this bounds its memory footprint.
     pub flight_recorder_epochs: usize,
+    /// The pause-worker count the operator asked for, before
+    /// [`CrimesConfigBuilder::build`] clamped it to the host's available
+    /// parallelism. Differs from `checkpoint.pause_workers` only when the
+    /// clamp fired (surfaced through the `pause_worker_clamps` telemetry
+    /// counter at protect time).
+    pub requested_pause_workers: usize,
     /// Checkpoint engine configuration.
     pub checkpoint: CheckpointConfig,
 }
@@ -56,6 +62,7 @@ impl Default for CrimesConfig {
             max_held_bytes: usize::MAX,
             safety: SafetyMode::Synchronous,
             flight_recorder_epochs: 8,
+            requested_pause_workers: 1,
             checkpoint: CheckpointConfig::default(),
         }
     }
@@ -164,19 +171,61 @@ impl CrimesConfigBuilder {
     /// Worker threads for the pause window (validated at
     /// [`build`](Self::build): 1 ..= [`crimes_checkpoint::MAX_WORKERS`]).
     /// `1` (the default) keeps the serial pipeline; higher values fuse the
-    /// scan/copy/digest passes into one sharded walk.
+    /// scan/copy/digest passes into one sharded walk. [`build`](Self::build)
+    /// additionally clamps the count to the host's available parallelism
+    /// (never below 2): oversubscribed shard workers time-slice one core
+    /// and *lengthen* the pause window they exist to shorten.
     pub fn pause_workers(&mut self, workers: usize) -> &mut Self {
         self.config.checkpoint.pause_workers = workers;
         self
     }
 
+    /// Preallocated staging buffers for the deferred backup pipeline.
+    /// `0` (the default) keeps the in-window copy-out; `≥ 1` moves the
+    /// cipher/stream copy past resume: the pause window only snapshots
+    /// dirty pages into staging, and each epoch's outputs stay impounded
+    /// until its out-of-window drain is acknowledged by the backup.
+    pub fn staging_buffers(&mut self, buffers: usize) -> &mut Self {
+        self.config.checkpoint.staging_buffers = buffers;
+        self
+    }
+
+    /// Deadline for one staged epoch's drain, in milliseconds (validated
+    /// at [`build`](Self::build): must be positive when staging is
+    /// enabled). Measured on the deterministic retry-backoff model, not
+    /// wall clock.
+    pub fn drain_timeout_ms(&mut self, ms: u64) -> &mut Self {
+        self.config.checkpoint.drain_timeout_ms = ms;
+        self
+    }
+
+    /// The largest pause-worker count worth running on this host:
+    /// `max(available_parallelism, 2)`. The floor of 2 keeps the fused
+    /// pipeline reachable (and its bit-identical-for-any-worker-count
+    /// guarantee testable) even on a single-core host, where the second
+    /// worker costs little; beyond that, workers past the core count only
+    /// time-slice and lengthen the pause window.
+    pub fn host_pause_worker_cap() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .max(2)
+    }
+
     /// Validate and finish.
+    ///
+    /// Worker counts above [`host_pause_worker_cap`](Self::host_pause_worker_cap)
+    /// are clamped, not rejected: the configuration is portable across
+    /// hosts, and the clamp is observable via
+    /// [`CrimesConfig::requested_pause_workers`] and the
+    /// `pause_worker_clamps` telemetry counter.
     ///
     /// # Errors
     ///
     /// [`CrimesError::InvalidConfig`] when the configuration is impossible:
-    /// a zero-length epoch, a zero history depth, a zero audit deadline, or
-    /// an audit deadline longer than the epoch interval.
+    /// a zero-length epoch, a zero history depth, a zero audit deadline,
+    /// an audit deadline longer than the epoch interval, or a zero drain
+    /// timeout with staging enabled.
     pub fn build(&self) -> Result<CrimesConfig, CrimesError> {
         let c = &self.config;
         if c.epoch_interval_ms == 0 {
@@ -206,6 +255,11 @@ impl CrimesConfigBuilder {
                 "flight_recorder_epochs must be at least 1".into(),
             ));
         }
+        if c.checkpoint.staging_buffers > 0 && c.checkpoint.drain_timeout_ms == 0 {
+            return Err(CrimesError::InvalidConfig(
+                "drain timeout must be positive when staging is enabled".into(),
+            ));
+        }
         if let Some(deadline) = c.audit_deadline_ms {
             if deadline == 0 {
                 return Err(CrimesError::InvalidConfig(
@@ -220,7 +274,13 @@ impl CrimesConfigBuilder {
                 )));
             }
         }
-        Ok(self.config)
+        let mut config = self.config;
+        config.requested_pause_workers = config.checkpoint.pause_workers;
+        let cap = Self::host_pause_worker_cap();
+        if config.checkpoint.pause_workers > cap {
+            config.checkpoint.pause_workers = cap;
+        }
+        Ok(config)
     }
 }
 
@@ -250,7 +310,9 @@ mod tests {
             .history_depth(3)
             .retain_history_images(true)
             .flight_recorder_epochs(4)
-            .pause_workers(4);
+            .pause_workers(4)
+            .staging_buffers(2)
+            .drain_timeout_ms(25);
         let c = b.build().expect("valid config");
         assert_eq!(c.epoch_interval_ms, 20);
         assert_eq!(c.effective_audit_deadline_ms(), 10);
@@ -263,7 +325,43 @@ mod tests {
         assert_eq!(c.checkpoint.history_depth, 3);
         assert!(c.checkpoint.retain_history_images);
         assert_eq!(c.flight_recorder_epochs, 4);
-        assert_eq!(c.checkpoint.pause_workers, 4);
+        assert_eq!(c.checkpoint.staging_buffers, 2);
+        assert_eq!(c.checkpoint.drain_timeout_ms, 25);
+        // The effective worker count is host-dependent (clamped to the
+        // available parallelism); the request is recorded verbatim.
+        assert_eq!(c.requested_pause_workers, 4);
+        assert_eq!(
+            c.checkpoint.pause_workers,
+            4.min(CrimesConfigBuilder::host_pause_worker_cap())
+        );
+    }
+
+    #[test]
+    fn pause_workers_clamp_to_host_parallelism_but_never_below_two() {
+        let cap = CrimesConfigBuilder::host_pause_worker_cap();
+        assert!(cap >= 2, "the cap keeps the fused pipeline reachable");
+        // A request at the cap passes through untouched.
+        let c = {
+            let mut b = CrimesConfig::builder();
+            b.pause_workers(cap);
+            b.build().expect("valid config")
+        };
+        assert_eq!(c.checkpoint.pause_workers, cap);
+        assert_eq!(c.requested_pause_workers, cap);
+        // A request beyond the cap (but within the pool limit) is clamped,
+        // and the clamp is observable through the requested count.
+        if cap < crimes_checkpoint::MAX_WORKERS {
+            let mut b = CrimesConfig::builder();
+            b.pause_workers(cap + 1);
+            let c = b.build().expect("clamped, not rejected");
+            assert_eq!(c.checkpoint.pause_workers, cap);
+            assert_eq!(c.requested_pause_workers, cap + 1);
+        }
+        // The pool limit is still a hard error, not a clamp: the request
+        // is beyond what the engine can ever allocate.
+        let mut b = CrimesConfig::builder();
+        b.pause_workers(crimes_checkpoint::MAX_WORKERS + 1);
+        assert!(matches!(b.build(), Err(CrimesError::InvalidConfig(_))));
     }
 
     #[test]
@@ -306,6 +404,10 @@ mod tests {
             b.pause_workers(crimes_checkpoint::MAX_WORKERS + 1);
         })
         .contains("pool limit"));
+        assert!(reject(&|b| {
+            b.staging_buffers(1).drain_timeout_ms(0);
+        })
+        .contains("drain timeout"));
         // Deadline longer than the epoch can never be met.
         assert!(reject(&|b| {
             b.epoch_interval_ms(20).audit_deadline_ms(30);

@@ -139,6 +139,10 @@ impl From<CheckpointError> for CrimesError {
                 what: "checkpoint copy",
                 retries: attempts,
             },
+            CheckpointError::DrainTimeout { budget_ms, .. } => CrimesError::Timeout {
+                what: "backup drain",
+                deadline_ms: budget_ms,
+            },
             other => CrimesError::Checkpoint(other),
         }
     }
@@ -221,5 +225,20 @@ mod tests {
         }
         .into();
         assert!(matches!(e, CrimesError::BufferOverflow { .. }));
+        let e: CrimesError = CheckpointError::DrainTimeout {
+            waited_us: 1_500,
+            budget_ms: 1,
+        }
+        .into();
+        assert_eq!(
+            e,
+            CrimesError::Timeout {
+                what: "backup drain",
+                deadline_ms: 1
+            }
+        );
+        // Drain faults and staging backlogs keep their checkpoint detail.
+        let e: CrimesError = CheckpointError::DrainFault { pages_drained: 3 }.into();
+        assert!(matches!(e, CrimesError::Checkpoint(_)));
     }
 }

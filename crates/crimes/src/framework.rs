@@ -13,7 +13,7 @@
 //! intervenes).
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crimes_checkpoint::{
     AuditVerdict, Checkpointer, EpochReport, FusedAudit, FusedPageVisitor, PageFinding, Phase,
@@ -95,6 +95,15 @@ pub struct RobustnessStats {
     /// as overrun instead of silently timed at zero.
     pub missing_audit_starts: u64,
 }
+
+/// Histogram slot for the deferred pipeline's out-of-window drain. The
+/// in-window phases occupy `0..Phase::ALL.len()`; the drain rides after
+/// them and is only registered when staging is enabled, so the paper's
+/// six-row phase tables are unchanged for the in-window pipelines.
+const DRAIN_PHASE: usize = Phase::ALL.len();
+
+/// Export label of the drain phase histogram.
+const DRAIN_PHASE_LABEL: &str = "drain";
 
 /// Bounded linear backoff between retries of a restartable step (audit
 /// passes and forensics analyses are both retry-safe while the relevant
@@ -365,6 +374,18 @@ impl Crimes {
         vm.set_recording(true);
         let last_good_meta = vm.meta_snapshot();
         let epoch_start_mark = vm.trace_mark();
+        let mut telemetry = if config.checkpoint.staging_buffers > 0 {
+            // The deferred pipeline times its out-of-window drain as an
+            // extra phase after the paper's six in-window rows.
+            let mut labels: Vec<&'static str> = Phase::ALL.map(Phase::label).to_vec();
+            labels.push(DRAIN_PHASE_LABEL);
+            Telemetry::new(&labels)
+        } else {
+            Telemetry::new(&Phase::ALL.map(Phase::label))
+        };
+        if config.requested_pause_workers > config.checkpoint.pause_workers {
+            telemetry.add(Counter::PauseWorkerClamps, 1);
+        }
         Ok(Crimes {
             vm,
             config,
@@ -386,7 +407,7 @@ impl Crimes {
             pending: None,
             robustness: RobustnessStats::default(),
             clock,
-            telemetry: Telemetry::new(&Phase::ALL.map(Phase::label)),
+            telemetry,
             recorder: FlightRecorder::new(config.flight_recorder_epochs),
             consecutive_extensions: 0,
             quarantined: None,
@@ -595,6 +616,7 @@ impl Crimes {
         let deadline = Duration::from_millis(self.config.effective_audit_deadline_ms());
         let vmi_retries = self.config.vmi_retries;
         let pause_workers = self.config.checkpoint.pause_workers;
+        let deferred = self.config.checkpoint.staging_buffers > 0;
         let mut retries_used = 0u32;
         let epoch = self.checkpointer.backup().epoch();
         self.recorder
@@ -613,7 +635,38 @@ impl Crimes {
             ..
         } = self;
         let mut audit_slot: Option<AuditReport> = None;
-        let report = if pause_workers > 1 {
+        let mut pending_ticket = None;
+        let report = if deferred {
+            // Deferred boundary: the sharded walk snapshots dirty pages
+            // into staging instead of copying out; a passing verdict
+            // leaves a drain ticket and the backup untouched.
+            checkpointer
+                .run_epoch_staged(
+                    vm,
+                    &mut BoundaryAudit {
+                        detector,
+                        session,
+                        buffer,
+                        output_scanner: output_scanner.as_ref(),
+                        deadline,
+                        vmi_retries,
+                        retries_used: &mut retries_used,
+                        epoch,
+                        clock,
+                        telemetry,
+                        recorder,
+                        robustness,
+                        started_ns: None,
+                        staged: None,
+                        stage_errors: Vec::new(),
+                        audit_slot: &mut audit_slot,
+                    },
+                )
+                .map(|staged| {
+                    pending_ticket = staged.pending;
+                    staged.report
+                })
+        } else if pause_workers > 1 {
             // Fused boundary: scan, copy, and digest share one sharded walk
             // over the dirty pages; the audit is split around it.
             checkpointer.run_epoch_fused(
@@ -693,7 +746,7 @@ impl Crimes {
         }
         self.telemetry
             .record_dirty_pages(u64::try_from(report.dirty_pages).unwrap_or(u64::MAX));
-        if pause_workers > 1 {
+        if pause_workers > 1 || deferred {
             for (slot, stats) in self.checkpointer.worker_stats() {
                 self.telemetry.record_worker(
                     slot,
@@ -707,8 +760,70 @@ impl Crimes {
         match report.verdict {
             AuditVerdict::Pass => {
                 self.consecutive_extensions = 0;
-                // Async deep forensics: ship the fresh checkpoint and
-                // collect anything the worker finished.
+                // Deferred pipeline: the audit passed but the staged pages
+                // are not yet durable on the backup. Impound the epoch's
+                // outputs under the ticket's generation, stream the staged
+                // slot out, and release only on the backup's ack — the
+                // CRIMES guarantee (no output precedes its epoch's
+                // evidence) survives moving the copy past resume.
+                let released = if let Some(ticket) = pending_ticket {
+                    let generation = ticket.generation();
+                    let held = self.buffer.mark_ack_pending(generation);
+                    self.recorder.record(
+                        epoch,
+                        self.clock.now_ns(),
+                        EventKind::AckPending {
+                            held: u32::try_from(held).unwrap_or(u32::MAX),
+                        },
+                    );
+                    let drain_t = Instant::now();
+                    match self.checkpointer.drain_staged(&self.vm, ticket) {
+                        Ok(ack) => {
+                            self.telemetry.record_phase_ns(
+                                DRAIN_PHASE,
+                                u64::try_from(drain_t.elapsed().as_nanos())
+                                    .unwrap_or(u64::MAX),
+                            );
+                            self.telemetry.add(Counter::DrainAcks, 1);
+                            self.recorder.record(
+                                epoch,
+                                self.clock.now_ns(),
+                                EventKind::DrainAcked {
+                                    pages: u32::try_from(ack.pages).unwrap_or(u32::MAX),
+                                },
+                            );
+                            self.buffer.release_acked(generation, self.vm.now_ns())
+                        }
+                        Err(e) => {
+                            // The epoch's evidence never became durable, so
+                            // its impounded outputs must never escape.
+                            // Recover exactly as a failed commit: discard
+                            // the speculation, roll back to checksum-
+                            // verified state, or quarantine.
+                            self.telemetry.add(Counter::DrainFailures, 1);
+                            self.recorder.record(
+                                epoch,
+                                self.clock.now_ns(),
+                                EventKind::DrainFailed {
+                                    attempts: self.config.checkpoint.copy_retries + 1,
+                                },
+                            );
+                            self.robustness.commit_failures += 1;
+                            self.telemetry.add(Counter::CommitFailures, 1);
+                            self.recorder.record(
+                                epoch,
+                                self.clock.now_ns(),
+                                EventKind::CommitFailure,
+                            );
+                            return self.recover_failed_commit(e.into());
+                        }
+                    }
+                } else {
+                    self.buffer.release(self.vm.now_ns())
+                };
+                // Async deep forensics: ship the fresh checkpoint (for the
+                // deferred pipeline, only durable now that the drain
+                // acked) and collect anything the worker finished.
                 if let Some((scanner, every)) = self.async_forensics.as_mut() {
                     let epoch = self.committed_epochs + 1;
                     if epoch.is_multiple_of(*every) {
@@ -722,7 +837,6 @@ impl Crimes {
                     }
                     self.deferred.extend(scanner.poll());
                 }
-                let released = self.buffer.release(self.vm.now_ns());
                 self.telemetry.add(Counter::EpochsCommitted, 1);
                 self.telemetry
                     .add(Counter::OutputsReleased, u64::try_from(released.len()).unwrap_or(0));
@@ -1387,6 +1501,203 @@ mod tests {
         let (fused_epochs, fused_frames) = drive(4);
         assert_eq!(serial_epochs, fused_epochs);
         assert_eq!(serial_frames, fused_frames, "committed images must be bit-identical");
+    }
+
+    #[test]
+    fn deferred_boundary_gates_release_on_the_backup_ack() {
+        let mut c = protected_with(50, |cfg| {
+            cfg.pause_workers(2).staging_buffers(2);
+        });
+        let secret = c.vm().canary_secret();
+        c.register_module(Box::new(CanaryScanModule::new(secret)));
+        let pid = c.vm_mut().spawn_process("app", 0, 8).expect("spawn");
+        c.submit_output(Output::Net(NetPacket::new(1, vec![1, 2, 3])))
+            .expect("within limits");
+        let outcome = c
+            .run_epoch(|vm, ms| {
+                vm.dirty_arena_page(pid, 0, 0, 1)?;
+                vm.advance_time(ms * 1_000_000);
+                Ok(())
+            })
+            .expect("clean epoch");
+        let EpochOutcome::Committed { released, audit, report } = outcome else {
+            panic!("clean deferred epoch must commit");
+        };
+        assert!(audit.passed());
+        assert_eq!(released.len(), 1);
+        assert_eq!(
+            report.copy.syscalls, 0,
+            "the deferred pause window never touches the socket"
+        );
+        assert_eq!(c.committed_epochs(), 1);
+        assert_eq!(c.checkpointer().backup().epoch(), 1, "drain committed");
+        assert_eq!(c.checkpointer().drains_in_flight(), 0);
+
+        // The boundary's event sequence shows the ack protocol: outputs
+        // move to ack-pending before the drain, and release after it.
+        let kinds: Vec<&'static str> = c
+            .flight_recorder()
+            .events_for_epoch(0)
+            .map(|e| e.kind.label())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "epoch_start",
+                "audit_staged",
+                "ack_pending",
+                "drain_acked",
+                "committed"
+            ]
+        );
+        assert_eq!(c.telemetry().counter(Counter::DrainAcks), 1);
+        assert_eq!(c.telemetry().counter(Counter::DrainFailures), 0);
+        // The drain is timed as its own (seventh) phase.
+        let (label, h) = c
+            .telemetry()
+            .phases()
+            .last()
+            .expect("drain phase registered");
+        assert_eq!(label, DRAIN_PHASE_LABEL);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn deferred_boundary_matches_serial_commits() {
+        // The same guest driven through the same epochs must commit the
+        // same state whether the copy-out runs inside the window or as a
+        // deferred drain.
+        let drive = |buffers: usize| -> (u64, Vec<u8>) {
+            let mut c = protected_with(50, |cfg| {
+                if buffers > 0 {
+                    cfg.pause_workers(2).staging_buffers(buffers);
+                }
+            });
+            let secret = c.vm().canary_secret();
+            c.register_module(Box::new(CanaryScanModule::new(secret)));
+            let pid = c.vm_mut().spawn_process("app", 0, 16).expect("spawn");
+            for e in 0..4u64 {
+                let outcome = c
+                    .run_epoch(|vm, ms| {
+                        for i in 0..6 {
+                            vm.dirty_arena_page(pid, (e as usize + i) % 16, i, e as u8)?;
+                        }
+                        vm.advance_time(ms * 1_000_000);
+                        Ok(())
+                    })
+                    .expect("clean epoch");
+                assert!(outcome.is_committed());
+            }
+            (
+                c.committed_epochs(),
+                c.checkpointer().backup().frames().to_vec(),
+            )
+        };
+        let (serial_epochs, serial_frames) = drive(0);
+        let (deferred_epochs, deferred_frames) = drive(2);
+        assert_eq!(serial_epochs, deferred_epochs);
+        assert_eq!(
+            serial_frames, deferred_frames,
+            "committed images must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn deferred_boundary_detects_attack_and_rolls_back() {
+        let mut c = protected_with(50, |cfg| {
+            cfg.pause_workers(2).staging_buffers(1);
+        });
+        let secret = c.vm().canary_secret();
+        c.register_module(Box::new(CanaryScanModule::new(secret)));
+        let pid = c.vm_mut().spawn_process("victim", 0, 16).expect("spawn");
+        assert!(c.run_epoch(|_vm, _| Ok(())).expect("clean").is_committed());
+
+        c.submit_output(Output::Net(NetPacket::new(9, b"loot".to_vec())))
+            .expect("within limits");
+        let outcome = c
+            .run_epoch(|vm, _| {
+                attacks::inject_heap_overflow(vm, pid, 64, 16)?;
+                Ok(())
+            })
+            .expect("attack epoch completes the boundary");
+        let EpochOutcome::AttackDetected { audit, .. } = outcome else {
+            panic!("overflow must be detected through the staged walk");
+        };
+        assert_eq!(audit.findings.len(), 1);
+        assert_eq!(c.checkpointer().drains_in_flight(), 0, "slot discarded");
+        let discarded = c.rollback_and_resume().expect("rollback");
+        assert_eq!(discarded, 1, "the exfiltration packet never escaped");
+        assert_eq!(c.buffer_stats().released, 0);
+        assert!(c.run_epoch(|_vm, _| Ok(())).expect("clean").is_committed());
+    }
+
+    #[test]
+    fn deferred_drain_failure_never_releases_outputs() {
+        let mut c = protected_with(50, |cfg| {
+            cfg.pause_workers(2)
+                .staging_buffers(1)
+                .history_depth(2)
+                .retain_history_images(true);
+        });
+        c.register_module(Box::new(NoopScanModule::new()));
+        let pid = c.vm_mut().spawn_process("app", 0, 8).expect("spawn");
+        assert!(c.run_epoch(|_vm, _| Ok(())).expect("clean").is_committed());
+
+        c.submit_output(Output::Net(NetPacket::new(5, b"gated".to_vec())))
+            .expect("within limits");
+        let scope = install(
+            FaultPlan::disabled().with_rate(FaultPoint::BackupDrain, SCALE),
+            17,
+        );
+        let err = c
+            .run_epoch(|vm, _| {
+                vm.dirty_arena_page(pid, 1, 0, 0xCD)?;
+                Ok(())
+            })
+            .expect_err("the drain can never succeed");
+        drop(scope);
+        assert!(
+            matches!(err, CrimesError::Checkpoint(_) | CrimesError::Timeout { .. }),
+            "unexpected error: {err}"
+        );
+        // Fail closed: the gated output was impounded under a generation
+        // whose evidence never became durable, and was destroyed with the
+        // speculation — zero released, ever.
+        assert_eq!(c.buffer_stats().released, 0);
+        assert_eq!(c.buffer_stats().discarded, 1);
+        assert_eq!(c.telemetry().counter(Counter::DrainFailures), 1);
+        assert_eq!(c.robustness_stats().commit_failures, 1);
+        // The VM recovered onto checksum-verified state and keeps going.
+        assert!(!c.is_quarantined());
+        assert!(!c.vm().vcpus().all_paused());
+        // Captured before the recovery epoch below re-uses epoch index 1.
+        let kinds: Vec<&'static str> = c
+            .flight_recorder()
+            .events_for_epoch(1)
+            .map(|e| e.kind.label())
+            .collect();
+        assert!(kinds.contains(&"ack_pending"));
+        assert!(kinds.contains(&"drain_failed"));
+        assert!(!kinds.contains(&"committed"));
+        assert!(c.run_epoch(|_vm, _| Ok(())).expect("clean").is_committed());
+    }
+
+    #[test]
+    fn pause_worker_clamp_is_counted_at_protect() {
+        let cap = crate::config::CrimesConfigBuilder::host_pause_worker_cap();
+        if cap >= crimes_checkpoint::MAX_WORKERS {
+            // Host wide enough that no in-range request can clamp.
+            return;
+        }
+        let mut c = protected_with(50, |cfg| {
+            cfg.pause_workers(cap + 1);
+        });
+        assert_eq!(c.config().requested_pause_workers, cap + 1);
+        assert_eq!(c.config().checkpoint.pause_workers, cap);
+        assert_eq!(c.telemetry().counter(Counter::PauseWorkerClamps), 1);
+        // The clamped pipeline still commits.
+        c.register_module(Box::new(NoopScanModule::new()));
+        assert!(c.run_epoch(|_vm, _| Ok(())).expect("clean").is_committed());
     }
 
     #[test]

@@ -55,11 +55,15 @@ pub enum FaultPoint {
     ReplayDiverge,
     /// The output buffer refuses a submission (`outbuf::buffer`).
     OutbufOverflow,
+    /// The out-of-window drain of a staged epoch to the backup fails
+    /// (`checkpoint::staging`) — the epoch's evidence never becomes
+    /// durable, so its outputs must stay held.
+    BackupDrain,
 }
 
 impl FaultPoint {
     /// Every injection point, in declaration order.
-    pub const ALL: [FaultPoint; 7] = [
+    pub const ALL: [FaultPoint; 8] = [
         FaultPoint::VmiRead,
         FaultPoint::PageCopy,
         FaultPoint::BackupWrite,
@@ -67,6 +71,7 @@ impl FaultPoint {
         FaultPoint::AuditOverrun,
         FaultPoint::ReplayDiverge,
         FaultPoint::OutbufOverflow,
+        FaultPoint::BackupDrain,
     ];
 
     /// Stable name used in plans, counters, and reports.
@@ -79,6 +84,7 @@ impl FaultPoint {
             FaultPoint::AuditOverrun => "audit-overrun",
             FaultPoint::ReplayDiverge => "replay-diverge",
             FaultPoint::OutbufOverflow => "outbuf-overflow",
+            FaultPoint::BackupDrain => "backup-drain",
         }
     }
 
@@ -464,7 +470,8 @@ mod tests {
                 "page-corrupt",
                 "audit-overrun",
                 "replay-diverge",
-                "outbuf-overflow"
+                "outbuf-overflow",
+                "backup-drain"
             ]
         );
         assert_eq!(FaultPoint::AuditOverrun.to_string(), "audit-overrun");

@@ -82,6 +82,39 @@ fn pause_window_accepts_a_reasoned_scope_over_pure_worker_closures() {
 }
 
 #[test]
+fn pause_window_flags_a_drain_wired_into_the_window() {
+    // The deferred backup pipeline's contract: staging is the only part
+    // of the copy-out inside the pause window; the cipher and the backup
+    // socket belong to the post-resume drain. Reaching them from a
+    // window root is exactly the regression this pair pins.
+    let report = lint("drain-bad");
+    assert_eq!(report.diagnostics.len(), 2, "{}", report.render());
+    assert!(report.diagnostics.iter().all(|d| d.rule == "pause-window"));
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("encrypt_in_place")),
+        "the cipher's sleep is flagged: {}",
+        report.render()
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("stream_to_backup")),
+        "the backup socket is flagged: {}",
+        report.render()
+    );
+}
+
+#[test]
+fn pause_window_accepts_a_drain_kept_after_resume() {
+    let report = lint("drain-good");
+    assert!(report.ok(), "{}", report.render());
+}
+
+#[test]
 fn fault_coverage_flags_variants_without_injection_or_soak() {
     let report = lint("fault-bad");
     // PageCopy has neither an injection site nor a soak mention.

@@ -1,0 +1,24 @@
+// A staged epoch boundary: the window stages dirty pages into
+// preallocated frames; the cipher and the backup socket belong to the
+// drain, which runs after resume. This tree wires the drain into the
+// window — the copy-out's sleep and socket land inside the pause.
+// lint: pause-window
+pub fn stage_pages(frames: &mut [u8]) {
+    copy_into_staging(frames);
+    drain_slot(frames);
+}
+
+fn copy_into_staging(_frames: &mut [u8]) {}
+
+fn drain_slot(frames: &mut [u8]) {
+    encrypt_in_place(frames);
+    stream_to_backup(frames);
+}
+
+fn encrypt_in_place(_frames: &mut [u8]) {
+    std::thread::sleep(std::time::Duration::from_micros(1));
+}
+
+fn stream_to_backup(_frames: &[u8]) {
+    let _ = std::net::TcpStream::connect("backup:7777");
+}

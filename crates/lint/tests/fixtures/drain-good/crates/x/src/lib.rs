@@ -1,0 +1,26 @@
+// The deferred boundary done right: the pause-window root only stages
+// pages into preallocated frames, and the cipher + backup socket live
+// in a drain that is not reachable from the window.
+// lint: pause-window
+pub fn stage_pages(frames: &mut [u8]) {
+    copy_into_staging(frames);
+}
+
+fn copy_into_staging(_frames: &mut [u8]) {}
+
+pub fn drain_after_resume(frames: &mut [u8]) {
+    drain_slot(frames);
+}
+
+fn drain_slot(frames: &mut [u8]) {
+    encrypt_in_place(frames);
+    stream_to_backup(frames);
+}
+
+fn encrypt_in_place(_frames: &mut [u8]) {
+    std::thread::sleep(std::time::Duration::from_micros(1));
+}
+
+fn stream_to_backup(_frames: &[u8]) {
+    let _ = std::net::TcpStream::connect("backup:7777");
+}

@@ -66,12 +66,23 @@ impl SafetyMode {
 }
 
 /// Lifetime statistics of a buffer.
+///
+/// All accumulators saturate (like `telemetry::Histogram`): a soak long
+/// enough to overflow a `u64` must pin at the maximum, not wrap into a
+/// small number that hides the history.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BufferStats {
-    /// Outputs released to the outside world.
+    /// Outputs released to the outside world after their epoch's audit
+    /// (and, in the deferred pipeline, its backup ack).
     pub released: u64,
     /// Bytes released.
     pub released_bytes: u64,
+    /// Outputs that bypassed buffering entirely (Best Effort mode only).
+    /// Distinct from `released` so a soak can prove no Synchronous-mode
+    /// output ever took the unaudited path.
+    pub bypassed: u64,
+    /// Bytes bypassed.
+    pub bypassed_bytes: u64,
     /// Outputs discarded at rollback — attack traffic that never escaped.
     pub discarded: u64,
     /// Bytes discarded.
@@ -90,9 +101,11 @@ pub struct BufferStats {
 }
 
 impl BufferStats {
-    /// Mean hold latency over held releases, or `None` if nothing was held.
+    /// Mean hold latency over held releases (rounded half-up), or `None`
+    /// if nothing was held.
     pub fn mean_hold_ns(&self) -> Option<u64> {
-        (self.held_releases > 0).then(|| self.total_hold_ns / self.held_releases)
+        (self.held_releases > 0)
+            .then(|| (self.total_hold_ns.saturating_add(self.held_releases / 2)) / self.held_releases)
     }
 }
 
@@ -101,6 +114,11 @@ impl BufferStats {
 pub struct OutputBuffer {
     mode: SafetyMode,
     held: VecDeque<(Output, u64)>,
+    /// Outputs whose epoch's audit passed but whose staged evidence has
+    /// not yet been acknowledged by the backup (deferred pipeline only).
+    /// Tagged with the drain generation that must be acked before they
+    /// may leave; generations are monotonic, so the queue stays sorted.
+    ack_pending: VecDeque<(Output, u64, u64)>,
     held_bytes: usize,
     max_held: usize,
     max_held_bytes: usize,
@@ -127,6 +145,7 @@ impl OutputBuffer {
         OutputBuffer {
             mode,
             held: VecDeque::new(),
+            ack_pending: VecDeque::new(),
             held_bytes: 0,
             max_held,
             max_held_bytes,
@@ -153,23 +172,26 @@ impl OutputBuffer {
     pub fn submit(&mut self, output: Output, now_ns: u64) -> Result<Option<Output>, BufferError> {
         match self.mode {
             SafetyMode::BestEffort => {
-                self.stats.released += 1;
-                self.stats.released_bytes += output.len() as u64;
+                self.stats.bypassed = self.stats.bypassed.saturating_add(1);
+                self.stats.bypassed_bytes =
+                    self.stats.bypassed_bytes.saturating_add(output.len() as u64);
                 Ok(Some(output))
             }
             SafetyMode::Synchronous => {
-                let overflows = self.held.len() >= self.max_held
+                let pending = self.held.len().saturating_add(self.ack_pending.len());
+                let overflows = pending >= self.max_held
                     || self.held_bytes.saturating_add(output.len()) > self.max_held_bytes
                     || crimes_faults::should_inject(FaultPoint::OutbufOverflow);
                 if overflows {
-                    self.stats.rejected += 1;
-                    self.stats.rejected_bytes += output.len() as u64;
+                    self.stats.rejected = self.stats.rejected.saturating_add(1);
+                    self.stats.rejected_bytes =
+                        self.stats.rejected_bytes.saturating_add(output.len() as u64);
                     return Err(BufferError::Overflow {
-                        held: self.held.len(),
+                        held: pending,
                         held_bytes: self.held_bytes,
                     });
                 }
-                self.held_bytes += output.len();
+                self.held_bytes = self.held_bytes.saturating_add(output.len());
                 self.held.push_back((output, now_ns));
                 Ok(None)
             }
@@ -178,36 +200,83 @@ impl OutputBuffer {
 
     /// Commit the epoch: release everything held, in submission order.
     /// `now_ns` is the release time used for hold-latency accounting.
+    /// Ack-pending outputs are *not* released here — they leave only via
+    /// [`release_acked`](Self::release_acked).
     pub fn release(&mut self, now_ns: u64) -> Vec<Output> {
         let mut out = Vec::with_capacity(self.held.len());
-        self.held_bytes = 0;
         while let Some((o, enq)) = self.held.pop_front() {
-            let hold = now_ns.saturating_sub(enq);
-            self.stats.released += 1;
-            self.stats.released_bytes += o.len() as u64;
-            self.stats.held_releases += 1;
-            self.stats.total_hold_ns += hold;
-            self.stats.max_hold_ns = self.stats.max_hold_ns.max(hold);
+            self.account_release(&o, enq, now_ns);
             out.push(o);
         }
         out
     }
 
-    /// Roll back the epoch: drop everything held. Returns how many outputs
-    /// were prevented from escaping.
-    pub fn discard(&mut self) -> usize {
+    fn account_release(&mut self, o: &Output, enqueued_ns: u64, now_ns: u64) {
+        let hold = now_ns.saturating_sub(enqueued_ns);
+        self.held_bytes = self.held_bytes.saturating_sub(o.len());
+        self.stats.released = self.stats.released.saturating_add(1);
+        self.stats.released_bytes = self.stats.released_bytes.saturating_add(o.len() as u64);
+        self.stats.held_releases = self.stats.held_releases.saturating_add(1);
+        self.stats.total_hold_ns = self.stats.total_hold_ns.saturating_add(hold);
+        self.stats.max_hold_ns = self.stats.max_hold_ns.max(hold);
+    }
+
+    /// Deferred pipeline: the epoch's audit passed, but its staged pages
+    /// are not yet durable on the backup. Move everything held to the
+    /// ack-pending queue, tagged with drain `generation`; the outputs
+    /// stay impounded until [`release_acked`](Self::release_acked) sees
+    /// that generation. Returns how many outputs moved.
+    pub fn mark_ack_pending(&mut self, generation: u64) -> usize {
         let n = self.held.len();
-        self.held_bytes = 0;
-        for (o, _) in self.held.drain(..) {
-            self.stats.discarded += 1;
-            self.stats.discarded_bytes += o.len() as u64;
+        while let Some((o, enq)) = self.held.pop_front() {
+            self.ack_pending.push_back((o, enq, generation));
         }
         n
     }
 
-    /// Outputs currently held.
+    /// The backup acknowledged every drain generation up to and including
+    /// `generation`: release the ack-pending outputs those generations
+    /// gated, in submission order. Later generations stay impounded.
+    pub fn release_acked(&mut self, generation: u64, now_ns: u64) -> Vec<Output> {
+        let mut out = Vec::new();
+        while let Some(&(_, _, gen)) = self.ack_pending.front() {
+            if gen > generation {
+                break;
+            }
+            let Some((o, enq, _)) = self.ack_pending.pop_front() else {
+                break;
+            };
+            self.account_release(&o, enq, now_ns);
+            out.push(o);
+        }
+        out
+    }
+
+    /// Roll back the epoch: drop everything held *and* everything still
+    /// awaiting a backup ack. Returns how many outputs were prevented
+    /// from escaping.
+    pub fn discard(&mut self) -> usize {
+        let n = self.held.len().saturating_add(self.ack_pending.len());
+        self.held_bytes = 0;
+        for (o, _) in self.held.drain(..) {
+            self.stats.discarded = self.stats.discarded.saturating_add(1);
+            self.stats.discarded_bytes = self.stats.discarded_bytes.saturating_add(o.len() as u64);
+        }
+        for (o, _, _) in self.ack_pending.drain(..) {
+            self.stats.discarded = self.stats.discarded.saturating_add(1);
+            self.stats.discarded_bytes = self.stats.discarded_bytes.saturating_add(o.len() as u64);
+        }
+        n
+    }
+
+    /// Outputs currently held (not yet audited).
     pub fn held_count(&self) -> usize {
         self.held.len()
+    }
+
+    /// Outputs whose audit passed but whose backup ack is still pending.
+    pub fn ack_pending_count(&self) -> usize {
+        self.ack_pending.len()
     }
 
     /// Iterate the held outputs in submission order (the output-scanning
@@ -277,8 +346,120 @@ mod tests {
         let out = buf.submit(pkt(5), 42).expect("best effort never overflows");
         assert!(out.is_some());
         assert_eq!(buf.held_count(), 0);
-        assert_eq!(buf.stats().released, 1);
-        assert_eq!(buf.stats().mean_hold_ns(), None, "nothing is ever held");
+        let stats = buf.stats();
+        assert_eq!(stats.bypassed, 1, "unaudited escapes count as bypassed");
+        assert_eq!(stats.bypassed_bytes, 5);
+        assert_eq!(stats.released, 0, "released is reserved for audited exits");
+        assert_eq!(stats.mean_hold_ns(), None, "nothing is ever held");
+    }
+
+    #[test]
+    fn synchronous_mode_never_counts_bypassed() {
+        let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
+        buf.submit(pkt(10), 0).expect("unbounded");
+        buf.release(5);
+        buf.submit(pkt(10), 6).expect("unbounded");
+        buf.discard();
+        let stats = buf.stats();
+        assert_eq!(stats.bypassed, 0);
+        assert_eq!(stats.bypassed_bytes, 0);
+    }
+
+    #[test]
+    fn stats_saturate_instead_of_wrapping() {
+        let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
+        // Pre-load the accumulators near the top and push them over.
+        buf.stats.released_bytes = u64::MAX - 1;
+        buf.stats.total_hold_ns = u64::MAX - 1;
+        buf.stats.discarded_bytes = u64::MAX - 1;
+        buf.stats.rejected_bytes = u64::MAX - 1;
+        buf.submit(pkt(100), 0).expect("unbounded");
+        buf.release(u64::MAX);
+        assert_eq!(buf.stats().released_bytes, u64::MAX, "byte total pins");
+        assert_eq!(buf.stats().total_hold_ns, u64::MAX, "hold total pins");
+        buf.submit(pkt(100), 0).expect("unbounded");
+        buf.discard();
+        assert_eq!(buf.stats().discarded_bytes, u64::MAX);
+        let mut buf = OutputBuffer::with_limits(SafetyMode::Synchronous, 0, 0);
+        buf.stats.rejected_bytes = u64::MAX - 1;
+        assert!(buf.submit(pkt(100), 0).is_err());
+        assert_eq!(buf.stats().rejected_bytes, u64::MAX);
+    }
+
+    #[test]
+    fn mean_hold_rounds_half_up_and_tolerates_saturated_sums() {
+        let stats = BufferStats {
+            held_releases: 2,
+            total_hold_ns: 3, // 1.5 ns mean rounds to 2, not truncates to 1
+            ..BufferStats::default()
+        };
+        assert_eq!(stats.mean_hold_ns(), Some(2));
+        let stats = BufferStats {
+            held_releases: 2,
+            total_hold_ns: u64::MAX,
+            ..BufferStats::default()
+        };
+        // The rounding addend must not wrap the saturated sum back to 0.
+        assert_eq!(stats.mean_hold_ns(), Some(u64::MAX / 2));
+    }
+
+    #[test]
+    fn ack_pending_outputs_stay_impounded_until_their_generation_acks() {
+        let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
+        buf.submit(pkt(10), 100).expect("unbounded");
+        buf.submit(pkt(20), 200).expect("unbounded");
+        assert_eq!(buf.mark_ack_pending(7), 2);
+        assert_eq!(buf.held_count(), 0, "held queue drained into ack-pending");
+        assert_eq!(buf.ack_pending_count(), 2);
+        assert_eq!(buf.held_bytes(), 30, "bytes still impounded");
+        // A plain release must not leak ack-pending outputs.
+        assert!(buf.release(300).is_empty());
+        // An ack for an older generation releases nothing.
+        assert!(buf.release_acked(6, 300).is_empty());
+        assert_eq!(buf.ack_pending_count(), 2);
+        // The matching ack releases everything, in submission order.
+        let out = buf.release_acked(7, 1_000);
+        assert_eq!(out.len(), 2);
+        assert_eq!(buf.ack_pending_count(), 0);
+        assert_eq!(buf.held_bytes(), 0);
+        let stats = buf.stats();
+        assert_eq!(stats.released, 2);
+        assert_eq!(stats.max_hold_ns, 900, "hold time spans the ack wait");
+    }
+
+    #[test]
+    fn release_acked_leaves_newer_generations_impounded() {
+        let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
+        buf.submit(pkt(1), 0).expect("unbounded");
+        buf.mark_ack_pending(1);
+        buf.submit(pkt(2), 0).expect("unbounded");
+        buf.mark_ack_pending(2);
+        assert_eq!(buf.release_acked(1, 10).len(), 1, "only generation 1");
+        assert_eq!(buf.ack_pending_count(), 1);
+        assert_eq!(buf.release_acked(2, 20).len(), 1);
+    }
+
+    #[test]
+    fn discard_covers_ack_pending_outputs() {
+        let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
+        buf.submit(pkt(10), 0).expect("unbounded");
+        buf.mark_ack_pending(1);
+        buf.submit(pkt(20), 0).expect("unbounded");
+        assert_eq!(buf.discard(), 2, "held and ack-pending both impounded");
+        assert_eq!(buf.ack_pending_count(), 0);
+        assert_eq!(buf.held_bytes(), 0);
+        assert_eq!(buf.stats().discarded, 2);
+        assert_eq!(buf.stats().released, 0);
+    }
+
+    #[test]
+    fn ack_pending_outputs_still_count_against_capacity() {
+        let mut buf = OutputBuffer::with_limits(SafetyMode::Synchronous, 2, usize::MAX);
+        buf.submit(pkt(1), 0).expect("below limit");
+        buf.mark_ack_pending(1);
+        buf.submit(pkt(1), 0).expect("at limit");
+        let err = buf.submit(pkt(1), 0).expect_err("ack-pending occupies a slot");
+        assert!(matches!(err, BufferError::Overflow { held: 2, .. }));
     }
 
     #[test]

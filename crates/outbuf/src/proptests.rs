@@ -13,11 +13,13 @@ enum Step {
     SubmitNet { len: u16, at: u32 },
     SubmitDisk { len: u16, at: u32 },
     Release { at: u32 },
+    MarkAckPending,
+    ReleaseAcked { at: u32 },
     Discard,
 }
 
 fn gen_step(g: &mut Gen) -> Step {
-    match g.int(0u8..4) {
+    match g.int(0u8..6) {
         0 => Step::SubmitNet {
             len: g.any_u16(),
             at: g.any_u32(),
@@ -27,12 +29,15 @@ fn gen_step(g: &mut Gen) -> Step {
             at: g.any_u32(),
         },
         2 => Step::Release { at: g.any_u32() },
+        3 => Step::MarkAckPending,
+        4 => Step::ReleaseAcked { at: g.any_u32() },
         _ => Step::Discard,
     }
 }
 
 /// Conservation: every submitted output is eventually accounted for as
-/// exactly one of {released, discarded, still held}; bytes likewise.
+/// exactly one of {released, bypassed, discarded, still held, awaiting
+/// ack}; bytes likewise.
 #[test]
 fn outputs_are_conserved() {
     check("outputs_are_conserved", Config::default(), |g: &mut Gen| {
@@ -47,6 +52,7 @@ fn outputs_are_conserved() {
         let mut buf = OutputBuffer::new(mode);
         let mut submitted = 0u64;
         let mut submitted_bytes = 0u64;
+        let mut generation = 0u64;
         for step in steps {
             match step {
                 Step::SubmitNet { len, at } => {
@@ -64,6 +70,13 @@ fn outputs_are_conserved() {
                 Step::Release { at } => {
                     buf.release(at as u64);
                 }
+                Step::MarkAckPending => {
+                    generation += 1;
+                    buf.mark_ack_pending(generation);
+                }
+                Step::ReleaseAcked { at } => {
+                    buf.release_acked(generation, at as u64);
+                }
                 Step::Discard => {
                     buf.discard();
                 }
@@ -71,19 +84,82 @@ fn outputs_are_conserved() {
         }
         let stats = buf.stats();
         assert_eq!(
-            stats.released + stats.discarded + buf.held_count() as u64,
+            stats.released
+                + stats.bypassed
+                + stats.discarded
+                + buf.held_count() as u64
+                + buf.ack_pending_count() as u64,
             submitted
         );
         assert_eq!(
-            stats.released_bytes + stats.discarded_bytes + buf.held_bytes() as u64,
+            stats.released_bytes
+                + stats.bypassed_bytes
+                + stats.discarded_bytes
+                + buf.held_bytes() as u64,
             submitted_bytes
         );
-        // Best effort never holds or discards.
+        // Only one mode's escape path may ever be exercised.
         if mode == SafetyMode::BestEffort {
             assert_eq!(buf.held_count(), 0);
+            assert_eq!(buf.ack_pending_count(), 0);
             assert_eq!(stats.discarded, 0);
+            assert_eq!(stats.released, 0, "best effort never audits a release");
+        } else {
+            assert_eq!(stats.bypassed, 0, "synchronous outputs never bypass");
         }
     });
+}
+
+/// Drain-then-ack reordering across epochs: however mark/ack steps
+/// interleave with submissions, every released output leaves in
+/// submission order, and nothing from a generation newer than the last
+/// ack escapes.
+#[test]
+fn ack_gated_release_preserves_submission_order() {
+    check(
+        "ack_gated_release_preserves_submission_order",
+        Config::default(),
+        |g: &mut Gen| {
+            let epochs = g.vec(1..12, |g| (g.int(0u8..4), g.int(0u8..3)));
+
+            let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
+            let mut next_id = 0u64;
+            let mut generation = 0u64;
+            let mut released: Vec<u64> = Vec::new();
+            // Per epoch: submit `n` outputs, stage them under a new
+            // generation, then ack a (possibly stale) generation — the
+            // drain of epoch N can be acknowledged while epoch N+1 is
+            // already staged.
+            for (n, ack_lag) in epochs {
+                for _ in 0..n {
+                    buf.submit(Output::Net(NetPacket::new(next_id, vec![0u8; 4])), 0)
+                        .expect("unbounded");
+                    next_id += 1;
+                }
+                generation += 1;
+                buf.mark_ack_pending(generation);
+                let ack = generation.saturating_sub(ack_lag as u64);
+                for o in buf.release_acked(ack, 1) {
+                    match o {
+                        Output::Net(p) => released.push(p.conn_id),
+                        Output::Disk(_) => unreachable!(),
+                    }
+                }
+            }
+            // Everything from acked generations must be out, in order;
+            // everything newer must still be impounded.
+            assert_eq!(
+                released,
+                (0..released.len() as u64).collect::<Vec<u64>>(),
+                "released ids must be a prefix of submission order"
+            );
+            assert_eq!(
+                released.len() + buf.ack_pending_count(),
+                next_id as usize,
+                "unreleased outputs are all still impounded"
+            );
+        },
+    );
 }
 
 /// Releases preserve submission order (TCP would be very unhappy

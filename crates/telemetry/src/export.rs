@@ -8,7 +8,7 @@
 //! ```json
 //! {
 //!   "schema_version": 1,
-//!   "counters": { "<counter name>": u64, ... },            // all 10
+//!   "counters": { "<counter name>": u64, ... },            // one per Counter::ALL
 //!   "phases": [ { "phase": str, "count": u64, "sum_ns": u64,
 //!                 "mean_ns": u64, "max_ns": u64,
 //!                 "buckets": [u64; 32] }, ... ],

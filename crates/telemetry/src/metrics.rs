@@ -45,11 +45,19 @@ pub enum Counter {
     OutputsReleased,
     /// Buffered outputs discarded during incident response.
     OutputsDiscarded,
+    /// Staged epochs drained to the backup and acknowledged.
+    DrainAcks,
+    /// Staged-epoch drains that failed or timed out (fail-closed: the
+    /// epoch's outputs stay held).
+    DrainFailures,
+    /// Configured `pause_workers` values clamped to host parallelism at
+    /// protect time.
+    PauseWorkerClamps,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 13] = [
         Counter::EpochsCommitted,
         Counter::AttacksDetected,
         Counter::SpeculationExtensions,
@@ -60,6 +68,9 @@ impl Counter {
         Counter::MissingAuditStarts,
         Counter::OutputsReleased,
         Counter::OutputsDiscarded,
+        Counter::DrainAcks,
+        Counter::DrainFailures,
+        Counter::PauseWorkerClamps,
     ];
 
     /// The counter's stable export name (snake_case; part of the
@@ -76,6 +87,9 @@ impl Counter {
             Counter::MissingAuditStarts => "missing_audit_starts",
             Counter::OutputsReleased => "outputs_released",
             Counter::OutputsDiscarded => "outputs_discarded",
+            Counter::DrainAcks => "drain_acks",
+            Counter::DrainFailures => "drain_failures",
+            Counter::PauseWorkerClamps => "pause_worker_clamps",
         }
     }
 

@@ -58,6 +58,24 @@ pub enum EventKind {
         /// Outputs discarded with the speculation.
         discarded: u32,
     },
+    /// The epoch's audit passed but its staged pages are not yet durable
+    /// on the backup; `held` outputs moved to the ack-pending state.
+    AckPending {
+        /// Outputs awaiting the backup ack.
+        held: u32,
+    },
+    /// The out-of-window drain streamed the staged epoch to the backup
+    /// and the backup acknowledged it.
+    DrainAcked {
+        /// Pages drained to the backup.
+        pages: u32,
+    },
+    /// The out-of-window drain failed or timed out; the epoch's outputs
+    /// stay held and recovery begins.
+    DrainFailed {
+        /// Drain attempts made before giving up.
+        attempts: u32,
+    },
     /// The tenant was quarantined (terminal).
     Quarantined,
 }
@@ -76,6 +94,9 @@ impl EventKind {
             EventKind::CommitFailure => "commit_failure",
             EventKind::FallbackRollback => "fallback_rollback",
             EventKind::RollbackResumed { .. } => "rollback_resumed",
+            EventKind::AckPending { .. } => "ack_pending",
+            EventKind::DrainAcked { .. } => "drain_acked",
+            EventKind::DrainFailed { .. } => "drain_failed",
             EventKind::Quarantined => "quarantined",
         }
     }
@@ -88,6 +109,9 @@ impl EventKind {
             EventKind::AttackDetected { findings } => Some(u64::from(findings)),
             EventKind::Extended { consecutive } => Some(u64::from(consecutive)),
             EventKind::RollbackResumed { discarded } => Some(u64::from(discarded)),
+            EventKind::AckPending { held } => Some(u64::from(held)),
+            EventKind::DrainAcked { pages } => Some(u64::from(pages)),
+            EventKind::DrainFailed { attempts } => Some(u64::from(attempts)),
             _ => None,
         }
     }

@@ -294,7 +294,7 @@ fn require_histogram(v: &Value, path: &str) -> Result<(), String> {
 /// shapes, worker rows, event rows with known kinds). Returns the
 /// first violation found.
 pub fn validate_telemetry_json(text: &str) -> Result<(), String> {
-    const KNOWN_KINDS: [&str; 11] = [
+    const KNOWN_KINDS: [&str; 14] = [
         "epoch_start",
         "audit_staged",
         "vmi_retry",
@@ -305,6 +305,9 @@ pub fn validate_telemetry_json(text: &str) -> Result<(), String> {
         "commit_failure",
         "fallback_rollback",
         "rollback_resumed",
+        "ack_pending",
+        "drain_acked",
+        "drain_failed",
         "quarantined",
     ];
     let doc = parse_json(text)?;

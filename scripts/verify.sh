@@ -36,11 +36,16 @@ cargo run --release --offline -q -p crimes-lint
 echo "==> benches compile (in-tree harness, no criterion)"
 cargo bench --no-run --offline
 
-echo "==> pause-window bench smoke (serial vs fused, 4 workers)"
-# A short run of the baseline bench drives the fused sharded walk at
-# pause_workers=4 end to end; the JSON goes to a scratch path so the
-# committed BENCH_pause_window.json keeps its full-length numbers.
-CRIMES_BENCH_EPOCHS=3 CRIMES_BENCH_OUT="$(mktemp)" scripts/bench_baseline.sh > /dev/null
+echo "==> pause-window bench smoke (serial vs fused vs deferred)"
+# A short run of the baseline bench drives the fused sharded walk and
+# the deferred stage+drain pipeline end to end; the JSON goes to a
+# scratch path so the committed BENCH_pause_window.json keeps its
+# full-length numbers. The grep pins the deferred variant into the
+# emitted JSON — a regression that drops it from the sweep fails here.
+SMOKE_JSON="$(mktemp)"
+CRIMES_BENCH_EPOCHS=3 CRIMES_BENCH_OUT="${SMOKE_JSON}" scripts/bench_baseline.sh > /dev/null
+grep -q '"name": "deferred"' "${SMOKE_JSON}"
+rm -f "${SMOKE_JSON}"
 
 echo "==> telemetry overhead bench smoke (recording vs pause window, 5% budget)"
 # The bin itself asserts overhead_pct <= 5.0 and exits nonzero past the

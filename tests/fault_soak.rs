@@ -41,12 +41,17 @@ fn env_u64(name: &str, default: u64) -> u64 {
 }
 
 /// Rates in parts per 1024, tuned so every point fires many times over
-/// 2,000 epochs while most epochs still commit.
+/// 2,000 epochs while most epochs still commit. `BackupDrain` only fires
+/// in the deferred pipeline's out-of-window drain, and a drain only fails
+/// once retries are exhausted, so its rate is much higher than the rest:
+/// the soak must reach the drain-failure recovery path, not just the
+/// first-retry-succeeds happy path.
 fn soak_plan() -> FaultPlan {
     FaultPlan::disabled()
         .with_rate(FaultPoint::VmiRead, 30)
         .with_rate(FaultPoint::PageCopy, 20)
         .with_rate(FaultPoint::BackupWrite, 20)
+        .with_rate(FaultPoint::BackupDrain, 300)
         .with_rate(FaultPoint::PageCorrupt, 10)
         .with_rate(FaultPoint::AuditOverrun, 25)
         .with_rate(FaultPoint::ReplayDiverge, 200)
@@ -55,15 +60,27 @@ fn soak_plan() -> FaultPlan {
 
 /// A protected tenant plus its victim process. Admission itself runs
 /// introspection, so under the armed plan it may need a few tries.
-/// Even seeds get the fused 4-worker pause window, odd seeds the serial
-/// boundary, so tenant generations alternate and the soak exercises both
-/// pipelines under the same fault plan.
+/// Tenant seeds rotate through the three boundary pipelines — fused
+/// 4-worker pause window, serial, and deferred (staged copy drained
+/// after resume) — so the soak exercises all of them under the same
+/// fault plan.
 fn tenant(seed: u64) -> (Crimes, u32) {
     let mut cfg = CrimesConfig::builder();
     cfg.epoch_interval_ms(10);
     cfg.history_depth(3);
     cfg.retain_history_images(true);
-    cfg.pause_workers(if seed % 2 == 0 { 4 } else { 1 });
+    match seed % 3 {
+        0 => {
+            cfg.pause_workers(4);
+        }
+        1 => {
+            cfg.pause_workers(1);
+        }
+        _ => {
+            cfg.pause_workers(2);
+            cfg.staging_buffers(2);
+        }
+    }
     let cfg = cfg.build().expect("valid config");
     let mut c = loop {
         let mut b = Vm::builder();
@@ -147,6 +164,7 @@ fn soak_fail_closed_under_injected_faults() {
     let mut attacks_discarded = 0u64;
     let mut degraded_analyses = 0u64;
     let mut commit_failures = 0u64;
+    let mut drain_failures = 0u64;
     let mut quarantines = 0u64;
     let mut overflows = 0u64;
     let mut released_total = 0u64;
@@ -188,6 +206,20 @@ fn soak_fail_closed_under_injected_faults() {
                 assert!(
                     !attack_pending,
                     "epoch {epoch}: an epoch with a trampled canary must never commit"
+                );
+                // Output-commit: a release always follows its epoch's
+                // evidence becoming durable on the backup. In the deferred
+                // pipeline that means the drain acked (no staged slot in
+                // flight) before anything left the buffer.
+                assert_eq!(
+                    c.checkpointer().drains_in_flight(),
+                    0,
+                    "epoch {epoch}: outputs released with a drain still in flight"
+                );
+                assert_eq!(
+                    c.checkpointer().backup().epoch(),
+                    c.committed_epochs(),
+                    "epoch {epoch}: a release preceded its epoch's backup ack"
                 );
                 committed += 1;
                 released_total += released.len() as u64;
@@ -253,6 +285,30 @@ fn soak_fail_closed_under_injected_faults() {
                 commit_failures += 1;
                 assert_recovered(&c, epoch);
             }
+            Err(
+                CrimesError::Timeout {
+                    what: "backup drain",
+                    ..
+                }
+                | CrimesError::Checkpoint(crimes_checkpoint::CheckpointError::DrainFault {
+                    ..
+                }),
+            ) => {
+                // BackupDrain exhausted the deferred drain's retries: the
+                // staged epoch (and every output gated on its ack) was
+                // destroyed, and the guest rolled back to verified state.
+                assert!(
+                    c.config().checkpoint.staging_buffers > 0,
+                    "epoch {epoch}: only the deferred pipeline drains out of window"
+                );
+                assert!(
+                    !attack_pending,
+                    "epoch {epoch}: the drain only runs after the in-window audit passed"
+                );
+                assert!(!c.is_quarantined());
+                drain_failures += 1;
+                assert_recovered(&c, epoch);
+            }
             Err(CrimesError::Quarantined { .. }) => {
                 quarantines += 1;
                 assert_impounded(&mut c, epoch);
@@ -270,7 +326,7 @@ fn soak_fail_closed_under_injected_faults() {
          {attacks_detected}/{attacks_launched} attacks detected \
          ({attacks_discarded} discarded with their speculation), \
          {degraded_analyses} degraded analyses, {commit_failures} commit failures, \
-         {quarantines} quarantines, {} tenant generations; \
+         {drain_failures} drain failures, {quarantines} quarantines, {} tenant generations; \
          released {released_total}, discarded {discarded_total}, rejected {overflows}; \
          injected {} faults; live tenant: {} vmi retries, {} fallback rollbacks",
         generation,

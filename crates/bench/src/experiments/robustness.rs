@@ -187,6 +187,9 @@ pub fn run(epochs: u64, seed: u64) -> Robustness {
                 }
             }
             Ok(EpochOutcome::Extended { .. }) => r.extended += 1,
+            Ok(EpochOutcome::Degraded { .. }) => {
+                unreachable!("epoch {epoch}: degraded mode is disabled here (max_staged_backlog = 0)")
+            }
             Err(CrimesError::Exhausted { .. }) => r.commit_failures += 1,
             Err(CrimesError::Quarantined { .. }) => {
                 r.quarantines += 1;

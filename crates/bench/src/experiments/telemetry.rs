@@ -117,7 +117,9 @@ pub fn run(epochs: u64, seed: u64) -> TelemetryExport {
             attack_pending = true;
         }
         match result {
-            Ok(EpochOutcome::Committed { .. }) | Ok(EpochOutcome::Extended { .. }) => {}
+            Ok(EpochOutcome::Committed { .. })
+            | Ok(EpochOutcome::Extended { .. })
+            | Ok(EpochOutcome::Degraded { .. }) => {}
             Ok(EpochOutcome::AttackDetected { .. }) => match c.rollback_and_resume() {
                 Ok(_) => attack_pending = false,
                 // Terminal: the quarantined recorder is itself the artifact.

@@ -17,6 +17,11 @@ pub struct BackupVm {
     vcpus: VcpuSet,
     /// Number of checkpoints applied since creation.
     epoch: u64,
+    /// Highest drain generation this backup has acknowledged (deferred
+    /// pipeline). The drain-session handshake reads this to decide
+    /// whether a reconnect may resync from a progress cursor or must
+    /// restart the slot; 0 means "nothing acked yet".
+    acked_generation: u64,
 }
 
 impl BackupVm {
@@ -29,7 +34,21 @@ impl BackupVm {
             num_pages: vm.memory().num_pages(),
             vcpus: vm.vcpus().clone(),
             epoch: 0,
+            acked_generation: 0,
         }
+    }
+
+    /// Highest drain generation this backup has acknowledged (0 before
+    /// any deferred drain completes).
+    pub fn acked_generation(&self) -> u64 {
+        self.acked_generation
+    }
+
+    /// Record the backup's acknowledgement of drain `generation` — the
+    /// second half of the drain-session handshake. Monotonic: an older
+    /// generation never regresses the ack watermark.
+    pub fn acknowledge_generation(&mut self, generation: u64) {
+        self.acked_generation = self.acked_generation.max(generation);
     }
 
     /// Number of guest pages covered.

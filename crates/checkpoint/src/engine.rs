@@ -242,7 +242,32 @@ pub struct DrainStats {
     pub syscalls: u64,
     /// Drain attempts spent (1 when the first try succeeded).
     pub attempts: u32,
+    /// Pages already durable when the successful session connected — a
+    /// nonzero value means the session *resynced* from the slot's
+    /// progress cursor instead of restarting the stream at page zero.
+    pub resumed_from: usize,
 }
+
+/// Deterministic exponential backoff with jitter for drain-session
+/// retries: `base_us << (attempt - 1)` (shift capped at 10) plus a
+/// seeded jitter draw in `[0, DRAIN_JITTER_SPAN_US)`. The jitter is a
+/// pure function of `(generation, attempt)` — independent of `base_us`
+/// and of any installed fault plan's RNG — so soaks replay bit-exactly
+/// and tests can pre-compute the exact modelled wait.
+pub fn drain_backoff_us(base_us: u64, generation: u64, attempt: u32) -> u64 {
+    let shift = attempt.saturating_sub(1).min(10);
+    let exponential = base_us.saturating_mul(1u64 << shift);
+    let mut rng = crimes_rng::ChaCha8Rng::seed_from_u64(
+        generation
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ u64::from(attempt),
+    );
+    exponential.saturating_add(rng.gen_range(0..DRAIN_JITTER_SPAN_US))
+}
+
+/// Span of the drain backoff jitter, in microseconds (exclusive upper
+/// bound of the seeded draw in [`drain_backoff_us`]).
+pub const DRAIN_JITTER_SPAN_US: u64 = 64;
 
 /// What [`Checkpointer::rollback`] actually restored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -280,6 +305,11 @@ pub struct Checkpointer {
     /// Hypercall cost model for the suspend/resume machinery (separate
     /// from the mapper's, which per-epoch strategies drive much harder).
     sched: HypercallModel,
+    /// Consecutive failed drain sessions (connection refused, stream
+    /// broken, or timed out) since the last successful ack or failover.
+    /// The fleet reads this to decide when to reroute the tenant's drain
+    /// to a standby backup.
+    drain_session_failures: u32,
 }
 
 impl Checkpointer {
@@ -323,6 +353,58 @@ impl Checkpointer {
             stats: BreakdownStats::new(),
             init_time,
             sched: HypercallModel::new(config.hypercall_steps),
+            drain_session_failures: 0,
+        }
+    }
+
+    /// Re-attach the engine to a VM and a **surviving** backup image after
+    /// a monitor crash — the recovery counterpart of [`Checkpointer::new`].
+    /// The backup is adopted as-is (its epoch counter and acked-generation
+    /// watermark survive with it), the integrity digest is recomputed over
+    /// the surviving image, and staging-generation minting resumes at
+    /// `resume_generation` so re-staged epochs continue the monotonic
+    /// sequence the journal recorded instead of restarting at 1. History
+    /// starts empty: retained images died with the monitor process.
+    pub fn attach(vm: &Vm, config: CheckpointConfig, backup: BackupVm, resume_generation: u64) -> Self {
+        let t0 = Instant::now();
+        let mapper = Mapper::new(
+            vm,
+            config.opt.mapping_strategy(),
+            HypercallModel::new(config.hypercall_steps),
+        );
+        let integrity = ImageDigest::of(backup.frames(), backup.disk());
+        let pool = (config.pause_workers > 1 || config.staging_buffers > 0).then(|| {
+            PauseWindowPool::new(
+                config.pause_workers,
+                vm.memory().num_pages(),
+                config.hypercall_steps,
+            )
+        });
+        let staging = (config.staging_buffers > 0).then(|| {
+            let mut area = StagingArea::new(
+                vm.memory().num_pages(),
+                backup.disk().len() / crimes_vm::SECTOR_SIZE,
+                config.staging_buffers,
+            );
+            area.resume_generation(resume_generation);
+            area
+        });
+        let init_time = t0.elapsed();
+        Checkpointer {
+            config,
+            backup,
+            mapper,
+            socket: SocketCopier::new(COPY_KEY),
+            memcpy: MemcpyCopier,
+            fused_socket: FusedSocketCopier::new(COPY_KEY),
+            pool,
+            staging,
+            history: CheckpointHistory::new(config.history_depth, config.retain_history_images),
+            integrity,
+            stats: BreakdownStats::new(),
+            init_time,
+            sched: HypercallModel::new(config.hypercall_steps),
+            drain_session_failures: 0,
         }
     }
 
@@ -797,6 +879,41 @@ impl Checkpointer {
         self.staging.as_ref().map(StagingArea::in_flight).unwrap_or(0)
     }
 
+    /// Consecutive failed drain sessions since the last successful ack
+    /// (or the last failover). The fleet's failover policy reads this.
+    pub fn drain_session_failures(&self) -> u32 {
+        self.drain_session_failures
+    }
+
+    /// Abandon a staged epoch: free its slot without draining it. A
+    /// failed [`drain_staged`](Self::drain_staged) keeps the slot (and
+    /// its progress cursor) so a later session can resync; call this when
+    /// recovery has decided the epoch will never be drained — the staged
+    /// snapshot is dropped and the backup keeps whatever partial,
+    /// uncommitted writes the broken stream left (rollback verifies
+    /// against checksums before trusting it).
+    pub fn release_staged(&mut self, ticket: DrainTicket) {
+        if let Some(staging) = self.staging.as_mut() {
+            staging.release(ticket.slot());
+        }
+    }
+
+    /// Reroute this tenant's drain to a standby backup after repeated
+    /// session failures. The standby is modelled as a warm replica fed by
+    /// the acked drain stream, so its image equals the primary backup's
+    /// acked state; every in-flight slot's progress cursor is zeroed
+    /// (partial progress against the failed backup does not exist on the
+    /// standby) and the next drain session re-ships those slots from page
+    /// zero — which rewrites exactly the frames the broken stream may
+    /// have half-written, so the image is byte-exact at every later ack.
+    /// Resets the consecutive-failure streak.
+    pub fn failover_backup(&mut self) {
+        if let Some(staging) = self.staging.as_mut() {
+            staging.reset_cursors();
+        }
+        self.drain_session_failures = 0;
+    }
+
     /// Execute one pause window through the **deferred** pipeline: the
     /// audit's page-scoped scan and a `memcpy` snapshot of the dirty
     /// pages into a preallocated staging buffer, run as one sharded walk
@@ -1044,13 +1161,18 @@ impl Checkpointer {
     ///
     /// # Errors
     ///
-    /// [`CheckpointError::DrainFault`] when every attempt (first try +
-    /// [`CheckpointConfig::copy_retries`]) failed, or
+    /// [`CheckpointError::BackupUnreachable`] /
+    /// [`CheckpointError::DrainFault`] when every session attempt (first
+    /// try + [`CheckpointConfig::copy_retries`]) failed, or
     /// [`CheckpointError::DrainTimeout`] when the deterministic backoff
     /// budget ([`CheckpointConfig::drain_timeout_ms`]) ran out first. The
-    /// backup may hold a partial copy and nothing was committed — only a
-    /// checksum-verified rollback is trustworthy afterwards, and the
-    /// epoch's outputs must stay impounded forever.
+    /// backup may hold a partial copy and nothing was committed. The
+    /// staging slot is **kept** (with its progress cursor) so a later
+    /// session — possibly against a standby after
+    /// [`failover_backup`](Self::failover_backup) — can resync; call
+    /// [`release_staged`](Self::release_staged) to abandon the epoch
+    /// instead, after which only a checksum-verified rollback is
+    /// trustworthy and the epoch's outputs must stay impounded forever.
     pub fn drain_staged(
         &mut self,
         vm: &Vm,
@@ -1063,6 +1185,7 @@ impl Checkpointer {
             history,
             integrity,
             sched,
+            drain_session_failures,
             ..
         } = self;
         let config = *config;
@@ -1073,19 +1196,35 @@ impl Checkpointer {
         // The deterministic drain clock: accumulated modelled backoff, not
         // wall time, so fault soaks replay bit-exactly.
         let mut waited_us = 0u64;
+        let mut resumed_from;
         let copy = loop {
             attempts += 1;
-            match staging.drain_slot(ticket.slot(), backup, COPY_KEY, sched) {
+            // Session handshake: connect and exchange the last-acked
+            // generation. The cursor tells the session where the previous
+            // stream died; a nonzero cursor on the attempt that succeeds
+            // makes this drain a *resync* rather than a restart. An
+            // injected outage refuses the connection before any page moves.
+            resumed_from = staging.drained(ticket.slot());
+            let attempt = if crimes_faults::should_inject(FaultPoint::BackupOutage) {
+                Err(CheckpointError::BackupUnreachable { attempt: attempts })
+            } else {
+                debug_assert!(
+                    backup.acked_generation() < ticket.generation(),
+                    "draining a generation the backup already acked"
+                );
+                staging.drain_slot(ticket.slot(), backup, COPY_KEY, sched)
+            };
+            match attempt {
                 Ok(copy) => break copy,
                 Err(err) => {
+                    *drain_session_failures = drain_session_failures.saturating_add(1);
                     if attempts > config.copy_retries {
-                        staging.release(ticket.slot());
                         return Err(err);
                     }
-                    let backoff = config.retry_backoff_us.saturating_mul(u64::from(attempts));
+                    let backoff =
+                        drain_backoff_us(config.retry_backoff_us, ticket.generation(), attempts);
                     waited_us = waited_us.saturating_add(backoff);
                     if waited_us > config.drain_timeout_ms.saturating_mul(1_000) {
-                        staging.release(ticket.slot());
                         return Err(CheckpointError::DrainTimeout {
                             waited_us,
                             budget_ms: config.drain_timeout_ms,
@@ -1095,7 +1234,6 @@ impl Checkpointer {
                 }
             }
         };
-
         // The drained pages and snapshotted sectors are authoritative now:
         // fold them into the incremental image digest, then commit.
         for (sector, bytes) in staging.sectors(ticket.slot()) {
@@ -1106,6 +1244,11 @@ impl Checkpointer {
             integrity.apply_page_digest(index, page_digest);
         }
         backup.commit_epoch();
+        // The second half of the handshake: the backup records the
+        // generation as acked, so a post-crash session (or a standby
+        // promotion) knows where the durable stream ends.
+        backup.acknowledge_generation(ticket.generation());
+        *drain_session_failures = 0;
         let retain = history.retains_images();
         history.push(CheckpointRecord {
             epoch: backup.epoch(),
@@ -1116,13 +1259,17 @@ impl Checkpointer {
             disk: retain.then(|| Arc::new(backup.disk().to_vec())),
             meta: retain.then(|| vm.meta_snapshot()),
         });
+        // The ack covers the whole slot: pages resumed past plus pages
+        // this session shipped.
+        let pages = staging.entry_count(ticket.slot());
         staging.release(ticket.slot());
         Ok(DrainStats {
             generation: ticket.generation(),
-            pages: copy.pages,
+            pages,
             bytes: copy.bytes,
             syscalls: copy.syscalls,
             attempts,
+            resumed_from,
         })
     }
 
@@ -1947,7 +2094,15 @@ mod tests {
             "unexpected error: {err}"
         );
         assert_eq!(cp.backup().epoch(), 1, "failed drain commits nothing");
-        assert_eq!(cp.drains_in_flight(), 0, "slot released on give-up");
+        assert_eq!(
+            cp.drains_in_flight(),
+            1,
+            "the slot (and its cursor) survives the give-up for a resync"
+        );
+        assert!(cp.drain_session_failures() > 0);
+        // Recovery abandons the epoch: the slot is freed explicitly.
+        cp.release_staged(ticket);
+        assert_eq!(cp.drains_in_flight(), 0, "slot released on abandonment");
 
         // A partial drain leaves the backup untrustworthy; recovery must
         // go through checksum verification, falling back to the retained
@@ -1990,6 +2145,8 @@ mod tests {
             "unexpected error: {err}"
         );
         assert_eq!(cp.backup().epoch(), 0);
+        assert_eq!(cp.drains_in_flight(), 1, "slot kept for a later resync");
+        cp.release_staged(ticket);
         assert_eq!(cp.drains_in_flight(), 0);
     }
 
@@ -2030,5 +2187,229 @@ mod tests {
         assert_eq!(cp.backup().epoch(), 2);
         assert_eq!(cp.backup().frames(), vm.memory().dump_frames().as_slice());
         assert!(cp.verify_backup().is_ok());
+    }
+
+    #[test]
+    fn broken_drain_session_resyncs_from_its_cursor() {
+        use crimes_faults::{FaultPlan, FaultPoint, SCALE};
+
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 64).expect("spawn");
+        let mut cp = Checkpointer::new(&vm, staged_config(1));
+        dirty_some(&mut vm, pid, 3);
+        let staged = cp
+            .run_epoch_staged(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+            .expect("no faults armed");
+        let ticket = staged.pending.expect("ticket");
+
+        // Every attempt's stream breaks: the session gives up, leaving a
+        // partial copy *and* a progress cursor behind.
+        let err = {
+            let plan = FaultPlan::disabled().with_rate(FaultPoint::BackupDrain, SCALE);
+            let _scope = crimes_faults::install(plan, 21);
+            cp.drain_staged(&vm, ticket)
+                .expect_err("every drain attempt faults")
+        };
+        assert!(matches!(err, CheckpointError::DrainFault { .. }));
+        assert_eq!(cp.drains_in_flight(), 1, "slot kept for the resync");
+
+        // The next session (faults cleared) resyncs instead of restarting
+        // — cursors survive give-up across drain_staged calls.
+        let ack = cp.drain_staged(&vm, ticket).expect("no faults armed");
+        assert!(
+            ack.resumed_from > 0,
+            "the successful session resumed from the cursor, not page zero"
+        );
+        assert_eq!(ack.generation, 1);
+        assert_eq!(cp.backup().acked_generation(), 1, "handshake watermark");
+        assert_eq!(cp.drain_session_failures(), 0, "ack resets the streak");
+        assert_eq!(cp.backup().epoch(), 1);
+        assert_eq!(cp.backup().frames(), vm.memory().dump_frames().as_slice());
+        assert!(cp.verify_backup().is_ok(), "resynced image passes checksums");
+    }
+
+    #[test]
+    fn backup_outage_fails_sessions_without_touching_pages_then_failover_redrains() {
+        use crimes_faults::{FaultPlan, FaultPoint, SCALE};
+
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 64).expect("spawn");
+        let mut cp = Checkpointer::new(&vm, staged_config(1));
+        let clean = cp.backup().frames().to_vec();
+        dirty_some(&mut vm, pid, 4);
+        let staged = cp
+            .run_epoch_staged(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+            .expect("no faults armed");
+        let ticket = staged.pending.expect("ticket");
+
+        let err = {
+            let plan = FaultPlan::disabled().with_rate(FaultPoint::BackupOutage, SCALE);
+            let _scope = crimes_faults::install(plan, 22);
+            cp.drain_staged(&vm, ticket)
+                .expect_err("connection refused on every attempt")
+        };
+        assert!(
+            matches!(err, CheckpointError::BackupUnreachable { .. }),
+            "unexpected error: {err}"
+        );
+        assert_eq!(
+            cp.backup().frames(),
+            clean.as_slice(),
+            "an outage refuses the session before any page moves"
+        );
+        assert!(cp.drain_session_failures() >= 4, "first try + retries all failed");
+
+        // Reroute to the standby and re-drain: cursors are zeroed, the
+        // full slot ships, and the image converges.
+        cp.failover_backup();
+        assert_eq!(cp.drain_session_failures(), 0);
+        let ack = cp.drain_staged(&vm, ticket).expect("standby reachable");
+        assert_eq!(ack.resumed_from, 0, "failover re-drains from page zero");
+        assert_eq!(cp.backup().epoch(), 1);
+        assert_eq!(cp.backup().frames(), vm.memory().dump_frames().as_slice());
+        assert!(cp.verify_backup().is_ok());
+    }
+
+    #[test]
+    fn attach_adopts_a_surviving_backup_and_resumes_generations() {
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 64).expect("spawn");
+        let mut cp = Checkpointer::new(&vm, staged_config(1));
+        for e in 0..2u8 {
+            dirty_some(&mut vm, pid, e);
+            let staged = cp
+                .run_epoch_staged(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+                .expect("no faults armed");
+            cp.drain_staged(&vm, staged.pending.expect("ticket"))
+                .expect("no faults armed");
+        }
+        let backup = cp.backup().clone();
+        let acked = backup.acked_generation();
+        assert_eq!(acked, 2);
+        drop(cp);
+
+        // The monitor process died; re-attach to the surviving image.
+        let mut cp = Checkpointer::attach(&vm, staged_config(1), backup, acked);
+        assert!(cp.verify_backup().is_ok(), "recomputed digest matches");
+        assert_eq!(cp.backup().epoch(), 2);
+        dirty_some(&mut vm, pid, 9);
+        let staged = cp
+            .run_epoch_staged(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+            .expect("no faults armed");
+        let ticket = staged.pending.expect("ticket");
+        assert_eq!(
+            ticket.generation(),
+            acked + 1,
+            "generation minting resumes after the last acked generation"
+        );
+        cp.drain_staged(&vm, ticket).expect("no faults armed");
+        assert_eq!(cp.backup().frames(), vm.memory().dump_frames().as_slice());
+        assert!(cp.verify_backup().is_ok());
+    }
+
+    #[test]
+    fn drain_backoff_is_exponential_jittered_and_deterministic() {
+        let base = 100;
+        for attempt in 1..=4u32 {
+            let b = drain_backoff_us(base, 7, attempt);
+            let expo = base << (attempt - 1);
+            assert!(
+                (expo..expo + DRAIN_JITTER_SPAN_US).contains(&b),
+                "attempt {attempt}: {b} outside [{expo}, {expo}+jitter)"
+            );
+            assert_eq!(b, drain_backoff_us(base, 7, attempt), "deterministic");
+        }
+        assert_ne!(
+            drain_backoff_us(base, 7, 1) - base,
+            drain_backoff_us(base, 8, 1) - base,
+            "different generations draw different jitter (for these seeds)"
+        );
+    }
+
+    /// Find a seed whose first outage draw refuses the drain session and
+    /// whose second lets it through — a deterministic fail-exactly-once
+    /// outage for deadline-boundary tests.
+    fn fail_once_outage_seed(plan: crimes_faults::FaultPlan) -> u64 {
+        use crimes_faults::FaultPoint;
+        (0..1024u64)
+            .find(|&s| {
+                let _scope = crimes_faults::install(plan, s);
+                crimes_faults::should_inject(FaultPoint::BackupOutage)
+                    && !crimes_faults::should_inject(FaultPoint::BackupOutage)
+            })
+            .expect("a fail-once seed exists in the first 1024")
+    }
+
+    #[test]
+    fn drain_ack_exactly_at_the_deadline_is_within_budget() {
+        use crimes_faults::{FaultPlan, FaultPoint, SCALE};
+
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 64).expect("spawn");
+        // One failed session accumulates exactly the 1 ms budget: backoff
+        // for (generation 1, attempt 1) is `base + jitter`, so pick the
+        // base that lands the wait on 1000 us. The timeout check is
+        // strictly-greater, so the retry proceeds and acks at the line.
+        let jitter = drain_backoff_us(0, 1, 1);
+        let mut cp = Checkpointer::new(
+            &vm,
+            CheckpointConfig {
+                drain_timeout_ms: 1,
+                retry_backoff_us: 1_000 - jitter,
+                ..staged_config(1)
+            },
+        );
+        dirty_some(&mut vm, pid, 3);
+        let staged = cp
+            .run_epoch_staged(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+            .expect("no faults armed");
+        let ticket = staged.pending.expect("ticket");
+        assert_eq!(ticket.generation(), 1, "jitter was derived for gen 1");
+        let plan = FaultPlan::disabled().with_rate(FaultPoint::BackupOutage, SCALE / 2);
+        let _scope = crimes_faults::install(plan, fail_once_outage_seed(plan));
+        let ack = cp
+            .drain_staged(&vm, ticket)
+            .expect("a wait equal to the budget is within it");
+        assert_eq!(ack.attempts, 2, "first session refused, second acked");
+        assert_eq!(cp.backup().acked_generation(), 1);
+        assert_eq!(cp.drain_session_failures(), 0, "ack resets the streak");
+    }
+
+    #[test]
+    fn drain_wait_one_tick_past_the_deadline_times_out() {
+        use crimes_faults::{FaultPlan, FaultPoint, SCALE};
+
+        let mut vm = vm();
+        let pid = vm.spawn_process("app", 0, 64).expect("spawn");
+        // Same shape as the at-the-line test, one microsecond further:
+        // the accumulated wait is 1001 us against a 1000 us budget.
+        let jitter = drain_backoff_us(0, 1, 1);
+        let mut cp = Checkpointer::new(
+            &vm,
+            CheckpointConfig {
+                drain_timeout_ms: 1,
+                retry_backoff_us: 1_001 - jitter,
+                ..staged_config(1)
+            },
+        );
+        dirty_some(&mut vm, pid, 3);
+        let staged = cp
+            .run_epoch_staged(&mut vm, &mut FixedFused(AuditVerdict::Pass))
+            .expect("no faults armed");
+        let ticket = staged.pending.expect("ticket");
+        assert_eq!(ticket.generation(), 1, "jitter was derived for gen 1");
+        let plan = FaultPlan::disabled().with_rate(FaultPoint::BackupOutage, SCALE / 2);
+        let _scope = crimes_faults::install(plan, fail_once_outage_seed(plan));
+        let err = cp
+            .drain_staged(&vm, ticket)
+            .expect_err("one tick over the budget fails");
+        let CheckpointError::DrainTimeout { waited_us, budget_ms } = err else {
+            panic!("expected a drain timeout, got {err}");
+        };
+        assert_eq!(waited_us, 1_001);
+        assert_eq!(budget_ms, 1);
+        assert_eq!(cp.backup().acked_generation(), 0, "nothing became durable");
+        assert_eq!(cp.drains_in_flight(), 1, "the slot survives for a resync");
+        cp.release_staged(ticket);
     }
 }

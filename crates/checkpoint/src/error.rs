@@ -80,6 +80,14 @@ pub enum CheckpointError {
         /// Staged epochs currently awaiting their backup ack.
         in_flight: usize,
     },
+    /// The backup host refused the drain session's connection handshake —
+    /// no page moved at all. Retryable with backoff; the slot's progress
+    /// cursor is untouched, so a later session resyncs where the last
+    /// one stopped.
+    BackupUnreachable {
+        /// The session attempt that failed to connect (starting at 1).
+        attempt: u32,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -115,6 +123,9 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::StagingBacklog { in_flight } => {
                 write!(f, "no free staging buffer ({in_flight} drain(s) in flight)")
             }
+            CheckpointError::BackupUnreachable { attempt } => {
+                write!(f, "backup unreachable on drain-session attempt {attempt}")
+            }
         }
     }
 }
@@ -143,6 +154,7 @@ mod tests {
                 budget_ms: 1,
             },
             CheckpointError::StagingBacklog { in_flight: 2 },
+            CheckpointError::BackupUnreachable { attempt: 1 },
         ] {
             assert!(!e.to_string().is_empty());
         }

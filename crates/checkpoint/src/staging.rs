@@ -57,7 +57,7 @@ pub struct DrainTicket {
 
 impl DrainTicket {
     /// The staging slot this ticket drains.
-    pub(crate) fn slot(&self) -> usize {
+    pub fn slot(&self) -> usize {
         self.slot
     }
 
@@ -80,6 +80,10 @@ struct StagingSlot {
     sector_bytes: Vec<u8>,
     guest_time_ns: u64,
     occupied: bool,
+    /// Progress cursor: staged pages already durable on the backup. A
+    /// broken drain session leaves the cursor where the stream died, so
+    /// the next session resumes instead of restarting the slot.
+    drained: usize,
 }
 
 impl StagingSlot {
@@ -92,6 +96,7 @@ impl StagingSlot {
             sector_bytes: Vec::with_capacity(num_sectors * SECTOR_SIZE),
             guest_time_ns: 0,
             occupied: false,
+            drained: 0,
         }
     }
 }
@@ -145,6 +150,7 @@ impl StagingArea {
             s.sector_bytes.clear();
             s.guest_time_ns = 0;
             s.occupied = true;
+            s.drained = 0;
         }
         Some(slot)
     }
@@ -191,7 +197,32 @@ impl StagingArea {
     pub fn release(&mut self, slot: usize) {
         if let Some(s) = self.slots.get_mut(slot) {
             s.occupied = false;
+            s.drained = 0;
         }
+    }
+
+    /// The slot's progress cursor: staged pages already durable on the
+    /// backup from a previous (broken) drain session.
+    pub(crate) fn drained(&self, slot: usize) -> usize {
+        self.slots.get(slot).map(|s| s.drained).unwrap_or(0)
+    }
+
+    /// Zero every slot's progress cursor — a failover moved the drain to
+    /// a standby backup, so partial progress against the old backup no
+    /// longer counts and each in-flight slot re-drains from page zero
+    /// (idempotent: the slot is immutable until released).
+    pub(crate) fn reset_cursors(&mut self) {
+        for s in &mut self.slots {
+            s.drained = 0;
+            s.digests.clear();
+        }
+    }
+
+    /// Resume generation minting after a crash: recovery replays the
+    /// journal up to the last acked generation and new tickets must
+    /// continue the monotonic sequence, not restart at 1.
+    pub(crate) fn resume_generation(&mut self, generation: u64) {
+        self.generation = self.generation.max(generation);
     }
 
     /// The slot's per-page digests, for the post-ack integrity fold.
@@ -236,11 +267,13 @@ impl StagingArea {
     /// # Errors
     ///
     /// Under fault injection ([`FaultPoint::BackupDrain`]) the stream
-    /// breaks after a seeded number of pages landed, surfacing as
+    /// breaks after a seeded number of further pages landed, surfacing as
     /// [`CheckpointError::DrainFault`] with the partial write left in the
-    /// backup. Retryable: the slot is immutable until released, so a
-    /// re-drain overwrites the partial state (including the partial
-    /// digest list, which is rebuilt from scratch each attempt).
+    /// backup **and the progress cursor advanced past it**: the pages
+    /// that landed were fully decrypted into their backup frames and
+    /// digested, so the next session resumes after them instead of
+    /// re-shipping the whole slot (the slot is immutable until released,
+    /// which keeps the resume byte-identical to a restart).
     pub(crate) fn drain_slot(
         &mut self,
         slot: usize,
@@ -251,22 +284,27 @@ impl StagingArea {
         let Some(s) = self.slots.get_mut(slot) else {
             return Err(CheckpointError::DrainFault { pages_drained: 0 });
         };
-        // The out-of-window stream breaking mid-drain: pick how many pages
-        // land first from the fault plan's seeded draws.
+        let remaining = s.entries.len().saturating_sub(s.drained);
+        // The out-of-window stream breaking mid-drain: pick how many
+        // further pages land first from the fault plan's seeded draws.
         let fail_after = crimes_faults::should_inject(FaultPoint::BackupDrain)
-            .then(|| crimes_faults::draw_below(s.entries.len().max(1) as u64) as usize);
+            .then(|| crimes_faults::draw_below(remaining.max(1) as u64) as usize);
         let mut stats = CopyStats::default();
         let mut scratch = Vec::with_capacity(PAGE_SIZE);
         let mut batched = 0usize;
-        s.digests.clear();
-        for &(pfn, mfn) in &s.entries {
+        // Digests before the cursor cover pages already durable; anything
+        // past it belongs to a broken attempt and is recomputed here.
+        s.digests.truncate(s.drained);
+        for &(pfn, mfn) in s.entries.iter().skip(s.drained) {
             if fail_after == Some(stats.pages) {
+                s.drained = s.drained.saturating_add(stats.pages);
                 return Err(CheckpointError::DrainFault {
                     pages_drained: stats.pages,
                 });
             }
             let base = mfn.0 as usize * PAGE_SIZE;
             let Some(src) = s.frames.get(base..base + PAGE_SIZE) else {
+                s.drained = s.drained.saturating_add(stats.pages);
                 return Err(CheckpointError::DrainFault {
                     pages_drained: stats.pages,
                 });
@@ -298,10 +336,11 @@ impl StagingArea {
             stats.syscalls += 1;
         }
         // One read syscall per batch on the restore side.
-        for _ in 0..s.entries.len().div_ceil(WRITEV_BATCH) {
+        for _ in 0..remaining.div_ceil(WRITEV_BATCH) {
             syscalls.call();
             stats.syscalls += 1;
         }
+        s.drained = s.entries.len();
         Ok(stats)
     }
 }
@@ -386,7 +425,7 @@ mod tests {
     }
 
     #[test]
-    fn injected_drain_fault_leaves_a_partial_copy() {
+    fn injected_drain_fault_leaves_a_partial_copy_and_a_cursor() {
         let (vm, mapped) = vm_with_writes();
         let mut backup = BackupVm::new(&vm);
         for &(_p, mfn) in &mapped {
@@ -402,19 +441,52 @@ mod tests {
         let err = area
             .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls)
             .expect_err("drain fault armed at full rate");
-        assert!(matches!(
-            err,
-            CheckpointError::DrainFault { pages_drained } if pages_drained < mapped.len()
-        ));
+        let landed = match err {
+            CheckpointError::DrainFault { pages_drained } => pages_drained,
+            other => panic!("unexpected error {other:?}"),
+        };
+        assert!(landed < mapped.len());
+        assert_eq!(
+            area.drained(ticket.slot()),
+            landed,
+            "the cursor records exactly the pages that became durable"
+        );
         drop(_scope);
-        // The slot is immutable until released, so a clean retry fully
-        // overwrites the partial state.
+        // The retry *resumes* from the cursor: only the remaining pages
+        // ship, yet the backup and the digest list end up complete.
         let stats = area
             .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls)
             .expect("no faults armed on the retry");
-        assert_eq!(stats.pages, mapped.len());
+        assert_eq!(stats.pages, mapped.len() - landed, "resume skips drained pages");
+        assert_eq!(area.drained(ticket.slot()), mapped.len());
         assert_eq!(backup.frames(), vm.memory().dump_frames().as_slice());
         assert_ne!(backup.frames(), before.as_slice());
+        let digests: Vec<(usize, u64)> = area.digests(ticket.slot()).collect();
+        assert_eq!(digests.len(), mapped.len(), "digest list covers the whole slot");
+    }
+
+    #[test]
+    fn reset_cursors_forces_a_full_redrain() {
+        let (vm, mapped) = vm_with_writes();
+        let mut backup = BackupVm::new(&vm);
+        let mut area = StagingArea::new(1024, 8, 1);
+        let ticket = stage(&mut area, &vm, &mapped);
+        let plan = crimes_faults::FaultPlan::disabled()
+            .with_rate(FaultPoint::BackupDrain, crimes_faults::SCALE);
+        let scope = crimes_faults::install(plan, 13);
+        let mut syscalls = HypercallModel::new(2);
+        let _ = area
+            .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls)
+            .expect_err("drain fault armed at full rate");
+        drop(scope);
+        // Failover: partial progress against the old backup is void.
+        area.reset_cursors();
+        assert_eq!(area.drained(ticket.slot()), 0);
+        let stats = area
+            .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls)
+            .expect("no faults armed on the re-drain");
+        assert_eq!(stats.pages, mapped.len(), "full slot re-drained");
+        assert_eq!(backup.frames(), vm.memory().dump_frames().as_slice());
     }
 
     #[test]

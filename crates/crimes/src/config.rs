@@ -41,6 +41,19 @@ pub struct CrimesConfig {
     /// [`CrimesConfigBuilder::build`]: must be at least 1). The recorder's
     /// ring is preallocated, so this bounds its memory footprint.
     pub flight_recorder_epochs: usize,
+    /// Staged epochs allowed to await their backup ack before the fleet
+    /// stops speculating (deferred pipeline only). `0` (the default)
+    /// disables degraded mode: the first failed drain rolls the epoch
+    /// back, exactly as before. `n ≥ 1` lets the guest keep running with
+    /// outputs impounded while the backup is unreachable, up to `n`
+    /// epochs of backlog; the next failed drain past that quarantines
+    /// the VM. Requires `staging_buffers > max_staged_backlog` so a slot
+    /// is always free for the epoch that trips the limit.
+    pub max_staged_backlog: u64,
+    /// Consecutive drain-session failures before the fleet reroutes a
+    /// tenant's drain to its standby backup. `0` (the default) disables
+    /// failover.
+    pub failover_threshold: u32,
     /// The pause-worker count the operator asked for, before
     /// [`CrimesConfigBuilder::build`] clamped it to the host's available
     /// parallelism. Differs from `checkpoint.pause_workers` only when the
@@ -62,6 +75,8 @@ impl Default for CrimesConfig {
             max_held_bytes: usize::MAX,
             safety: SafetyMode::Synchronous,
             flight_recorder_epochs: 8,
+            max_staged_backlog: 0,
+            failover_threshold: 0,
             requested_pause_workers: 1,
             checkpoint: CheckpointConfig::default(),
         }
@@ -199,6 +214,22 @@ impl CrimesConfigBuilder {
         self
     }
 
+    /// Staged-epoch backlog tolerated while the backup is unreachable
+    /// before quarantine (validated at [`build`](Self::build): when
+    /// positive, `staging_buffers` must exceed it). `0` disables
+    /// degraded mode.
+    pub fn max_staged_backlog(&mut self, epochs: u64) -> &mut Self {
+        self.config.max_staged_backlog = epochs;
+        self
+    }
+
+    /// Consecutive drain-session failures before the fleet reroutes the
+    /// tenant's drain to a standby backup. `0` disables failover.
+    pub fn failover_threshold(&mut self, failures: u32) -> &mut Self {
+        self.config.failover_threshold = failures;
+        self
+    }
+
     /// The largest pause-worker count worth running on this host:
     /// `max(available_parallelism, 2)`. The floor of 2 keeps the fused
     /// pipeline reachable (and its bit-identical-for-any-worker-count
@@ -224,8 +255,9 @@ impl CrimesConfigBuilder {
     ///
     /// [`CrimesError::InvalidConfig`] when the configuration is impossible:
     /// a zero-length epoch, a zero history depth, a zero audit deadline,
-    /// an audit deadline longer than the epoch interval, or a zero drain
-    /// timeout with staging enabled.
+    /// an audit deadline longer than the epoch interval, a zero drain
+    /// timeout with staging enabled, or a staged backlog that the staging
+    /// buffers cannot hold.
     pub fn build(&self) -> Result<CrimesConfig, CrimesError> {
         let c = &self.config;
         if c.epoch_interval_ms == 0 {
@@ -259,6 +291,23 @@ impl CrimesConfigBuilder {
             return Err(CrimesError::InvalidConfig(
                 "drain timeout must be positive when staging is enabled".into(),
             ));
+        }
+        if c.max_staged_backlog > 0 {
+            if c.checkpoint.staging_buffers == 0 {
+                return Err(CrimesError::InvalidConfig(
+                    "max_staged_backlog requires the deferred pipeline \
+                     (staging_buffers >= 1)"
+                        .into(),
+                ));
+            }
+            if c.checkpoint.staging_buffers as u64 <= c.max_staged_backlog {
+                return Err(CrimesError::InvalidConfig(format!(
+                    "max_staged_backlog ({}) must be smaller than staging_buffers \
+                     ({}) — degraded mode needs a free slot for the epoch that \
+                     trips the limit",
+                    c.max_staged_backlog, c.checkpoint.staging_buffers
+                )));
+            }
         }
         if let Some(deadline) = c.audit_deadline_ms {
             if deadline == 0 {
@@ -311,8 +360,10 @@ mod tests {
             .retain_history_images(true)
             .flight_recorder_epochs(4)
             .pause_workers(4)
-            .staging_buffers(2)
-            .drain_timeout_ms(25);
+            .staging_buffers(4)
+            .drain_timeout_ms(25)
+            .max_staged_backlog(2)
+            .failover_threshold(3);
         let c = b.build().expect("valid config");
         assert_eq!(c.epoch_interval_ms, 20);
         assert_eq!(c.effective_audit_deadline_ms(), 10);
@@ -325,8 +376,10 @@ mod tests {
         assert_eq!(c.checkpoint.history_depth, 3);
         assert!(c.checkpoint.retain_history_images);
         assert_eq!(c.flight_recorder_epochs, 4);
-        assert_eq!(c.checkpoint.staging_buffers, 2);
+        assert_eq!(c.checkpoint.staging_buffers, 4);
         assert_eq!(c.checkpoint.drain_timeout_ms, 25);
+        assert_eq!(c.max_staged_backlog, 2);
+        assert_eq!(c.failover_threshold, 3);
         // The effective worker count is host-dependent (clamped to the
         // available parallelism); the request is recorded verbatim.
         assert_eq!(c.requested_pause_workers, 4);
@@ -408,6 +461,22 @@ mod tests {
             b.staging_buffers(1).drain_timeout_ms(0);
         })
         .contains("drain timeout"));
+        // Degraded mode without the deferred pipeline is meaningless.
+        assert!(reject(&|b| {
+            b.max_staged_backlog(1);
+        })
+        .contains("staging_buffers"));
+        // The backlog must leave a slot free for the epoch that trips it.
+        assert!(reject(&|b| {
+            b.staging_buffers(2).max_staged_backlog(2);
+        })
+        .contains("smaller than staging_buffers"));
+        // Boundary: backlog one below the buffer count is valid.
+        {
+            let mut b = CrimesConfig::builder();
+            b.staging_buffers(2).max_staged_backlog(1);
+            b.build().expect("backlog < buffers is valid");
+        }
         // Deadline longer than the epoch can never be met.
         assert!(reject(&|b| {
             b.epoch_interval_ms(20).audit_deadline_ms(30);

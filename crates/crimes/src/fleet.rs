@@ -28,9 +28,20 @@ pub struct FleetEpochSummary {
     /// VMs whose audit was inconclusive this round (speculation extended;
     /// outputs still buffered).
     pub extended: Vec<String>,
-    /// VMs in quarantine — newly quarantined this round or skipped
-    /// because already quarantined. They need operator replacement.
+    /// VMs that ran degraded this round: the audit passed but the backup
+    /// was unreachable, so outputs stayed impounded under their drain
+    /// generations.
+    pub degraded: Vec<String>,
+    /// VMs rerouted to their standby backup this round (the consecutive
+    /// drain-session failure streak crossed
+    /// [`CrimesConfig::failover_threshold`]).
+    pub failovers: Vec<String>,
+    /// VMs newly quarantined this round. They need operator replacement.
     pub quarantined: Vec<String>,
+    /// VMs skipped because they were already quarantined in an earlier
+    /// round (also counted in
+    /// [`Counter::FleetSkips`](crimes_telemetry::Counter::FleetSkips)).
+    pub skipped_quarantined: Vec<String>,
 }
 
 /// Aggregate fleet statistics.
@@ -159,7 +170,8 @@ impl Fleet {
         let mut summary = FleetEpochSummary::default();
         for (name, crimes) in &mut self.vms {
             if crimes.is_quarantined() {
-                summary.quarantined.push(name.clone());
+                crimes.note_fleet_skip();
+                summary.skipped_quarantined.push(name.clone());
                 continue;
             }
             if crimes.has_pending_incident() {
@@ -178,12 +190,23 @@ impl Fleet {
                 Ok(EpochOutcome::Extended { .. }) => {
                     summary.extended.push(name.clone());
                 }
+                Ok(EpochOutcome::Degraded { .. }) => {
+                    summary.degraded.push(name.clone());
+                }
                 // Quarantine is terminal per-VM, not fleet-fatal: one
                 // tenant's degraded monitor never stalls the others.
                 Err(CrimesError::Quarantined { .. }) => {
                     summary.quarantined.push(name.clone());
                 }
                 Err(e) => return Err(e),
+            }
+            // Zero-touch failover: when a tenant's drain sessions keep
+            // failing, reroute it to the standby backup so the backlog
+            // can flush at its next boundary.
+            let threshold = crimes.config().failover_threshold;
+            if threshold > 0 && crimes.checkpointer().drain_session_failures() >= threshold {
+                crimes.failover_backup();
+                summary.failovers.push(name.clone());
             }
         }
         Ok(summary)
@@ -316,9 +339,20 @@ mod tests {
         assert!(summary.committed.is_empty());
         assert_eq!(fleet.quarantined_vms(), vec!["fragile"]);
 
-        // Later rounds skip it without erroring, even with faults gone.
+        // Later rounds skip it without erroring, even with faults gone;
+        // the skip is reported separately from the round that actually
+        // quarantined the tenant, and counted per-tenant.
         let summary = fleet.run_epoch_round(|_, _, _| Ok(())).expect("round");
-        assert_eq!(summary.quarantined, vec!["fragile".to_owned()]);
+        assert!(summary.quarantined.is_empty());
+        assert_eq!(summary.skipped_quarantined, vec!["fragile".to_owned()]);
+        assert_eq!(
+            fleet
+                .get("fragile")
+                .expect("present")
+                .telemetry()
+                .counter(crimes_telemetry::Counter::FleetSkips),
+            1
+        );
 
         // Operator replacement: remove and re-add a fresh instance.
         let broken = fleet.remove_vm("fragile").expect("present");
@@ -326,6 +360,65 @@ mod tests {
         fleet.add_vm("fragile", guest(8), config()).expect("re-add");
         let summary = fleet.run_epoch_round(|_, _, _| Ok(())).expect("round");
         assert_eq!(summary.committed, vec!["fragile".to_owned()]);
+    }
+
+    #[test]
+    fn fleet_reroutes_to_the_standby_after_repeated_drain_failures() {
+        let mut fleet = Fleet::new();
+        let mut b = CrimesConfig::builder();
+        b.epoch_interval_ms(20)
+            .pause_workers(2)
+            .staging_buffers(3)
+            .max_staged_backlog(2)
+            .failover_threshold(2);
+        fleet
+            .add_vm("tenant", guest(11), b.build().expect("valid config"))
+            .expect("add");
+        fleet
+            .get_mut("tenant")
+            .expect("present")
+            .register_module(Box::new(BlacklistScanModule::bundled()));
+
+        // The backup refuses every drain session this round: the tenant
+        // degrades, its failure streak crosses the threshold, and the
+        // fleet reroutes it to the standby — zero-touch.
+        let scope = crimes_faults::install(
+            crimes_faults::FaultPlan::disabled().with_rate(
+                crimes_faults::FaultPoint::BackupOutage,
+                crimes_faults::SCALE,
+            ),
+            31,
+        );
+        let summary = fleet.run_epoch_round(|_, _, _| Ok(())).expect("round");
+        drop(scope);
+        assert_eq!(summary.degraded, vec!["tenant".to_owned()]);
+        assert_eq!(summary.failovers, vec!["tenant".to_owned()]);
+        assert!(summary.quarantined.is_empty());
+        let crimes = fleet.get("tenant").expect("present");
+        assert_eq!(
+            crimes.checkpointer().drain_session_failures(),
+            0,
+            "failover reset the streak"
+        );
+        assert_eq!(
+            crimes
+                .telemetry()
+                .counter(crimes_telemetry::Counter::BackupFailovers),
+            1
+        );
+        assert_eq!(crimes.pending_drain_count(), 1);
+
+        // Next round against the (reachable) standby: the backlog flushes
+        // and the tenant commits as if nothing happened.
+        let summary = fleet.run_epoch_round(|_, _, _| Ok(())).expect("round");
+        assert_eq!(summary.committed, vec!["tenant".to_owned()]);
+        assert!(summary.failovers.is_empty());
+        let crimes = fleet.get("tenant").expect("present");
+        assert_eq!(crimes.pending_drain_count(), 0);
+        assert!(crimes.checkpointer().verify_backup().is_ok());
+        let replay = crimes_journal::EvidenceJournal::replay(crimes.journal().bytes());
+        assert_eq!(replay.failovers, 1);
+        assert_eq!(replay.degraded_epochs, 1);
     }
 
     #[test]

@@ -12,13 +12,16 @@
 //! quarantine (the VM suspends with outputs impounded until an operator
 //! intervenes).
 
+use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crimes_checkpoint::{
-    AuditVerdict, Checkpointer, EpochReport, FusedAudit, FusedPageVisitor, PageFinding, Phase,
+    AuditVerdict, BackupVm, Checkpointer, DrainTicket, EpochReport, FusedAudit, FusedPageVisitor,
+    PageFinding, Phase,
 };
 use crimes_faults::FaultPoint;
+use crimes_journal::{EvidenceJournal, Record};
 use crimes_outbuf::{BufferStats, Output, OutputBuffer, OutputScanner};
 use crimes_telemetry::{Clock, Counter, EventKind, FlightRecorder, RealClock, Telemetry};
 use crimes_vm::{DirtyBitmap, MetaSnapshot, TraceMark, Vm, VmError};
@@ -64,6 +67,19 @@ pub enum EpochOutcome {
         /// Consecutive extensions so far (quarantine triggers when this
         /// exceeds [`CrimesConfig::max_consecutive_extensions`]).
         consecutive: u32,
+    },
+    /// The audit passed but the backup could not be reached within the
+    /// drain budget, and the staged backlog is still within
+    /// [`CrimesConfig::max_staged_backlog`]: the guest keeps speculating
+    /// with this epoch's outputs impounded. They release when a later
+    /// drain session acks their generation.
+    Degraded {
+        /// Checkpoint-engine report for the window (audit passed).
+        report: EpochReport,
+        /// The audit details.
+        audit: AuditReport,
+        /// Staged epochs now awaiting their deferred drain.
+        backlog: u32,
     },
 }
 
@@ -337,6 +353,19 @@ pub struct Crimes {
     consecutive_extensions: u32,
     /// Set once the VM is quarantined: `(reason, epoch)`. Terminal.
     quarantined: Option<(&'static str, u64)>,
+    /// Durable write-ahead evidence journal: every impound, drain
+    /// ticket, incident, and quarantine is appended before it takes
+    /// effect, so [`Crimes::recover`] can rebuild the state after a
+    /// monitor crash.
+    journal: EvidenceJournal,
+    /// Flight-recorder events mirrored into the journal so far (the
+    /// ring overwrites; the journal must not miss events).
+    journal_synced: u64,
+    /// Drain tickets whose sessions have not acked yet, oldest first.
+    /// Non-empty only in degraded mode (backup unreachable within the
+    /// drain budget but backlog still within
+    /// [`CrimesConfig::max_staged_backlog`]).
+    pending_drains: VecDeque<DrainTicket>,
 }
 
 impl Crimes {
@@ -411,7 +440,107 @@ impl Crimes {
             recorder: FlightRecorder::new(config.flight_recorder_epochs),
             consecutive_extensions: 0,
             quarantined: None,
+            journal: EvidenceJournal::new(),
+            journal_synced: 0,
+            pending_drains: VecDeque::new(),
         })
+    }
+
+    /// Resume protection after a monitor crash from the surviving pieces:
+    /// the guest, the backup replica, and the journal image. The journal
+    /// is replayed (truncating a torn tail), the impound state and
+    /// committed-epoch count are rebuilt, the checkpoint engine adopts
+    /// the backup resuming drain generations after the last acked one,
+    /// and a fresh journal continues from the verified prefix.
+    ///
+    /// Conservative by construction: tickets staged but never acked are
+    /// abandoned (their staging slots died with the monitor) and their
+    /// ack-pending outputs stay impounded until the re-staged generation
+    /// with the same number acks. A recorded quarantine is re-entered. An
+    /// incident that was pending at the crash quarantines the VM — the
+    /// in-memory forensic context did not survive, and releasing or
+    /// rolling back without it would guess.
+    ///
+    /// # Errors
+    ///
+    /// Fails if introspection cannot initialise against the guest.
+    pub fn recover(
+        mut vm: Vm,
+        backup: BackupVm,
+        config: CrimesConfig,
+        clock: Arc<dyn Clock>,
+        journal_bytes: &[u8],
+    ) -> Result<Self, CrimesError> {
+        let (journal, state) = EvidenceJournal::recover_from(journal_bytes);
+        let session = VmiSession::init(&vm)?;
+        let checkpointer = Checkpointer::attach(
+            &vm,
+            config.checkpoint,
+            backup,
+            state.last_acked_generation,
+        );
+        vm.set_recording(true);
+        let last_good_meta = vm.meta_snapshot();
+        let epoch_start_mark = vm.trace_mark();
+        // Telemetry is process-local and starts fresh; the journal is the
+        // durable record, counters are observability.
+        let telemetry = if config.checkpoint.staging_buffers > 0 {
+            let mut labels: Vec<&'static str> = Phase::ALL.map(Phase::label).to_vec();
+            labels.push(DRAIN_PHASE_LABEL);
+            Telemetry::new(&labels)
+        } else {
+            Telemetry::new(&Phase::ALL.map(Phase::label))
+        };
+        let mut buffer = OutputBuffer::with_limits(
+            config.safety,
+            config.max_held_outputs,
+            config.max_held_bytes,
+        );
+        for (output, enqueued_ns, generation) in &state.ack_pending {
+            buffer.restore_ack_pending(output.clone(), *enqueued_ns, *generation);
+        }
+        for (output, enqueued_ns) in &state.held {
+            buffer.restore_held(output.clone(), *enqueued_ns);
+        }
+        let mut recorder = FlightRecorder::new(config.flight_recorder_epochs);
+        for &(epoch, at_ns, kind) in &state.events {
+            recorder.record(epoch, at_ns, kind);
+        }
+        let journal_synced = recorder.recorded();
+        let mut crimes = Crimes {
+            vm,
+            config,
+            checkpointer,
+            buffer,
+            session,
+            detector: Detector::with_clock(clock.clone()),
+            analyzer: Analyzer::new(),
+            last_good_meta,
+            epoch_start_mark,
+            committed_epochs: state.committed_epochs,
+            output_scanner: None,
+            async_forensics: None,
+            deferred: Vec::new(),
+            pending: None,
+            robustness: RobustnessStats::default(),
+            clock,
+            telemetry,
+            recorder,
+            consecutive_extensions: 0,
+            quarantined: None,
+            journal,
+            journal_synced,
+            pending_drains: VecDeque::new(),
+        };
+        if let Some(epoch) = state.quarantined {
+            // Re-enter the recorded quarantine without double-journalling
+            // it: suspend the guest and restore the terminal marker.
+            crimes.vm.vcpus_mut().pause_all();
+            crimes.quarantined = Some(("quarantined before the crash", epoch));
+        } else if state.pending_incident.is_some() {
+            let _ = crimes.quarantine("incident was pending across a monitor crash");
+        }
+        Ok(crimes)
     }
 
     /// Register a scan module.
@@ -492,6 +621,12 @@ impl Crimes {
         self.buffer.stats()
     }
 
+    /// The output buffer itself — the impound set is evidence, and crash
+    /// harnesses fingerprint it directly.
+    pub fn output_buffer(&self) -> &OutputBuffer {
+        &self.buffer
+    }
+
     /// Epochs committed so far.
     pub fn committed_epochs(&self) -> u64 {
         self.committed_epochs
@@ -529,6 +664,59 @@ impl Crimes {
         self.quarantined.is_some()
     }
 
+    /// The durable evidence journal (its bytes are what a crash-recovery
+    /// harness feeds back into [`Crimes::recover`]).
+    pub fn journal(&self) -> &EvidenceJournal {
+        &self.journal
+    }
+
+    /// Drain tickets awaiting a backup ack — non-zero only while the VM
+    /// runs in degraded mode with the backup unreachable.
+    pub fn pending_drain_count(&self) -> usize {
+        self.pending_drains.len()
+    }
+
+    /// Fleet bookkeeping: counts a round that skipped this VM because it
+    /// was already quarantined.
+    pub(crate) fn note_fleet_skip(&mut self) {
+        self.telemetry.add(Counter::FleetSkips, 1);
+    }
+
+    /// Reroute draining to the standby backup (a warm replica of the
+    /// current backup image) after repeated drain-session failures. Drain
+    /// cursors restart from zero against the standby and the failure
+    /// streak resets; un-acked generations re-drain in full.
+    pub fn failover_backup(&mut self) {
+        let failures = u64::from(self.checkpointer.drain_session_failures());
+        self.journal.append(&Record::Failover { failures });
+        self.checkpointer.failover_backup();
+        self.telemetry.add(Counter::BackupFailovers, 1);
+        let epoch = self.checkpointer.backup().epoch();
+        self.recorder
+            .record(epoch, self.clock.now_ns(), EventKind::BackupFailover);
+        self.sync_journal_events();
+    }
+
+    /// Mirror any flight-recorder events not yet journalled. Called at
+    /// every boundary exit; the ring holds at least one epoch's worth of
+    /// events, so per-boundary syncing never loses any to overwrite.
+    fn sync_journal_events(&mut self) {
+        let total = self.recorder.recorded();
+        let first_retained = total - self.recorder.len() as u64;
+        let skip = usize::try_from(self.journal_synced.saturating_sub(first_retained))
+            .unwrap_or(usize::MAX);
+        let fresh: Vec<(u64, u64, EventKind)> = self
+            .recorder
+            .events()
+            .skip(skip)
+            .map(|e| (e.epoch, e.at_ns, e.kind))
+            .collect();
+        for (epoch, at_ns, kind) in fresh {
+            self.journal.append_event(epoch, at_ns, kind);
+        }
+        self.journal_synced = total;
+    }
+
     /// Enter quarantine: suspend the guest, impound the held outputs
     /// (neither released nor discarded — they are evidence), and make
     /// every subsequent operation fail with the returned error.
@@ -536,10 +724,12 @@ impl Crimes {
         self.vm.vcpus_mut().pause_all();
         self.robustness.quarantines += 1;
         let epoch = self.checkpointer.backup().epoch();
+        self.journal.append(&Record::Quarantined { epoch });
         self.telemetry.add(Counter::Quarantines, 1);
         self.recorder
             .record(epoch, self.clock.now_ns(), EventKind::Quarantined);
         self.quarantined = Some((reason, epoch));
+        self.sync_journal_events();
         CrimesError::Quarantined { reason, epoch }
     }
 
@@ -563,7 +753,20 @@ impl Crimes {
     pub fn submit_output(&mut self, output: Output) -> Result<Option<Output>, CrimesError> {
         self.ensure_active()?;
         let now = self.vm.now_ns();
-        Ok(self.buffer.submit(output, now)?)
+        let journalled = output.clone();
+        let passed = self.buffer.submit(output, now)?;
+        if passed.is_none() {
+            // The output entered the impound set; journal it so recovery
+            // rebuilds the set. Journalling after the accept (not before)
+            // avoids phantom impounds from rejected submissions; a crash
+            // between the two loses at most the in-flight output, which
+            // is the conservative direction (never releases early).
+            self.journal.append(&Record::OutputHeld {
+                output: journalled,
+                submitted_ns: now,
+            });
+        }
+        Ok(passed)
     }
 
     /// Run one full epoch: `work` drives the guest for the configured
@@ -768,6 +971,12 @@ impl Crimes {
                 // evidence) survives moving the copy past resume.
                 let released = if let Some(ticket) = pending_ticket {
                     let generation = ticket.generation();
+                    self.journal.append(&Record::TicketStaged {
+                        slot: u64::try_from(ticket.slot()).unwrap_or(u64::MAX),
+                        generation,
+                        epoch,
+                    });
+                    self.journal.append(&Record::MarkAckPending { generation });
                     let held = self.buffer.mark_ack_pending(generation);
                     self.recorder.record(
                         epoch,
@@ -776,38 +985,76 @@ impl Crimes {
                             held: u32::try_from(held).unwrap_or(u32::MAX),
                         },
                     );
-                    let drain_t = Instant::now();
-                    match self.checkpointer.drain_staged(&self.vm, ticket) {
-                        Ok(ack) => {
-                            self.telemetry.record_phase_ns(
-                                DRAIN_PHASE,
-                                u64::try_from(drain_t.elapsed().as_nanos())
-                                    .unwrap_or(u64::MAX),
-                            );
-                            self.telemetry.add(Counter::DrainAcks, 1);
-                            self.recorder.record(
-                                epoch,
-                                self.clock.now_ns(),
-                                EventKind::DrainAcked {
-                                    pages: u32::try_from(ack.pages).unwrap_or(u32::MAX),
-                                },
-                            );
-                            self.buffer.release_acked(generation, self.vm.now_ns())
+                    self.pending_drains.push_back(ticket);
+                    // Drain sessions run oldest ticket first: a backlog
+                    // accumulated during a backup outage flushes in
+                    // generation order before this epoch's ticket.
+                    let drain_t0 = self.clock.now_ns();
+                    let mut released = Vec::new();
+                    let mut failed: Option<(crimes_checkpoint::CheckpointError, u64)> = None;
+                    while let Some(&next) = self.pending_drains.front() {
+                        match self.checkpointer.drain_staged(&self.vm, next) {
+                            Ok(ack) => {
+                                self.pending_drains.pop_front();
+                                self.telemetry.add(Counter::DrainAcks, 1);
+                                if ack.resumed_from > 0 {
+                                    // The session reconnected mid-stream and
+                                    // resynced from the slot's cursor.
+                                    self.telemetry.add(Counter::DrainResyncs, 1);
+                                    self.recorder.record(
+                                        epoch,
+                                        self.clock.now_ns(),
+                                        EventKind::DrainResync {
+                                            pages: u32::try_from(ack.resumed_from)
+                                                .unwrap_or(u32::MAX),
+                                        },
+                                    );
+                                }
+                                self.recorder.record(
+                                    epoch,
+                                    self.clock.now_ns(),
+                                    EventKind::DrainAcked {
+                                        pages: u32::try_from(ack.pages).unwrap_or(u32::MAX),
+                                    },
+                                );
+                                self.journal.append(&Record::TicketAcked {
+                                    generation: ack.generation,
+                                    pages: u64::try_from(ack.pages).unwrap_or(u64::MAX),
+                                });
+                                self.journal
+                                    .append(&Record::ReleaseAcked { generation: ack.generation });
+                                released.extend(
+                                    self.buffer.release_acked(ack.generation, self.vm.now_ns()),
+                                );
+                            }
+                            Err(e) => {
+                                failed = Some((e, next.generation()));
+                                break;
+                            }
                         }
-                        Err(e) => {
-                            // The epoch's evidence never became durable, so
-                            // its impounded outputs must never escape.
-                            // Recover exactly as a failed commit: discard
-                            // the speculation, roll back to checksum-
-                            // verified state, or quarantine.
-                            self.telemetry.add(Counter::DrainFailures, 1);
-                            self.recorder.record(
-                                epoch,
-                                self.clock.now_ns(),
-                                EventKind::DrainFailed {
-                                    attempts: self.config.checkpoint.copy_retries + 1,
-                                },
-                            );
+                    }
+                    self.telemetry.record_phase_ns(
+                        DRAIN_PHASE,
+                        self.clock.now_ns().saturating_sub(drain_t0),
+                    );
+                    if let Some((e, stuck_generation)) = failed {
+                        self.telemetry.add(Counter::DrainFailures, 1);
+                        self.recorder.record(
+                            epoch,
+                            self.clock.now_ns(),
+                            EventKind::DrainFailed {
+                                attempts: self.config.checkpoint.copy_retries + 1,
+                            },
+                        );
+                        let backlog =
+                            u64::try_from(self.pending_drains.len()).unwrap_or(u64::MAX);
+                        if self.config.max_staged_backlog == 0 {
+                            // Degraded mode disabled: the epoch's evidence
+                            // never became durable, so its impounded
+                            // outputs must never escape. Recover exactly
+                            // as a failed commit: discard the speculation,
+                            // roll back to checksum-verified state, or
+                            // quarantine.
                             self.robustness.commit_failures += 1;
                             self.telemetry.add(Counter::CommitFailures, 1);
                             self.recorder.record(
@@ -817,8 +1064,41 @@ impl Crimes {
                             );
                             return self.recover_failed_commit(e.into());
                         }
+                        if backlog > self.config.max_staged_backlog {
+                            // The outage outlasted the budget. Everything
+                            // staged stays impounded as evidence; the VM
+                            // suspends until an operator intervenes.
+                            return Err(self.quarantine(
+                                "backup unreachable beyond the staged backlog",
+                            ));
+                        }
+                        // Degraded mode: the audit passed, so the guest
+                        // keeps speculating with this window's outputs
+                        // impounded under their generations. Nothing is
+                        // committed — the backlog re-drains (and releases)
+                        // at a later boundary or after a failover.
+                        self.journal.append(&Record::Degraded {
+                            generation: stuck_generation,
+                            backlog,
+                        });
+                        self.telemetry.add(Counter::DegradedEpochs, 1);
+                        self.recorder.record(
+                            epoch,
+                            self.clock.now_ns(),
+                            EventKind::Degraded {
+                                backlog: u32::try_from(backlog).unwrap_or(u32::MAX),
+                            },
+                        );
+                        self.sync_journal_events();
+                        return Ok(EpochOutcome::Degraded {
+                            report,
+                            audit,
+                            backlog: u32::try_from(backlog).unwrap_or(u32::MAX),
+                        });
                     }
+                    released
                 } else {
+                    self.journal.append(&Record::ReleaseHeld);
                     self.buffer.release(self.vm.now_ns())
                 };
                 // Async deep forensics: ship the fresh checkpoint (for the
@@ -852,7 +1132,11 @@ impl Crimes {
                 let mark = self.vm.trace_mark();
                 self.vm.trace_truncate_before(mark);
                 self.epoch_start_mark = self.vm.trace_mark();
+                self.journal.append(&Record::Committed {
+                    epoch: self.committed_epochs,
+                });
                 self.committed_epochs += 1;
+                self.sync_journal_events();
                 Ok(EpochOutcome::Committed {
                     report,
                     audit,
@@ -869,7 +1153,12 @@ impl Crimes {
                         findings: u32::try_from(audit.findings.len()).unwrap_or(u32::MAX),
                     },
                 );
+                self.journal.append(&Record::Incident {
+                    epoch,
+                    findings: u64::try_from(audit.findings.len()).unwrap_or(u64::MAX),
+                });
                 self.pending = Some(audit.clone());
+                self.sync_journal_events();
                 Ok(EpochOutcome::AttackDetected { report, audit })
             }
             AuditVerdict::Inconclusive => {
@@ -898,6 +1187,7 @@ impl Crimes {
                 } else {
                     "audit overran its deadline"
                 };
+                self.sync_journal_events();
                 Ok(EpochOutcome::Extended {
                     report,
                     cause,
@@ -918,6 +1208,12 @@ impl Crimes {
         cause: CrimesError,
     ) -> Result<EpochOutcome, CrimesError> {
         let epoch = self.checkpointer.backup().epoch();
+        // Any staged-but-unacked tickets die with the speculation: their
+        // pages describe state that is being rolled away.
+        while let Some(ticket) = self.pending_drains.pop_front() {
+            self.checkpointer.release_staged(ticket);
+        }
+        self.journal.append(&Record::DiscardAll);
         let discarded = self.buffer.discard();
         self.telemetry
             .add(Counter::OutputsDiscarded, u64::try_from(discarded).unwrap_or(0));
@@ -952,6 +1248,7 @@ impl Crimes {
                 discarded: u32::try_from(discarded).unwrap_or(u32::MAX),
             },
         );
+        self.sync_journal_events();
         Err(cause)
     }
 
@@ -1027,6 +1324,10 @@ impl Crimes {
             return Err(CrimesError::InvalidState("no incident pending"));
         }
         let epoch = self.checkpointer.backup().epoch();
+        while let Some(ticket) = self.pending_drains.pop_front() {
+            self.checkpointer.release_staged(ticket);
+        }
+        self.journal.append(&Record::DiscardAll);
         let discarded = self.buffer.discard();
         self.telemetry
             .add(Counter::OutputsDiscarded, u64::try_from(discarded).unwrap_or(0));
@@ -1062,6 +1363,7 @@ impl Crimes {
                 discarded: u32::try_from(discarded).unwrap_or(u32::MAX),
             },
         );
+        self.sync_journal_events();
         Ok(discarded)
     }
 }
@@ -1680,6 +1982,121 @@ mod tests {
         assert!(kinds.contains(&"drain_failed"));
         assert!(!kinds.contains(&"committed"));
         assert!(c.run_epoch(|_vm, _| Ok(())).expect("clean").is_committed());
+    }
+
+    #[test]
+    fn degraded_mode_impounds_outputs_until_a_later_drain_acks() {
+        let mut c = protected_with(50, |cfg| {
+            cfg.pause_workers(2).staging_buffers(3).max_staged_backlog(2);
+        });
+        c.register_module(Box::new(NoopScanModule::new()));
+        let pid = c.vm_mut().spawn_process("app", 0, 8).expect("spawn");
+
+        // Backup unreachable: audits pass, so the guest keeps running
+        // with its outputs impounded instead of rolling back.
+        let scope = install(
+            FaultPlan::disabled().with_rate(FaultPoint::BackupOutage, SCALE),
+            23,
+        );
+        for round in 0..2u32 {
+            c.submit_output(Output::Net(NetPacket::new(
+                u64::from(round),
+                vec![round as u8; 3],
+            )))
+            .expect("within limits");
+            let outcome = c
+                .run_epoch(|vm, _| {
+                    vm.dirty_arena_page(pid, round as usize, 0, round as u8)?;
+                    Ok(())
+                })
+                .expect("a budgeted outage is not an error");
+            let EpochOutcome::Degraded { backlog, audit, .. } = outcome else {
+                panic!("outage within the backlog budget must degrade");
+            };
+            assert!(audit.passed());
+            assert_eq!(backlog, round + 1);
+        }
+        drop(scope);
+        assert_eq!(c.committed_epochs(), 0, "degraded epochs do not commit");
+        assert_eq!(c.buffer_stats().released, 0, "everything stays impounded");
+        assert_eq!(c.pending_drain_count(), 2);
+        assert_eq!(c.telemetry().counter(Counter::DegradedEpochs), 2);
+        assert!(c.checkpointer().drain_session_failures() > 0);
+
+        // Backup reachable again: the next boundary flushes the backlog
+        // oldest-first and releases every impounded generation.
+        c.submit_output(Output::Net(NetPacket::new(9, vec![9])))
+            .expect("within limits");
+        let outcome = c
+            .run_epoch(|vm, _| {
+                vm.dirty_arena_page(pid, 3, 0, 9)?;
+                Ok(())
+            })
+            .expect("clean epoch");
+        let EpochOutcome::Committed { released, .. } = outcome else {
+            panic!("the backlog must flush and commit");
+        };
+        assert_eq!(
+            released.len(),
+            3,
+            "both degraded epochs' outputs release with this one's"
+        );
+        assert_eq!(c.pending_drain_count(), 0);
+        assert_eq!(c.telemetry().counter(Counter::DrainAcks), 3);
+        assert_eq!(c.checkpointer().drain_session_failures(), 0);
+        assert!(c.checkpointer().verify_backup().is_ok());
+        // The journal saw the whole arc: two degraded records, then all
+        // three generations acked.
+        let state = crimes_journal::EvidenceJournal::replay(c.journal().bytes());
+        assert_eq!(state.truncated_at, None);
+        assert_eq!(state.degraded_epochs, 2);
+        assert_eq!(state.last_acked_generation, 3);
+        assert!(state.held.is_empty());
+        assert!(state.ack_pending.is_empty());
+    }
+
+    #[test]
+    fn outage_beyond_the_staged_backlog_quarantines() {
+        let mut c = protected_with(50, |cfg| {
+            cfg.pause_workers(2).staging_buffers(2).max_staged_backlog(1);
+        });
+        c.register_module(Box::new(NoopScanModule::new()));
+        let pid = c.vm_mut().spawn_process("app", 0, 8).expect("spawn");
+        c.submit_output(Output::Net(NetPacket::new(1, b"evidence".to_vec())))
+            .expect("within limits");
+
+        let scope = install(
+            FaultPlan::disabled().with_rate(FaultPoint::BackupOutage, SCALE),
+            29,
+        );
+        let outcome = c
+            .run_epoch(|vm, _| {
+                vm.dirty_arena_page(pid, 0, 0, 1)?;
+                Ok(())
+            })
+            .expect("first outage is within the backlog budget");
+        assert!(matches!(
+            outcome,
+            EpochOutcome::Degraded { backlog: 1, .. }
+        ));
+        let err = c
+            .run_epoch(|vm, _| {
+                vm.dirty_arena_page(pid, 1, 0, 2)?;
+                Ok(())
+            })
+            .expect_err("second outage exceeds the backlog");
+        drop(scope);
+        assert!(matches!(err, CrimesError::Quarantined { .. }));
+        assert!(c.is_quarantined());
+        assert!(c.vm().vcpus().all_paused());
+        // Fail closed: impounded as evidence — never released, and (unlike
+        // a rollback) never discarded either.
+        assert_eq!(c.buffer_stats().released, 0);
+        assert_eq!(c.buffer_stats().discarded, 0);
+        let state = crimes_journal::EvidenceJournal::replay(c.journal().bytes());
+        assert!(state.quarantined.is_some());
+        assert_eq!(state.degraded_epochs, 1);
+        assert_eq!(state.ack_pending.len(), 1, "the impound set survives in the journal");
     }
 
     #[test]

@@ -59,11 +59,15 @@ pub enum FaultPoint {
     /// (`checkpoint::staging`) — the epoch's evidence never becomes
     /// durable, so its outputs must stay held.
     BackupDrain,
+    /// The backup host is unreachable when a drain session tries to
+    /// connect (`checkpoint::engine`) — no page moves at all; the
+    /// session retries with backoff and may resync or fail over.
+    BackupOutage,
 }
 
 impl FaultPoint {
     /// Every injection point, in declaration order.
-    pub const ALL: [FaultPoint; 8] = [
+    pub const ALL: [FaultPoint; 9] = [
         FaultPoint::VmiRead,
         FaultPoint::PageCopy,
         FaultPoint::BackupWrite,
@@ -72,6 +76,7 @@ impl FaultPoint {
         FaultPoint::ReplayDiverge,
         FaultPoint::OutbufOverflow,
         FaultPoint::BackupDrain,
+        FaultPoint::BackupOutage,
     ];
 
     /// Stable name used in plans, counters, and reports.
@@ -85,6 +90,7 @@ impl FaultPoint {
             FaultPoint::ReplayDiverge => "replay-diverge",
             FaultPoint::OutbufOverflow => "outbuf-overflow",
             FaultPoint::BackupDrain => "backup-drain",
+            FaultPoint::BackupOutage => "backup-outage",
         }
     }
 
@@ -471,7 +477,8 @@ mod tests {
                 "audit-overrun",
                 "replay-diverge",
                 "outbuf-overflow",
-                "backup-drain"
+                "backup-drain",
+                "backup-outage"
             ]
         );
         assert_eq!(FaultPoint::AuditOverrun.to_string(), "audit-overrun");

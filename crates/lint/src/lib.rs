@@ -92,6 +92,7 @@ impl Default for LintConfig {
                 "crates/checkpoint/src/copy.rs",
                 "crates/checkpoint/src/integrity.rs",
                 "crates/checkpoint/src/pool.rs",
+                "crates/journal/src/journal.rs",
             ]
             .map(String::from)
             .to_vec(),

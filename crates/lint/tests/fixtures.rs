@@ -39,6 +39,24 @@ fn panic_freedom_passes_a_clean_fail_closed_module() {
 }
 
 #[test]
+fn panic_freedom_covers_the_journal_module() {
+    let report = lint("journal-bad");
+    assert_eq!(report.diagnostics.len(), 3, "{}", report.render());
+    for d in &report.diagnostics {
+        assert_eq!(d.rule, "panic-freedom");
+        assert_eq!(d.path, "crates/journal/src/journal.rs");
+    }
+    let lines: Vec<u32> = report.diagnostics.iter().map(|d| d.line).collect();
+    assert_eq!(lines, [2, 2, 7], "the indexing, the expect, and the unchecked bound");
+}
+
+#[test]
+fn panic_freedom_passes_a_checked_journal_module() {
+    let report = lint("journal-good");
+    assert!(report.ok(), "{}", report.render());
+}
+
+#[test]
 fn pause_window_flags_wall_clocks_reached_transitively() {
     let report = lint("pause-bad");
     assert_eq!(report.diagnostics.len(), 1, "{}", report.render());

@@ -1,0 +1,8 @@
+pub fn parse_len(bytes: &[u8]) -> u32 {
+    let word: [u8; 4] = bytes[..4].try_into().expect("length prefix");
+    u32::from_le_bytes(word)
+}
+
+pub fn last_bound(bounds: &[usize]) -> usize {
+    bounds[bounds.len() - 1]
+}

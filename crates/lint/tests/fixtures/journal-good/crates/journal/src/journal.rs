@@ -1,0 +1,8 @@
+pub fn parse_len(bytes: &[u8]) -> Option<u32> {
+    let word = bytes.get(..4)?;
+    <[u8; 4]>::try_from(word).ok().map(u32::from_le_bytes)
+}
+
+pub fn last_bound(bounds: &[usize]) -> Option<usize> {
+    bounds.last().copied()
+}

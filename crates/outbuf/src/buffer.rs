@@ -237,18 +237,24 @@ impl OutputBuffer {
     /// The backup acknowledged every drain generation up to and including
     /// `generation`: release the ack-pending outputs those generations
     /// gated, in submission order. Later generations stay impounded.
+    ///
+    /// The whole queue is scanned, not just a prefix: after a crash
+    /// recovery the re-staged (re-used) generation numbers sit *behind*
+    /// impounds inherited from the crashed run's later generations, so
+    /// generations are not monotonic front-to-back. Journal replay has
+    /// the same retain semantics.
     pub fn release_acked(&mut self, generation: u64, now_ns: u64) -> Vec<Output> {
         let mut out = Vec::new();
-        while let Some(&(_, _, gen)) = self.ack_pending.front() {
-            if gen > generation {
-                break;
+        let mut kept = VecDeque::with_capacity(self.ack_pending.len());
+        while let Some((o, enq, gen)) = self.ack_pending.pop_front() {
+            if gen <= generation {
+                self.account_release(&o, enq, now_ns);
+                out.push(o);
+            } else {
+                kept.push_back((o, enq, gen));
             }
-            let Some((o, enq, _)) = self.ack_pending.pop_front() else {
-                break;
-            };
-            self.account_release(&o, enq, now_ns);
-            out.push(o);
         }
+        self.ack_pending = kept;
         out
     }
 
@@ -269,6 +275,25 @@ impl OutputBuffer {
         n
     }
 
+    /// Recovery path: re-impound an output that was held when the monitor
+    /// crashed. Bypasses the capacity check — the output was already
+    /// accepted by the pre-crash buffer, so refusing it now would drop
+    /// evidence the journal promised to keep. Order of restore calls must
+    /// follow journal (= submission) order.
+    pub fn restore_held(&mut self, output: Output, enqueued_ns: u64) {
+        self.held_bytes = self.held_bytes.saturating_add(output.len());
+        self.held.push_back((output, enqueued_ns));
+    }
+
+    /// Recovery path: re-impound an output that was awaiting its drain
+    /// generation's backup ack when the monitor crashed. Same contract as
+    /// [`restore_held`](Self::restore_held); callers must restore in
+    /// journal order so the generation tags stay monotone.
+    pub fn restore_ack_pending(&mut self, output: Output, enqueued_ns: u64, generation: u64) {
+        self.held_bytes = self.held_bytes.saturating_add(output.len());
+        self.ack_pending.push_back((output, enqueued_ns, generation));
+    }
+
     /// Outputs currently held (not yet audited).
     pub fn held_count(&self) -> usize {
         self.held.len()
@@ -283,6 +308,18 @@ impl OutputBuffer {
     /// module's view).
     pub fn held_outputs(&self) -> impl Iterator<Item = &Output> {
         self.held.iter().map(|(o, _)| o)
+    }
+
+    /// Iterate the held entries with their enqueue times, in submission
+    /// order (the journal's view — what recovery must re-impound).
+    pub fn held_entries(&self) -> impl Iterator<Item = (&Output, u64)> {
+        self.held.iter().map(|(o, enq)| (o, *enq))
+    }
+
+    /// Iterate the ack-pending entries with their enqueue times and
+    /// gating drain generations, in submission order.
+    pub fn ack_pending_entries(&self) -> impl Iterator<Item = (&Output, u64, u64)> {
+        self.ack_pending.iter().map(|(o, enq, gen)| (o, *enq, *gen))
     }
 
     /// Bytes currently held (cached; maintained across submit/release/
@@ -440,6 +477,21 @@ mod tests {
     }
 
     #[test]
+    fn release_acked_scans_past_inherited_newer_generations() {
+        // Post-recovery shape: an impound inherited from the crashed
+        // run's generation 5 sits ahead of the re-staged generation 4.
+        let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
+        buf.restore_ack_pending(pkt(1), 0, 4);
+        buf.restore_ack_pending(pkt(2), 0, 5);
+        buf.submit(pkt(3), 0).expect("unbounded");
+        buf.mark_ack_pending(4);
+        let released = buf.release_acked(4, 10);
+        assert_eq!(released.len(), 2, "generation 4 releases both its outputs");
+        assert_eq!(buf.ack_pending_count(), 1, "generation 5 stays impounded");
+        assert_eq!(buf.release_acked(5, 20).len(), 1);
+    }
+
+    #[test]
     fn discard_covers_ack_pending_outputs() {
         let mut buf = OutputBuffer::new(SafetyMode::Synchronous);
         buf.submit(pkt(10), 0).expect("unbounded");
@@ -535,6 +587,40 @@ mod tests {
         // Fail closed: nothing escaped, nothing held.
         assert_eq!(buf.held_count(), 0);
         assert_eq!(buf.stats().released, 0);
+    }
+
+    #[test]
+    fn restore_rebuilds_the_impound_set_with_byte_accounting() {
+        // What a pre-crash buffer held...
+        let mut before = OutputBuffer::new(SafetyMode::Synchronous);
+        before.submit(pkt(10), 100).expect("unbounded");
+        before.mark_ack_pending(3);
+        before.submit(pkt(20), 200).expect("unbounded");
+
+        // ...recovery re-impounds from the journal, even into a buffer
+        // whose limits a live submit would trip.
+        let mut after = OutputBuffer::with_limits(SafetyMode::Synchronous, 1, 15);
+        for (o, enq, gen) in before.ack_pending_entries() {
+            after.restore_ack_pending(o.clone(), enq, gen);
+        }
+        for (o, enq) in before.held_entries() {
+            after.restore_held(o.clone(), enq);
+        }
+        assert_eq!(after.held_count(), 1);
+        assert_eq!(after.ack_pending_count(), 1);
+        assert_eq!(after.held_bytes(), 30, "byte accounting follows restores");
+        // The restored queues behave like the originals.
+        assert_eq!(after.release_acked(3, 1_000).len(), 1);
+        assert_eq!(after.release(1_000).len(), 1);
+        assert_eq!(after.held_bytes(), 0);
+        // And the restored entries still count against capacity for the
+        // *next* live submission.
+        let mut after = OutputBuffer::with_limits(SafetyMode::Synchronous, 1, usize::MAX);
+        after.restore_held(pkt(1), 0);
+        assert!(matches!(
+            after.submit(pkt(1), 1),
+            Err(BufferError::Overflow { held: 1, .. })
+        ));
     }
 
     #[test]

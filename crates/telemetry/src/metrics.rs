@@ -53,11 +53,23 @@ pub enum Counter {
     /// Configured `pause_workers` values clamped to host parallelism at
     /// protect time.
     PauseWorkerClamps,
+    /// Fleet rounds that skipped an already-quarantined tenant (stale
+    /// incidents, as opposed to fresh `Quarantines`).
+    FleetSkips,
+    /// Epochs that ran in degraded mode: the backup was unreachable, the
+    /// guest kept speculating, and the epoch's outputs stayed impounded.
+    DegradedEpochs,
+    /// Drain sessions that resumed a partially-drained slot from its
+    /// progress cursor instead of restarting from page zero.
+    DrainResyncs,
+    /// Drains rerouted to a standby backup after consecutive session
+    /// failures crossed the failover threshold.
+    BackupFailovers,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 17] = [
         Counter::EpochsCommitted,
         Counter::AttacksDetected,
         Counter::SpeculationExtensions,
@@ -71,6 +83,10 @@ impl Counter {
         Counter::DrainAcks,
         Counter::DrainFailures,
         Counter::PauseWorkerClamps,
+        Counter::FleetSkips,
+        Counter::DegradedEpochs,
+        Counter::DrainResyncs,
+        Counter::BackupFailovers,
     ];
 
     /// The counter's stable export name (snake_case; part of the
@@ -90,6 +106,10 @@ impl Counter {
             Counter::DrainAcks => "drain_acks",
             Counter::DrainFailures => "drain_failures",
             Counter::PauseWorkerClamps => "pause_worker_clamps",
+            Counter::FleetSkips => "fleet_skips",
+            Counter::DegradedEpochs => "degraded_epochs",
+            Counter::DrainResyncs => "drain_resyncs",
+            Counter::BackupFailovers => "backup_failovers",
         }
     }
 

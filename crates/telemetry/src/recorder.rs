@@ -78,6 +78,22 @@ pub enum EventKind {
     },
     /// The tenant was quarantined (terminal).
     Quarantined,
+    /// The backup was unreachable at this boundary but the staged
+    /// backlog is still within budget: the guest keeps speculating with
+    /// the epoch's outputs impounded.
+    Degraded {
+        /// Staged epochs awaiting their drain, including this one.
+        backlog: u32,
+    },
+    /// A drain session reconnected and resumed a partially-drained slot
+    /// from its progress cursor instead of restarting.
+    DrainResync {
+        /// Pages already durable before the resync (the cursor).
+        pages: u32,
+    },
+    /// The tenant's drain was rerouted to a standby backup after
+    /// consecutive session failures crossed the failover threshold.
+    BackupFailover,
 }
 
 impl EventKind {
@@ -98,6 +114,9 @@ impl EventKind {
             EventKind::DrainAcked { .. } => "drain_acked",
             EventKind::DrainFailed { .. } => "drain_failed",
             EventKind::Quarantined => "quarantined",
+            EventKind::Degraded { .. } => "degraded",
+            EventKind::DrainResync { .. } => "drain_resync",
+            EventKind::BackupFailover => "backup_failover",
         }
     }
 
@@ -112,6 +131,8 @@ impl EventKind {
             EventKind::AckPending { held } => Some(u64::from(held)),
             EventKind::DrainAcked { pages } => Some(u64::from(pages)),
             EventKind::DrainFailed { attempts } => Some(u64::from(attempts)),
+            EventKind::Degraded { backlog } => Some(u64::from(backlog)),
+            EventKind::DrainResync { pages } => Some(u64::from(pages)),
             _ => None,
         }
     }

@@ -27,6 +27,12 @@ CRIMES_FAULT_SEED="${CRIMES_FAULT_SEED:-1592654353}" \
 CRIMES_SOAK_EPOCHS="${CRIMES_SOAK_EPOCHS:-2000}" \
     cargo test --release --offline -q --test fault_soak
 
+echo "==> journal replay determinism (crash harness, release)"
+# Kills the monitor at every journal record boundary and at every byte
+# inside a record: replay must be deterministic, torn tails must recover
+# to the previous boundary, and no output may release before its ack.
+cargo test --release --offline -q --test crash_recovery
+
 echo "==> crimes-lint: fail-closed, pause-window, fault-coverage, taxonomy, hermeticity, telemetry-purity"
 # One analyzer replaces the old grep gates: crimes-lint walks the whole
 # tree and checks the invariants rustc cannot (see DESIGN.md "Static

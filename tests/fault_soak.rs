@@ -52,6 +52,10 @@ fn soak_plan() -> FaultPlan {
         .with_rate(FaultPoint::PageCopy, 20)
         .with_rate(FaultPoint::BackupWrite, 20)
         .with_rate(FaultPoint::BackupDrain, 300)
+        // Outages refuse the drain-session handshake before any page
+        // moves; with retries the session usually reconnects, so the rate
+        // mostly exercises the resync path rather than hard failures.
+        .with_rate(FaultPoint::BackupOutage, 120)
         .with_rate(FaultPoint::PageCorrupt, 10)
         .with_rate(FaultPoint::AuditOverrun, 25)
         .with_rate(FaultPoint::ReplayDiverge, 200)
@@ -266,6 +270,11 @@ fn soak_fail_closed_under_injected_faults() {
                 assert!(consecutive >= 1);
                 extended += 1;
             }
+            Ok(EpochOutcome::Degraded { .. }) => {
+                unreachable!(
+                    "epoch {epoch}: degraded mode is disabled here (max_staged_backlog = 0)"
+                )
+            }
             Err(CrimesError::Exhausted { .. }) => {
                 // Copy retries exhausted: the framework already discarded
                 // the speculation and rolled back to verified state.
@@ -292,9 +301,13 @@ fn soak_fail_closed_under_injected_faults() {
                 }
                 | CrimesError::Checkpoint(crimes_checkpoint::CheckpointError::DrainFault {
                     ..
-                }),
+                })
+                | CrimesError::Checkpoint(
+                    crimes_checkpoint::CheckpointError::BackupUnreachable { .. },
+                ),
             ) => {
-                // BackupDrain exhausted the deferred drain's retries: the
+                // BackupDrain/BackupOutage exhausted the deferred drain's
+                // retries: the
                 // staged epoch (and every output gated on its ack) was
                 // destroyed, and the guest rolled back to verified state.
                 assert!(

@@ -104,6 +104,9 @@ fn drive(workers: usize, script: &[EpochScript]) -> Fingerprint {
             EpochOutcome::Extended { .. } => {
                 panic!("no faults armed: audits must be conclusive (workers={workers})")
             }
+            EpochOutcome::Degraded { .. } => {
+                panic!("degraded mode is disabled here: max_staged_backlog = 0 (workers={workers})")
+            }
         }
     }
     fp.committed_epochs = c.committed_epochs();

@@ -145,6 +145,9 @@ fn drive(seed: u64, epochs: u64) -> Vec<String> {
                 assert!(matches!(last.kind, EventKind::Extended { .. }));
                 assert_eq!(last.kind.arg(), Some(u64::from(consecutive)));
             }
+            Ok(EpochOutcome::Degraded { .. }) => {
+                unreachable!("epoch {epoch}: degraded mode is disabled here (max_staged_backlog = 0)")
+            }
             Err(CrimesError::Exhausted { .. }) => {
                 // Failed commit: the framework discarded the speculation,
                 // rolled back, and resumed — the timeline must show the

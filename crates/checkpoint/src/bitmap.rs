@@ -33,7 +33,7 @@ impl BitmapScan {
 
 /// Test every bit position individually, exactly like unmodified Remus.
 pub fn scan_bit_by_bit(bitmap: &DirtyBitmap) -> Vec<Pfn> {
-    let mut dirty = Vec::new(); // lint: allow(pause-window) -- the scan's result accumulator
+    let mut dirty = Vec::new();
     let words = bitmap.words();
     let num_pages = bitmap.num_pages();
     for page in 0..num_pages {
@@ -49,7 +49,7 @@ pub fn scan_bit_by_bit(bitmap: &DirtyBitmap) -> Vec<Pfn> {
 
 /// Skip clean machine words; only expand bits inside non-zero words.
 pub fn scan_wordwise(bitmap: &DirtyBitmap) -> Vec<Pfn> {
-    let mut dirty = Vec::new(); // lint: allow(pause-window) -- the scan's result accumulator
+    let mut dirty = Vec::new();
     let num_pages = bitmap.num_pages();
     for (wi, &word) in bitmap.words().iter().enumerate() {
         if word == 0 {

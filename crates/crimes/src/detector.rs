@@ -155,7 +155,7 @@ pub trait ScanModule: std::fmt::Debug + Send {
         _keys: &[u64],
         _ctx: &ScanContext<'_>,
     ) -> Result<Vec<ScanFinding>, VmiError> {
-        Ok(Vec::new()) // lint: allow(pause-window) -- an empty `Vec::new` never allocates
+        Ok(Vec::new())
     }
 }
 
@@ -295,7 +295,7 @@ impl Detector {
         dirty: &DirtyBitmap,
         epoch: u64,
     ) -> (Option<usize>, Vec<(String, VmiError)>) {
-        let mut errors = Vec::new(); // lint: allow(pause-window) -- allocates only to report errors
+        let mut errors = Vec::new();
         if let Err(e) = session.refresh_address_spaces(memory) {
             errors.push(("<session-refresh>".to_owned(), e));
             return (None, errors);

@@ -536,6 +536,7 @@ impl Crimes {
             // Re-enter the recorded quarantine without double-journalling
             // it: suspend the guest and restore the terminal marker.
             crimes.vm.vcpus_mut().pause_all();
+            // lint: allow(write-ahead-discipline) -- the latch is read back from the replayed journal, not newly decided; a second Quarantined record would double-count the epoch
             crimes.quarantined = Some(("quarantined before the crash", epoch));
         } else if state.pending_incident.is_some() {
             let _ = crimes.quarantine("incident was pending across a monitor crash");
@@ -1209,11 +1210,14 @@ impl Crimes {
     ) -> Result<EpochOutcome, CrimesError> {
         let epoch = self.checkpointer.backup().epoch();
         // Any staged-but-unacked tickets die with the speculation: their
-        // pages describe state that is being rolled away.
+        // pages describe state that is being rolled away. The journal
+        // records the discard *before* anything is released — a crash
+        // mid-loop must replay as "this epoch was abandoned", not leave
+        // tickets freed under a journal that still promises them.
+        self.journal.append(&Record::DiscardAll);
         while let Some(ticket) = self.pending_drains.pop_front() {
             self.checkpointer.release_staged(ticket);
         }
-        self.journal.append(&Record::DiscardAll);
         let discarded = self.buffer.discard();
         self.telemetry
             .add(Counter::OutputsDiscarded, u64::try_from(discarded).unwrap_or(0));
@@ -1324,10 +1328,12 @@ impl Crimes {
             return Err(CrimesError::InvalidState("no incident pending"));
         }
         let epoch = self.checkpointer.backup().epoch();
+        // Journal the discard before releasing anything (see
+        // `recover_failed_commit` for the crash-replay argument).
+        self.journal.append(&Record::DiscardAll);
         while let Some(ticket) = self.pending_drains.pop_front() {
             self.checkpointer.release_staged(ticket);
         }
-        self.journal.append(&Record::DiscardAll);
         let discarded = self.buffer.discard();
         self.telemetry
             .add(Counter::OutputsDiscarded, u64::try_from(discarded).unwrap_or(0));

@@ -124,9 +124,9 @@ impl ScanModule for CanaryScanModule {
         ctx: &ScanContext<'_>,
     ) -> Result<Vec<ScanFinding>, VmiError> {
         let Some(staged) = self.staged.as_ref() else {
-            return Ok(Vec::new()); // lint: allow(pause-window) -- an empty `Vec::new` never allocates
+            return Ok(Vec::new());
         };
-        let mut violations = Vec::new(); // lint: allow(pause-window) -- allocates only to report detections
+        let mut violations = Vec::new();
         for &key in keys {
             let Some(check) = staged.0.resolve(key as usize) else {
                 continue;
@@ -143,7 +143,7 @@ impl ScanModule for CanaryScanModule {
             });
         }
         if violations.is_empty() {
-            Ok(Vec::new()) // lint: allow(pause-window) -- an empty `Vec::new` never allocates
+            Ok(Vec::new())
         } else {
             // lint: allow(pause-window) -- allocates only to report a detection
             Ok(vec![ScanFinding {
@@ -323,7 +323,7 @@ impl ScanModule for HiddenProcessModule {
             .into_iter()
             .map(|t| t.pid)
             .collect();
-        let mut findings = Vec::new(); // lint: allow(pause-window) -- allocates only to report detections
+        let mut findings = Vec::new();
         for entry in linux::pid_hash_entries(ctx.session, ctx.memory)? {
             if !listed.contains(&entry.pid) {
                 let gpa = ctx.session.translate_kernel(entry.task_gva)?;

@@ -1,0 +1,715 @@
+//! Per-function control-flow graphs built directly from the token stream.
+//!
+//! The builder walks a function body once, splitting basic blocks on
+//! `if`/`else`, `match` arms, the three loop forms, `return`, `break`,
+//! `continue`, and the `?` operator. Every token of the body is assigned
+//! to exactly one block, in source order, so "does A precede B on all
+//! paths" reduces to block dominance plus token order within a block.
+//!
+//! Blocks entered through a refutable pattern (`match` arm, `if let`,
+//! `while let`) carry the pattern and scrutinee token ranges, which is
+//! what the release-gating rule keys on (`Pass` arms, drain-ack `Ok`
+//! arms).
+//!
+//! Construction is total and deterministic: any function body yields a
+//! CFG with an entry and an exit block, and malformed or unexpected token
+//! shapes degrade to straight-line flow rather than being skipped — a
+//! missed branch over-approximates dominance in the *unsafe* direction
+//! for at most that construct, never silently drops an effect site.
+
+use std::collections::HashMap;
+
+use crate::lexer::Token;
+use crate::model::matching_brace;
+
+/// A refutable-pattern guard on a block: the block only executes when the
+/// pattern matched the scrutinee.
+#[derive(Debug, Clone)]
+pub(crate) struct Arm {
+    /// Token range `[start, end)` of the pattern (guard included).
+    pub pattern: (usize, usize),
+    /// Token range `[start, end)` of the scrutinee / condition.
+    pub scrutinee: (usize, usize),
+}
+
+/// One basic block: the token indices it owns (in source order) and its
+/// graph edges.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Block {
+    pub tokens: Vec<usize>,
+    pub succs: Vec<usize>,
+    pub preds: Vec<usize>,
+    pub arm: Option<Arm>,
+}
+
+/// A function body's control-flow graph.
+#[derive(Debug)]
+pub(crate) struct Cfg {
+    pub blocks: Vec<Block>,
+    pub entry: usize,
+    pub exit: usize,
+    block_of: HashMap<usize, usize>,
+}
+
+impl Cfg {
+    /// The block owning the token at `tok`, if the token is in the body.
+    pub(crate) fn block_of(&self, tok: usize) -> Option<usize> {
+        self.block_of.get(&tok).copied()
+    }
+
+    pub(crate) fn edge_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.succs.len()).sum()
+    }
+}
+
+/// Build the CFG for a body token range (braces included, `[open, end)`).
+pub(crate) fn build(toks: &[Token], body: (usize, usize)) -> Cfg {
+    let mut b = Builder {
+        toks,
+        blocks: vec![Block::default(), Block::default()],
+        cur: 0,
+        loops: Vec::new(),
+    };
+    let inner_end = body.1.min(toks.len()).saturating_sub(1);
+    if body.0 + 1 <= inner_end {
+        b.region(body.0 + 1, inner_end);
+    }
+    b.edge(b.cur, EXIT);
+    let mut block_of = HashMap::new();
+    for (bi, block) in b.blocks.iter().enumerate() {
+        for &t in &block.tokens {
+            block_of.insert(t, bi);
+        }
+    }
+    Cfg {
+        blocks: b.blocks,
+        entry: 0,
+        exit: EXIT,
+        block_of,
+    }
+}
+
+const EXIT: usize = 1;
+
+struct Builder<'a> {
+    toks: &'a [Token],
+    blocks: Vec<Block>,
+    cur: usize,
+    /// Innermost-last stack of (continue target, break target).
+    loops: Vec<(usize, usize)>,
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+            self.blocks[to].preds.push(from);
+        }
+    }
+
+    fn take(&mut self, i: usize) {
+        self.blocks[self.cur].tokens.push(i);
+    }
+
+    /// Take the `{` at `open`, walk the interior, take the matching `}`,
+    /// and return the index one past it.
+    fn brace_region(&mut self, open: usize) -> usize {
+        let close = matching_brace(self.toks, open);
+        self.take(open);
+        self.region(open + 1, close.saturating_sub(1));
+        if close > open + 1 && close <= self.toks.len() {
+            self.take(close - 1);
+        }
+        close
+    }
+
+    /// Walk the statement/expression region `[lo, hi)`, splitting blocks
+    /// on control flow. `hi` is exclusive and never includes the region's
+    /// closing brace.
+    fn region(&mut self, lo: usize, hi: usize) {
+        let mut i = lo;
+        while i < hi {
+            let t = &self.toks[i];
+            if t.is("if") {
+                i = self.parse_if(i, hi);
+            } else if t.is("match") {
+                i = self.parse_match(i, hi);
+            } else if t.is("loop") || t.is("while") || t.is("for") {
+                i = self.parse_loop(i, hi);
+            } else if t.is("return") {
+                i = self.diverge(i, hi, EXIT);
+            } else if t.is("break") {
+                let target = self.loops.last().map_or(EXIT, |&(_, brk)| brk);
+                i = self.diverge(i, hi, target);
+            } else if t.is("continue") {
+                let target = self.loops.last().map_or(EXIT, |&(cont, _)| cont);
+                i = self.diverge(i, hi, target);
+            } else if t.is_punct("?") {
+                self.take(i);
+                let next = self.new_block();
+                self.edge(self.cur, EXIT);
+                self.edge(self.cur, next);
+                self.cur = next;
+                i += 1;
+            } else if t.is_punct("{") {
+                i = self.brace_region(i);
+            } else if t.is("else") {
+                // A bare `else` here comes from `let … else { … }`; the
+                // diverging block is conditional on the pattern refuting.
+                i = self.parse_let_else(i, hi);
+            } else if self.closure_starts(i) {
+                i = self.parse_closure(i, hi);
+            } else {
+                self.take(i);
+                i += 1;
+            }
+        }
+    }
+
+    /// `return`/`break`/`continue` at `i`: consume the keyword, any label,
+    /// and the value expression up to the statement end, then jump.
+    fn diverge(&mut self, i: usize, hi: usize, target: usize) -> usize {
+        self.take(i);
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        while j < hi {
+            let t = &self.toks[j];
+            if depth == 0 && (t.is_punct(";") || t.is_punct(",") || t.is_punct("}")) {
+                break;
+            }
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            self.take(j);
+            j += 1;
+        }
+        self.edge(self.cur, target);
+        self.cur = self.new_block();
+        j
+    }
+
+    /// First `{` at paren/bracket depth zero in `[from, hi)`. Condition
+    /// and scrutinee positions cannot hold un-parenthesised struct
+    /// literals, so this is the construct's body brace. `None` means the
+    /// construct shape is unexpected (e.g. `if` inside macro arguments);
+    /// the caller degrades to linear flow.
+    fn body_open(&self, from: usize, hi: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        for j in from..hi {
+            let t = &self.toks[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+                if depth < 0 {
+                    return None;
+                }
+            } else if t.is_punct("{") && depth == 0 {
+                return Some(j);
+            } else if t.is_punct(";") && depth == 0 {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// The `=` of `let <pat> = <expr>` within `[from, to)`, skipping
+    /// `==`, `=>`, and comparison tails.
+    fn let_eq(&self, from: usize, to: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        for j in from..to {
+            let t = &self.toks[j];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") || t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") || t.is_punct(">") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct("=") {
+                let prev_cmp = j > from
+                    && (self.toks[j - 1].is_punct("=")
+                        || self.toks[j - 1].is_punct("!")
+                        || self.toks[j - 1].is_punct("<")
+                        || self.toks[j - 1].is_punct(">"));
+                let next_cmp = self
+                    .toks
+                    .get(j + 1)
+                    .is_some_and(|n| n.is_punct("=") || n.is_punct(">"));
+                if !prev_cmp && !next_cmp {
+                    return Some(j);
+                }
+            }
+        }
+        None
+    }
+
+    fn parse_if(&mut self, i: usize, hi: usize) -> usize {
+        let Some(open) = self.body_open(i + 1, hi) else {
+            // `if` in a position we do not model (macro args, guards seen
+            // out of context): keep linear flow.
+            self.take(i);
+            return i + 1;
+        };
+        let is_let = self.toks.get(i + 1).is_some_and(|t| t.is("let"));
+        for j in i..open {
+            self.take(j);
+        }
+        let cond = self.cur;
+        let arm = if is_let {
+            self.let_eq(i + 2, open).map(|eq| Arm {
+                pattern: (i + 2, eq),
+                scrutinee: (eq + 1, open),
+            })
+        } else {
+            None
+        };
+        let then_b = self.new_block();
+        self.blocks[then_b].arm = arm;
+        self.edge(cond, then_b);
+        self.cur = then_b;
+        let close = self.brace_region(open);
+        let then_end = self.cur;
+
+        if self.toks.get(close).is_some_and(|t| t.is("else")) {
+            if self.toks.get(close + 1).is_some_and(|t| t.is("if")) {
+                let else_b = self.new_block();
+                self.edge(cond, else_b);
+                self.cur = else_b;
+                self.take(close);
+                let next = self.parse_if(close + 1, hi);
+                let join = self.new_block();
+                self.edge(then_end, join);
+                self.edge(self.cur, join);
+                self.cur = join;
+                next
+            } else if self.toks.get(close + 1).is_some_and(|t| t.is_punct("{")) {
+                let else_open = close + 1;
+                let else_b = self.new_block();
+                self.edge(cond, else_b);
+                self.cur = else_b;
+                self.take(close);
+                let else_close = self.brace_region(else_open);
+                let join = self.new_block();
+                self.edge(then_end, join);
+                self.edge(self.cur, join);
+                self.cur = join;
+                else_close
+            } else {
+                let join = self.new_block();
+                self.edge(then_end, join);
+                self.edge(cond, join);
+                self.cur = join;
+                close
+            }
+        } else {
+            let join = self.new_block();
+            self.edge(then_end, join);
+            self.edge(cond, join);
+            self.cur = join;
+            close
+        }
+    }
+
+    fn parse_match(&mut self, i: usize, hi: usize) -> usize {
+        let Some(open) = self.body_open(i + 1, hi) else {
+            self.take(i);
+            return i + 1;
+        };
+        for j in i..open + 1 {
+            self.take(j);
+        }
+        let scrut = (i + 1, open);
+        let cond = self.cur;
+        let close = matching_brace(self.toks, open);
+        let join = self.new_block();
+        let arms_end = close.saturating_sub(1);
+        let mut j = open + 1;
+        let mut any_arm = false;
+        while j < arms_end {
+            if self.toks[j].is_punct(",") {
+                self.take(j);
+                j += 1;
+                continue;
+            }
+            let pat_start = j;
+            let Some(fat_arrow) = self.find_fat_arrow(j, arms_end) else {
+                break;
+            };
+            let arm_block = self.new_block();
+            self.blocks[arm_block].arm = Some(Arm {
+                pattern: (pat_start, fat_arrow),
+                scrutinee: scrut,
+            });
+            self.edge(cond, arm_block);
+            self.cur = arm_block;
+            for k in pat_start..fat_arrow + 2 {
+                self.take(k);
+            }
+            let body_at = fat_arrow + 2;
+            if self.toks.get(body_at).is_some_and(|t| t.is_punct("{")) {
+                j = self.brace_region(body_at);
+            } else {
+                let expr_end = self.arm_expr_end(body_at, arms_end);
+                self.region(body_at, expr_end);
+                j = expr_end;
+            }
+            self.edge(self.cur, join);
+            any_arm = true;
+        }
+        if !any_arm {
+            self.edge(cond, join);
+        }
+        self.cur = join;
+        if close > open + 1 && close <= self.toks.len() {
+            self.take(close - 1);
+        }
+        close
+    }
+
+    /// The `=` of a `=>` at paren/bracket/brace depth zero in `[from, to)`.
+    fn find_fat_arrow(&self, from: usize, to: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        for j in from..to {
+            let t = &self.toks[j];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+            } else if depth == 0
+                && t.is_punct("=")
+                && self.toks.get(j + 1).is_some_and(|n| n.is_punct(">"))
+                && (j == from || !self.toks[j - 1].is_punct("="))
+            {
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    /// End of an expression arm body starting at `from`: the first `,` at
+    /// depth zero, or — after a block-like expression closes — the start
+    /// of the next arm (Rust lets the comma be omitted there).
+    fn arm_expr_end(&self, from: usize, to: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = from;
+        while j < to {
+            let t = &self.toks[j];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    let next = self.toks.get(j + 1);
+                    let continues = next.is_some_and(|n| {
+                        n.is_punct(".")
+                            || n.is_punct("?")
+                            || n.is_punct("+")
+                            || n.is_punct("-")
+                            || n.is_punct("*")
+                            || n.is_punct("/")
+                            || n.is("else")
+                            || n.is("as")
+                    });
+                    if !continues {
+                        return if next.is_some_and(|n| n.is_punct(",")) {
+                            j + 1
+                        } else {
+                            j + 1
+                        };
+                    }
+                }
+            } else if depth == 0 && t.is_punct(",") {
+                return j;
+            }
+            j += 1;
+        }
+        to
+    }
+
+    fn parse_loop(&mut self, i: usize, hi: usize) -> usize {
+        let Some(open) = self.body_open(i + 1, hi) else {
+            self.take(i);
+            return i + 1;
+        };
+        let is_while_let =
+            self.toks[i].is("while") && self.toks.get(i + 1).is_some_and(|t| t.is("let"));
+        let header = self.new_block();
+        self.edge(self.cur, header);
+        self.cur = header;
+        for j in i..open {
+            self.take(j);
+        }
+        let body = self.new_block();
+        if is_while_let {
+            self.blocks[body].arm = self.let_eq(i + 2, open).map(|eq| Arm {
+                pattern: (i + 2, eq),
+                scrutinee: (eq + 1, open),
+            });
+        }
+        let after = self.new_block();
+        self.edge(header, body);
+        if !self.toks[i].is("loop") {
+            self.edge(header, after);
+        }
+        self.loops.push((header, after));
+        self.cur = body;
+        let close = self.brace_region(open);
+        self.edge(self.cur, header);
+        self.loops.pop();
+        self.cur = after;
+        close
+    }
+
+    /// `let <pat> = <expr> else { <diverging block> };` — the walker meets
+    /// the `else` bare because `let` statements are otherwise linear.
+    fn parse_let_else(&mut self, i: usize, hi: usize) -> usize {
+        let Some(open) = self
+            .toks
+            .get(i + 1)
+            .filter(|t| t.is_punct("{"))
+            .map(|_| i + 1)
+        else {
+            self.take(i);
+            return i + 1;
+        };
+        self.take(i);
+        let before = self.cur;
+        let else_b = self.new_block();
+        self.edge(before, else_b);
+        self.cur = else_b;
+        let close = self.brace_region(open);
+        let join = self.new_block();
+        self.edge(self.cur, join);
+        self.edge(before, join);
+        self.cur = join;
+        close.min(hi)
+    }
+
+    /// Does a closure's parameter list start at `i`? True for `|` or `||`
+    /// preceded by a token that can only introduce a closure expression.
+    fn closure_starts(&self, i: usize) -> bool {
+        if !self.toks[i].is_punct("|") {
+            return false;
+        }
+        match i.checked_sub(1).map(|p| &self.toks[p]) {
+            None => true,
+            Some(p) => {
+                p.is_punct("(")
+                    || p.is_punct(",")
+                    || p.is_punct("=")
+                    || p.is_punct("{")
+                    || p.is_punct(";")
+                    || p.is_punct(":")
+                    || p.is("move")
+                    || p.is("return")
+                    || p.is("else")
+            }
+        }
+    }
+
+    /// A closure body runs zero or more times: model a brace body as a
+    /// conditionally-executed region. Expression bodies stay linear (they
+    /// keep the walk simple and only widen dominance, which is the
+    /// conservative direction for the gating rules' *sites*; gates inside
+    /// expression closures are rare enough to accept).
+    fn parse_closure(&mut self, i: usize, hi: usize) -> usize {
+        self.take(i);
+        let mut j = i + 1;
+        if self.toks.get(j).is_some_and(|t| t.is_punct("|")) {
+            self.take(j);
+            j += 1;
+        } else {
+            let mut depth = 0i32;
+            while j < hi {
+                let t = &self.toks[j];
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct(">") {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct("|") {
+                    self.take(j);
+                    j += 1;
+                    break;
+                }
+                self.take(j);
+                j += 1;
+            }
+        }
+        // Optional `-> Type` before a brace body.
+        if self.toks.get(j).is_some_and(|t| t.is_punct("-"))
+            && self.toks.get(j + 1).is_some_and(|t| t.is_punct(">"))
+        {
+            while j < hi && !self.toks[j].is_punct("{") {
+                self.take(j);
+                j += 1;
+            }
+        }
+        if self.toks.get(j).is_some_and(|t| t.is_punct("{")) {
+            let before = self.cur;
+            let body = self.new_block();
+            self.edge(before, body);
+            self.cur = body;
+            let close = self.brace_region(j);
+            let join = self.new_block();
+            self.edge(self.cur, join);
+            self.edge(before, join);
+            self.cur = join;
+            close
+        } else {
+            j
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn cfg_of(src: &str) -> (SourceFile, Cfg) {
+        let f = SourceFile::parse("crates/x/src/lib.rs".into(), "crates/x".into(), src);
+        let body = f.fns[0].body.expect("fn has a body");
+        let cfg = build(&f.tokens, body);
+        (f, cfg)
+    }
+
+    fn block_of_ident(f: &SourceFile, cfg: &Cfg, name: &str) -> usize {
+        let tok = f.tokens.iter().position(|t| t.is(name)).expect("ident");
+        cfg.block_of(tok).expect("token owned by a block")
+    }
+
+    #[test]
+    fn straight_line_body_is_entry_then_exit() {
+        let (_, cfg) = cfg_of("fn f() { let a = 1; let b = 2; }");
+        assert_eq!(cfg.blocks[cfg.entry].succs, [cfg.exit]);
+    }
+
+    #[test]
+    fn if_else_forks_and_rejoins() {
+        let (f, cfg) = cfg_of("fn f(c: bool) { if c { then_side(); } else { else_side(); } after(); }");
+        let t = block_of_ident(&f, &cfg, "then_side");
+        let e = block_of_ident(&f, &cfg, "else_side");
+        let a = block_of_ident(&f, &cfg, "after");
+        assert_ne!(t, e);
+        assert!(cfg.blocks[t].succs.contains(&a));
+        assert!(cfg.blocks[e].succs.contains(&a));
+    }
+
+    #[test]
+    fn if_without_else_lets_the_condition_skip_the_body() {
+        let (f, cfg) = cfg_of("fn f(c: bool) { before(); if c { inside(); } after(); }");
+        let cond = block_of_ident(&f, &cfg, "before");
+        let body = block_of_ident(&f, &cfg, "inside");
+        let after = block_of_ident(&f, &cfg, "after");
+        assert!(cfg.blocks[cond].succs.contains(&body));
+        assert!(cfg.blocks[cond].succs.contains(&after));
+    }
+
+    #[test]
+    fn match_arms_branch_from_the_scrutinee_and_carry_patterns() {
+        let (f, cfg) = cfg_of(
+            "fn f(v: V) { match check(v) { V::Pass => release(), V::Fail => hold(), } done(); }",
+        );
+        let rel = block_of_ident(&f, &cfg, "release");
+        let hold = block_of_ident(&f, &cfg, "hold");
+        assert_ne!(rel, hold);
+        let arm = cfg.blocks[rel].arm.as_ref().expect("arm info");
+        let pat: Vec<&str> = (arm.pattern.0..arm.pattern.1)
+            .map(|i| f.tokens[i].text.as_str())
+            .collect();
+        assert!(pat.contains(&"Pass"));
+        let scrut: Vec<&str> = (arm.scrutinee.0..arm.scrutinee.1)
+            .map(|i| f.tokens[i].text.as_str())
+            .collect();
+        assert!(scrut.contains(&"check"));
+    }
+
+    #[test]
+    fn return_ends_the_path_and_question_mark_forks_to_exit() {
+        let (f, cfg) = cfg_of("fn f() -> R { step()?; if bad() { return err(); } tail(); }");
+        let step = block_of_ident(&f, &cfg, "step");
+        assert!(cfg.blocks[step].succs.contains(&cfg.exit), "? reaches exit");
+        let ret = block_of_ident(&f, &cfg, "err");
+        assert!(cfg.blocks[ret].succs.contains(&cfg.exit));
+        let tail = block_of_ident(&f, &cfg, "tail");
+        assert!(!cfg.blocks[ret].succs.contains(&tail));
+    }
+
+    #[test]
+    fn loops_cycle_back_and_break_targets_the_after_block() {
+        let (f, cfg) = cfg_of(
+            "fn f() { while cond() { if out() { break; } body(); } after(); }",
+        );
+        let body = block_of_ident(&f, &cfg, "body");
+        let after = block_of_ident(&f, &cfg, "after");
+        // The body's fall-through eventually cycles to the header, and the
+        // break block reaches `after` without passing the header.
+        let brk = f.tokens.iter().position(|t| t.is("break")).unwrap();
+        let brk_block = cfg.block_of(brk).unwrap();
+        assert!(cfg.blocks[brk_block].succs.contains(&after));
+        assert!(!cfg.blocks[body].succs.contains(&after));
+    }
+
+    #[test]
+    fn while_let_bodies_carry_the_pattern_as_an_arm() {
+        let (f, cfg) = cfg_of("fn f(q: Q) { while let Some(x) = q.pop() { use_it(x); } }");
+        let body = block_of_ident(&f, &cfg, "use_it");
+        let arm = cfg.blocks[body].arm.as_ref().expect("while-let arm");
+        let pat: Vec<&str> = (arm.pattern.0..arm.pattern.1)
+            .map(|i| f.tokens[i].text.as_str())
+            .collect();
+        assert!(pat.contains(&"Some"));
+    }
+
+    #[test]
+    fn every_token_is_owned_by_exactly_one_block() {
+        let src = "fn f(v: V) -> R { let mut n = 0; for x in v.iter() { match x { A => n += 1, B => { if n > 3 { return early(); } } _ => {} } } finish(n)? }";
+        let (f, cfg) = cfg_of(src);
+        let body = f.fns[0].body.unwrap();
+        for i in body.0 + 1..body.1 - 1 {
+            assert!(
+                cfg.block_of(i).is_some(),
+                "token {} `{}` (line {}) unowned",
+                i,
+                f.tokens[i].text,
+                f.tokens[i].line
+            );
+        }
+        let owned: usize = cfg.blocks.iter().map(|b| b.tokens.len()).sum();
+        assert_eq!(owned, body.1 - 1 - (body.0 + 1));
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let src = "fn f() { if a { b()?; } else { while let Some(x) = c() { d(x); } } e(); }";
+        let (f, cfg1) = cfg_of(src);
+        let body = f.fns[0].body.unwrap();
+        let cfg2 = build(&f.tokens, body);
+        assert_eq!(cfg1.blocks.len(), cfg2.blocks.len());
+        for (a, b) in cfg1.blocks.iter().zip(&cfg2.blocks) {
+            assert_eq!(a.tokens, b.tokens);
+            assert_eq!(a.succs, b.succs);
+        }
+    }
+
+    #[test]
+    fn closures_are_conditionally_executed() {
+        let (f, cfg) = cfg_of("fn f(v: &[u8]) { v.iter().for_each(|x| { work(x); }); after(); }");
+        let work = block_of_ident(&f, &cfg, "work");
+        let after = block_of_ident(&f, &cfg, "after");
+        assert_ne!(work, after);
+        // `after` is reachable without entering the closure body.
+        let call = block_of_ident(&f, &cfg, "for_each");
+        assert!(cfg.blocks[call].succs.iter().any(|&s| s != work));
+    }
+}

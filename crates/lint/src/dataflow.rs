@@ -1,0 +1,512 @@
+//! Dominator/post-dominator computation over [`crate::cfg`] graphs, and
+//! the interprocedural gating engine the ordering rules share.
+//!
+//! A *gate* is a program point that must come first: a matching
+//! `journal.append(&Record::…)` for write-ahead-discipline, an audit
+//! `Pass` / drain-ack `Ok` arm for release-gating. A *site* is the
+//! effect being gated. The question both rules ask is the same: is every
+//! path from the function entry to the site forced through a gate?
+//! Intraprocedurally that is dominance; when a function has no local
+//! gate, the obligation is pushed to *every* call site of that function
+//! in the same crate (the existing name-based call-graph approximation),
+//! recursively, failing closed on recursion and on functions nobody
+//! calls.
+
+use std::collections::HashMap;
+
+use crate::cfg::{self, Cfg};
+use crate::lexer::TokenKind;
+use crate::model::{FnItem, SourceFile};
+
+/// Iterative dominator computation (Cooper–Harvey–Kennedy). Returns the
+/// immediate dominator of each block; `None` for blocks unreachable from
+/// the entry. `idom[entry] == Some(entry)`.
+pub(crate) fn dominators(cfg: &Cfg) -> Vec<Option<usize>> {
+    let n = cfg.blocks.len();
+    // Reverse postorder from the entry.
+    let rpo = postorder(cfg, cfg.entry).into_iter().rev().collect::<Vec<_>>();
+    let mut rpo_num = vec![usize::MAX; n];
+    for (k, &b) in rpo.iter().enumerate() {
+        rpo_num[b] = k;
+    }
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[cfg.entry] = Some(cfg.entry);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for &p in &cfg.blocks[b].preds {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &rpo_num, p, cur),
+                });
+            }
+            if new_idom.is_some() && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(idom: &[Option<usize>], rpo_num: &[usize], a: usize, b: usize) -> usize {
+    let (mut a, mut b) = (a, b);
+    while a != b {
+        while rpo_num[a] > rpo_num[b] {
+            a = idom[a].unwrap_or(a);
+        }
+        while rpo_num[b] > rpo_num[a] {
+            b = idom[b].unwrap_or(b);
+        }
+    }
+    a
+}
+
+fn postorder(cfg: &Cfg, entry: usize) -> Vec<usize> {
+    let n = cfg.blocks.len();
+    let mut seen = vec![false; n];
+    let mut out = Vec::with_capacity(n);
+    // Iterative DFS with an explicit (block, next-succ) stack.
+    let mut stack = vec![(entry, 0usize)];
+    seen[entry] = true;
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        if let Some(&s) = cfg.blocks[b].succs.get(*next) {
+            *next += 1;
+            if !seen[s] {
+                seen[s] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            out.push(b);
+            stack.pop();
+        }
+    }
+    out
+}
+
+/// `true` when block `a` dominates block `b` (every path from entry to
+/// `b` passes through `a`). Reflexive. Unreachable blocks are dominated
+/// by nothing (the conservative answer for "is this site gated").
+pub(crate) fn dominates(idom: &[Option<usize>], a: usize, b: usize) -> bool {
+    if a == b {
+        return true;
+    }
+    let mut cur = b;
+    loop {
+        match idom[cur] {
+            Some(d) if d == cur => return false, // reached the entry
+            Some(d) if d == a => return true,
+            Some(d) => cur = d,
+            None => return false,
+        }
+    }
+}
+
+/// Iterative post-dominator computation: dominators of the edge-reversed
+/// graph, rooted at the exit block. `ipdom[exit] == Some(exit)`; `None`
+/// for blocks that cannot reach the exit.
+pub(crate) fn postdominators(cfg: &Cfg) -> Vec<Option<usize>> {
+    let n = cfg.blocks.len();
+    let rpo = postorder_rev(cfg, cfg.exit).into_iter().rev().collect::<Vec<_>>();
+    let mut rpo_num = vec![usize::MAX; n];
+    for (k, &b) in rpo.iter().enumerate() {
+        rpo_num[b] = k;
+    }
+    let mut ipdom: Vec<Option<usize>> = vec![None; n];
+    ipdom[cfg.exit] = Some(cfg.exit);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_ipdom: Option<usize> = None;
+            for &s in &cfg.blocks[b].succs {
+                if ipdom[s].is_none() {
+                    continue;
+                }
+                new_ipdom = Some(match new_ipdom {
+                    None => s,
+                    Some(cur) => intersect(&ipdom, &rpo_num, s, cur),
+                });
+            }
+            if new_ipdom.is_some() && ipdom[b] != new_ipdom {
+                ipdom[b] = new_ipdom;
+                changed = true;
+            }
+        }
+    }
+    ipdom
+}
+
+/// Postorder DFS over the reversed edges, from the exit block.
+fn postorder_rev(cfg: &Cfg, exit: usize) -> Vec<usize> {
+    let n = cfg.blocks.len();
+    let mut seen = vec![false; n];
+    let mut out = Vec::with_capacity(n);
+    let mut stack = vec![(exit, 0usize)];
+    seen[exit] = true;
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        if let Some(&p) = cfg.blocks[b].preds.get(*next) {
+            *next += 1;
+            if !seen[p] {
+                seen[p] = true;
+                stack.push((p, 0));
+            }
+        } else {
+            out.push(b);
+            stack.pop();
+        }
+    }
+    out
+}
+
+/// A gate position inside one function's CFG.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Gate {
+    /// A specific token (e.g. the `append` call); gates everything it
+    /// dominates, and later tokens of its own block.
+    Tok(usize),
+    /// A whole block (e.g. a `Pass` match arm); gates its entire
+    /// dominated region, itself included.
+    Block(usize),
+}
+
+/// One function's CFG plus its dominator and post-dominator trees, built
+/// once and cached.
+pub(crate) struct FnFlow {
+    pub cfg: Cfg,
+    pub idom: Vec<Option<usize>>,
+    pub ipdom: Vec<Option<usize>>,
+}
+
+impl FnFlow {
+    /// Is the site token preceded by one of `gates` on every path from
+    /// the function entry?
+    pub(crate) fn gated(&self, gates: &[Gate], site_tok: usize) -> bool {
+        let Some(sb) = self.cfg.block_of(site_tok) else {
+            return false;
+        };
+        gates.iter().any(|g| match *g {
+            Gate::Block(gb) => dominates(&self.idom, gb, sb),
+            Gate::Tok(gt) => match self.cfg.block_of(gt) {
+                Some(gb) if gb == sb => gt < site_tok,
+                Some(gb) => dominates(&self.idom, gb, sb),
+                None => false,
+            },
+        })
+    }
+
+    /// Does one of `gates` *post-dominate* the site — i.e. the gate runs
+    /// after the site on every path to the exit? An ungated effect whose
+    /// matching journal append post-dominates it is the classic
+    /// effect-then-record inversion: the fix is a reorder, not a missing
+    /// append, and the diagnostic should say so.
+    pub(crate) fn gate_follows(&self, gates: &[Gate], site_tok: usize) -> bool {
+        let Some(sb) = self.cfg.block_of(site_tok) else {
+            return false;
+        };
+        gates.iter().any(|g| match *g {
+            Gate::Block(gb) => dominates(&self.ipdom, gb, sb),
+            Gate::Tok(gt) => match self.cfg.block_of(gt) {
+                Some(gb) if gb == sb => gt > site_tok,
+                Some(gb) => dominates(&self.ipdom, gb, sb),
+                None => false,
+            },
+        })
+    }
+}
+
+/// Identifies a function: (file index, fn index) as in [`crate::callgraph`].
+pub(crate) type FnId = (usize, usize);
+
+/// The interprocedural gating engine: lazy per-function flow graphs and
+/// a crate-local call-site index.
+pub(crate) struct Gating<'a> {
+    pub files: &'a [SourceFile],
+    flows: HashMap<FnId, FnFlow>,
+    /// (crate key, callee name) → call sites as (caller, call token).
+    call_sites: HashMap<(String, String), Vec<(FnId, usize)>>,
+}
+
+impl<'a> Gating<'a> {
+    pub(crate) fn new(files: &'a [SourceFile]) -> Gating<'a> {
+        let mut call_sites: HashMap<(String, String), Vec<(FnId, usize)>> = HashMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (fj, f) in file.fns.iter().enumerate() {
+                if f.is_test {
+                    continue;
+                }
+                let Some((start, end)) = f.body else { continue };
+                let toks = &file.tokens;
+                for i in start..end.min(toks.len()) {
+                    if toks[i].kind != TokenKind::Ident
+                        || !toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+                    {
+                        continue;
+                    }
+                    if i > 0 && (toks[i - 1].is("fn") || toks[i - 1].is_punct("!")) {
+                        continue;
+                    }
+                    call_sites
+                        .entry((file.crate_key.clone(), toks[i].text.clone()))
+                        .or_default()
+                        .push(((fi, fj), i));
+                }
+            }
+        }
+        Gating {
+            files,
+            flows: HashMap::new(),
+            call_sites,
+        }
+    }
+
+    pub(crate) fn flow(&mut self, id: FnId) -> Option<&FnFlow> {
+        let (fi, fj) = id;
+        let body = self.files[fi].fns[fj].body?;
+        Some(self.flows.entry(id).or_insert_with(|| {
+            let cfg = cfg::build(&self.files[fi].tokens, body);
+            let idom = dominators(&cfg);
+            let ipdom = postdominators(&cfg);
+            FnFlow { cfg, idom, ipdom }
+        }))
+    }
+
+    /// Is the site at `(id, site_tok)` gated in `id` itself, or — when
+    /// `id` has no local gate at all — at *every* call site of `id` in
+    /// its crate? `find_gates` produces the gate set for any function the
+    /// obligation propagates to. Recursion and uncalled functions fail
+    /// closed (ungated).
+    pub(crate) fn site_gated(
+        &mut self,
+        id: FnId,
+        site_tok: usize,
+        find_gates: &dyn Fn(&SourceFile, &FnItem, &FnFlow) -> Vec<Gate>,
+    ) -> bool {
+        self.site_gated_inner(id, site_tok, find_gates, &mut Vec::new())
+    }
+
+    fn site_gated_inner(
+        &mut self,
+        id: FnId,
+        site_tok: usize,
+        find_gates: &dyn Fn(&SourceFile, &FnItem, &FnFlow) -> Vec<Gate>,
+        visiting: &mut Vec<FnId>,
+    ) -> bool {
+        if visiting.contains(&id) {
+            return false; // recursion: no path is forced through a gate
+        }
+        let (fi, fj) = id;
+        let files = self.files;
+        let gates = {
+            let Some(flow) = self.flow(id) else {
+                return false;
+            };
+            let file = &files[fi];
+            // Only gates that resolve inside *this* function's CFG are
+            // local; a rule may hand back candidates from the whole file.
+            let gates: Vec<Gate> = find_gates(file, &file.fns[fj], flow)
+                .into_iter()
+                .filter(|g| match *g {
+                    Gate::Tok(t) => flow.cfg.block_of(t).is_some(),
+                    Gate::Block(b) => b < flow.cfg.blocks.len(),
+                })
+                .collect();
+            if flow.gated(&gates, site_tok) {
+                return true;
+            }
+            gates
+        };
+        if !gates.is_empty() {
+            // A local gate exists but does not dominate this site: the
+            // function itself decides the ordering and gets it wrong on
+            // some path. Do not launder that through callers.
+            return false;
+        }
+        let key = (
+            self.files[fi].crate_key.clone(),
+            self.files[fi].fns[fj].name.clone(),
+        );
+        let Some(sites) = self.call_sites.get(&key).cloned() else {
+            return false;
+        };
+        let callers: Vec<(FnId, usize)> = sites.into_iter().filter(|&(c, _)| c != id).collect();
+        if callers.is_empty() {
+            return false;
+        }
+        visiting.push(id);
+        let all_gated = callers
+            .iter()
+            .all(|&(caller, call_tok)| self.site_gated_inner(caller, call_tok, find_gates, visiting));
+        visiting.pop();
+        all_gated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build;
+    use crate::model::SourceFile;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/lib.rs".into(), "crates/x".into(), src)
+    }
+
+    fn tok_of(f: &SourceFile, name: &str) -> usize {
+        f.tokens.iter().position(|t| t.is(name)).expect("ident")
+    }
+
+    #[test]
+    fn a_straight_line_gate_dominates_later_sites() {
+        let f = parse("fn f() { gate(); site(); }");
+        let cfg = build(&f.tokens, f.fns[0].body.unwrap());
+        let idom = dominators(&cfg);
+        let ipdom = postdominators(&cfg);
+        let flow = FnFlow { cfg, idom, ipdom };
+        let g = tok_of(&f, "gate");
+        let s = tok_of(&f, "site");
+        assert!(flow.gated(&[Gate::Tok(g)], s));
+        assert!(!flow.gated(&[Gate::Tok(s)], g), "order matters in a block");
+    }
+
+    #[test]
+    fn a_gate_on_one_branch_does_not_dominate_the_join() {
+        let f = parse("fn f(c: bool) { if c { gate(); } site(); }");
+        let cfg = build(&f.tokens, f.fns[0].body.unwrap());
+        let idom = dominators(&cfg);
+        let ipdom = postdominators(&cfg);
+        let flow = FnFlow { cfg, idom, ipdom };
+        assert!(!flow.gated(&[Gate::Tok(tok_of(&f, "gate"))], tok_of(&f, "site")));
+    }
+
+    #[test]
+    fn a_gate_before_the_branch_dominates_both_arms() {
+        let f = parse("fn f(c: bool) { gate(); if c { site_a(); } else { site_b(); } }");
+        let cfg = build(&f.tokens, f.fns[0].body.unwrap());
+        let idom = dominators(&cfg);
+        let ipdom = postdominators(&cfg);
+        let flow = FnFlow { cfg, idom, ipdom };
+        let g = [Gate::Tok(tok_of(&f, "gate"))];
+        assert!(flow.gated(&g, tok_of(&f, "site_a")));
+        assert!(flow.gated(&g, tok_of(&f, "site_b")));
+    }
+
+    #[test]
+    fn arm_blocks_gate_their_own_contents() {
+        let f = parse("fn f(v: V) { match v { V::Pass => { site(); } _ => {} } after(); }");
+        let cfg = build(&f.tokens, f.fns[0].body.unwrap());
+        let site_block = cfg.block_of(tok_of(&f, "site")).unwrap();
+        let idom = dominators(&cfg);
+        let ipdom = postdominators(&cfg);
+        let flow = FnFlow { cfg, idom, ipdom };
+        assert!(flow.gated(&[Gate::Block(site_block)], tok_of(&f, "site")));
+        assert!(!flow.gated(&[Gate::Block(site_block)], tok_of(&f, "after")));
+    }
+
+    #[test]
+    fn question_mark_splits_do_not_break_dominance() {
+        let f = parse("fn f() -> R { gate(); step()?; site(); }");
+        let cfg = build(&f.tokens, f.fns[0].body.unwrap());
+        let idom = dominators(&cfg);
+        let ipdom = postdominators(&cfg);
+        let flow = FnFlow { cfg, idom, ipdom };
+        assert!(flow.gated(&[Gate::Tok(tok_of(&f, "gate"))], tok_of(&f, "site")));
+    }
+
+    #[test]
+    fn ungated_helpers_are_cleared_by_gated_callers() {
+        let f = parse(
+            "fn seal() { gate(); push_ticket(); }\n\
+             fn push_ticket() { site(); }",
+        );
+        let files = vec![f];
+        let mut gating = Gating::new(&files);
+        let site = tok_of(&files[0], "site");
+        let find = |file: &SourceFile, _f: &FnItem, flow: &FnFlow| {
+            let _ = flow;
+            file.tokens
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.is("gate"))
+                .map(|(i, _)| Gate::Tok(i))
+                .collect::<Vec<_>>()
+        };
+        assert!(gating.site_gated((0, 1), site, &find));
+    }
+
+    #[test]
+    fn an_ungated_caller_taints_the_helper() {
+        let f = parse(
+            "fn good() { gate(); push_ticket(); }\n\
+             fn bad() { push_ticket(); }\n\
+             fn push_ticket() { site(); }",
+        );
+        let files = vec![f];
+        let mut gating = Gating::new(&files);
+        let site = tok_of(&files[0], "site");
+        let find = |file: &SourceFile, _f: &FnItem, _flow: &FnFlow| {
+            file.tokens
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.is("gate"))
+                .map(|(i, _)| Gate::Tok(i))
+                .collect::<Vec<_>>()
+        };
+        assert!(!gating.site_gated((0, 2), site, &find));
+    }
+
+    #[test]
+    fn uncalled_and_recursive_functions_fail_closed() {
+        let f = parse("fn orphan() { site(); }\nfn looper() { looper(); site2(); }");
+        let files = vec![f];
+        let mut gating = Gating::new(&files);
+        let no_gates = |_: &SourceFile, _: &FnItem, _: &FnFlow| Vec::<Gate>::new();
+        let site = tok_of(&files[0], "site");
+        assert!(!gating.site_gated((0, 0), site, &no_gates));
+        let site2 = tok_of(&files[0], "site2");
+        assert!(!gating.site_gated((0, 1), site2, &no_gates));
+    }
+
+    #[test]
+    fn a_join_block_postdominates_both_arms_but_one_arm_does_not() {
+        let f = parse("fn f(c: bool) { if c { site_a(); } else { site_b(); } after(); }");
+        let cfg = build(&f.tokens, f.fns[0].body.unwrap());
+        let a = cfg.block_of(tok_of(&f, "site_a")).unwrap();
+        let b = cfg.block_of(tok_of(&f, "site_b")).unwrap();
+        let join = cfg.block_of(tok_of(&f, "after")).unwrap();
+        let ipdom = postdominators(&cfg);
+        assert!(dominates(&ipdom, join, a), "join postdominates the then-arm");
+        assert!(dominates(&ipdom, join, b), "join postdominates the else-arm");
+        assert!(!dominates(&ipdom, a, cfg.entry), "one arm does not postdominate entry");
+    }
+
+    #[test]
+    fn a_gate_after_the_site_is_reported_as_an_inversion() {
+        // The effect-then-record bug: the append exists but runs second.
+        let f = parse("fn f() { site(); gate(); }");
+        let cfg = build(&f.tokens, f.fns[0].body.unwrap());
+        let idom = dominators(&cfg);
+        let ipdom = postdominators(&cfg);
+        let flow = FnFlow { cfg, idom, ipdom };
+        let g = [Gate::Tok(tok_of(&f, "gate"))];
+        let site = tok_of(&f, "site");
+        assert!(!flow.gated(&g, site));
+        assert!(flow.gate_follows(&g, site));
+    }
+
+    #[test]
+    fn a_gate_on_one_exit_path_does_not_postdominate() {
+        let f = parse("fn f(c: bool) { site(); if c { return; } gate(); }");
+        let cfg = build(&f.tokens, f.fns[0].body.unwrap());
+        let idom = dominators(&cfg);
+        let ipdom = postdominators(&cfg);
+        let flow = FnFlow { cfg, idom, ipdom };
+        let g = [Gate::Tok(tok_of(&f, "gate"))];
+        assert!(!flow.gate_follows(&g, tok_of(&f, "site")));
+    }
+}

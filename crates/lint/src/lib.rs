@@ -27,9 +27,12 @@
 //! every suppression it honoured (and flags the stale ones).
 
 mod callgraph;
+mod cfg;
+mod dataflow;
 mod lexer;
 mod model;
 mod rules;
+mod taint;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -80,6 +83,18 @@ pub struct LintConfig {
     pub soak_test: String,
     /// Path prefixes allowed to read wall clocks in test code.
     pub blessed_timing: Vec<String>,
+    /// Files whose journal-recorded effects the write-ahead-discipline
+    /// rule checks (evidence pipeline state machines).
+    pub effect_files: Vec<String>,
+    /// Files whose `buffer.release*` call sites the release-gating rule
+    /// checks.
+    pub release_files: Vec<String>,
+    /// The `OutputBuffer` implementation, for the ack-scan totality
+    /// check.
+    pub outbuf_buffer: String,
+    /// Files the guest-taint-arithmetic rule analyzes (everything that
+    /// parses guest memory, handshake fields, or journal replay bytes).
+    pub taint_files: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -99,6 +114,27 @@ impl Default for LintConfig {
             faults_lib: "crates/faults/src/lib.rs".into(),
             soak_test: "tests/fault_soak.rs".into(),
             blessed_timing: vec!["crates/bench/".into()],
+            effect_files: [
+                "crates/crimes/src/framework.rs",
+                "crates/checkpoint/src/engine.rs",
+                "crates/checkpoint/src/staging.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
+            release_files: ["crates/crimes/src/framework.rs"].map(String::from).to_vec(),
+            outbuf_buffer: "crates/outbuf/src/buffer.rs".into(),
+            taint_files: [
+                "crates/vmi/src/canary.rs",
+                "crates/vmi/src/linux.rs",
+                "crates/vmi/src/session.rs",
+                "crates/journal/src/journal.rs",
+                "crates/checkpoint/src/engine.rs",
+                "crates/checkpoint/src/staging.rs",
+                "crates/checkpoint/src/backup.rs",
+                "crates/outbuf/src/scan.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
         }
     }
 }
@@ -115,18 +151,25 @@ pub struct Suppressed {
 pub struct LintReport {
     pub diagnostics: Vec<Diagnostic>,
     pub suppressed: Vec<Suppressed>,
-    /// Allows that matched no diagnostic (stale exceptions).
+    /// Allows that matched no diagnostic (stale exceptions). These fail
+    /// the run: an allow that suppresses nothing is drift in the ledger.
     pub unused_allows: Vec<(String, Allow)>,
+    /// Rules that panicked instead of finishing, as (rule, panic
+    /// message). Any entry means the run's "clean" verdict is
+    /// meaningless — the binary maps this to its own exit code.
+    pub aborted: Vec<(String, String)>,
 }
 
 impl LintReport {
-    /// `true` when nothing unsuppressed was found.
+    /// `true` when nothing unsuppressed was found, no allow is stale,
+    /// and every rule ran to completion.
     pub fn ok(&self) -> bool {
-        self.diagnostics.is_empty()
+        self.diagnostics.is_empty() && self.unused_allows.is_empty() && self.aborted.is_empty()
     }
 
-    /// Human-readable rendering: every error, then the suppression
-    /// ledger, then the verdict line.
+    /// Human-readable rendering: every error, then stale allows and
+    /// aborted rules (both errors), then the suppression ledger and the
+    /// verdict line.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for d in &self.diagnostics {
@@ -135,8 +178,14 @@ impl LintReport {
         for (path, allow) in &self.unused_allows {
             let _ = writeln!(
                 out,
-                "warning[unused-allow]: `lint: allow({})` matches no diagnostic\n  --> {}:{}",
+                "error[stale-allow]: `lint: allow({})` matches no diagnostic; remove it or restore what it excused\n  --> {}:{}",
                 allow.rule, path, allow.line
+            );
+        }
+        for (rule, msg) in &self.aborted {
+            let _ = writeln!(
+                out,
+                "error[internal]: rule `{rule}` aborted before finishing: {msg}"
             );
         }
         let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
@@ -154,15 +203,129 @@ impl LintReport {
         };
         let _ = writeln!(
             out,
-            "crimes-lint: {} error{}, {}, {} unused allow{}",
+            "crimes-lint: {} error{}, {}, {} stale allow{}{}",
             self.diagnostics.len(),
             if self.diagnostics.len() == 1 { "" } else { "s" },
             ledger,
             self.unused_allows.len(),
             if self.unused_allows.len() == 1 { "" } else { "s" },
+            if self.aborted.is_empty() {
+                String::new()
+            } else {
+                format!(", {} rule(s) aborted", self.aborted.len())
+            },
         );
         out
     }
+
+    /// Machine-readable rendering: diagnostics, per-rule counts over all
+    /// known rules, the honoured allow ledger, stale allows, and aborted
+    /// rules. Hand-rolled (the workspace is dependency-free), schema
+    /// versioned for CI consumers.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": 1,\n");
+        let _ = writeln!(out, "  \"ok\": {},", self.ok());
+        let mut counts: BTreeMap<&str, usize> = ALL_RULES.iter().map(|r| (*r, 0)).collect();
+        for d in &self.diagnostics {
+            *counts.entry(d.rule).or_default() += 1;
+        }
+        out.push_str("  \"counts\": {");
+        let parts: Vec<String> = counts
+            .iter()
+            .map(|(rule, n)| format!("\"{rule}\": {n}"))
+            .collect();
+        out.push_str(&parts.join(", "));
+        out.push_str("},\n  \"diagnostics\": [");
+        let parts: Vec<String> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                format!(
+                    "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+                    d.rule,
+                    json_escape(&d.path),
+                    d.line,
+                    d.col,
+                    json_escape(&d.message)
+                )
+            })
+            .collect();
+        out.push_str(&parts.join(","));
+        if !parts.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"suppressed\": [");
+        let parts: Vec<String> = self
+            .suppressed
+            .iter()
+            .map(|s| {
+                format!(
+                    "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}",
+                    s.diagnostic.rule,
+                    json_escape(&s.diagnostic.path),
+                    s.diagnostic.line,
+                    json_escape(&s.reason)
+                )
+            })
+            .collect();
+        out.push_str(&parts.join(","));
+        if !parts.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"stale_allows\": [");
+        let parts: Vec<String> = self
+            .unused_allows
+            .iter()
+            .map(|(path, a)| {
+                format!(
+                    "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}}}",
+                    json_escape(&a.rule),
+                    json_escape(path),
+                    a.line
+                )
+            })
+            .collect();
+        out.push_str(&parts.join(","));
+        if !parts.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"aborted\": [");
+        let parts: Vec<String> = self
+            .aborted
+            .iter()
+            .map(|(rule, msg)| {
+                format!(
+                    "\n    {{\"rule\": \"{}\", \"error\": \"{}\"}}",
+                    json_escape(rule),
+                    json_escape(msg)
+                )
+            })
+            .collect();
+        out.push_str(&parts.join(","));
+        if !parts.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Lint the tree rooted at `root` with the default CRIMES configuration.
@@ -171,16 +334,102 @@ pub fn run(root: &Path) -> io::Result<LintReport> {
 }
 
 /// Lint the tree rooted at `root` with an explicit configuration.
+///
+/// Every rule runs under `catch_unwind`: a rule that panics contributes
+/// no diagnostics but is recorded in [`LintReport::aborted`], so a
+/// broken analyzer can never masquerade as a clean tree.
 pub fn run_with(root: &Path, config: &LintConfig) -> io::Result<LintReport> {
     let (files, manifests) = load_tree(root)?;
     let mut diagnostics = Vec::new();
-    diagnostics.extend(rules::panic_freedom(&files, config));
-    diagnostics.extend(rules::pause_window(&files));
-    diagnostics.extend(rules::fault_coverage(&files, config));
-    diagnostics.extend(rules::error_taxonomy(&files));
-    diagnostics.extend(rules::hermeticity(&files, &manifests, config));
-    diagnostics.extend(rules::telemetry_purity(&files));
-    Ok(apply_allows(diagnostics, &files))
+    let mut aborted = Vec::new();
+    let mut run_rule = |name: &'static str, f: &mut dyn FnMut() -> Vec<Diagnostic>| {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            Ok(found) => diagnostics.extend(found),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| String::from("non-string panic payload"));
+                aborted.push((name.to_string(), msg));
+            }
+        }
+    };
+    run_rule("panic-freedom", &mut || rules::panic_freedom(&files, config));
+    run_rule("pause-window", &mut || rules::pause_window(&files));
+    run_rule("fault-coverage", &mut || rules::fault_coverage(&files, config));
+    run_rule("error-taxonomy", &mut || rules::error_taxonomy(&files));
+    run_rule("hermeticity", &mut || {
+        rules::hermeticity(&files, &manifests, config)
+    });
+    run_rule("telemetry-purity", &mut || rules::telemetry_purity(&files));
+    run_rule("write-ahead-discipline", &mut || {
+        rules::write_ahead(&files, config)
+    });
+    run_rule("release-gating", &mut || rules::release_gating(&files, config));
+    run_rule("guest-taint-arithmetic", &mut || {
+        taint::guest_taint(&files, config)
+    });
+    let mut report = apply_allows(diagnostics, &files);
+    report.aborted = aborted;
+    Ok(report)
+}
+
+/// One CFG construction record, for the determinism/totality self-check:
+/// the analyzer must build a graph for *every* production function in
+/// the flow-checked modules, with identical shape on every run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfgStat {
+    pub path: String,
+    pub fn_name: String,
+    pub line: u32,
+    pub blocks: usize,
+    pub edges: usize,
+    /// Tokens strictly inside the body braces.
+    pub body_tokens: usize,
+    /// Tokens owned by some block — totality demands these two be equal.
+    pub owned_tokens: usize,
+}
+
+/// Build a CFG for every non-test function with a body in the
+/// fail-closed, effect, and release files, and report each graph's
+/// shape. Functions are never skipped: a body that cannot be parsed
+/// still yields a (degenerate) graph.
+pub fn cfg_census(root: &Path, config: &LintConfig) -> io::Result<Vec<CfgStat>> {
+    let (files, _) = load_tree(root)?;
+    let mut watched: Vec<&str> = config
+        .fail_closed
+        .iter()
+        .chain(config.effect_files.iter())
+        .chain(config.release_files.iter())
+        .map(String::as_str)
+        .collect();
+    watched.sort_unstable();
+    watched.dedup();
+    let mut out = Vec::new();
+    for file in &files {
+        if !watched.contains(&file.rel_path.as_str()) {
+            continue;
+        }
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            let Some(body) = f.body else { continue };
+            let graph = cfg::build(&file.tokens, body);
+            let (lo, hi) = (body.0 + 1, body.1.saturating_sub(1).max(body.0 + 1));
+            out.push(CfgStat {
+                path: file.rel_path.clone(),
+                fn_name: f.name.clone(),
+                line: f.line,
+                blocks: graph.blocks.len(),
+                edges: graph.edge_count(),
+                body_tokens: hi - lo,
+                owned_tokens: (lo..hi).filter(|&t| graph.block_of(t).is_some()).count(),
+            });
+        }
+    }
+    Ok(out)
 }
 
 /// Split raw findings into kept and suppressed using the files' allow

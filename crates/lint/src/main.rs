@@ -1,27 +1,50 @@
-//! The `crimes-lint` binary: lint the workspace (or the tree given as the
-//! first argument), print rustc-style diagnostics and the suppression
-//! ledger, and exit nonzero on any unsuppressed finding.
+//! The `crimes-lint` binary: lint the workspace (or the tree given as an
+//! argument), print rustc-style diagnostics and the suppression ledger,
+//! and exit with a code CI can dispatch on:
+//!
+//! * `0` — clean tree (no findings, no stale allows, every rule ran),
+//! * `1` — findings or stale allows,
+//! * `2` — the analyzer itself is broken (unreadable tree, or a rule
+//!   panicked mid-run) — a dirty tree and a broken lint must never be
+//!   confused.
+//!
+//! `--json` writes the machine-readable report to stdout (the human
+//! rendering moves to stderr), which `scripts/verify.sh` captures as
+//! `LINT_REPORT.json`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(workspace_root);
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            root = Some(PathBuf::from(arg));
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
     match crimes_lint::run(&root) {
         Ok(report) => {
-            print!("{}", report.render());
-            if report.ok() {
+            if json {
+                print!("{}", report.to_json());
+                eprint!("{}", report.render());
+            } else {
+                print!("{}", report.render());
+            }
+            if !report.aborted.is_empty() {
+                ExitCode::from(2)
+            } else if report.ok() {
                 ExitCode::SUCCESS
             } else {
-                ExitCode::FAILURE
+                ExitCode::from(1)
             }
         }
         Err(e) => {
             eprintln!("crimes-lint: cannot read {}: {e}", root.display());
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }

@@ -148,7 +148,7 @@ pub(crate) fn matches_seq(tokens: &[Token], at: usize, seq: &[&str]) -> bool {
 }
 
 /// Index one past the brace matching the `{` at `open`.
-fn matching_brace(tokens: &[Token], open: usize) -> usize {
+pub(crate) fn matching_brace(tokens: &[Token], open: usize) -> usize {
     let mut depth = 0usize;
     for (k, t) in tokens.iter().enumerate().skip(open) {
         if t.is_punct("{") {

@@ -1,0 +1,738 @@
+//! Guest-taint tracking: values that originate in guest-controlled bytes
+//! (vmi physical-memory reads, backup handshake fields, journal replay
+//! lengths) must pass a checked/saturating/validated sanitizer before
+//! they reach a panic- or allocation-shaped sink.
+//!
+//! The analysis is intraprocedural per function with crate-local return
+//! summaries: a function whose return value carries taint becomes a
+//! source for its callers inside the same analysis set. Propagation is
+//! name-based over `let` bindings, assignments, and `for`/`if let`/
+//! `while let` bindings, iterated to a fixpoint; occurrences that sit
+//! inside a sanitizer call (or are immediately piped into one) do not
+//! propagate.
+//!
+//! Known blind spots (documented in DESIGN.md): `match` arm bindings are
+//! not propagated, field projections (`x.len`) are tracked only by the
+//! field name, and a rebinding that fully shadows a sanitized value
+//! re-taints the name for the whole function (flow-insensitive names).
+//! All blind spots widen the *miss* direction, never the false-positive
+//! direction, except shadowing which can over-report — the allow ledger
+//! covers that case visibly.
+
+use std::collections::HashSet;
+
+use crate::lexer::{Token, TokenKind};
+use crate::model::SourceFile;
+use crate::rules::{diag, is_keyword, GUEST_TAINT};
+use crate::{Diagnostic, LintConfig};
+
+/// Function names whose *call result* is guest-controlled.
+const SOURCE_FNS: [&str; 5] = ["read_u16", "read_u32", "read_u64", "read_bytes", "acked_generation"];
+
+/// `read(...)` is only a guest source on a memory handle.
+const READ_RECEIVERS: [&str; 3] = ["mem", "memory", "guest"];
+
+/// Exact-name sanitizers besides the `checked_*`/`saturating_*`/
+/// `wrapping_*` families: bounds-checked access, clamping, fallible
+/// narrowing, and the vmi layer's validated constructors.
+const SANITIZER_FNS: [&str; 9] = [
+    "get",
+    "get_mut",
+    "min",
+    "max",
+    "clamp",
+    "try_from",
+    "try_into",
+    "checked_table_extent",
+    "record_bounds",
+];
+
+fn is_sanitizer(name: &str) -> bool {
+    name.starts_with("checked_")
+        || name.starts_with("saturating_")
+        || name.starts_with("wrapping_")
+        || SANITIZER_FNS.contains(&name)
+}
+
+/// The guest-taint-arithmetic rule entry point.
+pub(crate) fn guest_taint(files: &[SourceFile], config: &LintConfig) -> Vec<Diagnostic> {
+    let analyzed: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| config.taint_files.iter().any(|p| p == &f.rel_path))
+        .collect();
+    // Pass 1..n: grow the source set with crate-local functions whose
+    // return value carries taint, until no new summaries appear.
+    let mut extra_sources: HashSet<String> = HashSet::new();
+    for _ in 0..4 {
+        let mut grew = false;
+        for file in &analyzed {
+            for f in &file.fns {
+                if f.is_test || extra_sources.contains(&f.name) {
+                    continue;
+                }
+                let Some(body) = f.body else { continue };
+                let tainted = tainted_names(file, body, &extra_sources);
+                if returns_taint(file, body, &tainted, &extra_sources) {
+                    extra_sources.insert(f.name.clone());
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let mut out = Vec::new();
+    for file in &analyzed {
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            let Some(body) = f.body else { continue };
+            let tainted = tainted_names(file, body, &extra_sources);
+            find_sinks(file, f.name.as_str(), body, &tainted, &extra_sources, &mut out);
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    out
+}
+
+struct Ctx<'a> {
+    toks: &'a [Token],
+    tainted: &'a HashSet<String>,
+    extra: &'a HashSet<String>,
+}
+
+impl<'a> Ctx<'a> {
+    fn is_source_call(&self, i: usize) -> bool {
+        let t = &self.toks[i];
+        if t.kind != TokenKind::Ident || !self.toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            return false;
+        }
+        if i > 0 && (self.toks[i - 1].is("fn") || self.toks[i - 1].is_punct("!")) {
+            return false;
+        }
+        if SOURCE_FNS.contains(&t.text.as_str()) || self.extra.contains(&t.text) {
+            return true;
+        }
+        // `mem.read(...)`: plain `read` only on a memory-like receiver.
+        t.is("read")
+            && i >= 2
+            && self.toks[i - 1].is_punct(".")
+            && READ_RECEIVERS.contains(&self.toks[i - 2].text.as_str())
+    }
+
+    /// Is the occurrence at `i` laundered by a sanitizer? Either it sits
+    /// inside the argument list of a sanitizer call, or the value is
+    /// immediately piped into one (`t.checked_mul(..)`,
+    /// `read_u64(p).min(..)`).
+    fn laundered(&self, i: usize, stmt_start: usize) -> bool {
+        // Piped: `<occurrence>.sanitizer(` — for a call source, look past
+        // its own argument parens first.
+        let mut after = i;
+        if self.toks[i].kind == TokenKind::Ident
+            && self.toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && self.is_source_call(i)
+        {
+            after = close_paren(self.toks, i + 1);
+        }
+        if self.toks.get(after + 1).is_some_and(|n| n.is_punct("."))
+            && self
+                .toks
+                .get(after + 2)
+                .is_some_and(|n| n.kind == TokenKind::Ident && is_sanitizer(&n.text))
+            && self.toks.get(after + 3).is_some_and(|n| n.is_punct("("))
+        {
+            return true;
+        }
+        // Enclosed: walk left from `i`; every unmatched `(` is an
+        // enclosing group — if any belongs to a sanitizer call, the
+        // occurrence never escapes unchecked.
+        let mut depth = 0i32;
+        let mut j = i;
+        while j > stmt_start {
+            j -= 1;
+            let t = &self.toks[j];
+            if t.is_punct(")") || t.is_punct("]") {
+                depth += 1;
+            } else if t.is_punct("(") || t.is_punct("[") {
+                if depth == 0 {
+                    if j > 0 {
+                        let callee = &self.toks[j - 1];
+                        if callee.kind == TokenKind::Ident && is_sanitizer(&callee.text) {
+                            return true;
+                        }
+                    }
+                } else {
+                    depth -= 1;
+                }
+            } else if depth == 0 && (t.is_punct(";") || t.is_punct("{") || t.is_punct("}")) {
+                break;
+            }
+        }
+        false
+    }
+
+    /// Does `[lo, hi)` contain an unlaundered tainted occurrence or
+    /// source call? Returns the offending token index.
+    fn taint_in(&self, lo: usize, hi: usize, stmt_start: usize) -> Option<usize> {
+        for k in lo..hi.min(self.toks.len()) {
+            let t = &self.toks[k];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            // `len` in `x.len()` is a method name, not a variable
+            // occurrence — but a bare `field_u64(0)` call of a tainted
+            // closure binding still counts.
+            let method_name = self.toks.get(k + 1).is_some_and(|n| n.is_punct("("))
+                && k > 0
+                && self.toks[k - 1].is_punct(".");
+            let hit =
+                self.is_source_call(k) || (self.tainted.contains(&t.text) && !method_name);
+            if hit && !self.laundered(k, stmt_start) {
+                return Some(k);
+            }
+        }
+        None
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn close_paren(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Lowercase binding names in a pattern range (destructuring included).
+fn pattern_names(toks: &[Token], lo: usize, hi: usize, out: &mut Vec<String>) {
+    for t in toks.iter().take(hi.min(toks.len())).skip(lo) {
+        if t.kind == TokenKind::Ident
+            && !is_keyword(&t.text)
+            && t.text != "_"
+            && t.text.chars().next().is_some_and(char::is_lowercase)
+        {
+            out.push(t.text.clone());
+        }
+    }
+}
+
+/// The statement boundary token index at or before `i`.
+fn stmt_start(toks: &[Token], body_start: usize, i: usize) -> usize {
+    let mut j = i;
+    let mut depth = 0i32;
+    while j > body_start {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(")") || t.is_punct("]") {
+            depth += 1;
+        } else if t.is_punct("(") || t.is_punct("[") {
+            depth -= 1;
+        } else if depth <= 0 && (t.is_punct(";") || t.is_punct("{") || t.is_punct("}")) {
+            return j;
+        }
+    }
+    body_start
+}
+
+/// Fixpoint over bindings: which names carry guest taint in this body?
+fn tainted_names(
+    file: &SourceFile,
+    body: (usize, usize),
+    extra: &HashSet<String>,
+) -> HashSet<String> {
+    let toks = &file.tokens;
+    let (start, end) = (body.0, body.1.min(toks.len()));
+    let mut tainted: HashSet<String> = HashSet::new();
+    for _ in 0..8 {
+        let ctx = Ctx {
+            toks,
+            tainted: &tainted.clone(),
+            extra,
+        };
+        let mut grew = false;
+        let mut i = start;
+        while i < end {
+            let t = &toks[i];
+            // `let <pat> = <rhs>` (also `if let` / `while let`).
+            if t.is("let") {
+                if let Some((pat_hi, rhs_lo, rhs_hi)) = let_parts(toks, i, end) {
+                    if ctx.taint_in(rhs_lo, rhs_hi, i).is_some() {
+                        let mut names = Vec::new();
+                        pattern_names(toks, i + 1, pat_hi, &mut names);
+                        for n in names {
+                            grew |= tainted.insert(n);
+                        }
+                    }
+                    i = pat_hi;
+                    continue;
+                }
+            }
+            // `<name> = <rhs>` / `<name> op= <rhs>` re-assignment.
+            if t.kind == TokenKind::Ident && !is_keyword(&t.text) {
+                if let Some((rhs_lo, rhs_hi)) = assign_parts(toks, i, end) {
+                    if ctx.taint_in(rhs_lo, rhs_hi, i).is_some() {
+                        grew |= tainted.insert(t.text.clone());
+                    }
+                    i = rhs_hi;
+                    continue;
+                }
+            }
+            // `for <pat> in <iter>`: bindings taint if the iterator does.
+            if t.is("for") && !toks.get(i + 1).is_some_and(|n| n.is_punct("<")) {
+                if let Some(in_at) = (i + 1..end).find(|&k| toks[k].is("in")) {
+                    let iter_hi = (in_at + 1..end)
+                        .find(|&k| toks[k].is_punct("{"))
+                        .unwrap_or(end);
+                    if ctx.taint_in(in_at + 1, iter_hi, i).is_some() {
+                        let mut names = Vec::new();
+                        pattern_names(toks, i + 1, in_at, &mut names);
+                        for n in names {
+                            grew |= tainted.insert(n);
+                        }
+                    }
+                    i = in_at + 1;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        if !grew {
+            break;
+        }
+    }
+    tainted
+}
+
+/// For a `let` at `i`: (end of pattern = the `=` index, rhs range).
+fn let_parts(toks: &[Token], i: usize, end: usize) -> Option<(usize, usize, usize)> {
+    let mut depth = 0i32;
+    let mut eq = None;
+    for k in i + 1..end {
+        let t = &toks[k];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct(">") {
+            depth -= 1;
+        } else if depth <= 0 && t.is_punct("=") {
+            let cmp = toks.get(k + 1).is_some_and(|n| n.is_punct("=") || n.is_punct(">"))
+                || (k > 0 && (toks[k - 1].is_punct("=") || toks[k - 1].is_punct("!")));
+            if !cmp {
+                eq = Some(k);
+                break;
+            }
+        } else if depth <= 0 && (t.is_punct(";") || t.is_punct("{")) {
+            break;
+        }
+    }
+    let eq = eq?;
+    let mut depth = 0i32;
+    let mut rhs_hi = end;
+    for k in eq + 1..end {
+        let t = &toks[k];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth <= 0 && (t.is_punct(";") || t.is_punct("{") || t.is("else")) {
+            rhs_hi = k;
+            break;
+        }
+    }
+    Some((eq, eq + 1, rhs_hi))
+}
+
+/// For an ident at `i` starting `<lhs> = <rhs>;` (possibly `x.y = …` or
+/// a compound `+=`): the rhs range. `None` when `i` is not an
+/// assignment's first token.
+fn assign_parts(toks: &[Token], i: usize, end: usize) -> Option<(usize, usize)> {
+    // Only treat a statement-initial ident as an assignment target; this
+    // is approximate but avoids matching `a == b` arms and calls.
+    let mut k = i + 1;
+    // Skip a field path: `self.quarantined`, `stats.pages`.
+    while toks.get(k).is_some_and(|t| t.is_punct("."))
+        && toks.get(k + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+    {
+        k += 2;
+    }
+    let op_at = k;
+    let t = toks.get(op_at)?;
+    let eq_at = if t.is_punct("=") {
+        op_at
+    } else if (t.is_punct("+") || t.is_punct("-") || t.is_punct("*") || t.is_punct("/"))
+        && toks.get(op_at + 1).is_some_and(|n| n.is_punct("="))
+    {
+        op_at + 1
+    } else {
+        return None;
+    };
+    if toks.get(eq_at + 1).is_some_and(|n| n.is_punct("=") || n.is_punct(">")) {
+        return None; // `==` / `=>`
+    }
+    let mut depth = 0i32;
+    let mut rhs_hi = end;
+    for k in eq_at + 1..end {
+        let t = &toks[k];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth <= 0 && (t.is_punct(";") || t.is_punct("{") || t.is_punct("}")) {
+            rhs_hi = k;
+            break;
+        }
+    }
+    Some((eq_at + 1, rhs_hi))
+}
+
+/// Does the function's return value carry taint? True when a `return`
+/// expression or the body's tail expression holds an unlaundered tainted
+/// occurrence.
+fn returns_taint(
+    file: &SourceFile,
+    body: (usize, usize),
+    tainted: &HashSet<String>,
+    extra: &HashSet<String>,
+) -> bool {
+    let toks = &file.tokens;
+    let (start, end) = (body.0, body.1.min(toks.len()));
+    let ctx = Ctx {
+        toks,
+        tainted,
+        extra,
+    };
+    for i in start..end {
+        if toks[i].is("return") {
+            let mut depth = 0i32;
+            let mut hi = end;
+            for k in i + 1..end {
+                let t = &toks[k];
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                    if depth == 0 {
+                        hi = k;
+                        break;
+                    }
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct(";") {
+                    hi = k;
+                    break;
+                }
+            }
+            if ctx.taint_in(i + 1, hi, i).is_some() {
+                return true;
+            }
+        }
+    }
+    // Tail expression: everything after the last `;` or control brace at
+    // body depth 1.
+    let mut depth = 0usize;
+    let mut tail_lo = start + 1;
+    for i in start..end.saturating_sub(1) {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if depth == 1 {
+                tail_lo = i + 1;
+            }
+        } else if depth == 1 && t.is_punct(";") {
+            tail_lo = i + 1;
+        }
+    }
+    ctx.taint_in(tail_lo, end.saturating_sub(1), tail_lo).is_some()
+}
+
+/// Scan a body for taint sinks and emit diagnostics.
+fn find_sinks(
+    file: &SourceFile,
+    fn_name: &str,
+    body: (usize, usize),
+    tainted: &HashSet<String>,
+    extra: &HashSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &file.tokens;
+    let (start, end) = (body.0, body.1.min(toks.len()));
+    let ctx = Ctx {
+        toks,
+        tainted,
+        extra,
+    };
+    for i in start..end {
+        if file.test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = &toks[i];
+        let prev = i.checked_sub(1).map(|p| &toks[p]);
+        // Sink 1: slice/array indexing with a tainted index.
+        if t.is_punct("[") {
+            let indexes = prev.is_some_and(|p| {
+                p.is_punct(")")
+                    || p.is_punct("]")
+                    || (p.kind == TokenKind::Ident && !is_keyword(&p.text))
+            });
+            if indexes {
+                let close = close_bracket(toks, i);
+                if let Some(bad) = ctx.taint_in(i + 1, close, stmt_start(toks, start, i)) {
+                    out.push(diag(
+                        GUEST_TAINT,
+                        file,
+                        &toks[i],
+                        format!(
+                            "guest-tainted `{}` used as a slice index in `{}`; bound it with `.get()` or a checked helper first",
+                            toks[bad].text, fn_name
+                        ),
+                    ));
+                }
+            }
+            continue;
+        }
+        // Sink 2: `with_capacity(tainted)` — attacker-sized allocation.
+        if t.is("with_capacity") && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            let close = close_paren(toks, i + 1);
+            if let Some(bad) = ctx.taint_in(i + 2, close, i) {
+                out.push(diag(
+                    GUEST_TAINT,
+                    file,
+                    t,
+                    format!(
+                        "guest-tainted `{}` sizes an allocation (`with_capacity`) in `{}`; clamp it against a validated extent first",
+                        toks[bad].text, fn_name
+                    ),
+                ));
+            }
+            continue;
+        }
+        // Sink 2b: `vec![elem; tainted]`.
+        if t.is("vec") && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("["))
+        {
+            let close = close_bracket(toks, i + 2);
+            let semi = (i + 3..close).find(|&k| {
+                toks[k].is_punct(";")
+            });
+            if let Some(semi) = semi {
+                if let Some(bad) = ctx.taint_in(semi + 1, close, i) {
+                    out.push(diag(
+                        GUEST_TAINT,
+                        file,
+                        t,
+                        format!(
+                            "guest-tainted `{}` sizes a `vec![…; n]` allocation in `{}`; clamp it against a validated extent first",
+                            toks[bad].text, fn_name
+                        ),
+                    ));
+                }
+            }
+            continue;
+        }
+        // Sink 3: unchecked arithmetic `+` / `*` / `<<` (compound forms
+        // included) with a tainted operand.
+        let shift = t.is_punct("<") && toks.get(i + 1).is_some_and(|n| n.is_punct("<"));
+        let arith = (t.is_punct("+") || t.is_punct("*") || shift)
+            && prev.is_some_and(|p| {
+                p.kind == TokenKind::Literal
+                    || p.is_punct(")")
+                    || p.is_punct("]")
+                    || (p.kind == TokenKind::Ident && !is_keyword(&p.text))
+            });
+        if arith {
+            let op = if shift { "<<" } else { t.text.as_str() };
+            let rhs_at = if shift {
+                i + 2
+            } else if toks.get(i + 1).is_some_and(|n| n.is_punct("=")) {
+                i + 2 // compound assign `+=`
+            } else {
+                i + 1
+            };
+            let ss = stmt_start(toks, start, i);
+            let left_bad = operand_taint_left(&ctx, i, ss);
+            let right_bad = operand_taint_right(&ctx, rhs_at, end, ss);
+            if let Some(bad) = left_bad.or(right_bad) {
+                out.push(diag(
+                    GUEST_TAINT,
+                    file,
+                    t,
+                    format!(
+                        "guest-tainted `{}` feeds unchecked `{}` in `{}`; use a `checked_*`/`saturating_*` form or validate the extent first",
+                        toks[bad].text, op, fn_name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn close_bracket(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// The left operand of the operator at `op`: the nearest value-shaped
+/// token walking left (through one group or call).
+fn operand_taint_left(ctx: &Ctx<'_>, op: usize, stmt_start: usize) -> Option<usize> {
+    let toks = ctx.toks;
+    let p = op.checked_sub(1)?;
+    let t = &toks[p];
+    if t.kind == TokenKind::Ident && !is_keyword(&t.text) {
+        // A call result `f(x) +` arrives here as `)`, so a bare ident is
+        // a variable occurrence (or a path tail, which never taints).
+        if ctx.tainted.contains(&t.text) && !ctx.laundered(p, stmt_start) {
+            return Some(p);
+        }
+        return None;
+    }
+    if t.is_punct(")") {
+        // Group or call: scan its contents for unlaundered taint.
+        let mut depth = 0i32;
+        let mut open = p;
+        while open > stmt_start {
+            let t = &toks[open];
+            if t.is_punct(")") {
+                depth += 1;
+            } else if t.is_punct("(") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            open -= 1;
+        }
+        // Sanitizer call result is clean regardless of its arguments.
+        if open > 0 {
+            let callee = &toks[open - 1];
+            if callee.kind == TokenKind::Ident && is_sanitizer(&callee.text) {
+                return None;
+            }
+        }
+        return ctx.taint_in(open + 1, p, stmt_start);
+    }
+    None
+}
+
+/// The right operand of the operator: the first value-shaped run after
+/// it (prefix `&`/`*` skipped, one group or call scanned).
+fn operand_taint_right(ctx: &Ctx<'_>, mut at: usize, end: usize, stmt_start: usize) -> Option<usize> {
+    let toks = ctx.toks;
+    while at < end && (toks[at].is_punct("&") || toks[at].is_punct("*") || toks[at].is("mut")) {
+        at += 1;
+    }
+    let t = toks.get(at)?;
+    if t.kind == TokenKind::Ident {
+        if toks.get(at + 1).is_some_and(|n| n.is_punct("(")) {
+            // A call: tainted only if it is a source; sanitizers and
+            // unknown calls are clean here.
+            if ctx.is_source_call(at) && !ctx.laundered(at, stmt_start) {
+                return Some(at);
+            }
+            return None;
+        }
+        if ctx.tainted.contains(&t.text) && !ctx.laundered(at, stmt_start) {
+            return Some(at);
+        }
+        return None;
+    }
+    if t.is_punct("(") {
+        let close = close_paren(toks, at);
+        return ctx.taint_in(at + 1, close, stmt_start);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintConfig;
+
+    fn lint_src(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(
+            "crates/vmi/src/canary.rs".into(),
+            "crates/vmi".into(),
+            src,
+        );
+        let config = LintConfig::default();
+        guest_taint(&[file], &config)
+    }
+
+    #[test]
+    fn a_vmi_read_taints_its_binding_through_to_an_index() {
+        let d = lint_src(
+            "fn scan(mem: &M, data: &[u8], table: u64) {\n    let count = mem.read_u64(table);\n    let b = data[count as usize];\n}",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("count"), "{}", d[0].message);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn sanitized_values_are_clean() {
+        let d = lint_src(
+            "fn scan(mem: &M, data: &[u8], table: u64) {\n    let claimed = mem.read_u64(table);\n    let count = usize::try_from(claimed).unwrap_or(0).min(64);\n    let bytes = count.checked_mul(32);\n    let b = data.get(count);\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn tainted_values_reach_arithmetic_sinks() {
+        let d = lint_src(
+            "fn f(mem: &M, p: u64) {\n    let len = mem.read_u32(p);\n    let total = len * 8;\n    let shifted = len << 3;\n    let sum = 1 + len;\n}",
+        );
+        assert_eq!(d.len(), 3, "{d:?}");
+    }
+
+    #[test]
+    fn tainted_values_size_allocations() {
+        let d = lint_src(
+            "fn f(mem: &M, p: u64) {\n    let n = mem.read_u64(p) as usize;\n    let v = Vec::with_capacity(n);\n    let w = vec![0u8; n];\n}",
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn return_summaries_propagate_crate_locally() {
+        let d = lint_src(
+            "fn claimed_len(mem: &M, p: u64) -> u64 {\n    mem.read_u64(p)\n}\nfn user(mem: &M, data: &[u8], p: u64) {\n    let n = claimed_len(mem, p);\n    let b = data[n as usize];\n}",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 6);
+    }
+
+    #[test]
+    fn untainted_arithmetic_is_silent() {
+        let d = lint_src(
+            "fn f(a: usize, b: usize) -> usize {\n    let c = a + b;\n    let d = c * 2;\n    d << 1\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn handshake_generations_are_tainted() {
+        let d = lint_src(
+            "fn f(backup: &B, arr: &[u8]) {\n    let gen = backup.acked_generation();\n    let x = arr[gen as usize];\n}",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+}

@@ -195,14 +195,24 @@ fn hermeticity_passes_path_and_workspace_deps() {
 }
 
 #[test]
-fn allows_suppress_matching_diagnostics_and_stale_allows_surface() {
+fn allows_suppress_matching_diagnostics_and_stale_allows_fail_the_run() {
     let report = lint("suppressed");
-    assert!(report.ok(), "{}", report.render());
+    assert!(
+        !report.ok(),
+        "a stale allow is an error, not a footnote:\n{}",
+        report.render()
+    );
+    assert!(report.diagnostics.is_empty(), "{}", report.render());
     assert_eq!(report.suppressed.len(), 1);
     assert_eq!(report.suppressed[0].diagnostic.rule, "panic-freedom");
     assert!(report.suppressed[0].reason.contains("caller guarantees Some"));
     assert_eq!(report.unused_allows.len(), 1);
     assert_eq!(report.unused_allows[0].1.rule, "pause-window");
+    assert!(
+        report.render().contains("error[stale-allow]"),
+        "{}",
+        report.render()
+    );
 }
 
 #[test]
@@ -281,4 +291,145 @@ fn the_binary_exits_zero_on_a_clean_tree() {
         .output()
         .expect("binary runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn write_ahead_flags_missing_inverted_and_interprocedurally_ungated_appends() {
+    let report = lint("wad-bad");
+    assert_eq!(report.diagnostics.len(), 3, "{}", report.render());
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.rule == "write-ahead-discipline"));
+    let messages: Vec<&str> = report.diagnostics.iter().map(|d| d.message.as_str()).collect();
+    assert!(
+        messages.iter().any(|m| m.contains("impound") && m.contains("not preceded")),
+        "the branch with no append at all: {}",
+        report.render()
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("runs before its")),
+        "the effect-then-record inversion gets its own message: {}",
+        report.render()
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("stage_ticket")),
+        "an ungated helper is charged when no caller journals: {}",
+        report.render()
+    );
+}
+
+#[test]
+fn write_ahead_accepts_dominating_appends_local_and_through_callers() {
+    let report = lint("wad-good");
+    assert!(report.ok(), "{}", report.render());
+}
+
+#[test]
+fn release_gating_flags_ungated_release_and_early_exit_ack_scans() {
+    let report = lint("gate-bad");
+    assert_eq!(report.diagnostics.len(), 2, "{}", report.render());
+    assert!(report.diagnostics.iter().all(|d| d.rule == "release-gating"));
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.path == "crates/crimes/src/framework.rs"
+                && d.message.contains("not gated by an audit Pass verdict")),
+        "{}",
+        report.render()
+    );
+    // The PR 7 regression pinned statically: an early `break` in
+    // `release_acked` strands acked generations behind an unacked head.
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.path == "crates/outbuf/src/buffer.rs"
+                && d.message.contains("strand acked generations")),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn release_gating_accepts_verdict_arms_and_whole_queue_scans() {
+    let report = lint("gate-good");
+    assert!(report.ok(), "{}", report.render());
+}
+
+#[test]
+fn guest_taint_flags_allocation_arithmetic_and_indexing_sinks() {
+    let report = lint("taint-bad");
+    assert_eq!(report.diagnostics.len(), 3, "{}", report.render());
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.rule == "guest-taint-arithmetic"));
+    let lines: Vec<u32> = report.diagnostics.iter().map(|d| d.line).collect();
+    assert_eq!(lines, [3, 4, 6], "with_capacity, `*`, and the slice index");
+}
+
+#[test]
+fn guest_taint_accepts_sanitized_values() {
+    let report = lint("taint-good");
+    assert!(report.ok(), "{}", report.render());
+}
+
+#[test]
+fn cfg_construction_is_total_and_deterministic_over_the_live_workspace() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = crimes_lint::LintConfig::default();
+    let census = crimes_lint::cfg_census(&root, &config).expect("workspace is readable");
+    assert!(
+        census.len() >= 40,
+        "every production fn in the flow-checked modules gets a CFG, got {}",
+        census.len()
+    );
+    for stat in &census {
+        assert!(stat.blocks >= 2, "entry + exit at minimum: {stat:?}");
+        assert!(stat.edges >= 1, "the entry must reach the exit: {stat:?}");
+        assert_eq!(
+            stat.owned_tokens, stat.body_tokens,
+            "every body token is owned by exactly one block: {stat:?}"
+        );
+    }
+    let again = crimes_lint::cfg_census(&root, &config).expect("workspace is readable");
+    assert_eq!(census, again, "construction must not depend on iteration order");
+}
+
+#[test]
+fn the_binary_distinguishes_findings_from_analyzer_errors() {
+    // Findings exit 1; an unreadable tree is an analyzer error, exit 2 —
+    // CI must never confuse "dirty tree" with "broken lint".
+    let findings = Command::new(env!("CARGO_BIN_EXE_crimes-lint"))
+        .arg(fixture("panic-bad"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(findings.status.code(), Some(1));
+    let broken = Command::new(env!("CARGO_BIN_EXE_crimes-lint"))
+        .arg(fixture("no-such-tree"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(broken.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&broken.stderr).contains("cannot read"));
+}
+
+#[test]
+fn json_output_reports_every_rule_with_counts_and_the_allow_ledger() {
+    let out = Command::new(env!("CARGO_BIN_EXE_crimes-lint"))
+        .arg("--json")
+        .arg(fixture("taint-bad"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"ok\": false"), "{json}");
+    assert!(json.contains("\"guest-taint-arithmetic\": 3"), "{json}");
+    // Rules with nothing to say still appear, pinned to zero.
+    assert!(json.contains("\"release-gating\": 0"), "{json}");
+    assert!(json.contains("\"stale_allows\""), "{json}");
+    assert!(json.contains("\"aborted\""), "{json}");
+    // The human rendering moves to stderr so stdout stays parseable.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error[guest-taint-arithmetic]"));
 }

@@ -1,0 +1,15 @@
+impl OutputBuffer {
+    /// The PR 7 regression shape: stops at the first unacked head, so a
+    /// later acked generation behind it is stranded forever.
+    pub fn release_acked(&mut self, acked: Generation) -> usize {
+        let mut released = 0;
+        while let Some(head) = self.queue.front() {
+            if head.generation > acked {
+                break;
+            }
+            self.queue.pop_front();
+            released += 1;
+        }
+        released
+    }
+}

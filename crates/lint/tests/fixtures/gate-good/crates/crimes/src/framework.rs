@@ -1,0 +1,23 @@
+impl Crimes {
+    /// Release only inside the audit `Pass` arm, journalled first.
+    pub fn finish_epoch(&mut self, verdict: Verdict) -> usize {
+        match verdict {
+            Verdict::Pass => {
+                self.journal.append(&Record::ReleaseHeld);
+                self.buffer.release(self.epoch)
+            }
+            Verdict::Fail(_) => 0,
+        }
+    }
+
+    /// Ack-gated release only inside the drain `Ok` arm.
+    pub fn drain_tick(&mut self) -> usize {
+        match self.checkpointer.drain_staged() {
+            Ok(generation) => {
+                self.journal.append(&Record::ReleaseAcked);
+                self.buffer.release_acked(generation)
+            }
+            Err(_) => 0,
+        }
+    }
+}

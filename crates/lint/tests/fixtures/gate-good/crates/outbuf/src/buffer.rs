@@ -1,0 +1,14 @@
+impl OutputBuffer {
+    /// Scans the whole queue: an acked generation parked behind an
+    /// unacked head is still released.
+    pub fn release_acked(&mut self, acked: Generation) -> usize {
+        let mut released = 0;
+        for held in self.queue.iter_mut() {
+            if held.generation <= acked {
+                held.state = HeldState::Releasable;
+                released += 1;
+            }
+        }
+        released
+    }
+}

@@ -1,0 +1,9 @@
+pub fn walk_tasks(mem: &GuestMemory, base: Gva) -> Vec<Task> {
+    let count = mem.read_u64(base);
+    let mut tasks = Vec::with_capacity(count as usize);
+    let stride = count * TASK_STRIDE;
+    let idx = count as usize;
+    let first = OFFSETS[idx];
+    push_all(&mut tasks, stride, first);
+    tasks
+}

@@ -1,0 +1,10 @@
+pub fn walk_tasks(mem: &GuestMemory, base: Gva) -> Option<Vec<Task>> {
+    let count = mem.read_u64(base).min(MAX_TASKS);
+    let mut tasks = Vec::with_capacity(count as usize);
+    let stride = count.checked_mul(TASK_STRIDE)?;
+    let raw = mem.read_u64(base);
+    let idx = usize::try_from(raw).ok()?;
+    let first = OFFSETS.get(idx)?;
+    push_all(&mut tasks, stride, *first);
+    Some(tasks)
+}

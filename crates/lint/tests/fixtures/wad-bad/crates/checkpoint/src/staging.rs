@@ -1,0 +1,29 @@
+pub struct Staging {
+    journal: Journal,
+    buffer: OutputBuffer,
+    pending_drains: VecDeque<Ticket>,
+}
+
+impl Staging {
+    /// Effect on one branch, no matching append anywhere: ungated.
+    pub fn impound(&mut self, hot: bool) {
+        if hot {
+            self.buffer.mark_ack_pending();
+        }
+    }
+
+    /// The append exists but runs after the effect: inversion.
+    pub fn discard_all(&mut self) {
+        self.buffer.discard();
+        self.journal.append(&Record::DiscardAll);
+    }
+
+    /// No local gate, and the only caller never journals either.
+    fn stage_ticket(&mut self, t: Ticket) {
+        self.pending_drains.push_back(t);
+    }
+
+    pub fn enqueue_ungated(&mut self, t: Ticket) {
+        self.stage_ticket(t);
+    }
+}

@@ -1,0 +1,32 @@
+pub struct Staging {
+    journal: Journal,
+    buffer: OutputBuffer,
+    pending_drains: VecDeque<Ticket>,
+}
+
+impl Staging {
+    /// The append dominates the effect inside the same branch.
+    pub fn impound(&mut self, hot: bool) {
+        if hot {
+            self.journal.append(&Record::MarkAckPending);
+            self.buffer.mark_ack_pending();
+        }
+    }
+
+    /// Journal first, then apply.
+    pub fn discard_all(&mut self) {
+        self.journal.append(&Record::DiscardAll);
+        self.buffer.discard();
+    }
+
+    /// No local gate, but every caller journals before calling: the
+    /// obligation discharges interprocedurally.
+    fn stage_ticket(&mut self, t: Ticket) {
+        self.pending_drains.push_back(t);
+    }
+
+    pub fn enqueue_gated(&mut self, t: Ticket) {
+        self.journal.append(&Record::TicketStaged);
+        self.stage_ticket(t);
+    }
+}

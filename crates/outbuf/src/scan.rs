@@ -92,7 +92,7 @@ impl OutputScanner {
 
     /// Scan a slice of outputs, reporting every match.
     pub fn scan_outputs(&self, outputs: &[&Output]) -> Vec<OutputMatch> {
-        let mut matches = Vec::new(); // lint: allow(pause-window) -- allocates only to report findings
+        let mut matches = Vec::new();
         for (idx, output) in outputs.iter().enumerate() {
             let (payload, is_network) = match output {
                 Output::Net(p) => (p.payload.as_slice(), true),

@@ -212,7 +212,7 @@ impl VmiSession {
             return Err(VmiError::TransientReadFault);
         }
         let init_task = self.hot_symbol(names::INIT_TASK)?;
-        let mut spaces = HashMap::new(); // lint: allow(pause-window) -- the rebuilt cache is this call's product
+        let mut spaces = HashMap::new();
         let init_gva = init_task.to_kernel_gva();
         let mut cur_gpa = init_task;
         // Bounded walk: no real task slab exceeds this.

@@ -33,11 +33,26 @@ echo "==> journal replay determinism (crash harness, release)"
 # to the previous boundary, and no output may release before its ack.
 cargo test --release --offline -q --test crash_recovery
 
-echo "==> crimes-lint: fail-closed, pause-window, fault-coverage, taxonomy, hermeticity, telemetry-purity"
+echo "==> crimes-lint: ordering, taint, pause-window, fault-coverage, taxonomy, hermeticity, telemetry-purity"
 # One analyzer replaces the old grep gates: crimes-lint walks the whole
 # tree and checks the invariants rustc cannot (see DESIGN.md "Static
-# guarantees"). Its exit code is the gate; suppressions are printed.
-cargo run --release --offline -q -p crimes-lint
+# guarantees, v2"). Its exit code is the gate (0 clean, 1 findings,
+# 2 analyzer-internal error); the machine-readable report is archived
+# by CI as LINT_REPORT.json.
+cargo build --release --offline -q -p crimes-lint
+LINT_START_NS="$(date +%s%N)"
+./target/release/crimes-lint --json > LINT_REPORT.json
+LINT_ELAPSED_MS=$(( ($(date +%s%N) - LINT_START_NS) / 1000000 ))
+echo "    lint wall-clock: ${LINT_ELAPSED_MS} ms"
+# The analyzer must stay fast enough to run on every edit.
+test "${LINT_ELAPSED_MS}" -lt 5000
+# The exit-code contract: an unreadable tree is an analyzer error (2),
+# not a clean run (0) or a finding (1).
+set +e
+./target/release/crimes-lint /nonexistent-lint-root >/dev/null 2>&1
+LINT_BROKEN_CODE=$?
+set -e
+test "${LINT_BROKEN_CODE}" -eq 2
 
 echo "==> benches compile (in-tree harness, no criterion)"
 cargo bench --no-run --offline

@@ -175,6 +175,16 @@ pub struct CheckpointConfig {
     /// fault soaks replay bit-exactly). Exceeding it surfaces
     /// [`CheckpointError::DrainTimeout`] and the drain fails closed.
     pub drain_timeout_ms: u64,
+    /// The tenant's fused walks run on an externally-owned
+    /// [`SharedPausePool`](crate::pool::SharedPausePool) (a fleet
+    /// scheduler's), so the engine skips its eager per-tenant pool
+    /// allocation — at fleet scale each private pool's undo buffers cost
+    /// roughly a full guest image. Walks arrive through
+    /// [`Checkpointer::run_epoch_fused_with`] /
+    /// [`Checkpointer::run_epoch_staged_with`]; if the plain entry points
+    /// are used anyway the engine still self-provisions a pool lazily,
+    /// so a fleet-configured tenant driven standalone keeps working.
+    pub external_pool: bool,
 }
 
 impl Default for CheckpointConfig {
@@ -192,6 +202,7 @@ impl Default for CheckpointConfig {
             pause_workers: 1,
             staging_buffers: 0,
             drain_timeout_ms: 10,
+            external_pool: false,
         }
     }
 }
@@ -310,6 +321,12 @@ pub struct Checkpointer {
     /// The fleet reads this to decide when to reroute the tenant's drain
     /// to a standby backup.
     drain_session_failures: u32,
+    /// Per-worker copy statistics cached from the last fused walk. Kept
+    /// on the engine (not read live from the pool) so walks run on an
+    /// external [`SharedPausePool`](crate::pool::SharedPausePool) report
+    /// through [`worker_stats`](Self::worker_stats) exactly like walks on
+    /// the private pool.
+    last_walk: Vec<(usize, CopyStats)>,
 }
 
 impl Checkpointer {
@@ -324,13 +341,15 @@ impl Checkpointer {
             HypercallModel::new(config.hypercall_steps),
         );
         let integrity = ImageDigest::of(backup.frames(), backup.disk());
-        let pool = (config.pause_workers > 1 || config.staging_buffers > 0).then(|| {
-            PauseWindowPool::new(
-                config.pause_workers,
-                vm.memory().num_pages(),
-                config.hypercall_steps,
-            )
-        });
+        let pool = (!config.external_pool
+            && (config.pause_workers > 1 || config.staging_buffers > 0))
+            .then(|| {
+                PauseWindowPool::new(
+                    config.pause_workers,
+                    vm.memory().num_pages(),
+                    config.hypercall_steps,
+                )
+            });
         let staging = (config.staging_buffers > 0).then(|| {
             StagingArea::new(
                 vm.memory().num_pages(),
@@ -354,6 +373,7 @@ impl Checkpointer {
             init_time,
             sched: HypercallModel::new(config.hypercall_steps),
             drain_session_failures: 0,
+            last_walk: Vec::new(),
         }
     }
 
@@ -373,13 +393,15 @@ impl Checkpointer {
             HypercallModel::new(config.hypercall_steps),
         );
         let integrity = ImageDigest::of(backup.frames(), backup.disk());
-        let pool = (config.pause_workers > 1 || config.staging_buffers > 0).then(|| {
-            PauseWindowPool::new(
-                config.pause_workers,
-                vm.memory().num_pages(),
-                config.hypercall_steps,
-            )
-        });
+        let pool = (!config.external_pool
+            && (config.pause_workers > 1 || config.staging_buffers > 0))
+            .then(|| {
+                PauseWindowPool::new(
+                    config.pause_workers,
+                    vm.memory().num_pages(),
+                    config.hypercall_steps,
+                )
+            });
         let staging = (config.staging_buffers > 0).then(|| {
             let mut area = StagingArea::new(
                 vm.memory().num_pages(),
@@ -405,6 +427,7 @@ impl Checkpointer {
             init_time,
             sched: HypercallModel::new(config.hypercall_steps),
             drain_session_failures: 0,
+            last_walk: Vec::new(),
         }
     }
 
@@ -438,11 +461,13 @@ impl Checkpointer {
         &self.stats
     }
 
-    /// Per-worker copy statistics from the pause-window pool's last fused
-    /// walk (one entry per worker slot; empty when the serial path is in
-    /// use). Values are per-walk — callers accumulate across epochs.
+    /// Per-worker copy statistics from the last fused walk (one entry per
+    /// worker slot; empty when the serial path is in use). Values are
+    /// per-walk — callers accumulate across epochs. Walks on an external
+    /// shared pool report here too: the engine caches the slot stats at
+    /// walk time rather than reading the (possibly foreign) pool live.
     pub fn worker_stats(&self) -> impl Iterator<Item = (usize, CopyStats)> + '_ {
-        self.pool.iter().flat_map(|p| p.worker_stats())
+        self.last_walk.iter().copied()
     }
 
     /// Simulated map/unmap hypercalls issued so far (zero for pre-mapped
@@ -667,8 +692,6 @@ impl Checkpointer {
         vm: &mut Vm,
         audit: &mut dyn FusedAudit,
     ) -> Result<EpochReport, CheckpointError> {
-        let mut timings = PhaseTimings::default();
-        let epoch = self.backup.epoch();
         if self.pool.is_none() {
             self.pool = Some(PauseWindowPool::new(
                 self.config.pause_workers,
@@ -676,6 +699,36 @@ impl Checkpointer {
                 self.config.hypercall_steps,
             ));
         }
+        // Take-and-restore: the walk borrows the engine's fields and the
+        // pool simultaneously, which one `&mut self` cannot express.
+        let Some(mut pool) = self.pool.take() else {
+            // Unreachable (built above), but fail closed rather than panic.
+            return Err(CheckpointError::Exhausted { attempts: 0 });
+        };
+        let result = self.run_epoch_fused_with(vm, audit, &mut pool);
+        self.pool = Some(pool);
+        result
+    }
+
+    /// [`run_epoch_fused`](Self::run_epoch_fused) running its sharded
+    /// walk on an **externally-owned** pool — the fleet scheduler's
+    /// shared-pool entry point. The pool must be sized for at least this
+    /// VM's page count ([`PauseWindowPool::new`]); the walk's results are
+    /// bit-identical to a private pool's for any worker count (the PR 4
+    /// determinism discipline — shard geometry is a pure function of the
+    /// dirty set and worker count, and the merge order is canonical).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_epoch_fused`](Self::run_epoch_fused).
+    pub fn run_epoch_fused_with(
+        &mut self,
+        vm: &mut Vm,
+        audit: &mut dyn FusedAudit,
+        pool: &mut PauseWindowPool,
+    ) -> Result<EpochReport, CheckpointError> {
+        let mut timings = PhaseTimings::default();
+        let epoch = self.backup.epoch();
 
         // Injected silent corruption, exactly as in the serial path.
         if crimes_faults::should_inject(FaultPoint::PageCorrupt) {
@@ -721,18 +774,14 @@ impl Checkpointer {
             mapper,
             memcpy,
             fused_socket,
-            pool,
             history,
             integrity,
             stats,
             sched,
+            last_walk,
             ..
         } = self;
         let config = *config;
-        let Some(pool) = pool.as_mut() else {
-            // Unreachable (built above), but fail closed rather than panic.
-            return Err(CheckpointError::Exhausted { attempts: 0 });
-        };
         let strategy = if config.remote_backup {
             CopyStrategy::Socket
         } else {
@@ -774,6 +823,8 @@ impl Checkpointer {
             }
         };
         timings.copy = t.elapsed();
+        last_walk.clear();
+        last_walk.extend(pool.worker_stats());
 
         // --- vmi, second half: the verdict over the walk's findings -------
         let t = Instant::now();
@@ -943,8 +994,6 @@ impl Checkpointer {
         vm: &mut Vm,
         audit: &mut dyn FusedAudit,
     ) -> Result<StagedEpoch, CheckpointError> {
-        let mut timings = PhaseTimings::default();
-        let epoch = self.backup.epoch();
         if self.pool.is_none() {
             self.pool = Some(PauseWindowPool::new(
                 self.config.pause_workers,
@@ -952,6 +1001,35 @@ impl Checkpointer {
                 self.config.hypercall_steps,
             ));
         }
+        // Take-and-restore, as in `run_epoch_fused`.
+        let Some(mut pool) = self.pool.take() else {
+            // Unreachable (built above), but fail closed rather than panic.
+            return Err(CheckpointError::Exhausted { attempts: 0 });
+        };
+        let result = self.run_epoch_staged_with(vm, audit, &mut pool);
+        self.pool = Some(pool);
+        result
+    }
+
+    /// [`run_epoch_staged`](Self::run_epoch_staged) running its staging
+    /// walk on an **externally-owned** pool — the fleet scheduler's
+    /// shared-pool entry point (see
+    /// [`run_epoch_fused_with`](Self::run_epoch_fused_with) for the
+    /// determinism argument). Staging buffers stay per-tenant: they hold
+    /// tenant state across boundaries, unlike the stateless-between-walks
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_epoch_staged`](Self::run_epoch_staged).
+    pub fn run_epoch_staged_with(
+        &mut self,
+        vm: &mut Vm,
+        audit: &mut dyn FusedAudit,
+        pool: &mut PauseWindowPool,
+    ) -> Result<StagedEpoch, CheckpointError> {
+        let mut timings = PhaseTimings::default();
+        let epoch = self.backup.epoch();
         if self.staging.is_none() {
             self.staging = Some(StagingArea::new(
                 self.backup.num_pages(),
@@ -998,15 +1076,15 @@ impl Checkpointer {
         let Checkpointer {
             config,
             mapper,
-            pool,
             staging,
             stats,
             sched,
+            last_walk,
             ..
         } = self;
         let config = *config;
-        let (Some(pool), Some(staging)) = (pool.as_mut(), staging.as_mut()) else {
-            // Unreachable (both built above), but fail closed, not panic.
+        let Some(staging) = staging.as_mut() else {
+            // Unreachable (built above), but fail closed, not panic.
             return Err(CheckpointError::Exhausted { attempts: 0 });
         };
         let Some(slot) = staging.claim() else {
@@ -1059,6 +1137,8 @@ impl Checkpointer {
             }
         };
         timings.copy = t.elapsed();
+        last_walk.clear();
+        last_walk.extend(pool.worker_stats());
 
         // --- vmi, second half: the verdict over the walk's findings -------
         let t = Instant::now();

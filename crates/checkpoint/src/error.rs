@@ -88,6 +88,14 @@ pub enum CheckpointError {
         /// The session attempt that failed to connect (starting at 1).
         attempt: u32,
     },
+    /// Every lease slot of a shared pause-window pool is already granted
+    /// to another tenant's boundary. The epoch is refused before the
+    /// guest is suspended (fail closed) — the scheduler retries the
+    /// tenant in a later wave once a lease frees up.
+    PoolSaturated {
+        /// Concurrent leases the pool is configured to grant.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -126,6 +134,9 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BackupUnreachable { attempt } => {
                 write!(f, "backup unreachable on drain-session attempt {attempt}")
             }
+            CheckpointError::PoolSaturated { capacity } => {
+                write!(f, "shared pause pool saturated ({capacity} lease(s) outstanding)")
+            }
         }
     }
 }
@@ -155,6 +166,7 @@ mod tests {
             },
             CheckpointError::StagingBacklog { in_flight: 2 },
             CheckpointError::BackupUnreachable { attempt: 1 },
+            CheckpointError::PoolSaturated { capacity: 4 },
         ] {
             assert!(!e.to_string().is_empty());
         }

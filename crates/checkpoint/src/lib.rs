@@ -61,8 +61,8 @@ pub use history::{CheckpointHistory, CheckpointRecord};
 pub use integrity::{chunk_digest, image_digest, FusedDigest, ImageDigest};
 pub use mapping::{HypercallModel, MappedPage, Mapper, MappingStrategy};
 pub use pool::{
-    FusedAudit, FusedPageVisitor, NoopVisitor, PageCtx, PageFinding, PauseWindowPool, ShardSink,
-    MAX_WORKERS,
+    FusedAudit, FusedPageVisitor, NoopVisitor, PageCtx, PageFinding, PauseWindowPool, PoolLease,
+    ShardSink, SharedPausePool, MAX_WORKERS,
 };
 pub use probe::{BreakdownStats, Phase, PhaseTimings};
 pub use staging::{DrainTicket, StagingArea};

@@ -582,6 +582,130 @@ impl PauseWindowPool {
     }
 }
 
+/// A [`PauseWindowPool`] shared by a whole fleet, metered by leases.
+///
+/// Workers are a *host* resource: a fleet of N tenants must not spawn N
+/// private pools (N× the undo buffers — each roughly a full guest image)
+/// nor oversubscribe the host CPUs N×. The shared pool is sized once, at
+/// fleet level, and handed to at most `capacity` concurrently-paused
+/// tenants at a time: a scheduler [`lease`](Self::lease)s a slot before
+/// entering a tenant's boundary, runs the tenant's walk through
+/// [`leased`](Self::leased), and [`release`](Self::release)s the slot
+/// when the tenant resumes. Saturation is refused with a typed error
+/// *before* any guest is suspended, so contention shows up as scheduling
+/// back-pressure, never as an unbounded pause.
+///
+/// Leases are plain accounting tokens — walks themselves are serialized
+/// by the `&mut` access [`leased`](Self::leased) requires, which is what
+/// makes the shared pool's results bit-identical to per-tenant pools
+/// (the walk is a pure function of the dirty set and worker count; see
+/// the module docs).
+#[derive(Debug)]
+pub struct SharedPausePool {
+    pool: PauseWindowPool,
+    capacity: usize,
+    /// Outstanding lease ids (at most `capacity` long).
+    active: Vec<u64>,
+    next_lease: u64,
+    total_leases: u64,
+    peak_active: usize,
+}
+
+/// An accounting token for one tenant's occupancy of a
+/// [`SharedPausePool`]. Not cloneable: the token is consumed by
+/// [`SharedPausePool::release`], so a lease cannot be double-freed.
+#[derive(Debug)]
+pub struct PoolLease {
+    id: u64,
+}
+
+impl PoolLease {
+    /// The lease's unique id (diagnostics only).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl SharedPausePool {
+    /// Build the shared pool: `workers` threads (clamped like
+    /// [`PauseWindowPool::new`]), buffers sized for `num_pages` — the
+    /// *largest* tenant's page count, so every tenant's worst-case dirty
+    /// set fits — and at most `capacity` concurrent leases (minimum 1).
+    pub fn new(workers: usize, num_pages: usize, hypercall_steps: u32, capacity: usize) -> Self {
+        SharedPausePool {
+            pool: PauseWindowPool::new(workers, num_pages, hypercall_steps),
+            capacity: capacity.max(1),
+            active: Vec::with_capacity(capacity.max(1)),
+            next_lease: 0,
+            total_leases: 0,
+            peak_active: 0,
+        }
+    }
+
+    /// The configured worker count (after clamping).
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Concurrent leases the pool grants before refusing.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Leases currently outstanding.
+    pub fn active_leases(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Leases granted over the pool's lifetime.
+    pub fn total_leases(&self) -> u64 {
+        self.total_leases
+    }
+
+    /// High-water mark of concurrent leases.
+    pub fn peak_active(&self) -> usize {
+        self.peak_active
+    }
+
+    /// Grant a lease slot to one tenant's epoch boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::PoolSaturated`] when `capacity` leases are
+    /// already outstanding — refused before anything is paused, so the
+    /// caller reschedules the tenant instead of stretching its window.
+    pub fn lease(&mut self) -> Result<PoolLease, CheckpointError> {
+        if self.active.len() >= self.capacity {
+            return Err(CheckpointError::PoolSaturated {
+                capacity: self.capacity,
+            });
+        }
+        let id = self.next_lease;
+        self.next_lease = self.next_lease.wrapping_add(1);
+        self.active.push(id);
+        self.total_leases += 1;
+        self.peak_active = self.peak_active.max(self.active.len());
+        Ok(PoolLease { id })
+    }
+
+    /// Access the underlying pool for a walk under `lease`. Returns
+    /// `None` for a stale lease (already released) — fail closed rather
+    /// than walking on unaccounted occupancy.
+    pub fn leased(&mut self, lease: &PoolLease) -> Option<&mut PauseWindowPool> {
+        if self.active.contains(&lease.id) {
+            Some(&mut self.pool)
+        } else {
+            None
+        }
+    }
+
+    /// Return a lease slot. Consumes the token; releasing a stale lease
+    /// is a no-op.
+    pub fn release(&mut self, lease: PoolLease) {
+        self.active.retain(|&id| id != lease.id);
+    }
+}
+
 fn restore_undo(slots: &mut [WorkerSlot], backup: &mut BackupVm) {
     for slot in slots.iter_mut() {
         for (&mfn, old) in slot.undo_tags.iter().zip(slot.undo.chunks_exact(PAGE_SIZE)) {
@@ -958,5 +1082,63 @@ mod tests {
         assert_eq!(per_slot.len(), 4);
         let total_pages: usize = per_slot.iter().map(|(_, s)| s.pages).sum();
         assert_eq!(total_pages, stats.pages, "slot stats sum to the walk total");
+    }
+
+    #[test]
+    fn shared_pool_meters_leases_and_refuses_saturation() {
+        let mut shared = SharedPausePool::new(2, 512, 2, 2);
+        assert_eq!(shared.capacity(), 2);
+        assert_eq!(shared.active_leases(), 0);
+        let a = shared.lease().expect("slot free");
+        let b = shared.lease().expect("slot free");
+        assert_eq!(shared.active_leases(), 2);
+        assert_eq!(shared.peak_active(), 2);
+        let err = shared.lease().expect_err("pool is saturated");
+        assert!(matches!(err, CheckpointError::PoolSaturated { capacity: 2 }));
+        assert!(shared.leased(&a).is_some(), "live lease reaches the pool");
+        shared.release(a);
+        assert_eq!(shared.active_leases(), 1);
+        let c = shared.lease().expect("slot freed");
+        shared.release(b);
+        shared.release(c);
+        assert_eq!(shared.active_leases(), 0);
+        assert_eq!(shared.total_leases(), 3);
+        assert_eq!(shared.peak_active(), 2, "high-water mark survives release");
+    }
+
+    #[test]
+    fn stale_leases_cannot_reach_the_shared_pool() {
+        let mut shared = SharedPausePool::new(1, 64, 2, 1);
+        let a = shared.lease().expect("slot free");
+        let stale = PoolLease { id: a.id() };
+        shared.release(a);
+        assert!(shared.leased(&stale).is_none(), "released lease is stale");
+        // Releasing a stale token is a no-op, not a panic or a double-free.
+        shared.release(stale);
+        assert_eq!(shared.active_leases(), 0);
+    }
+
+    #[test]
+    fn shared_pool_walk_matches_a_private_pool_bit_for_bit() {
+        let (vm, mapped) = vm_with_dirt(512, 24, 13);
+        let visitors: [&dyn FusedPageVisitor; 1] = [&CopyAndFlagOdd];
+
+        let mut private_backup = BackupVm::new(&vm);
+        let mut private = PauseWindowPool::new(3, 512, 2);
+        private
+            .run(vm.memory(), &mut private_backup, &mapped, &visitors)
+            .expect("no faults armed");
+
+        let mut shared_backup = BackupVm::new(&vm);
+        let mut shared = SharedPausePool::new(3, 512, 2, 4);
+        let lease = shared.lease().expect("slot free");
+        let pool = shared.leased(&lease).expect("live lease");
+        pool.run(vm.memory(), &mut shared_backup, &mapped, &visitors)
+            .expect("no faults armed");
+        assert_eq!(pool.findings(), private.findings());
+        shared.release(lease);
+
+        assert_eq!(private_backup.frames(), shared_backup.frames());
+        assert_eq!(private_backup.disk(), shared_backup.disk());
     }
 }

@@ -230,6 +230,18 @@ impl CrimesConfigBuilder {
         self
     }
 
+    /// Mark the tenant as served by an externally owned pause-window pool
+    /// (the fleet scheduler's shared pool). Suppresses the eager
+    /// per-tenant pool allocation — whose undo buffers rival the guest
+    /// image in size — so a thousand-tenant fleet pays for one pool, not
+    /// a thousand. Plain [`Crimes::epoch_boundary`](crate::Crimes)
+    /// entry points still self-provision a pool lazily, so the tenant
+    /// keeps working standalone.
+    pub fn external_pool(&mut self, external: bool) -> &mut Self {
+        self.config.checkpoint.external_pool = external;
+        self
+    }
+
     /// The largest pause-worker count worth running on this host:
     /// `max(available_parallelism, 2)`. The floor of 2 keeps the fused
     /// pipeline reachable (and its bit-identical-for-any-worker-count

@@ -17,7 +17,7 @@ use crate::error::CrimesError;
 use crate::framework::{Crimes, EpochOutcome};
 
 /// Summary of one fleet-wide epoch round.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FleetEpochSummary {
     /// VMs whose epoch committed.
     pub committed: Vec<String>,
@@ -42,6 +42,12 @@ pub struct FleetEpochSummary {
     /// round (also counted in
     /// [`Counter::FleetSkips`](crimes_telemetry::Counter::FleetSkips)).
     pub skipped_quarantined: Vec<String>,
+    /// VMs whose epoch failed with a non-quarantine error this round,
+    /// with the error that stopped them. Their framework recovered (or
+    /// rolled back) per its own fail-closed rules; the round went on to
+    /// the remaining tenants instead of aborting — one tenant's broken
+    /// guest never costs its neighbours their epoch.
+    pub errored: Vec<(String, CrimesError)>,
 }
 
 /// Aggregate fleet statistics.
@@ -83,6 +89,29 @@ impl Fleet {
             return Err(CrimesError::InvalidState("vm name already in use"));
         }
         let crimes = Crimes::protect(vm, config)?;
+        Ok(self.vms.entry(name.to_owned()).or_insert(crimes))
+    }
+
+    /// Like [`add_vm`](Self::add_vm), but timing the tenant's audit
+    /// pipeline against an injected [`Clock`](crimes_telemetry::Clock).
+    /// Determinism tests give every tenant its own
+    /// [`TestClock`](crimes_telemetry::TestClock) so fleet rounds are
+    /// reproducible in virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is taken or protection cannot initialise.
+    pub fn add_vm_with_clock(
+        &mut self,
+        name: &str,
+        vm: Vm,
+        config: CrimesConfig,
+        clock: std::sync::Arc<dyn crimes_telemetry::Clock>,
+    ) -> Result<&mut Crimes, CrimesError> {
+        if self.vms.contains_key(name) {
+            return Err(CrimesError::InvalidState("vm name already in use"));
+        }
+        let crimes = Crimes::protect_with_clock(vm, config, clock)?;
         Ok(self.vms.entry(name.to_owned()).or_insert(crimes))
     }
 
@@ -140,6 +169,19 @@ impl Fleet {
         self.stats
     }
 
+    /// Scheduler access to the tenant map: the fleet scheduler borrows
+    /// several tenants' frameworks at once (one draining while another
+    /// walks), which the public per-name accessors cannot express.
+    pub(crate) fn vms_mut(&mut self) -> &mut BTreeMap<String, Crimes> {
+        &mut self.vms
+    }
+
+    /// Scheduler access to the lifetime stats, updated after the round's
+    /// tenant borrows are released.
+    pub(crate) fn stats_mut(&mut self) -> &mut FleetStats {
+        &mut self.stats
+    }
+
     /// Fleet-level telemetry: every tenant's counters, histograms, and
     /// worker shard totals merged into one
     /// [`Telemetry`](crimes_telemetry::Telemetry) (deterministic — merging
@@ -159,10 +201,15 @@ impl Fleet {
     /// skipped (their state is frozen for forensics), so one tenant's
     /// compromise never stalls the rest of the fleet.
     ///
+    /// Per-tenant failures never abort the round: quarantines land in
+    /// [`FleetEpochSummary::quarantined`] and every other error in
+    /// [`FleetEpochSummary::errored`], and the remaining tenants still
+    /// run their epochs.
+    ///
     /// # Errors
     ///
-    /// Propagates the first guest/introspection error; prior VMs in the
-    /// round keep whatever progress they made.
+    /// Reserved for fleet-level failures; per-tenant errors are reported
+    /// in the summary instead.
     pub fn run_epoch_round<W>(&mut self, mut work: W) -> Result<FleetEpochSummary, CrimesError>
     where
         W: FnMut(&str, &mut Vm, u64) -> Result<(), VmError>,
@@ -198,7 +245,11 @@ impl Fleet {
                 Err(CrimesError::Quarantined { .. }) => {
                     summary.quarantined.push(name.clone());
                 }
-                Err(e) => return Err(e),
+                // Same isolation rule for every other per-tenant failure:
+                // record it and keep the round going.
+                Err(e) => {
+                    summary.errored.push((name.clone(), e));
+                }
             }
             // Zero-touch failover: when a tenant's drain sessions keep
             // failing, reroute it to the standby backup so the backlog
@@ -314,6 +365,32 @@ mod tests {
         assert_eq!(summary.committed.len(), 3);
         assert_eq!(fleet.stats().incidents_detected, 1);
         assert_eq!(fleet.stats().incidents_resolved, 1);
+    }
+
+    #[test]
+    fn one_errored_tenant_does_not_abort_the_round() {
+        let mut fleet = fleet_of(3);
+        // tenant-1's guest work fails with a plain VM error (bogus pid).
+        let summary = fleet
+            .run_epoch_round(|name, vm, _| {
+                if name == "tenant-1" {
+                    vm.dirty_arena_page(9_999, 0, 0, 1)?;
+                }
+                Ok(())
+            })
+            .expect("round is not aborted by a per-tenant error");
+        assert_eq!(summary.errored.len(), 1);
+        assert_eq!(summary.errored[0].0, "tenant-1");
+        assert!(matches!(summary.errored[0].1, CrimesError::Vm(_)));
+        // The tenants after the erroring one in iteration order still ran.
+        assert_eq!(
+            summary.committed,
+            vec!["tenant-0".to_owned(), "tenant-2".to_owned()]
+        );
+        // The errored tenant is healthy again the next round.
+        let summary = fleet.run_epoch_round(|_, _, _| Ok(())).expect("round");
+        assert!(summary.errored.is_empty());
+        assert_eq!(summary.committed.len(), 3);
     }
 
     #[test]

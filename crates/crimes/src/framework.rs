@@ -18,7 +18,7 @@ use std::time::Duration;
 
 use crimes_checkpoint::{
     AuditVerdict, BackupVm, Checkpointer, DrainTicket, EpochReport, FusedAudit, FusedPageVisitor,
-    PageFinding, Phase,
+    PageFinding, PauseWindowPool, Phase,
 };
 use crimes_faults::FaultPoint;
 use crimes_journal::{EvidenceJournal, Record};
@@ -88,6 +88,37 @@ impl EpochOutcome {
     pub fn is_committed(&self) -> bool {
         matches!(self, EpochOutcome::Committed { .. })
     }
+}
+
+/// Progress of one epoch boundary split at the guest's resume — the
+/// fleet scheduler's overlap seam. The pause half (suspend, sharded
+/// walk, verdict, ticket bookkeeping) needs the pause-window pool; the
+/// drain half ([`Crimes::finish_boundary`]) streams staged evidence to
+/// the backup and needs **no** pool, so a scheduler runs it concurrently
+/// with other tenants' in-window walks. [`Crimes::epoch_boundary`] is
+/// exactly the two halves run back to back, so a split boundary is
+/// bit-identical to an unsplit one.
+#[derive(Debug)]
+pub enum BoundaryProgress {
+    /// The boundary completed inside the pause half: a serial commit, an
+    /// incident, an extension — anything that left no deferred drain.
+    Done(EpochOutcome),
+    /// The guest has resumed with a drain ticket pending. The epoch's
+    /// outputs are impounded under the ticket's generation and stay
+    /// impounded until [`Crimes::finish_boundary`] runs — dropping this
+    /// value without finishing never releases anything (fail closed; the
+    /// backlog re-drains at the tenant's next boundary).
+    NeedsDrain(PendingBoundary),
+}
+
+/// The deferred half of a split epoch boundary (see
+/// [`BoundaryProgress::NeedsDrain`]): the pause half's report and audit,
+/// carried opaquely to [`Crimes::finish_boundary`].
+#[derive(Debug)]
+pub struct PendingBoundary {
+    report: EpochReport,
+    audit: AuditReport,
+    epoch: u64,
 }
 
 /// Counters for the framework's degraded modes — how often each
@@ -811,6 +842,53 @@ impl Crimes {
     /// [`CrimesError::Quarantined`] when repeated inconclusive audits or
     /// an unrecoverable rollback forced quarantine.
     pub fn epoch_boundary(&mut self) -> Result<EpochOutcome, CrimesError> {
+        match self.boundary_pause_half(None)? {
+            BoundaryProgress::Done(outcome) => Ok(outcome),
+            BoundaryProgress::NeedsDrain(pending) => self.finish_boundary(pending),
+        }
+    }
+
+    /// Run one full epoch with the sharded walk on a **leased external
+    /// pool** — the fleet scheduler's per-tenant entry point. `work`
+    /// drives the guest for the configured interval; the boundary's pause
+    /// half then runs on `pool` instead of the engine's private pool
+    /// (bit-identical results; see
+    /// [`run_epoch_fused_with`](Checkpointer::run_epoch_fused_with)).
+    /// Returns [`BoundaryProgress`] instead of an outcome: when the
+    /// deferred pipeline leaves a drain ticket, the caller finishes the
+    /// boundary later with [`finish_boundary`](Self::finish_boundary) —
+    /// possibly overlapped with other tenants' walks, since the drain
+    /// needs no pool.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_epoch`](Self::run_epoch).
+    pub fn run_epoch_leased<W>(
+        &mut self,
+        pool: &mut PauseWindowPool,
+        work: W,
+    ) -> Result<BoundaryProgress, CrimesError>
+    where
+        W: FnOnce(&mut Vm, u64) -> Result<(), VmError>,
+    {
+        self.ensure_active()?;
+        if self.pending.is_some() {
+            return Err(CrimesError::InvalidState(
+                "an incident is pending; investigate and roll back first",
+            ));
+        }
+        work(&mut self.vm, self.config.epoch_interval_ms)?;
+        self.boundary_pause_half(Some(pool))
+    }
+
+    /// The pause half of the boundary: suspend, sharded walk (on the
+    /// engine's pool, or on `pool` when leased from a fleet scheduler),
+    /// verdict, and — for the deferred pipeline — drain-ticket
+    /// bookkeeping up to the guest's resume.
+    fn boundary_pause_half(
+        &mut self,
+        pool: Option<&mut PauseWindowPool>,
+    ) -> Result<BoundaryProgress, CrimesError> {
         self.ensure_active()?;
         if self.pending.is_some() {
             return Err(CrimesError::InvalidState(
@@ -844,56 +922,57 @@ impl Crimes {
             // Deferred boundary: the sharded walk snapshots dirty pages
             // into staging instead of copying out; a passing verdict
             // leaves a drain ticket and the backup untouched.
-            checkpointer
-                .run_epoch_staged(
-                    vm,
-                    &mut BoundaryAudit {
-                        detector,
-                        session,
-                        buffer,
-                        output_scanner: output_scanner.as_ref(),
-                        deadline,
-                        vmi_retries,
-                        retries_used: &mut retries_used,
-                        epoch,
-                        clock,
-                        telemetry,
-                        recorder,
-                        robustness,
-                        started_ns: None,
-                        staged: None,
-                        stage_errors: Vec::new(),
-                        audit_slot: &mut audit_slot,
-                    },
-                )
-                .map(|staged| {
-                    pending_ticket = staged.pending;
-                    staged.report
-                })
+            let mut driver = BoundaryAudit {
+                detector,
+                session,
+                buffer,
+                output_scanner: output_scanner.as_ref(),
+                deadline,
+                vmi_retries,
+                retries_used: &mut retries_used,
+                epoch,
+                clock,
+                telemetry,
+                recorder,
+                robustness,
+                started_ns: None,
+                staged: None,
+                stage_errors: Vec::new(),
+                audit_slot: &mut audit_slot,
+            };
+            let staged = match pool {
+                Some(pool) => checkpointer.run_epoch_staged_with(vm, &mut driver, pool),
+                None => checkpointer.run_epoch_staged(vm, &mut driver),
+            };
+            staged.map(|staged| {
+                pending_ticket = staged.pending;
+                staged.report
+            })
         } else if pause_workers > 1 {
             // Fused boundary: scan, copy, and digest share one sharded walk
             // over the dirty pages; the audit is split around it.
-            checkpointer.run_epoch_fused(
-                vm,
-                &mut BoundaryAudit {
-                    detector,
-                    session,
-                    buffer,
-                    output_scanner: output_scanner.as_ref(),
-                    deadline,
-                    vmi_retries,
-                    retries_used: &mut retries_used,
-                    epoch,
-                    clock,
-                    telemetry,
-                    recorder,
-                    robustness,
-                    started_ns: None,
-                    staged: None,
-                    stage_errors: Vec::new(),
-                    audit_slot: &mut audit_slot,
-                },
-            )
+            let mut driver = BoundaryAudit {
+                detector,
+                session,
+                buffer,
+                output_scanner: output_scanner.as_ref(),
+                deadline,
+                vmi_retries,
+                retries_used: &mut retries_used,
+                epoch,
+                clock,
+                telemetry,
+                recorder,
+                robustness,
+                started_ns: None,
+                staged: None,
+                stage_errors: Vec::new(),
+                audit_slot: &mut audit_slot,
+            };
+            match pool {
+                Some(pool) => checkpointer.run_epoch_fused_with(vm, &mut driver, pool),
+                None => checkpointer.run_epoch_fused(vm, &mut driver),
+            }
         } else {
             checkpointer.run_epoch(vm, &mut |paused_vm, dirty| {
                 let started_ns = clock.now_ns();
@@ -935,7 +1014,7 @@ impl Crimes {
                 self.telemetry.add(Counter::CommitFailures, 1);
                 self.recorder
                     .record(epoch, self.clock.now_ns(), EventKind::CommitFailure);
-                return self.recover_failed_commit(e.into());
+                return self.recover_failed_commit(e.into()).map(BoundaryProgress::Done);
             }
         };
         let audit = audit_slot.ok_or(CrimesError::InvalidState("audit hook did not run"))?;
@@ -964,13 +1043,14 @@ impl Crimes {
         match report.verdict {
             AuditVerdict::Pass => {
                 self.consecutive_extensions = 0;
-                // Deferred pipeline: the audit passed but the staged pages
-                // are not yet durable on the backup. Impound the epoch's
-                // outputs under the ticket's generation, stream the staged
-                // slot out, and release only on the backup's ack — the
-                // CRIMES guarantee (no output precedes its epoch's
-                // evidence) survives moving the copy past resume.
-                let released = if let Some(ticket) = pending_ticket {
+                if let Some(ticket) = pending_ticket {
+                    // Deferred pipeline: the audit passed but the staged
+                    // pages are not yet durable on the backup. Impound the
+                    // epoch's outputs under the ticket's generation; the
+                    // drain half streams the slot out and releases only on
+                    // the backup's ack — the CRIMES guarantee (no output
+                    // precedes its epoch's evidence) survives moving the
+                    // copy past resume.
                     let generation = ticket.generation();
                     self.journal.append(&Record::TicketStaged {
                         slot: u64::try_from(ticket.slot()).unwrap_or(u64::MAX),
@@ -987,162 +1067,16 @@ impl Crimes {
                         },
                     );
                     self.pending_drains.push_back(ticket);
-                    // Drain sessions run oldest ticket first: a backlog
-                    // accumulated during a backup outage flushes in
-                    // generation order before this epoch's ticket.
-                    let drain_t0 = self.clock.now_ns();
-                    let mut released = Vec::new();
-                    let mut failed: Option<(crimes_checkpoint::CheckpointError, u64)> = None;
-                    while let Some(&next) = self.pending_drains.front() {
-                        match self.checkpointer.drain_staged(&self.vm, next) {
-                            Ok(ack) => {
-                                self.pending_drains.pop_front();
-                                self.telemetry.add(Counter::DrainAcks, 1);
-                                if ack.resumed_from > 0 {
-                                    // The session reconnected mid-stream and
-                                    // resynced from the slot's cursor.
-                                    self.telemetry.add(Counter::DrainResyncs, 1);
-                                    self.recorder.record(
-                                        epoch,
-                                        self.clock.now_ns(),
-                                        EventKind::DrainResync {
-                                            pages: u32::try_from(ack.resumed_from)
-                                                .unwrap_or(u32::MAX),
-                                        },
-                                    );
-                                }
-                                self.recorder.record(
-                                    epoch,
-                                    self.clock.now_ns(),
-                                    EventKind::DrainAcked {
-                                        pages: u32::try_from(ack.pages).unwrap_or(u32::MAX),
-                                    },
-                                );
-                                self.journal.append(&Record::TicketAcked {
-                                    generation: ack.generation,
-                                    pages: u64::try_from(ack.pages).unwrap_or(u64::MAX),
-                                });
-                                self.journal
-                                    .append(&Record::ReleaseAcked { generation: ack.generation });
-                                released.extend(
-                                    self.buffer.release_acked(ack.generation, self.vm.now_ns()),
-                                );
-                            }
-                            Err(e) => {
-                                failed = Some((e, next.generation()));
-                                break;
-                            }
-                        }
-                    }
-                    self.telemetry.record_phase_ns(
-                        DRAIN_PHASE,
-                        self.clock.now_ns().saturating_sub(drain_t0),
-                    );
-                    if let Some((e, stuck_generation)) = failed {
-                        self.telemetry.add(Counter::DrainFailures, 1);
-                        self.recorder.record(
-                            epoch,
-                            self.clock.now_ns(),
-                            EventKind::DrainFailed {
-                                attempts: self.config.checkpoint.copy_retries + 1,
-                            },
-                        );
-                        let backlog =
-                            u64::try_from(self.pending_drains.len()).unwrap_or(u64::MAX);
-                        if self.config.max_staged_backlog == 0 {
-                            // Degraded mode disabled: the epoch's evidence
-                            // never became durable, so its impounded
-                            // outputs must never escape. Recover exactly
-                            // as a failed commit: discard the speculation,
-                            // roll back to checksum-verified state, or
-                            // quarantine.
-                            self.robustness.commit_failures += 1;
-                            self.telemetry.add(Counter::CommitFailures, 1);
-                            self.recorder.record(
-                                epoch,
-                                self.clock.now_ns(),
-                                EventKind::CommitFailure,
-                            );
-                            return self.recover_failed_commit(e.into());
-                        }
-                        if backlog > self.config.max_staged_backlog {
-                            // The outage outlasted the budget. Everything
-                            // staged stays impounded as evidence; the VM
-                            // suspends until an operator intervenes.
-                            return Err(self.quarantine(
-                                "backup unreachable beyond the staged backlog",
-                            ));
-                        }
-                        // Degraded mode: the audit passed, so the guest
-                        // keeps speculating with this window's outputs
-                        // impounded under their generations. Nothing is
-                        // committed — the backlog re-drains (and releases)
-                        // at a later boundary or after a failover.
-                        self.journal.append(&Record::Degraded {
-                            generation: stuck_generation,
-                            backlog,
-                        });
-                        self.telemetry.add(Counter::DegradedEpochs, 1);
-                        self.recorder.record(
-                            epoch,
-                            self.clock.now_ns(),
-                            EventKind::Degraded {
-                                backlog: u32::try_from(backlog).unwrap_or(u32::MAX),
-                            },
-                        );
-                        self.sync_journal_events();
-                        return Ok(EpochOutcome::Degraded {
-                            report,
-                            audit,
-                            backlog: u32::try_from(backlog).unwrap_or(u32::MAX),
-                        });
-                    }
-                    released
-                } else {
-                    self.journal.append(&Record::ReleaseHeld);
-                    self.buffer.release(self.vm.now_ns())
-                };
-                // Async deep forensics: ship the fresh checkpoint (for the
-                // deferred pipeline, only durable now that the drain
-                // acked) and collect anything the worker finished.
-                if let Some((scanner, every)) = self.async_forensics.as_mut() {
-                    let epoch = self.committed_epochs + 1;
-                    if epoch.is_multiple_of(*every) {
-                        let dump = crimes_forensics::MemoryDump::from_frames(
-                            self.checkpointer.backup().frames(),
-                            &self.vm,
-                            crimes_forensics::DumpKind::Adhoc,
-                            self.vm.now_ns(),
-                        );
-                        scanner.dispatch(epoch, dump);
-                    }
-                    self.deferred.extend(scanner.poll());
+                    return Ok(BoundaryProgress::NeedsDrain(PendingBoundary {
+                        report,
+                        audit,
+                        epoch,
+                    }));
                 }
-                self.telemetry.add(Counter::EpochsCommitted, 1);
-                self.telemetry
-                    .add(Counter::OutputsReleased, u64::try_from(released.len()).unwrap_or(0));
-                self.recorder.record(
-                    epoch,
-                    self.clock.now_ns(),
-                    EventKind::Committed {
-                        released: u32::try_from(released.len()).unwrap_or(u32::MAX),
-                    },
-                );
-                self.last_good_meta = self.vm.meta_snapshot();
-                // The committed epoch's ops are no longer needed for replay.
-                let mark = self.vm.trace_mark();
-                self.vm.trace_truncate_before(mark);
-                self.epoch_start_mark = self.vm.trace_mark();
-                self.journal.append(&Record::Committed {
-                    epoch: self.committed_epochs,
-                });
-                self.committed_epochs += 1;
-                self.sync_journal_events();
-                Ok(EpochOutcome::Committed {
-                    report,
-                    audit,
-                    released,
-                })
+                self.journal.append(&Record::ReleaseHeld);
+                let released = self.buffer.release(self.vm.now_ns());
+                self.commit_epoch_tail(epoch, report, audit, released)
+                    .map(BoundaryProgress::Done)
             }
             AuditVerdict::Fail => {
                 self.consecutive_extensions = 0;
@@ -1160,7 +1094,10 @@ impl Crimes {
                 });
                 self.pending = Some(audit.clone());
                 self.sync_journal_events();
-                Ok(EpochOutcome::AttackDetected { report, audit })
+                Ok(BoundaryProgress::Done(EpochOutcome::AttackDetected {
+                    report,
+                    audit,
+                }))
             }
             AuditVerdict::Inconclusive => {
                 // Fail closed by extending speculation: nothing committed,
@@ -1189,13 +1126,194 @@ impl Crimes {
                     "audit overran its deadline"
                 };
                 self.sync_journal_events();
-                Ok(EpochOutcome::Extended {
+                Ok(BoundaryProgress::Done(EpochOutcome::Extended {
                     report,
                     cause,
                     consecutive,
-                })
+                }))
             }
         }
+    }
+
+    /// The drain half of a split boundary: flush the pending drain queue
+    /// oldest-first, release outputs on each ack, and commit — or
+    /// degrade, quarantine, or recover when the backup stays unreachable.
+    /// Needs no pause-window pool (the guest already resumed), which is
+    /// what lets a fleet scheduler overlap this work with other tenants'
+    /// in-window walks. [`epoch_boundary`](Self::epoch_boundary) calls it
+    /// immediately after the pause half, so a split boundary and an
+    /// unsplit one produce identical journals, outputs, and telemetry.
+    ///
+    /// # Errors
+    ///
+    /// The drain-failure half of
+    /// [`epoch_boundary`](Self::epoch_boundary)'s error surface:
+    /// [`CrimesError::Checkpoint`] after an unrecoverable drain with
+    /// degraded mode disabled (the VM was rolled back and resumed), or
+    /// [`CrimesError::Quarantined`] when the staged backlog outgrew its
+    /// budget.
+    pub fn finish_boundary(
+        &mut self,
+        pending: PendingBoundary,
+    ) -> Result<EpochOutcome, CrimesError> {
+        let PendingBoundary {
+            report,
+            audit,
+            epoch,
+        } = pending;
+        // Drain sessions run oldest ticket first: a backlog accumulated
+        // during a backup outage flushes in generation order before this
+        // epoch's ticket.
+        let drain_t0 = self.clock.now_ns();
+        let mut released = Vec::new();
+        let mut failed: Option<(crimes_checkpoint::CheckpointError, u64)> = None;
+        while let Some(&next) = self.pending_drains.front() {
+            match self.checkpointer.drain_staged(&self.vm, next) {
+                Ok(ack) => {
+                    self.pending_drains.pop_front();
+                    self.telemetry.add(Counter::DrainAcks, 1);
+                    if ack.resumed_from > 0 {
+                        // The session reconnected mid-stream and
+                        // resynced from the slot's cursor.
+                        self.telemetry.add(Counter::DrainResyncs, 1);
+                        self.recorder.record(
+                            epoch,
+                            self.clock.now_ns(),
+                            EventKind::DrainResync {
+                                pages: u32::try_from(ack.resumed_from).unwrap_or(u32::MAX),
+                            },
+                        );
+                    }
+                    self.recorder.record(
+                        epoch,
+                        self.clock.now_ns(),
+                        EventKind::DrainAcked {
+                            pages: u32::try_from(ack.pages).unwrap_or(u32::MAX),
+                        },
+                    );
+                    self.journal.append(&Record::TicketAcked {
+                        generation: ack.generation,
+                        pages: u64::try_from(ack.pages).unwrap_or(u64::MAX),
+                    });
+                    self.journal
+                        .append(&Record::ReleaseAcked { generation: ack.generation });
+                    released.extend(self.buffer.release_acked(ack.generation, self.vm.now_ns()));
+                }
+                Err(e) => {
+                    failed = Some((e, next.generation()));
+                    break;
+                }
+            }
+        }
+        self.telemetry
+            .record_phase_ns(DRAIN_PHASE, self.clock.now_ns().saturating_sub(drain_t0));
+        if let Some((e, stuck_generation)) = failed {
+            self.telemetry.add(Counter::DrainFailures, 1);
+            self.recorder.record(
+                epoch,
+                self.clock.now_ns(),
+                EventKind::DrainFailed {
+                    attempts: self.config.checkpoint.copy_retries + 1,
+                },
+            );
+            let backlog = u64::try_from(self.pending_drains.len()).unwrap_or(u64::MAX);
+            if self.config.max_staged_backlog == 0 {
+                // Degraded mode disabled: the epoch's evidence
+                // never became durable, so its impounded
+                // outputs must never escape. Recover exactly
+                // as a failed commit: discard the speculation,
+                // roll back to checksum-verified state, or
+                // quarantine.
+                self.robustness.commit_failures += 1;
+                self.telemetry.add(Counter::CommitFailures, 1);
+                self.recorder
+                    .record(epoch, self.clock.now_ns(), EventKind::CommitFailure);
+                return self.recover_failed_commit(e.into());
+            }
+            if backlog > self.config.max_staged_backlog {
+                // The outage outlasted the budget. Everything
+                // staged stays impounded as evidence; the VM
+                // suspends until an operator intervenes.
+                return Err(self.quarantine("backup unreachable beyond the staged backlog"));
+            }
+            // Degraded mode: the audit passed, so the guest
+            // keeps speculating with this window's outputs
+            // impounded under their generations. Nothing is
+            // committed — the backlog re-drains (and releases)
+            // at a later boundary or after a failover.
+            self.journal.append(&Record::Degraded {
+                generation: stuck_generation,
+                backlog,
+            });
+            self.telemetry.add(Counter::DegradedEpochs, 1);
+            self.recorder.record(
+                epoch,
+                self.clock.now_ns(),
+                EventKind::Degraded {
+                    backlog: u32::try_from(backlog).unwrap_or(u32::MAX),
+                },
+            );
+            self.sync_journal_events();
+            return Ok(EpochOutcome::Degraded {
+                report,
+                audit,
+                backlog: u32::try_from(backlog).unwrap_or(u32::MAX),
+            });
+        }
+        self.commit_epoch_tail(epoch, report, audit, released)
+    }
+
+    /// The shared commit tail of a passing boundary: async forensics
+    /// dispatch, commit counters and events, replay-trace truncation, the
+    /// journal's commit record, and the final outcome.
+    fn commit_epoch_tail(
+        &mut self,
+        epoch: u64,
+        report: EpochReport,
+        audit: AuditReport,
+        released: Vec<Output>,
+    ) -> Result<EpochOutcome, CrimesError> {
+        // Async deep forensics: ship the fresh checkpoint (for the
+        // deferred pipeline, only durable now that the drain
+        // acked) and collect anything the worker finished.
+        if let Some((scanner, every)) = self.async_forensics.as_mut() {
+            let epoch = self.committed_epochs + 1;
+            if epoch.is_multiple_of(*every) {
+                let dump = crimes_forensics::MemoryDump::from_frames(
+                    self.checkpointer.backup().frames(),
+                    &self.vm,
+                    crimes_forensics::DumpKind::Adhoc,
+                    self.vm.now_ns(),
+                );
+                scanner.dispatch(epoch, dump);
+            }
+            self.deferred.extend(scanner.poll());
+        }
+        self.telemetry.add(Counter::EpochsCommitted, 1);
+        self.telemetry
+            .add(Counter::OutputsReleased, u64::try_from(released.len()).unwrap_or(0));
+        self.recorder.record(
+            epoch,
+            self.clock.now_ns(),
+            EventKind::Committed {
+                released: u32::try_from(released.len()).unwrap_or(u32::MAX),
+            },
+        );
+        self.last_good_meta = self.vm.meta_snapshot();
+        // The committed epoch's ops are no longer needed for replay.
+        let mark = self.vm.trace_mark();
+        self.vm.trace_truncate_before(mark);
+        self.epoch_start_mark = self.vm.trace_mark();
+        self.journal.append(&Record::Committed {
+            epoch: self.committed_epochs,
+        });
+        self.committed_epochs += 1;
+        self.sync_journal_events();
+        Ok(EpochOutcome::Committed {
+            report,
+            audit,
+            released,
+        })
     }
 
     /// The checkpoint copy exhausted its retries: this epoch's writes can

@@ -65,6 +65,7 @@ pub mod fleet;
 pub mod framework;
 pub mod modules;
 pub mod replay;
+pub mod scheduler;
 
 pub use analyzer::{Analysis, AnalysisDumps, Analyzer};
 pub use async_scan::{AsyncScanResult, AsyncScanStats, AsyncScanner};
@@ -74,5 +75,6 @@ pub use detector::{
 };
 pub use error::CrimesError;
 pub use fleet::{Fleet, FleetEpochSummary, FleetStats};
-pub use framework::{Crimes, EpochOutcome, RobustnessStats};
+pub use framework::{BoundaryProgress, Crimes, EpochOutcome, PendingBoundary, RobustnessStats};
 pub use replay::{AttackPinpoint, ReplayEngine};
+pub use scheduler::{FleetScheduler, FleetSchedulerConfig, SchedulerStats};

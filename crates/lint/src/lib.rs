@@ -103,6 +103,7 @@ impl Default for LintConfig {
             fail_closed: [
                 "crates/crimes/src/framework.rs",
                 "crates/crimes/src/replay.rs",
+                "crates/crimes/src/scheduler.rs",
                 "crates/checkpoint/src/engine.rs",
                 "crates/checkpoint/src/copy.rs",
                 "crates/checkpoint/src/integrity.rs",

@@ -57,6 +57,27 @@ fn panic_freedom_passes_a_checked_journal_module() {
 }
 
 #[test]
+fn panic_freedom_covers_the_fleet_scheduler_module() {
+    // The scheduler leases the shared pause pool while guests are
+    // suspended; a panic there strands every tenant in the wave, so it
+    // joins the fail-closed set like the framework it drives.
+    let report = lint("sched-bad");
+    assert_eq!(report.diagnostics.len(), 2, "{}", report.render());
+    for d in &report.diagnostics {
+        assert_eq!(d.rule, "panic-freedom");
+        assert_eq!(d.path, "crates/crimes/src/scheduler.rs");
+    }
+    let lines: Vec<u32> = report.diagnostics.iter().map(|d| d.line).collect();
+    assert_eq!(lines, [2, 6], "the wave indexing and the lease expect");
+}
+
+#[test]
+fn panic_freedom_passes_a_checked_fleet_scheduler_module() {
+    let report = lint("sched-good");
+    assert!(report.ok(), "{}", report.render());
+}
+
+#[test]
 fn pause_window_flags_wall_clocks_reached_transitively() {
     let report = lint("pause-bad");
     assert_eq!(report.diagnostics.len(), 1, "{}", report.render());

@@ -1,0 +1,7 @@
+pub fn next_wave(waves: &[Vec<String>], idx: usize) -> &Vec<String> {
+    &waves[idx]
+}
+
+pub fn take_lease(lease: Option<u64>) -> u64 {
+    lease.expect("lease granted")
+}

@@ -1,0 +1,7 @@
+pub fn next_wave(waves: &[Vec<String>], idx: usize) -> Option<&Vec<String>> {
+    waves.get(idx)
+}
+
+pub fn take_lease(lease: Option<u64>) -> Result<u64, &'static str> {
+    lease.ok_or("the shared pool refused the lease")
+}

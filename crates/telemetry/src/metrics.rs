@@ -65,11 +65,20 @@ pub enum Counter {
     /// Drains rerouted to a standby backup after consecutive session
     /// failures crossed the failover threshold.
     BackupFailovers,
+    /// Fleet-wide epoch rounds driven by the fleet scheduler over its
+    /// shared pause-window pool.
+    FleetRounds,
+    /// Leases granted against a shared pause-window pool (one per tenant
+    /// boundary that suspended a guest under the scheduler).
+    SharedPoolLeases,
+    /// Fleet-level clamps of the shared pool's worker count to the host's
+    /// CPU budget — the one clamp that replaces N per-tenant clamps.
+    FleetWorkerClamps,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 20] = [
         Counter::EpochsCommitted,
         Counter::AttacksDetected,
         Counter::SpeculationExtensions,
@@ -87,6 +96,9 @@ impl Counter {
         Counter::DegradedEpochs,
         Counter::DrainResyncs,
         Counter::BackupFailovers,
+        Counter::FleetRounds,
+        Counter::SharedPoolLeases,
+        Counter::FleetWorkerClamps,
     ];
 
     /// The counter's stable export name (snake_case; part of the
@@ -110,6 +122,9 @@ impl Counter {
             Counter::DegradedEpochs => "degraded_epochs",
             Counter::DrainResyncs => "drain_resyncs",
             Counter::BackupFailovers => "backup_failovers",
+            Counter::FleetRounds => "fleet_rounds",
+            Counter::SharedPoolLeases => "shared_pool_leases",
+            Counter::FleetWorkerClamps => "fleet_worker_clamps",
         }
     }
 

@@ -68,6 +68,32 @@ CRIMES_BENCH_EPOCHS=3 CRIMES_BENCH_OUT="${SMOKE_JSON}" scripts/bench_baseline.sh
 grep -q '"name": "deferred"' "${SMOKE_JSON}"
 rm -f "${SMOKE_JSON}"
 
+echo "==> fleet bench smoke (20-tenant staggered round over one shared pool)"
+# A short scheduled-vs-serial run at one scale pins the fleet JSON
+# schema and the throughput contract. On a multi-CPU host the staggered
+# round with overlapped drains must beat the serial round outright; on a
+# single-CPU host the overlap threads timeshare one core, so the gate
+# relaxes to near-parity (the scheduler must never cost real
+# throughput). Scratch output path — the committed BENCH_fleet.json
+# keeps its full 10/100/500 sweep.
+FLEET_JSON="$(mktemp)"
+CRIMES_BENCH_SCALES=20 CRIMES_BENCH_ROUNDS=3 CRIMES_BENCH_OUT="${FLEET_JSON}" \
+    scripts/bench_fleet.sh > /dev/null
+for key in tenants_per_sec pages_per_sec p99_pause_ms speedup_scheduled_vs_serial \
+           host_cpus_note peak_leases granted_pool_workers fleet_worker_clamp_engaged; do
+    grep -q "\"${key}\"" "${FLEET_JSON}"
+done
+FLEET_SPEEDUP="$(grep -o '"speedup_scheduled_vs_serial": [0-9.]*' "${FLEET_JSON}" \
+    | head -n1 | grep -o '[0-9.]*$')"
+if [ "$(nproc)" -gt 1 ]; then
+    FLEET_FLOOR="1.0"
+else
+    FLEET_FLOOR="0.75"
+fi
+echo "    scheduled-vs-serial speedup: ${FLEET_SPEEDUP} (floor ${FLEET_FLOOR}, $(nproc)-cpu host)"
+awk -v s="${FLEET_SPEEDUP}" -v f="${FLEET_FLOOR}" 'BEGIN { exit !(s >= f) }'
+rm -f "${FLEET_JSON}"
+
 echo "==> telemetry overhead bench smoke (recording vs pause window, 5% budget)"
 # The bin itself asserts overhead_pct <= 5.0 and exits nonzero past the
 # budget; the JSON goes to a scratch path so the committed

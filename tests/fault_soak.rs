@@ -368,6 +368,190 @@ fn soak_fail_closed_under_injected_faults() {
     );
 }
 
+/// Fleet-level soak: the fleet scheduler drives rounds over a shared
+/// pause-window pool while the same fault plan hammers every tenant.
+/// Scheduler-specific fail-closed invariants:
+///
+/// * a round never aborts — per-tenant failures land in the summary's
+///   `quarantined`/`errored` buckets and the other tenants still run;
+/// * an attacked tenant never appears in `committed` while its attack is
+///   outstanding — it is detected, discarded with its speculation, or
+///   stays contained in an extension;
+/// * the shared pool never grants more leases than its capacity.
+///
+/// `CRIMES_FLEET_SOAK_ROUNDS` scales the length (default 150 rounds of 4
+/// tenants); `CRIMES_FAULT_SEED` replays a failure bit-exactly (faults
+/// are thread-local, so the scheduler runs its drains inline here).
+#[test]
+fn fleet_soak_scheduler_fail_closed_under_injected_faults() {
+    use crimes::modules::BlacklistScanModule;
+    use crimes::{Fleet, FleetScheduler, FleetSchedulerConfig};
+    use std::collections::BTreeMap;
+
+    let seed = env_u64("CRIMES_FAULT_SEED", DEFAULT_SEED);
+    let rounds = env_u64("CRIMES_FLEET_SOAK_ROUNDS", 150);
+    let _scope = install(soak_plan(), seed ^ 0xf1ee);
+    let mut driver = ChaCha8Rng::seed_from_u64(seed ^ 0x0f1e_e750);
+
+    let fleet_config = |i: u64| {
+        let mut cfg = CrimesConfig::builder();
+        cfg.epoch_interval_ms(10).external_pool(true);
+        match i % 3 {
+            0 => {
+                cfg.pause_workers(4);
+            }
+            1 => {
+                cfg.pause_workers(1);
+            }
+            _ => {
+                cfg.pause_workers(2).staging_buffers(2);
+            }
+        }
+        cfg.build().expect("valid config")
+    };
+    let fresh_tenant = |fleet: &mut Fleet, name: &str, generation: u64| {
+        let mut b = Vm::builder();
+        b.pages(1024).seed(3_000 + generation);
+        fleet.remove_vm(name);
+        let crimes = fleet
+            .add_vm(name, b.build(), fleet_config(generation))
+            .expect("add tenant");
+        crimes.register_module(Box::new(BlacklistScanModule::bundled()));
+    };
+
+    let names: Vec<String> = (0..4).map(|i| format!("tenant-{i}")).collect();
+    let mut fleet = Fleet::new();
+    let mut generation = 0u64;
+    for name in &names {
+        generation += 1;
+        fresh_tenant(&mut fleet, name, generation);
+    }
+    let mut sched = FleetScheduler::for_fleet(
+        &fleet,
+        FleetSchedulerConfig {
+            max_concurrent_pauses: 2,
+            pool_workers: 4,
+            overlap_drains: true,
+        },
+    );
+
+    let mut attack_pending: BTreeMap<String, bool> =
+        names.iter().map(|n| (n.clone(), false)).collect();
+    let mut committed = 0u64;
+    let mut attacks_launched = 0u64;
+    let mut attacks_detected = 0u64;
+    let mut attacks_discarded = 0u64;
+
+    for round in 0..rounds {
+        // Schedule fresh attacks on tenants without one outstanding.
+        let mut attack_now: Vec<String> = Vec::new();
+        for name in &names {
+            if !attack_pending[name] && driver.gen_range(0..100) < 5 {
+                attack_now.push(name.clone());
+                attacks_launched += 1;
+            }
+        }
+        let summary = sched
+            .run_round(&mut fleet, |name, vm, ms| {
+                vm.write_disk(round % 16, &[round as u8; 32])?;
+                if attack_now.iter().any(|n| n == name) {
+                    attacks::inject_malware_launch(vm, "mirai")?;
+                }
+                vm.advance_time(ms * 1_000_000);
+                Ok(())
+            })
+            .expect("a fleet round never aborts on per-tenant failures");
+        for name in attack_now {
+            attack_pending.insert(name, true);
+        }
+
+        for name in &summary.committed {
+            assert!(
+                !attack_pending[name],
+                "round {round}: {name} committed with an attack outstanding"
+            );
+            committed += 1;
+        }
+        for name in &summary.degraded {
+            // The drain only runs after the in-window audit passed.
+            assert!(
+                !attack_pending[name],
+                "round {round}: {name} degraded with an attack outstanding"
+            );
+        }
+        for name in summary.new_incidents.clone() {
+            assert!(
+                attack_pending[&name],
+                "round {round}: {name} detected without an injected attack"
+            );
+            attacks_detected += 1;
+            // Zero-touch response; forensics is best-effort under faults.
+            match fleet.investigate(&name) {
+                Ok(_) | Err(CrimesError::Vmi(crimes_vmi::VmiError::TransientReadFault)) => {}
+                Err(e) => panic!("round {round}: investigation failed hard: {e}"),
+            }
+            match fleet.rollback_and_resume(&name) {
+                Ok(_) => {
+                    attack_pending.insert(name, false);
+                }
+                Err(CrimesError::Quarantined { .. }) => {
+                    generation += 1;
+                    fresh_tenant(&mut fleet, &name, generation);
+                    attack_pending.insert(name, false);
+                }
+                Err(e) => panic!("round {round}: rollback failed: {e}"),
+            }
+        }
+        for (name, _e) in summary.errored.clone() {
+            // Copy/drain exhaustion rolled the tenant back to verified
+            // state; an attack in flight was discarded with the
+            // speculation.
+            if attack_pending[&name] {
+                attacks_discarded += 1;
+                attack_pending.insert(name, false);
+            }
+        }
+        for name in summary
+            .quarantined
+            .iter()
+            .chain(summary.skipped_quarantined.iter())
+            .cloned()
+            .collect::<Vec<_>>()
+        {
+            if attack_pending[&name] {
+                attacks_discarded += 1;
+            }
+            generation += 1;
+            fresh_tenant(&mut fleet, &name, generation);
+            attack_pending.insert(name, false);
+        }
+        // Extensions keep their attack contained and outstanding.
+    }
+
+    let stats = sched.stats();
+    println!(
+        "fleet soak: {rounds} rounds x {} tenants, {committed} commits, \
+         {attacks_detected}/{attacks_launched} attacks detected \
+         ({attacks_discarded} discarded with their speculation), \
+         {} tenant generations, {} pool leases (peak {})",
+        names.len(),
+        generation,
+        stats.total_leases,
+        stats.peak_leases,
+    );
+    assert_eq!(stats.rounds, rounds);
+    assert!(
+        stats.peak_leases <= stats.capacity,
+        "the shared pool over-granted leases"
+    );
+    assert_eq!(
+        attacks_detected + attacks_discarded,
+        attacks_launched,
+        "every injected attack must be caught at a boundary or discarded with its speculation"
+    );
+    assert!(committed > 0, "the fleet must make progress under faults");
+}
+
 /// Quarantine invariants: the tenant is terminal and its outputs are
 /// impounded — rejected work, nothing released, nothing discarded.
 fn assert_impounded(c: &mut Crimes, epoch: u64) {

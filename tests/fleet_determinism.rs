@@ -1,0 +1,243 @@
+//! Determinism property of the fleet scheduler: a staggered round over
+//! one **shared** pause-window pool must be bit-identical, per tenant, to
+//! the serial [`Fleet::run_epoch_round`] — for every tenant count and
+//! every pool lease capacity. Identical means identical everywhere it
+//! can be observed: round summaries, committed epoch counts, backup
+//! frames and disk, image digests, telemetry counters, and the raw
+//! evidence-journal bytes.
+//!
+//! Tenants rotate through all three boundary pipelines (serial, fused,
+//! deferred/staged) and run on injected [`TestClock`]s, so the scheduled
+//! rounds replay in virtual time exactly like the serial ones. A second
+//! scenario replays a round containing one attacked tenant and one
+//! degraded tenant (backup outage on the only staged tenant) both ways.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crimes::modules::BlacklistScanModule;
+use crimes::{Crimes, CrimesConfig, Fleet, FleetScheduler, FleetSchedulerConfig};
+use crimes_checkpoint::image_digest;
+use crimes_telemetry::{Counter, TestClock};
+use crimes_vm::{Vm, VmError};
+use crimes_workloads::attacks;
+
+const ROUNDS: u64 = 4;
+
+fn guest(seed: u64) -> Vm {
+    let mut b = Vm::builder();
+    b.pages(768).seed(seed);
+    b.build()
+}
+
+/// Tenant `i`'s configuration. The rotation covers the serial boundary,
+/// the fused pause-window walk, and the deferred (staged) pipeline, so
+/// the shared pool serves every pipeline the serial round would run.
+/// `external` marks the tenant as served by the scheduler's shared pool
+/// (no private pool allocation) — the serial reference fleet keeps
+/// private pools, which is exactly the cross-pool-ownership equality
+/// under test.
+fn tenant_config(i: u64, external: bool) -> CrimesConfig {
+    let mut b = CrimesConfig::builder();
+    b.epoch_interval_ms(20);
+    match i % 3 {
+        0 => {
+            b.pause_workers(1);
+        }
+        1 => {
+            b.pause_workers(2);
+        }
+        _ => {
+            b.pause_workers(4).staging_buffers(3).max_staged_backlog(2);
+        }
+    }
+    b.external_pool(external);
+    b.build().expect("valid config")
+}
+
+fn build_fleet(tenants: u64, external: bool) -> Fleet {
+    let mut fleet = Fleet::new();
+    for i in 0..tenants {
+        let crimes = fleet
+            .add_vm_with_clock(
+                &format!("tenant-{i}"),
+                guest(500 + i),
+                tenant_config(i, external),
+                Arc::new(TestClock::new()),
+            )
+            .expect("add tenant");
+        crimes.register_module(Box::new(BlacklistScanModule::bundled()));
+    }
+    fleet
+}
+
+/// Deterministic per-(tenant, round) guest activity: a couple of disk
+/// writes derived from an FNV-1a mix of the tenant name and round.
+fn work(round: u64, name: &str, vm: &mut Vm, ms: u64) -> Result<(), VmError> {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ round;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    vm.write_disk(h % 16, &[h as u8; 32])?;
+    vm.write_disk((h >> 8) % 16, &[(h >> 16) as u8; 48])?;
+    vm.advance_time(ms * 1_000_000);
+    Ok(())
+}
+
+/// Everything observable about one tenant that must not depend on how
+/// its rounds were scheduled.
+#[derive(Debug, PartialEq)]
+struct TenantPrint {
+    committed_epochs: u64,
+    frames: Vec<u8>,
+    disk: Vec<u8>,
+    digest: u64,
+    journal: Vec<u8>,
+    epochs_committed_counter: u64,
+    attacks_detected_counter: u64,
+    degraded_counter: u64,
+}
+
+fn print_of(crimes: &Crimes) -> TenantPrint {
+    let frames = crimes.checkpointer().backup().frames().to_vec();
+    let disk = crimes.checkpointer().backup().disk().to_vec();
+    let digest = image_digest(&frames, &disk);
+    TenantPrint {
+        committed_epochs: crimes.committed_epochs(),
+        frames,
+        disk,
+        digest,
+        journal: crimes.journal().bytes().to_vec(),
+        epochs_committed_counter: crimes.telemetry().counter(Counter::EpochsCommitted),
+        attacks_detected_counter: crimes.telemetry().counter(Counter::AttacksDetected),
+        degraded_counter: crimes.telemetry().counter(Counter::DegradedEpochs),
+    }
+}
+
+fn fingerprints(fleet: &Fleet) -> BTreeMap<String, TenantPrint> {
+    fleet
+        .names()
+        .into_iter()
+        .map(|name| {
+            let crimes = fleet.get(name).expect("named tenant exists");
+            (name.to_owned(), print_of(crimes))
+        })
+        .collect()
+}
+
+#[test]
+fn staggered_shared_pool_rounds_match_serial_fingerprints() {
+    for &tenants in &[1u64, 3, 8] {
+        // Serial reference: every tenant on its own private pool.
+        let mut serial = build_fleet(tenants, false);
+        let mut serial_summaries = Vec::new();
+        for round in 0..ROUNDS {
+            serial_summaries.push(
+                serial
+                    .run_epoch_round(|n, vm, ms| work(round, n, vm, ms))
+                    .expect("serial round"),
+            );
+        }
+        let want = fingerprints(&serial);
+
+        for &pauses in &[1usize, 2, 4] {
+            let mut fleet = build_fleet(tenants, true);
+            let mut sched = FleetScheduler::for_fleet(
+                &fleet,
+                FleetSchedulerConfig {
+                    max_concurrent_pauses: pauses,
+                    pool_workers: 3,
+                    overlap_drains: true,
+                },
+            );
+            let mut summaries = Vec::new();
+            for round in 0..ROUNDS {
+                summaries.push(
+                    sched
+                        .run_round(&mut fleet, |n, vm, ms| work(round, n, vm, ms))
+                        .expect("scheduled round"),
+                );
+            }
+            assert_eq!(
+                serial_summaries, summaries,
+                "summaries diverged (tenants={tenants}, pool capacity={pauses})"
+            );
+            assert_eq!(
+                want,
+                fingerprints(&fleet),
+                "per-tenant fingerprints diverged (tenants={tenants}, pool capacity={pauses})"
+            );
+            assert_eq!(sched.stats().rounds, ROUNDS);
+            assert!(
+                sched.stats().peak_leases <= pauses,
+                "the shared pool granted more leases than its capacity"
+            );
+        }
+    }
+}
+
+/// One round with one attacked tenant and one degraded tenant (the only
+/// staged tenant, under a full-rate backup outage) reproduces serially
+/// and scheduled — down to the journal bytes recording the incident and
+/// the degradation.
+#[test]
+fn attacked_and_degraded_round_matches_serial() {
+    let drive = |serial: bool| {
+        // tenant-2 is the staged tenant (i % 3 == 2) and will degrade;
+        // tenant-1 is attacked.
+        let mut fleet = build_fleet(4, !serial);
+        let mut sched = (!serial).then(|| {
+            FleetScheduler::for_fleet(
+                &fleet,
+                FleetSchedulerConfig {
+                    max_concurrent_pauses: 2,
+                    pool_workers: 2,
+                    overlap_drains: true,
+                },
+            )
+        });
+        let mut run = |fleet: &mut Fleet, round: u64, outage: bool| {
+            let work = |name: &str, vm: &mut Vm, ms: u64| {
+                if round == 1 && name == "tenant-1" {
+                    attacks::inject_malware_launch(vm, "mirai")?;
+                }
+                work(round, name, vm, ms)
+            };
+            let _scope = outage.then(|| {
+                crimes_faults::install(
+                    crimes_faults::FaultPlan::disabled().with_rate(
+                        crimes_faults::FaultPoint::BackupOutage,
+                        crimes_faults::SCALE,
+                    ),
+                    97,
+                )
+            });
+            match sched.as_mut() {
+                Some(sched) => sched.run_round(fleet, work).expect("scheduled round"),
+                None => fleet.run_epoch_round(work).expect("serial round"),
+            }
+        };
+        // Warm-up, then the attacked + degraded round, then a recovery
+        // round where the backlog re-drains against a reachable backup.
+        let warm = run(&mut fleet, 0, false);
+        let hot = run(&mut fleet, 1, true);
+        let cool = run(&mut fleet, 2, false);
+        (warm, hot, cool, fingerprints(&fleet))
+    };
+
+    let (warm_s, hot_s, cool_s, prints_s) = drive(true);
+    let (warm_x, hot_x, cool_x, prints_x) = drive(false);
+    assert_eq!(warm_s, warm_x, "warm-up round diverged");
+    assert_eq!(hot_s, hot_x, "attacked + degraded round diverged");
+    assert_eq!(cool_s, cool_x, "recovery round diverged");
+    assert_eq!(prints_s, prints_x, "per-tenant fingerprints diverged");
+
+    // The scenario actually covered what it claims to cover.
+    assert_eq!(hot_s.new_incidents, vec!["tenant-1".to_owned()]);
+    assert_eq!(hot_s.degraded, vec!["tenant-2".to_owned()]);
+    assert_eq!(cool_s.skipped_pending, vec!["tenant-1".to_owned()]);
+    assert!(cool_s.committed.contains(&"tenant-2".to_owned()));
+    let degraded = prints_s.get("tenant-2").expect("staged tenant print");
+    assert_eq!(degraded.degraded_counter, 1);
+}

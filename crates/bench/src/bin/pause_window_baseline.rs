@@ -16,7 +16,11 @@
 //!   (stage + audit); its drain (cipher + copy-out + commit) runs after
 //!   resume, outside the timed window, which is the point — and it runs
 //!   one walk worker because on a one-CPU host extra workers only add
-//!   timesharing overhead.
+//!   timesharing overhead. The drain gets its own timer, so every
+//!   variant also reports `total_boundary_ms` (pause + drain). The
+//!   `encoded` variant is the deferred pipeline with the content-aware
+//!   drain on (`delta_threshold: 64`, `dedup: true`); a separate
+//!   `delta_curve` section sweeps the threshold with dedup off.
 //! * **walk** — the part this PR changes: the serial three passes over
 //!   the dirty set (scan, copy, digest) against the fused single pass.
 //!   The N-worker figure is the **critical path**: each of the N shards
@@ -107,14 +111,30 @@ struct Variant {
     /// Deferred backup pipeline: the window only stages (scan + copy into
     /// preallocated staging + digest); cipher/copy-out drain after resume.
     deferred: bool,
+    /// Delta/zero-page encoding threshold for the deferred drain
+    /// (changed words per page); 0 = raw full pages.
+    delta_threshold: usize,
+    /// Content-addressed dedup on the deferred drain.
+    dedup: bool,
 }
 
 struct Measurement {
     name: &'static str,
     workers: usize,
     mean_pause_ms: f64,
+    /// Post-resume drain (cipher + copy-out + commit); 0 for variants
+    /// that do the copy-out inside the pause window.
+    drain_ms: f64,
+    /// Pause + drain: the full cost of one epoch boundary, whichever
+    /// side of the resume it lands on.
+    total_boundary_ms: f64,
     pages_per_ms: f64,
     dirty_pages_per_epoch: f64,
+    /// Modelled wire bytes the drain shipped per epoch (deferred only).
+    wire_bytes_per_epoch: f64,
+    /// Wire bytes the delta/zero/dedup encoding saved per epoch versus
+    /// raw full pages (deferred only; 0 with the knobs off).
+    bytes_saved_per_epoch: f64,
 }
 
 /// The fig7-style guest every section runs: 8192 pages, medium web
@@ -137,6 +157,8 @@ fn run_pipeline_variant(variant: &Variant, epochs: u64) -> Measurement {
         CheckpointConfig {
             pause_workers: workers,
             staging_buffers: if variant.deferred { 2 } else { 0 },
+            delta_threshold: variant.delta_threshold,
+            dedup: variant.dedup,
             ..CheckpointConfig::default()
         },
     );
@@ -150,7 +172,10 @@ fn run_pipeline_variant(variant: &Variant, epochs: u64) -> Measurement {
     };
 
     let mut pause_ns = 0u128;
+    let mut drain_ns = 0u128;
     let mut dirty_pages = 0u64;
+    let mut wire_bytes = 0u64;
+    let mut bytes_saved = 0u64;
     for epoch in 0..WARMUP_EPOCHS + epochs {
         workload.run_ms(&mut vm, 20).expect("workload slice");
         let t0 = Instant::now();
@@ -179,12 +204,20 @@ fn run_pipeline_variant(variant: &Variant, epochs: u64) -> Measurement {
         };
         let elapsed = t0.elapsed();
         // The drain is copy-out the guest no longer waits for: it runs
-        // after resume, so it is deliberately outside the timed window —
-        // that is the whole point of the deferred variant.
+        // after resume, so it is deliberately outside the timed pause
+        // window — but it is still boundary work, so it gets its own
+        // timer and the pair reports as `total_boundary_ms`.
+        let record = epoch >= WARMUP_EPOCHS;
         if let Some(ticket) = pending {
-            cp.drain_staged(&vm, ticket).expect("drain");
+            let td = Instant::now();
+            let stats = cp.drain_staged(&vm, ticket).expect("drain");
+            if record {
+                drain_ns += td.elapsed().as_nanos();
+                wire_bytes += stats.bytes as u64;
+                bytes_saved += stats.bytes_saved as u64;
+            }
         }
-        if epoch >= WARMUP_EPOCHS {
+        if record {
             pause_ns += elapsed.as_nanos();
             dirty_pages += report.dirty_pages as u64;
         }
@@ -199,13 +232,18 @@ fn run_pipeline_variant(variant: &Variant, epochs: u64) -> Measurement {
         }
     }
     let mean_pause_ms = pause_ns as f64 / epochs as f64 / 1e6;
+    let drain_ms = ms(drain_ns, epochs);
     let dirty_pages_per_epoch = dirty_pages as f64 / epochs as f64;
     Measurement {
         name: variant.name,
         workers,
         mean_pause_ms,
+        drain_ms,
+        total_boundary_ms: mean_pause_ms + drain_ms,
         pages_per_ms: dirty_pages_per_epoch / mean_pause_ms,
         dirty_pages_per_epoch,
+        wire_bytes_per_epoch: wire_bytes as f64 / epochs as f64,
+        bytes_saved_per_epoch: bytes_saved as f64 / epochs as f64,
     }
 }
 
@@ -368,12 +406,30 @@ fn main() {
     let out = std::env::var("CRIMES_BENCH_OUT")
         .unwrap_or_else(|_| "BENCH_pause_window.json".to_owned());
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let raw = |name, fused_workers, deferred| Variant {
+        name,
+        fused_workers,
+        deferred,
+        delta_threshold: 0,
+        dedup: false,
+    };
     let variants = [
-        Variant { name: "serial", fused_workers: None, deferred: false },
-        Variant { name: "fused-1", fused_workers: Some(1), deferred: false },
-        Variant { name: "fused-2", fused_workers: Some(2), deferred: false },
-        Variant { name: "fused-4", fused_workers: Some(4), deferred: false },
-        Variant { name: "deferred", fused_workers: Some(1), deferred: true },
+        raw("serial", None, false),
+        raw("fused-1", Some(1), false),
+        raw("fused-2", Some(2), false),
+        raw("fused-4", Some(4), false),
+        raw("deferred", Some(1), true),
+        // The content-aware drain: deferred staging plus delta/zero-page
+        // encoding and content-addressed dedup. Identical backup image,
+        // digests, and journal bytes to `deferred` — only the modelled
+        // wire (and therefore the cipher + copy-out drain) shrinks.
+        Variant {
+            name: "encoded",
+            fused_workers: Some(1),
+            deferred: true,
+            delta_threshold: 64,
+            dedup: true,
+        },
     ];
 
     println!("pipeline (full epoch boundary, wall-clock on {host_cpus}-cpu host):");
@@ -381,10 +437,42 @@ fn main() {
     for v in &variants {
         let m = run_pipeline_variant(v, epochs);
         println!(
-            "  {:<8} workers={} pause {:.3} ms/epoch, {:.0} pages/ms ({:.0} dirty pages/epoch)",
-            m.name, m.workers, m.mean_pause_ms, m.pages_per_ms, m.dirty_pages_per_epoch
+            "  {:<8} workers={} pause {:.3} + drain {:.3} = {:.3} ms/epoch, \
+             {:.0} pages/ms ({:.0} dirty pages/epoch)",
+            m.name,
+            m.workers,
+            m.mean_pause_ms,
+            m.drain_ms,
+            m.total_boundary_ms,
+            m.pages_per_ms,
+            m.dirty_pages_per_epoch
         );
         results.push(m);
+    }
+
+    // Delta-vs-raw curve: the deferred drain swept across encoding
+    // thresholds (dedup off, to isolate the delta/zero-page effect).
+    // threshold 0 is the raw wire; PAGE_WORDS admits every dirty page.
+    const CURVE_THRESHOLDS: [(usize, &str); 4] =
+        [(0, "delta-0"), (8, "delta-8"), (64, "delta-64"), (512, "delta-512")];
+    println!("delta curve (deferred drain, dedup off, threshold in changed words/page):");
+    let mut curve = Vec::new();
+    for &(threshold, name) in &CURVE_THRESHOLDS {
+        let m = run_pipeline_variant(
+            &Variant {
+                name,
+                fused_workers: Some(1),
+                deferred: true,
+                delta_threshold: threshold,
+                dedup: false,
+            },
+            epochs,
+        );
+        println!(
+            "  threshold {:>3}: wire {:.0} B/epoch, drain {:.3} ms, boundary {:.3} ms",
+            threshold, m.wire_bytes_per_epoch, m.drain_ms, m.total_boundary_ms
+        );
+        curve.push((threshold, m));
     }
 
     println!("walk (scan+copy+digest only, same dirty set per variant):");
@@ -430,10 +518,37 @@ fn main() {
         let _ = write!(
             json,
             "      {{\"name\": \"{}\", \"workers\": {}, \"mean_pause_ms\": {:.4}, \
+             \"drain_ms\": {:.4}, \"total_boundary_ms\": {:.4}, \
              \"pages_per_ms\": {:.1}, \"dirty_pages_per_epoch\": {:.1}}}",
-            m.name, m.workers, m.mean_pause_ms, m.pages_per_ms, m.dirty_pages_per_epoch
+            m.name,
+            m.workers,
+            m.mean_pause_ms,
+            m.drain_ms,
+            m.total_boundary_ms,
+            m.pages_per_ms,
+            m.dirty_pages_per_epoch
         );
         json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ]\n  },\n");
+    json.push_str("  \"delta_curve\": {\n");
+    json.push_str(
+        "    \"note\": \"deferred drain swept across delta_threshold (changed words/page), \
+         dedup off; threshold 0 is the raw wire. The backup image, digests, and journal \
+         bytes are bit-identical at every point — only the modelled wire and the \
+         post-resume drain cost move\",\n",
+    );
+    json.push_str("    \"points\": [\n");
+    for (i, (threshold, m)) in curve.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"threshold_words\": {}, \"wire_bytes_per_epoch\": {:.0}, \
+             \"bytes_saved_per_epoch\": {:.0}, \"drain_ms\": {:.4}, \
+             \"total_boundary_ms\": {:.4}}}",
+            threshold, m.wire_bytes_per_epoch, m.bytes_saved_per_epoch, m.drain_ms,
+            m.total_boundary_ms
+        );
+        json.push_str(if i + 1 < curve.len() { ",\n" } else { "\n" });
     }
     json.push_str("    ]\n  },\n");
     json.push_str("  \"walk\": {\n");
@@ -471,7 +586,30 @@ fn main() {
         "  \"speedup_metric\": \"serial three-pass walk vs fused 4-worker critical-path walk \
          (see walk.parallel_model)\",\n",
     );
-    let _ = writeln!(json, "  \"speedup_fused4_vs_serial\": {speedup:.3}");
+    let _ = writeln!(json, "  \"speedup_fused4_vs_serial\": {speedup:.3},");
+    let deferred = results
+        .iter()
+        .find(|m| m.name == "deferred")
+        .expect("deferred variant");
+    let encoded = results
+        .iter()
+        .find(|m| m.name == "encoded")
+        .expect("encoded variant");
+    let boundary_speedup = deferred.total_boundary_ms / encoded.total_boundary_ms;
+    println!(
+        "encoded total-boundary speedup over raw deferred: {boundary_speedup:.2}x \
+         ({:.0} wire bytes saved/epoch)",
+        encoded.bytes_saved_per_epoch
+    );
+    let _ = writeln!(
+        json,
+        "  \"encoded_bytes_saved_delta\": {:.0},",
+        encoded.bytes_saved_per_epoch
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_encoded_vs_deferred_total_boundary\": {boundary_speedup:.3}"
+    );
     json.push_str("}\n");
     std::fs::write(&out, json).expect("write json");
     println!("wrote {out}");

@@ -6,7 +6,21 @@
 //! memory (machine-frame order) plus saved vCPU state, updated
 //! incrementally with each epoch's dirty pages.
 
+use std::collections::BTreeMap;
+
 use crimes_vm::{GuestMemory, Mfn, VcpuSet, VirtualDisk, Vm, PAGE_SIZE, SECTOR_SIZE};
+
+use crate::delta::{apply_page, PageEncoding};
+use crate::integrity::content_digest;
+
+/// One digest's standing in the content-addressed index: the frame the
+/// drain may compare wire-hit candidates against, and how many frames
+/// currently claim these bytes.
+#[derive(Debug, Clone, Copy)]
+struct ContentEntry {
+    exemplar: u32,
+    refs: u32,
+}
 
 /// The local backup image of one VM.
 #[derive(Debug, Clone)]
@@ -22,6 +36,21 @@ pub struct BackupVm {
     /// whether a reconnect may resync from a progress cursor or must
     /// restart the slot; 0 means "nothing acked yet".
     acked_generation: u64,
+    /// Content-addressed index: digest → (exemplar frame, refcount).
+    /// Keys are [`content_digest`] values (fixed domain tag, so equal
+    /// bytes hash equal wherever they live). Maintained coherently by
+    /// [`store_frame_encoded`](Self::store_frame_encoded); any other
+    /// frame mutation sets [`content_stale`](Self::content_stale) and the
+    /// next [`ensure_content_index`](Self::ensure_content_index) rebuilds
+    /// from scratch. A `BTreeMap` keeps every walk deterministic.
+    content: BTreeMap<u64, ContentEntry>,
+    /// Per-frame content digests backing the refcounts (the reverse view
+    /// of `content`, frame-indexed).
+    frame_digests: Vec<u64>,
+    /// The raw-write paths (`store_frame`, `frame_mut`, shard splits,
+    /// image overwrite) bypass the index; this flag makes the next
+    /// content probe rebuild instead of trusting stale refcounts.
+    content_stale: bool,
 }
 
 impl BackupVm {
@@ -35,6 +64,136 @@ impl BackupVm {
             vcpus: vm.vcpus().clone(),
             epoch: 0,
             acked_generation: 0,
+            content: BTreeMap::new(),
+            frame_digests: Vec::new(),
+            content_stale: true,
+        }
+    }
+
+    /// (Re)build the content-addressed index from the frame image. Cheap
+    /// when already fresh; `O(pages)` digesting after any raw-write path
+    /// touched frames. The deferred drain calls this once per session
+    /// start, and because its per-record writes go through
+    /// [`store_frame_encoded`](Self::store_frame_encoded) the index then
+    /// stays fresh across epochs.
+    pub fn ensure_content_index(&mut self) {
+        if !self.content_stale && self.frame_digests.len() == self.num_pages {
+            return;
+        }
+        self.frame_digests.clear();
+        self.content.clear();
+        self.frame_digests.reserve(self.num_pages);
+        for (i, page) in self.frames.chunks_exact(PAGE_SIZE).enumerate() {
+            let digest = content_digest(page);
+            self.frame_digests.push(digest);
+            let entry = self.content.entry(digest).or_insert(ContentEntry {
+                exemplar: i as u32,
+                refs: 0,
+            });
+            entry.refs = entry.refs.saturating_add(1);
+        }
+        self.content_stale = false;
+    }
+
+    /// Does the backup already hold a page with exactly these bytes?
+    /// `digest` must be [`content_digest`]`(bytes)`. The digest lookup is
+    /// guarded by a byte compare against the exemplar frame, so an FNV
+    /// collision degrades to a miss (bytes ship), never to corruption.
+    /// Returns `false` when the index is stale — callers decide when the
+    /// rebuild is worth paying for via
+    /// [`ensure_content_index`](Self::ensure_content_index).
+    pub fn probe_duplicate(&self, digest: u64, bytes: &[u8]) -> bool {
+        if self.content_stale {
+            return false;
+        }
+        self.content.get(&digest).is_some_and(|entry| {
+            let base = entry.exemplar as usize * PAGE_SIZE;
+            self.frames
+                .get(base..base + PAGE_SIZE)
+                .is_some_and(|exemplar| exemplar == bytes)
+        })
+    }
+
+    /// Every `(digest, live references)` pair in the content index,
+    /// rebuilding it first if a raw-write path staled it. Ascending by
+    /// digest (BTreeMap order), so fleet-level folds are deterministic.
+    pub fn content_index(&mut self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.ensure_content_index();
+        self.content.iter().map(|(d, e)| (*d, e.refs))
+    }
+
+    /// How many frames currently claim `digest`'s bytes (0 when absent or
+    /// the index is stale) — the `refs` half of the drain's
+    /// `(digest, refs)` wire record.
+    pub fn content_refs(&self, digest: u64) -> u32 {
+        if self.content_stale {
+            return 0;
+        }
+        self.content.get(&digest).map_or(0, |entry| entry.refs)
+    }
+
+    /// Apply one drained record to frame `mfn` while keeping the content
+    /// index coherent: the old digest's refcount drops (evicting the
+    /// table entry at zero, repointing the exemplar if this frame was
+    /// it), the page is reconstructed via [`apply_page`] (`full` is the
+    /// staged plaintext; delta records rewrite only the changed words),
+    /// and the new digest's refcount rises with this frame as a
+    /// candidate exemplar. `digest` must be [`content_digest`]`(full)`.
+    /// Unlike the raw-write paths this does **not** mark the index
+    /// stale — it is the drain's coherent write.
+    pub(crate) fn store_frame_encoded(
+        &mut self,
+        mfn: Mfn,
+        enc: &PageEncoding,
+        full: &[u8],
+        digest: u64,
+    ) {
+        let idx = mfn.0 as usize;
+        let base = self.offset(mfn);
+        if self.content_stale || self.frame_digests.len() != self.num_pages {
+            // No coherent index to maintain; plain apply.
+            apply_page(&mut self.frames[base..base + PAGE_SIZE], enc, full);
+            return;
+        }
+        let old_digest = self.frame_digests[idx];
+        if old_digest != digest {
+            let evict = if let Some(entry) = self.content.get_mut(&old_digest) {
+                entry.refs = entry.refs.saturating_sub(1);
+                if entry.refs == 0 {
+                    true
+                } else {
+                    if entry.exemplar as usize == idx {
+                        // This frame was the compare target for its old
+                        // bytes and other frames still claim them:
+                        // repoint to the first surviving claimant
+                        // (ascending scan keeps the choice
+                        // deterministic).
+                        if let Some(next) = self
+                            .frame_digests
+                            .iter()
+                            .enumerate()
+                            .position(|(j, &d)| j != idx && d == old_digest)
+                        {
+                            entry.exemplar = next as u32;
+                        }
+                    }
+                    false
+                }
+            } else {
+                false
+            };
+            if evict {
+                self.content.remove(&old_digest);
+            }
+        }
+        apply_page(&mut self.frames[base..base + PAGE_SIZE], enc, full);
+        if old_digest != digest {
+            self.frame_digests[idx] = digest;
+            let entry = self.content.entry(digest).or_insert(ContentEntry {
+                exemplar: idx as u32,
+                refs: 0,
+            });
+            entry.refs = entry.refs.saturating_add(1);
         }
     }
 
@@ -85,6 +244,7 @@ impl BackupVm {
     pub fn store_frame(&mut self, mfn: Mfn, data: &[u8]) {
         assert_eq!(data.len(), PAGE_SIZE, "backup frames are page sized");
         let base = self.offset(mfn);
+        self.content_stale = true;
         self.frames[base..base + PAGE_SIZE].copy_from_slice(data);
     }
 
@@ -96,6 +256,7 @@ impl BackupVm {
     /// Panics if `mfn` is out of range.
     pub fn frame_mut(&mut self, mfn: Mfn) -> &mut [u8] {
         let base = self.offset(mfn);
+        self.content_stale = true;
         &mut self.frames[base..base + PAGE_SIZE]
     }
 
@@ -104,6 +265,7 @@ impl BackupVm {
     /// slice with `split_at_mut` so workers write their shards without
     /// aliasing (see `pool`).
     pub(crate) fn frames_mut(&mut self) -> &mut [u8] {
+        self.content_stale = true;
         &mut self.frames
     }
 
@@ -193,6 +355,7 @@ impl BackupVm {
     pub fn overwrite_image(&mut self, frames: &[u8], disk: &[u8]) {
         assert_eq!(frames.len(), self.frames.len(), "frame image size mismatch");
         assert_eq!(disk.len(), self.disk.len(), "disk image size mismatch");
+        self.content_stale = true;
         self.frames.copy_from_slice(frames);
         self.disk.copy_from_slice(disk);
     }
@@ -286,5 +449,68 @@ mod tests {
         let mut backup = BackupVm::new(&vm);
         backup.frame_mut(Mfn(0))[0] = 0x7f;
         assert_eq!(backup.frame(Mfn(0))[0], 0x7f);
+    }
+
+    #[test]
+    fn content_index_finds_duplicates_and_tracks_refs() {
+        let vm = vm();
+        let mut backup = BackupVm::new(&vm);
+        let page = vec![0x5au8; PAGE_SIZE];
+        backup.store_frame(Mfn(1), &page);
+        backup.store_frame(Mfn(7), &page);
+        backup.ensure_content_index();
+        let digest = content_digest(&page);
+        assert!(backup.probe_duplicate(digest, &page));
+        assert_eq!(backup.content_refs(digest), 2);
+        // A digest hit with different bytes (a collision stand-in) must
+        // degrade to a miss via the exemplar byte compare.
+        let other = vec![0xa5u8; PAGE_SIZE];
+        assert!(!backup.probe_duplicate(digest, &other));
+    }
+
+    #[test]
+    fn encoded_store_keeps_the_index_coherent() {
+        use crate::delta::encode_page;
+
+        let vm = vm();
+        let mut backup = BackupVm::new(&vm);
+        let a = vec![0x11u8; PAGE_SIZE];
+        let b = vec![0x22u8; PAGE_SIZE];
+        backup.store_frame(Mfn(2), &a);
+        backup.store_frame(Mfn(3), &a);
+        backup.ensure_content_index();
+        let (da, db) = (content_digest(&a), content_digest(&b));
+        assert_eq!(backup.content_refs(da), 2);
+
+        // Rewrite frame 2 (the likely exemplar) to new bytes through the
+        // coherent path: old refcount drops, exemplar repoints to frame
+        // 3, new digest appears — all without a rebuild.
+        let enc = encode_page(backup.frame(Mfn(2)), &b, PAGE_SIZE / 8);
+        backup.store_frame_encoded(Mfn(2), &enc, &b, db);
+        assert_eq!(backup.frame(Mfn(2)), b.as_slice());
+        assert_eq!(backup.content_refs(da), 1);
+        assert_eq!(backup.content_refs(db), 1);
+        assert!(backup.probe_duplicate(da, &a));
+        assert!(backup.probe_duplicate(db, &b));
+
+        // Rewrite the last claimant: the old entry is evicted outright.
+        let enc = encode_page(backup.frame(Mfn(3)), &b, PAGE_SIZE / 8);
+        backup.store_frame_encoded(Mfn(3), &enc, &b, db);
+        assert_eq!(backup.content_refs(da), 0);
+        assert_eq!(backup.content_refs(db), 2);
+        assert!(!backup.probe_duplicate(da, &a));
+    }
+
+    #[test]
+    fn raw_writes_stale_the_index_until_rebuilt() {
+        let vm = vm();
+        let mut backup = BackupVm::new(&vm);
+        backup.ensure_content_index();
+        let page = vec![0x33u8; PAGE_SIZE];
+        backup.store_frame(Mfn(4), &page);
+        // Stale: probes answer conservatively until the rebuild.
+        assert!(!backup.probe_duplicate(content_digest(&page), &page));
+        backup.ensure_content_index();
+        assert!(backup.probe_duplicate(content_digest(&page), &page));
     }
 }

@@ -1,0 +1,330 @@
+//! Word-wise delta/zero-page encoding for the content-aware copy path.
+//!
+//! The copy path's remaining cost is *how many bytes move*, not how many
+//! threads move them: the fig7 web workload dirties a handful of words
+//! per page, yet the raw pipeline ciphers and streams the full 4 KiB.
+//! This module compares each dirty page against the backup's current
+//! generation word-wise and describes the difference compactly:
+//!
+//! * an all-zero page becomes a one-word marker,
+//! * a lightly-churned page becomes a run-length list of changed words,
+//! * a heavily-churned page (changed words past the caller's threshold)
+//!   falls back to the full page — the delta would cost more than it
+//!   saves.
+//!
+//! Two entry points serve the two halves of the pipeline. The fused
+//! pause window may only *count* (no allocation inside the window):
+//! [`scan_page`] walks both pages once and returns the facts —
+//! zero/changed/runs — from which [`wire_len_for`] prices the encoded
+//! record. The out-of-window drain may allocate: [`encode_page`]
+//! materialises the runs and [`apply_page`] replays them against a frame
+//! holding the old generation. `apply_page ∘ encode_page` is the
+//! identity on the new page for every threshold (the property the test
+//! suite pins), and it is idempotent — unchanged words are by definition
+//! equal in both generations, so re-applying a delta to an
+//! already-updated frame is a no-op.
+//!
+//! Nothing here touches digests: the integrity fold always covers the
+//! full plaintext the backup ends up holding, so image digests are
+//! bit-identical whether pages travelled encoded or raw.
+
+use crimes_vm::PAGE_SIZE;
+
+/// 8-byte words per page — the unit of comparison and of run extents.
+pub const PAGE_WORDS: usize = PAGE_SIZE / 8;
+
+/// Wire cost of one record header word (pfn/kind/extent bookkeeping).
+const RECORD_HEADER: usize = 8;
+
+/// One contiguous extent of changed words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRun {
+    /// First changed word (index into the page's 8-byte words).
+    pub start_word: u32,
+    /// The new bytes for the extent (length is a multiple of 8).
+    pub bytes: Vec<u8>,
+}
+
+/// How one dirty page travels to the backup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageEncoding {
+    /// The page is all zeroes: a one-word marker, no payload.
+    Zero,
+    /// Run-length delta against the backup's current generation.
+    Delta {
+        /// Changed-word extents, ascending, non-overlapping.
+        runs: Vec<DeltaRun>,
+    },
+    /// Full page: churn exceeded the threshold, or encoding is off.
+    Full,
+}
+
+/// Allocation-free content facts about one dirty page versus the
+/// backup's current copy — everything the encoder's decision needs, and
+/// everything the evidence journal records about the page. The facts
+/// are a pure function of the two page images, independent of any
+/// encoding knob, which is what keeps journals bit-identical with
+/// encoding on or off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PageScan {
+    /// The new page is all zeroes.
+    pub zero: bool,
+    /// Words that differ from the old generation.
+    pub changed_words: u32,
+    /// Contiguous changed-word extents.
+    pub runs: u32,
+}
+
+/// Walk `old` and `new` once, counting changed words and extents and
+/// testing for an all-zero page. No allocation — safe to call from the
+/// fused pause window. Pages of unequal or non-word-multiple length
+/// yield a conservative "everything changed" answer rather than a
+/// panic.
+pub fn scan_page(old: &[u8], new: &[u8]) -> PageScan {
+    if old.len() != new.len() || !new.len().is_multiple_of(8) {
+        return PageScan {
+            zero: false,
+            changed_words: u32::try_from(new.len().div_ceil(8)).unwrap_or(u32::MAX),
+            runs: 1,
+        };
+    }
+    let mut scan = PageScan {
+        zero: true,
+        ..PageScan::default()
+    };
+    let mut in_run = false;
+    for (o, n) in old.chunks_exact(8).zip(new.chunks_exact(8)) {
+        if n.iter().any(|&b| b != 0) {
+            scan.zero = false;
+        }
+        if o != n {
+            scan.changed_words = scan.changed_words.saturating_add(1);
+            if !in_run {
+                scan.runs = scan.runs.saturating_add(1);
+                in_run = true;
+            }
+        } else {
+            in_run = false;
+        }
+    }
+    scan
+}
+
+/// Wire bytes the encoded record would occupy, priced from the facts
+/// alone: a zero page is one header word; a delta is a header word plus
+/// one word per run plus the changed words; a full page is a header
+/// word plus the page. `threshold_words == 0` disables encoding (every
+/// page prices as full).
+pub fn wire_len_for(scan: &PageScan, threshold_words: usize) -> usize {
+    if threshold_words == 0 {
+        return RECORD_HEADER + PAGE_SIZE;
+    }
+    if scan.zero {
+        return RECORD_HEADER;
+    }
+    let changed = scan.changed_words as usize;
+    if changed > threshold_words {
+        return RECORD_HEADER + PAGE_SIZE;
+    }
+    RECORD_HEADER + scan.runs as usize * 8 + changed * 8
+}
+
+/// Encode `new` against `old` (the backup's current copy of the frame).
+/// Returns [`PageEncoding::Full`] when encoding is off
+/// (`threshold_words == 0`), when the pages disagree on length, or when
+/// the churn exceeds the threshold.
+pub fn encode_page(old: &[u8], new: &[u8], threshold_words: usize) -> PageEncoding {
+    if threshold_words == 0 || old.len() != new.len() || !new.len().is_multiple_of(8) {
+        return PageEncoding::Full;
+    }
+    let scan = scan_page(old, new);
+    if scan.zero {
+        return PageEncoding::Zero;
+    }
+    if scan.changed_words as usize > threshold_words {
+        return PageEncoding::Full;
+    }
+    let mut runs: Vec<DeltaRun> = Vec::with_capacity(scan.runs as usize);
+    for (word, (o, n)) in old.chunks_exact(8).zip(new.chunks_exact(8)).enumerate() {
+        if o == n {
+            continue;
+        }
+        let word_idx = u32::try_from(word).unwrap_or(u32::MAX);
+        match runs.last_mut() {
+            Some(run)
+                if u64::from(run.start_word) + (run.bytes.len() / 8) as u64
+                    == u64::from(word_idx) =>
+            {
+                run.bytes.extend_from_slice(n);
+            }
+            _ => runs.push(DeltaRun {
+                start_word: word_idx,
+                bytes: n.to_vec(),
+            }),
+        }
+    }
+    PageEncoding::Delta { runs }
+}
+
+/// Wire bytes the materialised record occupies (agrees with
+/// [`wire_len_for`] over the same pages and threshold).
+pub fn wire_len(enc: &PageEncoding) -> usize {
+    match enc {
+        PageEncoding::Zero => RECORD_HEADER,
+        PageEncoding::Delta { runs } => runs
+            .iter()
+            .fold(RECORD_HEADER, |n, run| n + 8 + run.bytes.len()),
+        PageEncoding::Full => RECORD_HEADER + PAGE_SIZE,
+    }
+}
+
+/// Apply an encoded record to `dst`, which holds the old generation,
+/// reconstructing the new page. `full` is the full plaintext, consulted
+/// only by [`PageEncoding::Full`] records. Out-of-range runs and
+/// length-mismatched full pages are ignored (the caller's digest fold
+/// would flag the divergence) rather than panicking — this code runs
+/// while impounded outputs hang on the drain.
+pub fn apply_page(dst: &mut [u8], enc: &PageEncoding, full: &[u8]) {
+    match enc {
+        PageEncoding::Zero => dst.fill(0),
+        PageEncoding::Delta { runs } => {
+            for run in runs {
+                let start = run.start_word as usize * 8;
+                if let Some(window) = start
+                    .checked_add(run.bytes.len())
+                    .and_then(|end| dst.get_mut(start..end))
+                {
+                    window.copy_from_slice(&run.bytes);
+                }
+            }
+        }
+        PageEncoding::Full => {
+            if dst.len() == full.len() {
+                dst.copy_from_slice(full);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crimes_rng::ChaCha8Rng;
+
+    fn page_of(rng: &mut ChaCha8Rng, sparse: bool) -> Vec<u8> {
+        let mut page = vec![0u8; PAGE_SIZE];
+        if sparse {
+            // A handful of scattered word edits, like the web workload.
+            for _ in 0..rng.gen_range(0..12) {
+                let at = rng.gen_range(0..PAGE_SIZE as u64) as usize;
+                page[at] = rng.gen_range(0..256) as u8;
+            }
+        } else {
+            for b in page.iter_mut() {
+                *b = rng.gen_range(0..256) as u8;
+            }
+        }
+        page
+    }
+
+    #[test]
+    fn apply_after_encode_is_identity_on_random_page_pairs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x00de17a);
+        for case in 0..200 {
+            let sparse = case % 2 == 0;
+            let old = page_of(&mut rng, sparse);
+            let mut new = old.clone();
+            // Mutate between zero and many words so every encoding arm
+            // (zero, delta, full) is exercised across thresholds.
+            match case % 5 {
+                0 => new.fill(0),
+                1 => new = page_of(&mut rng, false),
+                _ => {
+                    for _ in 0..rng.gen_range(0..600) {
+                        let at = rng.gen_range(0..PAGE_SIZE as u64) as usize;
+                        new[at] ^= rng.gen_range(1..256) as u8;
+                    }
+                }
+            }
+            for threshold in [0usize, 1, 16, 128, PAGE_WORDS] {
+                let enc = encode_page(&old, &new, threshold);
+                let mut dst = old.clone();
+                apply_page(&mut dst, &enc, &new);
+                assert_eq!(dst, new, "case {case}, threshold {threshold}");
+                // Idempotent: unchanged words are equal in both
+                // generations, so re-applying is a no-op.
+                apply_page(&mut dst, &enc, &new);
+                assert_eq!(dst, new, "case {case} re-apply");
+                assert_eq!(
+                    wire_len(&enc),
+                    wire_len_for(&scan_page(&old, &new), threshold),
+                    "priced and materialised wire lengths agree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_pages_cost_one_word() {
+        let old = vec![0xa5u8; PAGE_SIZE];
+        let new = vec![0u8; PAGE_SIZE];
+        let enc = encode_page(&old, &new, 8);
+        assert_eq!(enc, PageEncoding::Zero);
+        assert_eq!(wire_len(&enc), 8);
+    }
+
+    #[test]
+    fn churn_past_the_threshold_falls_back_to_full() {
+        let old = vec![0u8; PAGE_SIZE];
+        let mut new = vec![0u8; PAGE_SIZE];
+        // Every other word, so each changed word is its own run.
+        for w in 0..40 {
+            new[w * 16] = 1;
+        }
+        assert!(matches!(encode_page(&old, &new, 39), PageEncoding::Full));
+        let enc = encode_page(&old, &new, 40);
+        let PageEncoding::Delta { runs } = &enc else {
+            panic!("40 changed words within a threshold of 40 must delta");
+        };
+        assert_eq!(runs.len(), 40, "isolated words form singleton runs");
+        assert_eq!(wire_len(&enc), 8 + 40 * 8 + 40 * 8);
+    }
+
+    #[test]
+    fn adjacent_changes_coalesce_into_one_run() {
+        let old = vec![0u8; PAGE_SIZE];
+        let mut new = vec![0u8; PAGE_SIZE];
+        new[64..64 + 4 * 8].fill(7);
+        let enc = encode_page(&old, &new, 16);
+        let PageEncoding::Delta { runs } = &enc else {
+            panic!("4 changed words must delta");
+        };
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].start_word, 8);
+        assert_eq!(runs[0].bytes.len(), 4 * 8);
+        assert_eq!(wire_len(&enc), 8 + 8 + 4 * 8);
+    }
+
+    #[test]
+    fn threshold_zero_disables_encoding() {
+        let old = vec![0u8; PAGE_SIZE];
+        let new = vec![0u8; PAGE_SIZE];
+        assert!(matches!(encode_page(&old, &new, 0), PageEncoding::Full));
+        assert_eq!(wire_len_for(&scan_page(&old, &new), 0), 8 + PAGE_SIZE);
+    }
+
+    #[test]
+    fn mismatched_lengths_scan_conservatively_and_encode_full() {
+        let scan = scan_page(&[0u8; 16], &[0u8; 24]);
+        assert!(!scan.zero);
+        assert_eq!(scan.changed_words, 3);
+        assert!(matches!(
+            encode_page(&[0u8; 16], &[0u8; 24], 8),
+            PageEncoding::Full
+        ));
+        // Full-page apply onto a mismatched dst is a checked no-op.
+        let mut dst = [0xffu8; 16];
+        apply_page(&mut dst, &PageEncoding::Full, &[0u8; 24]);
+        assert_eq!(dst, [0xffu8; 16]);
+    }
+}

@@ -29,14 +29,17 @@ use crimes_vm::{DirtyBitmap, MetaSnapshot, Pfn, Vm};
 
 use crate::backup::BackupVm;
 use crate::bitmap::BitmapScan;
-use crate::copy::{CopyStats, CopyStrategy, FusedSocketCopier, MemcpyCopier, SocketCopier};
+use crate::copy::{
+    CopyStats, CopyStrategy, DeltaMemcpyCopier, DeltaSocketCopier, FusedSocketCopier,
+    MemcpyCopier, SocketCopier,
+};
 use crate::error::CheckpointError;
 use crate::history::{CheckpointHistory, CheckpointRecord};
 use crate::integrity::{image_digest, FusedDigest, ImageDigest, StagedSnapshot};
 use crate::mapping::{HypercallModel, Mapper, MappingStrategy};
 use crate::pool::{FusedAudit, FusedPageVisitor, NoopVisitor, PauseWindowPool};
 use crate::probe::{BreakdownStats, PhaseTimings};
-use crate::staging::{DrainTicket, StagingArea};
+use crate::staging::{DrainOpts, DrainTicket, StagingArea};
 
 /// The shared cipher key for every socket-style pipeline (in-window or
 /// deferred) — both ends hold it like an ssh session key.
@@ -185,6 +188,21 @@ pub struct CheckpointConfig {
     /// are used anyway the engine still self-provisions a pool lazily,
     /// so a fleet-configured tenant driven standalone keeps working.
     pub external_pool: bool,
+    /// Delta/zero-page encoding threshold, in changed 8-byte words per
+    /// page: dirty pages are compared word-wise against the backup's
+    /// current generation and travel as compact run-length delta records
+    /// (all-zero pages as a 1-word marker) when their churn is at most
+    /// this many words; churn beyond it falls back to a full page. `0`
+    /// disables encoding — the wire model is then byte-identical to the
+    /// raw pipeline. Encoding never changes what the backup holds, what
+    /// the digests attest, or what the journal records.
+    pub delta_threshold: usize,
+    /// Content-addressed page dedup on the deferred drain: the backup
+    /// keeps a refcounted `digest → frame` table and the drain ships a
+    /// `(digest, refs)` reference instead of page bytes whenever an
+    /// identical page is already stored. Same invariants as
+    /// [`delta_threshold`](Self::delta_threshold): wire modelling only.
+    pub dedup: bool,
 }
 
 impl Default for CheckpointConfig {
@@ -203,6 +221,8 @@ impl Default for CheckpointConfig {
             staging_buffers: 0,
             drain_timeout_ms: 10,
             external_pool: false,
+            delta_threshold: 0,
+            dedup: false,
         }
     }
 }
@@ -257,6 +277,23 @@ pub struct DrainStats {
     /// nonzero value means the session *resynced* from the slot's
     /// progress cursor instead of restarting the stream at page zero.
     pub resumed_from: usize,
+    /// All-zero pages in the drained set (knob-independent content fact;
+    /// journaled in the epoch's drain profile).
+    pub zero_pages: usize,
+    /// Total words that differed from the backup's prior generation
+    /// across the drained set (knob-independent; journaled).
+    pub changed_words: u64,
+    /// Pages whose exact bytes the backup already held somewhere
+    /// (knob-independent; journaled).
+    pub dup_pages: usize,
+    /// Wire bytes the encoding saved versus raw full pages (0 with the
+    /// knobs off). Telemetry only — never journaled.
+    pub bytes_saved: usize,
+    /// Records shipped as `(digest, refs)` references because dedup was
+    /// on and the content was already stored. Telemetry only.
+    pub dedup_hits: usize,
+    /// Records that shipped bytes while dedup was on. Telemetry only.
+    pub dedup_misses: usize,
 }
 
 /// Deterministic exponential backoff with jitter for drain-session
@@ -301,6 +338,8 @@ pub struct Checkpointer {
     socket: SocketCopier,
     memcpy: MemcpyCopier,
     fused_socket: FusedSocketCopier,
+    delta_memcpy: DeltaMemcpyCopier,
+    delta_socket: DeltaSocketCopier,
     /// Preallocated worker pool for the fused pause window; built eagerly
     /// when `pause_workers > 1`, lazily on the first
     /// [`run_epoch_fused`](Self::run_epoch_fused) otherwise.
@@ -365,6 +404,8 @@ impl Checkpointer {
             socket: SocketCopier::new(COPY_KEY),
             memcpy: MemcpyCopier,
             fused_socket: FusedSocketCopier::new(COPY_KEY),
+            delta_memcpy: DeltaMemcpyCopier::new(config.delta_threshold),
+            delta_socket: DeltaSocketCopier::new(COPY_KEY, config.delta_threshold),
             pool,
             staging,
             history: CheckpointHistory::new(config.history_depth, config.retain_history_images),
@@ -419,6 +460,8 @@ impl Checkpointer {
             socket: SocketCopier::new(COPY_KEY),
             memcpy: MemcpyCopier,
             fused_socket: FusedSocketCopier::new(COPY_KEY),
+            delta_memcpy: DeltaMemcpyCopier::new(config.delta_threshold),
+            delta_socket: DeltaSocketCopier::new(COPY_KEY, config.delta_threshold),
             pool,
             staging,
             history: CheckpointHistory::new(config.history_depth, config.retain_history_images),
@@ -444,6 +487,13 @@ impl Checkpointer {
     /// The current clean backup image.
     pub fn backup(&self) -> &BackupVm {
         &self.backup
+    }
+
+    /// The backup's `(digest, refs)` content index, rebuilt on demand.
+    /// Fleet-level dedup accounting reads this to tally pages whose
+    /// content recurs across tenants (counter-only: no bytes move).
+    pub fn backup_content_index(&mut self) -> Vec<(u64, u32)> {
+        self.backup.content_index().collect()
     }
 
     #[cfg(test)]
@@ -774,6 +824,8 @@ impl Checkpointer {
             mapper,
             memcpy,
             fused_socket,
+            delta_memcpy,
+            delta_socket,
             history,
             integrity,
             stats,
@@ -787,9 +839,16 @@ impl Checkpointer {
         } else {
             config.opt.copy_strategy()
         };
-        let copy_visitor: &dyn FusedPageVisitor = match strategy {
-            CopyStrategy::Socket => fused_socket,
-            CopyStrategy::Memcpy => memcpy,
+        // With a delta threshold set, the encoding-aware visitors scan
+        // each page against the backup frame's old generation (the undo
+        // snapshot runs first, so `dst` still holds it) and count the
+        // compact record's wire cost; the backup bytes they produce are
+        // identical to the raw visitors'.
+        let copy_visitor: &dyn FusedPageVisitor = match (strategy, config.delta_threshold > 0) {
+            (CopyStrategy::Socket, false) => fused_socket,
+            (CopyStrategy::Memcpy, false) => memcpy,
+            (CopyStrategy::Socket, true) => delta_socket,
+            (CopyStrategy::Memcpy, true) => delta_memcpy,
         };
         let digest = FusedDigest;
         let noop = NoopVisitor;
@@ -1292,7 +1351,11 @@ impl Checkpointer {
                     backup.acked_generation() < ticket.generation(),
                     "draining a generation the backup already acked"
                 );
-                staging.drain_slot(ticket.slot(), backup, COPY_KEY, sched)
+                let opts = DrainOpts {
+                    delta_threshold: config.delta_threshold,
+                    dedup: config.dedup,
+                };
+                staging.drain_slot(ticket.slot(), backup, COPY_KEY, sched, opts)
             };
             match attempt {
                 Ok(copy) => break copy,
@@ -1340,8 +1403,27 @@ impl Checkpointer {
             meta: retain.then(|| vm.meta_snapshot()),
         });
         // The ack covers the whole slot: pages resumed past plus pages
-        // this session shipped.
+        // this session shipped. The content profile folds over the
+        // slot's per-record facts, which span every completed record
+        // across attempts — the zero/changed/dup facts are knob-
+        // independent (they go to the evidence journal), the wire
+        // tallies are modelling (telemetry only).
         let pages = staging.entry_count(ticket.slot());
+        let mut zero_pages = 0usize;
+        let mut changed_words = 0u64;
+        let mut dup_pages = 0usize;
+        let mut bytes_saved = 0usize;
+        let mut dedup_hits = 0usize;
+        let mut dedup_misses = 0usize;
+        for fact in staging.facts(ticket.slot()) {
+            zero_pages += usize::from(fact.zero);
+            changed_words = changed_words.saturating_add(u64::from(fact.changed_words));
+            dup_pages += usize::from(fact.dup);
+            bytes_saved =
+                bytes_saved.saturating_add(crimes_vm::PAGE_SIZE.saturating_sub(fact.wire));
+            dedup_hits += usize::from(fact.dedup_hit);
+            dedup_misses += usize::from(config.dedup && !fact.dedup_hit);
+        }
         staging.release(ticket.slot());
         Ok(DrainStats {
             generation: ticket.generation(),
@@ -1350,6 +1432,12 @@ impl Checkpointer {
             syscalls: copy.syscalls,
             attempts,
             resumed_from,
+            zero_pages,
+            changed_words,
+            dup_pages,
+            bytes_saved,
+            dedup_hits,
+            dedup_misses,
         })
     }
 

@@ -38,6 +38,21 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// cancel under XOR).
 const SECTOR_DOMAIN: u64 = 0x8000_0000_0000_0000;
 
+/// Domain tag for **content-addressed** page digests: the backup's
+/// dedup table keys pages by bytes alone, so the tag must be one fixed
+/// value — unlike the per-slot `mfn` tags above, which deliberately make
+/// identical contents at different slots digest differently. The high
+/// bits keep it disjoint from every realistic page index and from
+/// [`SECTOR_DOMAIN`]-tagged sectors.
+const CONTENT_DOMAIN: u64 = 0x4000_0000_c04e_7e47;
+
+/// Content-addressed digest of one page: [`chunk_digest`] under a fixed
+/// domain tag, so equal bytes hash equal wherever (and for whichever
+/// tenant) they live. This is the key of `BackupVm`'s dedup table.
+pub fn content_digest(page: &[u8]) -> u64 {
+    chunk_digest(CONTENT_DOMAIN, page)
+}
+
 /// One absorb step: `l ← (l ^ w) · prime`, a bijection on `u64` for
 /// fixed `w` and injective in `w` for fixed `l`.
 #[inline]

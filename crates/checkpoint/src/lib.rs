@@ -40,6 +40,7 @@
 pub mod backup;
 pub mod bitmap;
 pub mod copy;
+pub mod delta;
 pub mod engine;
 pub mod error;
 pub mod history;
@@ -52,13 +53,16 @@ pub mod staging;
 pub use backup::BackupVm;
 pub use bitmap::{scan_bit_by_bit, scan_wordwise, BitmapScan};
 pub use copy::{CopyStats, CopyStrategy, FusedSocketCopier, MemcpyCopier, SocketCopier};
+pub use delta::{
+    apply_page, encode_page, scan_page, wire_len, wire_len_for, DeltaRun, PageEncoding, PageScan,
+};
 pub use engine::{
     AuditVerdict, CheckpointConfig, Checkpointer, DrainStats, EpochReport, OptLevel,
     RollbackReport, StagedEpoch,
 };
 pub use error::CheckpointError;
 pub use history::{CheckpointHistory, CheckpointRecord};
-pub use integrity::{chunk_digest, image_digest, FusedDigest, ImageDigest};
+pub use integrity::{chunk_digest, content_digest, image_digest, FusedDigest, ImageDigest};
 pub use mapping::{HypercallModel, MappedPage, Mapper, MappingStrategy};
 pub use pool::{
     FusedAudit, FusedPageVisitor, NoopVisitor, PageCtx, PageFinding, PauseWindowPool, PoolLease,

@@ -40,9 +40,47 @@ use crimes_vm::{PAGE_SIZE, SECTOR_SIZE};
 
 use crate::backup::BackupVm;
 use crate::copy::{decrypt_in_place, encrypt_in_place, CopyStats, WRITEV_BATCH};
-use crate::integrity::chunk_digest;
+use crate::delta::{encode_page, scan_page, wire_len, PageEncoding};
 use crate::error::CheckpointError;
+use crate::integrity::{chunk_digest, content_digest};
 use crate::mapping::{HypercallModel, MappedPage};
+
+/// Content-aware drain knobs, plumbed from `CheckpointConfig`. Both
+/// default off, which keeps the drain's wire model byte-identical to
+/// the raw pipeline; neither changes what the backup ends up holding or
+/// what the evidence journal records (see [`RecordFacts`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainOpts {
+    /// Delta-encode pages whose churn is at most this many changed
+    /// 8-byte words; `0` disables encoding (full pages on the wire).
+    pub delta_threshold: usize,
+    /// Content-addressed dedup: ship `(digest, refs)` instead of bytes
+    /// when the backup already holds an identical page.
+    pub dedup: bool,
+}
+
+/// Wire cost of a dedup-hit record: record header + content digest +
+/// refcount word. The bytes never ship; the receiver copies its local
+/// exemplar.
+const DEDUP_WIRE_LEN: usize = 24;
+
+/// Content facts about one drained record, accumulated per completed
+/// record across drain attempts (truncated to the cursor on retry, like
+/// the digest list, so every record counts exactly once). The
+/// `zero`/`dup`/`changed_words` facts are pure functions of the staged
+/// page and the backup's prior generation — independent of every
+/// encoding knob — which is what lets the framework journal them while
+/// keeping journals bit-identical with encoding on or off. The
+/// `dedup_hit`/`wire` fields are knob-dependent wire modelling and feed
+/// telemetry only, never the journal.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RecordFacts {
+    pub(crate) zero: bool,
+    pub(crate) dup: bool,
+    pub(crate) dedup_hit: bool,
+    pub(crate) changed_words: u32,
+    pub(crate) wire: usize,
+}
 
 /// Claim on one sealed staging slot: the engine's IOU that
 /// [`drain_slot`](StagingArea::drain_slot) (via
@@ -76,13 +114,18 @@ struct StagingSlot {
     frames: Vec<u8>,
     entries: Vec<MappedPage>,
     digests: Vec<(usize, u64)>,
+    facts: Vec<RecordFacts>,
     sector_ids: Vec<u64>,
     sector_bytes: Vec<u8>,
     guest_time_ns: u64,
     occupied: bool,
-    /// Progress cursor: staged pages already durable on the backup. A
-    /// broken drain session leaves the cursor where the stream died, so
-    /// the next session resumes instead of restarting the slot.
+    /// Progress cursor, in **completed records**: staged pages whose
+    /// full record — frame write, digest, facts, refcounts — is durable
+    /// on the backup. Records are variable length on the wire (zero
+    /// marker / delta runs / full page / dedup reference), so the cursor
+    /// never points inside one: a broken drain session leaves it at the
+    /// last record boundary and the next session resumes there instead
+    /// of restarting the slot.
     drained: usize,
 }
 
@@ -92,6 +135,7 @@ impl StagingSlot {
             frames: vec![0u8; num_pages * PAGE_SIZE],
             entries: Vec::with_capacity(num_pages),
             digests: Vec::with_capacity(num_pages),
+            facts: Vec::with_capacity(num_pages),
             sector_ids: Vec::with_capacity(num_sectors),
             sector_bytes: Vec::with_capacity(num_sectors * SECTOR_SIZE),
             guest_time_ns: 0,
@@ -146,6 +190,7 @@ impl StagingArea {
         if let Some(s) = self.slots.get_mut(slot) {
             s.entries.clear();
             s.digests.clear();
+            s.facts.clear();
             s.sector_ids.clear();
             s.sector_bytes.clear();
             s.guest_time_ns = 0;
@@ -215,6 +260,7 @@ impl StagingArea {
         for s in &mut self.slots {
             s.drained = 0;
             s.digests.clear();
+            s.facts.clear();
         }
     }
 
@@ -231,6 +277,15 @@ impl StagingArea {
             .get(slot)
             .into_iter()
             .flat_map(|s| s.digests.iter().copied())
+    }
+
+    /// The slot's per-record content facts, for the engine's post-ack
+    /// profile fold (one entry per completed record, across attempts).
+    pub(crate) fn facts(&self, slot: usize) -> impl Iterator<Item = RecordFacts> + '_ {
+        self.slots
+            .get(slot)
+            .into_iter()
+            .flat_map(|s| s.facts.iter().copied())
     }
 
     /// The slot's snapshotted dirty sectors as `(sector, bytes)`.
@@ -280,23 +335,50 @@ impl StagingArea {
         backup: &mut BackupVm,
         key: u64,
         syscalls: &mut HypercallModel,
+        opts: DrainOpts,
+    ) -> Result<CopyStats, CheckpointError> {
+        self.drain_slot_inner(slot, backup, key, syscalls, opts, None)
+    }
+
+    /// [`drain_slot`](Self::drain_slot) with a test hook: `stop_after`
+    /// breaks the stream cleanly after that many further records land,
+    /// exactly where an injected fault would — the regression tests use
+    /// it to break a drain at *every* record boundary and prove the
+    /// resume never splits a record.
+    fn drain_slot_inner(
+        &mut self,
+        slot: usize,
+        backup: &mut BackupVm,
+        key: u64,
+        syscalls: &mut HypercallModel,
+        opts: DrainOpts,
+        stop_after: Option<usize>,
     ) -> Result<CopyStats, CheckpointError> {
         let Some(s) = self.slots.get_mut(slot) else {
             return Err(CheckpointError::DrainFault { pages_drained: 0 });
         };
+        // The dup facts below probe the content index, so it must be
+        // fresh; with the deferred pipeline's coherent writes this
+        // rebuilds at most once per drain session.
+        backup.ensure_content_index();
         let remaining = s.entries.len().saturating_sub(s.drained);
         // The out-of-window stream breaking mid-drain: pick how many
-        // further pages land first from the fault plan's seeded draws.
+        // further records land first from the fault plan's seeded draws.
         let fail_after = crimes_faults::should_inject(FaultPoint::BackupDrain)
             .then(|| crimes_faults::draw_below(remaining.max(1) as u64) as usize);
         let mut stats = CopyStats::default();
-        let mut scratch = Vec::with_capacity(PAGE_SIZE);
+        let mut scratch = Vec::with_capacity(PAGE_SIZE + 8);
         let mut batched = 0usize;
-        // Digests before the cursor cover pages already durable; anything
-        // past it belongs to a broken attempt and is recomputed here.
+        // Digests and facts before the cursor cover records already
+        // durable; anything past it belongs to a broken attempt and is
+        // recomputed here. Keeping both lists exactly cursor-long is
+        // what makes the cursor record-aligned: every side effect of a
+        // record (frame write, refcounts, digest, facts) lands in the
+        // same loop iteration, before the cursor may advance past it.
         s.digests.truncate(s.drained);
+        s.facts.truncate(s.drained);
         for &(pfn, mfn) in s.entries.iter().skip(s.drained) {
-            if fail_after == Some(stats.pages) {
+            if fail_after == Some(stats.pages) || stop_after == Some(stats.pages) {
                 s.drained = s.drained.saturating_add(stats.pages);
                 return Err(CheckpointError::DrainFault {
                     pages_drained: stats.pages,
@@ -309,21 +391,53 @@ impl StagingArea {
                     pages_drained: stats.pages,
                 });
             };
+            // Content facts against the backup's current generation —
+            // computed unconditionally (they are knob-independent
+            // evidence), then the knobs decide only what the wire ships.
+            let digest = content_digest(src);
+            let (scan, dup, enc) = {
+                let old = backup.frame(mfn);
+                let scan = scan_page(old, src);
+                let dup = backup.probe_duplicate(digest, src);
+                let enc = if opts.delta_threshold > 0 && !(opts.dedup && dup) {
+                    encode_page(old, src, opts.delta_threshold)
+                } else {
+                    PageEncoding::Full
+                };
+                (scan, dup, enc)
+            };
+            let dedup_hit = opts.dedup && dup;
+            let wire = if dedup_hit {
+                // `(digest, refs)` reference — the bytes stay home.
+                DEDUP_WIRE_LEN
+            } else if opts.delta_threshold > 0 {
+                wire_len(&enc)
+            } else {
+                PAGE_SIZE
+            };
             // Digest the plaintext the backup is about to receive, then
-            // encrypt a copy of it for the modelled wire.
+            // cipher exactly the bytes that cross the modelled wire.
             s.digests.push((mfn.0 as usize, chunk_digest(mfn.0, src)));
+            s.facts.push(RecordFacts {
+                zero: scan.zero,
+                dup,
+                dedup_hit,
+                changed_words: scan.changed_words,
+                wire,
+            });
+            let cipher_len = wire.min(PAGE_SIZE + 8);
             scratch.clear();
-            scratch.extend_from_slice(src);
+            scratch.extend_from_slice(&src[..cipher_len.min(PAGE_SIZE)]);
+            scratch.resize(cipher_len, 0);
             encrypt_in_place(&mut scratch, key, pfn.0);
-            // Receiver side: ciphertext into the backup frame, decrypt in
-            // place.
-            let dst = backup.frame_mut(mfn);
-            if dst.len() == scratch.len() {
-                dst.copy_from_slice(&scratch);
-            }
-            decrypt_in_place(dst, key, pfn.0);
+            decrypt_in_place(&mut scratch, key, pfn.0);
+            // Receiver side: apply the record to the backup frame through
+            // the content-index-coherent path (delta records rewrite only
+            // the changed words; dedup hits and full records copy the
+            // staged plaintext).
+            backup.store_frame_encoded(mfn, &enc, src, digest);
             stats.pages += 1;
-            stats.bytes += PAGE_SIZE;
+            stats.bytes = stats.bytes.saturating_add(wire);
             batched += 1;
             if batched >= WRITEV_BATCH {
                 batched = 0;
@@ -393,7 +507,7 @@ mod tests {
         assert_eq!(area.in_flight(), 1);
         let mut syscalls = HypercallModel::new(2);
         let stats = area
-            .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls)
+            .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls, DrainOpts::default())
             .expect("no faults armed");
         assert_eq!(stats.pages, mapped.len());
         assert_eq!(stats.bytes, mapped.len() * PAGE_SIZE);
@@ -439,7 +553,7 @@ mod tests {
         let _scope = crimes_faults::install(plan, 13);
         let mut syscalls = HypercallModel::new(2);
         let err = area
-            .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls)
+            .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls, DrainOpts::default())
             .expect_err("drain fault armed at full rate");
         let landed = match err {
             CheckpointError::DrainFault { pages_drained } => pages_drained,
@@ -455,7 +569,7 @@ mod tests {
         // The retry *resumes* from the cursor: only the remaining pages
         // ship, yet the backup and the digest list end up complete.
         let stats = area
-            .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls)
+            .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls, DrainOpts::default())
             .expect("no faults armed on the retry");
         assert_eq!(stats.pages, mapped.len() - landed, "resume skips drained pages");
         assert_eq!(area.drained(ticket.slot()), mapped.len());
@@ -476,14 +590,14 @@ mod tests {
         let scope = crimes_faults::install(plan, 13);
         let mut syscalls = HypercallModel::new(2);
         let _ = area
-            .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls)
+            .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls, DrainOpts::default())
             .expect_err("drain fault armed at full rate");
         drop(scope);
         // Failover: partial progress against the old backup is void.
         area.reset_cursors();
         assert_eq!(area.drained(ticket.slot()), 0);
         let stats = area
-            .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls)
+            .drain_slot(ticket.slot(), &mut backup, 0xfeed, &mut syscalls, DrainOpts::default())
             .expect("no faults armed on the re-drain");
         assert_eq!(stats.pages, mapped.len(), "full slot re-drained");
         assert_eq!(backup.frames(), vm.memory().dump_frames().as_slice());
@@ -505,6 +619,146 @@ mod tests {
         assert_eq!(area.entry_count(ticket.slot()), 0);
     }
 
+    /// All four record kinds with the knobs on: the backup ends
+    /// bit-identical to a raw drain, the digest list is unchanged, the
+    /// knob-independent facts match, and the wire shrinks.
+    #[test]
+    fn encoded_drain_matches_raw_on_the_backup_and_shrinks_the_wire() {
+        let (vm, mapped) = vm_with_writes();
+        let mut raw_backup = BackupVm::new(&vm);
+        // Make the backup hold a previous generation of the dirty pages
+        // so deltas have something to diff against.
+        for &(_p, mfn) in &mapped {
+            raw_backup.frame_mut(mfn)[0] ^= 0x1;
+        }
+        let mut enc_backup = raw_backup.clone();
+        let opts = DrainOpts {
+            delta_threshold: 64,
+            dedup: true,
+        };
+        let mut syscalls = HypercallModel::new(2);
+
+        let mut raw_area = StagingArea::new(1024, 8, 1);
+        let raw_ticket = stage(&mut raw_area, &vm, &mapped);
+        let raw = raw_area
+            .drain_slot(raw_ticket.slot(), &mut raw_backup, 7, &mut syscalls, DrainOpts::default())
+            .expect("no faults armed");
+
+        let mut enc_area = StagingArea::new(1024, 8, 1);
+        let enc_ticket = stage(&mut enc_area, &vm, &mapped);
+        let enc = enc_area
+            .drain_slot(enc_ticket.slot(), &mut enc_backup, 7, &mut syscalls, opts)
+            .expect("no faults armed");
+
+        assert_eq!(raw_backup.frames(), enc_backup.frames());
+        assert_eq!(enc.pages, raw.pages);
+        assert_eq!(enc.syscalls, raw.syscalls);
+        assert!(
+            enc.bytes < raw.bytes,
+            "one-byte-per-page churn must delta well: {} vs {}",
+            enc.bytes,
+            raw.bytes
+        );
+        let raw_digests: Vec<_> = raw_area.digests(raw_ticket.slot()).collect();
+        let enc_digests: Vec<_> = enc_area.digests(enc_ticket.slot()).collect();
+        assert_eq!(raw_digests, enc_digests, "digests cover plaintext, not wire");
+        // The knob-independent facts agree between the two drains.
+        let raw_facts: Vec<_> = raw_area.facts(raw_ticket.slot()).collect();
+        let enc_facts: Vec<_> = enc_area.facts(enc_ticket.slot()).collect();
+        assert_eq!(raw_facts.len(), enc_facts.len());
+        for (r, e) in raw_facts.iter().zip(enc_facts.iter()) {
+            assert_eq!((r.zero, r.dup, r.changed_words), (e.zero, e.dup, e.changed_words));
+            assert!(r.changed_words >= 1, "every staged page was dirtied");
+        }
+        assert!(
+            enc_facts.iter().any(|f| (f.changed_words as usize) <= 64 && f.wire < PAGE_SIZE),
+            "sparse pages must price below a raw page"
+        );
+    }
+
+    /// Satellite regression: break the encoded drain at **every** record
+    /// boundary and resume. The cursor must stay record-aligned — no
+    /// resume may split a delta record, double-apply a refcount, or drop
+    /// a digest/fact — so the backup, digest list, and facts end up
+    /// identical to an unbroken drain no matter where the stream died.
+    #[test]
+    fn resume_at_every_record_boundary_is_exact() {
+        let (vm, mapped) = vm_with_writes();
+        let opts = DrainOpts {
+            delta_threshold: 64,
+            dedup: true,
+        };
+        let mut syscalls = HypercallModel::new(2);
+
+        // Reference: one unbroken encoded drain.
+        let mut clean_backup = BackupVm::new(&vm);
+        for &(_p, mfn) in &mapped {
+            clean_backup.frame_mut(mfn)[0] ^= 0x1;
+        }
+        let broken_seed = clean_backup.clone();
+        let mut clean_area = StagingArea::new(1024, 8, 1);
+        let clean_ticket = stage(&mut clean_area, &vm, &mapped);
+        clean_area
+            .drain_slot(clean_ticket.slot(), &mut clean_backup, 7, &mut syscalls, opts)
+            .expect("no faults armed");
+        let clean_digests: Vec<_> = clean_area.digests(clean_ticket.slot()).collect();
+        let clean_facts: Vec<_> = clean_area.facts(clean_ticket.slot()).collect();
+
+        for boundary in 0..=mapped.len() {
+            let mut backup = broken_seed.clone();
+            let mut area = StagingArea::new(1024, 8, 1);
+            let ticket = stage(&mut area, &vm, &mapped);
+            if boundary < mapped.len() {
+                let err = area
+                    .drain_slot_inner(
+                        ticket.slot(),
+                        &mut backup,
+                        7,
+                        &mut syscalls,
+                        opts,
+                        Some(boundary),
+                    )
+                    .expect_err("stream broken at the boundary");
+                assert!(matches!(
+                    err,
+                    CheckpointError::DrainFault { pages_drained } if pages_drained == boundary
+                ));
+                assert_eq!(area.drained(ticket.slot()), boundary, "cursor at the boundary");
+            }
+            area.drain_slot(ticket.slot(), &mut backup, 7, &mut syscalls, opts)
+                .expect("resume completes");
+            assert_eq!(
+                backup.frames(),
+                clean_backup.frames(),
+                "resume after boundary {boundary} diverged from the unbroken drain"
+            );
+            let digests: Vec<_> = area.digests(ticket.slot()).collect();
+            assert_eq!(digests, clean_digests, "digests after boundary {boundary}");
+            let facts: Vec<_> = area.facts(ticket.slot()).collect();
+            assert_eq!(facts.len(), clean_facts.len(), "facts after boundary {boundary}");
+            for (got, want) in facts.iter().zip(clean_facts.iter()) {
+                assert_eq!(
+                    (got.zero, got.dup, got.changed_words, got.dedup_hit, got.wire),
+                    (want.zero, want.dup, want.changed_words, want.dedup_hit, want.wire),
+                    "facts after boundary {boundary}"
+                );
+            }
+            // Refcount coherence survived the break: rebuilding the
+            // index from scratch yields the same refs for every frame's
+            // content as the incrementally-maintained one.
+            let incremental: Vec<u32> = (0..mapped.len())
+                .map(|i| backup.content_refs(content_digest(backup.frame(mapped[i].1))))
+                .collect();
+            let mut rebuilt = backup.clone();
+            rebuilt.frame_mut(crimes_vm::Mfn(0)); // stale the index
+            rebuilt.ensure_content_index();
+            let fresh: Vec<u32> = (0..mapped.len())
+                .map(|i| rebuilt.content_refs(content_digest(rebuilt.frame(mapped[i].1))))
+                .collect();
+            assert_eq!(incremental, fresh, "refcounts after boundary {boundary}");
+        }
+    }
+
     #[test]
     fn out_of_range_slot_indices_are_harmless() {
         let mut area = StagingArea::new(4, 2, 1);
@@ -518,7 +772,7 @@ mod tests {
         };
         let mut syscalls = HypercallModel::new(2);
         assert!(matches!(
-            area.drain_slot(9, &mut backup, 1, &mut syscalls),
+            area.drain_slot(9, &mut backup, 1, &mut syscalls, DrainOpts::default()),
             Err(CheckpointError::DrainFault { pages_drained: 0 })
         ));
     }

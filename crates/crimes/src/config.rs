@@ -230,6 +230,25 @@ impl CrimesConfigBuilder {
         self
     }
 
+    /// Word-churn threshold (in changed words per page) above which the
+    /// drain ships a full page instead of a run-length delta record.
+    /// `0` disables delta/zero-page encoding entirely (raw full pages).
+    /// Wire modelling only: backup bytes, image digests, and journal
+    /// bytes are identical at every threshold.
+    pub fn delta_threshold(&mut self, words: usize) -> &mut Self {
+        self.config.checkpoint.delta_threshold = words;
+        self
+    }
+
+    /// Enable content-addressed dedup on the drain wire: pages whose
+    /// tagged digest (and bytes) already live in the backup's store ship
+    /// as a `(digest, refs)` reference instead of their bytes. Wire
+    /// modelling only, like [`delta_threshold`](Self::delta_threshold).
+    pub fn dedup(&mut self, enabled: bool) -> &mut Self {
+        self.config.checkpoint.dedup = enabled;
+        self
+    }
+
     /// Mark the tenant as served by an externally owned pause-window pool
     /// (the fleet scheduler's shared pool). Suppresses the eager
     /// per-tenant pool allocation — whose undo buffers rival the guest

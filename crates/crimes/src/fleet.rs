@@ -227,11 +227,11 @@ impl Fleet {
             }
             match crimes.run_epoch(|vm, ms| work(name, vm, ms)) {
                 Ok(EpochOutcome::Committed { .. }) => {
-                    self.stats.committed_epochs += 1;
+                    self.stats.committed_epochs = self.stats.committed_epochs.saturating_add(1);
                     summary.committed.push(name.clone());
                 }
                 Ok(EpochOutcome::AttackDetected { .. }) => {
-                    self.stats.incidents_detected += 1;
+                    self.stats.incidents_detected = self.stats.incidents_detected.saturating_add(1);
                     summary.new_incidents.push(name.clone());
                 }
                 Ok(EpochOutcome::Extended { .. }) => {
@@ -287,7 +287,7 @@ impl Fleet {
             .get_mut(name)
             .ok_or(CrimesError::InvalidState("no such vm"))?
             .rollback_and_resume()?;
-        self.stats.incidents_resolved += 1;
+        self.stats.incidents_resolved = self.stats.incidents_resolved.saturating_add(1);
         Ok(discarded)
     }
 }

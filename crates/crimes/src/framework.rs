@@ -648,6 +648,13 @@ impl Crimes {
         &self.checkpointer
     }
 
+    /// The tenant backup's `(digest, refs)` content index, rebuilt on
+    /// demand — the fleet scheduler's cross-tenant dedup accounting
+    /// folds these per round (counter-only; no tenant bytes move).
+    pub(crate) fn backup_content_index(&mut self) -> Vec<(u64, u32)> {
+        self.checkpointer.backup_content_index()
+    }
+
     /// Output-buffer statistics.
     pub fn buffer_stats(&self) -> BufferStats {
         self.buffer.stats()
@@ -1195,6 +1202,29 @@ impl Crimes {
                         generation: ack.generation,
                         pages: u64::try_from(ack.pages).unwrap_or(u64::MAX),
                     });
+                    // Content facts are evidence effects: replay must see
+                    // the same delta/dedup profile whether or not the
+                    // encoding knobs were on, so the profile is journaled
+                    // from knob-independent tallies before release.
+                    self.journal.append(&Record::DrainProfile {
+                        generation: ack.generation,
+                        pages: u64::try_from(ack.pages).unwrap_or(u64::MAX),
+                        zero_pages: u64::try_from(ack.zero_pages).unwrap_or(u64::MAX),
+                        changed_words: ack.changed_words,
+                        dup_pages: u64::try_from(ack.dup_pages).unwrap_or(u64::MAX),
+                    });
+                    self.telemetry.add(
+                        Counter::BytesSavedDelta,
+                        u64::try_from(ack.bytes_saved).unwrap_or(u64::MAX),
+                    );
+                    self.telemetry.add(
+                        Counter::DedupHits,
+                        u64::try_from(ack.dedup_hits).unwrap_or(u64::MAX),
+                    );
+                    self.telemetry.add(
+                        Counter::DedupMisses,
+                        u64::try_from(ack.dedup_misses).unwrap_or(u64::MAX),
+                    );
                     self.journal
                         .append(&Record::ReleaseAcked { generation: ack.generation });
                     released.extend(self.buffer.release_acked(ack.generation, self.vm.now_ns()));

@@ -88,6 +88,11 @@ pub struct SchedulerStats {
     /// Leases granted lifetime (one per tenant boundary that suspended
     /// a guest under this scheduler).
     pub total_leases: u64,
+    /// Pages a fleet-shared content store would have stored once instead
+    /// of per-tenant: for every page digest held by `k ≥ 2` tenant
+    /// backups, `k − 1` redundant copies, counted the first round the
+    /// digest recurs. Counter-only — no tenant bytes actually move.
+    pub cross_tenant_dup_pages: u64,
 }
 
 /// What became of one tenant during a scheduled round, before the
@@ -117,6 +122,11 @@ pub struct FleetScheduler {
     rounds: u64,
     requested_workers: usize,
     last_snapshot: Option<Telemetry>,
+    /// Digests already tallied as cross-tenant duplicates — each digest
+    /// is counted the first round it recurs, so the lifetime counter
+    /// never double-counts a page that stays resident across rounds.
+    content_counted: std::collections::BTreeSet<u64>,
+    cross_tenant_dup_pages: u64,
 }
 
 /// FNV-1a over the tenant name: a cheap, deterministic, platform-stable
@@ -181,6 +191,8 @@ impl FleetScheduler {
             rounds: 0,
             requested_workers: requested,
             last_snapshot: None,
+            content_counted: std::collections::BTreeSet::new(),
+            cross_tenant_dup_pages: 0,
         }
     }
 
@@ -193,6 +205,7 @@ impl FleetScheduler {
             capacity: self.pool.capacity(),
             peak_leases: self.pool.peak_active(),
             total_leases: self.pool.total_leases(),
+            cross_tenant_dup_pages: self.cross_tenant_dup_pages,
         }
     }
 
@@ -233,7 +246,7 @@ impl FleetScheduler {
     where
         W: FnMut(&str, &mut Vm, u64) -> Result<(), VmError>,
     {
-        self.rounds += 1;
+        self.rounds = self.rounds.saturating_add(1);
         self.telemetry.add(Counter::FleetRounds, 1);
         // Fault plans live in thread-local storage: a drain running on a
         // worker thread would silently escape an armed plan, so fault
@@ -395,16 +408,16 @@ impl FleetScheduler {
         }
 
         let mut summary = FleetEpochSummary::default();
-        let mut committed_delta = 0;
-        let mut incidents_delta = 0;
+        let mut committed_delta = 0u64;
+        let mut incidents_delta = 0u64;
         for (name, disposition) in records {
             match disposition {
                 Disposition::Committed => {
-                    committed_delta += 1;
+                    committed_delta = committed_delta.saturating_add(1);
                     summary.committed.push(name);
                 }
                 Disposition::NewIncident => {
-                    incidents_delta += 1;
+                    incidents_delta = incidents_delta.saturating_add(1);
                     summary.new_incidents.push(name);
                 }
                 Disposition::Extended => summary.extended.push(name),
@@ -429,13 +442,43 @@ impl FleetScheduler {
         summary.errored.sort_by(|a, b| a.0.cmp(&b.0));
 
         let stats = fleet.stats_mut();
-        stats.committed_epochs += committed_delta;
-        stats.incidents_detected += incidents_delta;
+        stats.committed_epochs = stats.committed_epochs.saturating_add(committed_delta);
+        stats.incidents_detected = stats.incidents_detected.saturating_add(incidents_delta);
+        self.tally_cross_tenant_dups(fleet);
         self.last_snapshot = fleet.aggregate_telemetry().map(|mut t| {
             t.merge(&self.telemetry);
             t
         });
         Ok(summary)
+    }
+
+    /// Fold every tenant backup's content index into the fleet-shared
+    /// dedup accounting. Counter-only by design: a page digest held by
+    /// `k ≥ 2` tenants counts `k − 1` redundant stored copies (what one
+    /// shared content store would save), tallied the first round the
+    /// digest recurs and surfaced as [`Counter::DedupHits`] on the
+    /// scheduler's telemetry. Tenant stores, drain wires, and journals
+    /// are untouched — cross-tenant sharing must never let one tenant
+    /// observe another's content timing, so only the count escapes.
+    fn tally_cross_tenant_dups(&mut self, fleet: &mut Fleet) {
+        let mut tenants_holding: std::collections::BTreeMap<u64, u64> =
+            std::collections::BTreeMap::new();
+        for (_, crimes) in fleet.vms_mut().iter_mut() {
+            for (digest, refs) in crimes.backup_content_index() {
+                if refs > 0 {
+                    let held = tenants_holding.entry(digest).or_insert(0);
+                    *held = held.saturating_add(1);
+                }
+            }
+        }
+        for (digest, holders) in tenants_holding {
+            if holders >= 2 && self.content_counted.insert(digest) {
+                let redundant = holders.saturating_sub(1);
+                self.cross_tenant_dup_pages =
+                    self.cross_tenant_dup_pages.saturating_add(redundant);
+                self.telemetry.add(Counter::DedupHits, redundant);
+            }
+        }
     }
 }
 

@@ -44,6 +44,7 @@ const TAG_QUARANTINED: u8 = 10;
 const TAG_DEGRADED: u8 = 11;
 const TAG_FAILOVER: u8 = 12;
 const TAG_COMMITTED: u8 = 13;
+const TAG_DRAIN_PROFILE: u8 = 14;
 
 const OUTPUT_NET: u8 = 0;
 const OUTPUT_DISK: u8 = 1;
@@ -133,6 +134,22 @@ pub enum Record {
         /// The committed epoch's ordinal (0-based).
         epoch: u64,
     },
+    /// Content profile of a completed drain: what the staged pages
+    /// looked like against the backup's prior generation. Pure facts —
+    /// independent of the encoding knobs — so replay reconstructs the
+    /// same delta/dedup evidence whether or not encoding was enabled.
+    DrainProfile {
+        /// The drain generation the profile describes.
+        generation: u64,
+        /// Pages the drain carried.
+        pages: u64,
+        /// Pages that were entirely zero.
+        zero_pages: u64,
+        /// Words that differed from the backup's prior generation.
+        changed_words: u64,
+        /// Pages whose content already existed in the backup store.
+        dup_pages: u64,
+    },
 }
 
 /// A drain ticket that was staged but not yet acked when the journal
@@ -171,6 +188,12 @@ pub struct RecoveredState {
     pub degraded_epochs: u64,
     /// Failovers recorded.
     pub failovers: u64,
+    /// All-zero pages across every drain profile recorded.
+    pub drain_zero_pages: u64,
+    /// Changed words across every drain profile recorded.
+    pub drain_changed_words: u64,
+    /// Duplicate (content-addressed) pages across every drain profile.
+    pub drain_dup_pages: u64,
     /// Records applied before replay stopped.
     pub records_replayed: usize,
     /// Byte offset of the first record replay refused (torn tail, bad
@@ -379,6 +402,20 @@ impl Record {
                 body.push(TAG_COMMITTED);
                 push_u64(&mut body, *epoch);
             }
+            Record::DrainProfile {
+                generation,
+                pages,
+                zero_pages,
+                changed_words,
+                dup_pages,
+            } => {
+                body.push(TAG_DRAIN_PROFILE);
+                push_u64(&mut body, *generation);
+                push_u64(&mut body, *pages);
+                push_u64(&mut body, *zero_pages);
+                push_u64(&mut body, *changed_words);
+                push_u64(&mut body, *dup_pages);
+            }
         }
         body
     }
@@ -445,6 +482,13 @@ fn decode_body(body: &[u8]) -> Option<Record> {
         },
         TAG_COMMITTED => Record::Committed {
             epoch: read_u64(body, p)?,
+        },
+        TAG_DRAIN_PROFILE => Record::DrainProfile {
+            generation: read_u64(body, p)?,
+            pages: read_u64(body, p.checked_add(8)?)?,
+            zero_pages: read_u64(body, p.checked_add(16)?)?,
+            changed_words: read_u64(body, p.checked_add(24)?)?,
+            dup_pages: read_u64(body, p.checked_add(32)?)?,
         },
         _ => return None,
     })
@@ -635,6 +679,17 @@ impl EvidenceJournal {
             Record::Committed { .. } => {
                 state.committed_epochs = state.committed_epochs.saturating_add(1);
             }
+            Record::DrainProfile {
+                zero_pages,
+                changed_words,
+                dup_pages,
+                ..
+            } => {
+                state.drain_zero_pages = state.drain_zero_pages.saturating_add(zero_pages);
+                state.drain_changed_words =
+                    state.drain_changed_words.saturating_add(changed_words);
+                state.drain_dup_pages = state.drain_dup_pages.saturating_add(dup_pages);
+            }
         }
     }
 }
@@ -663,6 +718,13 @@ mod tests {
             Record::TicketAcked {
                 generation: 1,
                 pages: 6,
+            },
+            Record::DrainProfile {
+                generation: 1,
+                pages: 6,
+                zero_pages: 2,
+                changed_words: 17,
+                dup_pages: 1,
             },
             Record::ReleaseAcked { generation: 1 },
             Record::Committed { epoch: 0 },
@@ -700,7 +762,10 @@ mod tests {
         let j = journal_of(&sample_records());
         let state = EvidenceJournal::replay(j.bytes());
         assert_eq!(state.truncated_at, None);
-        assert_eq!(state.records_replayed, 12);
+        assert_eq!(state.records_replayed, 13);
+        assert_eq!(state.drain_zero_pages, 2);
+        assert_eq!(state.drain_changed_words, 17);
+        assert_eq!(state.drain_dup_pages, 1);
         assert_eq!(state.committed_epochs, 1);
         assert_eq!(state.last_acked_generation, 1);
         assert!(state.open_tickets.is_empty(), "gen 1 acked");

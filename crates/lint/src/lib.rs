@@ -108,6 +108,7 @@ impl Default for LintConfig {
                 "crates/checkpoint/src/copy.rs",
                 "crates/checkpoint/src/integrity.rs",
                 "crates/checkpoint/src/pool.rs",
+                "crates/checkpoint/src/delta.rs",
                 "crates/journal/src/journal.rs",
             ]
             .map(String::from)
@@ -132,6 +133,7 @@ impl Default for LintConfig {
                 "crates/checkpoint/src/engine.rs",
                 "crates/checkpoint/src/staging.rs",
                 "crates/checkpoint/src/backup.rs",
+                "crates/checkpoint/src/delta.rs",
                 "crates/outbuf/src/scan.rs",
             ]
             .map(String::from)

@@ -74,11 +74,20 @@ pub enum Counter {
     /// Fleet-level clamps of the shared pool's worker count to the host's
     /// CPU budget — the one clamp that replaces N per-tenant clamps.
     FleetWorkerClamps,
+    /// Wire bytes the delta/zero-page encoder avoided shipping, relative
+    /// to raw full-page drains.
+    BytesSavedDelta,
+    /// Drained pages whose content already existed in the backup's
+    /// content-addressed store (shipped as a digest reference).
+    DedupHits,
+    /// Drained pages probed against the content-addressed store that had
+    /// to ship their bytes (dedup enabled, no matching digest).
+    DedupMisses,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 23] = [
         Counter::EpochsCommitted,
         Counter::AttacksDetected,
         Counter::SpeculationExtensions,
@@ -99,6 +108,9 @@ impl Counter {
         Counter::FleetRounds,
         Counter::SharedPoolLeases,
         Counter::FleetWorkerClamps,
+        Counter::BytesSavedDelta,
+        Counter::DedupHits,
+        Counter::DedupMisses,
     ];
 
     /// The counter's stable export name (snake_case; part of the
@@ -125,6 +137,9 @@ impl Counter {
             Counter::FleetRounds => "fleet_rounds",
             Counter::SharedPoolLeases => "shared_pool_leases",
             Counter::FleetWorkerClamps => "fleet_worker_clamps",
+            Counter::BytesSavedDelta => "bytes_saved_delta",
+            Counter::DedupHits => "dedup_hits",
+            Counter::DedupMisses => "dedup_misses",
         }
     }
 
@@ -169,9 +184,9 @@ impl Histogram {
         let bit_len = (u64::BITS - v.leading_zeros()) as usize;
         let idx = bit_len.min(HISTOGRAM_BUCKETS - 1);
         if let Some(b) = self.buckets.get_mut(idx) {
-            *b += 1;
+            *b = b.saturating_add(1);
         }
-        self.count += 1;
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
     }
@@ -211,9 +226,9 @@ impl Histogram {
     /// and associative up to `sum` saturation).
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
@@ -272,10 +287,12 @@ impl Telemetry {
         }
     }
 
-    /// Bump `counter` by `n`.
+    /// Bump `counter` by `n`. Saturates: a pathological guest that
+    /// inflates a counter (e.g. byte tallies fed by guest-sized pages)
+    /// pegs it at `u64::MAX` rather than wrapping back to small values.
     pub fn add(&mut self, counter: Counter, n: u64) {
         if let Some(c) = self.counters.get_mut(counter.index()) {
-            *c += n;
+            *c = c.saturating_add(n);
         }
     }
 
@@ -306,9 +323,9 @@ impl Telemetry {
     /// Fold one worker slot's copy statistics into slot `idx`.
     pub fn record_worker(&mut self, idx: usize, pages: u64, bytes: u64, syscalls: u64) {
         if let Some(w) = self.workers.get_mut(idx) {
-            w.pages += pages;
-            w.bytes += bytes;
-            w.syscalls += syscalls;
+            w.pages = w.pages.saturating_add(pages);
+            w.bytes = w.bytes.saturating_add(bytes);
+            w.syscalls = w.syscalls.saturating_add(syscalls);
         }
     }
 
@@ -347,7 +364,7 @@ impl Telemetry {
             self.phases_used = other.phases_used;
         }
         for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
         for (a, b) in self.phase_ns.iter_mut().zip(other.phase_ns.iter()) {
             a.merge(b);
@@ -355,9 +372,9 @@ impl Telemetry {
         self.dirty_pages.merge(&other.dirty_pages);
         self.audit_ns.merge(&other.audit_ns);
         for (a, b) in self.workers.iter_mut().zip(other.workers.iter()) {
-            a.pages += b.pages;
-            a.bytes += b.bytes;
-            a.syscalls += b.syscalls;
+            a.pages = a.pages.saturating_add(b.pages);
+            a.bytes = a.bytes.saturating_add(b.bytes);
+            a.syscalls = a.syscalls.saturating_add(b.syscalls);
         }
     }
 }

@@ -57,15 +57,22 @@ test "${LINT_BROKEN_CODE}" -eq 2
 echo "==> benches compile (in-tree harness, no criterion)"
 cargo bench --no-run --offline
 
-echo "==> pause-window bench smoke (serial vs fused vs deferred)"
-# A short run of the baseline bench drives the fused sharded walk and
-# the deferred stage+drain pipeline end to end; the JSON goes to a
-# scratch path so the committed BENCH_pause_window.json keeps its
-# full-length numbers. The grep pins the deferred variant into the
-# emitted JSON — a regression that drops it from the sweep fails here.
+echo "==> pause-window bench smoke (serial vs fused vs deferred vs encoded)"
+# A short run of the baseline bench drives the fused sharded walk, the
+# deferred stage+drain pipeline, and the content-aware (delta + dedup)
+# drain end to end; the JSON goes to a scratch path so the committed
+# BENCH_pause_window.json keeps its full-length numbers. The greps pin
+# the deferred and encoded variants into the emitted JSON — a regression
+# that drops either from the sweep fails here — and the encoded drain
+# must actually save wire bytes on the fig7 workload.
 SMOKE_JSON="$(mktemp)"
 CRIMES_BENCH_EPOCHS=3 CRIMES_BENCH_OUT="${SMOKE_JSON}" scripts/bench_baseline.sh > /dev/null
 grep -q '"name": "deferred"' "${SMOKE_JSON}"
+grep -q '"name": "encoded"' "${SMOKE_JSON}"
+BYTES_SAVED="$(grep -o '"encoded_bytes_saved_delta": [0-9]*' "${SMOKE_JSON}" \
+    | head -n1 | grep -o '[0-9]*$')"
+echo "    encoded drain saved ${BYTES_SAVED:-0} wire bytes/epoch"
+awk -v b="${BYTES_SAVED:-0}" 'BEGIN { exit !(b > 0) }'
 rm -f "${SMOKE_JSON}"
 
 echo "==> fleet bench smoke (20-tenant staggered round over one shared pool)"
@@ -85,12 +92,21 @@ for key in tenants_per_sec pages_per_sec p99_pause_ms speedup_scheduled_vs_seria
 done
 FLEET_SPEEDUP="$(grep -o '"speedup_scheduled_vs_serial": [0-9.]*' "${FLEET_JSON}" \
     | head -n1 | grep -o '[0-9.]*$')"
-if [ "$(nproc)" -gt 1 ]; then
+# The floor depends on the CPU count the bench actually ran with, which
+# is the numeric "host_cpus" it emits (available_parallelism — respects
+# cgroup limits, unlike nproc's host-wide count). The quote-colon match
+# cannot hit the prose "host_cpus_note" field; a bench that stops
+# emitting the number falls back to 1 CPU and takes the lenient floor
+# rather than failing a ≥2-CPU host on a parse miss.
+HOST_CPUS="$(grep -o '"host_cpus": [0-9]*' "${FLEET_JSON}" \
+    | head -n1 | grep -o '[0-9]*$')"
+HOST_CPUS="${HOST_CPUS:-1}"
+if [ "${HOST_CPUS}" -ge 2 ]; then
     FLEET_FLOOR="1.0"
 else
     FLEET_FLOOR="0.75"
 fi
-echo "    scheduled-vs-serial speedup: ${FLEET_SPEEDUP} (floor ${FLEET_FLOOR}, $(nproc)-cpu host)"
+echo "    scheduled-vs-serial speedup: ${FLEET_SPEEDUP} (floor ${FLEET_FLOOR}, ${HOST_CPUS}-cpu host)"
 awk -v s="${FLEET_SPEEDUP}" -v f="${FLEET_FLOOR}" 'BEGIN { exit !(s >= f) }'
 rm -f "${FLEET_JSON}"
 

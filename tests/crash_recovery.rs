@@ -25,7 +25,7 @@ use crimes_faults::{install, FaultPlan, FaultPoint, SCALE};
 use crimes_journal::{EvidenceJournal, Record};
 use crimes_outbuf::{NetPacket, Output};
 use crimes_checkpoint::BackupVm;
-use crimes_telemetry::{Counter, RealClock};
+use crimes_telemetry::{Counter, RealClock, TestClock};
 use crimes_vm::Vm;
 
 fn guest(seed: u64) -> Vm {
@@ -305,6 +305,103 @@ fn recovery_at_every_epoch_kill_point_matches_the_live_run() {
     assert_eq!(resumed.committed_epochs(), last.3.committed_epochs + 2);
     assert!(resumed.checkpointer().verify_backup().is_ok());
     assert_no_unacked_release(&EvidenceJournal::records(resumed.journal().bytes()));
+}
+
+/// The content-aware copy path journals one knob-independent
+/// `DrainProfile` record per acked drain: the journal bytes are
+/// identical with encoding on or off (the profile states content facts,
+/// not wire decisions), replay accumulates the profile aggregates, the
+/// wire savings stay telemetry-only, and [`Crimes::recover`] replays a
+/// profile-bearing journal bit-for-bit.
+#[test]
+fn drain_profiles_replay_identically_with_encoding_on_or_off() {
+    let run = |encoded: bool| {
+        let mut b = CrimesConfig::builder();
+        b.epoch_interval_ms(20)
+            .pause_workers(2)
+            .staging_buffers(4)
+            .max_staged_backlog(3)
+            .failover_threshold(9);
+        if encoded {
+            b.delta_threshold(64).dedup(true);
+        }
+        let mut c = Crimes::protect_with_clock(
+            guest(42),
+            b.build().expect("valid config"),
+            Arc::new(TestClock::new()),
+        )
+        .expect("protect");
+        let pid = c.vm_mut().spawn_process("app", 0, 16).expect("spawn");
+        for epoch in 0..6u64 {
+            assert!(
+                drive_epoch(&mut c, pid, epoch, false)
+                    .expect("clean epoch")
+                    .is_committed(),
+                "fault-free epochs commit"
+            );
+        }
+        c
+    };
+    let raw = run(false);
+    let enc = run(true);
+    assert_eq!(
+        raw.journal().bytes(),
+        enc.journal().bytes(),
+        "journal bytes must not depend on the encoding knobs"
+    );
+
+    let records = EvidenceJournal::records(raw.journal().bytes());
+    let profiles = records
+        .iter()
+        .filter(|r| matches!(r, Record::DrainProfile { .. }))
+        .count();
+    let acks = records
+        .iter()
+        .filter(|r| matches!(r, Record::TicketAcked { .. }))
+        .count();
+    assert!(acks >= 6, "every epoch drains");
+    assert_eq!(profiles, acks, "one content profile per acked drain");
+
+    let replay = EvidenceJournal::replay(raw.journal().bytes());
+    assert_eq!(replay.truncated_at, None);
+    assert!(
+        replay.drain_changed_words > 0,
+        "dirtied pages must surface changed words in the replayed profiles"
+    );
+
+    // The wire savings are observability, never evidence: the encoded
+    // run saved bytes, the raw run saved none, and neither shows in the
+    // (identical) journals above.
+    assert!(enc.telemetry().counter(Counter::BytesSavedDelta) > 0);
+    assert_eq!(raw.telemetry().counter(Counter::BytesSavedDelta), 0);
+    assert!(
+        enc.telemetry().counter(Counter::DedupHits)
+            + enc.telemetry().counter(Counter::DedupMisses)
+            > 0,
+        "dedup probes ran on the encoded drain"
+    );
+
+    // A monitor crash after the run recovers through the profile-bearing
+    // journal: the records replay (not truncate) and the fingerprint and
+    // journal bytes are adopted bit-for-bit.
+    let mut enc_cfg = CrimesConfig::builder();
+    enc_cfg
+        .epoch_interval_ms(20)
+        .pause_workers(2)
+        .staging_buffers(4)
+        .max_staged_backlog(3)
+        .failover_threshold(9);
+    enc_cfg.delta_threshold(64).dedup(true);
+    let recovered = Crimes::recover(
+        enc.vm().clone(),
+        enc.checkpointer().backup().clone(),
+        enc_cfg.build().expect("valid config"),
+        Arc::new(RealClock::new()),
+        enc.journal().bytes(),
+    )
+    .expect("recover through DrainProfile records");
+    assert_eq!(fingerprint(&recovered), fingerprint(&enc));
+    assert_eq!(recovered.journal().bytes(), enc.journal().bytes());
 }
 
 #[test]

@@ -37,7 +37,7 @@ fn guest(seed: u64) -> Vm {
 /// (no private pool allocation) — the serial reference fleet keeps
 /// private pools, which is exactly the cross-pool-ownership equality
 /// under test.
-fn tenant_config(i: u64, external: bool) -> CrimesConfig {
+fn tenant_config(i: u64, external: bool, encoded: bool) -> CrimesConfig {
     let mut b = CrimesConfig::builder();
     b.epoch_interval_ms(20);
     match i % 3 {
@@ -51,24 +51,31 @@ fn tenant_config(i: u64, external: bool) -> CrimesConfig {
             b.pause_workers(4).staging_buffers(3).max_staged_backlog(2);
         }
     }
+    if encoded {
+        b.delta_threshold(64).dedup(true);
+    }
     b.external_pool(external);
     b.build().expect("valid config")
 }
 
-fn build_fleet(tenants: u64, external: bool) -> Fleet {
+fn build_fleet_encoded(tenants: u64, external: bool, encoded: bool) -> Fleet {
     let mut fleet = Fleet::new();
     for i in 0..tenants {
         let crimes = fleet
             .add_vm_with_clock(
                 &format!("tenant-{i}"),
                 guest(500 + i),
-                tenant_config(i, external),
+                tenant_config(i, external, encoded),
                 Arc::new(TestClock::new()),
             )
             .expect("add tenant");
         crimes.register_module(Box::new(BlacklistScanModule::bundled()));
     }
     fleet
+}
+
+fn build_fleet(tenants: u64, external: bool) -> Fleet {
+    build_fleet_encoded(tenants, external, false)
 }
 
 /// Deterministic per-(tenant, round) guest activity: a couple of disk
@@ -172,6 +179,64 @@ fn staggered_shared_pool_rounds_match_serial_fingerprints() {
             assert!(
                 sched.stats().peak_leases <= pauses,
                 "the shared pool granted more leases than its capacity"
+            );
+        }
+    }
+}
+
+/// The content-aware copy path is wire modelling only: turning on
+/// delta/zero-page encoding and content-addressed dedup must leave every
+/// observable bit of a tenant untouched — backup frames and disk, image
+/// digests, the raw journal bytes (including the knob-independent
+/// `DrainProfile` records), and the audited counters — across the
+/// serial, fused, and staged pipelines (the tenant rotation), worker
+/// counts {1, 2, 4}, tenant counts {1, 3, 8}, and every scheduled pool
+/// capacity.
+#[test]
+fn encoded_pipelines_are_bit_identical_to_raw() {
+    for &tenants in &[1u64, 3, 8] {
+        // Raw serial reference: encoding knobs off.
+        let mut raw = build_fleet_encoded(tenants, false, false);
+        for round in 0..ROUNDS {
+            raw.run_epoch_round(|n, vm, ms| work(round, n, vm, ms))
+                .expect("raw serial round");
+        }
+        let want = fingerprints(&raw);
+
+        // Encoded serial: same tenants, delta + dedup on.
+        let mut encoded = build_fleet_encoded(tenants, false, true);
+        for round in 0..ROUNDS {
+            encoded
+                .run_epoch_round(|n, vm, ms| work(round, n, vm, ms))
+                .expect("encoded serial round");
+        }
+        assert_eq!(
+            want,
+            fingerprints(&encoded),
+            "encoding knobs changed a serial fingerprint (tenants={tenants})"
+        );
+
+        // Encoded + scheduled over the shared pool, at every capacity.
+        for &pauses in &[1usize, 2, 4] {
+            let mut fleet = build_fleet_encoded(tenants, true, true);
+            let mut sched = FleetScheduler::for_fleet(
+                &fleet,
+                FleetSchedulerConfig {
+                    max_concurrent_pauses: pauses,
+                    pool_workers: 3,
+                    overlap_drains: true,
+                },
+            );
+            for round in 0..ROUNDS {
+                sched
+                    .run_round(&mut fleet, |n, vm, ms| work(round, n, vm, ms))
+                    .expect("encoded scheduled round");
+            }
+            assert_eq!(
+                want,
+                fingerprints(&fleet),
+                "encoding knobs changed a scheduled fingerprint \
+                 (tenants={tenants}, pool capacity={pauses})"
             );
         }
     }
